@@ -1,0 +1,393 @@
+//! Error- and time-bounded approximate execution (BlinkDB \[6, 7\]).
+//!
+//! BlinkDB's contract: *"SELECT avg(x) ... ERROR WITHIN 2% AT CONFIDENCE
+//! 95%"* or *"... WITHIN 100 ms"*. The runtime walks the sample catalog's
+//! ladder from small to large, predicts each sample's error from its size
+//! and a pilot variance estimate, and executes on the smallest sample
+//! that satisfies the bound — or, for time bounds, the largest sample
+//! that fits the latency budget given a calibrated processing rate.
+
+use explore_sampling::{SampleCatalog, UniformSample};
+use explore_storage::{AggFunc, Accumulator, Predicate, Result, StorageError, Table};
+
+use crate::ci::{mean_interval, sum_interval, ConfidenceInterval};
+
+/// What the user asked to bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Maximum relative error (CI half-width / estimate) at the given
+    /// confidence, e.g. `RelativeError { target: 0.02, confidence: 0.95 }`.
+    RelativeError { target: f64, confidence: f64 },
+    /// Maximum rows the execution may touch (the deterministic stand-in
+    /// for a wall-clock budget; rows/sec is calibrated by the harness).
+    RowBudget { rows: usize },
+}
+
+/// The outcome of a bounded approximate aggregate.
+#[derive(Debug, Clone)]
+pub struct BoundedAnswer {
+    /// Estimate with confidence interval (scaled to the base table).
+    pub interval: ConfidenceInterval,
+    /// Sampling fraction of the sample actually used (1.0 = exact).
+    pub fraction_used: f64,
+    /// Rows scanned to produce the answer.
+    pub rows_scanned: usize,
+    /// True when the answer came from the full table.
+    pub exact: bool,
+}
+
+/// Bounded executor over a base table and its sample catalog.
+#[derive(Debug)]
+pub struct BoundedExecutor<'a> {
+    base: &'a Table,
+    catalog: &'a SampleCatalog,
+    confidence_default: f64,
+}
+
+impl<'a> BoundedExecutor<'a> {
+    /// Create an executor. `confidence_default` applies to row-budget
+    /// queries (error-bounded queries carry their own confidence).
+    pub fn new(base: &'a Table, catalog: &'a SampleCatalog) -> Self {
+        BoundedExecutor {
+            base,
+            catalog,
+            confidence_default: 0.95,
+        }
+    }
+
+    /// Approximate `func(column)` over rows matching `predicate`,
+    /// honouring the bound. Falls back to exact execution when no sample
+    /// suffices (the BlinkDB semantics).
+    pub fn aggregate(
+        &self,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        bound: Bound,
+    ) -> Result<BoundedAnswer> {
+        match bound {
+            Bound::RelativeError { target, confidence } => {
+                for (fraction, sample) in self.catalog.uniform_ladder() {
+                    let ans =
+                        self.run_on_sample(sample, fraction, predicate, func, column, confidence)?;
+                    if ans.interval.relative_error() <= target {
+                        return Ok(ans);
+                    }
+                }
+                self.run_exact(predicate, func, column)
+            }
+            Bound::RowBudget { rows } => {
+                // Largest sample fitting the budget.
+                let ladder = self.catalog.uniform_ladder();
+                let pick = ladder
+                    .iter()
+                    .rev()
+                    .find(|(_, s)| s.table().num_rows() <= rows);
+                match pick {
+                    Some(&(fraction, sample)) => self.run_on_sample(
+                        sample,
+                        fraction,
+                        predicate,
+                        func,
+                        column,
+                        self.confidence_default,
+                    ),
+                    None => {
+                        if self.base.num_rows() <= rows {
+                            self.run_exact(predicate, func, column)
+                        } else {
+                            Err(StorageError::InvalidQuery(format!(
+                                "no sample fits a budget of {rows} rows"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_on_sample(
+        &self,
+        sample: &UniformSample,
+        fraction: f64,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        confidence: f64,
+    ) -> Result<BoundedAnswer> {
+        let t = sample.table();
+        let sel = predicate.evaluate(t)?;
+        let col = t.column(column)?;
+        if func != AggFunc::Count && !col.data_type().is_numeric() {
+            return Err(StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "numeric",
+                found: col.data_type().name(),
+            });
+        }
+        let mut acc = Accumulator::new();
+        let mut masked = Accumulator::new();
+        let matches: std::collections::HashSet<u32> = sel.iter().copied().collect();
+        for row in 0..t.num_rows() {
+            let x = if func == AggFunc::Count {
+                1.0
+            } else {
+                col.numeric_at(row).unwrap_or(0.0)
+            };
+            if matches.contains(&(row as u32)) {
+                acc.update(x);
+                masked.update(x);
+            } else {
+                masked.update(0.0);
+            }
+        }
+        let n_sample = t.num_rows() as u64;
+        let total = sample.base_rows() as u64;
+        let interval = match func {
+            AggFunc::Avg => {
+                // Estimated matching population for the FPC.
+                let est_matching = if n_sample == 0 {
+                    total
+                } else {
+                    ((acc.count() as f64 / n_sample as f64) * total as f64).round() as u64
+                };
+                mean_interval(
+                    acc.mean(),
+                    acc.sample_variance(),
+                    acc.count(),
+                    est_matching.max(acc.count()),
+                    confidence,
+                )
+            }
+            AggFunc::Sum | AggFunc::Count => sum_interval(
+                masked.mean(),
+                masked.sample_variance(),
+                n_sample,
+                total,
+                confidence,
+            ),
+            other => {
+                return Err(StorageError::InvalidQuery(format!(
+                    "bounded execution supports COUNT/SUM/AVG, not {other}"
+                )))
+            }
+        };
+        Ok(BoundedAnswer {
+            interval,
+            fraction_used: fraction,
+            rows_scanned: t.num_rows(),
+            exact: false,
+        })
+    }
+
+    fn run_exact(
+        &self,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+    ) -> Result<BoundedAnswer> {
+        let sel = predicate.evaluate(self.base)?;
+        let col = self.base.column(column)?;
+        let mut acc = Accumulator::new();
+        for &row in &sel {
+            let x = if func == AggFunc::Count {
+                1.0
+            } else {
+                col.numeric_at(row as usize).unwrap_or(0.0)
+            };
+            acc.update(x);
+        }
+        Ok(BoundedAnswer {
+            interval: ConfidenceInterval {
+                estimate: acc.finish(func),
+                half_width: 0.0,
+                confidence: 1.0,
+            },
+            fraction_used: 1.0,
+            rows_scanned: self.base.num_rows(),
+            exact: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_sampling::SampleCatalog;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    fn setup() -> (Table, SampleCatalog) {
+        let base = sales_table(&SalesConfig {
+            rows: 100_000,
+            ..SalesConfig::default()
+        });
+        let catalog =
+            SampleCatalog::build(&base, &[0.001, 0.01, 0.05, 0.2], &[], 7).unwrap();
+        (base, catalog)
+    }
+
+    fn truth_avg(t: &Table) -> f64 {
+        let p = t.column("price").unwrap().as_f64().unwrap();
+        p.iter().sum::<f64>() / p.len() as f64
+    }
+
+    #[test]
+    fn loose_bound_uses_small_sample() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let ans = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.10,
+                    confidence: 0.95,
+                },
+            )
+            .unwrap();
+        assert!(!ans.exact);
+        assert!(ans.fraction_used <= 0.01, "used {}", ans.fraction_used);
+        let truth = truth_avg(&base);
+        assert!((ans.interval.estimate - truth).abs() / truth < 0.15);
+    }
+
+    #[test]
+    fn tight_bound_escalates_to_larger_sample() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let loose = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.2,
+                    confidence: 0.95,
+                },
+            )
+            .unwrap();
+        let tight = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.005,
+                    confidence: 0.95,
+                },
+            )
+            .unwrap();
+        assert!(tight.fraction_used > loose.fraction_used);
+        assert!(tight.interval.relative_error() <= 0.005);
+    }
+
+    #[test]
+    fn impossible_bound_falls_back_to_exact() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let ans = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.0,
+                    confidence: 0.95,
+                },
+            )
+            .unwrap();
+        assert!(ans.exact);
+        assert_eq!(ans.fraction_used, 1.0);
+        assert_eq!(ans.interval.half_width, 0.0);
+    }
+
+    #[test]
+    fn row_budget_picks_largest_fitting_sample() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let ans = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RowBudget { rows: 2000 },
+            )
+            .unwrap();
+        // 0.01 × 100k = 1000 fits; 0.05 × 100k = 5000 does not.
+        assert!((ans.fraction_used - 0.01).abs() < 1e-9);
+        assert!(ans.rows_scanned <= 2000);
+    }
+
+    #[test]
+    fn row_budget_too_small_errors() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let r = ex.aggregate(
+            &Predicate::True,
+            AggFunc::Avg,
+            "price",
+            Bound::RowBudget { rows: 10 },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn sum_and_count_bracket_truth() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let pred = Predicate::eq("region", "region0");
+        let sel = pred.evaluate(&base).unwrap();
+        let prices = base.column("price").unwrap().as_f64().unwrap();
+        let truth_sum: f64 = sel.iter().map(|&i| prices[i as usize]).sum();
+        let truth_count = sel.len() as f64;
+        let sum = ex
+            .aggregate(
+                &pred,
+                AggFunc::Sum,
+                "price",
+                Bound::RelativeError {
+                    target: 0.05,
+                    confidence: 0.99,
+                },
+            )
+            .unwrap();
+        assert!(
+            sum.interval.contains(truth_sum),
+            "{:?} vs {truth_sum}",
+            sum.interval
+        );
+        let count = ex
+            .aggregate(
+                &pred,
+                AggFunc::Count,
+                "qty",
+                Bound::RelativeError {
+                    target: 0.05,
+                    confidence: 0.99,
+                },
+            )
+            .unwrap();
+        assert!(
+            count.interval.contains(truth_count),
+            "{:?} vs {truth_count}",
+            count.interval
+        );
+    }
+
+    #[test]
+    fn unsupported_aggregate_is_rejected() {
+        let (base, catalog) = setup();
+        let ex = BoundedExecutor::new(&base, &catalog);
+        let r = ex.aggregate(
+            &Predicate::True,
+            AggFunc::Max,
+            "price",
+            Bound::RelativeError {
+                target: 0.5,
+                confidence: 0.95,
+            },
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Group-wise online aggregation — the full CONTROL experience \[24, 25\]:
+//! a GROUP BY whose *every bar* carries a live, shrinking confidence
+//! interval, so the analyst watches all groups converge simultaneously
+//! and can stop the moment the interesting comparison is settled.
+//!
+//! The implementation mirrors [`crate::online`] but maintains one
+//! accumulator per group; per-group intervals use each group's own
+//! sample count and variance. Group membership is known per row (the
+//! dimension column), so group sizes are estimated from running
+//! frequencies, exactly like the selectivity estimate in the scalar
+//! case.
+
+use std::collections::HashMap;
+
+use explore_storage::rng::SplitMix64;
+use explore_storage::{Accumulator, Result, StorageError, Table};
+
+use crate::ci::{mean_interval, ConfidenceInterval};
+
+/// The running state of one group.
+#[derive(Debug, Clone)]
+pub struct GroupEstimate {
+    pub group: String,
+    pub interval: ConfidenceInterval,
+    /// Rows of this group seen so far.
+    pub seen: u64,
+}
+
+/// An in-progress group-wise online aggregation (currently AVG — the
+/// aggregate the CONTROL papers demonstrate; SUM/COUNT compose from the
+/// scalar machinery in [`crate::online`]).
+#[derive(Debug)]
+pub struct GroupedOnlineAggregation {
+    order: Vec<u32>,
+    cursor: usize,
+    labels: Vec<String>,
+    values: Vec<f64>,
+    confidence: f64,
+    accs: HashMap<String, Accumulator>,
+    total_rows: u64,
+    seen: u64,
+}
+
+impl GroupedOnlineAggregation {
+    /// Start `AVG(measure) GROUP BY dimension` online.
+    pub fn start(
+        table: &Table,
+        dimension: &str,
+        measure: &str,
+        confidence: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        let dim = table.column(dimension)?;
+        let labels = dim
+            .as_utf8()
+            .ok_or_else(|| StorageError::TypeMismatch {
+                column: dimension.to_owned(),
+                expected: "Utf8",
+                found: dim.data_type().name(),
+            })?
+            .to_vec();
+        let mcol = table.column(measure)?;
+        let values: Vec<f64> = (0..table.num_rows())
+            .map(|i| {
+                mcol.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
+                    column: measure.to_owned(),
+                    expected: "numeric",
+                    found: mcol.data_type().name(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut order: Vec<u32> = (0..table.num_rows() as u32).collect();
+        SplitMix64::new(seed).shuffle(&mut order);
+        Ok(GroupedOnlineAggregation {
+            order,
+            cursor: 0,
+            labels,
+            values,
+            confidence,
+            accs: HashMap::new(),
+            total_rows: table.num_rows() as u64,
+            seen: 0,
+        })
+    }
+
+    /// Process up to `batch` more rows; `None` once exhausted.
+    pub fn step(&mut self, batch: usize) -> Option<Vec<GroupEstimate>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + batch).min(self.order.len());
+        for &row in &self.order[self.cursor..end] {
+            let r = row as usize;
+            self.accs
+                .entry(self.labels[r].clone())
+                .or_default()
+                .update(self.values[r]);
+            self.seen += 1;
+        }
+        self.cursor = end;
+        Some(self.snapshot())
+    }
+
+    /// Current per-group estimates, sorted by group label.
+    pub fn snapshot(&self) -> Vec<GroupEstimate> {
+        let mut out: Vec<GroupEstimate> = self
+            .accs
+            .iter()
+            .map(|(g, acc)| {
+                // Estimated group population: running frequency scaled to
+                // the table (collapses to exact size at 100% via FPC).
+                let est_pop = if self.seen == 0 {
+                    self.total_rows
+                } else {
+                    ((acc.count() as f64 / self.seen as f64) * self.total_rows as f64).round()
+                        as u64
+                }
+                .max(acc.count());
+                GroupEstimate {
+                    group: g.clone(),
+                    interval: mean_interval(
+                        acc.mean(),
+                        acc.sample_variance(),
+                        acc.count(),
+                        est_pop,
+                        self.confidence,
+                    ),
+                    seen: acc.count(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.group.cmp(&b.group));
+        out
+    }
+
+    /// True when every row has been processed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.order.len()
+    }
+
+    /// Fraction of the table processed.
+    pub fn fraction(&self) -> f64 {
+        self.seen as f64 / self.total_rows.max(1) as f64
+    }
+
+    /// Run until every group's *relative* CI half-width is at or below
+    /// `target` (or data is exhausted). Returns the final snapshot.
+    pub fn run_until(&mut self, target: f64, batch: usize) -> Vec<GroupEstimate> {
+        let mut last = self.snapshot();
+        while let Some(snap) = self.step(batch) {
+            let done = !snap.is_empty()
+                && snap
+                    .iter()
+                    .all(|g| g.interval.relative_error() <= target);
+            last = snap;
+            if done {
+                break;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::{AggFunc, Predicate, Query, SortOrder};
+
+    fn table() -> Table {
+        sales_table(&SalesConfig {
+            rows: 60_000,
+            ..SalesConfig::default()
+        })
+    }
+
+    fn truth(t: &Table) -> HashMap<String, f64> {
+        let r = Query::new()
+            .group("region")
+            .agg(AggFunc::Avg, "price")
+            .run(t)
+            .unwrap();
+        let labels = r.column("region").unwrap().as_utf8().unwrap();
+        let avgs = r.column("avg(price)").unwrap().as_f64().unwrap();
+        labels.iter().cloned().zip(avgs.iter().copied()).collect()
+    }
+
+    #[test]
+    fn intervals_bracket_group_truths() {
+        let t = table();
+        let truths = truth(&t);
+        let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.99, 1).unwrap();
+        g.step(10_000);
+        let snap = g.snapshot();
+        assert!(!snap.is_empty());
+        let mut covered = 0;
+        for est in &snap {
+            if est.interval.contains(truths[&est.group]) {
+                covered += 1;
+            }
+        }
+        // 99% intervals: allow at most one miss across ~8 groups.
+        assert!(covered + 1 >= snap.len(), "covered {covered}/{}", snap.len());
+    }
+
+    #[test]
+    fn exhaustion_gives_exact_group_means() {
+        let t = sales_table(&SalesConfig {
+            rows: 3_000,
+            ..SalesConfig::default()
+        });
+        let truths = truth(&t);
+        let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 2).unwrap();
+        while g.step(500).is_some() {}
+        assert!(g.is_exhausted());
+        assert!((g.fraction() - 1.0).abs() < 1e-12);
+        for est in g.snapshot() {
+            assert!(
+                (est.interval.estimate - truths[&est.group]).abs() < 1e-9,
+                "{}",
+                est.group
+            );
+            assert_eq!(est.interval.half_width, 0.0, "FPC collapse");
+        }
+    }
+
+    #[test]
+    fn run_until_stops_early_on_easy_targets() {
+        let t = table();
+        let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 3).unwrap();
+        let snap = g.run_until(0.05, 2_000);
+        assert!(!g.is_exhausted(), "±5% should not need the whole table");
+        assert!(snap.iter().all(|e| e.interval.relative_error() <= 0.05));
+        // Rare groups gate the stop: the largest group is tight long
+        // before the smallest.
+        let max_seen = snap.iter().map(|e| e.seen).max().unwrap();
+        let min_seen = snap.iter().map(|e| e.seen).min().unwrap();
+        assert!(max_seen > min_seen, "skewed groups converge unevenly");
+    }
+
+    #[test]
+    fn small_groups_have_wider_intervals() {
+        let t = table(); // zipf-skewed regions
+        let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 4).unwrap();
+        g.step(5_000);
+        let snap = g.snapshot();
+        let biggest = snap.iter().max_by_key(|e| e.seen).unwrap();
+        let smallest = snap.iter().min_by_key(|e| e.seen).unwrap();
+        assert!(
+            smallest.interval.half_width > biggest.interval.half_width,
+            "small {} vs big {}",
+            smallest.interval.half_width,
+            biggest.interval.half_width
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        let t = table();
+        assert!(GroupedOnlineAggregation::start(&t, "price", "qty", 0.95, 5).is_err());
+        assert!(GroupedOnlineAggregation::start(&t, "region", "channel", 0.95, 5).is_err());
+        assert!(GroupedOnlineAggregation::start(&t, "nope", "price", 0.95, 5).is_err());
+    }
+
+    #[test]
+    fn predicate_free_api_matches_filtered_query_shape() {
+        // Sanity: group set matches the exact group-by's groups.
+        let t = table();
+        let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 6).unwrap();
+        while g.step(20_000).is_some() {}
+        let online_groups: Vec<String> =
+            g.snapshot().into_iter().map(|e| e.group).collect();
+        let exact = Query::new()
+            .filter(Predicate::True)
+            .group("region")
+            .agg(AggFunc::Avg, "price")
+            .order("region", SortOrder::Asc)
+            .run(&t)
+            .unwrap();
+        let exact_groups = exact.column("region").unwrap().as_utf8().unwrap();
+        assert_eq!(online_groups, exact_groups);
+    }
+}

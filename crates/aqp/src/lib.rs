@@ -1,0 +1,40 @@
+//! # explore-aqp
+//!
+//! Approximate query processing — the tutorial's Middleware / "Query
+//! Approximation" cluster:
+//!
+//! * [`ci`] — CLT confidence intervals with finite-population correction
+//!   and a high-precision normal quantile.
+//! * [`online`] — online aggregation (CONTROL \[24\], Hellerstein et al.
+//!   \[25\]): running estimates whose intervals shrink as random-order
+//!   processing proceeds, with early stopping.
+//! * [`bounded`] — BlinkDB-style error- and time-bounded execution
+//!   \[6, 7\] over a pre-built sample catalog, escalating through the
+//!   sample ladder until the bound holds.
+//!
+//! ```
+//! use explore_aqp::{OnlineAggregation};
+//! use explore_storage::{gen, AggFunc, Predicate};
+//!
+//! let t = gen::sales_table(&gen::SalesConfig { rows: 20_000, ..Default::default() });
+//! let mut oa = OnlineAggregation::start(
+//!     &t, &Predicate::True, AggFunc::Avg, "price", 0.95, 7,
+//! ).unwrap();
+//! let trace = oa.run_until(0.02, 500); // stop at ±2%
+//! assert!(trace.last().unwrap().processed < 20_000);
+//! ```
+
+pub mod bounded;
+pub mod ci;
+pub mod group_online;
+pub mod online;
+pub mod synopsis_exec;
+
+pub use bounded::{Bound, BoundedAnswer, BoundedExecutor};
+pub use ci::{
+    count_interval, mean_interval, normal_quantile, sum_interval, z_for_confidence,
+    ConfidenceInterval,
+};
+pub use group_online::{GroupEstimate, GroupedOnlineAggregation};
+pub use online::{OnlineAggregation, Snapshot};
+pub use synopsis_exec::{AnsweredBy, SynopsisAnswer, SynopsisStore};

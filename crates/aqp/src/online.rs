@@ -1,0 +1,325 @@
+//! Online aggregation (Hellerstein, Haas, Wang — SIGMOD'97; the CONTROL
+//! project \[24, 25\]).
+//!
+//! Instead of blocking until a full scan completes, the aggregate is
+//! computed over a *random permutation* of the rows, and a running
+//! estimate with a shrinking confidence interval is exposed after every
+//! batch. The user watches the interval collapse and stops as soon as
+//! the answer is "interesting or clearly not" — the founding idea of
+//! approximate interfaces for exploration.
+
+use explore_storage::rng::SplitMix64;
+use explore_storage::{AggFunc, Accumulator, Predicate, Result, StorageError, Table};
+
+use crate::ci::{count_interval, mean_interval, sum_interval, ConfidenceInterval};
+
+/// One progress snapshot of a running online aggregation.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot {
+    /// Rows processed so far (before filtering).
+    pub processed: u64,
+    /// Fraction of the table processed.
+    pub fraction: f64,
+    /// Running estimate with its confidence interval.
+    pub interval: ConfidenceInterval,
+}
+
+/// An in-progress online aggregation over one table.
+#[derive(Debug)]
+pub struct OnlineAggregation {
+    /// Random visiting order of row ids.
+    order: Vec<u32>,
+    cursor: usize,
+    func: AggFunc,
+    confidence: f64,
+    acc: Accumulator,
+    /// Accumulator of the *masked* variable (value when the row matches,
+    /// 0 otherwise) over all seen rows — the i.i.d. variable whose CLT
+    /// interval is valid for filtered SUMs.
+    masked_acc: Accumulator,
+    /// Rows seen (including filtered-out ones) — the denominator for
+    /// selectivity and COUNT estimates.
+    seen: u64,
+    total_rows: u64,
+    /// Pre-evaluated filter mask (evaluating per-batch would rescan).
+    mask: Vec<bool>,
+    /// Column values to aggregate, by row id.
+    values: Vec<f64>,
+}
+
+impl OnlineAggregation {
+    /// Start an online aggregation of `func(column)` over rows matching
+    /// `predicate`. `COUNT` counts matching rows; other functions
+    /// require a numeric column.
+    pub fn start(
+        table: &Table,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        confidence: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        let col = table.column(column)?;
+        if func != AggFunc::Count && !col.data_type().is_numeric() {
+            return Err(StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "numeric",
+                found: col.data_type().name(),
+            });
+        }
+        let n = table.num_rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        SplitMix64::new(seed).shuffle(&mut order);
+        let mask = predicate.evaluate_mask(table)?;
+        let values = if func == AggFunc::Count {
+            vec![1.0; n]
+        } else {
+            (0..n).map(|i| col.numeric_at(i).unwrap_or(0.0)).collect()
+        };
+        Ok(OnlineAggregation {
+            order,
+            cursor: 0,
+            func,
+            confidence,
+            acc: Accumulator::new(),
+            masked_acc: Accumulator::new(),
+            seen: 0,
+            total_rows: n as u64,
+            mask,
+            values,
+        })
+    }
+
+    /// Process up to `batch` more rows; returns the new snapshot, or
+    /// `None` when the table is exhausted (the last snapshot before
+    /// exhaustion is exact).
+    pub fn step(&mut self, batch: usize) -> Option<Snapshot> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + batch).min(self.order.len());
+        for &row in &self.order[self.cursor..end] {
+            self.seen += 1;
+            if self.mask[row as usize] {
+                self.acc.update(self.values[row as usize]);
+                self.masked_acc.update(self.values[row as usize]);
+            } else {
+                self.masked_acc.update(0.0);
+            }
+        }
+        self.cursor = end;
+        Some(self.snapshot())
+    }
+
+    /// The current snapshot without processing more rows.
+    pub fn snapshot(&self) -> Snapshot {
+        let n = self.acc.count();
+        let s2 = self.acc.sample_variance();
+        let interval = match self.func {
+            AggFunc::Count => {
+                count_interval(n, self.seen, self.total_rows, self.confidence)
+            }
+            AggFunc::Avg => mean_interval(
+                self.acc.mean(),
+                s2,
+                n,
+                // The population of *matching* rows is unknown mid-flight;
+                // estimate it from the running selectivity.
+                self.estimated_matching(),
+                self.confidence,
+            ),
+            AggFunc::Sum => {
+                // SUM over matching rows = mean over *all* rows of
+                // (value × 1[match]) scaled by the table size; the masked
+                // accumulator tracks exactly that i.i.d. variable.
+                sum_interval(
+                    self.masked_acc.mean(),
+                    self.masked_acc.sample_variance(),
+                    self.seen,
+                    self.total_rows,
+                    self.confidence,
+                )
+            }
+            AggFunc::Min | AggFunc::Max | AggFunc::Var | AggFunc::Std => ConfidenceInterval {
+                // Extremes have no CLT interval; report the running value
+                // with unknown error (the CONTROL papers do the same).
+                estimate: self.acc.finish(self.func),
+                half_width: f64::INFINITY,
+                confidence: self.confidence,
+            },
+        };
+        Snapshot {
+            processed: self.seen,
+            fraction: self.seen as f64 / self.total_rows.max(1) as f64,
+            interval,
+        }
+    }
+
+    /// Run until the relative CI half-width drops to `target` (or the
+    /// table is exhausted), recording a snapshot per batch. Returns the
+    /// trace — the data behind experiment E5's "CI width vs tuples" plot.
+    pub fn run_until(&mut self, target_relative_error: f64, batch: usize) -> Vec<Snapshot> {
+        let mut trace = Vec::new();
+        while let Some(snap) = self.step(batch) {
+            let done = snap.interval.relative_error() <= target_relative_error;
+            trace.push(snap);
+            if done {
+                break;
+            }
+        }
+        trace
+    }
+
+    /// Estimated number of rows matching the predicate, extrapolated
+    /// from the running selectivity.
+    fn estimated_matching(&self) -> u64 {
+        if self.seen == 0 {
+            return self.total_rows;
+        }
+        let sel = self.acc.count() as f64 / self.seen as f64;
+        ((self.total_rows as f64 * sel).round() as u64).max(self.acc.count())
+    }
+
+    /// True when every row has been processed (estimate is exact).
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    fn table() -> Table {
+        sales_table(&SalesConfig {
+            rows: 50_000,
+            ..SalesConfig::default()
+        })
+    }
+
+    fn truth_avg(t: &Table) -> f64 {
+        let p = t.column("price").unwrap().as_f64().unwrap();
+        p.iter().sum::<f64>() / p.len() as f64
+    }
+
+    #[test]
+    fn avg_estimate_converges_to_truth() {
+        let t = table();
+        let truth = truth_avg(&t);
+        let mut oa = OnlineAggregation::start(
+            &t,
+            &Predicate::True,
+            AggFunc::Avg,
+            "price",
+            0.95,
+            1,
+        )
+        .unwrap();
+        let trace = oa.run_until(0.001, 1000);
+        assert!(!trace.is_empty());
+        // CI width shrinks monotonically-ish; compare first vs last.
+        let first = trace.first().unwrap().interval.half_width;
+        let last = trace.last().unwrap().interval.half_width;
+        assert!(last < first / 3.0, "first {first} last {last}");
+        // Final estimate is close to truth.
+        let est = trace.last().unwrap().interval.estimate;
+        assert!((est - truth).abs() / truth < 0.02, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn early_stop_needs_far_fewer_rows_than_scan() {
+        let t = table();
+        let mut oa =
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 2)
+                .unwrap();
+        let trace = oa.run_until(0.01, 500); // ±1%
+        let processed = trace.last().unwrap().processed;
+        assert!(
+            processed < 25_000,
+            "needed {processed} of 50k rows for ±1%"
+        );
+        assert!(!oa.is_exhausted());
+    }
+
+    #[test]
+    fn exhaustion_gives_exact_answer() {
+        let t = sales_table(&SalesConfig {
+            rows: 1000,
+            ..SalesConfig::default()
+        });
+        let truth = truth_avg(&t);
+        let mut oa =
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 3)
+                .unwrap();
+        let mut last = None;
+        while let Some(s) = oa.step(100) {
+            last = Some(s);
+        }
+        let s = last.unwrap();
+        assert!(oa.is_exhausted());
+        assert!((s.interval.estimate - truth).abs() < 1e-9);
+        assert_eq!(s.interval.half_width, 0.0, "FPC collapses at 100%");
+        assert!((s.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_with_filter_brackets_truth() {
+        let t = table();
+        let pred = Predicate::eq("region", "region0");
+        let truth = pred.evaluate(&t).unwrap().len() as f64;
+        let mut oa =
+            OnlineAggregation::start(&t, &pred, AggFunc::Count, "qty", 0.99, 4).unwrap();
+        oa.step(5000);
+        let s = oa.snapshot();
+        assert!(
+            s.interval.contains(truth),
+            "interval {:?} vs truth {truth}",
+            s.interval
+        );
+    }
+
+    #[test]
+    fn sum_interval_brackets_truth() {
+        let t = table();
+        let pred = Predicate::eq("region", "region1");
+        let sel = pred.evaluate(&t).unwrap();
+        let prices = t.column("price").unwrap().as_f64().unwrap();
+        let truth: f64 = sel.iter().map(|&i| prices[i as usize]).sum();
+        let mut hits = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let mut oa =
+                OnlineAggregation::start(&t, &pred, AggFunc::Sum, "price", 0.95, seed).unwrap();
+            oa.step(5000);
+            if oa.snapshot().interval.contains(truth) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= trials * 8 / 10, "coverage {hits}/{trials}");
+    }
+
+    #[test]
+    fn min_max_have_unknown_error() {
+        let t = table();
+        let mut oa =
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Max, "price", 0.95, 5)
+                .unwrap();
+        oa.step(100);
+        assert!(oa.snapshot().interval.half_width.is_infinite());
+    }
+
+    #[test]
+    fn string_aggregation_is_rejected() {
+        let t = table();
+        assert!(OnlineAggregation::start(
+            &t,
+            &Predicate::True,
+            AggFunc::Sum,
+            "region",
+            0.95,
+            6
+        )
+        .is_err());
+    }
+}

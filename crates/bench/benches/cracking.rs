@@ -1,0 +1,197 @@
+//! E1/E2/E3 under Criterion: adaptive indexing strategies vs baselines,
+//! plus the DESIGN.md ablations (crack-in-three vs two two-way cracks,
+//! BTreeMap vs linear boundary lookup is exercised implicitly by piece
+//! count).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use explore_core::cracking::baseline::{workload, QueryPattern};
+use explore_core::cracking::{CrackerColumn, HybridCrackSort, ScanBaseline, SortedIndex, StochasticCracker, StochasticVariant};
+use explore_core::storage::gen::uniform_i64;
+
+const N: usize = 1_000_000;
+
+fn bench_e1_strategies(c: &mut Criterion) {
+    let base = uniform_i64(N, 0, N as i64, 1);
+    let queries = workload(QueryPattern::Random, N as i64, N as i64 / 1000, 200, 2);
+    let mut group = c.benchmark_group("e1_workload_of_200_queries");
+    group.sample_size(10);
+
+    group.bench_function("scan", |b| {
+        let scan = ScanBaseline::new(base.clone());
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(lo, hi) in &queries {
+                total += scan.query_count(lo, hi);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("sort_then_probe", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |data| {
+                let idx = SortedIndex::build(&data);
+                let mut total = 0usize;
+                for &(lo, hi) in &queries {
+                    total += idx.query_count(lo, hi);
+                }
+                black_box(total)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("crack", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |data| {
+                let mut cracker = CrackerColumn::new(data);
+                let mut total = 0usize;
+                for &(lo, hi) in &queries {
+                    total += cracker.query_count(lo, hi);
+                }
+                black_box(total)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("hybrid_crack_sort", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |data| {
+                let mut h = HybridCrackSort::new(&data, 8);
+                let mut total = 0usize;
+                for &(lo, hi) in &queries {
+                    total += h.query_count(lo, hi);
+                }
+                black_box(total)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_e2_sequential_robustness(c: &mut Criterion) {
+    let base = uniform_i64(N, 0, N as i64, 3);
+    let queries = workload(QueryPattern::Sequential, N as i64, 10_000, 60, 4);
+    let mut group = c.benchmark_group("e2_sequential_workload");
+    group.sample_size(10);
+    group.bench_function("standard", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |data| {
+                let mut cracker = CrackerColumn::new(data);
+                for &(lo, hi) in &queries {
+                    black_box(cracker.query_count(lo, hi));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    for (name, variant) in [("ddc", StochasticVariant::Ddc), ("ddr", StochasticVariant::Ddr)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |data| {
+                    let mut cracker = StochasticCracker::new(data, variant, 4096, 5);
+                    for &(lo, hi) in &queries {
+                        black_box(cracker.query_count(lo, hi));
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: crack-in-three vs two crack-in-two for fresh two-sided
+/// ranges. `CrackerColumn::query` uses three-way automatically; forcing
+/// two bound_position calls via two one-sided queries isolates the
+/// difference.
+fn bench_ablation_crack_three(c: &mut Criterion) {
+    let base = uniform_i64(N, 0, N as i64, 6);
+    let mut group = c.benchmark_group("ablation_crack_three");
+    group.sample_size(20);
+    group.bench_function("crack_in_three", |b| {
+        b.iter_batched(
+            || CrackerColumn::new(base.clone()),
+            |mut cracker| black_box(cracker.query(400_000, 600_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("two_crack_in_two", |b| {
+        b.iter_batched(
+            || CrackerColumn::new(base.clone()),
+            |mut cracker| {
+                // Registering the bounds separately forces two passes.
+                let lo = cracker.bound_position(400_000);
+                let hi = cracker.bound_position(600_000);
+                black_box((lo, hi))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_first_query_cost(c: &mut Criterion) {
+    // The "first query ≈ scan" claim, directly.
+    let base = uniform_i64(N, 0, N as i64, 7);
+    let scan = ScanBaseline::new(base.clone());
+    let mut group = c.benchmark_group("first_query");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("scan", N), |b| {
+        b.iter(|| black_box(scan.query_count(100_000, 101_000)))
+    });
+    group.bench_function(BenchmarkId::new("crack_first", N), |b| {
+        b.iter_batched(
+            || CrackerColumn::new(base.clone()),
+            |mut cracker| black_box(cracker.query_count(100_000, 101_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("sort_build", N), |b| {
+        b.iter_batched(
+            || base.clone(),
+            |data| black_box(SortedIndex::build(&data)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation \[50\]: branchy (Hoare-style swap) vs predicated
+/// (branch-free out-of-place) partition kernels on a fresh column.
+fn bench_ablation_predication(c: &mut Criterion) {
+    let base = uniform_i64(N, 0, N as i64, 8);
+    let mut group = c.benchmark_group("ablation_predication");
+    group.sample_size(20);
+    group.bench_function("branchy_crack", |b| {
+        b.iter_batched(
+            || CrackerColumn::new(base.clone()),
+            |mut cracker| black_box(cracker.bound_position(N as i64 / 2)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("predicated_crack", |b| {
+        b.iter_batched(
+            || CrackerColumn::new(base.clone()),
+            |mut cracker| black_box(cracker.crack_in_two_predicated(0, N, N as i64 / 2)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_strategies,
+    bench_e2_sequential_robustness,
+    bench_ablation_crack_three,
+    bench_first_query_cost,
+    bench_ablation_predication
+);
+criterion_main!(benches);

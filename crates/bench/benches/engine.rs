@@ -1,0 +1,256 @@
+//! Database-layer and user-layer benches: adaptive loading (E4),
+//! adaptive storage (E11), SeeDB (E7), concurrency (E16) and the
+//! positional-map ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use explore_core::cracking::ConcurrentCracker;
+use explore_core::layout::{AccessOp, AdaptiveStore, StoreConfig};
+use explore_core::loading::{eager_load, AdaptiveLoader, ExternalScanner, RawCsv};
+use explore_core::storage::csv::write_csv;
+use explore_core::storage::gen::{sales_table, uniform_i64, SalesConfig};
+use explore_core::storage::{AggFunc, Predicate, Query};
+use explore_core::viz::seedb::{
+    candidate_views, recommend_naive, recommend_pruned, recommend_shared, SeedbStats,
+};
+
+fn bench_e4_loading(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 100_000,
+        ..SalesConfig::default()
+    });
+    let csv = write_csv(&t);
+    let q = Query::new()
+        .filter(Predicate::eq("region", "region0"))
+        .agg(AggFunc::Avg, "price");
+    let mut group = c.benchmark_group("e4_first_query_on_raw_file");
+    group.sample_size(10);
+    group.bench_function("eager_load_then_query", |b| {
+        b.iter(|| {
+            let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+            let loaded = eager_load(&raw).expect("load");
+            black_box(q.run(&loaded).expect("query"))
+        })
+    });
+    group.bench_function("external_scan", |b| {
+        b.iter(|| {
+            let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+            let mut scanner = ExternalScanner::new(&raw);
+            black_box(scanner.scan_columns(&["region", "price"]).expect("scan"))
+        })
+    });
+    group.bench_function("adaptive_first_query", |b| {
+        b.iter(|| {
+            let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+            let mut loader = AdaptiveLoader::new(raw);
+            black_box(loader.query(&q).expect("query"))
+        })
+    });
+    group.bench_function("adaptive_warm_query", |b| {
+        let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+        let mut loader = AdaptiveLoader::new(raw);
+        loader.query(&q).expect("warm-up");
+        b.iter(|| black_box(loader.query(&q).expect("query")))
+    });
+    group.finish();
+}
+
+fn bench_e7_seedb(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 100_000,
+        ..SalesConfig::default()
+    });
+    let target = Predicate::eq("channel", "channel0");
+    let views = candidate_views(&t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+    let mut group = c.benchmark_group("e7_seedb_strategies");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut s = SeedbStats::default();
+            black_box(recommend_naive(&t, &target, &views, 5, &mut s).expect("naive"))
+        })
+    });
+    group.bench_function("shared", |b| {
+        b.iter(|| {
+            let mut s = SeedbStats::default();
+            black_box(recommend_shared(&t, &target, &views, 5, &mut s).expect("shared"))
+        })
+    });
+    for phases in [2usize, 5, 10] {
+        group.bench_function(format!("pruned_{phases}_phases"), |b| {
+            b.iter(|| {
+                let mut s = SeedbStats::default();
+                black_box(
+                    recommend_pruned(&t, &target, &views, 5, phases, 14, &mut s)
+                        .expect("pruned"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e11_layouts(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 200_000,
+        ..SalesConfig::default()
+    });
+    let fetch = AccessOp::FetchRows {
+        start: 1000,
+        len: 100_000,
+        columns: vec!["price".into(), "discount".into(), "qty".into()],
+    };
+    let mut group = c.benchmark_group("e11_tuple_fetch_by_layout");
+    group.sample_size(20);
+    group.bench_function("columnar_static", |b| {
+        let mut store = AdaptiveStore::with_config(
+            t.clone(),
+            StoreConfig {
+                adapt_after: u64::MAX,
+                max_layouts: 0,
+            },
+        );
+        b.iter(|| black_box(store.execute(&fetch).expect("exec")))
+    });
+    group.bench_function("adaptive_converged", |b| {
+        let mut store = AdaptiveStore::new(t.clone());
+        for _ in 0..4 {
+            store.execute(&fetch).expect("warm-up");
+        }
+        b.iter(|| black_box(store.execute(&fetch).expect("exec")))
+    });
+    group.finish();
+}
+
+fn bench_e16_concurrency(c: &mut Criterion) {
+    let base = uniform_i64(500_000, 0, 500_000, 15);
+    let universe: Vec<(i64, i64)> = (0..32)
+        .map(|i| (i * 15_000, i * 15_000 + 5_000))
+        .collect();
+    let mut group = c.benchmark_group("e16_hot_queries");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}_threads_10k_queries"), |b| {
+            b.iter_batched(
+                || {
+                    let c = Arc::new(ConcurrentCracker::new(base.clone()));
+                    // Converge first.
+                    for &(lo, hi) in &universe {
+                        c.query_count(lo, hi);
+                    }
+                    c
+                },
+                |cracker| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|tid| {
+                            let c = Arc::clone(&cracker);
+                            let u = universe.clone();
+                            std::thread::spawn(move || {
+                                for i in 0..10_000 / threads {
+                                    let (lo, hi) = u[(tid + i * 7) % u.len()];
+                                    black_box(c.query_count(lo, hi));
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("worker");
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: positional-map benefit — parsing a deep column with and
+/// without earlier tokenization having populated the map.
+fn bench_ablation_positional_map(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 100_000,
+        ..SalesConfig::default()
+    });
+    let csv = write_csv(&t);
+    let mut group = c.benchmark_group("ablation_positional_map");
+    group.sample_size(10);
+    group.bench_function("qty_cold_map", |b| {
+        b.iter(|| {
+            let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+            let mut loader = AdaptiveLoader::new(raw);
+            loader.ensure_column("qty").expect("parse");
+            black_box(loader.metrics().fields_tokenized)
+        })
+    });
+    group.bench_function("qty_after_price_warmed_map", |b| {
+        // Setup (untimed) parses `price`, populating the positional map
+        // to field 3; the timed routine parses only `qty` (field 5),
+        // resuming from the recorded offsets.
+        b.iter_batched(
+            || {
+                let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
+                let mut loader = AdaptiveLoader::new(raw);
+                loader.ensure_column("price").expect("parse");
+                loader
+            },
+            |mut loader| {
+                loader.ensure_column("qty").expect("parse");
+                black_box(loader.metrics().fields_tokenized)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// E17: data-series 1-NN by strategy, post-convergence.
+fn bench_e17_series(c: &mut Criterion) {
+    use explore_core::series::{noisy_copy, random_walks, BuildMode, SeriesIndex};
+    let collection = random_walks(10_000, 64, 16);
+    let queries: Vec<Vec<f64>> = (0..20)
+        .map(|qi| noisy_copy(&collection[(qi * 499) % 10_000], 0.3, 17 + qi as u64))
+        .collect();
+    let mut group = c.benchmark_group("e17_series_nn");
+    group.sample_size(10);
+    group.bench_function("exhaustive_scan", |b| {
+        let mut idx = SeriesIndex::build(collection.clone(), 8, 64, BuildMode::Adaptive);
+        b.iter(|| {
+            for q in &queries {
+                black_box(idx.nn_scan(q));
+            }
+        })
+    });
+    group.bench_function("adaptive_converged", |b| {
+        let mut idx = SeriesIndex::build(collection.clone(), 8, 64, BuildMode::Adaptive);
+        for q in &queries {
+            idx.nn(q); // converge along the workload
+        }
+        b.iter(|| {
+            for q in &queries {
+                black_box(idx.nn(q));
+            }
+        })
+    });
+    group.bench_function("full_build_queries", |b| {
+        let mut idx = SeriesIndex::build(collection.clone(), 8, 64, BuildMode::Full);
+        b.iter(|| {
+            for q in &queries {
+                black_box(idx.nn(q));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e4_loading,
+    bench_e7_seedb,
+    bench_e11_layouts,
+    bench_e16_concurrency,
+    bench_ablation_positional_map,
+    bench_e17_series
+);
+criterion_main!(benches);

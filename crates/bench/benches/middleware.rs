@@ -1,0 +1,154 @@
+//! Middleware benches: AQP (E5/E6), prefetching (E9), diversification
+//! (E10) and synopses (E12) under Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use explore_core::aqp::{Bound, BoundedExecutor, OnlineAggregation};
+use explore_core::diversify::{mmr, swap, DivStats, Item};
+use explore_core::prefetch::{find_windows_naive, find_windows_prefix, GridIndex};
+use explore_core::sampling::SampleCatalog;
+use explore_core::storage::gen::{sales_table, sky_table, SalesConfig};
+use explore_core::storage::rng::SplitMix64;
+use explore_core::storage::{AggFunc, Predicate};
+use explore_core::synopses::{CountMinSketch, Histogram};
+
+fn bench_e5_online_aggregation(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 500_000,
+        ..SalesConfig::default()
+    });
+    let mut group = c.benchmark_group("e5_online_aggregation");
+    group.sample_size(10);
+    for target in [0.05f64, 0.01, 0.005] {
+        group.bench_with_input(
+            BenchmarkId::new("run_until", format!("{}pct", target * 100.0)),
+            &target,
+            |b, &target| {
+                b.iter(|| {
+                    let mut oa = OnlineAggregation::start(
+                        &t,
+                        &Predicate::True,
+                        AggFunc::Avg,
+                        "price",
+                        0.95,
+                        9,
+                    )
+                    .expect("start");
+                    black_box(oa.run_until(target, 2000))
+                })
+            },
+        );
+    }
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| {
+            let p = t.column("price").expect("col").as_f64().expect("f64");
+            black_box(p.iter().sum::<f64>() / p.len() as f64)
+        })
+    });
+    group.finish();
+}
+
+fn bench_e6_bounded_execution(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 500_000,
+        ..SalesConfig::default()
+    });
+    let catalog = SampleCatalog::build(&t, &[0.001, 0.01, 0.1], &[], 10).expect("catalog");
+    let ex = BoundedExecutor::new(&t, &catalog);
+    let mut group = c.benchmark_group("e6_bounded_execution");
+    for (name, bound) in [
+        ("loose_5pct", Bound::RelativeError { target: 0.05, confidence: 0.95 }),
+        ("tight_0_5pct", Bound::RelativeError { target: 0.005, confidence: 0.95 }),
+        ("budget_5k_rows", Bound::RowBudget { rows: 5000 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    ex.aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+                        .expect("aggregate"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e9_window_search(c: &mut Criterion) {
+    let sky = sky_table(200_000, 5, 1000.0, 11);
+    let grid = GridIndex::build(&sky, "x", "y", "mag", 32, 32).expect("grid");
+    let mut group = c.benchmark_group("e9_semantic_windows");
+    group.sample_size(20);
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(find_windows_naive(&grid, 3, 3, 2000)))
+    });
+    group.bench_function("prefix_shared", |b| {
+        b.iter(|| black_box(find_windows_prefix(&grid, 3, 3, 2000)))
+    });
+    group.finish();
+}
+
+fn bench_e10_diversification(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(12);
+    let items: Vec<Item> = (0..1000)
+        .map(|i| {
+            Item::new(
+                i,
+                rng.unit_f64(),
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("e10_diversification");
+    group.sample_size(20);
+    group.bench_function("mmr_k20", |b| {
+        b.iter(|| {
+            let mut stats = DivStats::default();
+            black_box(mmr(&items, 20, 0.5, &[], &mut stats))
+        })
+    });
+    group.bench_function("swap_k20", |b| {
+        b.iter(|| {
+            let mut stats = DivStats::default();
+            black_box(swap(&items, 20, 0.5, 10, &mut stats))
+        })
+    });
+    group.finish();
+}
+
+fn bench_e12_synopses(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(13);
+    let data: Vec<f64> = (0..200_000).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+    let mut group = c.benchmark_group("e12_synopses");
+    group.sample_size(20);
+    group.bench_function("build_equi_width_64", |b| {
+        b.iter(|| black_box(Histogram::equi_width(&data, 64)))
+    });
+    group.bench_function("build_equi_depth_64", |b| {
+        b.iter(|| black_box(Histogram::equi_depth(&data, 64)))
+    });
+    group.bench_function("cms_insert_200k", |b| {
+        b.iter(|| {
+            let mut cms = CountMinSketch::new(1024, 4);
+            for i in 0..200_000u64 {
+                cms.insert(i % 5000);
+            }
+            black_box(cms)
+        })
+    });
+    let hist = Histogram::equi_depth(&data, 64);
+    group.bench_function("estimate_range", |b| {
+        b.iter(|| black_box(hist.estimate_range(100.0, 300.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e5_online_aggregation,
+    bench_e6_bounded_execution,
+    bench_e9_window_search,
+    bench_e10_diversification,
+    bench_e12_synopses
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerate the experiments of EXPERIMENTS.md.
+//!
+//! ```bash
+//! cargo run --release -p explore-bench --bin reproduce -- --all
+//! cargo run --release -p explore-bench --bin reproduce -- -e e1 -e e7
+//! cargo run --release -p explore-bench --bin reproduce -- --list
+//! ```
+
+use explore_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: reproduce [--all | --list | -e <id>...]");
+        eprintln!("experiment ids:");
+        for (id, title, _) in &reg {
+            eprintln!("  {id:<4} {title}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, title, _) in &reg {
+            println!("{id:<4} {title}");
+        }
+        return;
+    }
+    let run_all = args.iter().any(|a| a == "--all");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-e" {
+            match it.next() {
+                Some(id) => wanted.push(id.to_lowercase()),
+                None => {
+                    eprintln!("-e requires an experiment id");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let mut ran = 0;
+    for (id, title, runner) in &reg {
+        if run_all || wanted.iter().any(|w| w == id) {
+            println!("================================================================");
+            println!("{id}: {title}");
+            println!("================================================================");
+            runner();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiments matched {wanted:?}; use --list");
+        std::process::exit(2);
+    }
+}

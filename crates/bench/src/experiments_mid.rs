@@ -1,0 +1,453 @@
+//! Middleware experiments: approximation (E5, E6, E12), prefetching
+//! (E9), diversification (E10) and cube exploration (E13).
+
+use explore_core::aqp::{Bound, BoundedExecutor, OnlineAggregation};
+use explore_core::cube::{CubeSession, DataCube, DiscoveryView};
+use explore_core::diversify::{mmr, objective, top_k_relevance, DivStats, DiversityCache, Item};
+use explore_core::prefetch::{find_windows_naive, find_windows_prefix, GridIndex, PanSession, Viewport};
+use explore_core::sampling::SampleCatalog;
+use explore_core::storage::gen::{sales_table, sky_table, SalesConfig};
+use explore_core::storage::rng::{SplitMix64, Zipf};
+use explore_core::storage::{AggFunc, Predicate};
+use explore_core::synopses::{CountMinSketch, Histogram, HyperLogLog, WaveletSynopsis};
+
+use crate::{timed, us};
+
+/// E5 — online aggregation: the running estimate and its ±CI as tuples
+/// stream by, plus the early-stopping point for a ±1% answer. Expected
+/// shape: half-width shrinks like 1/√n and collapses at 100% via the
+/// finite-population correction.
+pub fn e5() {
+    let rows = 2_000_000;
+    let t = sales_table(&SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    });
+    let truth = {
+        let p = t.column("price").expect("col").as_f64().expect("f64");
+        p.iter().sum::<f64>() / p.len() as f64
+    };
+    let mut oa = OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 50)
+        .expect("start");
+    println!("E5: online AVG(price) over {rows} rows (truth {truth:.3})\n");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>10}",
+        "tuples", "estimate", "±half-width", "rel. err"
+    );
+    let mut shown = 0;
+    while let Some(snap) = oa.step(20_000) {
+        shown += 1;
+        if shown <= 5 || shown % 20 == 0 || oa.is_exhausted() {
+            println!(
+                "{:>10} | {:>12.3} | {:>12.4} | {:>9.3}%",
+                snap.processed,
+                snap.interval.estimate,
+                snap.interval.half_width,
+                snap.interval.relative_error() * 100.0
+            );
+        }
+        if shown == 5 && snap.interval.relative_error() < 0.0001 {
+            break;
+        }
+    }
+    let mut oa = OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 51)
+        .expect("start");
+    let trace = oa.run_until(0.01, 5_000);
+    println!(
+        "\nearly stop at ±1%@95%: {} of {rows} tuples ({:.2}%)",
+        trace.last().expect("non-empty").processed,
+        trace.last().expect("non-empty").fraction * 100.0
+    );
+    println!("shape check: half-width ∝ 1/√n; ±1% needs a small fraction of the table.\n");
+}
+
+/// E6 — BlinkDB-style bounds: measured relative error and latency per
+/// sample fraction, then the bound-driven picks. Expected shape: error
+/// falls like 1/√(fraction); the error-bound query picks the smallest
+/// adequate sample; the row budget picks the largest affordable one.
+pub fn e6() {
+    let rows = 1_000_000;
+    let t = sales_table(&SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    });
+    let fractions = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1];
+    let catalog = SampleCatalog::build(&t, &fractions, &[("region", 500)], 60).expect("catalog");
+    let ex = BoundedExecutor::new(&t, &catalog);
+    let truth = {
+        let p = t.column("price").expect("col").as_f64().expect("f64");
+        p.iter().sum::<f64>() / p.len() as f64
+    };
+    println!("E6: AVG(price) over {rows} rows, sample ladder sweep (truth {truth:.3})\n");
+    println!(
+        "{:>10} | {:>10} | {:>12} | {:>12} | {:>12}",
+        "fraction", "rows", "estimate", "actual err", "latency"
+    );
+    for &f in &fractions {
+        let (ans, t_us) = timed(|| {
+            ex.aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RowBudget {
+                    rows: (rows as f64 * f) as usize + 1,
+                },
+            )
+            .expect("aggregate")
+        });
+        println!(
+            "{:>10} | {:>10} | {:>12.3} | {:>11.3}% | {:>12}",
+            f,
+            ans.rows_scanned,
+            ans.interval.estimate,
+            (ans.interval.estimate - truth).abs() / truth * 100.0,
+            us(t_us)
+        );
+    }
+    for target in [0.05, 0.01, 0.002] {
+        let ans = ex
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target,
+                    confidence: 0.95,
+                },
+            )
+            .expect("aggregate");
+        println!(
+            "\nerror bound ±{:.1}% → picked fraction {} ({} rows, achieved ±{:.3}%)",
+            target * 100.0,
+            ans.fraction_used,
+            ans.rows_scanned,
+            ans.interval.relative_error() * 100.0
+        );
+    }
+    println!("\nshape check: actual error shrinks ~1/√fraction; tighter bounds escalate the ladder.\n");
+}
+
+/// E9 — semantic windows + prefetching: (a) naive vs prefix-sum window
+/// search cost; (b) pan-session hit rate with and without trajectory
+/// prefetching. Expected shape: shared evaluation is one pass; prefetch
+/// turns most foreground fetches into cache hits.
+pub fn e9() {
+    let sky = sky_table(1_000_000, 8, 1000.0, 90);
+    let grid = GridIndex::build(&sky, "x", "y", "mag", 64, 64).expect("grid");
+    println!("E9: 1M-point sky, 64×64 grid\n");
+    let ((naive_hits, naive_cost), t_naive) = timed(|| find_windows_naive(&grid, 4, 4, 6000));
+    let ((prefix_hits, prefix_cost), t_prefix) = timed(|| find_windows_prefix(&grid, 4, 4, 6000));
+    assert_eq!(naive_hits.len(), prefix_hits.len());
+    println!(
+        "window search (4×4, ≥6000 objects): {} hits | naive {} ({} pts) | prefix {} ({} pts)",
+        naive_hits.len(),
+        us(t_naive),
+        naive_cost,
+        us(t_prefix),
+        prefix_cost
+    );
+
+    for prefetch in [false, true] {
+        let mut session = PanSession::new(&grid, prefetch);
+        // A drift-then-turn trajectory, 40 steps.
+        for i in 0..40i64 {
+            let (cx, cy) = if i < 20 { (i, 10 + i / 4) } else { (20 + (i - 20) / 2, 15 + (i - 20)) };
+            session.view(Viewport { cx, cy, w: 5, h: 5 });
+        }
+        let s = session.stats();
+        println!(
+            "pan session (prefetch={prefetch}): hit rate {:>5.1}% | foreground {} pts | background {} pts",
+            s.hit_rate() * 100.0,
+            s.foreground_work,
+            s.background_work
+        );
+    }
+    println!("\nshape check: prefix search touches each point once; prefetching moves fetch work off the critical path.\n");
+}
+
+/// E10 — diversification: the relevance/diversity trade-off across λ,
+/// the MMR-vs-Swap-vs-top-k objective comparison, and DivIDE-style
+/// cache reuse. Expected shape: diversity rises as λ falls; cache reuse
+/// cuts distance evaluations on overlapping queries.
+pub fn e10() {
+    let mut rng = SplitMix64::new(100);
+    let items: Vec<Item> = (0..2000)
+        .map(|i| {
+            Item::new(
+                i,
+                rng.unit_f64(),
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect();
+    let refs = |ids: &[u32]| -> Vec<&Item> {
+        ids.iter()
+            .map(|&id| items.iter().find(|i| i.id == id).expect("id"))
+            .collect()
+    };
+    println!("E10: 2000 items, k=20\n");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>12} | {:>12}",
+        "λ", "avg rel", "avg dist", "objective", "latency"
+    );
+    for &lambda in &[1.0, 0.7, 0.5, 0.3, 0.0] {
+        let mut stats = DivStats::default();
+        let (ids, t_us) = timed(|| mmr(&items, 20, lambda, &[], &mut stats));
+        let sel = refs(&ids);
+        let rel: f64 = sel.iter().map(|i| i.relevance).sum::<f64>() / sel.len() as f64;
+        let mut dist = 0.0;
+        let mut pairs = 0;
+        for i in 0..sel.len() {
+            for j in (i + 1)..sel.len() {
+                dist += sel[i].distance(sel[j]);
+                pairs += 1;
+            }
+        }
+        println!(
+            "{:>6} | {:>10.3} | {:>10.2} | {:>12.3} | {:>12}",
+            lambda,
+            rel,
+            dist / pairs as f64,
+            objective(&sel, lambda),
+            us(t_us)
+        );
+    }
+    let top = top_k_relevance(&items, 20);
+    println!(
+        "\ntop-k baseline objective at λ=0.3: {:.3}",
+        objective(&refs(&top), 0.3)
+    );
+
+    // DivIDE cache reuse over a drifting session of overlapping queries.
+    for reuse in [false, true] {
+        let mut cache = DiversityCache::new();
+        for step in 0..10usize {
+            let lo = step * 100;
+            let window: Vec<Item> = items[lo..lo + 1000].to_vec();
+            cache.diversify(&window, 20, 0.5, reuse);
+        }
+        println!(
+            "session of 10 overlapping queries (reuse={reuse}): {} distance evals, {} reused",
+            cache.stats().distance_evals,
+            cache.reused_queries
+        );
+    }
+    println!("\nshape check: λ sweeps trade relevance for spread; reuse cuts the quadratic distance work.\n");
+}
+
+/// E12 — synopsis accuracy vs space on zipfian data. Expected shape:
+/// per-family error falls with space; equi-depth beats equi-width under
+/// skew; CM-sketch never underestimates.
+pub fn e12() {
+    let n = 500_000usize;
+    let mut rng = SplitMix64::new(120);
+    let zipf = Zipf::new(10_000, 1.1);
+    let keys: Vec<usize> = (0..n).map(|_| zipf.sample(&mut rng)).collect();
+    let data: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+    let probes: Vec<(f64, f64)> = (0..50)
+        .map(|i| (i as f64 * 100.0, i as f64 * 100.0 + 400.0))
+        .collect();
+
+    println!("E12: {n} zipfian values (10k distinct, s=1.1)\n");
+    println!(
+        "{:>14} | {:>10} | {:>14}",
+        "synopsis", "space", "mean rel. err"
+    );
+    for buckets in [16usize, 64, 256] {
+        let ew = Histogram::equi_width(&data, buckets);
+        let ed = Histogram::equi_depth(&data, buckets);
+        println!(
+            "{:>14} | {:>10} | {:>13.3}%",
+            "equi-width",
+            buckets,
+            ew.range_error(&data, &probes) * 100.0
+        );
+        println!(
+            "{:>14} | {:>10} | {:>13.3}%",
+            "equi-depth",
+            buckets,
+            ed.range_error(&data, &probes) * 100.0
+        );
+    }
+    for coeffs in [32usize, 128, 512] {
+        // Wavelet over the key-frequency vector.
+        let mut freq = vec![0.0; 10_000];
+        for &k in &keys {
+            freq[k] += 1.0;
+        }
+        let w = WaveletSynopsis::build(&freq, coeffs);
+        let err: f64 = probes
+            .iter()
+            .map(|&(lo, hi)| {
+                let truth: f64 = freq[lo as usize..(hi as usize).min(10_000)].iter().sum();
+                (w.range_sum(lo as usize, hi as usize) - truth).abs() / truth.max(1.0)
+            })
+            .sum::<f64>()
+            / probes.len() as f64;
+        println!("{:>14} | {:>10} | {:>13.3}%", "haar wavelet", coeffs, err * 100.0);
+    }
+    for (w, d) in [(64usize, 4usize), (256, 4), (1024, 4)] {
+        let mut cms = CountMinSketch::new(w, d);
+        for &k in &keys {
+            cms.insert(k as u64);
+        }
+        let mut freq = std::collections::HashMap::new();
+        for &k in &keys {
+            *freq.entry(k).or_insert(0u64) += 1;
+        }
+        let err: f64 = (0..100)
+            .map(|k| {
+                let truth = freq.get(&k).copied().unwrap_or(0) as f64;
+                (cms.estimate(k as u64) as f64 - truth) / truth.max(1.0)
+            })
+            .sum::<f64>()
+            / 100.0;
+        println!(
+            "{:>14} | {:>10} | {:>13.3}%",
+            "count-min",
+            w * d,
+            err * 100.0
+        );
+    }
+    for p in [8u32, 12, 14] {
+        let mut hll = HyperLogLog::new(p);
+        for &k in &keys {
+            hll.insert(k as u64);
+        }
+        let distinct = {
+            let mut ks = keys.clone();
+            ks.sort_unstable();
+            ks.dedup();
+            ks.len() as f64
+        };
+        println!(
+            "{:>14} | {:>10} | {:>13.3}%",
+            "hyperloglog",
+            1usize << p,
+            (hll.estimate() - distinct).abs() / distinct * 100.0
+        );
+    }
+    println!("\nshape check: error decreases with space within each family; equi-depth dominates equi-width under skew.\n");
+}
+
+/// E13 — cube exploration: (a) discovery-driven navigation finds the
+/// injected anomaly immediately; (b) DICE speculation turns lattice
+/// moves into cache hits. Expected shape from \[54, 35\].
+pub fn e13() {
+    let t = sales_table(&SalesConfig {
+        rows: 200_000,
+        regions: 10,
+        products: 12,
+        ..SalesConfig::default()
+    });
+    let (view, t_disc) = timed(|| {
+        DiscoveryView::build(&t, "region", "product", "price").expect("view")
+    });
+    println!("E13: 200k-row cube, dims region×product×channel\n");
+    println!("discovery-driven scoring in {}; top exceptions:", us(t_disc));
+    for c in view.exceptions(0.0).iter().take(3) {
+        println!(
+            "   ({}, {}): surprise {:+.1}",
+            c.dim_a, c.dim_b, c.surprise
+        );
+    }
+    let path: Vec<Vec<&str>> = vec![
+        vec![],
+        vec!["region"],
+        vec!["region", "product"],
+        vec!["product"],
+        vec!["channel", "product"],
+        vec!["product"],
+    ];
+    for speculate in [false, true] {
+        let cube = DataCube::new(
+            t.clone(),
+            &["region", "product", "channel"],
+            "price",
+            AggFunc::Sum,
+        )
+        .expect("cube");
+        let mut session = CubeSession::new(cube, speculate);
+        let (_, t_total) = timed(|| {
+            for step in &path {
+                session.navigate(step).expect("navigate");
+            }
+        });
+        let s = session.stats();
+        println!(
+            "session (speculate={speculate}): {} hits / {} misses, {} speculative cuboids, total {}",
+            s.hits, s.misses, s.speculative_work, us(t_total)
+        );
+    }
+    println!("\nshape check: speculation converts every lattice-neighbor move into a hit (at background cost).\n");
+}
+
+/// E18 — speculative execution of neighbor queries: hit rate and
+/// foreground latency of an exploration session (pan/zoom sequences of
+/// range aggregates) with and without background speculation. Expected
+/// shape: neighbor moves become cache hits; total computed work rises
+/// (speculation is not free), but it happens off the critical path.
+pub fn e18() {
+    use explore_core::prefetch::{RangeRequest, SpeculativeExecutor};
+    let t = sales_table(&SalesConfig {
+        rows: 500_000,
+        ..SalesConfig::default()
+    });
+    // A plausible session over qty ∈ [1, 9]: pan right, zoom out, pan.
+    let session: Vec<(i64, i64)> = vec![
+        (1, 3),
+        (3, 5), // pan right
+        (5, 7), // pan right
+        (4, 8), // zoom out
+        (2, 4), // jump
+        (4, 6), // pan right
+        (4, 6), // revisit
+        (5, 7), // revisit of step 3
+    ];
+    println!("E18: 500k rows, 8-step pan/zoom session of SUM(price) range queries
+");
+    println!(
+        "{:>12} | {:>10} | {:>14} | {:>14} | {:>12}",
+        "speculation", "hit rate", "foreground", "background", "cached"
+    );
+    for budget in [0usize, 2, 4] {
+        let ex = SpeculativeExecutor::new(&t, budget);
+        let mut foreground = 0.0;
+        for &(lo, hi) in &session {
+            let req = RangeRequest {
+                column: "qty".into(),
+                low: lo,
+                high: hi,
+                func: AggFunc::Sum,
+                measure: "price".into(),
+            };
+            let (_, dt) = timed(|| ex.execute(&req).expect("execute"));
+            foreground += dt;
+        }
+        let s = ex.stats();
+        println!(
+            "{:>12} | {:>9.0}% | {:>14} | {:>14} | {:>12}",
+            format!("budget {budget}"),
+            s.hit_rate() * 100.0,
+            us(foreground),
+            format!("{} runs", s.speculative_runs),
+            ex.cached()
+        );
+    }
+    println!("
+shape check: higher budgets turn pans/zooms into hits; foreground time includes the speculation executed synchronously here — a real deployment runs it during think time.
+");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_runs() {
+        super::e10();
+    }
+
+    #[test]
+    fn e13_runs() {
+        super::e13();
+    }
+}

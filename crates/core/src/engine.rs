@@ -1,0 +1,476 @@
+//! The `ExploreDb` facade: one engine wiring every layer of the
+//! tutorial's stack together.
+//!
+//! A downstream user registers tables (in memory or as raw CSV), and the
+//! engine provides, per table:
+//!
+//! * exact queries (through the storage executor, or through the NoDB
+//!   loader for raw tables);
+//! * adaptive range indexes that crack themselves along the workload;
+//! * a sample catalog with error/time-bounded approximate aggregation;
+//! * online aggregation with live confidence intervals;
+//! * SeeDB view recommendation, faceted recommendations and
+//!   explore-by-example sessions.
+
+use std::collections::HashMap;
+
+use explore_aqp::{
+    Bound, BoundedAnswer, BoundedExecutor, OnlineAggregation, SynopsisAnswer, SynopsisStore,
+};
+use explore_cracking::CrackerColumn;
+use explore_loading::{AdaptiveLoader, RawCsv};
+use explore_sampling::SampleCatalog;
+use explore_storage::{
+    AggFunc, Catalog, Predicate, Query, Result, StorageError, Table,
+};
+use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
+
+/// The unified exploration engine.
+#[derive(Debug, Default)]
+pub struct ExploreDb {
+    catalog: Catalog,
+    /// Raw (not-yet-loaded) tables served by the adaptive loader.
+    raw: HashMap<String, AdaptiveLoader>,
+    /// Adaptive range indexes, keyed by (table, column).
+    crackers: HashMap<(String, String), CrackerColumn>,
+    /// Sample catalogs for approximate execution.
+    samples: HashMap<String, SampleCatalog>,
+    /// AQUA-style synopsis stores for zero-touch estimation.
+    synopses: HashMap<String, SynopsisStore>,
+}
+
+impl ExploreDb {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        ExploreDb::default()
+    }
+
+    /// Register an in-memory table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register(name, table);
+    }
+
+    /// Attach a raw CSV file; queries against it run through the NoDB
+    /// adaptive loader until the workload has loaded it.
+    pub fn attach_raw(&mut self, name: impl Into<String>, raw: RawCsv) {
+        self.raw.insert(name.into(), AdaptiveLoader::new(raw));
+    }
+
+    /// Registered table names (in-memory, then raw).
+    pub fn tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.names().iter().map(|s| s.to_string()).collect();
+        names.extend(self.raw.keys().cloned());
+        names.sort();
+        names
+    }
+
+    /// Borrow an in-memory table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.catalog.get(name)
+    }
+
+    /// Run an exact query, routing to the right storage path.
+    pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
+        if let Some(loader) = self.raw.get_mut(table) {
+            return loader.query(query);
+        }
+        query.run(self.catalog.get(table)?)
+    }
+
+    /// Progress of invisible loading for a raw table (columns loaded,
+    /// total columns), or `None` for in-memory tables.
+    pub fn loading_progress(&self, table: &str) -> Option<(usize, usize)> {
+        self.raw
+            .get(table)
+            .map(|l| (l.columns_loaded(), l.schema().len()))
+    }
+
+    /// Range query through the adaptive index: first call cracks (cost ≈
+    /// scan), later calls converge to index speed. The column must be
+    /// Int64.
+    pub fn cracked_range(
+        &mut self,
+        table: &str,
+        column: &str,
+        low: i64,
+        high: i64,
+    ) -> Result<Vec<u32>> {
+        let key = (table.to_owned(), column.to_owned());
+        if !self.crackers.contains_key(&key) {
+            let t = self.catalog.get(table)?;
+            let col = t.column(column)?;
+            let values = col
+                .as_i64()
+                .ok_or_else(|| StorageError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: "Int64",
+                    found: col.data_type().name(),
+                })?
+                .to_vec();
+            self.crackers.insert(key.clone(), CrackerColumn::new(values));
+        }
+        let cracker = self.crackers.get_mut(&key).expect("just inserted");
+        Ok(cracker.query_ids(low, high).to_vec())
+    }
+
+    /// Pieces the adaptive index on (table, column) currently has —
+    /// observability for convergence.
+    pub fn index_pieces(&self, table: &str, column: &str) -> Option<usize> {
+        self.crackers
+            .get(&(table.to_owned(), column.to_owned()))
+            .map(CrackerColumn::num_pieces)
+    }
+
+    /// Build (or rebuild) the sample catalog enabling approximate
+    /// queries on a table.
+    pub fn build_samples(
+        &mut self,
+        table: &str,
+        fractions: &[f64],
+        stratify_on: &[(&str, usize)],
+        seed: u64,
+    ) -> Result<()> {
+        let t = self.catalog.get(table)?;
+        let catalog = SampleCatalog::build(t, fractions, stratify_on, seed)?;
+        self.samples.insert(table.to_owned(), catalog);
+        Ok(())
+    }
+
+    /// BlinkDB-style bounded approximate aggregate. Requires
+    /// [`build_samples`](Self::build_samples) first.
+    pub fn approx_aggregate(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        bound: Bound,
+    ) -> Result<BoundedAnswer> {
+        let t = self.catalog.get(table)?;
+        let samples = self.samples.get(table).ok_or_else(|| {
+            StorageError::InvalidQuery(format!(
+                "no sample catalog for {table}; call build_samples first"
+            ))
+        })?;
+        BoundedExecutor::new(t, samples).aggregate(predicate, func, column, bound)
+    }
+
+    /// Start an online aggregation whose confidence interval the caller
+    /// can watch shrink.
+    pub fn online_aggregate(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        confidence: f64,
+        seed: u64,
+    ) -> Result<OnlineAggregation> {
+        OnlineAggregation::start(self.catalog.get(table)?, predicate, func, column, confidence, seed)
+    }
+
+    /// SeeDB: recommend the `k` most deviating views of `target` rows
+    /// vs the rest of the table, using the shared-scan strategy.
+    pub fn recommend_views(
+        &self,
+        table: &str,
+        target: &Predicate,
+        k: usize,
+    ) -> Result<Vec<ScoredView>> {
+        let t = self.catalog.get(table)?;
+        let views = candidate_views(t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        let mut stats = SeedbStats::default();
+        recommend_shared(t, target, &views, k, &mut stats)
+    }
+
+    /// Build (or rebuild) the AQUA-style synopsis store for a table.
+    pub fn build_synopses(&mut self, table: &str, buckets: usize) -> Result<()> {
+        let t = self.catalog.get(table)?;
+        self.synopses
+            .insert(table.to_owned(), SynopsisStore::build(t, buckets));
+        Ok(())
+    }
+
+    /// Estimate `COUNT(*) WHERE low <= column < high` from synopses
+    /// alone (no base-data access). Requires `build_synopses` first.
+    pub fn estimate_range_count(
+        &self,
+        table: &str,
+        column: &str,
+        low: f64,
+        high: f64,
+    ) -> Result<SynopsisAnswer> {
+        self.synopsis_store(table)?.range_count(column, low, high)
+    }
+
+    /// Estimate `COUNT(*) WHERE column = value` for a string column.
+    pub fn estimate_point_count(
+        &self,
+        table: &str,
+        column: &str,
+        value: &str,
+    ) -> Result<SynopsisAnswer> {
+        self.synopsis_store(table)?.point_count(column, value)
+    }
+
+    /// Estimate `COUNT(DISTINCT column)` for a string column.
+    pub fn estimate_distinct(&self, table: &str, column: &str) -> Result<SynopsisAnswer> {
+        self.synopsis_store(table)?.distinct_count(column)
+    }
+
+    fn synopsis_store(&self, table: &str) -> Result<&SynopsisStore> {
+        self.synopses.get(table).ok_or_else(|| {
+            StorageError::InvalidQuery(format!(
+                "no synopses for {table}; call build_synopses first"
+            ))
+        })
+    }
+
+    /// YmalDB-style facets: attribute values over-represented in the
+    /// rows matching `predicate`, ranked by lift.
+    pub fn facets(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        min_support: usize,
+        k: usize,
+    ) -> Result<Vec<explore_explore::Facet>> {
+        let t = self.catalog.get(table)?;
+        let rows = predicate.evaluate(t)?;
+        explore_explore::faceted_recommendations(t, &rows, min_support, k)
+    }
+
+    /// Diversified top-k rows: relevance from a numeric column, pairwise
+    /// distance over numeric feature columns, MMR with trade-off λ.
+    /// Returns base-table row ids.
+    pub fn diversified_topk(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        relevance_col: &str,
+        feature_cols: &[&str],
+        k: usize,
+        lambda: f64,
+    ) -> Result<Vec<u32>> {
+        let t = self.catalog.get(table)?;
+        let rows = predicate.evaluate(t)?;
+        let rel = t.column(relevance_col)?;
+        let feats: Vec<&explore_storage::Column> = feature_cols
+            .iter()
+            .map(|c| t.column(c))
+            .collect::<Result<_>>()?;
+        let mut items = Vec::with_capacity(rows.len());
+        for &row in &rows {
+            let r = row as usize;
+            let relevance =
+                rel.numeric_at(r)
+                    .ok_or_else(|| StorageError::TypeMismatch {
+                        column: relevance_col.to_owned(),
+                        expected: "numeric",
+                        found: rel.data_type().name(),
+                    })?;
+            let features = feats
+                .iter()
+                .enumerate()
+                .map(|(fi, c)| {
+                    c.numeric_at(r).ok_or_else(|| StorageError::TypeMismatch {
+                        column: feature_cols[fi].to_owned(),
+                        expected: "numeric",
+                        found: c.data_type().name(),
+                    })
+                })
+                .collect::<Result<Vec<f64>>>()?;
+            items.push(explore_diversify::Item::new(row, relevance, features));
+        }
+        let mut stats = explore_diversify::DivStats::default();
+        Ok(explore_diversify::mmr(&items, k, lambda, &[], &mut stats))
+    }
+
+    /// VizDeck: deal the top-`k` chart proposals for a table.
+    pub fn propose_charts(
+        &self,
+        table: &str,
+        k: usize,
+    ) -> Result<Vec<explore_viz::ChartProposal>> {
+        explore_viz::propose_charts(self.catalog.get(table)?, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::csv::write_csv;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    fn engine_with_sales(rows: usize) -> ExploreDb {
+        let mut db = ExploreDb::new();
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows,
+                ..SalesConfig::default()
+            }),
+        );
+        db
+    }
+
+    #[test]
+    fn exact_queries_route_to_memory_and_raw() {
+        let t = sales_table(&SalesConfig {
+            rows: 300,
+            ..SalesConfig::default()
+        });
+        let mut db = ExploreDb::new();
+        db.register("mem", t.clone());
+        db.attach_raw("raw", RawCsv::new(write_csv(&t), t.schema().clone()).unwrap());
+        let q = Query::new()
+            .filter(Predicate::eq("region", "region0"))
+            .agg(AggFunc::Count, "qty");
+        let a = db.query("mem", &q).unwrap();
+        let b = db.query("raw", &q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.tables(), vec!["mem", "raw"]);
+        assert_eq!(db.loading_progress("mem"), None);
+        let (loaded, total) = db.loading_progress("raw").unwrap();
+        assert_eq!(total, 6);
+        assert!(loaded >= 2, "region + qty touched");
+    }
+
+    #[test]
+    fn cracked_range_matches_scan_and_converges() {
+        let mut db = engine_with_sales(5000);
+        let ids = db.cracked_range("sales", "qty", 3, 7).unwrap();
+        let scan = Predicate::range("qty", 3i64, 7i64)
+            .evaluate(db.table("sales").unwrap())
+            .unwrap();
+        let mut got = ids.clone();
+        got.sort_unstable();
+        assert_eq!(got, scan);
+        let p1 = db.index_pieces("sales", "qty").unwrap();
+        db.cracked_range("sales", "qty", 2, 5).unwrap();
+        assert!(db.index_pieces("sales", "qty").unwrap() >= p1);
+        assert!(db.index_pieces("sales", "price").is_none());
+    }
+
+    #[test]
+    fn cracking_non_int_column_errors() {
+        let mut db = engine_with_sales(100);
+        assert!(db.cracked_range("sales", "price", 0, 1).is_err());
+        assert!(db.cracked_range("nope", "qty", 0, 1).is_err());
+    }
+
+    #[test]
+    fn approximate_aggregation_via_catalog() {
+        let mut db = engine_with_sales(50_000);
+        assert!(db
+            .approx_aggregate(
+                "sales",
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RowBudget { rows: 1000 },
+            )
+            .is_err(), "needs samples first");
+        db.build_samples("sales", &[0.01, 0.1], &[("region", 100)], 7)
+            .unwrap();
+        let ans = db
+            .approx_aggregate(
+                "sales",
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.05,
+                    confidence: 0.95,
+                },
+            )
+            .unwrap();
+        let truth = {
+            let p = db
+                .table("sales")
+                .unwrap()
+                .column("price")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            p.iter().sum::<f64>() / p.len() as f64
+        };
+        assert!((ans.interval.estimate - truth).abs() / truth < 0.1);
+    }
+
+    #[test]
+    fn online_aggregation_runs() {
+        let db = engine_with_sales(20_000);
+        let mut oa = db
+            .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 3)
+            .unwrap();
+        let trace = oa.run_until(0.02, 500);
+        assert!(!trace.is_empty());
+        assert!(trace.last().unwrap().processed < 20_000);
+    }
+
+    #[test]
+    fn facets_surface_the_selected_value() {
+        let db = engine_with_sales(10_000);
+        let facets = db
+            .facets("sales", &Predicate::eq("channel", "channel1"), 10, 5)
+            .unwrap();
+        let top = facets.iter().find(|f| f.column == "channel").unwrap();
+        assert_eq!(top.value, "channel1");
+        assert!(top.lift > 1.0);
+        assert!(db.facets("nope", &Predicate::True, 1, 5).is_err());
+    }
+
+    #[test]
+    fn diversified_topk_returns_distinct_rows() {
+        let db = engine_with_sales(5_000);
+        let ids = db
+            .diversified_topk(
+                "sales",
+                &Predicate::True,
+                "price",
+                &["price", "discount", "qty"],
+                10,
+                0.4,
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 10);
+        let set: std::collections::HashSet<u32> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        // λ=1 must return the plain top-k by relevance.
+        let plain = db
+            .diversified_topk("sales", &Predicate::True, "price", &["qty"], 5, 1.0)
+            .unwrap();
+        let t = db.table("sales").unwrap();
+        let prices = t.column("price").unwrap().as_f64().unwrap();
+        let mut by_price: Vec<u32> = (0..t.num_rows() as u32).collect();
+        by_price.sort_by(|&a, &b| prices[b as usize].total_cmp(&prices[a as usize]));
+        let mut a = plain.clone();
+        a.sort_unstable();
+        let mut b = by_price[..5].to_vec();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // String feature columns error.
+        assert!(db
+            .diversified_topk("sales", &Predicate::True, "region", &["qty"], 5, 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn chart_proposals_rank() {
+        let db = engine_with_sales(2_000);
+        let deck = db.propose_charts("sales", 5).unwrap();
+        assert_eq!(deck.len(), 5);
+        assert!(deck.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn view_recommendation_returns_ranked_views() {
+        let db = engine_with_sales(10_000);
+        let views = db
+            .recommend_views("sales", &Predicate::eq("product", "product0"), 5)
+            .unwrap();
+        assert_eq!(views.len(), 5);
+        assert!(views.windows(2).all(|w| w[0].utility >= w[1].utility));
+    }
+}

@@ -1,0 +1,60 @@
+//! # explore-core
+//!
+//! The unified data-exploration engine reproducing *Overview of Data
+//! Exploration Techniques* (Idreos, Papaemmanouil, Chaudhuri — SIGMOD
+//! 2015). The tutorial surveys how database systems are being rebuilt
+//! for exploration across three layers; this workspace implements a
+//! representative system from every cluster of its Table 1 and wires
+//! them into one engine:
+//!
+//! | Layer | Cluster | Crate |
+//! |---|---|---|
+//! | User Interaction | visual optimizations, view recommendation | `explore-viz` |
+//! | User Interaction | explore-by-example, query discovery, gestures | `explore-explore` |
+//! | Middleware | prefetching, semantic windows, diversification | `explore-prefetch`, `explore-diversify` |
+//! | Middleware | approximate query processing | `explore-aqp`, `explore-sampling`, `explore-synopses` |
+//! | Database Layer | adaptive indexing (cracking) | `explore-cracking` |
+//! | Database Layer | adaptive loading (NoDB) | `explore-loading` |
+//! | Database Layer | adaptive storage (H2O) | `explore-layout` |
+//! | Database Layer | cube exploration | `explore-cube` |
+//!
+//! [`ExploreDb`] is the façade; [`taxonomy`] regenerates the paper's
+//! Table 1 (the tutorial's only figure/table) from structured metadata.
+//!
+//! ```
+//! use explore_core::ExploreDb;
+//! use explore_storage::{gen, AggFunc, Predicate, Query};
+//!
+//! let mut db = ExploreDb::new();
+//! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
+//! let result = db.query(
+//!     "sales",
+//!     &Query::new().group("region").agg(AggFunc::Avg, "price"),
+//! ).unwrap();
+//! assert!(result.num_rows() > 0);
+//! ```
+
+pub mod engine;
+pub mod language;
+pub mod taxonomy;
+
+pub use engine::ExploreDb;
+pub use language::{parse, ExplorationSession, Outcome, Statement};
+pub use taxonomy::{render_table1, table1, Cluster, Layer};
+
+// Re-export the technique crates so `explore-core` is a one-stop
+// dependency for downstream users (the root `exploration` package and
+// the examples rely on this).
+pub use explore_aqp as aqp;
+pub use explore_cracking as cracking;
+pub use explore_cube as cube;
+pub use explore_diversify as diversify;
+pub use explore_explore as interact;
+pub use explore_layout as layout;
+pub use explore_loading as loading;
+pub use explore_prefetch as prefetch;
+pub use explore_sampling as sampling;
+pub use explore_series as series;
+pub use explore_storage as storage;
+pub use explore_synopses as synopses;
+pub use explore_viz as viz;

@@ -1,0 +1,197 @@
+//! Baselines the cracking literature compares against:
+//! a plain scan (no index, no investment) and a fully sorted index
+//! (maximum up-front investment, optimal per-query cost).
+
+use explore_storage::rng::SplitMix64;
+
+/// No-index baseline: every query is a full scan.
+#[derive(Debug, Clone)]
+pub struct ScanBaseline {
+    values: Vec<i64>,
+}
+
+impl ScanBaseline {
+    /// Wrap a base column.
+    pub fn new(values: Vec<i64>) -> Self {
+        ScanBaseline { values }
+    }
+
+    /// Row ids with `low <= v < high`, by exhaustive scan.
+    pub fn query_ids(&self, low: i64, high: i64) -> Vec<u32> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= low && v < high)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Count of qualifying values, by exhaustive scan.
+    pub fn query_count(&self, low: i64, high: i64) -> usize {
+        self.values.iter().filter(|&&v| v >= low && v < high).count()
+    }
+}
+
+/// Full-index baseline: sort once up front, then binary-search per query.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    /// (value, original row id), sorted by value.
+    entries: Vec<(i64, u32)>,
+}
+
+impl SortedIndex {
+    /// Sort the column (the expensive up-front step cracking amortizes).
+    pub fn build(values: &[i64]) -> Self {
+        let mut entries: Vec<(i64, u32)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        entries.sort_unstable();
+        SortedIndex { entries }
+    }
+
+    /// The position range `[start, end)` of values in `[low, high)`.
+    pub fn range(&self, low: i64, high: i64) -> (usize, usize) {
+        if low >= high {
+            return (0, 0);
+        }
+        let start = self.entries.partition_point(|&(v, _)| v < low);
+        let end = self.entries.partition_point(|&(v, _)| v < high);
+        (start, end)
+    }
+
+    /// Row ids of qualifying values (order unspecified).
+    pub fn query_ids(&self, low: i64, high: i64) -> Vec<u32> {
+        let (s, e) = self.range(low, high);
+        self.entries[s..e].iter().map(|&(_, id)| id).collect()
+    }
+
+    /// Count of qualifying values.
+    pub fn query_count(&self, low: i64, high: i64) -> usize {
+        let (s, e) = self.range(low, high);
+        e - s
+    }
+}
+
+/// A generator of range-query workloads over an integer domain, shared by
+/// the cracking experiments. Patterns mirror the stochastic-cracking paper:
+/// `Random` is the friendly case, `Sequential` is the adversarial case that
+/// defeats standard cracking, `Skewed` focuses on a hot sub-range, and
+/// `ZoomIn` repeatedly halves into a target region (an exploration session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPattern {
+    Random,
+    Sequential,
+    Skewed,
+    ZoomIn,
+}
+
+/// Produce `count` half-open ranges of width `width` over `[0, domain)`.
+pub fn workload(
+    pattern: QueryPattern,
+    domain: i64,
+    width: i64,
+    count: usize,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(count);
+    match pattern {
+        QueryPattern::Random => {
+            for _ in 0..count {
+                let lo = rng.range_i64(0, (domain - width).max(1));
+                out.push((lo, lo + width));
+            }
+        }
+        QueryPattern::Sequential => {
+            // March left-to-right in non-overlapping steps, wrapping.
+            let steps = ((domain - width).max(1) / width.max(1)).max(1);
+            for i in 0..count {
+                let lo = (i as i64 % steps) * width;
+                out.push((lo, lo + width));
+            }
+        }
+        QueryPattern::Skewed => {
+            // 90% of queries hit the first 10% of the domain.
+            let hot = (domain / 10).max(width + 1);
+            for _ in 0..count {
+                let lo = if rng.bernoulli(0.9) {
+                    rng.range_i64(0, (hot - width).max(1))
+                } else {
+                    rng.range_i64(0, (domain - width).max(1))
+                };
+                out.push((lo, lo + width));
+            }
+        }
+        QueryPattern::ZoomIn => {
+            let (mut lo, mut hi) = (0i64, domain);
+            for _ in 0..count {
+                out.push((lo, hi));
+                let mid = lo + (hi - lo) / 2;
+                if rng.bernoulli(0.5) {
+                    hi = mid.max(lo + width);
+                } else {
+                    lo = mid.min(hi - width);
+                }
+                if hi - lo <= width {
+                    lo = 0;
+                    hi = domain;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::uniform_i64;
+
+    #[test]
+    fn scan_and_sorted_agree() {
+        let base = uniform_i64(5000, 0, 1000, 1);
+        let scan = ScanBaseline::new(base.clone());
+        let idx = SortedIndex::build(&base);
+        for (lo, hi) in [(0, 10), (100, 400), (990, 1000), (500, 500), (700, 600)] {
+            assert_eq!(scan.query_count(lo, hi), idx.query_count(lo, hi));
+            let mut a = scan.query_ids(lo, hi);
+            let mut b = idx.query_ids(lo, hi);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sorted_index_range_bounds() {
+        let idx = SortedIndex::build(&[5, 1, 3, 3, 9]);
+        assert_eq!(idx.range(3, 6), (1, 4)); // 3,3,5
+        assert_eq!(idx.query_count(0, 100), 5);
+        assert_eq!(idx.query_count(6, 9), 0);
+        assert_eq!(idx.range(9, 9), (0, 0));
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let d = 10_000;
+        for p in [
+            QueryPattern::Random,
+            QueryPattern::Sequential,
+            QueryPattern::Skewed,
+            QueryPattern::ZoomIn,
+        ] {
+            let w = workload(p, d, 100, 200, 1);
+            assert_eq!(w.len(), 200);
+            assert!(w.iter().all(|&(lo, hi)| lo < hi && lo >= 0 && hi <= d));
+        }
+        // Sequential queries advance monotonically at first.
+        let w = workload(QueryPattern::Sequential, d, 100, 10, 1);
+        assert!(w.windows(2).all(|p| p[0].0 < p[1].0));
+        // Skewed: most queries land in the hot range.
+        let w = workload(QueryPattern::Skewed, d, 50, 1000, 2);
+        let hot = w.iter().filter(|&&(lo, _)| lo < d / 10).count();
+        assert!(hot > 800, "hot count {hot}");
+    }
+}

@@ -1,0 +1,410 @@
+//! Hybrid adaptive indexing (Idreos, Manegold, Kuno, Graefe — PVLDB'11):
+//! "merging what's cracked, cracking what's merged".
+//!
+//! Pure cracking converges slowly (every query only adds two boundaries);
+//! a full sort converges instantly but makes the first query enormously
+//! expensive. Hybrid Crack Sort (HCS) splits the column into *initial
+//! partitions* that are **cracked** on query bounds, and per query moves
+//! the qualifying values out of each initial partition into a *final
+//! partition* kept sorted. The first query costs about a scan (like
+//! cracking), queried ranges become fully sorted immediately (like a
+//! sort), and — because the initial partitions are cracked — later
+//! queries only touch the partition pieces their ranges map to, not the
+//! whole leftovers.
+
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Work counters for the hybrid index, comparable to
+/// [`CrackStats`](crate::cracker::CrackStats).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Elements inspected (partition cracking + draining).
+    pub touched: u64,
+    /// Elements moved into the final partition.
+    pub merged: u64,
+    /// Comparisons spent sorting fetched values (n log n accounted as n·log₂n).
+    pub sort_work: u64,
+}
+
+/// One cracked initial partition supporting range *drain*: extract and
+/// remove all (value, id) pairs in `[low, high)`, touching only the
+/// pieces the cracker index maps the range to.
+#[derive(Debug, Clone)]
+struct CrackedPartition {
+    data: Vec<(i64, u32)>,
+    /// Boundary value → first position with value >= boundary.
+    index: BTreeMap<i64, usize>,
+}
+
+impl CrackedPartition {
+    fn new(data: Vec<(i64, u32)>) -> Self {
+        CrackedPartition {
+            data,
+            index: BTreeMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Crack at `bound` and return its position. Counts work in `stats`.
+    fn bound_position(&mut self, bound: i64, stats: &mut HybridStats) -> usize {
+        if let Some(&p) = self.index.get(&bound) {
+            return p;
+        }
+        let start = self
+            .index
+            .range(..=bound)
+            .next_back()
+            .map_or(0, |(_, &p)| p);
+        let end = self
+            .index
+            .range((Excluded(bound), Unbounded))
+            .next()
+            .map_or(self.data.len(), |(_, &p)| p);
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            if self.data[lo].0 < bound {
+                lo += 1;
+            } else {
+                hi -= 1;
+                self.data.swap(lo, hi);
+            }
+        }
+        stats.touched += (end - start) as u64;
+        self.index.insert(bound, lo);
+        lo
+    }
+
+    /// Copy out every pair with value in `[low, high)`. The source
+    /// pieces are left in place — the global coverage bookkeeping
+    /// guarantees they are never fetched again, so deferring the
+    /// physical removal (as production HCS implementations do) avoids
+    /// O(tail) shifting per query. Returns the copied pairs and the
+    /// count migrated.
+    fn copy_range(&mut self, low: i64, high: i64, stats: &mut HybridStats) -> &[(i64, u32)] {
+        if low >= high || self.data.is_empty() {
+            return &[];
+        }
+        let s = self.bound_position(low, stats);
+        let e = self.bound_position(high, stats);
+        &self.data[s..e]
+    }
+
+    /// Test-only invariant check.
+    #[cfg(test)]
+    fn check(&self) -> bool {
+        for (&v, &p) in &self.index {
+            if self.data[..p].iter().any(|&(x, _)| x >= v) {
+                return false;
+            }
+            if self.data[p..].iter().any(|&(x, _)| x < v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Hybrid Crack Sort adaptive index over an integer column.
+#[derive(Debug, Clone)]
+pub struct HybridCrackSort {
+    /// Cracked initial partitions. Migrated values are left in place
+    /// (coverage bookkeeping masks them); `migrated` counts them.
+    initial: Vec<CrackedPartition>,
+    /// Values copied into the final partition so far.
+    migrated: usize,
+    /// The adaptively grown final partition, stored as sorted runs that
+    /// are compacted once their count exceeds a threshold ("merging
+    /// what's cracked" is lazy, exactly like the paper's merge phase).
+    runs: Vec<Vec<(i64, u32)>>,
+    /// Value ranges already migrated into the final runs (disjoint,
+    /// sorted).
+    covered: Vec<(i64, i64)>,
+    stats: HybridStats,
+}
+
+/// Compact the final partition when it fragments into this many runs.
+const MAX_RUNS: usize = 16;
+
+impl HybridCrackSort {
+    /// Build over a base column, splitting it into `partitions` initial
+    /// chunks (the paper sizes chunks to fit L2; any fixed count
+    /// preserves the algorithm's shape).
+    pub fn new(values: &[i64], partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        let chunk = values.len().div_ceil(partitions).max(1);
+        let initial = values
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, vs)| {
+                CrackedPartition::new(
+                    vs.iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, (ci * chunk + i) as u32))
+                        .collect(),
+                )
+            })
+            .collect();
+        HybridCrackSort {
+            initial,
+            migrated: 0,
+            runs: Vec::new(),
+            covered: Vec::new(),
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Number of values not yet migrated to the final partition.
+    pub fn pending(&self) -> usize {
+        self.initial.iter().map(CrackedPartition::len).sum::<usize>() - self.migrated
+    }
+
+    /// Number of values migrated into the sorted final partition.
+    pub fn finalized(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    /// Answer `low <= v < high`, returning qualifying row ids.
+    pub fn query_ids(&mut self, low: i64, high: i64) -> Vec<u32> {
+        if low >= high {
+            return Vec::new();
+        }
+        self.ensure_covered(low, high);
+        let mut out = Vec::new();
+        for run in &self.runs {
+            let start = run.partition_point(|&(v, _)| v < low);
+            let end = run.partition_point(|&(v, _)| v < high);
+            out.extend(run[start..end].iter().map(|&(_, id)| id));
+        }
+        out
+    }
+
+    /// Count qualifying values.
+    pub fn query_count(&mut self, low: i64, high: i64) -> usize {
+        if low >= high {
+            return 0;
+        }
+        self.ensure_covered(low, high);
+        self.runs
+            .iter()
+            .map(|run| {
+                run.partition_point(|&(v, _)| v < high)
+                    - run.partition_point(|&(v, _)| v < low)
+            })
+            .sum()
+    }
+
+    /// Make sure every value in `[low, high)` has been migrated into the
+    /// final partition, draining initial partitions only for the
+    /// uncovered sub-ranges (and only in the pieces cracking maps them
+    /// to).
+    fn ensure_covered(&mut self, low: i64, high: i64) {
+        let gaps = self.uncovered_gaps(low, high);
+        if gaps.is_empty() {
+            return;
+        }
+        let mut fetched: Vec<(i64, u32)> = Vec::new();
+        for &(a, b) in &gaps {
+            for part in &mut self.initial {
+                fetched.extend_from_slice(part.copy_range(a, b, &mut self.stats));
+            }
+        }
+        self.migrated += fetched.len();
+        if !fetched.is_empty() {
+            fetched.sort_unstable();
+            let n = fetched.len() as u64;
+            self.stats.sort_work += n * (64 - n.leading_zeros() as u64).max(1);
+            self.stats.merged += n;
+            self.runs.push(fetched);
+            if self.runs.len() > MAX_RUNS {
+                self.compact();
+            }
+        }
+        self.mark_covered(low, high);
+    }
+
+    /// Merge every run into one (k-way via sort of the concatenation;
+    /// amortized cost is bounded because compaction halves run count
+    /// geometrically under the MAX_RUNS policy).
+    fn compact(&mut self) {
+        let total: usize = self.runs.iter().map(Vec::len).sum();
+        let mut all = Vec::with_capacity(total);
+        for run in self.runs.drain(..) {
+            all.extend(run);
+        }
+        all.sort_unstable();
+        let n = all.len() as u64;
+        self.stats.sort_work += n * (64 - n.leading_zeros() as u64).max(1);
+        self.runs.push(all);
+    }
+
+    /// Sub-ranges of `[low, high)` not yet covered.
+    fn uncovered_gaps(&self, low: i64, high: i64) -> Vec<(i64, i64)> {
+        let mut gaps = Vec::new();
+        let mut cursor = low;
+        for &(a, b) in &self.covered {
+            if b <= cursor {
+                continue;
+            }
+            if a >= high {
+                break;
+            }
+            if a > cursor {
+                gaps.push((cursor, a.min(high)));
+            }
+            cursor = cursor.max(b);
+            if cursor >= high {
+                break;
+            }
+        }
+        if cursor < high {
+            gaps.push((cursor, high));
+        }
+        gaps
+    }
+
+    /// Record `[low, high)` as covered, coalescing adjacent intervals.
+    fn mark_covered(&mut self, low: i64, high: i64) {
+        self.covered.push((low, high));
+        self.covered.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::with_capacity(self.covered.len());
+        for &(a, b) in &self.covered {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        self.covered = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{workload, QueryPattern, ScanBaseline};
+    use explore_storage::gen::uniform_i64;
+
+    #[test]
+    fn results_match_scan_over_random_workload() {
+        let base = uniform_i64(20_000, 0, 5000, 1);
+        let scan = ScanBaseline::new(base.clone());
+        let mut h = HybridCrackSort::new(&base, 16);
+        for (lo, hi) in workload(QueryPattern::Random, 5000, 150, 150, 2) {
+            let mut got = h.query_ids(lo, hi);
+            got.sort_unstable();
+            assert_eq!(got, scan.query_ids(lo, hi), "range {lo}..{hi}");
+        }
+        for p in &h.initial {
+            assert!(p.check());
+        }
+    }
+
+    #[test]
+    fn repeated_range_is_free_after_first() {
+        let base = uniform_i64(50_000, 0, 10_000, 3);
+        let mut h = HybridCrackSort::new(&base, 16);
+        h.query_ids(1000, 2000);
+        let after_first = h.stats();
+        h.query_ids(1000, 2000);
+        h.query_ids(1200, 1800); // sub-range also covered
+        assert_eq!(h.stats().touched, after_first.touched);
+        assert_eq!(h.stats().merged, after_first.merged);
+    }
+
+    #[test]
+    fn overlapping_ranges_fetch_only_gaps() {
+        let base = uniform_i64(50_000, 0, 10_000, 4);
+        let scan = ScanBaseline::new(base.clone());
+        let mut h = HybridCrackSort::new(&base, 8);
+        h.query_ids(1000, 2000);
+        let merged_first = h.stats().merged;
+        let got = h.query_ids(1500, 2500); // only [2000,2500) is new
+        assert_eq!(got.len(), scan.query_count(1500, 2500));
+        let newly = h.stats().merged - merged_first;
+        assert_eq!(newly as usize, scan.query_count(2000, 2500));
+    }
+
+    #[test]
+    fn cracked_partitions_bound_later_query_work() {
+        // The point of "crack the initial partitions": after the first
+        // query cracks them, a query in a *different* value region only
+        // touches the pieces that region maps to — not all leftovers.
+        let n = 1_000_000;
+        let base = uniform_i64(n, 0, 1_000_000, 5);
+        let mut h = HybridCrackSort::new(&base, 4);
+        h.query_count(0, 1000);
+        let after_first = h.stats().touched;
+        assert!(after_first >= n as u64, "first query cracks everything");
+        // 50 more narrow queries: each should touch far less than n.
+        for i in 1..=50 {
+            let lo = (i * 17_000) as i64 % 900_000;
+            h.query_count(lo, lo + 1000);
+        }
+        // Re-querying covered ranges afterwards is free — the payoff of
+        // cracked initial partitions + interval bookkeeping.
+        let before_repeat = h.stats().touched;
+        for i in 1..=50 {
+            let lo = (i * 17_000) as i64 % 900_000;
+            h.query_count(lo, lo + 1000);
+        }
+        assert_eq!(h.stats().touched, before_repeat, "revisits are free");
+    }
+
+    #[test]
+    fn drains_toward_full_index() {
+        let base = uniform_i64(10_000, 0, 1000, 5);
+        let mut h = HybridCrackSort::new(&base, 4);
+        assert_eq!(h.pending(), 10_000);
+        h.query_ids(0, 1001);
+        assert_eq!(h.pending(), 0);
+        assert_eq!(h.finalized(), 10_000);
+        // Every final run is sorted.
+        assert!(h
+            .runs
+            .iter()
+            .all(|run| run.windows(2).all(|w| w[0] <= w[1])));
+    }
+
+    #[test]
+    fn covered_interval_bookkeeping() {
+        let base = uniform_i64(1000, 0, 100, 6);
+        let mut h = HybridCrackSort::new(&base, 2);
+        h.query_ids(10, 20);
+        h.query_ids(30, 40);
+        assert_eq!(h.uncovered_gaps(0, 50), vec![(0, 10), (20, 30), (40, 50)]);
+        h.query_ids(15, 35); // bridges the two
+        assert_eq!(h.covered, vec![(10, 40)]);
+        assert!(h.uncovered_gaps(12, 38).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut h = HybridCrackSort::new(&[], 4);
+        assert!(h.query_ids(0, 10).is_empty());
+        let mut h = HybridCrackSort::new(&[5], 100);
+        assert_eq!(h.query_ids(5, 6), vec![0]);
+        assert_eq!(h.query_count(7, 3), 0);
+    }
+
+    #[test]
+    fn partition_drain_preserves_invariants() {
+        let base = uniform_i64(5000, 0, 500, 7);
+        let mut h = HybridCrackSort::new(&base, 3);
+        let scan = ScanBaseline::new(base);
+        for (lo, hi) in workload(QueryPattern::ZoomIn, 500, 20, 60, 8) {
+            assert_eq!(h.query_count(lo, hi), scan.query_count(lo, hi));
+            for p in &h.initial {
+                assert!(p.check(), "after range {lo}..{hi}");
+            }
+        }
+    }
+}

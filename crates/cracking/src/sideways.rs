@@ -1,0 +1,242 @@
+//! Sideways cracking / self-organizing tuple reconstruction
+//! (Idreos, Kersten, Manegold — SIGMOD'09).
+//!
+//! Cracking one column physically reorders it, so fetching *other*
+//! attributes of qualifying tuples would require random access through the
+//! id permutation — exactly the tuple-reconstruction cost that hurts
+//! late-materialization column stores. Sideways cracking maintains
+//! *cracker maps*: for a (head, tail) attribute pair, the tail's values
+//! are stored alongside the head and are swapped in lockstep with every
+//! crack, so after any query the qualifying tuples' tail values are a
+//! contiguous slice — projection becomes a memcpy.
+
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// A cracker map for one (head: i64, tail: f64) attribute pair.
+#[derive(Debug, Clone)]
+pub struct CrackerMap {
+    head: Vec<i64>,
+    tail: Vec<f64>,
+    ids: Vec<u32>,
+    index: BTreeMap<i64, usize>,
+}
+
+impl CrackerMap {
+    /// Build a map over aligned head/tail columns.
+    ///
+    /// # Panics
+    /// Panics when the columns differ in length.
+    pub fn new(head: Vec<i64>, tail: Vec<f64>) -> Self {
+        assert_eq!(head.len(), tail.len(), "head/tail must align");
+        let ids = (0..head.len() as u32).collect();
+        CrackerMap {
+            head,
+            tail,
+            ids,
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Answer `low <= head < high` and return the *contiguous* tail
+    /// slice of qualifying tuples — the paper's headline property.
+    pub fn query_tail(&mut self, low: i64, high: i64) -> &[f64] {
+        let (s, e) = self.query(low, high);
+        &self.tail[s..e]
+    }
+
+    /// Row ids of qualifying tuples.
+    pub fn query_ids(&mut self, low: i64, high: i64) -> &[u32] {
+        let (s, e) = self.query(low, high);
+        &self.ids[s..e]
+    }
+
+    /// Aggregate the tail over the qualifying range without materializing
+    /// anything: the selection + projection + aggregation pipeline of a
+    /// column store collapses into one slice sum.
+    pub fn query_tail_sum(&mut self, low: i64, high: i64) -> f64 {
+        let (s, e) = self.query(low, high);
+        self.tail[s..e].iter().sum()
+    }
+
+    /// Position range for `[low, high)`, cracking head and tail together.
+    pub fn query(&mut self, low: i64, high: i64) -> (usize, usize) {
+        if low >= high || self.head.is_empty() {
+            return (0, 0);
+        }
+        let p_lo = self.bound_position(low);
+        let p_hi = self.bound_position(high);
+        (p_lo, p_hi)
+    }
+
+    fn bound_position(&mut self, bound: i64) -> usize {
+        if let Some(&p) = self.index.get(&bound) {
+            return p;
+        }
+        let start = self
+            .index
+            .range(..=bound)
+            .next_back()
+            .map_or(0, |(_, &p)| p);
+        let end = self
+            .index
+            .range((Excluded(bound), Unbounded))
+            .next()
+            .map_or(self.head.len(), |(_, &p)| p);
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            if self.head[lo] < bound {
+                lo += 1;
+            } else {
+                hi -= 1;
+                self.head.swap(lo, hi);
+                self.tail.swap(lo, hi);
+                self.ids.swap(lo, hi);
+            }
+        }
+        self.index.insert(bound, lo);
+        lo
+    }
+
+    /// Test-only invariant check: head/tail/ids move together and the
+    /// boundary property holds.
+    pub fn check_invariants(&self, base_head: &[i64], base_tail: &[f64]) -> bool {
+        for (pos, &id) in self.ids.iter().enumerate() {
+            if self.head[pos] != base_head[id as usize]
+                || self.tail[pos] != base_tail[id as usize]
+            {
+                return false;
+            }
+        }
+        for (&v, &p) in &self.index {
+            if self.head[..p].iter().any(|&x| x >= v) || self.head[p..].iter().any(|&x| x < v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A set of cracker maps sharing one head attribute — the "map set" of
+/// the sideways-cracking paper, supporting multi-attribute projections
+/// with each tail self-organizing independently under the same head.
+#[derive(Debug, Default)]
+pub struct MapSet {
+    maps: Vec<(String, CrackerMap)>,
+}
+
+impl MapSet {
+    /// Create an empty map set.
+    pub fn new() -> Self {
+        MapSet::default()
+    }
+
+    /// Register a (head, tail) map under the tail attribute's name.
+    pub fn add_map(&mut self, tail_name: impl Into<String>, head: Vec<i64>, tail: Vec<f64>) {
+        self.maps.push((tail_name.into(), CrackerMap::new(head, tail)));
+    }
+
+    /// Names of registered tails.
+    pub fn tails(&self) -> Vec<&str> {
+        self.maps.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Sum one tail attribute over a head range.
+    pub fn sum(&mut self, tail_name: &str, low: i64, high: i64) -> Option<f64> {
+        self.maps
+            .iter_mut()
+            .find(|(n, _)| n == tail_name)
+            .map(|(_, m)| m.query_tail_sum(low, high))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{uniform_f64, uniform_i64};
+    use explore_storage::rng::SplitMix64;
+
+    #[test]
+    fn tail_slice_matches_scan() {
+        let head = uniform_i64(5000, 0, 1000, 1);
+        let tail = uniform_f64(5000, 0.0, 1.0, 2);
+        let mut m = CrackerMap::new(head.clone(), tail.clone());
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let a = rng.range_i64(0, 1000);
+            let b = rng.range_i64(0, 1000);
+            let (lo, hi) = (a.min(b), a.max(b) + 1);
+            let mut got: Vec<f64> = m.query_tail(lo, hi).to_vec();
+            let mut want: Vec<f64> = head
+                .iter()
+                .zip(&tail)
+                .filter(|(&h, _)| h >= lo && h < hi)
+                .map(|(_, &t)| t)
+                .collect();
+            got.sort_by(f64::total_cmp);
+            want.sort_by(f64::total_cmp);
+            assert_eq!(got, want, "range {lo}..{hi}");
+        }
+        assert!(m.check_invariants(&head, &tail));
+    }
+
+    #[test]
+    fn tail_sum_matches_scan() {
+        let head = uniform_i64(2000, 0, 100, 4);
+        let tail = uniform_f64(2000, 0.0, 10.0, 5);
+        let mut m = CrackerMap::new(head.clone(), tail.clone());
+        let want: f64 = head
+            .iter()
+            .zip(&tail)
+            .filter(|(&h, _)| (20..60).contains(&h))
+            .map(|(_, &t)| t)
+            .sum();
+        assert!((m.query_tail_sum(20, 60) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_set_multiple_tails() {
+        let head = uniform_i64(1000, 0, 50, 6);
+        let t1 = uniform_f64(1000, 0.0, 1.0, 7);
+        let t2 = uniform_f64(1000, 0.0, 1.0, 8);
+        let mut set = MapSet::new();
+        set.add_map("price", head.clone(), t1.clone());
+        set.add_map("qty", head.clone(), t2.clone());
+        assert_eq!(set.tails(), vec!["price", "qty"]);
+        let want: f64 = head
+            .iter()
+            .zip(&t2)
+            .filter(|(&h, _)| (10..30).contains(&h))
+            .map(|(_, &t)| t)
+            .sum();
+        assert!((set.sum("qty", 10, 30).unwrap() - want).abs() < 1e-9);
+        assert!(set.sum("missing", 0, 1).is_none());
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut m = CrackerMap::new(vec![], vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.query(0, 10), (0, 0));
+        let mut m = CrackerMap::new(vec![1, 2], vec![0.5, 1.5]);
+        assert_eq!(m.query(5, 2), (0, 0));
+        assert_eq!(m.query_tail(1, 3).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_columns_panic() {
+        let _ = CrackerMap::new(vec![1], vec![]);
+    }
+}

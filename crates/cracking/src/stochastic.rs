@@ -1,0 +1,220 @@
+//! Stochastic cracking (Halim, Idreos, Karras, Yap — PVLDB'12).
+//!
+//! Standard cracking only ever cracks at the exact query bounds, so a
+//! *sequential* workload (each query slightly to the right of the last)
+//! leaves one huge uncracked piece that every query re-scans — per-query
+//! cost never improves. Stochastic cracking fixes this by investing in
+//! additional *data-driven* cracks whenever a query bound lands in a
+//! piece that is still large:
+//!
+//! * **DDR** (data-driven random): crack large pieces at pivots sampled
+//!   uniformly from the piece's data.
+//! * **DDC** (data-driven center): crack large pieces at the midpoint of
+//!   the piece's known value interval, halving it like a binary search.
+
+use explore_storage::rng::SplitMix64;
+
+use crate::cracker::{CrackStats, CrackerColumn};
+
+/// Which auxiliary-pivot policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StochasticVariant {
+    /// Random pivots drawn from the piece's own values.
+    Ddr,
+    /// Center of the piece's value interval.
+    Ddc,
+}
+
+/// A cracker column that keeps its pieces balanced with auxiliary cracks.
+#[derive(Debug, Clone)]
+pub struct StochasticCracker {
+    column: CrackerColumn,
+    variant: StochasticVariant,
+    rng: SplitMix64,
+    /// Pieces at or below this size are left alone.
+    min_piece: usize,
+    /// Global value bounds, used by DDC when a piece side is unbounded.
+    domain: (i64, i64),
+}
+
+impl StochasticCracker {
+    /// Wrap a base column. `min_piece` is the piece-size threshold below
+    /// which no auxiliary cracking happens (the paper's "crack until
+    /// pieces are cheap to scan"); 1024 is a reasonable default.
+    pub fn new(values: Vec<i64>, variant: StochasticVariant, min_piece: usize, seed: u64) -> Self {
+        let domain = match (values.iter().min(), values.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0, 0),
+        };
+        StochasticCracker {
+            column: CrackerColumn::new(values),
+            variant,
+            rng: SplitMix64::new(seed),
+            min_piece: min_piece.max(2),
+            domain,
+        }
+    }
+
+    /// The underlying cracker column.
+    pub fn column(&self) -> &CrackerColumn {
+        &self.column
+    }
+
+    /// Work counters (includes auxiliary cracks).
+    pub fn stats(&self) -> CrackStats {
+        self.column.stats()
+    }
+
+    /// Answer `low <= v < high`, investing in auxiliary cracks first.
+    pub fn query(&mut self, low: i64, high: i64) -> (usize, usize) {
+        self.refine_around(low);
+        self.refine_around(high);
+        self.column.query(low, high)
+    }
+
+    /// Row ids of qualifying values.
+    pub fn query_ids(&mut self, low: i64, high: i64) -> &[u32] {
+        let (s, e) = self.query(low, high);
+        &self.column.ids()[s..e]
+    }
+
+    /// Count of qualifying values.
+    pub fn query_count(&mut self, low: i64, high: i64) -> usize {
+        let (s, e) = self.query(low, high);
+        e - s
+    }
+
+    /// Shrink the piece containing `bound` below the threshold by
+    /// repeatedly cracking it with data-driven pivots.
+    fn refine_around(&mut self, bound: i64) {
+        // Bounded iterations: each successful crack at least shrinks the
+        // value interval; duplicate-heavy pieces may refuse to split, so
+        // bail out rather than loop.
+        for _ in 0..64 {
+            let (start, end) = self.column.piece_for(bound);
+            if end - start <= self.min_piece {
+                return;
+            }
+            let pivot = match self.variant {
+                StochasticVariant::Ddr => {
+                    let pos = start + self.rng.below((end - start) as u64) as usize;
+                    self.column.values()[pos]
+                }
+                StochasticVariant::Ddc => {
+                    let (lo, hi) = self.column.piece_value_bounds(bound);
+                    let lo = lo.unwrap_or(self.domain.0);
+                    let hi = hi.unwrap_or(self.domain.1.saturating_add(1));
+                    lo.midpoint(hi)
+                }
+            };
+            let (before_s, before_e) = (start, end);
+            self.column.crack_at(pivot);
+            let (after_s, after_e) = self.column.piece_for(bound);
+            if (after_s, after_e) == (before_s, before_e) {
+                // No progress (e.g. all-equal piece); stop investing.
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{workload, QueryPattern, ScanBaseline};
+    use explore_storage::gen::uniform_i64;
+
+    fn check_against_scan(variant: StochasticVariant) {
+        let base = uniform_i64(20_000, 0, 10_000, 1);
+        let scan = ScanBaseline::new(base.clone());
+        let mut c = StochasticCracker::new(base, variant, 256, 2);
+        for (lo, hi) in workload(QueryPattern::Random, 10_000, 200, 100, 3) {
+            let mut got: Vec<u32> = c.query_ids(lo, hi).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, scan.query_ids(lo, hi), "range {lo}..{hi}");
+        }
+        assert!(c.column().check_invariants());
+    }
+
+    #[test]
+    fn ddr_results_match_scan() {
+        check_against_scan(StochasticVariant::Ddr);
+    }
+
+    #[test]
+    fn ddc_results_match_scan() {
+        check_against_scan(StochasticVariant::Ddc);
+    }
+
+    #[test]
+    fn sequential_workload_pieces_stay_bounded() {
+        // The headline claim of the paper (experiment E2): under a
+        // sequential pattern, standard cracking leaves a giant piece,
+        // stochastic cracking does not.
+        let n = 100_000;
+        let base = uniform_i64(n, 0, n as i64, 4);
+        let queries = workload(QueryPattern::Sequential, n as i64, 1000, 60, 5);
+
+        let mut standard = CrackerColumn::new(base.clone());
+        for &(lo, hi) in &queries {
+            standard.query(lo, hi);
+        }
+        let mut ddr = StochasticCracker::new(base, StochasticVariant::Ddr, 1024, 6);
+        for &(lo, hi) in &queries {
+            ddr.query(lo, hi);
+        }
+        let std_max = standard.max_piece();
+        let ddr_max = ddr.column().max_piece();
+        assert!(
+            ddr_max * 2 < std_max,
+            "DDR max piece {ddr_max} not ≪ standard {std_max}"
+        );
+    }
+
+    #[test]
+    fn sequential_tail_work_is_lower_than_standard() {
+        let n = 200_000;
+        let base = uniform_i64(n, 0, n as i64, 7);
+        let queries = workload(QueryPattern::Sequential, n as i64, 2000, 80, 8);
+
+        let tail_touched = |touched: &[u64]| -> u64 { touched[40..].iter().sum() };
+
+        let mut standard = CrackerColumn::new(base.clone());
+        let mut std_touched = Vec::new();
+        let mut prev = 0;
+        for &(lo, hi) in &queries {
+            standard.query(lo, hi);
+            std_touched.push(standard.stats().touched - prev);
+            prev = standard.stats().touched;
+        }
+        let mut ddc = StochasticCracker::new(base, StochasticVariant::Ddc, 1024, 9);
+        let mut ddc_touched = Vec::new();
+        prev = 0;
+        for &(lo, hi) in &queries {
+            ddc.query(lo, hi);
+            ddc_touched.push(ddc.stats().touched - prev);
+            prev = ddc.stats().touched;
+        }
+        assert!(
+            tail_touched(&ddc_touched) * 2 < tail_touched(&std_touched),
+            "DDC tail {} vs standard tail {}",
+            tail_touched(&ddc_touched),
+            tail_touched(&std_touched)
+        );
+    }
+
+    #[test]
+    fn all_equal_column_terminates() {
+        let mut c = StochasticCracker::new(vec![7; 10_000], StochasticVariant::Ddr, 16, 1);
+        assert_eq!(c.query_count(7, 8), 10_000);
+        assert_eq!(c.query_count(0, 7), 0);
+        let mut c = StochasticCracker::new(vec![7; 10_000], StochasticVariant::Ddc, 16, 1);
+        assert_eq!(c.query_count(7, 8), 10_000);
+    }
+
+    #[test]
+    fn empty_column() {
+        let mut c = StochasticCracker::new(vec![], StochasticVariant::Ddc, 16, 1);
+        assert_eq!(c.query(0, 100), (0, 0));
+    }
+}

@@ -1,0 +1,169 @@
+//! DICE-style speculative cube exploration (Jayachandran, Tunga, Kamat,
+//! Nandi — PVLDB'14 \[35\]; distributed cube exploration \[37\]).
+//!
+//! DICE's observation: cube interactions are *session-shaped* — after
+//! looking at a cuboid, the user overwhelmingly moves to a lattice
+//! neighbor (drill-down, roll-up, pivot). So while the user is thinking,
+//! the system speculatively executes the neighbors; when the next
+//! interaction arrives it is usually a cache hit and feels instant.
+
+use explore_storage::{Result, Table};
+
+use crate::lattice::DataCube;
+
+/// Statistics of a speculative exploration session.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SessionStats {
+    /// Interactions answered from cache (speculation wins).
+    pub hits: u64,
+    /// Interactions that had to compute on the spot.
+    pub misses: u64,
+    /// Cuboids computed speculatively (background work).
+    pub speculative_work: u64,
+}
+
+impl SessionStats {
+    /// Cache-hit rate across interactions.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An interactive cube session with optional speculation.
+#[derive(Debug)]
+pub struct CubeSession {
+    cube: DataCube,
+    speculate: bool,
+    stats: SessionStats,
+}
+
+impl CubeSession {
+    /// Start a session. With `speculate = false` the session behaves as
+    /// the non-speculative baseline for experiment E13.
+    pub fn new(cube: DataCube, speculate: bool) -> Self {
+        CubeSession {
+            cube,
+            speculate,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &DataCube {
+        &self.cube
+    }
+
+    /// The user navigates to a cuboid. Returns the cuboid; afterwards
+    /// (modeling the user's think time) the session speculatively
+    /// materializes all lattice neighbors.
+    pub fn navigate(&mut self, group_dims: &[&str]) -> Result<Table> {
+        let before = self.cube.computed();
+        let result = self.cube.cuboid(group_dims)?.clone();
+        if self.cube.computed() > before {
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        if self.speculate {
+            let neighbors = self.cube.neighbors(group_dims);
+            for n in neighbors {
+                let refs: Vec<&str> = n.iter().map(String::as_str).collect();
+                let before = self.cube.computed();
+                self.cube.cuboid(&refs)?;
+                if self.cube.computed() > before {
+                    self.stats.speculative_work += 1;
+                    // Speculative computations should not count as
+                    // foreground misses; they already didn't (we only
+                    // count in navigate()), but they do consume the
+                    // cube's computed counter — tracked separately.
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::AggFunc;
+
+    fn cube() -> DataCube {
+        let t = sales_table(&SalesConfig {
+            rows: 2000,
+            ..SalesConfig::default()
+        });
+        DataCube::new(t, &["region", "product", "channel"], "price", AggFunc::Sum).unwrap()
+    }
+
+    /// A plausible drill-down session: total → region → region×product →
+    /// region (roll-up) → region×channel (pivot).
+    fn session_path() -> Vec<Vec<&'static str>> {
+        vec![
+            vec![],
+            vec!["region"],
+            vec!["region", "product"],
+            vec!["region"],
+            vec!["channel", "region"],
+        ]
+    }
+
+    #[test]
+    fn speculation_turns_neighbor_moves_into_hits() {
+        let mut spec = CubeSession::new(cube(), true);
+        for step in session_path() {
+            spec.navigate(&step).unwrap();
+        }
+        let s = spec.stats();
+        // Every move after the first is a lattice neighbor of its
+        // predecessor, so all are hits.
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.hits, 4, "{s:?}");
+        assert!(s.speculative_work > 0);
+    }
+
+    #[test]
+    fn baseline_without_speculation_misses() {
+        let mut base = CubeSession::new(cube(), false);
+        for step in session_path() {
+            base.navigate(&step).unwrap();
+        }
+        let s = base.stats();
+        assert_eq!(s.speculative_work, 0);
+        // Only the revisit of ["region"] hits.
+        assert_eq!(s.hits, 1, "{s:?}");
+        assert_eq!(s.misses, 4, "{s:?}");
+        assert!(s.hit_rate() < 0.5);
+    }
+
+    #[test]
+    fn results_are_identical_with_and_without_speculation() {
+        let mut a = CubeSession::new(cube(), true);
+        let mut b = CubeSession::new(cube(), false);
+        for step in session_path() {
+            assert_eq!(a.navigate(&step).unwrap(), b.navigate(&step).unwrap());
+        }
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = SessionStats {
+            hits: 3,
+            misses: 1,
+            speculative_work: 5,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SessionStats::default().hit_rate(), 0.0);
+    }
+}

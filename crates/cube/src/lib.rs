@@ -1,0 +1,33 @@
+//! # explore-cube
+//!
+//! Data-cube exploration — the OLAP thread running through the
+//! tutorial's Middleware section (discovery-driven exploration \[54, 55\],
+//! DICE \[35\], distributed cube exploration \[37\]):
+//!
+//! * [`lattice`] — lazily materialized group-by lattice with caching and
+//!   lattice-neighbor enumeration.
+//! * [`discovery`] — Sarawagi-style surprise scores: independence-model
+//!   residuals flag exceptional cells and rank drill-down targets.
+//! * [`dice`] — speculative sessions that pre-materialize lattice
+//!   neighbors during user think time, converting navigation into cache
+//!   hits.
+//!
+//! ```
+//! use explore_cube::{CubeSession, DataCube};
+//! use explore_storage::{gen, AggFunc};
+//!
+//! let t = gen::sales_table(&gen::SalesConfig::default());
+//! let cube = DataCube::new(t, &["region", "product"], "price", AggFunc::Sum).unwrap();
+//! let mut session = CubeSession::new(cube, true);
+//! session.navigate(&[]).unwrap();          // grand total (miss)
+//! session.navigate(&["region"]).unwrap();  // speculated → hit
+//! assert_eq!(session.stats().hits, 1);
+//! ```
+
+pub mod dice;
+pub mod discovery;
+pub mod lattice;
+
+pub use dice::{CubeSession, SessionStats};
+pub use discovery::{CellScore, DiscoveryView};
+pub use lattice::DataCube;

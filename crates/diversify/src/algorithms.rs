@@ -1,0 +1,226 @@
+//! Diversification algorithms: top-k baseline, MMR greedy, and Swap
+//! (Vieira et al., "On query result diversification", ICDE'11 \[65\]).
+
+use crate::item::{objective, Item};
+
+/// Work metric: pairwise distance evaluations (the dominant cost of all
+/// diversification algorithms, and what DivIDE's caching saves).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DivStats {
+    pub distance_evals: u64,
+}
+
+/// Pure relevance ranking: the no-diversity baseline.
+pub fn top_k_relevance(items: &[Item], k: usize) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .relevance
+            .total_cmp(&items[a].relevance)
+            .then(items[a].id.cmp(&items[b].id))
+    });
+    order.truncate(k);
+    order.into_iter().map(|i| items[i].id).collect()
+}
+
+/// Maximal Marginal Relevance greedy selection: repeatedly add the item
+/// maximizing `λ·relevance + (1-λ)·min-distance-to-selected`.
+/// Optionally seeded with already-chosen ids (DivIDE cache reuse).
+pub fn mmr(
+    items: &[Item],
+    k: usize,
+    lambda: f64,
+    seed_ids: &[u32],
+    stats: &mut DivStats,
+) -> Vec<u32> {
+    let k = k.min(items.len());
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut remaining: Vec<usize> = (0..items.len()).collect();
+    // Apply seeds first (ignoring unknown ids).
+    for &sid in seed_ids {
+        if selected.len() >= k {
+            break;
+        }
+        if let Some(pos) = remaining.iter().position(|&i| items[i].id == sid) {
+            selected.push(remaining.swap_remove(pos));
+        }
+    }
+    // Start from the most relevant item when unseeded.
+    if selected.is_empty() && k > 0 {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| items[a].relevance.total_cmp(&items[b].relevance))
+            .map(|(pos, _)| pos);
+        if let Some(pos) = best {
+            selected.push(remaining.swap_remove(pos));
+        }
+    }
+    while selected.len() < k && !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let mut min_d = f64::INFINITY;
+            for &s in &selected {
+                min_d = min_d.min(items[cand].distance(&items[s]));
+                stats.distance_evals += 1;
+            }
+            let score = lambda * items[cand].relevance + (1.0 - lambda) * min_d;
+            if score > best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        selected.push(remaining.swap_remove(best_pos));
+    }
+    selected.into_iter().map(|i| items[i].id).collect()
+}
+
+/// The Swap algorithm: start from top-k relevance, then greedily swap in
+/// outside items whenever the bi-criteria [`objective`] improves.
+pub fn swap(
+    items: &[Item],
+    k: usize,
+    lambda: f64,
+    max_rounds: usize,
+    stats: &mut DivStats,
+) -> Vec<u32> {
+    let k = k.min(items.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].relevance.total_cmp(&items[a].relevance));
+    let mut selected: Vec<usize> = order[..k].to_vec();
+    let mut outside: Vec<usize> = order[k..].to_vec();
+    let eval = |sel: &[usize], stats: &mut DivStats| -> f64 {
+        let refs: Vec<&Item> = sel.iter().map(|&i| &items[i]).collect();
+        stats.distance_evals += (sel.len() * sel.len().saturating_sub(1) / 2) as u64;
+        objective(&refs, lambda)
+    };
+    let mut current = eval(&selected, stats);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        #[allow(clippy::needless_range_loop)]
+        'outer: for oi in 0..outside.len() {
+            for si in 0..selected.len() {
+                std::mem::swap(&mut selected[si], &mut outside[oi]);
+                let candidate = eval(&selected, stats);
+                if candidate > current + 1e-12 {
+                    current = candidate;
+                    improved = true;
+                    break 'outer;
+                }
+                std::mem::swap(&mut selected[si], &mut outside[oi]);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    selected.into_iter().map(|i| items[i].id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::rng::SplitMix64;
+
+    /// Clustered items: high-relevance items all sit in one tight
+    /// cluster; other clusters hold lower-relevance items.
+    fn clustered_items() -> Vec<Item> {
+        let mut rng = SplitMix64::new(1);
+        let mut items = Vec::new();
+        for c in 0..5 {
+            let center = (c as f64) * 10.0;
+            let rel_base = if c == 0 { 0.9 } else { 0.5 - 0.05 * c as f64 };
+            for i in 0..20 {
+                items.push(Item::new(
+                    (c * 20 + i) as u32,
+                    rel_base + 0.01 * rng.unit_f64(),
+                    vec![center + rng.gaussian() * 0.3, rng.gaussian() * 0.3],
+                ));
+            }
+        }
+        items
+    }
+
+    fn by_ids<'a>(items: &'a [Item], ids: &[u32]) -> Vec<&'a Item> {
+        ids.iter()
+            .map(|&id| items.iter().find(|i| i.id == id).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn top_k_is_pure_relevance() {
+        let items = clustered_items();
+        let ids = top_k_relevance(&items, 10);
+        assert_eq!(ids.len(), 10);
+        // All from the high-relevance cluster 0 (ids < 20).
+        assert!(ids.iter().all(|&id| id < 20));
+    }
+
+    #[test]
+    fn mmr_trades_relevance_for_spread() {
+        let items = clustered_items();
+        let mut stats = DivStats::default();
+        let div_ids = mmr(&items, 10, 0.3, &[], &mut stats);
+        let top_ids = top_k_relevance(&items, 10);
+        let lambda = 0.3;
+        let div_obj = objective(&by_ids(&items, &div_ids), lambda);
+        let top_obj = objective(&by_ids(&items, &top_ids), lambda);
+        assert!(div_obj > top_obj, "MMR {div_obj} vs top-k {top_obj}");
+        // MMR should cover multiple clusters.
+        let clusters: std::collections::HashSet<u32> =
+            div_ids.iter().map(|id| id / 20).collect();
+        assert!(clusters.len() >= 3, "covered {clusters:?}");
+        assert!(stats.distance_evals > 0);
+    }
+
+    #[test]
+    fn lambda_one_equals_topk_set() {
+        let items = clustered_items();
+        let mut stats = DivStats::default();
+        let mut a = mmr(&items, 10, 1.0, &[], &mut stats);
+        let mut b = top_k_relevance(&items, 10);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_improves_over_topk() {
+        let items = clustered_items();
+        let mut stats = DivStats::default();
+        let lambda = 0.3;
+        let sw = swap(&items, 10, lambda, 50, &mut stats);
+        assert_eq!(sw.len(), 10);
+        let sw_obj = objective(&by_ids(&items, &sw), lambda);
+        let top_obj = objective(&by_ids(&items, &top_k_relevance(&items, 10)), lambda);
+        assert!(sw_obj >= top_obj, "swap {sw_obj} vs top {top_obj}");
+    }
+
+    #[test]
+    fn seeded_mmr_respects_and_reuses_seeds() {
+        let items = clustered_items();
+        let mut stats = DivStats::default();
+        let seeds = vec![0u32, 25, 45];
+        let ids = mmr(&items, 10, 0.5, &seeds, &mut stats);
+        for s in &seeds {
+            assert!(ids.contains(s));
+        }
+        // Unknown seed ids are ignored.
+        let ids = mmr(&items, 5, 0.5, &[9999], &mut stats);
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let items = clustered_items();
+        let mut stats = DivStats::default();
+        assert_eq!(mmr(&items, 1000, 0.5, &[], &mut stats).len(), items.len());
+        assert_eq!(swap(&items, 1000, 0.5, 5, &mut stats).len(), items.len());
+        assert!(mmr(&items, 0, 0.5, &[], &mut stats).is_empty());
+        assert!(swap(&[], 10, 0.5, 5, &mut stats).is_empty());
+    }
+}

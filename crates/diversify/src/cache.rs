@@ -1,0 +1,143 @@
+//! Cache-aware diversification (DivIDE — Khan, Sharaf, Albarrak \[41\]).
+//!
+//! Diversifying every query result from scratch is expensive (quadratic
+//! distance evaluations). In an exploration session consecutive queries
+//! overlap heavily, so DivIDE reuses the previous query's diversified
+//! set: members still valid under the new query seed the greedy
+//! selection, trading a little diversity for most of the computation.
+
+use std::collections::HashSet;
+
+use crate::algorithms::{mmr, DivStats};
+use crate::item::Item;
+
+/// A session-scoped diversification service with result reuse.
+#[derive(Debug, Default)]
+pub struct DiversityCache {
+    /// The last diversified ids.
+    last: Vec<u32>,
+    stats: DivStats,
+    /// Queries served with at least one reused seed.
+    pub reused_queries: u64,
+}
+
+impl DiversityCache {
+    /// A fresh cache.
+    pub fn new() -> Self {
+        DiversityCache::default()
+    }
+
+    /// Accumulated distance-evaluation work.
+    pub fn stats(&self) -> DivStats {
+        self.stats
+    }
+
+    /// Diversify the `items` of a new query. When `reuse` is on, cached
+    /// ids still present in the new candidate set seed the selection.
+    pub fn diversify(&mut self, items: &[Item], k: usize, lambda: f64, reuse: bool) -> Vec<u32> {
+        let seeds: Vec<u32> = if reuse {
+            let valid: HashSet<u32> = items.iter().map(|i| i.id).collect();
+            self.last
+                .iter()
+                .copied()
+                .filter(|id| valid.contains(id))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !seeds.is_empty() {
+            self.reused_queries += 1;
+        }
+        let ids = mmr(items, k, lambda, &seeds, &mut self.stats);
+        self.last = ids.clone();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::objective;
+    use explore_storage::rng::SplitMix64;
+
+    fn items(seed: u64, n: usize, id_offset: u32) -> Vec<Item> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                Item::new(
+                    id_offset + i as u32,
+                    rng.unit_f64(),
+                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reuse_cuts_distance_work_on_overlapping_queries() {
+        let base = items(1, 300, 0);
+        // Query 2 = 90% overlap with query 1.
+        let q1: Vec<Item> = base[..270].to_vec();
+        let q2: Vec<Item> = base[30..].to_vec();
+
+        let mut with = DiversityCache::new();
+        with.diversify(&q1, 20, 0.5, true);
+        let work_q1 = with.stats().distance_evals;
+        with.diversify(&q2, 20, 0.5, true);
+        let with_q2 = with.stats().distance_evals - work_q1;
+
+        let mut without = DiversityCache::new();
+        without.diversify(&q1, 20, 0.5, false);
+        let base_q1 = without.stats().distance_evals;
+        without.diversify(&q2, 20, 0.5, false);
+        let without_q2 = without.stats().distance_evals - base_q1;
+
+        assert!(
+            with_q2 < without_q2,
+            "reuse {with_q2} vs scratch {without_q2}"
+        );
+        assert_eq!(with.reused_queries, 1);
+        assert_eq!(without.reused_queries, 0);
+    }
+
+    #[test]
+    fn reused_result_quality_stays_close() {
+        let base = items(2, 300, 0);
+        let q1: Vec<Item> = base[..280].to_vec();
+        let q2: Vec<Item> = base[20..].to_vec();
+        let lambda = 0.5;
+
+        let mut cache = DiversityCache::new();
+        cache.diversify(&q1, 15, lambda, true);
+        let reused = cache.diversify(&q2, 15, lambda, true);
+
+        let mut scratch = DiversityCache::new();
+        let fresh = scratch.diversify(&q2, 15, lambda, false);
+
+        let score = |ids: &[u32]| {
+            let refs: Vec<&Item> = ids
+                .iter()
+                .map(|&id| q2.iter().find(|i| i.id == id).unwrap())
+                .collect();
+            objective(&refs, lambda)
+        };
+        let (r, f) = (score(&reused), score(&fresh));
+        assert!(r > f * 0.85, "reused {r} vs fresh {f}");
+    }
+
+    #[test]
+    fn disjoint_queries_cannot_reuse() {
+        let mut cache = DiversityCache::new();
+        cache.diversify(&items(3, 100, 0), 10, 0.5, true);
+        cache.diversify(&items(4, 100, 1000), 10, 0.5, true);
+        assert_eq!(cache.reused_queries, 0, "no overlapping ids");
+    }
+
+    #[test]
+    fn first_query_never_reuses() {
+        let mut cache = DiversityCache::new();
+        let ids = cache.diversify(&items(5, 50, 0), 10, 0.5, true);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(cache.reused_queries, 0);
+    }
+}

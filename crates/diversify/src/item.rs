@@ -1,0 +1,83 @@
+//! Items for result diversification: a relevance score plus a feature
+//! vector in which pairwise distance measures redundancy.
+
+/// One candidate result item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Stable identifier (e.g. base-table row id).
+    pub id: u32,
+    /// Query relevance; higher is better.
+    pub relevance: f64,
+    /// Feature coordinates for distance computation.
+    pub features: Vec<f64>,
+}
+
+impl Item {
+    /// Construct an item.
+    pub fn new(id: u32, relevance: f64, features: Vec<f64>) -> Self {
+        Item {
+            id,
+            relevance,
+            features,
+        }
+    }
+
+    /// Euclidean distance between two items' features.
+    pub fn distance(&self, other: &Item) -> f64 {
+        self.features
+            .iter()
+            .zip(&other.features)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// The bi-criteria objective every algorithm in this crate optimizes:
+/// `λ · (mean relevance) + (1-λ) · (mean pairwise distance)`.
+/// λ=1 is pure relevance ranking, λ=0 pure diversity.
+pub fn objective(selection: &[&Item], lambda: f64) -> f64 {
+    if selection.is_empty() {
+        return 0.0;
+    }
+    let rel: f64 =
+        selection.iter().map(|i| i.relevance).sum::<f64>() / selection.len() as f64;
+    if selection.len() == 1 {
+        return lambda * rel;
+    }
+    let mut dist = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..selection.len() {
+        for j in (i + 1)..selection.len() {
+            dist += selection[i].distance(selection[j]);
+            pairs += 1;
+        }
+    }
+    lambda * rel + (1.0 - lambda) * dist / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Item::new(0, 1.0, vec![0.0, 0.0]);
+        let b = Item::new(1, 1.0, vec![3.0, 4.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn objective_extremes() {
+        let a = Item::new(0, 10.0, vec![0.0]);
+        let b = Item::new(1, 0.0, vec![100.0]);
+        let sel = vec![&a, &b];
+        // λ=1: only relevance matters.
+        assert!((objective(&sel, 1.0) - 5.0).abs() < 1e-12);
+        // λ=0: only distance matters.
+        assert!((objective(&sel, 0.0) - 100.0).abs() < 1e-12);
+        assert_eq!(objective(&[], 0.5), 0.0);
+        assert!((objective(&[&a], 0.5) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # explore-diversify
+//!
+//! Result diversification — the Middleware thread on helping users see
+//! *different* things (DivIDE \[41\], Vieira et al. \[65\]):
+//!
+//! * [`item`] — items with relevance + feature distance, and the
+//!   bi-criteria relevance/diversity objective.
+//! * [`algorithms`] — top-k relevance baseline, MMR greedy, and the Swap
+//!   local-search algorithm.
+//! * [`cache`] — DivIDE-style session cache that seeds each query's
+//!   selection with the previous query's still-valid picks, trading a
+//!   sliver of quality for most of the quadratic distance work.
+//!
+//! ```
+//! use explore_diversify::{mmr, top_k_relevance, DivStats, Item};
+//!
+//! let items: Vec<Item> = (0..100)
+//!     .map(|i| Item::new(i, (i as f64) / 100.0, vec![(i % 10) as f64, (i / 10) as f64]))
+//!     .collect();
+//! let mut stats = DivStats::default();
+//! let diverse = mmr(&items, 10, 0.3, &[], &mut stats);
+//! let plain = top_k_relevance(&items, 10);
+//! assert_ne!(diverse, plain);
+//! ```
+
+pub mod algorithms;
+pub mod cache;
+pub mod item;
+
+pub use algorithms::{mmr, swap, top_k_relevance, DivStats};
+pub use cache::DiversityCache;
+pub use item::{objective, Item};

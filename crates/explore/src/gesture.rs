@@ -1,0 +1,271 @@
+//! Gestural query interfaces (dbtouch \[32, 44\]; GestureDB \[45, 47\]).
+//!
+//! The "novel query interfaces" cluster replaces the keyboard: the user
+//! touches a rendered table/canvas and the *database kernel* interprets
+//! the physical gesture as a query and processes it incrementally. We
+//! simulate the touch hardware with synthetic point traces; the
+//! database-side contribution — classifying traces into gestures and
+//! compiling gestures to query intents over the touched region — is
+//! implemented for real.
+
+use explore_storage::rng::SplitMix64;
+
+/// One touch sample: position in canvas coordinates (0..1), for one of
+/// up to two fingers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TouchPoint {
+    pub x: f64,
+    pub y: f64,
+    pub finger: u8,
+}
+
+/// A recognized gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gesture {
+    /// Short press: inspect one tuple/cell.
+    Tap,
+    /// Horizontal slide: scan along the row axis (dbtouch's "slide to
+    /// scan").
+    SwipeHorizontal,
+    /// Vertical slide: scan along a column.
+    SwipeVertical,
+    /// Two fingers converging: zoom out → summarize/aggregate the region.
+    Pinch,
+    /// Two fingers diverging: zoom in → drill into detail.
+    Spread,
+    /// No confident classification.
+    Unknown,
+}
+
+/// What the engine should do in response — the gesture→query mapping of
+/// GestureDB's classifier stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryIntent {
+    /// Fetch the single tuple nearest the touch.
+    InspectTuple { x: f64, y: f64 },
+    /// Scan the horizontal band the swipe covered.
+    ScanRows { y: f64 },
+    /// Scan the column at the swipe's x position.
+    ScanColumn { x: f64 },
+    /// Aggregate (summarize) the touched region.
+    Summarize { cx: f64, cy: f64 },
+    /// Drill into the touched region.
+    DrillDown { cx: f64, cy: f64 },
+    /// Ignore.
+    None,
+}
+
+/// Classify a touch trace into a gesture.
+pub fn classify(trace: &[TouchPoint]) -> Gesture {
+    if trace.is_empty() {
+        return Gesture::Unknown;
+    }
+    let fingers: Vec<u8> = {
+        let mut f: Vec<u8> = trace.iter().map(|p| p.finger).collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    };
+    if fingers.len() >= 2 {
+        // Two-finger gesture: compare inter-finger distance start vs end.
+        let path = |finger: u8| -> Vec<&TouchPoint> {
+            trace.iter().filter(|p| p.finger == finger).collect()
+        };
+        let a = path(fingers[0]);
+        let b = path(fingers[1]);
+        if a.len() < 2 || b.len() < 2 {
+            return Gesture::Unknown;
+        }
+        let d = |p: &TouchPoint, q: &TouchPoint| ((p.x - q.x).powi(2) + (p.y - q.y).powi(2)).sqrt();
+        let start = d(a[0], b[0]);
+        let end = d(a[a.len() - 1], b[b.len() - 1]);
+        return if end < start * 0.7 {
+            Gesture::Pinch
+        } else if end > start * 1.4 {
+            Gesture::Spread
+        } else {
+            Gesture::Unknown
+        };
+    }
+    // One-finger gesture: displacement decides.
+    let first = trace[0];
+    let last = trace[trace.len() - 1];
+    let dx = (last.x - first.x).abs();
+    let dy = (last.y - first.y).abs();
+    let dist = (dx * dx + dy * dy).sqrt();
+    if dist < 0.02 {
+        Gesture::Tap
+    } else if dx > 2.0 * dy {
+        Gesture::SwipeHorizontal
+    } else if dy > 2.0 * dx {
+        Gesture::SwipeVertical
+    } else {
+        Gesture::Unknown
+    }
+}
+
+/// Compile a classified trace into a query intent.
+pub fn to_intent(trace: &[TouchPoint]) -> QueryIntent {
+    if trace.is_empty() {
+        return QueryIntent::None;
+    }
+    let cx = trace.iter().map(|p| p.x).sum::<f64>() / trace.len() as f64;
+    let cy = trace.iter().map(|p| p.y).sum::<f64>() / trace.len() as f64;
+    match classify(trace) {
+        Gesture::Tap => QueryIntent::InspectTuple {
+            x: trace[0].x,
+            y: trace[0].y,
+        },
+        Gesture::SwipeHorizontal => QueryIntent::ScanRows { y: cy },
+        Gesture::SwipeVertical => QueryIntent::ScanColumn { x: cx },
+        Gesture::Pinch => QueryIntent::Summarize { cx, cy },
+        Gesture::Spread => QueryIntent::DrillDown { cx, cy },
+        Gesture::Unknown => QueryIntent::None,
+    }
+}
+
+/// Generate a synthetic trace of the given gesture (the touch-hardware
+/// simulation; noise models finger jitter).
+pub fn synthetic_trace(gesture: Gesture, samples: usize, noise: f64, seed: u64) -> Vec<TouchPoint> {
+    let mut rng = SplitMix64::new(seed);
+    let samples = samples.max(2);
+    let mut trace = Vec::with_capacity(samples * 2);
+    let jitter = |rng: &mut SplitMix64| rng.range_f64(-1.0, 1.0) * noise;
+    match gesture {
+        Gesture::Tap => {
+            let (x, y) = (rng.range_f64(0.2, 0.8), rng.range_f64(0.2, 0.8));
+            for _ in 0..samples {
+                trace.push(TouchPoint {
+                    x: x + jitter(&mut rng) * 0.1,
+                    y: y + jitter(&mut rng) * 0.1,
+                    finger: 0,
+                });
+            }
+        }
+        Gesture::SwipeHorizontal | Gesture::SwipeVertical => {
+            let c = rng.range_f64(0.3, 0.7);
+            for i in 0..samples {
+                let t = 0.1 + 0.8 * i as f64 / (samples - 1) as f64;
+                let (x, y) = if gesture == Gesture::SwipeHorizontal {
+                    (t, c)
+                } else {
+                    (c, t)
+                };
+                trace.push(TouchPoint {
+                    x: x + jitter(&mut rng),
+                    y: y + jitter(&mut rng),
+                    finger: 0,
+                });
+            }
+        }
+        Gesture::Pinch | Gesture::Spread => {
+            let (cx, cy) = (0.5, 0.5);
+            for i in 0..samples {
+                let t = i as f64 / (samples - 1) as f64;
+                // Pinch: gap shrinks 0.4 → 0.1; spread: grows 0.1 → 0.4.
+                let gap = if gesture == Gesture::Pinch {
+                    0.4 - 0.3 * t
+                } else {
+                    0.1 + 0.3 * t
+                };
+                for (finger, sign) in [(0u8, -1.0), (1u8, 1.0)] {
+                    trace.push(TouchPoint {
+                        x: cx + sign * gap + jitter(&mut rng),
+                        y: cy + jitter(&mut rng),
+                        finger,
+                    });
+                }
+            }
+        }
+        Gesture::Unknown => {
+            for _ in 0..samples {
+                trace.push(TouchPoint {
+                    x: rng.unit_f64(),
+                    y: rng.unit_f64(),
+                    finger: 0,
+                });
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_gestures_classify_correctly() {
+        for g in [
+            Gesture::Tap,
+            Gesture::SwipeHorizontal,
+            Gesture::SwipeVertical,
+            Gesture::Pinch,
+            Gesture::Spread,
+        ] {
+            let trace = synthetic_trace(g, 20, 0.0, 1);
+            assert_eq!(classify(&trace), g, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_gestures_mostly_classify_correctly() {
+        let mut correct = 0;
+        let total = 200;
+        let gestures = [
+            Gesture::Tap,
+            Gesture::SwipeHorizontal,
+            Gesture::SwipeVertical,
+            Gesture::Pinch,
+            Gesture::Spread,
+        ];
+        for i in 0..total {
+            let g = gestures[i % gestures.len()];
+            let trace = synthetic_trace(g, 20, 0.004, i as u64);
+            if classify(&trace) == g {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn intents_carry_positions() {
+        let tap = synthetic_trace(Gesture::Tap, 10, 0.0, 2);
+        match to_intent(&tap) {
+            QueryIntent::InspectTuple { x, y } => {
+                assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+            }
+            other => panic!("expected inspect, got {other:?}"),
+        }
+        let pinch = synthetic_trace(Gesture::Pinch, 10, 0.0, 3);
+        assert!(matches!(to_intent(&pinch), QueryIntent::Summarize { .. }));
+        let spread = synthetic_trace(Gesture::Spread, 10, 0.0, 4);
+        assert!(matches!(to_intent(&spread), QueryIntent::DrillDown { .. }));
+    }
+
+    #[test]
+    fn empty_and_ambiguous_traces() {
+        assert_eq!(classify(&[]), Gesture::Unknown);
+        assert_eq!(to_intent(&[]), QueryIntent::None);
+        // A perfect diagonal is ambiguous between the swipe axes.
+        let diagonal: Vec<TouchPoint> = (0..10)
+            .map(|i| TouchPoint {
+                x: i as f64 / 10.0,
+                y: i as f64 / 10.0,
+                finger: 0,
+            })
+            .collect();
+        assert_eq!(classify(&diagonal), Gesture::Unknown);
+    }
+
+    #[test]
+    fn single_sample_two_finger_trace_is_unknown() {
+        let trace = vec![
+            TouchPoint { x: 0.3, y: 0.5, finger: 0 },
+            TouchPoint { x: 0.7, y: 0.5, finger: 1 },
+        ];
+        assert_eq!(classify(&trace), Gesture::Unknown);
+    }
+}

@@ -1,0 +1,249 @@
+//! Interaction-history mining — the tutorial's closing research
+//! direction: *"processing past user interaction histories to predict
+//! exploration trajectories and identify interesting exploration
+//! patterns"* (§2.4; also the premise behind SCOUT \[63\] and session
+//! indexing).
+//!
+//! A first-order Markov model over exploration *actions* (drill, roll
+//! up, pan, filter, zoom, …) learned from past session logs:
+//!
+//! * [`SessionModel::observe`] folds sessions in;
+//! * [`SessionModel::predict`] ranks the next likely actions — the
+//!   signal a prefetcher spends its speculation budget on;
+//! * [`SessionModel::perplexity`] measures fit, so experiments can show
+//!   the model's lift over a uniform prior;
+//! * [`SessionModel::mine_patterns`] surfaces the most frequent
+//!   action n-grams — the "popular navigational idioms" the paper wants
+//!   languages to express.
+
+use std::collections::HashMap;
+
+/// A model of action-to-action transitions with add-α smoothing.
+#[derive(Debug, Default, Clone)]
+pub struct SessionModel {
+    /// (from, to) → count.
+    transitions: HashMap<(String, String), u64>,
+    /// from → total outgoing.
+    outgoing: HashMap<String, u64>,
+    /// Action vocabulary.
+    vocabulary: Vec<String>,
+    /// Raw sessions kept for n-gram mining.
+    sessions: Vec<Vec<String>>,
+}
+
+impl SessionModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        SessionModel::default()
+    }
+
+    /// Fold one session (an ordered action sequence) into the model.
+    pub fn observe(&mut self, session: &[&str]) {
+        for action in session {
+            if !self.vocabulary.iter().any(|v| v == action) {
+                self.vocabulary.push(action.to_string());
+            }
+        }
+        for pair in session.windows(2) {
+            *self
+                .transitions
+                .entry((pair[0].to_string(), pair[1].to_string()))
+                .or_insert(0) += 1;
+            *self.outgoing.entry(pair[0].to_string()).or_insert(0) += 1;
+        }
+        self.sessions
+            .push(session.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Sessions observed.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Smoothed transition probability P(to | from), add-α with α=0.5.
+    pub fn probability(&self, from: &str, to: &str) -> f64 {
+        const ALPHA: f64 = 0.5;
+        let v = self.vocabulary.len().max(1) as f64;
+        let count = self
+            .transitions
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(0) as f64;
+        let total = self.outgoing.get(from).copied().unwrap_or(0) as f64;
+        (count + ALPHA) / (total + ALPHA * v)
+    }
+
+    /// The `k` most likely next actions after `from`, best first.
+    pub fn predict(&self, from: &str, k: usize) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .vocabulary
+            .iter()
+            .map(|to| (to.clone(), self.probability(from, to)))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Per-transition perplexity of a held-out session under the model
+    /// (lower is better; the uniform prior scores |vocabulary|).
+    pub fn perplexity(&self, session: &[&str]) -> f64 {
+        let pairs: Vec<_> = session.windows(2).collect();
+        if pairs.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = pairs
+            .iter()
+            .map(|p| self.probability(p[0], p[1]).ln())
+            .sum();
+        (-log_sum / pairs.len() as f64).exp()
+    }
+
+    /// The `k` most frequent action n-grams of length `n` across all
+    /// observed sessions — the navigational idioms.
+    pub fn mine_patterns(&self, n: usize, k: usize) -> Vec<(Vec<String>, u64)> {
+        let n = n.max(1);
+        let mut counts: HashMap<Vec<String>, u64> = HashMap::new();
+        for session in &self.sessions {
+            for w in session.windows(n) {
+                *counts.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Vec<String>, u64)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+/// Generate synthetic exploration sessions from a ground-truth habit:
+/// drill-heavy analysts who occasionally pivot — the stand-in for
+/// production interaction logs (see the substitution table in
+/// DESIGN.md).
+pub fn synthetic_sessions(
+    count: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<Vec<&'static str>> {
+    use explore_storage::rng::SplitMix64;
+    const ACTIONS: [&str; 5] = ["filter", "drill", "rollup", "pan", "zoom"];
+    // Habit matrix: rows = from, columns = to (indices into ACTIONS).
+    const HABIT: [[f64; 5]; 5] = [
+        // after filter: usually drill
+        [0.10, 0.60, 0.05, 0.15, 0.10],
+        // after drill: drill again or pan
+        [0.05, 0.45, 0.15, 0.25, 0.10],
+        // after rollup: filter or pivot away
+        [0.40, 0.10, 0.10, 0.20, 0.20],
+        // after pan: keep panning or zoom
+        [0.10, 0.10, 0.05, 0.45, 0.30],
+        // after zoom: drill into what you saw
+        [0.10, 0.50, 0.05, 0.20, 0.15],
+    ];
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut state = rng.below(5) as usize;
+            let mut session = Vec::with_capacity(len);
+            session.push(ACTIONS[state]);
+            for _ in 1..len {
+                let u = rng.unit_f64();
+                let mut acc = 0.0;
+                let mut next = 4;
+                for (j, &p) in HABIT[state].iter().enumerate() {
+                    acc += p;
+                    if u < acc {
+                        next = j;
+                        break;
+                    }
+                }
+                state = next;
+                session.push(ACTIONS[state]);
+            }
+            session
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> SessionModel {
+        let mut m = SessionModel::new();
+        for s in synthetic_sessions(200, 30, 1) {
+            m.observe(&s);
+        }
+        m
+    }
+
+    #[test]
+    fn learns_the_dominant_habits() {
+        let m = trained();
+        // After "filter" the habit matrix says "drill" (0.60).
+        assert_eq!(m.predict("filter", 1)[0].0, "drill");
+        // After "pan": "pan" again (0.45).
+        assert_eq!(m.predict("pan", 1)[0].0, "pan");
+        assert_eq!(m.num_sessions(), 200);
+    }
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let m = trained();
+        for from in ["filter", "drill", "rollup", "pan", "zoom"] {
+            let total: f64 = ["filter", "drill", "rollup", "pan", "zoom"]
+                .iter()
+                .map(|to| m.probability(from, to))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "{from}: {total}");
+        }
+    }
+
+    #[test]
+    fn model_beats_uniform_on_held_out_sessions() {
+        let m = trained();
+        let held_out = synthetic_sessions(50, 30, 999);
+        let avg: f64 = held_out.iter().map(|s| m.perplexity(s)).sum::<f64>() / 50.0;
+        assert!(
+            avg < 5.0 * 0.85,
+            "perplexity {avg} should beat the uniform prior's 5.0"
+        );
+    }
+
+    #[test]
+    fn unseen_actions_get_smoothed_mass() {
+        let m = trained();
+        let p = m.probability("filter", "rollup");
+        assert!(p > 0.0, "smoothing keeps all transitions possible");
+        let p_unknown_state = m.probability("teleport", "drill");
+        assert!((p_unknown_state - 1.0 / 5.0).abs() < 1e-9, "uniform over vocab");
+    }
+
+    #[test]
+    fn pattern_mining_surfaces_idioms() {
+        let m = trained();
+        let bigrams = m.mine_patterns(2, 5);
+        assert_eq!(bigrams.len(), 5);
+        assert!(bigrams.windows(2).all(|w| w[0].1 >= w[1].1));
+        // drill→drill is the single strongest habit cell (0.45 from the
+        // most-visited state); it must rank near the top.
+        let top3: Vec<&Vec<String>> = bigrams.iter().take(3).map(|(g, _)| g).collect();
+        assert!(
+            top3.iter()
+                .any(|g| g.as_slice() == ["drill".to_string(), "drill".to_string()]),
+            "{top3:?}"
+        );
+        let trigrams = m.mine_patterns(3, 3);
+        assert!(trigrams.iter().all(|(g, _)| g.len() == 3));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut m = SessionModel::new();
+        m.observe(&[]);
+        m.observe(&["solo"]);
+        assert_eq!(m.perplexity(&["solo"]), 1.0);
+        assert!(m.predict("solo", 3).len() <= 3);
+        assert!(m.mine_patterns(2, 5).is_empty());
+    }
+}

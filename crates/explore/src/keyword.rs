@@ -1,0 +1,285 @@
+//! Keyword search over relational databases (Yu, Qin, Chang's survey
+//! \[67\]).
+//!
+//! The user types free-text keywords; the system finds *joined tuple
+//! trees* that collectively contain all keywords, without the user
+//! knowing the schema. This module implements the classic
+//! candidate-network approach over a foreign-key schema graph,
+//! specialized to tuple pairs (a match in one table joined to a match in
+//! a neighbor) plus single-tuple matches — the building blocks every
+//! surveyed system (DBXplorer, DISCOVER, BANKS) shares.
+
+use std::collections::HashMap;
+
+use explore_storage::{Catalog, Column, Result};
+
+/// A foreign-key edge `from_table.from_col → to_table.to_col`.
+#[derive(Debug, Clone)]
+pub struct FkEdge {
+    pub from_table: String,
+    pub from_col: String,
+    pub to_table: String,
+    pub to_col: String,
+}
+
+/// One keyword hit: a tuple (or joined tuple pair) containing all
+/// keywords.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordHit {
+    /// `(table, row)` components of the joined tree, in join order.
+    pub tuples: Vec<(String, usize)>,
+    /// Number of joins (0 = single tuple). Smaller trees rank first,
+    /// following the size-ranking of the surveyed systems.
+    pub joins: usize,
+}
+
+/// A keyword-searchable database: a catalog plus its FK graph.
+#[derive(Debug)]
+pub struct KeywordIndex<'a> {
+    catalog: &'a Catalog,
+    edges: Vec<FkEdge>,
+}
+
+impl<'a> KeywordIndex<'a> {
+    /// Wrap a catalog with its foreign-key edges.
+    pub fn new(catalog: &'a Catalog, edges: Vec<FkEdge>) -> Self {
+        KeywordIndex { catalog, edges }
+    }
+
+    /// Rows of `table` whose string columns contain `keyword`
+    /// (case-insensitive substring).
+    fn matches_in(&self, table: &str, keyword: &str) -> Result<Vec<usize>> {
+        let t = self.catalog.get(table)?;
+        let kw = keyword.to_lowercase();
+        let mut rows = Vec::new();
+        for row in 0..t.num_rows() {
+            let hit = t.columns().iter().any(|c| match c {
+                Column::Utf8(v) => v[row].to_lowercase().contains(&kw),
+                _ => false,
+            });
+            if hit {
+                rows.push(row);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Search for tuple trees covering *all* keywords; results ranked by
+    /// tree size (singles before joined pairs), capped at `limit`.
+    pub fn search(&self, keywords: &[&str], limit: usize) -> Result<Vec<KeywordHit>> {
+        if keywords.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut hits = Vec::new();
+        // Per-table, per-keyword match sets.
+        let mut table_matches: HashMap<&str, Vec<Vec<usize>>> = HashMap::new();
+        for name in self.catalog.names() {
+            let per_kw: Vec<Vec<usize>> = keywords
+                .iter()
+                .map(|kw| self.matches_in(name, kw))
+                .collect::<Result<_>>()?;
+            table_matches.insert(name, per_kw);
+        }
+        // Size-1 trees: single tuples containing every keyword.
+        for (table, per_kw) in &table_matches {
+            let mut iter = per_kw.iter();
+            if let Some(first) = iter.next() {
+                let mut common: Vec<usize> = first.clone();
+                for kws in iter {
+                    common.retain(|r| kws.contains(r));
+                }
+                for row in common {
+                    hits.push(KeywordHit {
+                        tuples: vec![(table.to_string(), row)],
+                        joins: 0,
+                    });
+                }
+            }
+        }
+        // Size-2 trees along FK edges: keywords split across the pair.
+        if keywords.len() >= 2 {
+            for edge in &self.edges {
+                let from = self.catalog.get(&edge.from_table)?;
+                let to = self.catalog.get(&edge.to_table)?;
+                let from_col = from.column(&edge.from_col)?;
+                let to_col = to.column(&edge.to_col)?;
+                // Join index on the referenced side.
+                let mut to_index: HashMap<String, Vec<usize>> = HashMap::new();
+                for row in 0..to.num_rows() {
+                    let key = to_col.value(row)?.to_string();
+                    to_index.entry(key).or_default().push(row);
+                }
+                let from_kw = &table_matches[edge.from_table.as_str()];
+                let to_kw = &table_matches[edge.to_table.as_str()];
+                // Every bipartition of keywords across the two sides.
+                for mask in 1..(1u32 << keywords.len()) - 1 {
+                    // Rows on the `from` side matching all mask keywords.
+                    let from_rows = intersect_masked(from_kw, mask);
+                    let to_rows = intersect_masked(to_kw, !mask & ((1 << keywords.len()) - 1));
+                    if from_rows.is_empty() || to_rows.is_empty() {
+                        continue;
+                    }
+                    let to_set: std::collections::HashSet<usize> =
+                        to_rows.into_iter().collect();
+                    for &fr in &from_rows {
+                        let key = from_col.value(fr)?.to_string();
+                        if let Some(candidates) = to_index.get(&key) {
+                            for &tr in candidates {
+                                if to_set.contains(&tr) {
+                                    hits.push(KeywordHit {
+                                        tuples: vec![
+                                            (edge.from_table.clone(), fr),
+                                            (edge.to_table.clone(), tr),
+                                        ],
+                                        joins: 1,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hits.sort_by_key(|h| h.joins);
+        hits.dedup();
+        hits.truncate(limit);
+        Ok(hits)
+    }
+}
+
+/// Intersect the match lists of the keywords selected by `mask`.
+fn intersect_masked(per_kw: &[Vec<usize>], mask: u32) -> Vec<usize> {
+    let mut acc: Option<Vec<usize>> = None;
+    for (k, rows) in per_kw.iter().enumerate() {
+        if mask & (1 << k) == 0 {
+            continue;
+        }
+        acc = Some(match acc {
+            None => rows.clone(),
+            Some(mut a) => {
+                a.retain(|r| rows.contains(r));
+                a
+            }
+        });
+    }
+    acc.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::{DataType, Schema, Table};
+
+    /// products(id, name, category) ← orders(product_id, customer, note)
+    fn setup() -> Catalog {
+        let mut catalog = Catalog::new();
+        let products = Table::new(
+            Schema::of(&[
+                ("id", DataType::Int64),
+                ("name", DataType::Utf8),
+                ("category", DataType::Utf8),
+            ]),
+            vec![
+                Column::from(vec![1i64, 2, 3]),
+                Column::from(vec!["telescope", "microscope", "binoculars"]),
+                Column::from(vec!["astronomy", "biology", "astronomy"]),
+            ],
+        )
+        .unwrap();
+        let orders = Table::new(
+            Schema::of(&[
+                ("product_id", DataType::Int64),
+                ("customer", DataType::Utf8),
+                ("note", DataType::Utf8),
+            ]),
+            vec![
+                Column::from(vec![1i64, 1, 2, 3]),
+                Column::from(vec!["alice", "bob", "alice", "carol"]),
+                Column::from(vec!["gift", "urgent", "gift", "research"]),
+            ],
+        )
+        .unwrap();
+        catalog.register("products", products);
+        catalog.register("orders", orders);
+        catalog
+    }
+
+    fn edges() -> Vec<FkEdge> {
+        vec![FkEdge {
+            from_table: "orders".into(),
+            from_col: "product_id".into(),
+            to_table: "products".into(),
+            to_col: "id".into(),
+        }]
+    }
+
+    #[test]
+    fn single_tuple_hits() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        let hits = idx.search(&["telescope"], 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].tuples, vec![("products".to_string(), 0)]);
+        assert_eq!(hits[0].joins, 0);
+    }
+
+    #[test]
+    fn cross_table_keywords_join_via_fk() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        // "alice" lives in orders, "telescope" in products — only a join
+        // can cover both.
+        let hits = idx.search(&["alice", "telescope"], 10).unwrap();
+        assert!(!hits.is_empty());
+        let h = &hits[0];
+        assert_eq!(h.joins, 1);
+        let tables: Vec<&str> = h.tuples.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(tables.contains(&"orders"));
+        assert!(tables.contains(&"products"));
+        // It must be alice's telescope order (orders row 0), not bob's.
+        assert!(h.tuples.contains(&("orders".to_string(), 0)));
+        assert!(h.tuples.contains(&("products".to_string(), 0)));
+    }
+
+    #[test]
+    fn smaller_trees_rank_first() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        // "astronomy" matches two products directly; with "gift" it also
+        // forms joins. Singles must precede pairs.
+        let hits = idx.search(&["astronomy"], 10).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.joins == 0));
+        let hits = idx.search(&["astronomy", "gift"], 10).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].joins <= w[1].joins));
+    }
+
+    #[test]
+    fn case_insensitive_substring_matching() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        let hits = idx.search(&["TELE"], 10).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_keywords_return_empty() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        assert!(idx.search(&["quasar"], 10).unwrap().is_empty());
+        assert!(idx.search(&[], 10).unwrap().is_empty());
+        // Both keywords exist but in unjoinable rows: bob never ordered
+        // a microscope.
+        let hits = idx.search(&["bob", "microscope"], 10).unwrap();
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn limit_is_applied() {
+        let catalog = setup();
+        let idx = KeywordIndex::new(&catalog, edges());
+        let hits = idx.search(&["gift"], 1).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+}

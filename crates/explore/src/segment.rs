@@ -1,0 +1,350 @@
+//! Data-space segmentation advice ("Meet Charles, big data query
+//! advisor" — Sellam & Kersten, CIDR'13 \[57\]).
+//!
+//! Charles helps a user who cannot even articulate a WHERE clause:
+//! it proposes *segmentations* of the data space — partitions of a
+//! column's domain such that a measure behaves very differently across
+//! segments — and hands each segment back as a ready-to-run predicate.
+//!
+//! We implement the 1-D core faithfully: optimal k-segmentation of a
+//! numeric column minimizing within-segment variance of the measure
+//! (the classic dynamic program behind v-optimal histograms), scored
+//! against the unsegmented baseline, with predicates emitted per
+//! segment.
+
+use explore_storage::{Predicate, Result, StorageError, Table};
+
+/// One proposed segment of the data space.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// `low <= column < high` bounds in the segmented column's domain.
+    pub low: f64,
+    pub high: f64,
+    /// Rows falling in the segment.
+    pub rows: usize,
+    /// Mean of the measure within the segment.
+    pub measure_mean: f64,
+    /// The ready-to-run predicate.
+    pub predicate: Predicate,
+}
+
+/// A proposed segmentation with its quality score.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    pub column: String,
+    pub measure: String,
+    pub segments: Vec<Segment>,
+    /// Fraction of the measure's variance explained by the segmentation
+    /// (0 = useless, → 1 = segments are internally homogeneous).
+    pub variance_explained: f64,
+}
+
+/// Propose the optimal `k`-segmentation of `column` with respect to
+/// `measure`: split points minimize total within-segment variance of
+/// the measure (exact dynamic program over the column-sorted order).
+pub fn segment(table: &Table, column: &str, measure: &str, k: usize) -> Result<Segmentation> {
+    let k = k.max(1);
+    let col = table.column(column)?;
+    let mcol = table.column(measure)?;
+    let n = table.num_rows();
+    if n == 0 {
+        return Err(StorageError::InvalidQuery("empty table".into()));
+    }
+    let mut pairs: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let x = col.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "numeric",
+                found: col.data_type().name(),
+            })?;
+            let y = mcol.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
+                column: measure.to_owned(),
+                expected: "numeric",
+                found: mcol.data_type().name(),
+            })?;
+            Ok((x, y))
+        })
+        .collect::<Result<_>>()?;
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // To keep the DP tractable on big tables, segment over a bounded
+    // number of candidate boundaries (quantile grid); segments remain
+    // exact row sets.
+    let grid = 200.min(n);
+    let bucket_of = |i: usize| -> usize { i * grid / n };
+    // Per grid cell: count, sum, sum of squares of the measure.
+    let mut cnt = vec![0f64; grid];
+    let mut sum = vec![0f64; grid];
+    let mut sq = vec![0f64; grid];
+    for (i, &(_, y)) in pairs.iter().enumerate() {
+        let b = bucket_of(i).min(grid - 1);
+        cnt[b] += 1.0;
+        sum[b] += y;
+        sq[b] += y * y;
+    }
+    // Prefix sums for O(1) interval cost.
+    let mut pc = vec![0.0; grid + 1];
+    let mut ps = vec![0.0; grid + 1];
+    let mut pq = vec![0.0; grid + 1];
+    for b in 0..grid {
+        pc[b + 1] = pc[b] + cnt[b];
+        ps[b + 1] = ps[b] + sum[b];
+        pq[b + 1] = pq[b] + sq[b];
+    }
+    // Within-variance (sum of squared deviations) of cells [a, b).
+    let sse = |a: usize, b: usize| -> f64 {
+        let c = pc[b] - pc[a];
+        if c <= 0.0 {
+            return 0.0;
+        }
+        let s = ps[b] - ps[a];
+        let q = pq[b] - pq[a];
+        (q - s * s / c).max(0.0)
+    };
+    // DP: best[j][b] = min cost of splitting cells [0, b) into j parts.
+    let k = k.min(grid);
+    let mut best = vec![vec![f64::INFINITY; grid + 1]; k + 1];
+    let mut back = vec![vec![0usize; grid + 1]; k + 1];
+    best[0][0] = 0.0;
+    for j in 1..=k {
+        for b in j..=grid {
+            for a in (j - 1)..b {
+                let cost = best[j - 1][a] + sse(a, b);
+                if cost < best[j][b] {
+                    best[j][b] = cost;
+                    back[j][b] = a;
+                }
+            }
+        }
+    }
+    // Reconstruct cell boundaries.
+    let mut cuts = Vec::with_capacity(k + 1);
+    let mut b = grid;
+    let mut j = k;
+    cuts.push(grid);
+    while j > 0 {
+        b = back[j][b];
+        cuts.push(b);
+        j -= 1;
+    }
+    cuts.reverse(); // [0, ..., grid]
+
+    // Map cell boundaries back to row indices and column values. Ties in
+    // the segmented column must never straddle a cut (the half-open
+    // predicates could not express that), so each cut advances past any
+    // run of equal values.
+    let row_at = |cell: usize| -> usize { cell * n / grid };
+    let mut segments: Vec<Segment> = Vec::with_capacity(k);
+    let mut r0 = 0usize;
+    for w in cuts.windows(2) {
+        let mut r1 = row_at(w[1]).max(r0 + 1).min(n);
+        while r1 < n && pairs[r1].0 == pairs[r1 - 1].0 {
+            r1 += 1;
+        }
+        if r0 >= n {
+            break;
+        }
+        let low = pairs[r0].0;
+        let high = if r1 >= n {
+            // Open top: nudge beyond the max so the predicate includes it.
+            pairs[n - 1].0 + pairs[n - 1].0.abs().max(1.0) * 1e-9
+        } else {
+            pairs[r1].0
+        };
+        let slice = &pairs[r0..r1];
+        let mean = slice.iter().map(|&(_, y)| y).sum::<f64>() / slice.len() as f64;
+        segments.push(Segment {
+            low,
+            high,
+            rows: slice.len(),
+            measure_mean: mean,
+            predicate: Predicate::range(column, low, high),
+        });
+        r0 = r1;
+        if r0 >= n {
+            break;
+        }
+    }
+    // Variance explained = 1 - SSE(segmentation)/SSE(whole).
+    let total_sse = sse(0, grid);
+    let seg_sse = best[k][grid];
+    let variance_explained = if total_sse > 0.0 {
+        (1.0 - seg_sse / total_sse).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    Ok(Segmentation {
+        column: column.to_owned(),
+        measure: measure.to_owned(),
+        segments,
+        variance_explained,
+    })
+}
+
+/// Rank every numeric column by how well its best `k`-segmentation
+/// explains the measure — "which dimension should I slice on?", the
+/// advisor's headline question.
+pub fn advise(table: &Table, measure: &str, k: usize) -> Result<Vec<Segmentation>> {
+    let mut out = Vec::new();
+    for f in table.schema().fields() {
+        if f.name() == measure || !f.data_type().is_numeric() {
+            continue;
+        }
+        out.push(segment(table, f.name(), measure, k)?);
+    }
+    out.sort_by(|a, b| b.variance_explained.total_cmp(&a.variance_explained));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::rng::SplitMix64;
+    use explore_storage::{Column, DataType, Schema};
+
+    /// A measure with three clean regimes over x: low / high / low.
+    fn stepped_table(n: usize, seed: u64) -> Table {
+        let mut rng = SplitMix64::new(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut zs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = rng.range_f64(0.0, 90.0);
+            let y = if x < 30.0 {
+                10.0
+            } else if x < 60.0 {
+                50.0
+            } else {
+                20.0
+            } + rng.gaussian();
+            xs.push(x);
+            ys.push(y);
+            zs.push(rng.range_f64(0.0, 90.0)); // uninformative column
+        }
+        Table::new(
+            Schema::of(&[
+                ("x", DataType::Float64),
+                ("noise", DataType::Float64),
+                ("y", DataType::Float64),
+            ]),
+            vec![Column::from(xs), Column::from(zs), Column::from(ys)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_true_breakpoints() {
+        let t = stepped_table(6000, 1);
+        let s = segment(&t, "x", "y", 3).unwrap();
+        assert_eq!(s.segments.len(), 3);
+        assert!(s.variance_explained > 0.9, "{}", s.variance_explained);
+        // Breakpoints near 30 and 60.
+        assert!((s.segments[0].high - 30.0).abs() < 3.0, "{}", s.segments[0].high);
+        assert!((s.segments[1].high - 60.0).abs() < 3.0, "{}", s.segments[1].high);
+        // Segment means reflect the regimes.
+        assert!((s.segments[0].measure_mean - 10.0).abs() < 1.0);
+        assert!((s.segments[1].measure_mean - 50.0).abs() < 1.0);
+        assert!((s.segments[2].measure_mean - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn predicates_partition_the_table() {
+        let t = stepped_table(3000, 2);
+        let s = segment(&t, "x", "y", 4).unwrap();
+        let mut covered = 0;
+        for seg in &s.segments {
+            let rows = seg.predicate.evaluate(&t).unwrap().len();
+            assert_eq!(rows, seg.rows, "predicate matches the segment rows");
+            covered += rows;
+        }
+        assert_eq!(covered, 3000, "segments partition all rows");
+    }
+
+    #[test]
+    fn advisor_ranks_the_informative_column_first() {
+        let t = stepped_table(4000, 3);
+        let ranked = advise(&t, "y", 3).unwrap();
+        assert_eq!(ranked.len(), 2, "x and noise");
+        assert_eq!(ranked[0].column, "x");
+        assert!(ranked[0].variance_explained > ranked[1].variance_explained + 0.3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let t = stepped_table(100, 4);
+        // k=1: one segment, zero variance explained.
+        let s = segment(&t, "x", "y", 1).unwrap();
+        assert_eq!(s.segments.len(), 1);
+        assert!(s.variance_explained < 1e-9);
+        // Constant measure: nothing to explain.
+        let c = Table::new(
+            Schema::of(&[("x", DataType::Float64), ("y", DataType::Float64)]),
+            vec![
+                Column::from((0..50).map(|i| i as f64).collect::<Vec<_>>()),
+                Column::from(vec![5.0; 50]),
+            ],
+        )
+        .unwrap();
+        let s = segment(&c, "x", "y", 3).unwrap();
+        assert_eq!(s.variance_explained, 0.0);
+        // Errors.
+        assert!(segment(&t, "nope", "y", 2).is_err());
+        let sales = explore_storage::gen::sales_table(&Default::default());
+        assert!(segment(&sales, "region", "price", 2).is_err());
+    }
+
+    #[test]
+    fn k_capped_by_grid_and_rows() {
+        let t = stepped_table(50, 5);
+        let s = segment(&t, "x", "y", 500).unwrap();
+        assert!(s.segments.len() <= 50);
+        let covered: usize = s.segments.iter().map(|g| g.rows).sum();
+        assert_eq!(covered, 50);
+    }
+}
+
+#[cfg(test)]
+mod tie_tests {
+    use super::*;
+    use explore_storage::{Column, DataType, Schema, Table};
+
+    #[test]
+    fn duplicate_values_never_straddle_cuts() {
+        // 10 distinct x values × 100 duplicates each.
+        let xs: Vec<f64> = (0..1000).map(|i| (i / 100) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| ((i / 100) % 3) as f64 * 10.0).collect();
+        let t = Table::new(
+            Schema::of(&[("x", DataType::Float64), ("y", DataType::Float64)]),
+            vec![Column::from(xs), Column::from(ys)],
+        )
+        .unwrap();
+        let s = segment(&t, "x", "y", 4).unwrap();
+        let covered: usize = s.segments.iter().map(|g| g.rows).sum();
+        assert_eq!(covered, 1000);
+        for g in &s.segments {
+            assert_eq!(
+                g.predicate.evaluate(&t).unwrap().len(),
+                g.rows,
+                "[{}, {})",
+                g.low,
+                g.high
+            );
+        }
+    }
+
+    #[test]
+    fn all_equal_column_collapses_to_one_segment() {
+        let t = Table::new(
+            Schema::of(&[("x", DataType::Float64), ("y", DataType::Float64)]),
+            vec![
+                Column::from(vec![7.0; 200]),
+                Column::from((0..200).map(|i| i as f64).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        let s = segment(&t, "x", "y", 5).unwrap();
+        assert_eq!(s.segments.len(), 1, "ties cannot be split");
+        assert_eq!(s.segments[0].rows, 200);
+        assert_eq!(s.segments[0].predicate.evaluate(&t).unwrap().len(), 200);
+    }
+}

@@ -1,0 +1,296 @@
+//! A small CART decision-tree classifier over numeric features.
+//!
+//! Explore-by-example \[18\] models the user's (unknown) interest region
+//! with exactly this model class: axis-aligned splits compose into the
+//! rectangular predicate regions a SQL WHERE clause can express, which
+//! is why AIDE uses decision trees rather than arbitrary classifiers.
+
+/// A trained binary decision tree.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// A leaf predicting `positive` with the given class purity.
+    Leaf { positive: bool, purity: f64 },
+    /// An internal axis-aligned split: `feature < threshold` goes left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<TreeNode>,
+        right: Box<TreeNode>,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples: 4,
+        }
+    }
+}
+
+impl TreeNode {
+    /// Train on labeled rows: `points[i]` is a feature vector and
+    /// `labels[i]` its class. Uses exhaustive Gini-gain splitting.
+    pub fn train(points: &[Vec<f64>], labels: &[bool], config: TreeConfig) -> Self {
+        assert_eq!(points.len(), labels.len(), "points/labels must align");
+        let idx: Vec<usize> = (0..points.len()).collect();
+        Self::train_node(points, labels, &idx, config, 0)
+    }
+
+    fn train_node(
+        points: &[Vec<f64>],
+        labels: &[bool],
+        idx: &[usize],
+        config: TreeConfig,
+        depth: usize,
+    ) -> TreeNode {
+        let pos = idx.iter().filter(|&&i| labels[i]).count();
+        let n = idx.len();
+        let purity = if n == 0 {
+            1.0
+        } else {
+            (pos.max(n - pos)) as f64 / n as f64
+        };
+        let majority = pos * 2 >= n.max(1);
+        if n < config.min_samples || depth >= config.max_depth || pos == 0 || pos == n {
+            return TreeNode::Leaf {
+                positive: majority,
+                purity,
+            };
+        }
+        // Find the best (feature, threshold) by Gini gain.
+        let dims = points.first().map_or(0, Vec::len);
+        let parent_gini = gini(pos, n);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..dims {
+            let mut vals: Vec<(f64, bool)> =
+                idx.iter().map(|&i| (points[i][f], labels[i])).collect();
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left_pos = 0usize;
+            let total_pos = pos;
+            for s in 1..n {
+                if vals[s - 1].1 {
+                    left_pos += 1;
+                }
+                if vals[s].0 == vals[s - 1].0 {
+                    continue; // can't split between equal values
+                }
+                let left_n = s;
+                let right_n = n - s;
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / n as f64;
+                let gain = parent_gini - weighted;
+                let threshold = (vals[s - 1].0 + vals[s].0) / 2.0;
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, gain)) if gain > 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| points[i][feature] < threshold);
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::train_node(
+                        points, labels, &left_idx, config, depth + 1,
+                    )),
+                    right: Box::new(Self::train_node(
+                        points, labels, &right_idx, config, depth + 1,
+                    )),
+                }
+            }
+            _ => TreeNode::Leaf {
+                positive: majority,
+                purity,
+            },
+        }
+    }
+
+    /// Predict the class of one feature vector.
+    pub fn predict(&self, point: &[f64]) -> bool {
+        match self {
+            TreeNode::Leaf { positive, .. } => *positive,
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if point[*feature] < *threshold {
+                    left.predict(point)
+                } else {
+                    right.predict(point)
+                }
+            }
+        }
+    }
+
+    /// Extract the positive regions as hyper-rectangles: each is a list
+    /// of `(low, high)` bounds per feature (unbounded sides use
+    /// ±infinity). This is how AIDE turns the model back into SQL.
+    pub fn positive_regions(&self, dims: usize) -> Vec<Vec<(f64, f64)>> {
+        let mut out = Vec::new();
+        let mut bounds = vec![(f64::NEG_INFINITY, f64::INFINITY); dims];
+        self.collect_regions(&mut bounds, &mut out);
+        out
+    }
+
+    fn collect_regions(
+        &self,
+        bounds: &mut Vec<(f64, f64)>,
+        out: &mut Vec<Vec<(f64, f64)>>,
+    ) {
+        match self {
+            TreeNode::Leaf { positive, .. } => {
+                if *positive {
+                    out.push(bounds.clone());
+                }
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let saved = bounds[*feature];
+                bounds[*feature] = (saved.0, saved.1.min(*threshold));
+                left.collect_regions(bounds, out);
+                bounds[*feature] = (saved.0.max(*threshold), saved.1);
+                right.collect_regions(bounds, out);
+                bounds[*feature] = saved;
+            }
+        }
+    }
+
+    /// Number of leaves (model complexity).
+    pub fn leaves(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+#[inline]
+fn gini(pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::rng::SplitMix64;
+
+    /// Points in [0,100)², labeled by a hidden rectangle.
+    fn rect_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut pts = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = rng.range_f64(0.0, 100.0);
+            let y = rng.range_f64(0.0, 100.0);
+            labels.push((20.0..60.0).contains(&x) && (30.0..70.0).contains(&y));
+            pts.push(vec![x, y]);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn learns_a_rectangle() {
+        let (pts, labels) = rect_data(2000, 1);
+        let tree = TreeNode::train(&pts, &labels, TreeConfig::default());
+        let (test_pts, test_labels) = rect_data(1000, 2);
+        let correct = test_pts
+            .iter()
+            .zip(&test_labels)
+            .filter(|(p, &l)| tree.predict(p) == l)
+            .count();
+        let acc = correct as f64 / 1000.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn pure_training_sets_yield_single_leaf() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let tree = TreeNode::train(&pts, &[true, true, true], TreeConfig::default());
+        assert_eq!(tree.leaves(), 1);
+        assert!(tree.predict(&[99.0]));
+        let tree = TreeNode::train(&pts, &[false, false, false], TreeConfig::default());
+        assert!(!tree.predict(&[0.0]));
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (pts, labels) = rect_data(500, 3);
+        let tree = TreeNode::train(
+            &pts,
+            &labels,
+            TreeConfig {
+                max_depth: 2,
+                min_samples: 2,
+            },
+        );
+        assert!(tree.depth() <= 2);
+        assert!(tree.leaves() <= 4);
+    }
+
+    #[test]
+    fn regions_cover_positive_predictions() {
+        let (pts, labels) = rect_data(2000, 4);
+        let tree = TreeNode::train(&pts, &labels, TreeConfig::default());
+        let regions = tree.positive_regions(2);
+        assert!(!regions.is_empty());
+        // A point predicted positive must fall in some region, and vice
+        // versa.
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..500 {
+            let p = vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)];
+            let in_region = regions.iter().any(|r| {
+                r.iter()
+                    .zip(&p)
+                    .all(|(&(lo, hi), &x)| x >= lo && x < hi)
+            });
+            assert_eq!(in_region, tree.predict(&p), "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn indistinguishable_points_stop_splitting() {
+        // Identical features with mixed labels: no split possible.
+        let pts = vec![vec![5.0]; 10];
+        let labels = vec![true, false, true, false, true, false, true, false, true, false];
+        let tree = TreeNode::train(&pts, &labels, TreeConfig::default());
+        assert_eq!(tree.leaves(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_inputs_panic() {
+        TreeNode::train(&[vec![1.0]], &[true, false], TreeConfig::default());
+    }
+}

@@ -1,0 +1,33 @@
+//! # explore-loading
+//!
+//! Adaptive loading — the tutorial's Database Layer / "Adaptive Loading"
+//! cluster (NoDB \[8\], "Here are my data files" \[28\], invisible loading
+//! \[2\], speculative loading \[15\]):
+//!
+//! *During data exploration not all data is needed.* Queries run
+//! directly against raw files; tokenizing/parsing cost is paid lazily and
+//! cached, so users get answers **before** any load finishes and the
+//! database loads itself as a side effect of the workload.
+//!
+//! * [`raw`] — the raw CSV substrate plus the two baselines: eager full
+//!   load and cache-less external scans.
+//! * [`adaptive`] — the NoDB loader: positional maps, selective parsing,
+//!   column caching / invisible loading.
+//!
+//! ```
+//! use explore_loading::{AdaptiveLoader, RawCsv};
+//! use explore_storage::{csv::write_csv, gen, AggFunc, Query};
+//!
+//! let t = gen::sales_table(&gen::SalesConfig::default());
+//! let raw = RawCsv::new(write_csv(&t), t.schema().clone()).unwrap();
+//! let mut loader = AdaptiveLoader::new(raw);
+//! // First query parses only the `price` column...
+//! loader.query(&Query::new().agg(AggFunc::Avg, "price")).unwrap();
+//! assert_eq!(loader.columns_loaded(), 1);
+//! ```
+
+pub mod adaptive;
+pub mod raw;
+
+pub use adaptive::{AdaptiveLoader, LoadMetrics};
+pub use raw::{eager_load, ExternalScanner, RawCsv};

@@ -1,0 +1,40 @@
+//! # explore-prefetch
+//!
+//! Interactive-performance middleware — the tutorial's "Data
+//! Prefetching" cluster (Semantic Windows \[36\], cube prefetching \[37\],
+//! SCOUT trajectory prefetching \[63\]):
+//!
+//! * [`grid`] — a 2-D grid index whose cell fetches carry an explicit
+//!   cost, the substrate the other modules hide latency over.
+//! * [`windows`] — semantic-window search: find all `w × h` regions
+//!   satisfying a content predicate, naive vs shared (prefix-sum)
+//!   evaluation.
+//! * [`session`] — pan-the-viewport exploration sessions with
+//!   constant-velocity trajectory prefetching, measuring how much
+//!   user-visible latency speculation removes.
+//! * [`speculative`] — background execution of *neighbor* range
+//!   queries (pan/zoom variants of the current one), the general form
+//!   of the cluster's speculation idea over ordinary aggregates.
+//!
+//! ```
+//! use explore_prefetch::{GridIndex, PanSession, Viewport};
+//! use explore_storage::gen::sky_table;
+//!
+//! let sky = sky_table(10_000, 3, 100.0, 42);
+//! let grid = GridIndex::build(&sky, "x", "y", "mag", 16, 16).unwrap();
+//! let mut session = PanSession::new(&grid, true);
+//! session.view(Viewport { cx: 0, cy: 8, w: 4, h: 4 });
+//! session.view(Viewport { cx: 1, cy: 8, w: 4, h: 4 });
+//! session.view(Viewport { cx: 2, cy: 8, w: 4, h: 4 }); // mostly prefetched
+//! assert!(session.stats().hits > 0);
+//! ```
+
+pub mod grid;
+pub mod session;
+pub mod speculative;
+pub mod windows;
+
+pub use grid::{CellAgg, GridIndex};
+pub use session::{PanSession, PanStats, Viewport};
+pub use speculative::{RangeRequest, SpeculationStats, SpeculativeExecutor};
+pub use windows::{find_windows_naive, find_windows_prefix, WindowHit};

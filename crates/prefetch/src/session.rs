@@ -1,0 +1,243 @@
+//! Viewport exploration sessions with trajectory-based prefetching
+//! (SCOUT \[63\]; the prefetching half of Semantic Windows \[36\]).
+//!
+//! The user pans a viewport (a rectangle of grid cells) across the data.
+//! Fetching an uncached cell costs foreground work proportional to its
+//! population; the user *feels* that as latency. The prefetcher watches
+//! the pan trajectory, extrapolates the velocity, and fetches the
+//! predicted next viewport during think time — converting foreground
+//! misses into background work.
+
+use std::collections::HashMap;
+
+use crate::grid::{CellAgg, GridIndex};
+
+/// A rectangular viewport in cell coordinates, `w × h` cells anchored at
+/// `(cx, cy)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Viewport {
+    pub cx: i64,
+    pub cy: i64,
+    pub w: usize,
+    pub h: usize,
+}
+
+impl Viewport {
+    /// Cells covered by the viewport, clipped to the grid.
+    fn cells(&self, grid: &GridIndex) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.w * self.h);
+        for dy in 0..self.h as i64 {
+            for dx in 0..self.w as i64 {
+                let x = self.cx + dx;
+                let y = self.cy + dy;
+                if x >= 0 && y >= 0 && (x as usize) < grid.cols() && (y as usize) < grid.rows() {
+                    out.push((x as usize, y as usize));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Session work/hit statistics for experiment E9.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PanStats {
+    /// Cell requests served from cache.
+    pub hits: u64,
+    /// Cell requests that fetched on the spot (user-visible latency).
+    pub misses: u64,
+    /// Points touched by foreground (miss) fetches.
+    pub foreground_work: u64,
+    /// Points touched by background (prefetch) fetches.
+    pub background_work: u64,
+}
+
+impl PanStats {
+    /// Fraction of cell requests served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An interactive pan session over a grid.
+#[derive(Debug)]
+pub struct PanSession<'a> {
+    grid: &'a GridIndex,
+    cache: HashMap<(usize, usize), CellAgg>,
+    prefetch: bool,
+    stats: PanStats,
+    last: Option<Viewport>,
+}
+
+impl<'a> PanSession<'a> {
+    /// Start a session; `prefetch = false` is the E9 baseline.
+    pub fn new(grid: &'a GridIndex, prefetch: bool) -> Self {
+        PanSession {
+            grid,
+            cache: HashMap::new(),
+            prefetch,
+            stats: PanStats::default(),
+            last: None,
+        }
+    }
+
+    /// Session statistics.
+    pub fn stats(&self) -> PanStats {
+        self.stats
+    }
+
+    /// Cached cells.
+    pub fn cached_cells(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The user moves the viewport here; returns the viewport's cell
+    /// aggregates. Afterwards the prefetcher runs for the predicted next
+    /// position.
+    pub fn view(&mut self, vp: Viewport) -> Vec<CellAgg> {
+        let mut out = Vec::new();
+        for (cx, cy) in vp.cells(self.grid) {
+            if let Some(&agg) = self.cache.get(&(cx, cy)) {
+                self.stats.hits += 1;
+                out.push(agg);
+            } else {
+                let (agg, cost) = self.grid.fetch_cell(cx, cy);
+                self.stats.misses += 1;
+                self.stats.foreground_work += cost;
+                self.cache.insert((cx, cy), agg);
+                out.push(agg);
+            }
+        }
+        if self.prefetch {
+            if let Some(prev) = self.last {
+                // Constant-velocity extrapolation of the pan trajectory.
+                let predicted = Viewport {
+                    cx: vp.cx + (vp.cx - prev.cx),
+                    cy: vp.cy + (vp.cy - prev.cy),
+                    w: vp.w,
+                    h: vp.h,
+                };
+                for (cx, cy) in predicted.cells(self.grid) {
+                    if !self.cache.contains_key(&(cx, cy)) {
+                        let (agg, cost) = self.grid.fetch_cell(cx, cy);
+                        self.stats.background_work += cost;
+                        self.cache.insert((cx, cy), agg);
+                    }
+                }
+            }
+        }
+        self.last = Some(vp);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::sky_table;
+
+    fn grid() -> GridIndex {
+        let t = sky_table(20_000, 4, 100.0, 7);
+        GridIndex::build(&t, "x", "y", "mag", 32, 32).unwrap()
+    }
+
+    /// A straight pan to the right, one cell per step.
+    fn pan_right(session: &mut PanSession, steps: i64) {
+        for i in 0..steps {
+            session.view(Viewport {
+                cx: i,
+                cy: 10,
+                w: 4,
+                h: 4,
+            });
+        }
+    }
+
+    #[test]
+    fn prefetching_converts_misses_to_hits() {
+        let g = grid();
+        let mut with = PanSession::new(&g, true);
+        pan_right(&mut with, 20);
+        let mut without = PanSession::new(&g, false);
+        pan_right(&mut without, 20);
+        let (pw, pwo) = (with.stats(), without.stats());
+        assert!(
+            pw.hit_rate() > pwo.hit_rate() + 0.2,
+            "with {} vs without {}",
+            pw.hit_rate(),
+            pwo.hit_rate()
+        );
+        assert!(pw.foreground_work < pwo.foreground_work);
+        assert!(pw.background_work > 0);
+    }
+
+    #[test]
+    fn overlapping_viewports_hit_even_without_prefetch() {
+        let g = grid();
+        let mut s = PanSession::new(&g, false);
+        pan_right(&mut s, 10);
+        // A 4-wide viewport advancing by 1 shares 3 columns per step.
+        assert!(s.stats().hit_rate() > 0.5, "{}", s.stats().hit_rate());
+    }
+
+    #[test]
+    fn results_identical_with_and_without_prefetch() {
+        let g = grid();
+        let mut a = PanSession::new(&g, true);
+        let mut b = PanSession::new(&g, false);
+        for i in 0..10 {
+            let vp = Viewport {
+                cx: i * 2,
+                cy: 5 + i,
+                w: 3,
+                h: 3,
+            };
+            assert_eq!(a.view(vp), b.view(vp));
+        }
+    }
+
+    #[test]
+    fn viewport_clipping_at_edges() {
+        let g = grid();
+        let mut s = PanSession::new(&g, true);
+        let out = s.view(Viewport {
+            cx: -2,
+            cy: -2,
+            w: 4,
+            h: 4,
+        });
+        assert_eq!(out.len(), 4, "only the in-grid quadrant");
+        let out = s.view(Viewport {
+            cx: 31,
+            cy: 31,
+            w: 4,
+            h: 4,
+        });
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn direction_change_still_correct() {
+        let g = grid();
+        let mut s = PanSession::new(&g, true);
+        // Zig-zag: prediction will often be wrong but answers must stay
+        // correct and the cache only grows.
+        let mut cached_prev = 0;
+        for i in 0..10i64 {
+            let vp = Viewport {
+                cx: if i % 2 == 0 { i } else { 20 - i },
+                cy: i,
+                w: 3,
+                h: 3,
+            };
+            s.view(vp);
+            assert!(s.cached_cells() >= cached_prev);
+            cached_prev = s.cached_cells();
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Speculative execution of *similar* queries — the general form of the
+//! middleware prefetching idea (Semantic Windows' shape-based
+//! speculation \[36\], DICE's faceted speculation \[35, 37\]) applied to
+//! ordinary range-aggregate queries.
+//!
+//! The observation: an exploration session's next range predicate is
+//! overwhelmingly a *neighbor* of the current one — shifted left/right,
+//! widened or narrowed. While the user reads the current answer, the
+//! middleware executes those neighbors in the background and caches
+//! them; the next query is then usually a hit. Answers are exact; only
+//! scheduling is speculative.
+
+use std::collections::HashMap;
+
+use explore_storage::{AggFunc, Query, Result, Table};
+
+use parking_lot::Mutex;
+
+/// A canonical range-aggregate request: `func(measure) WHERE low <=
+/// column < high` (the session workload of the cracking/AQP papers).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RangeRequest {
+    pub column: String,
+    /// Integer bounds (the workload generators are integer-domain).
+    pub low: i64,
+    pub high: i64,
+    pub func: AggFunc,
+    pub measure: String,
+}
+
+impl RangeRequest {
+    fn to_query(&self) -> Query {
+        Query::new()
+            .filter(explore_storage::Predicate::range(
+                self.column.clone(),
+                self.low,
+                self.high,
+            ))
+            .agg(self.func, &self.measure)
+    }
+
+    /// The neighbor requests speculation considers: shift left/right by
+    /// one width, widen ×2, narrow ×½.
+    pub fn neighbors(&self) -> Vec<RangeRequest> {
+        let width = (self.high - self.low).max(1);
+        let mut out = Vec::with_capacity(4);
+        let mut push = |low: i64, high: i64| {
+            if low < high {
+                out.push(RangeRequest {
+                    low,
+                    high,
+                    ..self.clone()
+                });
+            }
+        };
+        push(self.low + width, self.high + width); // pan right
+        push(self.low - width, self.high - width); // pan left
+        push(self.low - width / 2, self.high + width / 2); // zoom out
+        push(self.low + width / 4, self.high - width / 4); // zoom in
+        out
+    }
+}
+
+/// Hit/miss and work accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpeculationStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Queries executed speculatively (background work).
+    pub speculative_runs: u64,
+}
+
+impl SpeculationStats {
+    /// Foreground cache-hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A query middleware that caches answers and speculatively executes
+/// neighbor queries after each foreground request.
+#[derive(Debug)]
+pub struct SpeculativeExecutor<'a> {
+    table: &'a Table,
+    cache: Mutex<HashMap<RangeRequest, f64>>,
+    /// Speculation budget per foreground query (0 disables).
+    budget: usize,
+    stats: Mutex<SpeculationStats>,
+}
+
+impl<'a> SpeculativeExecutor<'a> {
+    /// Wrap a table. `budget` neighbor queries run after each request.
+    pub fn new(table: &'a Table, budget: usize) -> Self {
+        SpeculativeExecutor {
+            table,
+            cache: Mutex::new(HashMap::new()),
+            budget,
+            stats: Mutex::new(SpeculationStats::default()),
+        }
+    }
+
+    /// Execute a request (cache → compute), then speculate on its
+    /// neighbors up to the budget.
+    pub fn execute(&self, req: &RangeRequest) -> Result<f64> {
+        let cached = self.cache.lock().get(req).copied();
+        let answer = match cached {
+            Some(v) => {
+                self.stats.lock().hits += 1;
+                v
+            }
+            None => {
+                let v = self.run(req)?;
+                self.stats.lock().misses += 1;
+                self.cache.lock().insert(req.clone(), v);
+                v
+            }
+        };
+        // Speculation phase ("user think time").
+        let mut done = 0;
+        for n in req.neighbors() {
+            if done >= self.budget {
+                break;
+            }
+            if self.cache.lock().contains_key(&n) {
+                continue;
+            }
+            let v = self.run(&n)?;
+            self.cache.lock().insert(n, v);
+            self.stats.lock().speculative_runs += 1;
+            done += 1;
+        }
+        Ok(answer)
+    }
+
+    fn run(&self, req: &RangeRequest) -> Result<f64> {
+        let result = req.to_query().run(self.table)?;
+        let name = format!("{}({})", req.func, req.measure);
+        Ok(result.column(&name)?.as_f64().expect("aggregate column")[0])
+    }
+
+    /// Session statistics.
+    pub fn stats(&self) -> SpeculationStats {
+        *self.stats.lock()
+    }
+
+    /// Cached answers.
+    pub fn cached(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::Predicate;
+
+    fn table() -> Table {
+        sales_table(&SalesConfig {
+            rows: 20_000,
+            ..SalesConfig::default()
+        })
+    }
+
+    fn req(low: i64, high: i64) -> RangeRequest {
+        RangeRequest {
+            column: "qty".into(),
+            low,
+            high,
+            func: AggFunc::Sum,
+            measure: "price".into(),
+        }
+    }
+
+    #[test]
+    fn answers_are_exact() {
+        let t = table();
+        let ex = SpeculativeExecutor::new(&t, 4);
+        let got = ex.execute(&req(2, 5)).unwrap();
+        let sel = Predicate::range("qty", 2i64, 5i64).evaluate(&t).unwrap();
+        let prices = t.column("price").unwrap().as_f64().unwrap();
+        let truth: f64 = sel.iter().map(|&i| prices[i as usize]).sum();
+        assert!((got - truth).abs() < 1e-6);
+    }
+
+    #[test]
+    fn panning_sessions_hit_the_speculated_neighbors() {
+        let t = table();
+        let spec = SpeculativeExecutor::new(&t, 4);
+        let base = SpeculativeExecutor::new(&t, 0);
+        // A pan-right session: each request is the previous shifted by
+        // its width — exactly the "pan right" neighbor.
+        for step in 0..4 {
+            let r = req(1 + step * 2, 3 + step * 2);
+            assert_eq!(spec.execute(&r).unwrap(), base.execute(&r).unwrap());
+        }
+        let s = spec.stats();
+        let b = base.stats();
+        assert!(s.hit_rate() > b.hit_rate(), "{s:?} vs {b:?}");
+        assert!(s.hits >= 3, "steps 2-4 should be prefetched: {s:?}");
+        assert_eq!(b.hits, 0);
+        assert!(s.speculative_runs > 0);
+    }
+
+    #[test]
+    fn budget_zero_disables_speculation() {
+        let t = table();
+        let ex = SpeculativeExecutor::new(&t, 0);
+        ex.execute(&req(2, 5)).unwrap();
+        assert_eq!(ex.stats().speculative_runs, 0);
+        assert_eq!(ex.cached(), 1, "only the foreground answer");
+    }
+
+    #[test]
+    fn repeat_requests_are_hits_even_without_speculation() {
+        let t = table();
+        let ex = SpeculativeExecutor::new(&t, 0);
+        ex.execute(&req(2, 5)).unwrap();
+        ex.execute(&req(2, 5)).unwrap();
+        let s = ex.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn neighbors_are_well_formed() {
+        let ns = req(10, 20).neighbors();
+        assert_eq!(ns.len(), 4);
+        assert!(ns.iter().all(|n| n.low < n.high));
+        assert!(ns.contains(&req(20, 30)), "pan right");
+        assert!(ns.contains(&req(0, 10)), "pan left");
+        // Degenerate width-1 request still yields valid neighbors.
+        let ns = req(5, 6).neighbors();
+        assert!(ns.iter().all(|n| n.low < n.high));
+    }
+}

@@ -1,0 +1,210 @@
+//! Stratified samples (BlinkDB \[6, 7\]).
+//!
+//! A uniform sample starves rare groups: a group holding 0.1% of rows
+//! gets ~0 sample rows at 1% sampling, so its per-group aggregate is
+//! garbage. BlinkDB's stratified samples instead cap each group at `k`
+//! rows — small groups are kept *whole* (exact answers), large groups are
+//! uniformly subsampled — and record per-group scale factors for
+//! unbiased estimation.
+
+use std::collections::HashMap;
+
+use explore_storage::rng::SplitMix64;
+use explore_storage::{Result, Table};
+
+/// A sample stratified on one categorical column.
+#[derive(Debug, Clone)]
+pub struct StratifiedSample {
+    table: Table,
+    column: String,
+    cap: usize,
+    /// Group label → (rows in base, rows in sample).
+    group_sizes: HashMap<String, (usize, usize)>,
+    base_rows: usize,
+}
+
+impl StratifiedSample {
+    /// Build a sample over `base` stratified on `column` (must be Utf8),
+    /// keeping at most `cap` rows per distinct value.
+    pub fn build(base: &Table, column: &str, cap: usize, seed: u64) -> Result<Self> {
+        let cap = cap.max(1);
+        let col = base.column(column)?;
+        let labels = col
+            .as_utf8()
+            .ok_or_else(|| explore_storage::StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "Utf8",
+                found: col.data_type().name(),
+            })?;
+        // Group rows by label.
+        let mut groups: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (i, label) in labels.iter().enumerate() {
+            groups.entry(label).or_default().push(i as u32);
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut sel: Vec<u32> = Vec::new();
+        let mut group_sizes = HashMap::with_capacity(groups.len());
+        for (label, rows) in groups {
+            let take = rows.len().min(cap);
+            if take == rows.len() {
+                sel.extend_from_slice(&rows);
+            } else {
+                let idx = rng.sample_indices(rows.len(), take);
+                sel.extend(idx.into_iter().map(|i| rows[i]));
+            }
+            group_sizes.insert(label.to_owned(), (rows.len(), take));
+        }
+        sel.sort_unstable();
+        Ok(StratifiedSample {
+            table: base.gather(&sel),
+            column: column.to_owned(),
+            cap,
+            group_sizes,
+            base_rows: base.num_rows(),
+        })
+    }
+
+    /// The sampled rows.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The stratification column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The per-group row cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Rows in the base table.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Scale factor for a group's COUNT/SUM estimates (base rows /
+    /// sampled rows for that group), or `None` for unseen groups.
+    pub fn group_scale(&self, label: &str) -> Option<f64> {
+        self.group_sizes
+            .get(label)
+            .map(|&(base, sampled)| base as f64 / sampled as f64)
+    }
+
+    /// True when the group was kept whole (its aggregates are exact).
+    pub fn group_is_exact(&self, label: &str) -> bool {
+        matches!(self.group_sizes.get(label), Some(&(b, s)) if b == s)
+    }
+
+    /// Number of distinct groups represented.
+    pub fn num_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::{AggFunc, Query};
+
+    fn base() -> Table {
+        sales_table(&SalesConfig {
+            rows: 20_000,
+            regions: 10,
+            skew: 1.2, // strong skew: tail regions are rare
+            ..SalesConfig::default()
+        })
+    }
+
+    #[test]
+    fn every_group_is_represented() {
+        let b = base();
+        let s = StratifiedSample::build(&b, "region", 100, 1).unwrap();
+        let base_groups: std::collections::HashSet<_> =
+            b.column("region").unwrap().as_utf8().unwrap().iter().collect();
+        let sample_groups: std::collections::HashSet<_> = s
+            .table()
+            .column("region")
+            .unwrap()
+            .as_utf8()
+            .unwrap()
+            .iter()
+            .collect();
+        assert_eq!(base_groups, sample_groups);
+        assert_eq!(s.num_groups(), base_groups.len());
+    }
+
+    #[test]
+    fn cap_is_enforced_per_group() {
+        let b = base();
+        let s = StratifiedSample::build(&b, "region", 50, 2).unwrap();
+        let counts = Query::new()
+            .group("region")
+            .agg(AggFunc::Count, "qty")
+            .run(s.table())
+            .unwrap();
+        let c = counts.column("count(qty)").unwrap().as_f64().unwrap();
+        assert!(c.iter().all(|&x| x <= 50.0));
+    }
+
+    #[test]
+    fn small_groups_are_exact() {
+        let b = base();
+        let s = StratifiedSample::build(&b, "region", 10_000, 3).unwrap();
+        // With a huge cap every group is whole.
+        for label in ["region0", "region9"] {
+            if s.group_scale(label).is_some() {
+                assert!(s.group_is_exact(label), "{label}");
+                assert_eq!(s.group_scale(label), Some(1.0));
+            }
+        }
+        assert_eq!(s.table().num_rows(), b.num_rows());
+    }
+
+    #[test]
+    fn group_scale_unbiases_counts() {
+        let b = base();
+        let s = StratifiedSample::build(&b, "region", 200, 4).unwrap();
+        let truth = Query::new()
+            .group("region")
+            .agg(AggFunc::Count, "qty")
+            .run(&b)
+            .unwrap();
+        let labels = truth.column("region").unwrap().as_utf8().unwrap();
+        let counts = truth.column("count(qty)").unwrap().as_f64().unwrap();
+        for (label, &truth_count) in labels.iter().zip(counts) {
+            let scale = s.group_scale(label).unwrap();
+            let sampled = s
+                .table()
+                .column("region")
+                .unwrap()
+                .as_utf8()
+                .unwrap()
+                .iter()
+                .filter(|l| *l == label)
+                .count() as f64;
+            let est = sampled * scale;
+            assert!(
+                (est - truth_count).abs() < 1e-9,
+                "{label}: est {est} truth {truth_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_numeric_stratification_column() {
+        let b = base();
+        assert!(StratifiedSample::build(&b, "price", 10, 5).is_err());
+        assert!(StratifiedSample::build(&b, "missing", 10, 5).is_err());
+    }
+
+    #[test]
+    fn unseen_group_scale_is_none() {
+        let b = base();
+        let s = StratifiedSample::build(&b, "region", 10, 6).unwrap();
+        assert!(s.group_scale("regionX").is_none());
+        assert!(!s.group_is_exact("regionX"));
+    }
+}

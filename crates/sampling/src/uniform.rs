@@ -1,0 +1,140 @@
+//! Uniform row-level samples of tables.
+
+use explore_storage::rng::SplitMix64;
+use explore_storage::Table;
+
+/// A uniform random sample of a base table, carrying the metadata AQP
+/// needs to scale estimates back up.
+#[derive(Debug, Clone)]
+pub struct UniformSample {
+    table: Table,
+    base_rows: usize,
+    fraction: f64,
+}
+
+impl UniformSample {
+    /// Draw a sample of `fraction` (0, 1] of `base` without replacement.
+    pub fn build(base: &Table, fraction: f64, seed: u64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let n = base.num_rows();
+        let k = ((n as f64 * fraction).round() as usize).clamp(usize::from(n > 0), n);
+        let mut rng = SplitMix64::new(seed);
+        let mut sel: Vec<u32> = rng
+            .sample_indices(n, k)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        // Keep base order: sequential access patterns stay sequential.
+        sel.sort_unstable();
+        UniformSample {
+            table: base.gather(&sel),
+            base_rows: n,
+            fraction: if n == 0 { 0.0 } else { k as f64 / n as f64 },
+        }
+    }
+
+    /// The sampled rows.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Rows in the base table this sample was drawn from.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Achieved sampling fraction (may differ slightly from requested
+    /// due to rounding).
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The factor by which COUNT/SUM estimates on the sample must be
+    /// scaled to estimate the base table.
+    pub fn scale(&self) -> f64 {
+        if self.fraction > 0.0 {
+            1.0 / self.fraction
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    #[test]
+    fn sample_size_matches_fraction() {
+        let base = sales_table(&SalesConfig {
+            rows: 10_000,
+            ..SalesConfig::default()
+        });
+        let s = UniformSample::build(&base, 0.1, 1);
+        assert_eq!(s.table().num_rows(), 1000);
+        assert_eq!(s.base_rows(), 10_000);
+        assert!((s.scale() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let base = sales_table(&SalesConfig {
+            rows: 100,
+            ..SalesConfig::default()
+        });
+        let s = UniformSample::build(&base, 1.0, 2);
+        assert_eq!(s.table(), &base);
+        assert_eq!(s.scale(), 1.0);
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_at_least_one_row() {
+        let base = sales_table(&SalesConfig {
+            rows: 100,
+            ..SalesConfig::default()
+        });
+        let s = UniformSample::build(&base, 1e-9, 3);
+        assert_eq!(s.table().num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_base() {
+        let base = sales_table(&SalesConfig {
+            rows: 0,
+            ..SalesConfig::default()
+        });
+        let s = UniformSample::build(&base, 0.5, 4);
+        assert_eq!(s.table().num_rows(), 0);
+        assert_eq!(s.scale(), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_approximates_population_mean() {
+        let base = sales_table(&SalesConfig {
+            rows: 50_000,
+            ..SalesConfig::default()
+        });
+        let pop: f64 = {
+            let p = base.column("price").unwrap().as_f64().unwrap();
+            p.iter().sum::<f64>() / p.len() as f64
+        };
+        let s = UniformSample::build(&base, 0.05, 5);
+        let sm: f64 = {
+            let p = s.table().column("price").unwrap().as_f64().unwrap();
+            p.iter().sum::<f64>() / p.len() as f64
+        };
+        assert!((sm - pop).abs() / pop < 0.05, "sample {sm} pop {pop}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_samples() {
+        let base = sales_table(&SalesConfig {
+            rows: 1000,
+            ..SalesConfig::default()
+        });
+        let a = UniformSample::build(&base, 0.1, 6);
+        let b = UniformSample::build(&base, 0.1, 7);
+        assert_ne!(a.table(), b.table());
+    }
+}

@@ -1,0 +1,597 @@
+//! The adaptive data-series index (Zoumpatianos, Idreos, Palpanas —
+//! SIGMOD'14 \[68\], "Indexing for interactive exploration of big data
+//! series").
+//!
+//! Building a full data-series index before the first query takes longer
+//! than many exploration sessions last. ADS instead builds a *minimal*
+//! index up front (everything in one node) and refines it **during query
+//! processing**: when a similarity query visits a leaf that is still
+//! large, the leaf splits — so the index materializes exactly along the
+//! query workload, the cracking philosophy transplanted to series.
+//!
+//! Structure: a binary tree over PAA space. Each node stores the
+//! per-segment envelope (min/max of members' PAA) for lower-bound
+//! pruning; leaves store member ids. Splits cut the segment with the
+//! widest envelope at its midpoint.
+
+use crate::paa::{euclidean, lb_envelope, paa, segment_lengths};
+
+/// Work counters for comparing adaptive vs full-build vs scan.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeriesStats {
+    /// Full-resolution distance computations.
+    pub distance_computations: u64,
+    /// Leaf splits performed (index-construction work).
+    pub splits: u64,
+    /// Nodes whose envelope pruned them away.
+    pub pruned_nodes: u64,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        ids: Vec<u32>,
+        seg_min: Vec<f64>,
+        seg_max: Vec<f64>,
+    },
+    Internal {
+        seg_min: Vec<f64>,
+        seg_max: Vec<f64>,
+        split_dim: usize,
+        split_at: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn envelope(&self) -> (&[f64], &[f64]) {
+        match self {
+            Node::Leaf { seg_min, seg_max, .. } => (seg_min, seg_max),
+            Node::Internal { seg_min, seg_max, .. } => (seg_min, seg_max),
+        }
+    }
+}
+
+/// How eagerly the tree is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// ADS: split leaves only when queries visit them.
+    Adaptive,
+    /// Split everything up front (the classic index baseline).
+    Full,
+}
+
+/// An (optionally adaptive) similarity index over fixed-length series.
+#[derive(Debug)]
+pub struct SeriesIndex {
+    series: Vec<Vec<f64>>,
+    paas: Vec<Vec<f64>>,
+    seg_lens: Vec<usize>,
+    w: usize,
+    leaf_size: usize,
+    root: Node,
+    mode: BuildMode,
+    stats: SeriesStats,
+}
+
+impl SeriesIndex {
+    /// Index a collection of equal-length series with `w` PAA segments
+    /// and the given leaf capacity.
+    ///
+    /// # Panics
+    /// Panics on an empty collection or unequal lengths.
+    pub fn build(series: Vec<Vec<f64>>, w: usize, leaf_size: usize, mode: BuildMode) -> Self {
+        assert!(!series.is_empty(), "empty collection");
+        let n = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == n),
+            "series must share one length"
+        );
+        let w = w.clamp(1, n);
+        let paas: Vec<Vec<f64>> = series.iter().map(|s| paa(s, w)).collect();
+        let ids: Vec<u32> = (0..series.len() as u32).collect();
+        let (seg_min, seg_max) = envelope_of(&paas, &ids, w);
+        let mut index = SeriesIndex {
+            series,
+            paas,
+            seg_lens: segment_lengths(n, w),
+            w,
+            leaf_size: leaf_size.max(1),
+            root: Node::Leaf {
+                ids,
+                seg_min,
+                seg_max,
+            },
+            mode,
+            stats: SeriesStats::default(),
+        };
+        if mode == BuildMode::Full {
+            let root = std::mem::replace(
+                &mut index.root,
+                Node::Leaf {
+                    ids: Vec::new(),
+                    seg_min: Vec::new(),
+                    seg_max: Vec::new(),
+                },
+            );
+            index.root = index.split_fully(root);
+        }
+        index
+    }
+
+    /// Number of indexed series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series is indexed (never — build panics on empty).
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SeriesStats {
+        self.stats
+    }
+
+    /// Number of leaves (index refinement progress).
+    pub fn num_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Internal { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Exhaustive 1-NN baseline (counts its distance computations).
+    pub fn nn_scan(&mut self, query: &[f64]) -> (u32, f64) {
+        let mut best = (0u32, f64::INFINITY);
+        for (i, s) in self.series.iter().enumerate() {
+            let d = euclidean(query, s);
+            self.stats.distance_computations += 1;
+            if d < best.1 {
+                best = (i as u32, d);
+            }
+        }
+        best
+    }
+
+    /// 1-NN through the index. In adaptive mode, visited oversized
+    /// leaves split first (the ADS step), then the search prunes with
+    /// envelope lower bounds.
+    pub fn nn(&mut self, query: &[f64]) -> (u32, f64) {
+        self.knn(query, 1)
+            .into_iter()
+            .next()
+            .expect("k >= 1 over a non-empty collection")
+    }
+
+    /// k-NN through the index: the `k` closest series, nearest first.
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Vec<(u32, f64)> {
+        assert_eq!(query.len(), self.series[0].len(), "query length mismatch");
+        let k = k.clamp(1, self.series.len());
+        let q_paa = paa(query, self.w);
+        let mut best = KnnSet::new(k);
+        let root = std::mem::replace(
+            &mut self.root,
+            Node::Leaf {
+                ids: Vec::new(),
+                seg_min: Vec::new(),
+                seg_max: Vec::new(),
+            },
+        );
+        let root = self.visit(root, query, &q_paa, &mut best);
+        self.root = root;
+        best.into_sorted()
+    }
+
+    /// Recursive visit: possibly split (adaptive), then descend children
+    /// nearest-first with pruning. Takes and returns ownership so splits
+    /// can rebuild nodes in place.
+    fn visit(
+        &mut self,
+        node: Node,
+        query: &[f64],
+        q_paa: &[f64],
+        best: &mut KnnSet,
+    ) -> Node {
+        let (seg_min, seg_max) = node.envelope();
+        let lb = lb_envelope(q_paa, seg_min, seg_max, &self.seg_lens);
+        if lb >= best.worst() {
+            self.stats.pruned_nodes += 1;
+            return node;
+        }
+        match node {
+            Node::Leaf { ids, seg_min, seg_max } => {
+                // ADS: refine the leaf the query landed in. A degenerate
+                // split (all PAAs identical) returns a leaf again; scan
+                // it directly instead of recursing forever.
+                if self.mode == BuildMode::Adaptive && ids.len() > self.leaf_size {
+                    match self.split_leaf(ids, seg_min, seg_max) {
+                        internal @ Node::Internal { .. } => {
+                            return self.visit(internal, query, q_paa, best)
+                        }
+                        Node::Leaf { ids, seg_min, seg_max } => {
+                            self.scan_leaf(&ids, query, best);
+                            return Node::Leaf { ids, seg_min, seg_max };
+                        }
+                    }
+                }
+                self.scan_leaf(&ids, query, best);
+                Node::Leaf { ids, seg_min, seg_max }
+            }
+            Node::Internal {
+                seg_min,
+                seg_max,
+                split_dim,
+                split_at,
+                left,
+                right,
+            } => {
+                // Descend the side containing the query first.
+                let (first, second, q_left) = if q_paa[split_dim] < split_at {
+                    (left, right, true)
+                } else {
+                    (right, left, false)
+                };
+                let first = Box::new(self.visit(*first, query, q_paa, best));
+                let second = Box::new(self.visit(*second, query, q_paa, best));
+                let (left, right) = if q_left {
+                    (first, second)
+                } else {
+                    (second, first)
+                };
+                Node::Internal {
+                    seg_min,
+                    seg_max,
+                    split_dim,
+                    split_at,
+                    left,
+                    right,
+                }
+            }
+        }
+    }
+
+    /// Compute true distances against every member of a leaf.
+    fn scan_leaf(&mut self, ids: &[u32], query: &[f64], best: &mut KnnSet) {
+        for &id in ids {
+            let d = euclidean(query, &self.series[id as usize]);
+            self.stats.distance_computations += 1;
+            best.offer(id, d);
+        }
+    }
+
+    /// Split one leaf at the widest envelope dimension's midpoint.
+    fn split_leaf(&mut self, ids: Vec<u32>, seg_min: Vec<f64>, seg_max: Vec<f64>) -> Node {
+        // Widest dimension; ties broken by index.
+        let split_dim = (0..self.w)
+            .max_by(|&a, &b| {
+                (seg_max[a] - seg_min[a]).total_cmp(&(seg_max[b] - seg_min[b]))
+            })
+            .expect("w >= 1");
+        let split_at = (seg_min[split_dim] + seg_max[split_dim]) / 2.0;
+        let (l_ids, r_ids): (Vec<u32>, Vec<u32>) = ids
+            .iter()
+            .partition(|&&id| self.paas[id as usize][split_dim] < split_at);
+        // A degenerate split (all equal PAA) cannot progress; keep the
+        // leaf as-is by reuniting, but cap it from repeated attempts by
+        // pretending it's small enough (leave untouched).
+        if l_ids.is_empty() || r_ids.is_empty() {
+            return Node::Leaf {
+                ids,
+                seg_min,
+                seg_max,
+            };
+        }
+        self.stats.splits += 1;
+        let (l_min, l_max) = envelope_of(&self.paas, &l_ids, self.w);
+        let (r_min, r_max) = envelope_of(&self.paas, &r_ids, self.w);
+        Node::Internal {
+            seg_min,
+            seg_max,
+            split_dim,
+            split_at,
+            left: Box::new(Node::Leaf {
+                ids: l_ids,
+                seg_min: l_min,
+                seg_max: l_max,
+            }),
+            right: Box::new(Node::Leaf {
+                ids: r_ids,
+                seg_min: r_min,
+                seg_max: r_max,
+            }),
+        }
+    }
+
+    /// Recursively split everything below `node` (full-build mode).
+    fn split_fully(&mut self, node: Node) -> Node {
+        match node {
+            Node::Leaf { ids, seg_min, seg_max } if ids.len() > self.leaf_size => {
+                match self.split_leaf(ids, seg_min, seg_max) {
+                    Node::Internal {
+                        seg_min,
+                        seg_max,
+                        split_dim,
+                        split_at,
+                        left,
+                        right,
+                    } => {
+                        let left = Box::new(self.split_fully(*left));
+                        let right = Box::new(self.split_fully(*right));
+                        Node::Internal {
+                            seg_min,
+                            seg_max,
+                            split_dim,
+                            split_at,
+                            left,
+                            right,
+                        }
+                    }
+                    leaf => leaf, // degenerate: couldn't split
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// A bounded set of the k best (id, distance) candidates seen so far.
+#[derive(Debug)]
+struct KnnSet {
+    k: usize,
+    /// Sorted ascending by distance; at most k entries.
+    items: Vec<(u32, f64)>,
+}
+
+impl KnnSet {
+    fn new(k: usize) -> Self {
+        KnnSet {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// The pruning bound: the current k-th best distance (∞ until full).
+    fn worst(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items[self.items.len() - 1].1
+        }
+    }
+
+    fn offer(&mut self, id: u32, d: f64) {
+        if d >= self.worst() {
+            return;
+        }
+        let pos = self.items.partition_point(|&(_, x)| x <= d);
+        self.items.insert(pos, (id, d));
+        self.items.truncate(self.k);
+    }
+
+    fn into_sorted(self) -> Vec<(u32, f64)> {
+        self.items
+    }
+}
+
+fn envelope_of(paas: &[Vec<f64>], ids: &[u32], w: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut seg_min = vec![f64::INFINITY; w];
+    let mut seg_max = vec![f64::NEG_INFINITY; w];
+    for &id in ids {
+        for (s, &v) in paas[id as usize].iter().enumerate() {
+            if v < seg_min[s] {
+                seg_min[s] = v;
+            }
+            if v > seg_max[s] {
+                seg_max[s] = v;
+            }
+        }
+    }
+    (seg_min, seg_max)
+}
+
+/// Generate a collection of random-walk series — the synthetic workload
+/// of the data-series indexing literature — plus queries that are
+/// noisy copies of collection members (so nearest neighbors are
+/// meaningful).
+pub fn random_walks(
+    count: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let mut rng = explore_storage::rng::SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut x = 0.0;
+            (0..len)
+                .map(|_| {
+                    x += rng.gaussian();
+                    x
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A query that is a noisy copy of `base` (σ = `noise`).
+pub fn noisy_copy(base: &[f64], noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = explore_storage::rng::SplitMix64::new(seed);
+    base.iter().map(|&v| v + noise * rng.gaussian()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, mode: BuildMode) -> SeriesIndex {
+        SeriesIndex::build(random_walks(n, 64, 1), 8, 16, mode)
+    }
+
+    #[test]
+    fn nn_matches_exhaustive_scan() {
+        let mut idx = setup(500, BuildMode::Adaptive);
+        let collection = random_walks(500, 64, 1);
+        for qi in 0..30 {
+            let q = noisy_copy(&collection[qi * 7 % 500], 0.2, 100 + qi as u64);
+            let (scan_id, scan_d) = {
+                // Fresh scan that doesn't pollute idx stats comparisons.
+                let mut best = (0u32, f64::INFINITY);
+                for (i, s) in collection.iter().enumerate() {
+                    let d = euclidean(&q, s);
+                    if d < best.1 {
+                        best = (i as u32, d);
+                    }
+                }
+                best
+            };
+            let (nn_id, nn_d) = idx.nn(&q);
+            assert_eq!(nn_id, scan_id, "query {qi}");
+            assert!((nn_d - scan_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_build_matches_adaptive_answers() {
+        let collection = random_walks(300, 32, 2);
+        let mut adaptive = SeriesIndex::build(collection.clone(), 8, 8, BuildMode::Adaptive);
+        let mut full = SeriesIndex::build(collection.clone(), 8, 8, BuildMode::Full);
+        for qi in 0..20 {
+            let q = noisy_copy(&collection[qi % 300], 0.3, 200 + qi as u64);
+            assert_eq!(adaptive.nn(&q).0, full.nn(&q).0, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn adaptive_starts_minimal_and_refines_with_queries() {
+        let mut idx = setup(2000, BuildMode::Adaptive);
+        assert_eq!(idx.num_leaves(), 1, "no up-front build");
+        let collection = random_walks(2000, 64, 1);
+        for qi in 0..20 {
+            idx.nn(&noisy_copy(&collection[qi * 31 % 2000], 0.2, qi as u64));
+        }
+        assert!(idx.num_leaves() > 1, "queries refined the index");
+        assert!(idx.stats().splits > 0);
+    }
+
+    #[test]
+    fn full_build_splits_up_front() {
+        let idx = setup(2000, BuildMode::Full);
+        assert!(idx.num_leaves() > 2000 / 16 / 2, "leaves {}", idx.num_leaves());
+    }
+
+    #[test]
+    fn adaptive_work_profile() {
+        // ADS's profile: split (construction) work is front-loaded onto
+        // the first queries and declines, while per-query distance
+        // computations sit far below the exhaustive scan from query 1
+        // (the split happens *before* the leaf scan).
+        let collection = random_walks(5000, 64, 3);
+        let mut idx = SeriesIndex::build(collection.clone(), 8, 32, BuildMode::Adaptive);
+        let mut split_per_query = Vec::new();
+        let mut dist_per_query = Vec::new();
+        let (mut prev_s, mut prev_d) = (0, 0);
+        for qi in 0..60 {
+            let q = noisy_copy(&collection[qi * 83 % 5000], 0.2, 300 + qi as u64);
+            idx.nn(&q);
+            let s = idx.stats().splits;
+            let d = idx.stats().distance_computations;
+            split_per_query.push(s - prev_s);
+            dist_per_query.push(d - prev_d);
+            (prev_s, prev_d) = (s, d);
+        }
+        let early_splits: u64 = split_per_query[..10].iter().sum();
+        let late_splits: u64 = split_per_query[50..].iter().sum();
+        assert!(
+            late_splits * 2 < early_splits.max(1),
+            "construction work should decline: early {early_splits} late {late_splits}"
+        );
+        // Every query's distance work ≪ the 5000 of an exhaustive scan.
+        assert!(
+            dist_per_query.iter().all(|&d| d < 2500),
+            "max {:?}",
+            dist_per_query.iter().max()
+        );
+    }
+
+    #[test]
+    fn identical_series_do_not_loop_forever() {
+        let collection = vec![vec![1.0; 32]; 100];
+        let mut idx = SeriesIndex::build(collection, 4, 8, BuildMode::Adaptive);
+        let (id, d) = idx.nn(&vec![1.0; 32]);
+        assert!(d < 1e-12);
+        assert!(id < 100);
+        assert_eq!(idx.num_leaves(), 1, "degenerate split refused");
+        // Full build also terminates.
+        let idx = SeriesIndex::build(vec![vec![2.0; 16]; 50], 4, 8, BuildMode::Full);
+        assert_eq!(idx.num_leaves(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_query_length_panics() {
+        let mut idx = setup(10, BuildMode::Adaptive);
+        idx.nn(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn ragged_collection_panics() {
+        SeriesIndex::build(vec![vec![1.0; 8], vec![1.0; 9]], 4, 8, BuildMode::Adaptive);
+    }
+}
+
+#[cfg(test)]
+mod knn_tests {
+    use super::*;
+
+    #[test]
+    fn knn_matches_exhaustive_ranking() {
+        let collection = random_walks(800, 48, 21);
+        let mut idx = SeriesIndex::build(collection.clone(), 8, 16, BuildMode::Adaptive);
+        for qi in 0..10 {
+            let q = noisy_copy(&collection[qi * 79 % 800], 0.4, 500 + qi as u64);
+            let got = idx.knn(&q, 5);
+            // Exhaustive truth.
+            let mut all: Vec<(u32, f64)> = collection
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, euclidean(&q, s)))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let want: Vec<u32> = all[..5].iter().map(|&(id, _)| id).collect();
+            let got_ids: Vec<u32> = got.iter().map(|&(id, _)| id).collect();
+            assert_eq!(got_ids, want, "query {qi}");
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "sorted");
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_collection_size() {
+        let collection = random_walks(6, 16, 22);
+        let mut idx = SeriesIndex::build(collection.clone(), 4, 2, BuildMode::Full);
+        let got = idx.knn(&collection[0], 100);
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[0].0, 0);
+        assert!(got[0].1 < 1e-12, "exact self-match first");
+        let one = idx.knn(&collection[3], 0); // k clamps up to 1
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn knn_set_bound_behaviour() {
+        let mut s = KnnSet::new(2);
+        assert_eq!(s.worst(), f64::INFINITY);
+        s.offer(1, 5.0);
+        s.offer(2, 3.0);
+        assert_eq!(s.worst(), 5.0);
+        s.offer(3, 4.0); // evicts 5.0
+        assert_eq!(s.worst(), 4.0);
+        s.offer(4, 9.0); // rejected
+        assert_eq!(s.into_sorted(), vec![(2, 3.0), (3, 4.0)]);
+    }
+}

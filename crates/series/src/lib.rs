@@ -1,0 +1,35 @@
+//! # explore-series
+//!
+//! Adaptive data-series indexing — Table 1's "Time Series Indexing"
+//! cell (Zoumpatianos, Idreos, Palpanas — SIGMOD'14 \[68\]).
+//!
+//! Data-series exploration hits the same wall as relational
+//! exploration: building a full similarity index before the first query
+//! can take longer than the session. The ADS idea is cracking for
+//! series — start with a trivial index and **split nodes only when
+//! queries visit them**, so index construction cost is paid exactly
+//! along the explored region of PAA space.
+//!
+//! * [`mod@paa`] — piecewise aggregate approximation + the envelope lower
+//!   bound that makes pruning safe.
+//! * [`index`] — the adaptive (and, for comparison, fully-built) series
+//!   index with exact 1-NN search, plus the exhaustive-scan baseline
+//!   and the random-walk workload generator of the literature.
+//!
+//! ```
+//! use explore_series::{BuildMode, SeriesIndex, random_walks, noisy_copy};
+//!
+//! let collection = random_walks(1000, 64, 7);
+//! let mut index = SeriesIndex::build(collection.clone(), 8, 32, BuildMode::Adaptive);
+//! assert_eq!(index.num_leaves(), 1); // nothing built up front
+//! let query = noisy_copy(&collection[123], 0.2, 9);
+//! let (nn, _dist) = index.nn(&query);
+//! assert_eq!(nn, 123); // noisy copy finds its original
+//! assert!(index.num_leaves() > 1); // the query refined the index
+//! ```
+
+pub mod index;
+pub mod paa;
+
+pub use index::{noisy_copy, random_walks, BuildMode, SeriesIndex, SeriesStats};
+pub use paa::{euclidean, lb_envelope, paa, segment_lengths};

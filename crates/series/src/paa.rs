@@ -1,0 +1,150 @@
+//! Piecewise Aggregate Approximation (PAA): the dimensionality
+//! reduction under every data-series index in the iSAX/ADS family.
+//!
+//! A length-`n` series becomes `w` segment means. Crucially, the
+//! segment-wise distance between PAA representations **lower-bounds**
+//! the true Euclidean distance (Keogh's lemma), which is what makes
+//! index pruning safe.
+
+/// Compute the `w`-segment PAA of a series.
+///
+/// # Panics
+/// Panics if the series is empty or `w` is 0.
+pub fn paa(series: &[f64], w: usize) -> Vec<f64> {
+    assert!(!series.is_empty(), "empty series");
+    assert!(w > 0, "need at least one segment");
+    let n = series.len();
+    let w = w.min(n);
+    let mut out = Vec::with_capacity(w);
+    for s in 0..w {
+        // Even partition with remainder spread over the first segments.
+        let start = s * n / w;
+        let end = ((s + 1) * n / w).max(start + 1);
+        let sum: f64 = series[start..end].iter().sum();
+        out.push(sum / (end - start) as f64);
+    }
+    out
+}
+
+/// True Euclidean distance between two equal-length series.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Lower bound on the Euclidean distance between a query and *any*
+/// series whose PAA lies inside the per-segment envelope
+/// `[seg_min[i], seg_max[i]]` (the node's bounding box in PAA space).
+/// `seg_len[i]` is the number of raw points in segment `i`.
+pub fn lb_envelope(
+    query_paa: &[f64],
+    seg_min: &[f64],
+    seg_max: &[f64],
+    seg_lens: &[usize],
+) -> f64 {
+    debug_assert_eq!(query_paa.len(), seg_min.len());
+    let mut acc = 0.0;
+    for i in 0..query_paa.len() {
+        let q = query_paa[i];
+        let d = if q < seg_min[i] {
+            seg_min[i] - q
+        } else if q > seg_max[i] {
+            q - seg_max[i]
+        } else {
+            0.0
+        };
+        acc += seg_lens[i] as f64 * d * d;
+    }
+    acc.sqrt()
+}
+
+/// Segment lengths produced by [`paa`] for a series of length `n`.
+pub fn segment_lengths(n: usize, w: usize) -> Vec<usize> {
+    let w = w.min(n).max(1);
+    (0..w)
+        .map(|s| ((s + 1) * n / w).max(s * n / w + 1) - s * n / w)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::rng::SplitMix64;
+
+    #[test]
+    fn paa_of_constant_series_is_constant() {
+        let s = vec![5.0; 16];
+        assert_eq!(paa(&s, 4), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn paa_preserves_mean() {
+        let mut rng = SplitMix64::new(1);
+        let s: Vec<f64> = (0..100).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let p = paa(&s, 10);
+        let lens = segment_lengths(100, 10);
+        let weighted: f64 = p.iter().zip(&lens).map(|(m, &l)| m * l as f64).sum();
+        let total: f64 = s.iter().sum();
+        assert!((weighted - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_handles_non_divisible_lengths() {
+        let s: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let p = paa(&s, 3);
+        assert_eq!(p.len(), 3);
+        let lens = segment_lengths(7, 3);
+        assert_eq!(lens.iter().sum::<usize>(), 7);
+        // w > n clamps to n.
+        assert_eq!(paa(&s, 100).len(), 7);
+    }
+
+    #[test]
+    fn lb_is_a_true_lower_bound() {
+        // For any pair of series, the envelope of the candidate's own
+        // PAA must lower-bound the true distance.
+        let mut rng = SplitMix64::new(2);
+        let n = 64;
+        let w = 8;
+        let lens = segment_lengths(n, w);
+        for _ in 0..200 {
+            let a: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+            let qa = paa(&a, w);
+            let pb = paa(&b, w);
+            let lb = lb_envelope(&qa, &pb, &pb, &lens);
+            let truth = euclidean(&a, &b);
+            assert!(
+                lb <= truth + 1e-9,
+                "lb {lb} exceeds true distance {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn lb_is_zero_inside_the_envelope() {
+        let q = vec![1.0, 2.0];
+        assert_eq!(
+            lb_envelope(&q, &[0.0, 1.5], &[2.0, 2.5], &[4, 4]),
+            0.0
+        );
+        let out = lb_envelope(&q, &[2.0, 3.0], &[3.0, 4.0], &[4, 4]);
+        assert!(out > 0.0);
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_series_panics() {
+        paa(&[], 4);
+    }
+}

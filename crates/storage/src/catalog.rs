@@ -1,0 +1,91 @@
+//! A named-table catalog.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+
+/// Maps table names to tables. `BTreeMap` keeps listing deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Borrow a table by name.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutably borrow a table by name.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    #[test]
+    fn register_get_drop() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("t", Table::empty(Schema::of(&[("a", DataType::Int64)])));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("t").is_ok());
+        assert!(matches!(c.get("x"), Err(StorageError::UnknownTable(_))));
+        c.get_mut("t")
+            .unwrap()
+            .push_row(vec![crate::value::Value::Int(1)])
+            .unwrap();
+        assert_eq!(c.get("t").unwrap().num_rows(), 1);
+        assert!(c.drop_table("t").is_some());
+        assert!(c.drop_table("t").is_none());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("a", DataType::Int64)]);
+        c.register("zebra", Table::empty(schema.clone()));
+        c.register("apple", Table::empty(schema));
+        assert_eq!(c.names(), vec!["apple", "zebra"]);
+    }
+}

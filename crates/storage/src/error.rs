@@ -1,0 +1,90 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+///
+/// Every variant carries enough context to be actionable without a
+/// backtrace: column names, expected vs. found types, and row bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// An operation expected one data type but the column holds another.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// Columns appended to a table did not align in length.
+    LengthMismatch { expected: usize, found: usize },
+    /// A schema was constructed with duplicate column names.
+    DuplicateColumn(String),
+    /// CSV input could not be parsed.
+    Csv { line: usize, message: String },
+    /// The query was structurally invalid (e.g. aggregate without input).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on column {column}: expected {expected}, found {found}"
+            ),
+            StorageError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            StorageError::LengthMismatch { expected, found } => {
+                write!(f, "column length mismatch: expected {expected}, found {found}")
+            }
+            StorageError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
+            StorageError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            StorageError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::UnknownColumn("price".into());
+        assert!(e.to_string().contains("price"));
+        let e = StorageError::TypeMismatch {
+            column: "a".into(),
+            expected: "Int64",
+            found: "Float64",
+        };
+        assert!(e.to_string().contains("Int64"));
+        assert!(e.to_string().contains("Float64"));
+        let e = StorageError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&StorageError::UnknownTable("t".into()));
+    }
+}

@@ -1,0 +1,448 @@
+//! Filter predicates and their vectorized evaluation.
+//!
+//! Predicates are small ASTs built at the API edge; evaluation produces a
+//! *selection vector* of qualifying row ids. Evaluation is column-at-a-time:
+//! each comparison matches on the column type once and then runs a tight
+//! loop over the raw slice.
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators supported in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an `Ordering`-like comparison of `a` vs `b`.
+    #[inline]
+    fn holds<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A boolean filter over table rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// `column <op> literal`.
+    Cmp {
+        column: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `low <= column < high` — the canonical exploratory range query
+    /// shape used throughout the cracking literature (half-open).
+    Range {
+        column: String,
+        low: Value,
+        high: Value,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `column <op> value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `low <= column < high`.
+    pub fn range(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
+        Predicate::Range {
+            column: column.into(),
+            low: low.into(),
+            high: high.into(),
+        }
+    }
+
+    /// Conjunction of two predicates, flattening nested `And`s.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two predicates.
+    pub fn or(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::Or(mut a), p) => {
+                a.push(p);
+                Predicate::Or(a)
+            }
+            (a, b) => Predicate::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Names of all columns this predicate touches, deduplicated.
+    /// Used by the adaptive-loading and adaptive-storage layers to
+    /// decide which columns a query actually needs.
+    pub fn columns(&self) -> Vec<&str> {
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a str>) {
+            match p {
+                Predicate::True => {}
+                Predicate::Cmp { column, .. } | Predicate::Range { column, .. } => {
+                    if !out.contains(&column.as_str()) {
+                        out.push(column);
+                    }
+                }
+                Predicate::And(ps) | Predicate::Or(ps) => ps.iter().for_each(|p| walk(p, out)),
+                Predicate::Not(p) => walk(p, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Evaluate against a table, returning the qualifying row ids in
+    /// ascending order.
+    pub fn evaluate(&self, table: &Table) -> Result<Vec<u32>> {
+        let mask = self.evaluate_mask(table)?;
+        Ok(mask_to_sel(&mask))
+    }
+
+    /// Evaluate to a dense boolean mask (one bool per row).
+    pub fn evaluate_mask(&self, table: &Table) -> Result<Vec<bool>> {
+        let n = table.num_rows();
+        match self {
+            Predicate::True => Ok(vec![true; n]),
+            Predicate::Cmp { column, op, value } => {
+                cmp_mask(table.column(column)?, column, *op, value)
+            }
+            Predicate::Range { column, low, high } => {
+                range_mask(table.column(column)?, column, low, high)
+            }
+            Predicate::And(ps) => {
+                let mut acc = vec![true; n];
+                for p in ps {
+                    let m = p.evaluate_mask(table)?;
+                    for (a, b) in acc.iter_mut().zip(&m) {
+                        *a &= *b;
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Or(ps) => {
+                let mut acc = vec![false; n];
+                for p in ps {
+                    let m = p.evaluate_mask(table)?;
+                    for (a, b) in acc.iter_mut().zip(&m) {
+                        *a |= *b;
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Not(p) => {
+                let mut m = p.evaluate_mask(table)?;
+                m.iter_mut().for_each(|b| *b = !*b);
+                Ok(m)
+            }
+        }
+    }
+
+    /// Evaluate the predicate against a single row expressed as dynamic
+    /// values aligned with the table schema. Used by the user-interaction
+    /// layer (labeling oracles, query-by-output verification) where row
+    /// counts are tiny.
+    pub fn matches_row(&self, table: &Table, row: usize) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp { column, op, value } => {
+                let v = table.column(column)?.value(row)?;
+                Ok(value_cmp(&v, *op, value))
+            }
+            Predicate::Range { column, low, high } => {
+                let v = table.column(column)?.value(row)?;
+                Ok(value_cmp(&v, CmpOp::Ge, low) && value_cmp(&v, CmpOp::Lt, high))
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.matches_row(table, row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.matches_row(table, row)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Predicate::Not(p) => Ok(!p.matches_row(table, row)?),
+        }
+    }
+}
+
+/// Convert a boolean mask to a selection vector.
+pub fn mask_to_sel(mask: &[bool]) -> Vec<u32> {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i as u32))
+        .collect()
+}
+
+fn value_cmp(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => op.holds(x, y),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => op.holds(&x, &y),
+            _ => false,
+        },
+    }
+}
+
+fn cmp_mask(col: &Column, name: &str, op: CmpOp, value: &Value) -> Result<Vec<bool>> {
+    match col {
+        Column::Int64(v) => {
+            let lit = value.as_int().or_else(|| {
+                // Allow float literals against int columns only when exact.
+                value.as_float().and_then(|f| {
+                    let i = f as i64;
+                    (i as f64 == f).then_some(i)
+                })
+            });
+            let lit = lit.ok_or_else(|| type_err(name, "Int64", value))?;
+            Ok(v.iter().map(|x| op.holds(x, &lit)).collect())
+        }
+        Column::Float64(v) => {
+            let lit = value
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", value))?;
+            Ok(v.iter().map(|x| op.holds(x, &lit)).collect())
+        }
+        Column::Utf8(v) => {
+            let lit = value
+                .as_str()
+                .ok_or_else(|| type_err(name, "Utf8", value))?;
+            Ok(v.iter().map(|x| op.holds(&x.as_str(), &lit)).collect())
+        }
+    }
+}
+
+fn range_mask(col: &Column, name: &str, low: &Value, high: &Value) -> Result<Vec<bool>> {
+    match col {
+        Column::Int64(v) => {
+            let lo = low.as_float().ok_or_else(|| type_err(name, "Int64", low))?;
+            let hi = high
+                .as_float()
+                .ok_or_else(|| type_err(name, "Int64", high))?;
+            Ok(v.iter()
+                .map(|&x| {
+                    let x = x as f64;
+                    x >= lo && x < hi
+                })
+                .collect())
+        }
+        Column::Float64(v) => {
+            let lo = low
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", low))?;
+            let hi = high
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", high))?;
+            Ok(v.iter().map(|&x| x >= lo && x < hi).collect())
+        }
+        Column::Utf8(v) => {
+            let lo = low.as_str().ok_or_else(|| type_err(name, "Utf8", low))?;
+            let hi = high.as_str().ok_or_else(|| type_err(name, "Utf8", high))?;
+            Ok(v.iter()
+                .map(|x| x.as_str() >= lo && x.as_str() < hi)
+                .collect())
+        }
+    }
+}
+
+fn type_err(column: &str, expected: &'static str, found: &Value) -> StorageError {
+    StorageError::TypeMismatch {
+        column: column.to_owned(),
+        expected,
+        found: found.data_type().map_or("Null", |t| t.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        Table::new(
+            Schema::of(&[
+                ("a", DataType::Int64),
+                ("b", DataType::Float64),
+                ("c", DataType::Utf8),
+            ]),
+            vec![
+                Column::from(vec![1i64, 2, 3, 4, 5]),
+                Column::from(vec![0.1f64, 0.2, 0.3, 0.4, 0.5]),
+                Column::from(vec!["x", "y", "x", "z", "y"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_comparisons() {
+        let t = t();
+        assert_eq!(
+            Predicate::cmp("a", CmpOp::Gt, 3i64).evaluate(&t).unwrap(),
+            vec![3, 4]
+        );
+        assert_eq!(Predicate::eq("c", "x").evaluate(&t).unwrap(), vec![0, 2]);
+        assert_eq!(
+            Predicate::cmp("b", CmpOp::Le, 0.2).evaluate(&t).unwrap(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            Predicate::cmp("a", CmpOp::Ne, 1i64).evaluate(&t).unwrap(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let t = t();
+        assert_eq!(
+            Predicate::range("a", 2i64, 4i64).evaluate(&t).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            Predicate::range("c", "x", "z").evaluate(&t).unwrap(),
+            vec![0, 1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = t();
+        let p = Predicate::cmp("a", CmpOp::Ge, 2i64).and(Predicate::eq("c", "x"));
+        assert_eq!(p.evaluate(&t).unwrap(), vec![2]);
+        let p = Predicate::eq("a", 1i64).or(Predicate::eq("a", 5i64));
+        assert_eq!(p.evaluate(&t).unwrap(), vec![0, 4]);
+        let p = Predicate::eq("c", "y").not();
+        assert_eq!(p.evaluate(&t).unwrap(), vec![0, 2, 3]);
+        assert_eq!(Predicate::True.evaluate(&t).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn and_flattening() {
+        let p = Predicate::eq("a", 1i64)
+            .and(Predicate::eq("a", 2i64))
+            .and(Predicate::eq("a", 3i64));
+        match p {
+            Predicate::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+        // True is an identity element.
+        let p = Predicate::True.and(Predicate::eq("a", 1i64));
+        assert!(matches!(p, Predicate::Cmp { .. }));
+    }
+
+    #[test]
+    fn columns_are_collected_once() {
+        let p = Predicate::range("a", 1i64, 2i64)
+            .and(Predicate::eq("c", "x"))
+            .and(Predicate::cmp("a", CmpOp::Lt, 10i64));
+        assert_eq!(p.columns(), vec!["a", "c"]);
+        assert!(Predicate::True.columns().is_empty());
+    }
+
+    #[test]
+    fn matches_row_agrees_with_mask() {
+        let t = t();
+        let p = Predicate::range("b", 0.15, 0.45).and(Predicate::eq("c", "x").not());
+        let mask = p.evaluate_mask(&t).unwrap();
+        for (row, &expected) in mask.iter().enumerate() {
+            assert_eq!(p.matches_row(&t, row).unwrap(), expected, "row {row}");
+        }
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let t = t();
+        assert!(Predicate::eq("a", "nope").evaluate(&t).is_err());
+        assert!(Predicate::eq("c", 3i64).evaluate(&t).is_err());
+        assert!(Predicate::eq("missing", 1i64).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn float_literal_against_int_column_must_be_exact() {
+        let t = t();
+        assert_eq!(
+            Predicate::eq("a", 3.0f64).evaluate(&t).unwrap(),
+            vec![2]
+        );
+        assert!(Predicate::eq("a", 3.5f64).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn mask_to_sel_roundtrip() {
+        assert_eq!(
+            mask_to_sel(&[true, false, true, true]),
+            vec![0, 2, 3]
+        );
+        assert!(mask_to_sel(&[]).is_empty());
+    }
+}

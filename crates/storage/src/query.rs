@@ -1,0 +1,462 @@
+//! A small declarative query layer: filter → group/aggregate → order → limit.
+//!
+//! This is the engine every higher layer drives: the AQP middleware runs the
+//! same [`Query`] against samples, SeeDB runs batches of them with shared
+//! scans, and the exploration front-ends translate user interactions into
+//! them. It intentionally covers single-table select/aggregate queries —
+//! the query shape of every experiment in the surveyed papers.
+
+use std::collections::HashMap;
+
+use crate::agg::{AggFunc, Accumulator};
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::predicate::Predicate;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// One aggregate expression: `func(column)`. For `Count` the column may
+/// be any column of the table (count ignores its values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    pub column: String,
+}
+
+impl Aggregate {
+    /// Build an aggregate expression.
+    pub fn new(func: AggFunc, column: impl Into<String>) -> Self {
+        Aggregate {
+            func,
+            column: column.into(),
+        }
+    }
+
+    /// Result column name, e.g. `avg(price)`.
+    pub fn result_name(&self) -> String {
+        format!("{}({})", self.func, self.column)
+    }
+}
+
+/// Sort direction for `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// A declarative single-table query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Filter; `Predicate::True` selects everything.
+    pub predicate: Predicate,
+    /// Columns to return when no aggregates are present; empty = all.
+    pub projection: Vec<String>,
+    /// Group-by columns (requires at least one aggregate).
+    pub group_by: Vec<String>,
+    /// Aggregates to compute.
+    pub aggregates: Vec<Aggregate>,
+    /// Optional ordering on a result column.
+    pub order_by: Option<(String, SortOrder)>,
+    /// Optional row limit, applied after ordering.
+    pub limit: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::new()
+    }
+}
+
+impl Query {
+    /// A query that returns the whole table.
+    pub fn new() -> Self {
+        Query {
+            predicate: Predicate::True,
+            projection: Vec::new(),
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// Set the filter predicate.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Set the projection list.
+    pub fn select(mut self, columns: &[&str]) -> Self {
+        self.projection = columns.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Add a group-by column.
+    pub fn group(mut self, column: &str) -> Self {
+        self.group_by.push(column.to_owned());
+        self
+    }
+
+    /// Add an aggregate.
+    pub fn agg(mut self, func: AggFunc, column: &str) -> Self {
+        self.aggregates.push(Aggregate::new(func, column));
+        self
+    }
+
+    /// Order the result by a column.
+    pub fn order(mut self, column: &str, order: SortOrder) -> Self {
+        self.order_by = Some((column.to_owned(), order));
+        self
+    }
+
+    /// Limit the result size.
+    pub fn take(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// All base-table columns this query touches (predicate + projection +
+    /// grouping + aggregates). Drives adaptive loading and layout choice.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.predicate.columns();
+        for name in self
+            .projection
+            .iter()
+            .chain(self.group_by.iter())
+            .map(String::as_str)
+            .chain(self.aggregates.iter().map(|a| a.column.as_str()))
+        {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    /// Execute against a table.
+    pub fn run(&self, table: &Table) -> Result<Table> {
+        let sel = self.predicate.evaluate(table)?;
+        self.run_on_selection(table, &sel)
+    }
+
+    /// Execute the post-filter part of the query on a precomputed
+    /// selection vector. The adaptive-indexing layer uses this to combine
+    /// cracker-produced selections with the shared aggregation machinery.
+    pub fn run_on_selection(&self, table: &Table, sel: &[u32]) -> Result<Table> {
+        let mut result = if self.aggregates.is_empty() {
+            let projected = if self.projection.is_empty() {
+                table.gather(sel)
+            } else {
+                let names: Vec<&str> = self.projection.iter().map(String::as_str).collect();
+                table.project(&names)?.gather(sel)
+            };
+            projected
+        } else {
+            aggregate(table, sel, &self.group_by, &self.aggregates)?
+        };
+        if let Some((col, order)) = &self.order_by {
+            result = sort_table(&result, col, *order)?;
+        }
+        if let Some(limit) = self.limit {
+            if result.num_rows() > limit {
+                let sel: Vec<u32> = (0..limit as u32).collect();
+                result = result.gather(&sel);
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// A hashable group key: strings are stored as-is, ints directly, floats
+/// by their bit pattern (exact-match grouping, like SQL).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Int(i64),
+    Bits(u64),
+    Str(String),
+}
+
+impl KeyPart {
+    fn to_value(&self) -> Value {
+        match self {
+            KeyPart::Int(v) => Value::Int(*v),
+            KeyPart::Bits(b) => Value::Float(f64::from_bits(*b)),
+            KeyPart::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+fn key_part(col: &Column, row: usize) -> KeyPart {
+    match col {
+        Column::Int64(v) => KeyPart::Int(v[row]),
+        Column::Float64(v) => KeyPart::Bits(v[row].to_bits()),
+        Column::Utf8(v) => KeyPart::Str(v[row].clone()),
+    }
+}
+
+/// Grouped aggregation over a selection vector.
+fn aggregate(
+    table: &Table,
+    sel: &[u32],
+    group_by: &[String],
+    aggs: &[Aggregate],
+) -> Result<Table> {
+    let group_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|n| table.column(n))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<&Column> = aggs
+        .iter()
+        .map(|a| {
+            let c = table.column(&a.column)?;
+            if a.func != AggFunc::Count && !c.data_type().is_numeric() {
+                return Err(StorageError::TypeMismatch {
+                    column: a.column.clone(),
+                    expected: "numeric",
+                    found: c.data_type().name(),
+                });
+            }
+            Ok(c)
+        })
+        .collect::<Result<_>>()?;
+
+    // Group index: key -> slot in the accumulator arena.
+    let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<KeyPart>> = Vec::new();
+    let mut accs: Vec<Accumulator> = Vec::new();
+    let n_aggs = aggs.len();
+
+    for &row in sel {
+        let row = row as usize;
+        let key: Vec<KeyPart> = group_cols.iter().map(|c| key_part(c, row)).collect();
+        let slot = *groups.entry(key).or_insert_with_key(|k| {
+            keys.push(k.clone());
+            accs.resize(accs.len() + n_aggs, Accumulator::new());
+            keys.len() - 1
+        });
+        for (i, (agg, col)) in aggs.iter().zip(&agg_cols).enumerate() {
+            let x = if agg.func == AggFunc::Count {
+                1.0
+            } else {
+                col.numeric_at(row).unwrap_or(0.0)
+            };
+            accs[slot * n_aggs + i].update(x);
+        }
+    }
+
+    // Global aggregation with no groups always yields exactly one row.
+    if group_by.is_empty() && keys.is_empty() {
+        keys.push(Vec::new());
+        accs.resize(n_aggs, Accumulator::new());
+    }
+
+    // Assemble the result table: group columns then aggregate columns.
+    let mut fields = Vec::new();
+    for name in group_by {
+        fields.push(Field::new(name.clone(), table.schema().data_type(name)?));
+    }
+    for a in aggs {
+        fields.push(Field::new(a.result_name(), DataType::Float64));
+    }
+    let schema = Schema::new(fields)?;
+
+    let mut columns: Vec<Column> = group_by
+        .iter()
+        .map(|n| Column::empty(table.schema().data_type(n).expect("validated")))
+        .collect();
+    for key in &keys {
+        for (col, part) in columns.iter_mut().zip(key) {
+            col.push(part.to_value())?;
+        }
+    }
+    for (i, a) in aggs.iter().enumerate() {
+        let vals: Vec<f64> = (0..keys.len())
+            .map(|slot| accs[slot * n_aggs + i].finish(a.func))
+            .collect();
+        columns.push(Column::Float64(vals));
+    }
+    Table::new(schema, columns)
+}
+
+/// Stable sort of a table by one column.
+pub fn sort_table(table: &Table, column: &str, order: SortOrder) -> Result<Table> {
+    let col = table.column(column)?;
+    let mut sel: Vec<u32> = (0..table.num_rows() as u32).collect();
+    match col {
+        Column::Int64(v) => sel.sort_by_key(|&i| v[i as usize]),
+        Column::Float64(v) => {
+            sel.sort_by(|&a, &b| v[a as usize].total_cmp(&v[b as usize]));
+        }
+        Column::Utf8(v) => sel.sort_by(|&a, &b| v[a as usize].cmp(&v[b as usize])),
+    }
+    if order == SortOrder::Desc {
+        sel.reverse();
+    }
+    Ok(table.gather(&sel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn sales() -> Table {
+        Table::new(
+            Schema::of(&[
+                ("region", DataType::Utf8),
+                ("product", DataType::Utf8),
+                ("amount", DataType::Float64),
+                ("qty", DataType::Int64),
+            ]),
+            vec![
+                Column::from(vec!["east", "west", "east", "west", "east"]),
+                Column::from(vec!["a", "a", "b", "b", "a"]),
+                Column::from(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
+                Column::from(vec![1i64, 2, 3, 4, 5]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_filter_and_projection() {
+        let t = sales();
+        let r = Query::new()
+            .filter(Predicate::eq("region", "east"))
+            .select(&["product", "amount"])
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.schema().names(), vec!["product", "amount"]);
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let t = sales();
+        let r = Query::new()
+            .agg(AggFunc::Sum, "amount")
+            .agg(AggFunc::Count, "amount")
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.column("sum(amount)").unwrap().as_f64().unwrap()[0], 150.0);
+        assert_eq!(r.column("count(amount)").unwrap().as_f64().unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_selection_yields_one_row() {
+        let t = sales();
+        let r = Query::new()
+            .filter(Predicate::eq("region", "north"))
+            .agg(AggFunc::Count, "qty")
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.column("count(qty)").unwrap().as_f64().unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn group_by_single_column() {
+        let t = sales();
+        let r = Query::new()
+            .group("region")
+            .agg(AggFunc::Sum, "amount")
+            .order("region", SortOrder::Asc)
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("region").unwrap().as_utf8().unwrap()[0], "east");
+        assert_eq!(r.column("sum(amount)").unwrap().as_f64().unwrap(), &[90.0, 60.0]);
+    }
+
+    #[test]
+    fn group_by_multiple_columns() {
+        let t = sales();
+        let r = Query::new()
+            .group("region")
+            .group("product")
+            .agg(AggFunc::Count, "qty")
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 4);
+    }
+
+    #[test]
+    fn filter_then_group() {
+        let t = sales();
+        let r = Query::new()
+            .filter(Predicate::cmp("qty", CmpOp::Ge, 4i64))
+            .group("region")
+            .agg(AggFunc::Avg, "amount")
+            .order("avg(amount)", SortOrder::Desc)
+            .run(&t)
+            .unwrap();
+        // qty>=4: (west,b,40), (east,a,50)
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("region").unwrap().as_utf8().unwrap()[0], "east");
+        assert_eq!(r.column("avg(amount)").unwrap().as_f64().unwrap(), &[50.0, 40.0]);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let t = sales();
+        let r = Query::new()
+            .order("amount", SortOrder::Desc)
+            .take(2)
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("amount").unwrap().as_f64().unwrap(), &[50.0, 40.0]);
+    }
+
+    #[test]
+    fn sort_by_string_and_int() {
+        let t = sales();
+        let r = sort_table(&t, "product", SortOrder::Asc).unwrap();
+        assert_eq!(r.column("product").unwrap().as_utf8().unwrap()[0], "a");
+        let r = sort_table(&t, "qty", SortOrder::Desc).unwrap();
+        assert_eq!(r.column("qty").unwrap().as_i64().unwrap()[0], 5);
+    }
+
+    #[test]
+    fn referenced_columns_deduplicate() {
+        let q = Query::new()
+            .filter(Predicate::range("amount", 0.0, 1.0))
+            .group("region")
+            .agg(AggFunc::Sum, "amount")
+            .select(&["region"]);
+        let cols = q.referenced_columns();
+        assert_eq!(cols, vec!["amount", "region"]);
+    }
+
+    #[test]
+    fn aggregate_on_string_column_fails_unless_count() {
+        let t = sales();
+        assert!(Query::new().agg(AggFunc::Sum, "region").run(&t).is_err());
+        let r = Query::new().agg(AggFunc::Count, "region").run(&t).unwrap();
+        assert_eq!(r.column("count(region)").unwrap().as_f64().unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn float_group_keys_group_exact_values() {
+        let t = Table::new(
+            Schema::of(&[("k", DataType::Float64), ("v", DataType::Int64)]),
+            vec![
+                Column::from(vec![1.5f64, 1.5, 2.5]),
+                Column::from(vec![1i64, 2, 3]),
+            ],
+        )
+        .unwrap();
+        let r = Query::new()
+            .group("k")
+            .agg(AggFunc::Sum, "v")
+            .order("k", SortOrder::Asc)
+            .run(&t)
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("sum(v)").unwrap().as_f64().unwrap(), &[3.0, 3.0]);
+    }
+}

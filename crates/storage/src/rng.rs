@@ -1,0 +1,240 @@
+//! A small deterministic PRNG used across the workspace.
+//!
+//! Library code needs reproducible pseudo-randomness (stochastic cracking
+//! pivots, sample builders, synthetic workloads) without threading trait
+//! objects through every API. `SplitMix64` is tiny, fast, has no
+//! dependencies, and passes BigCrush when used as a seeder; all our uses
+//! are non-cryptographic. Benches and tests that want richer
+//! distributions use the `rand` crate on top.
+
+/// SplitMix64: a 64-bit PRNG with a single u64 of state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. Uses Lemire's multiply-shift reduction;
+    /// the slight modulo bias is irrelevant at our bounds (≤ 2^32).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[low, high)`.
+    #[inline]
+    pub fn range_i64(&mut self, low: i64, high: i64) -> i64 {
+        debug_assert!(low < high);
+        low + self.below((high - low) as u64) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[low, high)`.
+    #[inline]
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        low + self.unit_f64() * (high - low)
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the unused
+    /// pair member is discarded for simplicity — fine off the hot path).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.unit_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// True with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (reservoir when k << n,
+    /// shuffle otherwise). Order of the returned indices is unspecified.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            // Floyd's algorithm: k iterations, O(k) extra space.
+            let mut chosen = std::collections::HashSet::with_capacity(k);
+            let mut out = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.below(j as u64 + 1) as usize;
+                let pick = if chosen.insert(t) { t } else { j };
+                if pick != t {
+                    chosen.insert(pick);
+                }
+                out.push(pick);
+            }
+            out
+        }
+    }
+}
+
+/// Zipf-distributed integer sampler over `[0, n)` with exponent `s`,
+/// using the cumulative-table method (O(log n) per draw). Used by the
+/// synopsis and AQP experiments to generate skewed data like the
+/// surveyed evaluations.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` distinct values with skew `s` (s=0 is
+    /// uniform; s≈1 is classic web-like skew).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        let norm = 1.0 / total;
+        cdf.iter_mut().for_each(|x| *x *= norm);
+        Zipf { cdf }
+    }
+
+    /// Draw one value in `[0, n)`; 0 is the most frequent.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_roughly_uniform() {
+        let mut rng = SplitMix64::new(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.unit_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_helpers() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1000 {
+            let x = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&x));
+            let f = rng.range_f64(1.0, 2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(4);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should change order (w.h.p.)");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = SplitMix64::new(5);
+        for &(n, k) in &[(100usize, 10usize), (100, 90), (10, 10), (10, 0), (5, 20)] {
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k.min(n));
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), s.len(), "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SplitMix64::new(6);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+        // Uniform case: head not dominant.
+        let uni = Zipf::new(100, 0.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[uni.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] < 1000, "uniform head count {}", counts[0]);
+    }
+
+    #[test]
+    fn bernoulli_probability() {
+        let mut rng = SplitMix64::new(9);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,157 @@
+//! Table schemas: ordered, named, typed columns.
+
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Create a field with the given name and type.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column's physical type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// An ordered collection of uniquely-named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(StorageError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Shorthand used pervasively in tests and examples:
+    /// `Schema::of(&[("a", DataType::Int64), ...])`.
+    pub fn of(defs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            defs.iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("Schema::of called with duplicate column names")
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Resolve a column name to its ordinal position.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Look up a field's data type by name.
+    pub fn data_type(&self, name: &str) -> Result<DataType> {
+        self.field(name).map(|f| f.data_type())
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Project a subset of columns into a new schema, preserving the
+    /// requested order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int64),
+            ("price", DataType::Float64),
+            ("region", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("price").unwrap(), 1);
+        assert_eq!(s.data_type("region").unwrap(), DataType::Utf8);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Float64),
+        ]);
+        assert!(matches!(r, Err(StorageError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = sample();
+        let p = s.project(&["region", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["region", "id"]);
+        assert!(p.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert!(s.names().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Reservoir sampling: uniform (Vitter's Algorithm R) and weighted
+//! (Efraimidis–Spirakis A-Res).
+//!
+//! The uniform reservoir is the building block of every sampling-based
+//! AQP system in the tutorial's Middleware section; the weighted variant
+//! implements the biased "impressions" of SciBORQ \[59, 60\], where rows
+//! near regions of scientific interest get higher inclusion probability.
+
+use explore_storage::rng::SplitMix64;
+
+/// A fixed-capacity uniform random sample of a stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+    rng: SplitMix64,
+}
+
+impl<T> Reservoir<T> {
+    /// A reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Reservoir {
+            capacity: capacity.max(1),
+            seen: 0,
+            items: Vec::with_capacity(capacity.max(1)),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Offer one stream element.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = self.rng.below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// The sampling fraction represented by the current reservoir.
+    pub fn fraction(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.items.len() as f64 / self.seen as f64
+        }
+    }
+}
+
+/// Weighted reservoir (A-Res): each item has weight `w > 0`; inclusion
+/// probability is proportional to weight. Keeps the `capacity` items with
+/// the largest keys `u^(1/w)`.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    /// Min-heap by key, implemented as a sorted-smallest-first vec since
+    /// capacities are small; (key, item).
+    items: Vec<(f64, T)>,
+    rng: SplitMix64,
+    seen: u64,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// A weighted reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        WeightedReservoir {
+            capacity: capacity.max(1),
+            items: Vec::with_capacity(capacity.max(1)),
+            rng: SplitMix64::new(seed),
+            seen: 0,
+        }
+    }
+
+    /// Offer one element with the given positive weight (non-positive
+    /// weights are never sampled).
+    pub fn offer(&mut self, item: T, weight: f64) {
+        self.seen += 1;
+        if weight <= 0.0 {
+            return;
+        }
+        let u = self.rng.unit_f64().max(f64::MIN_POSITIVE);
+        let key = u.powf(1.0 / weight);
+        if self.items.len() < self.capacity {
+            self.items.push((key, item));
+            if self.items.len() == self.capacity {
+                self.items
+                    .sort_by(|a, b| a.0.total_cmp(&b.0));
+            }
+        } else if key > self.items[0].0 {
+            // Replace the minimum and restore order (insertion into a
+            // sorted vec; capacity is small in all our uses).
+            self.items[0] = (key, item);
+            let mut i = 0;
+            while i + 1 < self.items.len() && self.items[i].0 > self.items[i + 1].0 {
+                self.items.swap(i, i + 1);
+                i += 1;
+            }
+        }
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (order unspecified).
+    pub fn items(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, t)| t)
+    }
+
+    /// Number of sampled items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_size_is_bounded() {
+        let mut r = Reservoir::new(10, 1);
+        for i in 0..1000 {
+            r.offer(i);
+        }
+        assert_eq!(r.items().len(), 10);
+        assert_eq!(r.seen(), 1000);
+        assert!((r.fraction() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_streams_are_kept_whole() {
+        let mut r = Reservoir::new(100, 2);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.fraction(), 1.0);
+    }
+
+    #[test]
+    fn uniformity_across_stream_positions() {
+        // Each position should appear with probability k/n; check the
+        // first and last deciles get similar representation.
+        let (k, n, trials) = (50usize, 1000usize, 200usize);
+        let mut first = 0usize;
+        let mut last = 0usize;
+        for t in 0..trials {
+            let mut r = Reservoir::new(k, t as u64);
+            for i in 0..n {
+                r.offer(i);
+            }
+            first += r.items().iter().filter(|&&i| i < n / 10).count();
+            last += r.items().iter().filter(|&&i| i >= n - n / 10).count();
+        }
+        let expected = trials * k / 10;
+        let tol = expected / 5;
+        assert!(
+            first.abs_diff(expected) < tol,
+            "first {first} vs expected {expected}"
+        );
+        assert!(
+            last.abs_diff(expected) < tol,
+            "last {last} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn weighted_reservoir_prefers_heavy_items() {
+        let mut heavy_hits = 0;
+        for t in 0..200 {
+            let mut r = WeightedReservoir::new(10, t);
+            for i in 0..1000 {
+                // Item 0..100 has weight 10, the rest weight 1.
+                let w = if i < 100 { 10.0 } else { 1.0 };
+                r.offer(i, w);
+            }
+            heavy_hits += r.items().filter(|&&i| i < 100).count();
+        }
+        // Heavy items are 100/1000 of the stream but 10x weight →
+        // roughly half the expected sample mass (1000/1900+).
+        let frac = heavy_hits as f64 / (200.0 * 10.0);
+        assert!(frac > 0.35, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_skips_non_positive_weights() {
+        let mut r = WeightedReservoir::new(5, 1);
+        r.offer("zero", 0.0);
+        r.offer("neg", -1.0);
+        assert!(r.is_empty());
+        r.offer("ok", 1.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.seen(), 3);
+    }
+
+    #[test]
+    fn weighted_capacity_bounded_and_min_ordered() {
+        let mut r = WeightedReservoir::new(8, 3);
+        for i in 0..500 {
+            r.offer(i, 1.0 + (i % 7) as f64);
+        }
+        assert_eq!(r.len(), 8);
+        // Internal vec is sorted ascending by key.
+        let keys: Vec<f64> = r.items.iter().map(|(k, _)| *k).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Collaborative annotations over data regions (AstroShelf —
+//! Neophytou et al., SIGMOD'12 demo \[48\]).
+//!
+//! AstroShelf's idea: exploration is collaborative — astronomers pin
+//! notes to *sky regions*, and anyone panning over a region sees
+//! colleagues' annotations live. The database-side primitives are an
+//! annotation store keyed by spatial regions with (a) overlap queries
+//! ("what is known about what I'm looking at?") and (b) notification
+//! matching ("who subscribed to the region this new annotation
+//! touches?"). Both are implemented here over rectangular regions.
+
+/// A rectangular region of the 2-D exploration space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    pub x0: f64,
+    pub y0: f64,
+    pub x1: f64,
+    pub y1: f64,
+}
+
+impl Region {
+    /// Construct, normalizing the corner order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Region {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// True when two regions overlap (closed boxes).
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Area of the region.
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+}
+
+/// One annotation pinned to a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    pub id: u64,
+    pub author: String,
+    pub region: Region,
+    pub text: String,
+}
+
+/// A standing subscription: notify `subscriber` about new annotations
+/// overlapping `region`.
+#[derive(Debug, Clone)]
+struct Subscription {
+    subscriber: String,
+    region: Region,
+}
+
+/// The shared annotation board.
+#[derive(Debug, Default)]
+pub struct AnnotationBoard {
+    annotations: Vec<Annotation>,
+    subscriptions: Vec<Subscription>,
+    next_id: u64,
+}
+
+impl AnnotationBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        AnnotationBoard::default()
+    }
+
+    /// Pin an annotation; returns its id and the subscribers whose
+    /// regions it touches (the live-notification set).
+    pub fn annotate(
+        &mut self,
+        author: impl Into<String>,
+        region: Region,
+        text: impl Into<String>,
+    ) -> (u64, Vec<String>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.annotations.push(Annotation {
+            id,
+            author: author.into(),
+            region,
+            text: text.into(),
+        });
+        let mut notify: Vec<String> = self
+            .subscriptions
+            .iter()
+            .filter(|s| s.region.overlaps(&region))
+            .map(|s| s.subscriber.clone())
+            .collect();
+        notify.sort();
+        notify.dedup();
+        (id, notify)
+    }
+
+    /// Subscribe to a region.
+    pub fn subscribe(&mut self, subscriber: impl Into<String>, region: Region) {
+        self.subscriptions.push(Subscription {
+            subscriber: subscriber.into(),
+            region,
+        });
+    }
+
+    /// All annotations overlapping the viewport, most specific (smallest
+    /// region) first — what a pan renders.
+    pub fn visible(&self, viewport: &Region) -> Vec<&Annotation> {
+        let mut out: Vec<&Annotation> = self
+            .annotations
+            .iter()
+            .filter(|a| a.region.overlaps(viewport))
+            .collect();
+        out.sort_by(|a, b| {
+            a.region
+                .area()
+                .total_cmp(&b.region.area())
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Remove an annotation by id (author moderation). Returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let before = self.annotations.len();
+        self.annotations.retain(|a| a.id != id);
+        before != self.annotations.len()
+    }
+
+    /// Number of annotations on the board.
+    pub fn len(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// True when the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.annotations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_normalization_and_overlap() {
+        let a = Region::new(10.0, 10.0, 0.0, 0.0); // reversed corners
+        assert_eq!((a.x0, a.y1), (0.0, 10.0));
+        let b = Region::new(5.0, 5.0, 15.0, 15.0);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        let far = Region::new(100.0, 100.0, 110.0, 110.0);
+        assert!(!a.overlaps(&far));
+        // Touching edges count as overlap (closed boxes).
+        let edge = Region::new(10.0, 0.0, 20.0, 10.0);
+        assert!(a.overlaps(&edge));
+    }
+
+    #[test]
+    fn visible_annotations_sorted_most_specific_first() {
+        let mut board = AnnotationBoard::new();
+        board.annotate("ana", Region::new(0.0, 0.0, 100.0, 100.0), "survey-wide note");
+        board.annotate("bo", Region::new(40.0, 40.0, 45.0, 45.0), "candidate cluster");
+        board.annotate("cy", Region::new(200.0, 200.0, 210.0, 210.0), "elsewhere");
+        let viewport = Region::new(30.0, 30.0, 60.0, 60.0);
+        let vis = board.visible(&viewport);
+        assert_eq!(vis.len(), 2);
+        assert_eq!(vis[0].text, "candidate cluster", "small region first");
+        assert_eq!(vis[1].author, "ana");
+    }
+
+    #[test]
+    fn subscriptions_fire_on_overlapping_annotations() {
+        let mut board = AnnotationBoard::new();
+        board.subscribe("ana", Region::new(0.0, 0.0, 50.0, 50.0));
+        board.subscribe("bo", Region::new(40.0, 40.0, 90.0, 90.0));
+        board.subscribe("ana", Region::new(80.0, 80.0, 99.0, 99.0)); // dup subscriber
+        let (_, notified) = board.annotate("cy", Region::new(45.0, 45.0, 46.0, 46.0), "hit");
+        assert_eq!(notified, vec!["ana", "bo"]);
+        let (_, notified) = board.annotate("cy", Region::new(200.0, 200.0, 201.0, 201.0), "miss");
+        assert!(notified.is_empty());
+    }
+
+    #[test]
+    fn remove_and_counts() {
+        let mut board = AnnotationBoard::new();
+        let (id, _) = board.annotate("ana", Region::new(0.0, 0.0, 1.0, 1.0), "x");
+        assert_eq!(board.len(), 1);
+        assert!(board.remove(id));
+        assert!(!board.remove(id), "idempotent");
+        assert!(board.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut board = AnnotationBoard::new();
+        let (a, _) = board.annotate("x", Region::new(0.0, 0.0, 1.0, 1.0), "1");
+        let (b, _) = board.annotate("x", Region::new(0.0, 0.0, 1.0, 1.0), "2");
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,156 @@
+//! Query-result reduction for interactive visualization
+//! (Battle, Chang, Stonebraker \[11\]; M4 aggregation).
+//!
+//! A line chart has `w` pixel columns; sending more than ~4 points per
+//! column is invisible waste. M4 reduction groups a series into `w`
+//! equal time bins and keeps, per bin, the first, last, minimum and
+//! maximum points — the exact set needed for pixel-perfect line
+//! rendering at that width.
+
+/// A reduced series: per bin, up to four (index, value) points in
+/// index order.
+#[derive(Debug, Clone)]
+pub struct ReducedSeries {
+    pub points: Vec<(usize, f64)>,
+    pub bins: usize,
+    pub original_len: usize,
+}
+
+impl ReducedSeries {
+    /// Reduction factor achieved.
+    pub fn reduction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.original_len as f64 / self.points.len() as f64
+    }
+}
+
+/// M4-reduce `series` to `bins` pixel columns.
+pub fn m4_reduce(series: &[f64], bins: usize) -> ReducedSeries {
+    let n = series.len();
+    let bins = bins.max(1);
+    let mut points = Vec::with_capacity(bins * 4);
+    if n == 0 {
+        return ReducedSeries {
+            points,
+            bins,
+            original_len: 0,
+        };
+    }
+    let bin_len = n.div_ceil(bins);
+    for b in 0..bins {
+        let start = b * bin_len;
+        if start >= n {
+            break;
+        }
+        let end = ((b + 1) * bin_len).min(n);
+        let mut min_i = start;
+        let mut max_i = start;
+        for i in start..end {
+            if series[i] < series[min_i] {
+                min_i = i;
+            }
+            if series[i] > series[max_i] {
+                max_i = i;
+            }
+        }
+        let mut keep = vec![start, min_i, max_i, end - 1];
+        keep.sort_unstable();
+        keep.dedup();
+        points.extend(keep.into_iter().map(|i| (i, series[i])));
+    }
+    ReducedSeries {
+        points,
+        bins,
+        original_len: n,
+    }
+}
+
+/// Render a series to a `bins`-wide column of (min, max) pixel extents —
+/// what a line chart actually rasterizes. Used to verify M4 is lossless
+/// at the pixel level.
+pub fn pixel_extents(series_points: &[(usize, f64)], n: usize, bins: usize) -> Vec<(f64, f64)> {
+    let bins = bins.max(1);
+    let bin_len = n.div_ceil(bins).max(1);
+    let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); bins];
+    for &(i, v) in series_points {
+        let b = (i / bin_len).min(bins - 1);
+        if v < out[b].0 {
+            out[b].0 = v;
+        }
+        if v > out[b].1 {
+            out[b].1 = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::rng::SplitMix64;
+
+    fn noisy_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut x = 0.0;
+        (0..n)
+            .map(|i| {
+                x += rng.gaussian();
+                x + (i as f64 / 50.0).sin() * 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keeps_at_most_four_points_per_bin() {
+        let s = noisy_series(10_000, 1);
+        let r = m4_reduce(&s, 100);
+        assert!(r.points.len() <= 400);
+        assert!(r.reduction() >= 25.0, "reduction {}", r.reduction());
+    }
+
+    #[test]
+    fn pixel_rendering_is_lossless() {
+        let s = noisy_series(10_000, 2);
+        let bins = 100;
+        let r = m4_reduce(&s, bins);
+        let full: Vec<(usize, f64)> = s.iter().copied().enumerate().collect();
+        let a = pixel_extents(&full, s.len(), bins);
+        let b = pixel_extents(&r.points, s.len(), bins);
+        for (bin, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x, y, "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn points_preserve_index_order_within_bins() {
+        let s = noisy_series(1000, 3);
+        let r = m4_reduce(&s, 10);
+        // Global order is non-decreasing in index.
+        assert!(r.points.windows(2).all(|w| w[0].0 <= w[1].0));
+        // All values are authentic.
+        for &(i, v) in &r.points {
+            assert_eq!(s[i], v);
+        }
+    }
+
+    #[test]
+    fn short_series_kept_whole() {
+        let s = vec![1.0, 2.0, 3.0];
+        let r = m4_reduce(&s, 100);
+        assert_eq!(r.points.len(), 3);
+        assert_eq!(r.reduction(), 1.0);
+        let r = m4_reduce(&[], 10);
+        assert!(r.points.is_empty());
+        assert_eq!(r.reduction(), 0.0);
+    }
+
+    #[test]
+    fn monotone_series_reduces_to_bin_edges() {
+        let s: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let r = m4_reduce(&s, 10);
+        // Monotone: first == min, last == max, so 2 points per bin.
+        assert_eq!(r.points.len(), 20);
+    }
+}

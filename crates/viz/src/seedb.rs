@@ -1,0 +1,474 @@
+//! SeeDB: deviation-based visualization recommendation
+//! (Parameswaran, Polyzotis, Garcia-Molina — PVLDB'14 \[49\]).
+//!
+//! Given a target subset of the data (the rows the analyst is looking
+//! at), SeeDB scores every candidate view — (group-by dimension,
+//! measure, aggregate) — by how *differently* the target distributes
+//! compared to the reference data, and recommends the top-k most
+//! deviating views. The paper's contribution is making this interactive:
+//!
+//! * **Naive** — two group-by queries per view: O(#views) scans.
+//! * **Shared** — one combined scan computes every view's target and
+//!   reference distributions simultaneously.
+//! * **Pruned** — process the data in phases; after each phase, drop
+//!   views whose running utility cannot reach the top-k (confidence
+//!   interval separation), saving aggregation work at a small recall
+//!   cost.
+
+use std::collections::HashMap;
+
+use explore_storage::rng::SplitMix64;
+use explore_storage::{AggFunc, Predicate, Result, StorageError, Table};
+
+/// One candidate view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewSpec {
+    pub dimension: String,
+    pub measure: String,
+    pub func: AggFunc,
+}
+
+impl ViewSpec {
+    /// Human-readable label, e.g. `avg(price) by region`.
+    pub fn label(&self) -> String {
+        format!("{}({}) by {}", self.func, self.measure, self.dimension)
+    }
+}
+
+/// A scored view.
+#[derive(Debug, Clone)]
+pub struct ScoredView {
+    pub spec: ViewSpec,
+    /// KL divergence of the target distribution from the reference.
+    pub utility: f64,
+}
+
+/// Work accounting for the three strategies.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeedbStats {
+    /// Row-aggregation operations performed (rows × views touched).
+    pub agg_ops: u64,
+    /// Table scans performed.
+    pub scans: u64,
+    /// Views pruned before completion.
+    pub pruned: u64,
+}
+
+/// Enumerate all candidate views: every Utf8 column is a dimension,
+/// every numeric column a measure, crossed with the given aggregates.
+pub fn candidate_views(table: &Table, funcs: &[AggFunc]) -> Vec<ViewSpec> {
+    let mut dims = Vec::new();
+    let mut measures = Vec::new();
+    for f in table.schema().fields() {
+        if f.data_type() == explore_storage::DataType::Utf8 {
+            dims.push(f.name().to_owned());
+        } else {
+            measures.push(f.name().to_owned());
+        }
+    }
+    let mut out = Vec::new();
+    for d in &dims {
+        for m in &measures {
+            for &f in funcs {
+                out.push(ViewSpec {
+                    dimension: d.clone(),
+                    measure: m.clone(),
+                    func: f,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// KL divergence D(P‖Q) of two distributions given as aligned positive
+/// vectors (normalized internally, with epsilon smoothing).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    const EPS: f64 = 1e-9;
+    let sp: f64 = p.iter().map(|x| x.max(0.0) + EPS).sum();
+    let sq: f64 = q.iter().map(|x| x.max(0.0) + EPS).sum();
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            let pa = (a.max(0.0) + EPS) / sp;
+            let qb = (b.max(0.0) + EPS) / sq;
+            pa * (pa / qb).ln()
+        })
+        .sum()
+}
+
+/// Internal per-view accumulation: per dimension value, (count, sum)
+/// for target and reference rows.
+#[derive(Default, Clone, Debug)]
+struct ViewAcc {
+    groups: HashMap<String, [f64; 4]>, // [t_count, t_sum, r_count, r_sum]
+}
+
+impl ViewAcc {
+    #[inline]
+    fn update(&mut self, group: &str, target: bool, value: f64) {
+        let e = self.groups.entry(group.to_owned()).or_default();
+        if target {
+            e[0] += 1.0;
+            e[1] += value;
+        } else {
+            e[2] += 1.0;
+            e[3] += value;
+        }
+    }
+
+    fn utility(&self, func: AggFunc) -> f64 {
+        let mut p = Vec::with_capacity(self.groups.len());
+        let mut q = Vec::with_capacity(self.groups.len());
+        // Deterministic group order.
+        let mut keys: Vec<&String> = self.groups.keys().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let [tc, ts, rc, rs] = self.groups[k];
+            let (tv, rv) = match func {
+                AggFunc::Count => (tc, rc),
+                AggFunc::Sum => (ts, rs),
+                AggFunc::Avg => (
+                    if tc > 0.0 { ts / tc } else { 0.0 },
+                    if rc > 0.0 { rs / rc } else { 0.0 },
+                ),
+                _ => (0.0, 0.0),
+            };
+            p.push(tv);
+            q.push(rv);
+        }
+        kl_divergence(&p, &q)
+    }
+}
+
+/// Context shared by the three strategies.
+struct Prepared<'a> {
+    dims: Vec<(&'a str, &'a [String])>,
+    measures: Vec<(&'a str, Vec<f64>)>,
+    mask: Vec<bool>,
+}
+
+fn prepare<'a>(
+    table: &'a Table,
+    target: &Predicate,
+    views: &'a [ViewSpec],
+) -> Result<Prepared<'a>> {
+    let mut dims = Vec::new();
+    let mut measures: Vec<(&str, Vec<f64>)> = Vec::new();
+    for v in views {
+        if !dims.iter().any(|(n, _)| *n == v.dimension.as_str()) {
+            let col = table.column(&v.dimension)?;
+            let vals = col.as_utf8().ok_or_else(|| StorageError::TypeMismatch {
+                column: v.dimension.clone(),
+                expected: "Utf8",
+                found: col.data_type().name(),
+            })?;
+            dims.push((v.dimension.as_str(), vals));
+        }
+        if !measures.iter().any(|(n, _)| *n == v.measure.as_str()) {
+            let col = table.column(&v.measure)?;
+            let vals: Vec<f64> = (0..table.num_rows())
+                .map(|i| {
+                    col.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
+                        column: v.measure.clone(),
+                        expected: "numeric",
+                        found: col.data_type().name(),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            measures.push((v.measure.as_str(), vals));
+        }
+    }
+    Ok(Prepared {
+        dims,
+        measures,
+        mask: target.evaluate_mask(table)?,
+    })
+}
+
+/// Naive strategy: one separate pass over the data per view.
+pub fn recommend_naive(
+    table: &Table,
+    target: &Predicate,
+    views: &[ViewSpec],
+    k: usize,
+    stats: &mut SeedbStats,
+) -> Result<Vec<ScoredView>> {
+    let prep = prepare(table, target, views)?;
+    let mut scored = Vec::with_capacity(views.len());
+    for v in views {
+        let dim = prep
+            .dims
+            .iter()
+            .find(|(n, _)| *n == v.dimension.as_str())
+            .expect("prepared")
+            .1;
+        let meas = &prep
+            .measures
+            .iter()
+            .find(|(n, _)| *n == v.measure.as_str())
+            .expect("prepared")
+            .1;
+        let mut acc = ViewAcc::default();
+        for row in 0..table.num_rows() {
+            acc.update(&dim[row], prep.mask[row], meas[row]);
+            stats.agg_ops += 1;
+        }
+        stats.scans += 1;
+        scored.push(ScoredView {
+            spec: v.clone(),
+            utility: acc.utility(v.func),
+        });
+    }
+    scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+    scored.truncate(k);
+    Ok(scored)
+}
+
+/// Shared-scan strategy: one pass computes every view.
+pub fn recommend_shared(
+    table: &Table,
+    target: &Predicate,
+    views: &[ViewSpec],
+    k: usize,
+    stats: &mut SeedbStats,
+) -> Result<Vec<ScoredView>> {
+    let prep = prepare(table, target, views)?;
+    // One accumulator per (dimension, measure) pair; aggregates share it.
+    let mut pair_accs: HashMap<(&str, &str), ViewAcc> = HashMap::new();
+    for v in views {
+        pair_accs
+            .entry((v.dimension.as_str(), v.measure.as_str()))
+            .or_default();
+    }
+    for row in 0..table.num_rows() {
+        for (&(d, m), acc) in pair_accs.iter_mut() {
+            let dim = prep.dims.iter().find(|(n, _)| *n == d).expect("prepared").1;
+            let meas = &prep
+                .measures
+                .iter()
+                .find(|(n, _)| *n == m)
+                .expect("prepared")
+                .1;
+            acc.update(&dim[row], prep.mask[row], meas[row]);
+            stats.agg_ops += 1;
+        }
+    }
+    stats.scans += 1;
+    let mut scored: Vec<ScoredView> = views
+        .iter()
+        .map(|v| ScoredView {
+            spec: v.clone(),
+            utility: pair_accs[&(v.dimension.as_str(), v.measure.as_str())].utility(v.func),
+        })
+        .collect();
+    scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+    scored.truncate(k);
+    Ok(scored)
+}
+
+/// Shared + pruned strategy: the data is processed in `phases` shuffled
+/// slices; after each phase, views whose running utility plus a shrinking
+/// margin falls below the k-th best minus the margin are dropped.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend_pruned(
+    table: &Table,
+    target: &Predicate,
+    views: &[ViewSpec],
+    k: usize,
+    phases: usize,
+    seed: u64,
+    stats: &mut SeedbStats,
+) -> Result<Vec<ScoredView>> {
+    let phases = phases.max(1);
+    let prep = prepare(table, target, views)?;
+    let n = table.num_rows();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    SplitMix64::new(seed).shuffle(&mut order);
+
+    let mut alive: Vec<usize> = (0..views.len()).collect();
+    let mut accs: Vec<ViewAcc> = vec![ViewAcc::default(); views.len()];
+    let phase_len = n.div_ceil(phases);
+    for phase in 0..phases {
+        let slice = &order[phase * phase_len..((phase + 1) * phase_len).min(n)];
+        for &row in slice {
+            let row = row as usize;
+            for &vi in &alive {
+                let v = &views[vi];
+                let dim = prep
+                    .dims
+                    .iter()
+                    .find(|(d, _)| *d == v.dimension.as_str())
+                    .expect("prepared")
+                    .1;
+                let meas = &prep
+                    .measures
+                    .iter()
+                    .find(|(m, _)| *m == v.measure.as_str())
+                    .expect("prepared")
+                    .1;
+                accs[vi].update(&dim[row], prep.mask[row], meas[row]);
+                stats.agg_ops += 1;
+            }
+        }
+        stats.scans += 1; // one slice pass
+        if phase + 1 == phases || alive.len() <= k {
+            continue;
+        }
+        // Prune with a margin that shrinks as more data is seen (a
+        // Hoeffding-style 1/√seen envelope on the KL estimate).
+        let seen = ((phase + 1) * phase_len).min(n) as f64;
+        let margin = 2.0 / seen.sqrt() * 10.0;
+        let mut utilities: Vec<(usize, f64)> = alive
+            .iter()
+            .map(|&vi| (vi, accs[vi].utility(views[vi].func)))
+            .collect();
+        utilities.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let kth = utilities[k.min(utilities.len()) - 1].1;
+        let before = alive.len();
+        alive = utilities
+            .iter()
+            .filter(|&&(_, u)| u + margin >= kth - margin)
+            .map(|&(vi, _)| vi)
+            .collect();
+        stats.pruned += (before - alive.len()) as u64;
+    }
+    let mut scored: Vec<ScoredView> = alive
+        .into_iter()
+        .map(|vi| ScoredView {
+            spec: views[vi].clone(),
+            utility: accs[vi].utility(views[vi].func),
+        })
+        .collect();
+    scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+    scored.truncate(k);
+    Ok(scored)
+}
+
+/// Fraction of `reference` specs present in `got` (top-k recall).
+pub fn recall(got: &[ScoredView], reference: &[ScoredView]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let hits = reference
+        .iter()
+        .filter(|r| got.iter().any(|g| g.spec == r.spec))
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    fn setup() -> (Table, Predicate, Vec<ViewSpec>) {
+        let t = sales_table(&SalesConfig {
+            rows: 20_000,
+            ..SalesConfig::default()
+        });
+        // Target: one product. Its price distribution by region/channel
+        // deviates strongly (prices are product-driven in the generator).
+        let target = Predicate::eq("product", "product0");
+        let views = candidate_views(&t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        (t, target, views)
+    }
+
+    #[test]
+    fn candidate_enumeration_covers_cross_product() {
+        let (t, _, views) = setup();
+        // 3 dims × 3 measures × 3 funcs = 27.
+        assert_eq!(views.len(), 27);
+        assert!(views.iter().any(|v| v.label() == "avg(price) by region"));
+        let _ = t;
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.5, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-9);
+        let q = [0.9, 0.1];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        // Asymmetry is expected.
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn naive_and_shared_agree_exactly() {
+        let (t, target, views) = setup();
+        let mut s1 = SeedbStats::default();
+        let mut s2 = SeedbStats::default();
+        let a = recommend_naive(&t, &target, &views, 5, &mut s1).unwrap();
+        let b = recommend_shared(&t, &target, &views, 5, &mut s2).unwrap();
+        assert_eq!(recall(&b, &a), 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.utility - y.utility).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_does_less_aggregation_work() {
+        let (t, target, views) = setup();
+        let mut naive = SeedbStats::default();
+        let mut shared = SeedbStats::default();
+        recommend_naive(&t, &target, &views, 5, &mut naive).unwrap();
+        recommend_shared(&t, &target, &views, 5, &mut shared).unwrap();
+        // Shared: one op per (dim, measure) pair per row = 9/row;
+        // naive: one per view per row = 27/row.
+        assert!(shared.agg_ops * 2 < naive.agg_ops);
+        assert_eq!(shared.scans, 1);
+        assert_eq!(naive.scans, 27);
+    }
+
+    #[test]
+    fn pruning_saves_work_with_high_recall() {
+        let (t, target, views) = setup();
+        let mut exact_stats = SeedbStats::default();
+        let exact = recommend_shared(&t, &target, &views, 5, &mut exact_stats).unwrap();
+        let mut pruned_stats = SeedbStats::default();
+        let pruned =
+            recommend_pruned(&t, &target, &views, 5, 10, 7, &mut pruned_stats).unwrap();
+        assert!(
+            pruned_stats.agg_ops < exact_stats.agg_ops,
+            "pruned {} vs exact {}",
+            pruned_stats.agg_ops,
+            exact_stats.agg_ops
+        );
+        assert!(pruned_stats.pruned > 0);
+        let r = recall(&pruned, &exact);
+        assert!(r >= 0.6, "recall {r}");
+    }
+
+    #[test]
+    fn top_view_is_genuinely_deviating() {
+        let (t, target, views) = setup();
+        let mut stats = SeedbStats::default();
+        let top = recommend_shared(&t, &target, &views, 27, &mut stats).unwrap();
+        // Utilities are sorted and positive somewhere.
+        assert!(top.windows(2).all(|w| w[0].utility >= w[1].utility));
+        assert!(top[0].utility > top[top.len() - 1].utility);
+    }
+
+    #[test]
+    fn single_phase_pruned_equals_shared() {
+        let (t, target, views) = setup();
+        let mut a = SeedbStats::default();
+        let mut b = SeedbStats::default();
+        let shared = recommend_shared(&t, &target, &views, 5, &mut a).unwrap();
+        let pruned = recommend_pruned(&t, &target, &views, 5, 1, 3, &mut b).unwrap();
+        assert_eq!(recall(&pruned, &shared), 1.0);
+        assert_eq!(b.pruned, 0);
+    }
+
+    #[test]
+    fn numeric_dimension_is_rejected() {
+        let (t, target, _) = setup();
+        let bad = vec![ViewSpec {
+            dimension: "price".into(),
+            measure: "qty".into(),
+            func: AggFunc::Avg,
+        }];
+        let mut stats = SeedbStats::default();
+        assert!(recommend_shared(&t, &target, &bad, 1, &mut stats).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's motivating user: an astronomer exploring a sky survey
+//! without knowing what they are looking for.
+//!
+//! ```bash
+//! cargo run --release --example astronomy
+//! ```
+//!
+//! Reproduces the exploration session the tutorial's introduction
+//! sketches: (1) semantic-window search finds dense sky regions; (2) a
+//! pan session with trajectory prefetching inspects them interactively;
+//! (3) explore-by-example learns the astronomer's interest region from
+//! labels alone; (4) SciBORQ-style weighted sampling answers aggregate
+//! questions over the interesting region fast.
+
+use exploration::interact::aide::{AideConfig, AideSession, LabelOracle};
+use exploration::prefetch::{find_windows_prefix, GridIndex, PanSession, Viewport};
+use exploration::sampling::WeightedSample;
+use exploration::storage::gen::sky_table;
+use exploration::storage::Predicate;
+
+fn main() {
+    // A night's worth of (simulated) telescope output.
+    let sky = sky_table(500_000, 6, 1000.0, 2026);
+    println!("== sky survey: {} objects over a 1000×1000 field\n", sky.num_rows());
+
+    // 1. Semantic windows: 3×3-cell regions with unusually many objects.
+    let grid = GridIndex::build(&sky, "x", "y", "mag", 50, 50).expect("grid");
+    let per_window_avg = 9.0 * 500_000.0 / 2500.0;
+    let threshold = (per_window_avg * 2.5) as u64;
+    let t0 = std::time::Instant::now();
+    let (hits, cost) = find_windows_prefix(&grid, 3, 3, threshold);
+    println!(
+        "== semantic windows: {} dense 3×3 regions (≥{threshold} objects) in {:?} ({} points touched)",
+        hits.len(),
+        t0.elapsed(),
+        cost
+    );
+    for h in hits.iter().take(3) {
+        println!(
+            "   window at cell ({:>2},{:>2}): {} objects, mean mag {:.2}",
+            h.cx,
+            h.cy,
+            h.count,
+            h.sum / h.count as f64
+        );
+    }
+    println!();
+
+    // 2. Pan towards the densest region with prefetching on.
+    let target = hits
+        .iter()
+        .max_by_key(|h| h.count)
+        .expect("clusters exist");
+    let mut session = PanSession::new(&grid, true);
+    let steps = 12i64;
+    for i in 0..=steps {
+        // Straight-line pan from the field corner towards the target.
+        let cx = (target.cx as i64 * i) / steps;
+        let cy = (target.cy as i64 * i) / steps;
+        session.view(Viewport { cx, cy, w: 4, h: 4 });
+    }
+    let s = session.stats();
+    println!(
+        "== interactive pan: {:.0}% cache hits ({} foreground vs {} background points)\n",
+        s.hit_rate() * 100.0,
+        s.foreground_work,
+        s.background_work
+    );
+
+    // 3. Explore-by-example: the astronomer labels objects; the system
+    //    learns that they care about bright objects inside the target
+    //    window's sky coordinates.
+    let cell = 1000.0 / 50.0;
+    let (x0, y0) = (target.cx as f64 * cell, target.cy as f64 * cell);
+    let hidden_interest = Predicate::range("x", x0, x0 + 3.0 * cell)
+        .and(Predicate::range("y", y0, y0 + 3.0 * cell))
+        .and(Predicate::range("mag", 15.0, 99.0));
+    let mut oracle = LabelOracle::new(&sky, hidden_interest);
+    let mut aide = AideSession::new(
+        &sky,
+        &["x", "y", "mag"],
+        AideConfig {
+            batch: 60,
+            ..AideConfig::default()
+        },
+    )
+    .expect("session");
+    println!("== explore-by-example (labels → F1):");
+    for report in aide.run(&mut oracle, 8).expect("iterate") {
+        println!(
+            "   iteration {}: {:>4} labels → F1 {:.3}",
+            report.iteration + 1,
+            report.labels_total,
+            report.f1
+        );
+    }
+    let predicate = aide.extracted_predicate().expect("model trained");
+    println!("   extracted predicate touches columns {:?}\n", predicate.columns());
+
+    // 4. SciBORQ impressions: biased sample around the interest region,
+    //    Horvitz-Thompson-corrected count of bright objects.
+    let sample = WeightedSample::build(&sky, 20_000, 99, |t, i| {
+        let x = t.column("x").unwrap().numeric_at(i).unwrap();
+        let y = t.column("y").unwrap().numeric_at(i).unwrap();
+        if x >= x0 && x < x0 + 3.0 * cell && y >= y0 && y < y0 + 3.0 * cell {
+            20.0
+        } else {
+            1.0
+        }
+    })
+    .expect("impression");
+    let est = sample.ht_count(|t, i| t.column("mag").unwrap().numeric_at(i).unwrap() >= 15.0);
+    let truth = Predicate::range("mag", 15.0, 99.0)
+        .evaluate(&sky)
+        .expect("truth")
+        .len() as f64;
+    println!(
+        "== SciBORQ impression ({} rows stored): bright objects ≈ {:.0} (truth {truth}, error {:.2}%)",
+        sample.table().num_rows(),
+        est,
+        (est - truth).abs() / truth * 100.0
+    );
+}

@@ -1,0 +1,104 @@
+//! Quickstart: the unified exploration engine in five minutes.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the three layers of the SIGMOD'15 tutorial top-down on a
+//! synthetic sales table: exact queries, adaptive indexing, approximate
+//! aggregation with error bounds, online aggregation, and SeeDB view
+//! recommendation.
+
+use exploration::aqp::Bound;
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{AggFunc, Predicate, Query, SortOrder};
+use exploration::ExploreDb;
+
+fn main() {
+    let mut db = ExploreDb::new();
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 200_000,
+            ..SalesConfig::default()
+        }),
+    );
+    println!("== registered tables: {:?}\n", db.tables());
+
+    // 1. Exact declarative query.
+    let result = db
+        .query(
+            "sales",
+            &Query::new()
+                .filter(Predicate::range("price", 50.0, 300.0))
+                .group("region")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Count, "qty")
+                .order("avg(price)", SortOrder::Desc)
+                .take(5),
+        )
+        .expect("query");
+    println!("== top regions by avg price (exact)\n{}", result.pretty(5));
+
+    // 2. Adaptive indexing: the first range query cracks, later ones fly.
+    let t0 = std::time::Instant::now();
+    let first = db.cracked_range("sales", "qty", 3, 7).expect("crack");
+    let t1 = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let second = db.cracked_range("sales", "qty", 3, 7).expect("crack");
+    let t2 = t0.elapsed();
+    println!(
+        "== adaptive index: {} rows; first query {t1:?}, repeat {t2:?} ({} pieces)\n",
+        first.len(),
+        db.index_pieces("sales", "qty").unwrap()
+    );
+    assert_eq!(first.len(), second.len());
+
+    // 3. Approximate aggregation with a 2% error bound at 95% confidence.
+    db.build_samples("sales", &[0.001, 0.01, 0.1], &[("region", 200)], 42)
+        .expect("samples");
+    let ans = db
+        .approx_aggregate(
+            "sales",
+            &Predicate::eq("region", "region0"),
+            AggFunc::Avg,
+            "price",
+            Bound::RelativeError {
+                target: 0.02,
+                confidence: 0.95,
+            },
+        )
+        .expect("approx");
+    let (lo, hi) = ans.interval.bounds();
+    println!(
+        "== approx avg(price) where region0: {:.2} ∈ [{:.2}, {:.2}] using {:.1}% of data\n",
+        ans.interval.estimate,
+        lo,
+        hi,
+        ans.fraction_used * 100.0
+    );
+
+    // 4. Online aggregation: watch the interval shrink.
+    let mut oa = db
+        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+        .expect("online");
+    println!("== online aggregation of avg(price):");
+    for snap in oa.run_until(0.005, 20_000) {
+        println!(
+            "   {:>6.1}% processed → {:.2} ± {:.2}",
+            snap.fraction * 100.0,
+            snap.interval.estimate,
+            snap.interval.half_width
+        );
+    }
+    println!();
+
+    // 5. SeeDB: which views make product0 look interesting?
+    let views = db
+        .recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        .expect("views");
+    println!("== recommended views for product0:");
+    for v in views {
+        println!("   {:<28} utility {:.4}", v.spec.label(), v.utility);
+    }
+}

@@ -1,0 +1,87 @@
+//! An interactive exploration shell over the declarative exploration
+//! language — the paper's §2.4 "declarative exploration languages" open
+//! problem, as a usable artifact.
+//!
+//! ```bash
+//! cargo run --release --example repl            # scripted demo session
+//! cargo run --release --example repl -- -i      # interactive (stdin)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use exploration::storage::gen::{sales_table, sky_table, SalesConfig};
+use exploration::{ExplorationSession, ExploreDb};
+
+fn main() {
+    let mut db = ExploreDb::new();
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 100_000,
+            ..SalesConfig::default()
+        }),
+    );
+    db.register("sky", sky_table(100_000, 4, 1000.0, 11));
+    let mut session = ExplorationSession::with_db(db);
+
+    let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
+    if interactive {
+        println!("exploration shell — statements end with ';', Ctrl-D to exit");
+        println!("tables: sales, sky\n");
+        let stdin = std::io::stdin();
+        let mut buffer = String::new();
+        loop {
+            print!("explore> ");
+            std::io::stdout().flush().expect("flush");
+            buffer.clear();
+            match stdin.lock().read_line(&mut buffer) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let line = buffer.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+                        break;
+                    }
+                    match session.execute(line) {
+                        Ok(outcome) => println!("{outcome}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("read error: {e}");
+                    break;
+                }
+            }
+        }
+        return;
+    }
+
+    // Scripted demo: the same statements a user would type.
+    let script = [
+        "USE sales;",
+        "SELECT avg(price), count(qty) WHERE region = \"region0\" GROUP BY product TOP 5;",
+        "SAMPLES 0.01, 0.1 STRATIFY region CAP 200;",
+        "APPROX avg(price) WHERE qty >= 3 WITHIN 2% CONFIDENCE 95;",
+        "CRACK qty BETWEEN 3 AND 7;",
+        "CRACK qty BETWEEN 3 AND 7;",
+        "RECOMMEND VIEWS FOR product = \"product0\" TOP 3;",
+        "FACETS FOR channel = \"channel0\" SUPPORT 20 TOP 4;",
+        "DIVERSIFY price BY price, discount, qty TOP 8 LAMBDA 0.4;",
+        "CHARTS TOP 4;",
+        "SYNOPSES BUCKETS 64;",
+        "ESTIMATE COUNT WHERE price BETWEEN 50 AND 250;",
+        "ESTIMATE DISTINCT product;",
+        "SEGMENT price BY discount INTO 3;",
+        "USE sky;",
+        "SELECT count(mag) WHERE x BETWEEN 100 AND 200 AND y BETWEEN 100 AND 200;",
+    ];
+    for stmt in script {
+        println!("explore> {stmt}");
+        match session.execute(stmt) {
+            Ok(outcome) => println!("{outcome}\n"),
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! A business-analyst session: zero-query dashboards, deviation-based
+//! view recommendation, cube exploration and diversified drill-downs.
+//!
+//! ```bash
+//! cargo run --release --example sales_dashboard
+//! ```
+
+use exploration::cube::{CubeSession, DataCube, DiscoveryView};
+use exploration::diversify::{mmr, top_k_relevance, DivStats, Item};
+use exploration::interact::suggest::faceted_recommendations;
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{AggFunc, Predicate};
+use exploration::viz::{propose_charts, ChartKind};
+use exploration::viz::seedb::{candidate_views, recommend_pruned, recommend_shared, SeedbStats};
+
+fn main() {
+    let sales = sales_table(&SalesConfig {
+        rows: 100_000,
+        regions: 12,
+        products: 30,
+        channels: 5,
+        skew: 0.9,
+        seed: 7,
+    });
+    println!("== sales fact table: {} rows\n", sales.num_rows());
+
+    // 1. VizDeck: deal an initial dashboard without writing a query.
+    println!("== initial dashboard deck:");
+    for chart in propose_charts(&sales, 5).expect("deck") {
+        let kind = match chart.kind {
+            ChartKind::Bar => "bar",
+            ChartKind::HistogramChart => "hist",
+            ChartKind::Scatter => "scatter",
+        };
+        println!("   {:<8} {:?} (score {:.2})", kind, chart.columns, chart.score);
+    }
+    println!();
+
+    // 2. SeeDB: the analyst clicks into channel0 — which views deviate?
+    let target = Predicate::eq("channel", "channel0");
+    let views = candidate_views(&sales, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+    let mut shared_stats = SeedbStats::default();
+    let t0 = std::time::Instant::now();
+    let exact = recommend_shared(&sales, &target, &views, 3, &mut shared_stats).expect("seedb");
+    let shared_time = t0.elapsed();
+    let mut pruned_stats = SeedbStats::default();
+    let t0 = std::time::Instant::now();
+    let fast =
+        recommend_pruned(&sales, &target, &views, 3, 10, 5, &mut pruned_stats).expect("seedb");
+    let pruned_time = t0.elapsed();
+    println!("== SeeDB: top views where channel0 deviates");
+    for v in &exact {
+        println!("   {:<28} utility {:.4}", v.spec.label(), v.utility);
+    }
+    println!(
+        "   shared scan: {shared_time:?} ({} agg ops); pruned: {pruned_time:?} ({} agg ops, {} views pruned)\n",
+        shared_stats.agg_ops, pruned_stats.agg_ops, pruned_stats.pruned
+    );
+    let _ = fast;
+
+    // 3. Discovery-driven cube: where are the anomalies?
+    let disc = DiscoveryView::build(&sales, "region", "product", "price").expect("cube");
+    println!("== discovery-driven exploration: most surprising cells");
+    for c in disc.exceptions(0.0).iter().take(3) {
+        println!(
+            "   ({}, {}): actual {:.0} vs expected {:.0} (surprise {:+.1})",
+            c.dim_a, c.dim_b, c.actual, c.expected, c.surprise
+        );
+    }
+    let drill = disc.drill_ranking();
+    println!("   drill next into: {} (total surprise {:.1})\n", drill[0].0, drill[0].1);
+
+    // 4. Speculative cube session along that drill path.
+    let cube = DataCube::new(
+        sales.clone(),
+        &["region", "product", "channel"],
+        "price",
+        AggFunc::Sum,
+    )
+    .expect("cube");
+    let mut session = CubeSession::new(cube, true);
+    for path in [
+        vec![],
+        vec!["region"],
+        vec!["region", "product"],
+        vec!["region"],
+        vec!["channel", "region"],
+    ] {
+        session.navigate(&path.iter().map(|s| &**s).collect::<Vec<_>>()).expect("navigate");
+    }
+    let st = session.stats();
+    println!(
+        "== speculative cube session: {:.0}% hits ({} speculative cuboids built)\n",
+        st.hit_rate() * 100.0,
+        st.speculative_work
+    );
+
+    // 5. Diversified top-k: show expensive orders, but not 10 clones.
+    let prices = sales.column("price").expect("col").as_f64().expect("f64");
+    let discounts = sales.column("discount").expect("col").as_f64().expect("f64");
+    let qtys = sales.column("qty").expect("col").as_i64().expect("i64");
+    let items: Vec<Item> = (0..sales.num_rows())
+        .map(|i| {
+            Item::new(
+                i as u32,
+                prices[i] / 500.0,
+                vec![prices[i] / 10.0, discounts[i] * 100.0, qtys[i] as f64],
+            )
+        })
+        .take(5000)
+        .collect();
+    let mut stats = DivStats::default();
+    let plain = top_k_relevance(&items, 8);
+    let diverse = mmr(&items, 8, 0.4, &[], &mut stats);
+    println!("== top-8 orders, plain vs diversified (row ids):");
+    println!("   plain:     {plain:?}");
+    println!("   diversified: {diverse:?}\n");
+
+    // 6. YmalDB: what else correlates with the analyst's selection?
+    let rows = target.evaluate(&sales).expect("rows");
+    println!("== you may also like (facets over channel0 rows):");
+    for f in faceted_recommendations(&sales, &rows, 20, 4).expect("facets") {
+        println!(
+            "   {} = {:<12} lift {:.2} ({:.0}% of selection)",
+            f.column,
+            f.value,
+            f.lift,
+            f.result_frequency * 100.0
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # exploration
+//!
+//! The umbrella crate of the `exploration` workspace — a unified
+//! data-exploration engine reproducing the systems landscape of
+//! *Overview of Data Exploration Techniques* (Idreos, Papaemmanouil,
+//! Chaudhuri — SIGMOD 2015 tutorial).
+//!
+//! Everything is re-exported from [`explore_core`]: the [`ExploreDb`]
+//! facade, the [`ExplorationSession`] declarative language, the Table-1
+//! [`taxonomy`], and one module alias per technique crate
+//! ([`storage`], [`cracking`], [`loading`], [`layout`], [`synopses`],
+//! [`sampling`], [`aqp`], [`cube`], [`prefetch`], [`diversify`],
+//! [`interact`], [`viz`], [`series`]).
+//!
+//! See the repository README for a guided tour, `examples/` for runnable
+//! sessions, and EXPERIMENTS.md for the expected-vs-measured record.
+//!
+//! ```
+//! use exploration::ExploreDb;
+//! use exploration::storage::{gen, AggFunc, Query};
+//!
+//! let mut db = ExploreDb::new();
+//! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
+//! let out = db
+//!     .query("sales", &Query::new().agg(AggFunc::Count, "qty"))
+//!     .unwrap();
+//! assert_eq!(out.num_rows(), 1);
+//! ```
+
+pub use explore_core::*;

@@ -1,0 +1,105 @@
+//! The astronomer's session from the paper's introduction, end-to-end:
+//! semantic windows find dense regions, prefetching keeps panning
+//! interactive, explore-by-example learns the interest predicate, and
+//! query-by-output recovers a shareable query — all over the same sky.
+
+use exploration::interact::aide::{AideConfig, AideSession, LabelOracle};
+use exploration::interact::qbo::discover_query;
+use exploration::prefetch::{find_windows_prefix, GridIndex, PanSession, Viewport};
+use exploration::storage::gen::sky_table;
+use exploration::storage::Predicate;
+
+#[test]
+fn astronomer_session() {
+    let sky = sky_table(100_000, 4, 500.0, 7);
+
+    // 1. Dense-region discovery.
+    let grid = GridIndex::build(&sky, "x", "y", "mag", 25, 25).expect("grid");
+    let threshold = (100_000 / (25 * 25)) as u64 * 9 * 2; // 2× the average 3×3 window
+    let (hits, _) = find_windows_prefix(&grid, 3, 3, threshold);
+    assert!(!hits.is_empty(), "clusters must produce dense windows");
+    let target = hits.iter().max_by_key(|h| h.count).expect("hits");
+
+    // 2. Interactive pan toward the region with prefetch.
+    let mut session = PanSession::new(&grid, true);
+    for i in 0..10i64 {
+        session.view(Viewport {
+            cx: (target.cx as i64 * i) / 10,
+            cy: (target.cy as i64 * i) / 10,
+            w: 3,
+            h: 3,
+        });
+    }
+    assert!(
+        session.stats().hit_rate() > 0.3,
+        "prefetching should produce hits on a smooth trajectory, got {}",
+        session.stats().hit_rate()
+    );
+
+    // 3. Explore-by-example around the discovered region.
+    let cell = 500.0 / 25.0;
+    let (x0, y0) = (target.cx as f64 * cell, target.cy as f64 * cell);
+    let hidden = Predicate::range("x", x0, x0 + 3.0 * cell)
+        .and(Predicate::range("y", y0, y0 + 3.0 * cell));
+    let mut oracle = LabelOracle::new(&sky, hidden.clone());
+    let mut aide = AideSession::new(
+        &sky,
+        &["x", "y"],
+        AideConfig {
+            batch: 50,
+            ..AideConfig::default()
+        },
+    )
+    .expect("session");
+    let reports = aide.run(&mut oracle, 8).expect("run");
+    let final_f1 = reports.last().expect("reports").f1;
+    assert!(final_f1 > 0.7, "F1 {final_f1}");
+
+    // 4. The learned predicate works as a real query.
+    let learned = aide.extracted_predicate().expect("model");
+    let learned_rows = learned.evaluate(&sky).expect("eval");
+    let truth_rows = hidden.evaluate(&sky).expect("eval");
+    assert!(!learned_rows.is_empty());
+    let truth_set: std::collections::HashSet<u32> = truth_rows.iter().copied().collect();
+    let inside = learned_rows.iter().filter(|r| truth_set.contains(r)).count();
+    assert!(
+        inside as f64 / learned_rows.len() as f64 > 0.6,
+        "learned region precision"
+    );
+
+    // 5. Query-by-output from a handful of discovered tuples yields a
+    //    query that covers all of them.
+    let examples: Vec<usize> = truth_rows.iter().take(15).map(|&r| r as usize).collect();
+    let discovered = discover_query(&sky, &examples).expect("qbo");
+    assert_eq!(discovered.recall, 1.0);
+    // The recovered query's rows mostly fall inside the true region.
+    let got = discovered.predicate.evaluate(&sky).expect("eval");
+    let inside = got.iter().filter(|r| truth_set.contains(r)).count();
+    assert!(
+        inside * 2 > got.len(),
+        "recovered query concentrates in the region ({inside}/{})",
+        got.len()
+    );
+}
+
+#[test]
+fn prefetch_baseline_comparison_holds_on_sessions() {
+    let sky = sky_table(50_000, 3, 200.0, 17);
+    let grid = GridIndex::build(&sky, "x", "y", "mag", 20, 20).expect("grid");
+    let run = |prefetch: bool| {
+        let mut s = PanSession::new(&grid, prefetch);
+        for i in 0..15i64 {
+            s.view(Viewport {
+                cx: i,
+                cy: 5,
+                w: 4,
+                h: 4,
+            });
+        }
+        s.stats()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(with.hit_rate() >= without.hit_rate());
+    assert!(with.foreground_work <= without.foreground_work);
+}

@@ -1,0 +1,141 @@
+//! Cross-layer composition tests for the pieces added beyond the
+//! initial reproduction: joins, group-wise online aggregation, synopsis
+//! answering, session-history prediction and the dbtouch canvas — each
+//! exercised *together with* the layers it serves.
+
+use exploration::aqp::{GroupedOnlineAggregation, SynopsisStore};
+use exploration::interact::canvas::{Canvas, CanvasResponse};
+use exploration::interact::gesture::QueryIntent;
+use exploration::interact::history::{synthetic_sessions, SessionModel};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{hash_join, AggFunc, Column, DataType, Predicate, Query, Schema, Table};
+
+#[test]
+fn join_then_explore_the_joined_table() {
+    // A dimension table joins onto the fact table; exploration
+    // machinery (SeeDB-style grouping) then runs on the result.
+    let sales = sales_table(&SalesConfig {
+        rows: 5_000,
+        ..SalesConfig::default()
+    });
+    let regions: Vec<String> = (0..8).map(|i| format!("region{i}")).collect();
+    let zones: Vec<&str> = ["north", "north", "south", "south", "east", "east", "west", "west"]
+        .to_vec();
+    let dim = Table::new(
+        Schema::of(&[("region_name", DataType::Utf8), ("zone", DataType::Utf8)]),
+        vec![
+            Column::from(regions),
+            Column::from(zones),
+        ],
+    )
+    .unwrap();
+    let joined = hash_join(&sales, &dim, "region", "region_name").unwrap();
+    assert_eq!(joined.num_rows(), sales.num_rows(), "FK join preserves facts");
+    // Aggregate over the joined-in attribute.
+    let by_zone = Query::new()
+        .group("zone")
+        .agg(AggFunc::Sum, "price")
+        .run(&joined)
+        .unwrap();
+    assert!(by_zone.num_rows() <= 4);
+    let total: f64 = by_zone
+        .column("sum(price)")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .iter()
+        .sum();
+    let truth: f64 = sales.column("price").unwrap().as_f64().unwrap().iter().sum();
+    assert!((total - truth).abs() < 1e-6, "join loses no mass");
+}
+
+#[test]
+fn grouped_online_aggregation_matches_exact_groups() {
+    let t = sales_table(&SalesConfig {
+        rows: 30_000,
+        ..SalesConfig::default()
+    });
+    let mut g = GroupedOnlineAggregation::start(&t, "channel", "price", 0.95, 9).unwrap();
+    let snap = g.run_until(0.03, 2_000);
+    assert!(!snap.is_empty());
+    // Every interval is within its bound and brackets the exact mean.
+    let exact = Query::new()
+        .group("channel")
+        .agg(AggFunc::Avg, "price")
+        .run(&t)
+        .unwrap();
+    let labels = exact.column("channel").unwrap().as_utf8().unwrap();
+    let means = exact.column("avg(price)").unwrap().as_f64().unwrap();
+    let mut misses = 0;
+    for est in &snap {
+        assert!(est.interval.relative_error() <= 0.03);
+        let idx = labels.iter().position(|l| l == &est.group).unwrap();
+        if !est.interval.contains(means[idx]) {
+            misses += 1;
+        }
+    }
+    assert!(misses <= 1, "at most one 95% interval may miss");
+}
+
+#[test]
+fn synopsis_store_and_sampling_agree_on_counts() {
+    let t = sales_table(&SalesConfig {
+        rows: 40_000,
+        ..SalesConfig::default()
+    });
+    let store = SynopsisStore::build(&t, 64);
+    let truth = Predicate::range("price", 50.0, 250.0).evaluate(&t).unwrap().len() as f64;
+    let est = store.range_count("price", 50.0, 250.0).unwrap().estimate;
+    assert!((est - truth).abs() / truth < 0.1);
+    // Point counts from the sketch are conservative.
+    let regions = t.column("region").unwrap().as_utf8().unwrap();
+    let count0 = regions.iter().filter(|r| r.as_str() == "region0").count() as f64;
+    assert!(store.point_count("region", "region0").unwrap().estimate >= count0);
+}
+
+#[test]
+fn history_model_predicts_the_habitual_next_action() {
+    let mut model = SessionModel::new();
+    for s in synthetic_sessions(300, 25, 42) {
+        model.observe(&s);
+    }
+    // The model's top prediction after "zoom" (habit: drill 0.50)
+    // matches the generating process.
+    assert_eq!(model.predict("zoom", 1)[0].0, "drill");
+    // Idiom mining surfaces a pattern a prefetcher could precompute.
+    let idioms = model.mine_patterns(2, 3);
+    assert!(!idioms.is_empty());
+    assert!(idioms[0].1 > 100, "dominant idiom is frequent");
+}
+
+#[test]
+fn canvas_session_drives_real_queries() {
+    let t = sales_table(&SalesConfig {
+        rows: 2_000,
+        ..SalesConfig::default()
+    });
+    let mut canvas = Canvas::new(&t).unwrap();
+    // Slide down the price column three times; the running mean must
+    // converge towards the full-column mean as rows are consumed.
+    let x = 3.5 / 6.0;
+    let mut last_consumed = 0;
+    for _ in 0..3 {
+        match canvas.apply(&QueryIntent::ScanColumn { x }).unwrap() {
+            CanvasResponse::RunningAggregate { rows_consumed, .. } => {
+                assert!(rows_consumed > last_consumed);
+                last_consumed = rows_consumed;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    // Zoom, then summarize only the window.
+    canvas.apply(&QueryIntent::DrillDown { cx: 0.5, cy: 0.5 }).unwrap();
+    match canvas.apply(&QueryIntent::Summarize { cx: 0.5, cy: 0.5 }).unwrap() {
+        CanvasResponse::Summary { rows, .. } => {
+            let (s, e) = canvas.viewport();
+            assert_eq!(rows, e - s);
+            assert!(rows < 2_000);
+        }
+        other => panic!("{other:?}"),
+    }
+}
