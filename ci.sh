@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: exactly what .github/workflows/ci.yml runs.
+#
+#   ./ci.sh          # fmt check, clippy -D warnings, full test suite,
+#                    # engine-bench smoke emitting BENCH_engine.json
+#   ./ci.sh fast     # skip the bench smoke
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+if [[ "${1:-}" != "fast" ]]; then
+    echo "==> bench smoke (engine) -> BENCH_engine.json"
+    BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_engine.json" \
+        cargo bench -q -p explore-bench --bench engine
+    echo "==> wrote $(wc -c < BENCH_engine.json) bytes of benchmark records"
+fi
+
+echo "==> CI green"

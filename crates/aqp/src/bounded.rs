@@ -7,8 +7,9 @@
 //! that satisfies the bound — or, for time bounds, the largest sample
 //! that fits the latency budget given a calibrated processing rate.
 
+use explore_exec::{evaluate_selection, ExecPolicy};
 use explore_sampling::{SampleCatalog, UniformSample};
-use explore_storage::{AggFunc, Accumulator, Predicate, Result, StorageError, Table};
+use explore_storage::{Accumulator, AggFunc, Predicate, Result, StorageError, Table};
 
 use crate::ci::{mean_interval, sum_interval, ConfidenceInterval};
 
@@ -42,6 +43,7 @@ pub struct BoundedExecutor<'a> {
     base: &'a Table,
     catalog: &'a SampleCatalog,
     confidence_default: f64,
+    policy: ExecPolicy,
 }
 
 impl<'a> BoundedExecutor<'a> {
@@ -52,7 +54,17 @@ impl<'a> BoundedExecutor<'a> {
             base,
             catalog,
             confidence_default: 0.95,
+            policy: ExecPolicy::Serial,
         }
+    }
+
+    /// Run predicate scans (over samples and the base table) under the
+    /// given execution policy. Sample scans are usually small, but the
+    /// exact fallback walks the full base table, where the morsel pool
+    /// pays off. Either policy yields bit-identical selections.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Approximate `func(column)` over rows matching `predicate`,
@@ -116,7 +128,7 @@ impl<'a> BoundedExecutor<'a> {
         confidence: f64,
     ) -> Result<BoundedAnswer> {
         let t = sample.table();
-        let sel = predicate.evaluate(t)?;
+        let sel = evaluate_selection(t, predicate, self.policy)?;
         let col = t.column(column)?;
         if func != AggFunc::Count && !col.data_type().is_numeric() {
             return Err(StorageError::TypeMismatch {
@@ -186,7 +198,7 @@ impl<'a> BoundedExecutor<'a> {
         func: AggFunc,
         column: &str,
     ) -> Result<BoundedAnswer> {
-        let sel = predicate.evaluate(self.base)?;
+        let sel = evaluate_selection(self.base, predicate, self.policy)?;
         let col = self.base.column(column)?;
         let mut acc = Accumulator::new();
         for &row in &sel {
@@ -221,8 +233,7 @@ mod tests {
             rows: 100_000,
             ..SalesConfig::default()
         });
-        let catalog =
-            SampleCatalog::build(&base, &[0.001, 0.01, 0.05, 0.2], &[], 7).unwrap();
+        let catalog = SampleCatalog::build(&base, &[0.001, 0.01, 0.05, 0.2], &[], 7).unwrap();
         (base, catalog)
     }
 

@@ -22,7 +22,10 @@ pub struct ConfidenceInterval {
 impl ConfidenceInterval {
     /// Interval bounds `(low, high)`.
     pub fn bounds(&self) -> (f64, f64) {
-        (self.estimate - self.half_width, self.estimate + self.half_width)
+        (
+            self.estimate - self.half_width,
+            self.estimate + self.half_width,
+        )
     }
 
     /// Relative half-width (`half_width / |estimate|`), or infinity when
@@ -58,10 +61,7 @@ impl ConfidenceInterval {
 /// rational approximation (|relative error| < 1.15e-9 — far below the
 /// noise floor of any sampling estimate).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "quantile defined on (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "quantile defined on (0,1), got {p}");
     #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -262,18 +262,14 @@ mod tests {
             let sample: Vec<f64> = idx.iter().map(|&i| population[i]).collect();
             let n = sample.len() as u64;
             let mean = sample.iter().sum::<f64>() / n as f64;
-            let s2 = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / (n as f64 - 1.0);
+            let s2 = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
             let ci = mean_interval(mean, s2, n, population.len() as u64, 0.95);
             if ci.contains(true_mean) {
                 covered += 1;
             }
         }
         let coverage = covered as f64 / trials as f64;
-        assert!(
-            (0.91..=0.99).contains(&coverage),
-            "coverage {coverage}"
-        );
+        assert!((0.91..=0.99).contains(&coverage), "coverage {coverage}");
     }
 
     #[test]

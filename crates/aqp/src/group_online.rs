@@ -62,11 +62,12 @@ impl GroupedOnlineAggregation {
         let mcol = table.column(measure)?;
         let values: Vec<f64> = (0..table.num_rows())
             .map(|i| {
-                mcol.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
-                    column: measure.to_owned(),
-                    expected: "numeric",
-                    found: mcol.data_type().name(),
-                })
+                mcol.numeric_at(i)
+                    .ok_or_else(|| StorageError::TypeMismatch {
+                        column: measure.to_owned(),
+                        expected: "numeric",
+                        found: mcol.data_type().name(),
+                    })
             })
             .collect::<Result<_>>()?;
         let mut order: Vec<u32> = (0..table.num_rows() as u32).collect();
@@ -148,10 +149,8 @@ impl GroupedOnlineAggregation {
     pub fn run_until(&mut self, target: f64, batch: usize) -> Vec<GroupEstimate> {
         let mut last = self.snapshot();
         while let Some(snap) = self.step(batch) {
-            let done = !snap.is_empty()
-                && snap
-                    .iter()
-                    .all(|g| g.interval.relative_error() <= target);
+            let done =
+                !snap.is_empty() && snap.iter().all(|g| g.interval.relative_error() <= target);
             last = snap;
             if done {
                 break;
@@ -200,7 +199,11 @@ mod tests {
             }
         }
         // 99% intervals: allow at most one miss across ~8 groups.
-        assert!(covered + 1 >= snap.len(), "covered {covered}/{}", snap.len());
+        assert!(
+            covered + 1 >= snap.len(),
+            "covered {covered}/{}",
+            snap.len()
+        );
     }
 
     #[test]
@@ -268,8 +271,7 @@ mod tests {
         let t = table();
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 6).unwrap();
         while g.step(20_000).is_some() {}
-        let online_groups: Vec<String> =
-            g.snapshot().into_iter().map(|e| e.group).collect();
+        let online_groups: Vec<String> = g.snapshot().into_iter().map(|e| e.group).collect();
         let exact = Query::new()
             .filter(Predicate::True)
             .group("region")

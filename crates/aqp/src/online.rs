@@ -9,7 +9,7 @@
 //! approximate interfaces for exploration.
 
 use explore_storage::rng::SplitMix64;
-use explore_storage::{AggFunc, Accumulator, Predicate, Result, StorageError, Table};
+use explore_storage::{Accumulator, AggFunc, Predicate, Result, StorageError, Table};
 
 use crate::ci::{count_interval, mean_interval, sum_interval, ConfidenceInterval};
 
@@ -116,9 +116,7 @@ impl OnlineAggregation {
         let n = self.acc.count();
         let s2 = self.acc.sample_variance();
         let interval = match self.func {
-            AggFunc::Count => {
-                count_interval(n, self.seen, self.total_rows, self.confidence)
-            }
+            AggFunc::Count => count_interval(n, self.seen, self.total_rows, self.confidence),
             AggFunc::Avg => mean_interval(
                 self.acc.mean(),
                 s2,
@@ -207,15 +205,8 @@ mod tests {
     fn avg_estimate_converges_to_truth() {
         let t = table();
         let truth = truth_avg(&t);
-        let mut oa = OnlineAggregation::start(
-            &t,
-            &Predicate::True,
-            AggFunc::Avg,
-            "price",
-            0.95,
-            1,
-        )
-        .unwrap();
+        let mut oa =
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 1).unwrap();
         let trace = oa.run_until(0.001, 1000);
         assert!(!trace.is_empty());
         // CI width shrinks monotonically-ish; compare first vs last.
@@ -224,21 +215,20 @@ mod tests {
         assert!(last < first / 3.0, "first {first} last {last}");
         // Final estimate is close to truth.
         let est = trace.last().unwrap().interval.estimate;
-        assert!((est - truth).abs() / truth < 0.02, "est {est} truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.02,
+            "est {est} truth {truth}"
+        );
     }
 
     #[test]
     fn early_stop_needs_far_fewer_rows_than_scan() {
         let t = table();
         let mut oa =
-            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 2)
-                .unwrap();
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 2).unwrap();
         let trace = oa.run_until(0.01, 500); // ±1%
         let processed = trace.last().unwrap().processed;
-        assert!(
-            processed < 25_000,
-            "needed {processed} of 50k rows for ±1%"
-        );
+        assert!(processed < 25_000, "needed {processed} of 50k rows for ±1%");
         assert!(!oa.is_exhausted());
     }
 
@@ -250,8 +240,7 @@ mod tests {
         });
         let truth = truth_avg(&t);
         let mut oa =
-            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 3)
-                .unwrap();
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 3).unwrap();
         let mut last = None;
         while let Some(s) = oa.step(100) {
             last = Some(s);
@@ -268,8 +257,7 @@ mod tests {
         let t = table();
         let pred = Predicate::eq("region", "region0");
         let truth = pred.evaluate(&t).unwrap().len() as f64;
-        let mut oa =
-            OnlineAggregation::start(&t, &pred, AggFunc::Count, "qty", 0.99, 4).unwrap();
+        let mut oa = OnlineAggregation::start(&t, &pred, AggFunc::Count, "qty", 0.99, 4).unwrap();
         oa.step(5000);
         let s = oa.snapshot();
         assert!(
@@ -303,8 +291,7 @@ mod tests {
     fn min_max_have_unknown_error() {
         let t = table();
         let mut oa =
-            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Max, "price", 0.95, 5)
-                .unwrap();
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Max, "price", 0.95, 5).unwrap();
         oa.step(100);
         assert!(oa.snapshot().interval.half_width.is_infinite());
     }
@@ -312,14 +299,9 @@ mod tests {
     #[test]
     fn string_aggregation_is_rejected() {
         let t = table();
-        assert!(OnlineAggregation::start(
-            &t,
-            &Predicate::True,
-            AggFunc::Sum,
-            "region",
-            0.95,
-            6
-        )
-        .is_err());
+        assert!(
+            OnlineAggregation::start(&t, &Predicate::True, AggFunc::Sum, "region", 0.95, 6)
+                .is_err()
+        );
     }
 }

@@ -105,9 +105,10 @@ impl SynopsisStore {
     /// Estimate a quantile of a numeric column.
     pub fn quantile(&self, column: &str, q: f64) -> Result<SynopsisAnswer> {
         let syn = self.get(column)?;
-        let hist = syn.histogram.as_ref().ok_or_else(|| {
-            StorageError::InvalidQuery(format!("no histogram on {column}"))
-        })?;
+        let hist = syn
+            .histogram
+            .as_ref()
+            .ok_or_else(|| StorageError::InvalidQuery(format!("no histogram on {column}")))?;
         Ok(SynopsisAnswer {
             estimate: hist.estimate_quantile(q),
             answered_by: AnsweredBy::EquiDepthHistogram,
@@ -165,7 +166,10 @@ mod tests {
     fn range_counts_are_accurate_without_touching_base_data() {
         let (t, store) = setup();
         for (lo, hi) in [(10.0, 100.0), (100.0, 300.0), (0.0, 1e9)] {
-            let truth = Predicate::range("price", lo, hi).evaluate(&t).unwrap().len() as f64;
+            let truth = Predicate::range("price", lo, hi)
+                .evaluate(&t)
+                .unwrap()
+                .len() as f64;
             let ans = store.range_count("price", lo, hi).unwrap();
             assert_eq!(ans.answered_by, AnsweredBy::EquiDepthHistogram);
             let rel = (ans.estimate - truth).abs() / truth.max(1.0);
@@ -206,8 +210,13 @@ mod tests {
     fn distinct_counts_are_close() {
         let (t, store) = setup();
         let truth = {
-            let mut v: Vec<&String> =
-                t.column("product").unwrap().as_utf8().unwrap().iter().collect();
+            let mut v: Vec<&String> = t
+                .column("product")
+                .unwrap()
+                .as_utf8()
+                .unwrap()
+                .iter()
+                .collect();
             v.sort();
             v.dedup();
             v.len() as f64

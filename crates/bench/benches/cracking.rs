@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use explore_core::cracking::baseline::{workload, QueryPattern};
-use explore_core::cracking::{CrackerColumn, HybridCrackSort, ScanBaseline, SortedIndex, StochasticCracker, StochasticVariant};
+use explore_core::cracking::{
+    CrackerColumn, HybridCrackSort, ScanBaseline, SortedIndex, StochasticCracker, StochasticVariant,
+};
 use explore_core::storage::gen::uniform_i64;
 
 const N: usize = 1_000_000;
@@ -90,7 +92,10 @@ fn bench_e2_sequential_robustness(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
-    for (name, variant) in [("ddc", StochasticVariant::Ddc), ("ddr", StochasticVariant::Ddr)] {
+    for (name, variant) in [
+        ("ddc", StochasticVariant::Ddc),
+        ("ddr", StochasticVariant::Ddr),
+    ] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || base.clone(),

@@ -7,6 +7,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use explore_core::cracking::ConcurrentCracker;
+use explore_core::exec::{run_query, ExecPolicy};
 use explore_core::layout::{AccessOp, AdaptiveStore, StoreConfig};
 use explore_core::loading::{eager_load, AdaptiveLoader, ExternalScanner, RawCsv};
 use explore_core::storage::csv::write_csv;
@@ -83,8 +84,7 @@ fn bench_e7_seedb(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = SeedbStats::default();
                 black_box(
-                    recommend_pruned(&t, &target, &views, 5, phases, 14, &mut s)
-                        .expect("pruned"),
+                    recommend_pruned(&t, &target, &views, 5, phases, 14, &mut s).expect("pruned"),
                 )
             })
         });
@@ -126,9 +126,7 @@ fn bench_e11_layouts(c: &mut Criterion) {
 
 fn bench_e16_concurrency(c: &mut Criterion) {
     let base = uniform_i64(500_000, 0, 500_000, 15);
-    let universe: Vec<(i64, i64)> = (0..32)
-        .map(|i| (i * 15_000, i * 15_000 + 5_000))
-        .collect();
+    let universe: Vec<(i64, i64)> = (0..32).map(|i| (i * 15_000, i * 15_000 + 5_000)).collect();
     let mut group = c.benchmark_group("e16_hot_queries");
     group.sample_size(10);
     for threads in [1usize, 4] {
@@ -205,6 +203,35 @@ fn bench_ablation_positional_map(c: &mut Criterion) {
     group.finish();
 }
 
+/// Morsel-driven execution: filtered group-by over 1M rows, serial vs
+/// the work-stealing pool at 1/2/4 workers. Both policies return
+/// bit-identical tables; the spread is pure execution speedup (on a
+/// multi-core host, 4 workers should be ≥2× serial).
+fn bench_exec_parallel_scan(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 1_000_000,
+        ..SalesConfig::default()
+    });
+    let q = Query::new()
+        .filter(Predicate::range("price", 50.0, 800.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Avg, "qty");
+    let mut group = c.benchmark_group("exec_1m_filtered_groupby");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(run_query(&t, &q, ExecPolicy::Serial).expect("query")))
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("parallel_{workers}_workers"), |b| {
+            b.iter(|| {
+                black_box(run_query(&t, &q, ExecPolicy::Parallel { workers }).expect("query"))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// E17: data-series 1-NN by strategy, post-convergence.
 fn bench_e17_series(c: &mut Criterion) {
     use explore_core::series::{noisy_copy, random_walks, BuildMode, SeriesIndex};
@@ -251,6 +278,7 @@ criterion_group!(
     bench_e11_layouts,
     bench_e16_concurrency,
     bench_ablation_positional_map,
+    bench_exec_parallel_scan,
     bench_e17_series
 );
 criterion_main!(benches);

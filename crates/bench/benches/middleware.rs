@@ -58,8 +58,20 @@ fn bench_e6_bounded_execution(c: &mut Criterion) {
     let ex = BoundedExecutor::new(&t, &catalog);
     let mut group = c.benchmark_group("e6_bounded_execution");
     for (name, bound) in [
-        ("loose_5pct", Bound::RelativeError { target: 0.05, confidence: 0.95 }),
-        ("tight_0_5pct", Bound::RelativeError { target: 0.005, confidence: 0.95 }),
+        (
+            "loose_5pct",
+            Bound::RelativeError {
+                target: 0.05,
+                confidence: 0.95,
+            },
+        ),
+        (
+            "tight_0_5pct",
+            Bound::RelativeError {
+                target: 0.005,
+                confidence: 0.95,
+            },
+        ),
         ("budget_5k_rows", Bound::RowBudget { rows: 5000 }),
     ] {
         group.bench_function(name, |b| {

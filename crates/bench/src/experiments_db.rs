@@ -199,10 +199,7 @@ pub fn e4() {
     // The session: alternating narrow aggregates touching 3 of 6 columns.
     let session: Vec<Query> = (0..50)
         .map(|i| {
-            let q = Query::new().filter(Predicate::eq(
-                "region",
-                format!("region{}", i % 4),
-            ));
+            let q = Query::new().filter(Predicate::eq("region", format!("region{}", i % 4)));
             match i % 3 {
                 0 => q.agg(AggFunc::Avg, "price"),
                 1 => q.agg(AggFunc::Sum, "qty"),
@@ -282,9 +279,8 @@ pub fn e11() {
         columns: vec!["price".into(), "discount".into(), "qty".into()],
     };
     // Static baselines.
-    let row_store = RowStore::from_table(
-        &t.project(&["price", "discount", "qty"]).expect("project"),
-    );
+    let row_store =
+        RowStore::from_table(&t.project(&["price", "discount", "qty"]).expect("project"));
     let mut columnar_only = AdaptiveStore::with_config(
         t.clone(),
         StoreConfig {
@@ -372,8 +368,7 @@ pub fn e16() {
         let cold = run(true);
         let hot = run(false);
         let stats = cracker.lock_stats();
-        let excl =
-            stats.exclusive as f64 / (stats.exclusive + stats.shared).max(1) as f64 * 100.0;
+        let excl = stats.exclusive as f64 / (stats.exclusive + stats.shared).max(1) as f64 * 100.0;
         println!(
             "{:>8} | {:>14.0} | {:>14.0} | {:>9.1}%",
             threads, cold, hot, excl
@@ -398,9 +393,8 @@ pub fn e17() {
         .collect();
     println!("E17: {count} random-walk series of length {len}, 100 1-NN queries\n");
 
-    let (mut adaptive, t_adaptive_build) = timed(|| {
-        SeriesIndex::build(collection.clone(), 16, 64, BuildMode::Adaptive)
-    });
+    let (mut adaptive, t_adaptive_build) =
+        timed(|| SeriesIndex::build(collection.clone(), 16, 64, BuildMode::Adaptive));
     let (mut full, t_full_build) =
         timed(|| SeriesIndex::build(collection.clone(), 16, 64, BuildMode::Full));
     println!(

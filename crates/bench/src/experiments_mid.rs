@@ -4,7 +4,9 @@
 use explore_core::aqp::{Bound, BoundedExecutor, OnlineAggregation};
 use explore_core::cube::{CubeSession, DataCube, DiscoveryView};
 use explore_core::diversify::{mmr, objective, top_k_relevance, DivStats, DiversityCache, Item};
-use explore_core::prefetch::{find_windows_naive, find_windows_prefix, GridIndex, PanSession, Viewport};
+use explore_core::prefetch::{
+    find_windows_naive, find_windows_prefix, GridIndex, PanSession, Viewport,
+};
 use explore_core::sampling::SampleCatalog;
 use explore_core::storage::gen::{sales_table, sky_table, SalesConfig};
 use explore_core::storage::rng::{SplitMix64, Zipf};
@@ -124,7 +126,9 @@ pub fn e6() {
             ans.interval.relative_error() * 100.0
         );
     }
-    println!("\nshape check: actual error shrinks ~1/√fraction; tighter bounds escalate the ladder.\n");
+    println!(
+        "\nshape check: actual error shrinks ~1/√fraction; tighter bounds escalate the ladder.\n"
+    );
 }
 
 /// E9 — semantic windows + prefetching: (a) naive vs prefix-sum window
@@ -151,7 +155,11 @@ pub fn e9() {
         let mut session = PanSession::new(&grid, prefetch);
         // A drift-then-turn trajectory, 40 steps.
         for i in 0..40i64 {
-            let (cx, cy) = if i < 20 { (i, 10 + i / 4) } else { (20 + (i - 20) / 2, 15 + (i - 20)) };
+            let (cx, cy) = if i < 20 {
+                (i, 10 + i / 4)
+            } else {
+                (20 + (i - 20) / 2, 15 + (i - 20))
+            };
             session.view(Viewport { cx, cy, w: 5, h: 5 });
         }
         let s = session.stats();
@@ -284,7 +292,12 @@ pub fn e12() {
             })
             .sum::<f64>()
             / probes.len() as f64;
-        println!("{:>14} | {:>10} | {:>13.3}%", "haar wavelet", coeffs, err * 100.0);
+        println!(
+            "{:>14} | {:>10} | {:>13.3}%",
+            "haar wavelet",
+            coeffs,
+            err * 100.0
+        );
     }
     for (w, d) in [(64usize, 4usize), (256, 4), (1024, 4)] {
         let mut cms = CountMinSketch::new(w, d);
@@ -340,16 +353,15 @@ pub fn e13() {
         products: 12,
         ..SalesConfig::default()
     });
-    let (view, t_disc) = timed(|| {
-        DiscoveryView::build(&t, "region", "product", "price").expect("view")
-    });
+    let (view, t_disc) =
+        timed(|| DiscoveryView::build(&t, "region", "product", "price").expect("view"));
     println!("E13: 200k-row cube, dims region×product×channel\n");
-    println!("discovery-driven scoring in {}; top exceptions:", us(t_disc));
+    println!(
+        "discovery-driven scoring in {}; top exceptions:",
+        us(t_disc)
+    );
     for c in view.exceptions(0.0).iter().take(3) {
-        println!(
-            "   ({}, {}): surprise {:+.1}",
-            c.dim_a, c.dim_b, c.surprise
-        );
+        println!("   ({}, {}): surprise {:+.1}", c.dim_a, c.dim_b, c.surprise);
     }
     let path: Vec<Vec<&str>> = vec![
         vec![],
@@ -404,8 +416,10 @@ pub fn e18() {
         (4, 6), // revisit
         (5, 7), // revisit of step 3
     ];
-    println!("E18: 500k rows, 8-step pan/zoom session of SUM(price) range queries
-");
+    println!(
+        "E18: 500k rows, 8-step pan/zoom session of SUM(price) range queries
+"
+    );
     println!(
         "{:>12} | {:>10} | {:>14} | {:>14} | {:>12}",
         "speculation", "hit rate", "foreground", "background", "cached"

@@ -8,11 +8,11 @@ use explore_core::render_table1;
 use explore_core::storage::gen::{feature_table, sales_table, SalesConfig};
 use explore_core::storage::rng::SplitMix64;
 use explore_core::storage::{AggFunc, Predicate};
+use explore_core::viz::ordered_bars;
 use explore_core::viz::reduce::{m4_reduce, pixel_extents};
 use explore_core::viz::seedb::{
     candidate_views, recall, recommend_naive, recommend_pruned, recommend_shared, SeedbStats,
 };
-use explore_core::viz::ordered_bars;
 
 use crate::{timed, us};
 
@@ -48,9 +48,8 @@ pub fn e7() {
     let (shared, t_shared) =
         timed(|| recommend_shared(&t, &target, &views, 5, &mut s_shared).expect("shared"));
     let mut s_pruned = SeedbStats::default();
-    let (pruned, t_pruned) = timed(|| {
-        recommend_pruned(&t, &target, &views, 5, 10, 70, &mut s_pruned).expect("pruned")
-    });
+    let (pruned, t_pruned) =
+        timed(|| recommend_pruned(&t, &target, &views, 5, 10, 70, &mut s_pruned).expect("pruned"));
     println!(
         "{:>10} | {:>12} | {:>14} | {:>8} | {:>8}",
         "strategy", "latency", "agg ops", "pruned", "recall"
@@ -181,14 +180,20 @@ pub fn e15() {
     use explore_core::storage::{Column, DataType, Schema, Table};
     let mut rng = SplitMix64::new(150);
     println!("E15a: ordering-guaranteed bar-chart sampling (5 groups × 40k rows)\n");
-    println!("{:>10} | {:>12} | {:>10}", "mean gap", "rows needed", "early?");
+    println!(
+        "{:>10} | {:>12} | {:>10}",
+        "mean gap", "rows needed", "early?"
+    );
     for &gap in &[8.0, 2.0, 1.0, 0.5, 0.25] {
         let mut labels = Vec::new();
         let mut values = Vec::new();
         let mut rows: Vec<(String, f64)> = Vec::new();
         for g in 0..5 {
             for _ in 0..40_000 {
-                rows.push((format!("g{g}"), 10.0 + gap * g as f64 + 2.0 * rng.gaussian()));
+                rows.push((
+                    format!("g{g}"),
+                    10.0 + gap * g as f64 + 2.0 * rng.gaussian(),
+                ));
             }
         }
         rng.shuffle(&mut rows);
@@ -225,8 +230,8 @@ pub fn e15() {
     for &bins in &[100usize, 400, 1600] {
         let r = m4_reduce(&series, bins);
         let full: Vec<(usize, f64)> = series.iter().copied().enumerate().collect();
-        let lossless =
-            pixel_extents(&full, series.len(), bins) == pixel_extents(&r.points, series.len(), bins);
+        let lossless = pixel_extents(&full, series.len(), bins)
+            == pixel_extents(&r.points, series.len(), bins);
         println!(
             "{:>8} | {:>10} | {:>9.0}x | {:>10}",
             bins,

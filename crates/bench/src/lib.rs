@@ -34,25 +34,89 @@ pub fn us(v: f64) -> String {
 /// The experiment registry: (id, title, runner).
 pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
     vec![
-        ("t1", "Table 1: taxonomy of data-exploration research", experiments_user::t1 as fn()),
-        ("e1", "Cracking convergence vs scan vs full sort", experiments_db::e1),
-        ("e2", "Stochastic cracking under sequential workloads", experiments_db::e2),
+        (
+            "t1",
+            "Table 1: taxonomy of data-exploration research",
+            experiments_user::t1 as fn(),
+        ),
+        (
+            "e1",
+            "Cracking convergence vs scan vs full sort",
+            experiments_db::e1,
+        ),
+        (
+            "e2",
+            "Stochastic cracking under sequential workloads",
+            experiments_db::e2,
+        ),
         ("e3", "Hybrid crack-sort convergence", experiments_db::e3),
-        ("e4", "Adaptive loading vs eager load vs external scan", experiments_db::e4),
-        ("e5", "Online aggregation: CI width vs tuples processed", experiments_mid::e5),
-        ("e6", "BlinkDB-style error and row-budget bounds", experiments_mid::e6),
-        ("e7", "SeeDB: naive vs shared vs pruned view recommendation", experiments_user::e7),
-        ("e8", "Explore-by-example: F1 vs labeling effort", experiments_user::e8),
-        ("e9", "Semantic windows and trajectory prefetching", experiments_mid::e9),
-        ("e10", "Result diversification trade-off and caching", experiments_mid::e10),
-        ("e11", "Adaptive storage under phase-shifting workloads", experiments_db::e11),
+        (
+            "e4",
+            "Adaptive loading vs eager load vs external scan",
+            experiments_db::e4,
+        ),
+        (
+            "e5",
+            "Online aggregation: CI width vs tuples processed",
+            experiments_mid::e5,
+        ),
+        (
+            "e6",
+            "BlinkDB-style error and row-budget bounds",
+            experiments_mid::e6,
+        ),
+        (
+            "e7",
+            "SeeDB: naive vs shared vs pruned view recommendation",
+            experiments_user::e7,
+        ),
+        (
+            "e8",
+            "Explore-by-example: F1 vs labeling effort",
+            experiments_user::e8,
+        ),
+        (
+            "e9",
+            "Semantic windows and trajectory prefetching",
+            experiments_mid::e9,
+        ),
+        (
+            "e10",
+            "Result diversification trade-off and caching",
+            experiments_mid::e10,
+        ),
+        (
+            "e11",
+            "Adaptive storage under phase-shifting workloads",
+            experiments_db::e11,
+        ),
         ("e12", "Synopsis accuracy vs space", experiments_mid::e12),
-        ("e13", "Discovery-driven and speculative cube exploration", experiments_mid::e13),
+        (
+            "e13",
+            "Discovery-driven and speculative cube exploration",
+            experiments_mid::e13,
+        ),
         ("e14", "Query-from-output discovery", experiments_user::e14),
-        ("e15", "Visualization-bound sampling and M4 reduction", experiments_user::e15),
-        ("e16", "Concurrent adaptive indexing throughput", experiments_db::e16),
-        ("e17", "Adaptive data-series indexing (ADS)", experiments_db::e17),
-        ("e18", "Speculative neighbor-query middleware", experiments_mid::e18),
+        (
+            "e15",
+            "Visualization-bound sampling and M4 reduction",
+            experiments_user::e15,
+        ),
+        (
+            "e16",
+            "Concurrent adaptive indexing throughput",
+            experiments_db::e16,
+        ),
+        (
+            "e17",
+            "Adaptive data-series indexing (ADS)",
+            experiments_db::e17,
+        ),
+        (
+            "e18",
+            "Speculative neighbor-query middleware",
+            experiments_mid::e18,
+        ),
     ]
 }
 

@@ -18,11 +18,10 @@ use explore_aqp::{
     Bound, BoundedAnswer, BoundedExecutor, OnlineAggregation, SynopsisAnswer, SynopsisStore,
 };
 use explore_cracking::CrackerColumn;
+use explore_exec::ExecPolicy;
 use explore_loading::{AdaptiveLoader, RawCsv};
 use explore_sampling::SampleCatalog;
-use explore_storage::{
-    AggFunc, Catalog, Predicate, Query, Result, StorageError, Table,
-};
+use explore_storage::{AggFunc, Catalog, Predicate, Query, Result, StorageError, Table};
 use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
 
 /// The unified exploration engine.
@@ -37,12 +36,34 @@ pub struct ExploreDb {
     samples: HashMap<String, SampleCatalog>,
     /// AQUA-style synopsis stores for zero-touch estimation.
     synopses: HashMap<String, SynopsisStore>,
+    /// How exact scans and aggregates execute; defaults to
+    /// morsel-parallel over all available cores. Both settings produce
+    /// bit-identical results (see `explore_exec`).
+    exec_policy: ExecPolicy,
 }
 
 impl ExploreDb {
     /// A fresh engine.
     pub fn new() -> Self {
         ExploreDb::default()
+    }
+
+    /// A fresh engine with an explicit execution policy.
+    pub fn with_exec_policy(policy: ExecPolicy) -> Self {
+        ExploreDb {
+            exec_policy: policy,
+            ..ExploreDb::default()
+        }
+    }
+
+    /// Change the execution policy for subsequent queries.
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.exec_policy = policy;
+    }
+
+    /// The current execution policy.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec_policy
     }
 
     /// Register an in-memory table.
@@ -74,7 +95,7 @@ impl ExploreDb {
         if let Some(loader) = self.raw.get_mut(table) {
             return loader.query(query);
         }
-        query.run(self.catalog.get(table)?)
+        explore_exec::run_query(self.catalog.get(table)?, query, self.exec_policy)
     }
 
     /// Progress of invisible loading for a raw table (columns loaded,
@@ -107,7 +128,8 @@ impl ExploreDb {
                     found: col.data_type().name(),
                 })?
                 .to_vec();
-            self.crackers.insert(key.clone(), CrackerColumn::new(values));
+            self.crackers
+                .insert(key.clone(), CrackerColumn::new(values));
         }
         let cracker = self.crackers.get_mut(&key).expect("just inserted");
         Ok(cracker.query_ids(low, high).to_vec())
@@ -152,7 +174,9 @@ impl ExploreDb {
                 "no sample catalog for {table}; call build_samples first"
             ))
         })?;
-        BoundedExecutor::new(t, samples).aggregate(predicate, func, column, bound)
+        BoundedExecutor::new(t, samples)
+            .with_policy(self.exec_policy)
+            .aggregate(predicate, func, column, bound)
     }
 
     /// Start an online aggregation whose confidence interval the caller
@@ -166,7 +190,14 @@ impl ExploreDb {
         confidence: f64,
         seed: u64,
     ) -> Result<OnlineAggregation> {
-        OnlineAggregation::start(self.catalog.get(table)?, predicate, func, column, confidence, seed)
+        OnlineAggregation::start(
+            self.catalog.get(table)?,
+            predicate,
+            func,
+            column,
+            confidence,
+            seed,
+        )
     }
 
     /// SeeDB: recommend the `k` most deviating views of `target` rows
@@ -236,7 +267,7 @@ impl ExploreDb {
         k: usize,
     ) -> Result<Vec<explore_explore::Facet>> {
         let t = self.catalog.get(table)?;
-        let rows = predicate.evaluate(t)?;
+        let rows = explore_exec::evaluate_selection(t, predicate, self.exec_policy)?;
         explore_explore::faceted_recommendations(t, &rows, min_support, k)
     }
 
@@ -253,7 +284,7 @@ impl ExploreDb {
         lambda: f64,
     ) -> Result<Vec<u32>> {
         let t = self.catalog.get(table)?;
-        let rows = predicate.evaluate(t)?;
+        let rows = explore_exec::evaluate_selection(t, predicate, self.exec_policy)?;
         let rel = t.column(relevance_col)?;
         let feats: Vec<&explore_storage::Column> = feature_cols
             .iter()
@@ -262,13 +293,13 @@ impl ExploreDb {
         let mut items = Vec::with_capacity(rows.len());
         for &row in &rows {
             let r = row as usize;
-            let relevance =
-                rel.numeric_at(r)
-                    .ok_or_else(|| StorageError::TypeMismatch {
-                        column: relevance_col.to_owned(),
-                        expected: "numeric",
-                        found: rel.data_type().name(),
-                    })?;
+            let relevance = rel
+                .numeric_at(r)
+                .ok_or_else(|| StorageError::TypeMismatch {
+                    column: relevance_col.to_owned(),
+                    expected: "numeric",
+                    found: rel.data_type().name(),
+                })?;
             let features = feats
                 .iter()
                 .enumerate()
@@ -287,11 +318,7 @@ impl ExploreDb {
     }
 
     /// VizDeck: deal the top-`k` chart proposals for a table.
-    pub fn propose_charts(
-        &self,
-        table: &str,
-        k: usize,
-    ) -> Result<Vec<explore_viz::ChartProposal>> {
+    pub fn propose_charts(&self, table: &str, k: usize) -> Result<Vec<explore_viz::ChartProposal>> {
         explore_viz::propose_charts(self.catalog.get(table)?, k)
     }
 }
@@ -322,7 +349,10 @@ mod tests {
         });
         let mut db = ExploreDb::new();
         db.register("mem", t.clone());
-        db.attach_raw("raw", RawCsv::new(write_csv(&t), t.schema().clone()).unwrap());
+        db.attach_raw(
+            "raw",
+            RawCsv::new(write_csv(&t), t.schema().clone()).unwrap(),
+        );
         let q = Query::new()
             .filter(Predicate::eq("region", "region0"))
             .agg(AggFunc::Count, "qty");
@@ -362,15 +392,17 @@ mod tests {
     #[test]
     fn approximate_aggregation_via_catalog() {
         let mut db = engine_with_sales(50_000);
-        assert!(db
-            .approx_aggregate(
+        assert!(
+            db.approx_aggregate(
                 "sales",
                 &Predicate::True,
                 AggFunc::Avg,
                 "price",
                 Bound::RowBudget { rows: 1000 },
             )
-            .is_err(), "needs samples first");
+            .is_err(),
+            "needs samples first"
+        );
         db.build_samples("sales", &[0.01, 0.1], &[("region", 100)], 7)
             .unwrap();
         let ans = db

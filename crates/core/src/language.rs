@@ -526,7 +526,10 @@ impl Parser {
                     )))
                 }
             };
-            return Ok(Statement::Estimate(EstimateKind::PointCount { column, value }));
+            return Ok(Statement::Estimate(EstimateKind::PointCount {
+                column,
+                value,
+            }));
         }
         Err(self.err(
             "expected USE, SELECT, APPROX, SAMPLES, CRACK, RECOMMEND, FACETS, DIVERSIFY, CHARTS, SYNOPSES or ESTIMATE",
@@ -534,14 +537,11 @@ impl Parser {
     }
 
     /// `<agg>(<col>)` or bare `<col>`.
-    fn parse_select_item(
-        &mut self,
-    ) -> Result<(Option<AggFunc>, String), StorageError> {
+    fn parse_select_item(&mut self) -> Result<(Option<AggFunc>, String), StorageError> {
         let word = self.expect_word()?;
         if self.eat_symbol('(') {
-            let func = parse_agg(&word).ok_or_else(|| {
-                StorageError::InvalidQuery(format!("unknown aggregate {word:?}"))
-            })?;
+            let func = parse_agg(&word)
+                .ok_or_else(|| StorageError::InvalidQuery(format!("unknown aggregate {word:?}")))?;
             let col = self.expect_word()?;
             if !self.eat_symbol(')') {
                 return Err(self.err("expected )"));
@@ -811,10 +811,8 @@ impl ExplorationSession {
                 stratify,
             } => {
                 let table = self.active_table()?.to_owned();
-                let strat_ref: Vec<(&str, usize)> = stratify
-                    .iter()
-                    .map(|(c, n)| (c.as_str(), *n))
-                    .collect();
+                let strat_ref: Vec<(&str, usize)> =
+                    stratify.iter().map(|(c, n)| (c.as_str(), *n)).collect();
                 self.db.build_samples(&table, &fractions, &strat_ref, 42)?;
                 Ok(Outcome::Message(format!(
                     "built {} uniform sample(s){} on {table}",
@@ -875,9 +873,9 @@ impl ExplorationSession {
             } => {
                 let table = self.active_table()?.to_owned();
                 let feats: Vec<&str> = features.iter().map(String::as_str).collect();
-                let ids = self.db.diversified_topk(
-                    &table, &predicate, &relevance, &feats, top, lambda,
-                )?;
+                let ids = self
+                    .db
+                    .diversified_topk(&table, &predicate, &relevance, &feats, top, lambda)?;
                 Ok(Outcome::Diversified(ids))
             }
             Statement::Synopses { buckets } => {
@@ -919,9 +917,7 @@ impl ExplorationSession {
                         .into_iter()
                         .next()
                         .ok_or_else(|| {
-                            StorageError::InvalidQuery(
-                                "no numeric columns to segment on".into(),
-                            )
+                            StorageError::InvalidQuery("no numeric columns to segment on".into())
                         })?,
                 };
                 Ok(Outcome::Segmentation {
@@ -973,8 +969,8 @@ mod tests {
 
     #[test]
     fn parse_select_variants() {
-        let s = parse("SELECT avg(price) WHERE region = \"region0\" GROUP BY product TOP 5;")
-            .unwrap();
+        let s =
+            parse("SELECT avg(price) WHERE region = \"region0\" GROUP BY product TOP 5;").unwrap();
         match s {
             Statement::Select {
                 aggregates,
@@ -1316,7 +1312,10 @@ mod estimate_verb_tests {
     fn estimate_parse_errors() {
         assert!(parse("ESTIMATE").is_err());
         assert!(parse("ESTIMATE COUNT price").is_err(), "missing WHERE");
-        assert!(parse("ESTIMATE COUNT WHERE price = 3").is_err(), "numeric point");
+        assert!(
+            parse("ESTIMATE COUNT WHERE price = 3").is_err(),
+            "numeric point"
+        );
         assert!(parse("ESTIMATE COUNT WHERE price BETWEEN 3").is_err());
         assert!(parse("SYNOPSES BUCKETS").is_err());
         // Display of the outcome.

@@ -49,6 +49,7 @@ pub use explore_aqp as aqp;
 pub use explore_cracking as cracking;
 pub use explore_cube as cube;
 pub use explore_diversify as diversify;
+pub use explore_exec as exec;
 pub use explore_explore as interact;
 pub use explore_layout as layout;
 pub use explore_loading as loading;

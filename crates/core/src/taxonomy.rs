@@ -180,7 +180,11 @@ mod tests {
     #[test]
     fn all_three_layers_present() {
         let t = table1();
-        for layer in [Layer::UserInteraction, Layer::Middleware, Layer::DatabaseLayer] {
+        for layer in [
+            Layer::UserInteraction,
+            Layer::Middleware,
+            Layer::DatabaseLayer,
+        ] {
             assert!(t.iter().any(|c| c.layer == layer), "{layer:?}");
         }
         assert_eq!(t.len(), 14);

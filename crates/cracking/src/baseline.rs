@@ -28,7 +28,10 @@ impl ScanBaseline {
 
     /// Count of qualifying values, by exhaustive scan.
     pub fn query_count(&self, low: i64, high: i64) -> usize {
-        self.values.iter().filter(|&&v| v >= low && v < high).count()
+        self.values
+            .iter()
+            .filter(|&&v| v >= low && v < high)
+            .count()
     }
 }
 

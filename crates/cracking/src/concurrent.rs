@@ -16,6 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use explore_exec::{global_pool, ExecPolicy};
 use parking_lot::RwLock;
 
 use crate::cracker::CrackerColumn;
@@ -84,6 +85,32 @@ impl ConcurrentCracker {
         drop(col);
         self.exclusive.fetch_add(1, Ordering::Relaxed);
         sum
+    }
+
+    /// Answer a batch of count queries, fanning the batch out over the
+    /// morsel pool under [`ExecPolicy::Parallel`]. Each query still takes
+    /// the shared-or-exclusive path of [`query_count`](Self::query_count);
+    /// converged workloads run almost entirely under the shared lock and
+    /// scale with the worker count. Results are returned in input order
+    /// and are identical under either policy (each query's answer is
+    /// independent of crack interleaving).
+    pub fn query_counts_batch(&self, ranges: &[(i64, i64)], policy: ExecPolicy) -> Vec<usize> {
+        let out: Vec<std::sync::atomic::AtomicUsize> =
+            ranges.iter().map(|_| Default::default()).collect();
+        let run = |i: usize| {
+            let (low, high) = ranges[i];
+            out[i].store(self.query_count(low, high), Ordering::Relaxed);
+        };
+        match policy {
+            ExecPolicy::Serial => (0..ranges.len()).for_each(run),
+            ExecPolicy::Parallel { workers } => {
+                // One "morsel" per query: cracker queries are tiny
+                // relative to MORSEL_ROWS-row scans, and the pool's
+                // work-stealing keeps the batch balanced anyway.
+                global_pool().run(workers.max(1), ranges.len(), &run);
+            }
+        }
+        out.into_iter().map(|c| c.into_inner()).collect()
     }
 
     /// Lock-acquisition statistics so far.
@@ -181,6 +208,25 @@ mod tests {
             s.shared,
             s.exclusive
         );
+    }
+
+    #[test]
+    fn batch_counts_match_serial_and_parallel() {
+        let base = uniform_i64(50_000, 0, 5_000, 11);
+        let queries = workload(QueryPattern::Random, 5_000, 200, 64, 12);
+        let serial = {
+            let c = ConcurrentCracker::new(base.clone());
+            c.query_counts_batch(&queries, ExecPolicy::Serial)
+        };
+        let parallel = {
+            let c = ConcurrentCracker::new(base.clone());
+            c.query_counts_batch(&queries, ExecPolicy::Parallel { workers: 4 })
+        };
+        assert_eq!(serial, parallel);
+        let scan = ScanBaseline::new(base);
+        for (i, &(lo, hi)) in queries.iter().enumerate() {
+            assert_eq!(serial[i], scan.query_count(lo, hi), "query {i}");
+        }
     }
 
     #[test]

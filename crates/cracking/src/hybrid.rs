@@ -165,7 +165,11 @@ impl HybridCrackSort {
 
     /// Number of values not yet migrated to the final partition.
     pub fn pending(&self) -> usize {
-        self.initial.iter().map(CrackedPartition::len).sum::<usize>() - self.migrated
+        self.initial
+            .iter()
+            .map(CrackedPartition::len)
+            .sum::<usize>()
+            - self.migrated
     }
 
     /// Number of values migrated into the sorted final partition.
@@ -197,8 +201,7 @@ impl HybridCrackSort {
         self.runs
             .iter()
             .map(|run| {
-                run.partition_point(|&(v, _)| v < high)
-                    - run.partition_point(|&(v, _)| v < low)
+                run.partition_point(|&(v, _)| v < high) - run.partition_point(|&(v, _)| v < low)
             })
             .sum()
     }

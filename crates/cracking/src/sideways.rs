@@ -113,8 +113,7 @@ impl CrackerMap {
     /// boundary property holds.
     pub fn check_invariants(&self, base_head: &[i64], base_tail: &[f64]) -> bool {
         for (pos, &id) in self.ids.iter().enumerate() {
-            if self.head[pos] != base_head[id as usize]
-                || self.tail[pos] != base_tail[id as usize]
+            if self.head[pos] != base_head[id as usize] || self.tail[pos] != base_tail[id as usize]
             {
                 return false;
             }
@@ -144,7 +143,8 @@ impl MapSet {
 
     /// Register a (head, tail) map under the tail attribute's name.
     pub fn add_map(&mut self, tail_name: impl Into<String>, head: Vec<i64>, tail: Vec<f64>) {
-        self.maps.push((tail_name.into(), CrackerMap::new(head, tail)));
+        self.maps
+            .push((tail_name.into(), CrackerMap::new(head, tail)));
     }
 
     /// Names of registered tails.

@@ -216,7 +216,11 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         let base = uniform_i64(2000, 0, 500, 4);
         let mut model = Model {
-            live: base.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect(),
+            live: base
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect(),
         };
         let mut c = UpdatableCracker::new(base);
         for step in 0..400 {

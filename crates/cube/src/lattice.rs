@@ -217,7 +217,9 @@ mod tests {
         let n = c.neighbors(&["region"]);
         assert_eq!(n.len(), 3);
         assert!(n.contains(&vec![])); // roll-up
-        assert!(n.iter().any(|v| v == &["product".to_string(), "region".to_string()]));
+        assert!(n
+            .iter()
+            .any(|v| v == &["product".to_string(), "region".to_string()]));
     }
 
     #[test]

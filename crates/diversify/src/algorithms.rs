@@ -171,8 +171,7 @@ mod tests {
         let top_obj = objective(&by_ids(&items, &top_ids), lambda);
         assert!(div_obj > top_obj, "MMR {div_obj} vs top-k {top_obj}");
         // MMR should cover multiple clusters.
-        let clusters: std::collections::HashSet<u32> =
-            div_ids.iter().map(|id| id / 20).collect();
+        let clusters: std::collections::HashSet<u32> = div_ids.iter().map(|id| id / 20).collect();
         assert!(clusters.len() >= 3, "covered {clusters:?}");
         assert!(stats.distance_evals > 0);
     }

@@ -40,8 +40,7 @@ pub fn objective(selection: &[&Item], lambda: f64) -> f64 {
     if selection.is_empty() {
         return 0.0;
     }
-    let rel: f64 =
-        selection.iter().map(|i| i.relevance).sum::<f64>() / selection.len() as f64;
+    let rel: f64 = selection.iter().map(|i| i.relevance).sum::<f64>() / selection.len() as f64;
     if selection.len() == 1 {
         return lambda * rel;
     }

@@ -1,0 +1,43 @@
+//! # explore-exec
+//!
+//! Morsel-driven parallel execution for the exploration workspace,
+//! after the Hyper-style design: tables are split into fixed ~64K-row
+//! morsels ([`explore_storage::MORSEL_ROWS`]), a small work-stealing
+//! pool fans predicate evaluation and per-morsel partial aggregation
+//! out across threads, and partials are merged back **in morsel order**.
+//!
+//! Because [`ExecPolicy::Serial`] and [`ExecPolicy::Parallel`] share the
+//! morsel decomposition and the merge order, the two policies produce
+//! bit-identical result tables for every supported query shape — the
+//! property the repo's differential test harness
+//! (`tests/parallel_differential.rs`) asserts exhaustively.
+//!
+//! Interactive exploration sessions are latency-bound scans over a
+//! single hot table; morsel-driven parallelism is the standard way to
+//! keep such scans within the interactive budget as data grows, without
+//! giving up the determinism that differential testing (and result
+//! caching across techniques) depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use explore_exec::{run_query, ExecPolicy};
+//! use explore_storage::{gen, AggFunc, Predicate, Query};
+//!
+//! let sales = gen::sales_table(&gen::SalesConfig::default());
+//! let query = Query::new()
+//!     .filter(Predicate::range("price", 50.0, 200.0))
+//!     .group("region")
+//!     .agg(AggFunc::Avg, "price");
+//! let serial = run_query(&sales, &query, ExecPolicy::Serial).unwrap();
+//! let parallel = run_query(&sales, &query, ExecPolicy::parallel()).unwrap();
+//! assert_eq!(serial.num_rows(), parallel.num_rows());
+//! ```
+
+pub mod policy;
+pub mod pool;
+pub mod query;
+
+pub use policy::ExecPolicy;
+pub use pool::{default_parallelism, global_pool, ExecPool};
+pub use query::{evaluate_selection, morsel_count, morsel_range, run_query};

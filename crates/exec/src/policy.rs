@@ -1,0 +1,61 @@
+//! The execution-policy knob exposed on `ExploreDb` and the technique
+//! crates: serial morsel execution or the work-stealing pool.
+
+use crate::pool::default_parallelism;
+
+/// How a query plan is executed over its morsels.
+///
+/// Both policies use the **same** morsel decomposition and merge order,
+/// so they produce bit-identical results; see `crate::query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// One thread walks the morsels in order.
+    Serial,
+    /// Morsels are fanned out over the work-stealing pool, using up to
+    /// `workers` threads including the caller.
+    Parallel {
+        /// Upper bound on participating threads; clamped to the pool
+        /// size and the morsel count. `0` is treated as `1`.
+        workers: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// Parallel execution with every available core:
+    /// `std::thread::available_parallelism()` workers.
+    pub fn parallel() -> Self {
+        ExecPolicy::Parallel {
+            workers: default_parallelism(),
+        }
+    }
+
+    /// The number of workers this policy asks for.
+    pub fn workers(&self) -> usize {
+        match *self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { workers } => workers.max(1),
+        }
+    }
+}
+
+/// Defaults to [`ExecPolicy::parallel`] — all available cores.
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_parallel_with_available_cores() {
+        match ExecPolicy::default() {
+            ExecPolicy::Parallel { workers } => assert!(workers >= 1),
+            ExecPolicy::Serial => panic!("default must be parallel"),
+        }
+        assert_eq!(ExecPolicy::Serial.workers(), 1);
+        assert_eq!(ExecPolicy::Parallel { workers: 0 }.workers(), 1);
+    }
+}

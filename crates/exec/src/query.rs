@@ -1,0 +1,248 @@
+//! Morsel-driven execution of [`Query`] plans.
+//!
+//! A table is split into fixed [`MORSEL_ROWS`]-row morsels at the same
+//! offsets regardless of policy. Each morsel independently evaluates the
+//! predicate over its row window and either gathers its matching rows
+//! (scan queries) or folds them into a [`GroupedAggState`] partial
+//! (aggregate queries). Partial results are then merged **in morsel
+//! order**, so [`ExecPolicy::Serial`] and [`ExecPolicy::Parallel`]
+//! produce bit-identical tables by construction: the only difference is
+//! which thread computes each morsel, never what is computed or the
+//! order in which partials are combined.
+//!
+//! Note the reference point: the serial policy here is the morsel
+//! pipeline run on one thread, which matches [`Query::run`] exactly for
+//! scans and for ordering/limits, while float aggregates can differ from
+//! `Query::run` in the last ulp (per-morsel Welford accumulators merged
+//! pairwise versus one long accumulation). Between the two policies the
+//! results are identical down to the bit.
+
+use std::cell::UnsafeCell;
+
+use explore_storage::{Predicate, Query, Result, Table, MORSEL_ROWS};
+
+use crate::policy::ExecPolicy;
+use crate::pool::global_pool;
+
+use explore_storage::GroupedAggState;
+
+/// The half-open row window of morsel `m` in a table of `n_rows` rows.
+pub fn morsel_range(m: usize, n_rows: usize) -> std::ops::Range<usize> {
+    let start = m * MORSEL_ROWS;
+    start..n_rows.min(start + MORSEL_ROWS)
+}
+
+/// How many morsels a table of `n_rows` rows decomposes into. Always at
+/// least one, so validation (unknown columns, type mismatches) runs even
+/// on empty tables and both policies surface identical errors.
+pub fn morsel_count(n_rows: usize) -> usize {
+    n_rows.div_ceil(MORSEL_ROWS).max(1)
+}
+
+/// Evaluate `predicate` over the whole table under `policy`, returning
+/// global row ids in ascending order — the same selection vector
+/// [`Predicate::evaluate`] produces, computed morsel-wise.
+pub fn evaluate_selection(
+    table: &Table,
+    predicate: &Predicate,
+    policy: ExecPolicy,
+) -> Result<Vec<u32>> {
+    let n = table.num_rows();
+    let pieces = run_morsels(policy, morsel_count(n), |m| {
+        predicate.evaluate_range(table, morsel_range(m, n))
+    })?;
+    let mut sel = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for piece in pieces {
+        sel.extend_from_slice(&piece);
+    }
+    Ok(sel)
+}
+
+/// Execute `query` against `table` under `policy`. See the module docs
+/// for the determinism contract.
+pub fn run_query(table: &Table, query: &Query, policy: ExecPolicy) -> Result<Table> {
+    let n = table.num_rows();
+    let n_morsels = morsel_count(n);
+
+    if query.aggregates.is_empty() {
+        // Scan query: project once, then gather each morsel's matches.
+        let projected;
+        let target = if query.projection.is_empty() {
+            table
+        } else {
+            let names: Vec<&str> = query.projection.iter().map(String::as_str).collect();
+            projected = table.project(&names)?;
+            &projected
+        };
+        let pieces = run_morsels(policy, n_morsels, |m| {
+            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+            Ok(target.gather(&sel))
+        })?;
+        let mut iter = pieces.into_iter();
+        let mut out = iter.next().expect("at least one morsel");
+        for piece in iter {
+            out.append(&piece)?;
+        }
+        query.apply_order_limit(out)
+    } else {
+        // Aggregate query: one partial state per morsel, merged in
+        // morsel order (group output order is first-appearance order).
+        let partials = run_morsels(policy, n_morsels, |m| {
+            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+            state.update(&sel);
+            Ok(state)
+        })?;
+        let mut iter = partials.into_iter();
+        let mut acc = iter.next().expect("at least one morsel");
+        for partial in iter {
+            acc.merge(partial);
+        }
+        query.apply_order_limit(acc.finish()?)
+    }
+}
+
+/// Run `f` once per morsel index under `policy` and collect the results
+/// in morsel order. Errors are resolved deterministically: the error of
+/// the lowest-indexed failing morsel wins under either policy.
+fn run_morsels<T, F>(policy: ExecPolicy, n_morsels: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    match policy {
+        ExecPolicy::Serial => (0..n_morsels).map(f).collect(),
+        ExecPolicy::Parallel { workers } => {
+            let slots = SlotVec::new(n_morsels);
+            global_pool().run(workers.max(1), n_morsels, &|m| {
+                // Safety: the pool executes each morsel index exactly
+                // once, so each slot is written by exactly one task.
+                unsafe { slots.set(m, f(m)) };
+            });
+            let mut out = Vec::with_capacity(n_morsels);
+            for slot in slots.into_inner() {
+                out.push(slot.expect("pool ran every morsel")?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// A fixed-size vector of write-once result slots, one per morsel.
+struct SlotVec<T>(Vec<UnsafeCell<Option<T>>>);
+
+// Safety: distinct slots are written by distinct tasks (the pool runs
+// each morsel index exactly once) and only read after the pool's
+// completion barrier, which happens-before the reads.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    fn new(n: usize) -> Self {
+        SlotVec((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// Each index must be written at most once, with no concurrent
+    /// reader; see the `Sync` impl notes.
+    unsafe fn set(&self, i: usize, value: T) {
+        unsafe { *self.0[i].get() = Some(value) };
+    }
+
+    fn into_inner(self) -> impl Iterator<Item = Option<T>> {
+        self.0.into_iter().map(UnsafeCell::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::{gen, AggFunc, CmpOp, SortOrder, StorageError, Value};
+
+    fn table() -> Table {
+        gen::sales_table(&gen::SalesConfig {
+            rows: 3 * MORSEL_ROWS + 1234,
+            ..gen::SalesConfig::default()
+        })
+    }
+
+    fn assert_tables_bitwise(a: &Table, b: &Table) {
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.schema(), b.schema());
+        for field in a.schema().fields() {
+            let ca = a.column(field.name()).unwrap();
+            let cb = b.column(field.name()).unwrap();
+            for row in 0..a.num_rows() {
+                match (ca.value(row).unwrap(), cb.value(row).unwrap()) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{}[{row}]", field.name());
+                    }
+                    (x, y) => assert_eq!(x, y, "{}[{row}]", field.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_geometry() {
+        assert_eq!(morsel_count(0), 1);
+        assert_eq!(morsel_count(1), 1);
+        assert_eq!(morsel_count(MORSEL_ROWS), 1);
+        assert_eq!(morsel_count(MORSEL_ROWS + 1), 2);
+        assert_eq!(morsel_range(0, 10), 0..10);
+        assert_eq!(
+            morsel_range(1, MORSEL_ROWS + 5),
+            MORSEL_ROWS..MORSEL_ROWS + 5
+        );
+    }
+
+    #[test]
+    fn selection_matches_full_evaluate() {
+        let t = table();
+        let p = Predicate::range("price", 100.0, 600.0);
+        let expected = p.evaluate(&t).unwrap();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            assert_eq!(evaluate_selection(&t, &p, policy).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn scan_query_matches_query_run() {
+        let t = table();
+        let q = Query::new()
+            .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+            .select(&["region", "price"])
+            .order("price", SortOrder::Desc)
+            .take(500);
+        let reference = q.run(&t).unwrap();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            assert_tables_bitwise(&run_query(&t, &q, policy).unwrap(), &reference);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_policies_agree_bitwise() {
+        let t = table();
+        let q = Query::new()
+            .filter(Predicate::range("price", 50.0, 800.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price")
+            .agg(AggFunc::Avg, "qty")
+            .order("sum(price)", SortOrder::Desc);
+        let serial = run_query(&t, &q, ExecPolicy::Serial).unwrap();
+        let parallel = run_query(&t, &q, ExecPolicy::Parallel { workers: 4 }).unwrap();
+        assert_tables_bitwise(&serial, &parallel);
+        // Same groups and counts as the single-accumulator reference.
+        let reference = q.run(&t).unwrap();
+        assert_eq!(serial.num_rows(), reference.num_rows());
+    }
+
+    #[test]
+    fn errors_identical_across_policies() {
+        let t = table();
+        let q = Query::new().filter(Predicate::cmp("no_such", CmpOp::Eq, 1.0));
+        let serial = run_query(&t, &q, ExecPolicy::Serial).unwrap_err();
+        let parallel = run_query(&t, &q, ExecPolicy::Parallel { workers: 4 }).unwrap_err();
+        assert_eq!(serial.to_string(), parallel.to_string());
+        assert!(matches!(serial, StorageError::UnknownColumn(_)));
+    }
+}

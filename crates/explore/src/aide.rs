@@ -183,8 +183,7 @@ impl<'a> AideSession<'a> {
 
     /// Evaluate the current model against the oracle's ground truth.
     pub fn evaluate(&self, oracle: &LabelOracle, iteration: usize) -> Result<IterationReport> {
-        let truth: std::collections::HashSet<u32> =
-            oracle.truth()?.into_iter().collect();
+        let truth: std::collections::HashSet<u32> = oracle.truth()?.into_iter().collect();
         let mut tp = 0u64;
         let mut fp = 0u64;
         let mut fn_ = 0u64;
@@ -317,10 +316,8 @@ mod tests {
         let pred = session.extracted_predicate().expect("model trained");
         // The predicate, run as a real query, should agree closely with
         // the ground truth.
-        let got: std::collections::HashSet<u32> =
-            pred.evaluate(&t).unwrap().into_iter().collect();
-        let truth: std::collections::HashSet<u32> =
-            oracle.truth().unwrap().into_iter().collect();
+        let got: std::collections::HashSet<u32> = pred.evaluate(&t).unwrap().into_iter().collect();
+        let truth: std::collections::HashSet<u32> = oracle.truth().unwrap().into_iter().collect();
         let inter = got.intersection(&truth).count() as f64;
         let f1 = 2.0 * inter / (got.len() + truth.len()) as f64;
         assert!(f1 > 0.8, "predicate F1 {f1}");

@@ -68,7 +68,7 @@ impl<'a> Canvas<'a> {
             start: 0,
             end: table.num_rows(),
             table,
-        slide: None,
+            slide: None,
         })
     }
 
@@ -270,7 +270,9 @@ mod tests {
         };
         assert!(end - start < 1000, "zoomed in");
         assert_eq!(c.viewport(), (start, end));
-        let r = c.apply(&QueryIntent::Summarize { cx: 0.5, cy: 0.5 }).unwrap();
+        let r = c
+            .apply(&QueryIntent::Summarize { cx: 0.5, cy: 0.5 })
+            .unwrap();
         match r {
             CanvasResponse::Summary { rows, means } => {
                 assert_eq!(rows, end - start);
@@ -310,7 +312,8 @@ mod tests {
         let mut c = Canvas::new(&t).unwrap();
         let x = 3.5 / 6.0;
         c.apply(&QueryIntent::ScanColumn { x }).unwrap();
-        c.apply(&QueryIntent::DrillDown { cx: 0.5, cy: 0.5 }).unwrap();
+        c.apply(&QueryIntent::DrillDown { cx: 0.5, cy: 0.5 })
+            .unwrap();
         let r = c.apply(&QueryIntent::ScanColumn { x }).unwrap();
         match r {
             CanvasResponse::RunningAggregate { rows_consumed, .. } => {

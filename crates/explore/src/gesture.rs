@@ -263,8 +263,16 @@ mod tests {
     #[test]
     fn single_sample_two_finger_trace_is_unknown() {
         let trace = vec![
-            TouchPoint { x: 0.3, y: 0.5, finger: 0 },
-            TouchPoint { x: 0.7, y: 0.5, finger: 1 },
+            TouchPoint {
+                x: 0.3,
+                y: 0.5,
+                finger: 0,
+            },
+            TouchPoint {
+                x: 0.7,
+                y: 0.5,
+                finger: 1,
+            },
         ];
         assert_eq!(classify(&trace), Gesture::Unknown);
     }

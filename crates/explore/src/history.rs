@@ -120,11 +120,7 @@ impl SessionModel {
 /// drill-heavy analysts who occasionally pivot — the stand-in for
 /// production interaction logs (see the substitution table in
 /// DESIGN.md).
-pub fn synthetic_sessions(
-    count: usize,
-    len: usize,
-    seed: u64,
-) -> Vec<Vec<&'static str>> {
+pub fn synthetic_sessions(count: usize, len: usize, seed: u64) -> Vec<Vec<&'static str>> {
     use explore_storage::rng::SplitMix64;
     const ACTIONS: [&str; 5] = ["filter", "drill", "rollup", "pan", "zoom"];
     // Habit matrix: rows = from, columns = to (indices into ACTIONS).
@@ -216,7 +212,10 @@ mod tests {
         let p = m.probability("filter", "rollup");
         assert!(p > 0.0, "smoothing keeps all transitions possible");
         let p_unknown_state = m.probability("teleport", "drill");
-        assert!((p_unknown_state - 1.0 / 5.0).abs() < 1e-9, "uniform over vocab");
+        assert!(
+            (p_unknown_state - 1.0 / 5.0).abs() < 1e-9,
+            "uniform over vocab"
+        );
     }
 
     #[test]

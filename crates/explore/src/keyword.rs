@@ -119,8 +119,7 @@ impl<'a> KeywordIndex<'a> {
                     if from_rows.is_empty() || to_rows.is_empty() {
                         continue;
                     }
-                    let to_set: std::collections::HashSet<usize> =
-                        to_rows.into_iter().collect();
+                    let to_set: std::collections::HashSet<usize> = to_rows.into_iter().collect();
                     for &fr in &from_rows {
                         let key = from_col.value(fr)?.to_string();
                         if let Some(candidates) = to_index.get(&key) {

@@ -67,8 +67,7 @@ pub fn discover_query(table: &Table, example_rows: &[usize]) -> Result<Discovere
                 Predicate::range(field.name(), lo, hi + hi.abs().max(1.0) * 1e-12)
             }
             Column::Utf8(v) => {
-                let values: BTreeSet<&str> =
-                    example_rows.iter().map(|&r| v[r].as_str()).collect();
+                let values: BTreeSet<&str> = example_rows.iter().map(|&r| v[r].as_str()).collect();
                 let eqs: Vec<Predicate> = values
                     .into_iter()
                     .map(|val| Predicate::eq(field.name(), Value::Str(val.to_owned())))
@@ -160,8 +159,7 @@ mod tests {
     fn recovers_a_hidden_selection() {
         let t = table();
         // Hidden intent: cheap items from region0.
-        let hidden = Predicate::eq("region", "region0")
-            .and(Predicate::range("price", 0.0, 60.0));
+        let hidden = Predicate::eq("region", "region0").and(Predicate::range("price", 0.0, 60.0));
         let truth = hidden.evaluate(&t).unwrap();
         assert!(truth.len() >= 10, "need enough matching rows");
         // The user pastes 10 of the matching rows as examples.

@@ -52,16 +52,20 @@ pub fn segment(table: &Table, column: &str, measure: &str, k: usize) -> Result<S
     }
     let mut pairs: Vec<(f64, f64)> = (0..n)
         .map(|i| {
-            let x = col.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
-                column: column.to_owned(),
-                expected: "numeric",
-                found: col.data_type().name(),
-            })?;
-            let y = mcol.numeric_at(i).ok_or_else(|| StorageError::TypeMismatch {
-                column: measure.to_owned(),
-                expected: "numeric",
-                found: mcol.data_type().name(),
-            })?;
+            let x = col
+                .numeric_at(i)
+                .ok_or_else(|| StorageError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: "numeric",
+                    found: col.data_type().name(),
+                })?;
+            let y = mcol
+                .numeric_at(i)
+                .ok_or_else(|| StorageError::TypeMismatch {
+                    column: measure.to_owned(),
+                    expected: "numeric",
+                    found: mcol.data_type().name(),
+                })?;
             Ok((x, y))
         })
         .collect::<Result<_>>()?;
@@ -239,8 +243,16 @@ mod tests {
         assert_eq!(s.segments.len(), 3);
         assert!(s.variance_explained > 0.9, "{}", s.variance_explained);
         // Breakpoints near 30 and 60.
-        assert!((s.segments[0].high - 30.0).abs() < 3.0, "{}", s.segments[0].high);
-        assert!((s.segments[1].high - 60.0).abs() < 3.0, "{}", s.segments[1].high);
+        assert!(
+            (s.segments[0].high - 30.0).abs() < 3.0,
+            "{}",
+            s.segments[0].high
+        );
+        assert!(
+            (s.segments[1].high - 60.0).abs() < 3.0,
+            "{}",
+            s.segments[1].high
+        );
         // Segment means reflect the regimes.
         assert!((s.segments[0].measure_mean - 10.0).abs() < 1.0);
         assert!((s.segments[1].measure_mean - 50.0).abs() < 1.0);

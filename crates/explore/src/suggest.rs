@@ -86,10 +86,8 @@ impl QuerySuggester {
             };
             scores.insert(cand, score);
         }
-        let mut out: Vec<(String, f64)> = scores
-            .into_iter()
-            .map(|(f, s)| (f.to_owned(), s))
-            .collect();
+        let mut out: Vec<(String, f64)> =
+            scores.into_iter().map(|(f, s)| (f.to_owned(), s)).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
@@ -152,9 +150,9 @@ pub fn faceted_recommendations(
         }
     }
     out.sort_by(|a, b| {
-        b.lift
-            .total_cmp(&a.lift)
-            .then_with(|| (a.column.clone(), a.value.clone()).cmp(&(b.column.clone(), b.value.clone())))
+        b.lift.total_cmp(&a.lift).then_with(|| {
+            (a.column.clone(), a.value.clone()).cmp(&(b.column.clone(), b.value.clone()))
+        })
     });
     out.truncate(k);
     Ok(out)

@@ -98,17 +98,24 @@ impl TreeNode {
         }
         match best {
             Some((feature, threshold, gain)) if gain > 1e-12 => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                    .iter()
-                    .partition(|&&i| points[i][feature] < threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| points[i][feature] < threshold);
                 TreeNode::Split {
                     feature,
                     threshold,
                     left: Box::new(Self::train_node(
-                        points, labels, &left_idx, config, depth + 1,
+                        points,
+                        labels,
+                        &left_idx,
+                        config,
+                        depth + 1,
                     )),
                     right: Box::new(Self::train_node(
-                        points, labels, &right_idx, config, depth + 1,
+                        points,
+                        labels,
+                        &right_idx,
+                        config,
+                        depth + 1,
                     )),
                 }
             }
@@ -148,11 +155,7 @@ impl TreeNode {
         out
     }
 
-    fn collect_regions(
-        &self,
-        bounds: &mut Vec<(f64, f64)>,
-        out: &mut Vec<Vec<(f64, f64)>>,
-    ) {
+    fn collect_regions(&self, bounds: &mut Vec<(f64, f64)>, out: &mut Vec<Vec<(f64, f64)>>) {
         match self {
             TreeNode::Leaf { positive, .. } => {
                 if *positive {
@@ -270,11 +273,9 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         for _ in 0..500 {
             let p = vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)];
-            let in_region = regions.iter().any(|r| {
-                r.iter()
-                    .zip(&p)
-                    .all(|(&(lo, hi), &x)| x >= lo && x < hi)
-            });
+            let in_region = regions
+                .iter()
+                .any(|r| r.iter().zip(&p).all(|(&(lo, hi), &x)| x >= lo && x < hi));
             assert_eq!(in_region, tree.predict(&p), "point {p:?}");
         }
     }
@@ -283,7 +284,9 @@ mod tests {
     fn indistinguishable_points_stop_splitting() {
         // Identical features with mixed labels: no split possible.
         let pts = vec![vec![5.0]; 10];
-        let labels = vec![true, false, true, false, true, false, true, false, true, false];
+        let labels = vec![
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         let tree = TreeNode::train(&pts, &labels, TreeConfig::default());
         assert_eq!(tree.leaves(), 1);
     }

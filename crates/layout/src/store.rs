@@ -133,9 +133,11 @@ impl AdaptiveStore {
         self.maybe_adapt(&pattern)?;
         match op {
             AccessOp::Aggregate { columns } => self.run_aggregate(columns),
-            AccessOp::FetchRows { start, len, columns } => {
-                self.run_fetch(&pattern, *start, *len, columns)
-            }
+            AccessOp::FetchRows {
+                start,
+                len,
+                columns,
+            } => self.run_fetch(&pattern, *start, *len, columns),
         }
     }
 
@@ -212,13 +214,13 @@ impl AdaptiveStore {
         for name in columns {
             let col = self.table.column(name)?;
             for row in start..end {
-                checksum += col.numeric_at(row).ok_or_else(|| {
-                    StorageError::TypeMismatch {
+                checksum += col
+                    .numeric_at(row)
+                    .ok_or_else(|| StorageError::TypeMismatch {
                         column: name.clone(),
                         expected: "numeric",
                         found: "Utf8",
-                    }
-                })?;
+                    })?;
                 cells += 1;
             }
         }
@@ -259,7 +261,14 @@ mod tests {
             })
             .unwrap();
         assert_eq!(r.layout, LayoutUsed::Columnar);
-        let truth: f64 = s.table().column("price").unwrap().as_f64().unwrap().iter().sum();
+        let truth: f64 = s
+            .table()
+            .column("price")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .iter()
+            .sum();
         assert!((r.checksum - truth).abs() < 1e-6);
     }
 

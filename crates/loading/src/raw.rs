@@ -47,9 +47,7 @@ impl RawCsv {
         let bytes = text.as_bytes();
         let mut pos = header_end + 1;
         while pos < bytes.len() {
-            let end = text[pos..]
-                .find('\n')
-                .map_or(bytes.len(), |i| pos + i);
+            let end = text[pos..].find('\n').map_or(bytes.len(), |i| pos + i);
             if end > pos {
                 line_starts.push(pos);
                 line_ends.push(end);

@@ -122,8 +122,13 @@ mod tests {
     fn every_group_is_represented() {
         let b = base();
         let s = StratifiedSample::build(&b, "region", 100, 1).unwrap();
-        let base_groups: std::collections::HashSet<_> =
-            b.column("region").unwrap().as_utf8().unwrap().iter().collect();
+        let base_groups: std::collections::HashSet<_> = b
+            .column("region")
+            .unwrap()
+            .as_utf8()
+            .unwrap()
+            .iter()
+            .collect();
         let sample_groups: std::collections::HashSet<_> = s
             .table()
             .column("region")

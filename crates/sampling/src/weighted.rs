@@ -80,13 +80,13 @@ impl WeightedSample {
         let col = self.table.column(column)?;
         let mut sum = 0.0;
         for (i, &pi) in self.inclusion.iter().enumerate() {
-            let x = col.numeric_at(i).ok_or_else(|| {
-                explore_storage::StorageError::TypeMismatch {
-                    column: column.to_owned(),
-                    expected: "numeric",
-                    found: col.data_type().name(),
-                }
-            })?;
+            let x =
+                col.numeric_at(i)
+                    .ok_or_else(|| explore_storage::StorageError::TypeMismatch {
+                        column: column.to_owned(),
+                        expected: "numeric",
+                        found: col.data_type().name(),
+                    })?;
             sum += x / pi;
         }
         Ok(sum)

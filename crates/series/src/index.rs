@@ -47,8 +47,12 @@ enum Node {
 impl Node {
     fn envelope(&self) -> (&[f64], &[f64]) {
         match self {
-            Node::Leaf { seg_min, seg_max, .. } => (seg_min, seg_max),
-            Node::Internal { seg_min, seg_max, .. } => (seg_min, seg_max),
+            Node::Leaf {
+                seg_min, seg_max, ..
+            } => (seg_min, seg_max),
+            Node::Internal {
+                seg_min, seg_max, ..
+            } => (seg_min, seg_max),
         }
     }
 }
@@ -191,13 +195,7 @@ impl SeriesIndex {
     /// Recursive visit: possibly split (adaptive), then descend children
     /// nearest-first with pruning. Takes and returns ownership so splits
     /// can rebuild nodes in place.
-    fn visit(
-        &mut self,
-        node: Node,
-        query: &[f64],
-        q_paa: &[f64],
-        best: &mut KnnSet,
-    ) -> Node {
+    fn visit(&mut self, node: Node, query: &[f64], q_paa: &[f64], best: &mut KnnSet) -> Node {
         let (seg_min, seg_max) = node.envelope();
         let lb = lb_envelope(q_paa, seg_min, seg_max, &self.seg_lens);
         if lb >= best.worst() {
@@ -205,7 +203,11 @@ impl SeriesIndex {
             return node;
         }
         match node {
-            Node::Leaf { ids, seg_min, seg_max } => {
+            Node::Leaf {
+                ids,
+                seg_min,
+                seg_max,
+            } => {
                 // ADS: refine the leaf the query landed in. A degenerate
                 // split (all PAAs identical) returns a leaf again; scan
                 // it directly instead of recursing forever.
@@ -214,14 +216,26 @@ impl SeriesIndex {
                         internal @ Node::Internal { .. } => {
                             return self.visit(internal, query, q_paa, best)
                         }
-                        Node::Leaf { ids, seg_min, seg_max } => {
+                        Node::Leaf {
+                            ids,
+                            seg_min,
+                            seg_max,
+                        } => {
                             self.scan_leaf(&ids, query, best);
-                            return Node::Leaf { ids, seg_min, seg_max };
+                            return Node::Leaf {
+                                ids,
+                                seg_min,
+                                seg_max,
+                            };
                         }
                     }
                 }
                 self.scan_leaf(&ids, query, best);
-                Node::Leaf { ids, seg_min, seg_max }
+                Node::Leaf {
+                    ids,
+                    seg_min,
+                    seg_max,
+                }
             }
             Node::Internal {
                 seg_min,
@@ -269,9 +283,7 @@ impl SeriesIndex {
     fn split_leaf(&mut self, ids: Vec<u32>, seg_min: Vec<f64>, seg_max: Vec<f64>) -> Node {
         // Widest dimension; ties broken by index.
         let split_dim = (0..self.w)
-            .max_by(|&a, &b| {
-                (seg_max[a] - seg_min[a]).total_cmp(&(seg_max[b] - seg_min[b]))
-            })
+            .max_by(|&a, &b| (seg_max[a] - seg_min[a]).total_cmp(&(seg_max[b] - seg_min[b])))
             .expect("w >= 1");
         let split_at = (seg_min[split_dim] + seg_max[split_dim]) / 2.0;
         let (l_ids, r_ids): (Vec<u32>, Vec<u32>) = ids
@@ -311,7 +323,11 @@ impl SeriesIndex {
     /// Recursively split everything below `node` (full-build mode).
     fn split_fully(&mut self, node: Node) -> Node {
         match node {
-            Node::Leaf { ids, seg_min, seg_max } if ids.len() > self.leaf_size => {
+            Node::Leaf {
+                ids,
+                seg_min,
+                seg_max,
+            } if ids.len() > self.leaf_size => {
                 match self.split_leaf(ids, seg_min, seg_max) {
                     Node::Internal {
                         seg_min,
@@ -399,11 +415,7 @@ fn envelope_of(paas: &[Vec<f64>], ids: &[u32], w: usize) -> (Vec<f64>, Vec<f64>)
 /// of the data-series indexing literature — plus queries that are
 /// noisy copies of collection members (so nearest neighbors are
 /// meaningful).
-pub fn random_walks(
-    count: usize,
-    len: usize,
-    seed: u64,
-) -> Vec<Vec<f64>> {
+pub fn random_walks(count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = explore_storage::rng::SplitMix64::new(seed);
     (0..count)
         .map(|_| {
@@ -481,7 +493,11 @@ mod tests {
     #[test]
     fn full_build_splits_up_front() {
         let idx = setup(2000, BuildMode::Full);
-        assert!(idx.num_leaves() > 2000 / 16 / 2, "leaves {}", idx.num_leaves());
+        assert!(
+            idx.num_leaves() > 2000 / 16 / 2,
+            "leaves {}",
+            idx.num_leaves()
+        );
     }
 
     #[test]

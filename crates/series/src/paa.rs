@@ -40,12 +40,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// series whose PAA lies inside the per-segment envelope
 /// `[seg_min[i], seg_max[i]]` (the node's bounding box in PAA space).
 /// `seg_len[i]` is the number of raw points in segment `i`.
-pub fn lb_envelope(
-    query_paa: &[f64],
-    seg_min: &[f64],
-    seg_max: &[f64],
-    seg_lens: &[usize],
-) -> f64 {
+pub fn lb_envelope(query_paa: &[f64], seg_min: &[f64], seg_max: &[f64], seg_lens: &[usize]) -> f64 {
     debug_assert_eq!(query_paa.len(), seg_min.len());
     let mut acc = 0.0;
     for i in 0..query_paa.len() {
@@ -118,20 +113,14 @@ mod tests {
             let pb = paa(&b, w);
             let lb = lb_envelope(&qa, &pb, &pb, &lens);
             let truth = euclidean(&a, &b);
-            assert!(
-                lb <= truth + 1e-9,
-                "lb {lb} exceeds true distance {truth}"
-            );
+            assert!(lb <= truth + 1e-9, "lb {lb} exceeds true distance {truth}");
         }
     }
 
     #[test]
     fn lb_is_zero_inside_the_envelope() {
         let q = vec![1.0, 2.0];
-        assert_eq!(
-            lb_envelope(&q, &[0.0, 1.5], &[2.0, 2.5], &[4, 4]),
-            0.0
-        );
+        assert_eq!(lb_envelope(&q, &[0.0, 1.5], &[2.0, 2.5], &[4, 4]), 0.0);
         let out = lb_envelope(&q, &[2.0, 3.0], &[3.0, 4.0], &[4, 4]);
         assert!(out > 0.0);
     }

@@ -138,9 +138,7 @@ impl Column {
         match self {
             Column::Int64(v) => Column::Int64(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Float64(v) => Column::Float64(sel.iter().map(|&i| v[i as usize]).collect()),
-            Column::Utf8(v) => {
-                Column::Utf8(sel.iter().map(|&i| v[i as usize].clone()).collect())
-            }
+            Column::Utf8(v) => Column::Utf8(sel.iter().map(|&i| v[i as usize].clone()).collect()),
         }
     }
 

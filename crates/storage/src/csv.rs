@@ -193,8 +193,11 @@ mod tests {
     fn float_roundtrip_is_exact() {
         use crate::schema::Schema;
         let schema = Schema::of(&[("x", DataType::Float64)]);
-        let t = Table::new(schema.clone(), vec![Column::from(vec![0.1f64, 1e-300, 12345.6789])])
-            .unwrap();
+        let t = Table::new(
+            schema.clone(),
+            vec![Column::from(vec![0.1f64, 1e-300, 12345.6789])],
+        )
+        .unwrap();
         let back = read_csv(&write_csv(&t), &schema).unwrap();
         assert_eq!(t, back);
     }

@@ -47,7 +47,10 @@ impl fmt::Display for StorageError {
                 write!(f, "row index {index} out of bounds for length {len}")
             }
             StorageError::LengthMismatch { expected, found } => {
-                write!(f, "column length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, found {found}"
+                )
             }
             StorageError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
             StorageError::Csv { line, message } => {

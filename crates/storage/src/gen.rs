@@ -29,7 +29,9 @@ pub fn uniform_f64(n: usize, low: f64, high: f64, seed: u64) -> Vec<f64> {
 pub fn zipf_labels(n: usize, k: usize, skew: f64, seed: u64) -> Vec<String> {
     let mut rng = SplitMix64::new(seed);
     let zipf = Zipf::new(k, skew);
-    (0..n).map(|_| format!("v{}", zipf.sample(&mut rng))).collect()
+    (0..n)
+        .map(|_| format!("v{}", zipf.sample(&mut rng)))
+        .collect()
 }
 
 /// Configuration for the synthetic sales fact table used across the
@@ -72,9 +74,7 @@ pub fn sales_table(cfg: &SalesConfig) -> Table {
     let base_prices: Vec<f64> = (0..cfg.products)
         .map(|_| rng.range_f64(5.0, 500.0))
         .collect();
-    let channel_discount: Vec<f64> = (0..cfg.channels)
-        .map(|_| rng.range_f64(0.0, 0.3))
-        .collect();
+    let channel_discount: Vec<f64> = (0..cfg.channels).map(|_| rng.range_f64(0.0, 0.3)).collect();
 
     let mut region = Vec::with_capacity(cfg.rows);
     let mut product = Vec::with_capacity(cfg.rows);
@@ -168,7 +168,13 @@ pub fn feature_table(n: usize, dims: usize, seed: u64) -> Table {
         .collect();
     let defs: Vec<(&str, DataType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let columns: Vec<Column> = (0..dims)
-        .map(|_| Column::from((0..n).map(|_| rng.range_f64(0.0, 100.0)).collect::<Vec<f64>>()))
+        .map(|_| {
+            Column::from(
+                (0..n)
+                    .map(|_| rng.range_f64(0.0, 100.0))
+                    .collect::<Vec<f64>>(),
+            )
+        })
         .collect();
     Table::new(Schema::of(&defs), columns).expect("generated columns are aligned")
 }

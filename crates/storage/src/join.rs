@@ -20,12 +20,7 @@ use crate::table::Table;
 /// name collisions on the right are disambiguated with a `right_`
 /// prefix (and an error if even that collides). Join keys may be Int64
 /// or Utf8; both sides must share the key type.
-pub fn hash_join(
-    left: &Table,
-    right: &Table,
-    left_key: &str,
-    right_key: &str,
-) -> Result<Table> {
+pub fn hash_join(left: &Table, right: &Table, left_key: &str, right_key: &str) -> Result<Table> {
     let lcol = left.column(left_key)?;
     let rcol = right.column(right_key)?;
     if lcol.data_type() != rcol.data_type() {
@@ -143,10 +138,7 @@ mod tests {
     fn duplicate_build_keys_fan_out() {
         let dup = Table::new(
             Schema::of(&[("id", DataType::Int64), ("tag", DataType::Utf8)]),
-            vec![
-                Column::from(vec![1i64, 1]),
-                Column::from(vec!["a", "b"]),
-            ],
+            vec![Column::from(vec![1i64, 1]), Column::from(vec!["a", "b"])],
         )
         .unwrap();
         let j = hash_join(&orders(), &dup, "product_id", "id").unwrap();

@@ -5,6 +5,8 @@
 //! each comparison matches on the column type once and then runs a tight
 //! loop over the raw slice.
 
+use std::ops::Range;
+
 use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::table::Table;
@@ -82,11 +84,7 @@ impl Predicate {
     }
 
     /// `low <= column < high`.
-    pub fn range(
-        column: impl Into<String>,
-        low: impl Into<Value>,
-        high: impl Into<Value>,
-    ) -> Self {
+    pub fn range(column: impl Into<String>, low: impl Into<Value>, high: impl Into<Value>) -> Self {
         Predicate::Range {
             column: column.into(),
             low: low.into(),
@@ -161,19 +159,47 @@ impl Predicate {
 
     /// Evaluate to a dense boolean mask (one bool per row).
     pub fn evaluate_mask(&self, table: &Table) -> Result<Vec<bool>> {
-        let n = table.num_rows();
+        self.evaluate_mask_range(table, 0..table.num_rows())
+    }
+
+    /// Evaluate on the row window `rows`, returning qualifying *global*
+    /// row ids in ascending order. The morsel-driven executor fans this
+    /// out: each worker scans one window and the per-window selections
+    /// concatenate, in window order, to exactly [`Predicate::evaluate`].
+    pub fn evaluate_range(&self, table: &Table, rows: Range<usize>) -> Result<Vec<u32>> {
+        let start = rows.start;
+        let mask = self.evaluate_mask_range(table, rows)?;
+        Ok(mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some((start + i) as u32))
+            .collect())
+    }
+
+    /// Evaluate to a dense boolean mask over the row window `rows`
+    /// (`mask[i]` corresponds to table row `rows.start + i`). Each
+    /// comparison slices the column once, so a window scan touches only
+    /// its own rows.
+    pub fn evaluate_mask_range(&self, table: &Table, rows: Range<usize>) -> Result<Vec<bool>> {
+        if rows.end > table.num_rows() || rows.start > rows.end {
+            return Err(StorageError::RowOutOfBounds {
+                index: rows.end,
+                len: table.num_rows(),
+            });
+        }
+        let n = rows.len();
         match self {
             Predicate::True => Ok(vec![true; n]),
             Predicate::Cmp { column, op, value } => {
-                cmp_mask(table.column(column)?, column, *op, value)
+                cmp_mask(table.column(column)?, column, *op, value, rows)
             }
             Predicate::Range { column, low, high } => {
-                range_mask(table.column(column)?, column, low, high)
+                range_mask(table.column(column)?, column, low, high, rows)
             }
             Predicate::And(ps) => {
                 let mut acc = vec![true; n];
                 for p in ps {
-                    let m = p.evaluate_mask(table)?;
+                    let m = p.evaluate_mask_range(table, rows.clone())?;
                     for (a, b) in acc.iter_mut().zip(&m) {
                         *a &= *b;
                     }
@@ -183,7 +209,7 @@ impl Predicate {
             Predicate::Or(ps) => {
                 let mut acc = vec![false; n];
                 for p in ps {
-                    let m = p.evaluate_mask(table)?;
+                    let m = p.evaluate_mask_range(table, rows.clone())?;
                     for (a, b) in acc.iter_mut().zip(&m) {
                         *a |= *b;
                     }
@@ -191,7 +217,7 @@ impl Predicate {
                 Ok(acc)
             }
             Predicate::Not(p) => {
-                let mut m = p.evaluate_mask(table)?;
+                let mut m = p.evaluate_mask_range(table, rows)?;
                 m.iter_mut().for_each(|b| *b = !*b);
                 Ok(m)
             }
@@ -252,7 +278,13 @@ fn value_cmp(a: &Value, op: CmpOp, b: &Value) -> bool {
     }
 }
 
-fn cmp_mask(col: &Column, name: &str, op: CmpOp, value: &Value) -> Result<Vec<bool>> {
+fn cmp_mask(
+    col: &Column,
+    name: &str,
+    op: CmpOp,
+    value: &Value,
+    rows: Range<usize>,
+) -> Result<Vec<bool>> {
     match col {
         Column::Int64(v) => {
             let lit = value.as_int().or_else(|| {
@@ -263,31 +295,41 @@ fn cmp_mask(col: &Column, name: &str, op: CmpOp, value: &Value) -> Result<Vec<bo
                 })
             });
             let lit = lit.ok_or_else(|| type_err(name, "Int64", value))?;
-            Ok(v.iter().map(|x| op.holds(x, &lit)).collect())
+            Ok(v[rows].iter().map(|x| op.holds(x, &lit)).collect())
         }
         Column::Float64(v) => {
             let lit = value
                 .as_float()
                 .ok_or_else(|| type_err(name, "Float64", value))?;
-            Ok(v.iter().map(|x| op.holds(x, &lit)).collect())
+            Ok(v[rows].iter().map(|x| op.holds(x, &lit)).collect())
         }
         Column::Utf8(v) => {
             let lit = value
                 .as_str()
                 .ok_or_else(|| type_err(name, "Utf8", value))?;
-            Ok(v.iter().map(|x| op.holds(&x.as_str(), &lit)).collect())
+            Ok(v[rows]
+                .iter()
+                .map(|x| op.holds(&x.as_str(), &lit))
+                .collect())
         }
     }
 }
 
-fn range_mask(col: &Column, name: &str, low: &Value, high: &Value) -> Result<Vec<bool>> {
+fn range_mask(
+    col: &Column,
+    name: &str,
+    low: &Value,
+    high: &Value,
+    rows: Range<usize>,
+) -> Result<Vec<bool>> {
     match col {
         Column::Int64(v) => {
             let lo = low.as_float().ok_or_else(|| type_err(name, "Int64", low))?;
             let hi = high
                 .as_float()
                 .ok_or_else(|| type_err(name, "Int64", high))?;
-            Ok(v.iter()
+            Ok(v[rows]
+                .iter()
                 .map(|&x| {
                     let x = x as f64;
                     x >= lo && x < hi
@@ -301,12 +343,13 @@ fn range_mask(col: &Column, name: &str, low: &Value, high: &Value) -> Result<Vec
             let hi = high
                 .as_float()
                 .ok_or_else(|| type_err(name, "Float64", high))?;
-            Ok(v.iter().map(|&x| x >= lo && x < hi).collect())
+            Ok(v[rows].iter().map(|&x| x >= lo && x < hi).collect())
         }
         Column::Utf8(v) => {
             let lo = low.as_str().ok_or_else(|| type_err(name, "Utf8", low))?;
             let hi = high.as_str().ok_or_else(|| type_err(name, "Utf8", high))?;
-            Ok(v.iter()
+            Ok(v[rows]
+                .iter()
                 .map(|x| x.as_str() >= lo && x.as_str() < hi)
                 .collect())
         }
@@ -430,19 +473,36 @@ mod tests {
     #[test]
     fn float_literal_against_int_column_must_be_exact() {
         let t = t();
-        assert_eq!(
-            Predicate::eq("a", 3.0f64).evaluate(&t).unwrap(),
-            vec![2]
-        );
+        assert_eq!(Predicate::eq("a", 3.0f64).evaluate(&t).unwrap(), vec![2]);
         assert!(Predicate::eq("a", 3.5f64).evaluate(&t).is_err());
     }
 
     #[test]
+    fn window_evaluation_concatenates_to_full_scan() {
+        let t = t();
+        let p = Predicate::range("b", 0.15, 0.45).or(Predicate::eq("c", "y").not());
+        let full = p.evaluate(&t).unwrap();
+        for window in [1, 2, 3, 5, 7] {
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < t.num_rows() {
+                let end = (start + window).min(t.num_rows());
+                got.extend(p.evaluate_range(&t, start..end).unwrap());
+                start = end;
+            }
+            assert_eq!(got, full, "window {window}");
+        }
+        // Empty windows are fine; out-of-bounds windows are errors.
+        assert!(p.evaluate_range(&t, 2..2).unwrap().is_empty());
+        assert!(p.evaluate_range(&t, 4..9).is_err());
+        assert!(Predicate::eq("missing", 1i64)
+            .evaluate_range(&t, 0..2)
+            .is_err());
+    }
+
+    #[test]
     fn mask_to_sel_roundtrip() {
-        assert_eq!(
-            mask_to_sel(&[true, false, true, true]),
-            vec![0, 2, 3]
-        );
+        assert_eq!(mask_to_sel(&[true, false, true, true]), vec![0, 2, 3]);
         assert!(mask_to_sel(&[]).is_empty());
     }
 }

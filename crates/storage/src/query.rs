@@ -8,13 +8,20 @@
 
 use std::collections::HashMap;
 
-use crate::agg::{AggFunc, Accumulator};
+use crate::agg::{Accumulator, AggFunc};
 use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::predicate::Predicate;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
+
+/// Rows per morsel: the unit of work the parallel executor hands to its
+/// workers, and the partial-aggregation granularity both execution
+/// policies share. Serial and parallel execution split a table at the
+/// same multiples of `MORSEL_ROWS`, which is what makes their outputs
+/// bit-identical (see `explore-exec`).
+pub const MORSEL_ROWS: usize = 1 << 16;
 
 /// One aggregate expression: `func(column)`. For `Count` the column may
 /// be any column of the table (count ignores its values).
@@ -146,17 +153,23 @@ impl Query {
     /// selection vector. The adaptive-indexing layer uses this to combine
     /// cracker-produced selections with the shared aggregation machinery.
     pub fn run_on_selection(&self, table: &Table, sel: &[u32]) -> Result<Table> {
-        let mut result = if self.aggregates.is_empty() {
-            let projected = if self.projection.is_empty() {
+        let result = if self.aggregates.is_empty() {
+            if self.projection.is_empty() {
                 table.gather(sel)
             } else {
                 let names: Vec<&str> = self.projection.iter().map(String::as_str).collect();
                 table.project(&names)?.gather(sel)
-            };
-            projected
+            }
         } else {
             aggregate(table, sel, &self.group_by, &self.aggregates)?
         };
+        self.apply_order_limit(result)
+    }
+
+    /// Apply the query's ORDER BY and LIMIT clauses to an already
+    /// filtered/aggregated result. Shared by the serial path above and
+    /// the morsel-driven executor, which sorts only after merging.
+    pub fn apply_order_limit(&self, mut result: Table) -> Result<Table> {
         if let Some((col, order)) = &self.order_by {
             result = sort_table(&result, col, *order)?;
         }
@@ -197,88 +210,149 @@ fn key_part(col: &Column, row: usize) -> KeyPart {
     }
 }
 
-/// Grouped aggregation over a selection vector.
-fn aggregate(
-    table: &Table,
-    sel: &[u32],
-    group_by: &[String],
-    aggs: &[Aggregate],
-) -> Result<Table> {
-    let group_cols: Vec<&Column> = group_by
-        .iter()
-        .map(|n| table.column(n))
-        .collect::<Result<_>>()?;
-    let agg_cols: Vec<&Column> = aggs
-        .iter()
-        .map(|a| {
-            let c = table.column(&a.column)?;
-            if a.func != AggFunc::Count && !c.data_type().is_numeric() {
-                return Err(StorageError::TypeMismatch {
-                    column: a.column.clone(),
-                    expected: "numeric",
-                    found: c.data_type().name(),
-                });
-            }
-            Ok(c)
+/// Mergeable partial state of a grouped aggregation — the unit the
+/// morsel-driven executor computes per morsel and merges in morsel
+/// order. The serial path is the degenerate case: one state fed the
+/// whole selection vector.
+///
+/// Group output order is first-appearance order over the update/merge
+/// sequence, so merging per-morsel states in morsel order reproduces
+/// the serial row-order exactly.
+#[derive(Debug)]
+pub struct GroupedAggState<'a> {
+    table: &'a Table,
+    group_by: &'a [String],
+    aggs: &'a [Aggregate],
+    group_cols: Vec<&'a Column>,
+    agg_cols: Vec<&'a Column>,
+    /// Group index: key -> slot in the accumulator arena.
+    groups: HashMap<Vec<KeyPart>, usize>,
+    keys: Vec<Vec<KeyPart>>,
+    accs: Vec<Accumulator>,
+}
+
+impl<'a> GroupedAggState<'a> {
+    /// Validate the referenced columns and build an empty state.
+    pub fn new(table: &'a Table, group_by: &'a [String], aggs: &'a [Aggregate]) -> Result<Self> {
+        let group_cols: Vec<&Column> = group_by
+            .iter()
+            .map(|n| table.column(n))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<&Column> = aggs
+            .iter()
+            .map(|a| {
+                let c = table.column(&a.column)?;
+                if a.func != AggFunc::Count && !c.data_type().is_numeric() {
+                    return Err(StorageError::TypeMismatch {
+                        column: a.column.clone(),
+                        expected: "numeric",
+                        found: c.data_type().name(),
+                    });
+                }
+                Ok(c)
+            })
+            .collect::<Result<_>>()?;
+        Ok(GroupedAggState {
+            table,
+            group_by,
+            aggs,
+            group_cols,
+            agg_cols,
+            groups: HashMap::new(),
+            keys: Vec::new(),
+            accs: Vec::new(),
         })
-        .collect::<Result<_>>()?;
+    }
 
-    // Group index: key -> slot in the accumulator arena.
-    let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-    let mut keys: Vec<Vec<KeyPart>> = Vec::new();
-    let mut accs: Vec<Accumulator> = Vec::new();
-    let n_aggs = aggs.len();
-
-    for &row in sel {
-        let row = row as usize;
-        let key: Vec<KeyPart> = group_cols.iter().map(|c| key_part(c, row)).collect();
-        let slot = *groups.entry(key).or_insert_with_key(|k| {
-            keys.push(k.clone());
-            accs.resize(accs.len() + n_aggs, Accumulator::new());
-            keys.len() - 1
-        });
-        for (i, (agg, col)) in aggs.iter().zip(&agg_cols).enumerate() {
-            let x = if agg.func == AggFunc::Count {
-                1.0
-            } else {
-                col.numeric_at(row).unwrap_or(0.0)
-            };
-            accs[slot * n_aggs + i].update(x);
+    /// Fold the rows of a selection vector in.
+    pub fn update(&mut self, sel: &[u32]) {
+        let n_aggs = self.aggs.len();
+        for &row in sel {
+            let row = row as usize;
+            let key: Vec<KeyPart> = self.group_cols.iter().map(|c| key_part(c, row)).collect();
+            let keys = &mut self.keys;
+            let accs = &mut self.accs;
+            let slot = *self.groups.entry(key).or_insert_with_key(|k| {
+                keys.push(k.clone());
+                accs.resize(accs.len() + n_aggs, Accumulator::new());
+                keys.len() - 1
+            });
+            for (i, (agg, col)) in self.aggs.iter().zip(&self.agg_cols).enumerate() {
+                let x = if agg.func == AggFunc::Count {
+                    1.0
+                } else {
+                    col.numeric_at(row).unwrap_or(0.0)
+                };
+                accs[slot * n_aggs + i].update(x);
+            }
         }
     }
 
-    // Global aggregation with no groups always yields exactly one row.
-    if group_by.is_empty() && keys.is_empty() {
-        keys.push(Vec::new());
-        accs.resize(n_aggs, Accumulator::new());
-    }
-
-    // Assemble the result table: group columns then aggregate columns.
-    let mut fields = Vec::new();
-    for name in group_by {
-        fields.push(Field::new(name.clone(), table.schema().data_type(name)?));
-    }
-    for a in aggs {
-        fields.push(Field::new(a.result_name(), DataType::Float64));
-    }
-    let schema = Schema::new(fields)?;
-
-    let mut columns: Vec<Column> = group_by
-        .iter()
-        .map(|n| Column::empty(table.schema().data_type(n).expect("validated")))
-        .collect();
-    for key in &keys {
-        for (col, part) in columns.iter_mut().zip(key) {
-            col.push(part.to_value())?;
+    /// Merge another partial (over the same table and query) into this
+    /// one. Groups first seen in `other` are appended in `other`'s order.
+    pub fn merge(&mut self, other: GroupedAggState<'a>) {
+        let n_aggs = self.aggs.len();
+        for (other_slot, key) in other.keys.iter().enumerate() {
+            let keys = &mut self.keys;
+            let accs = &mut self.accs;
+            let slot = *self.groups.entry(key.clone()).or_insert_with_key(|k| {
+                keys.push(k.clone());
+                accs.resize(accs.len() + n_aggs, Accumulator::new());
+                keys.len() - 1
+            });
+            for i in 0..n_aggs {
+                let partial = other.accs[other_slot * n_aggs + i];
+                self.accs[slot * n_aggs + i].merge(&partial);
+            }
         }
     }
-    for (i, a) in aggs.iter().enumerate() {
-        let vals: Vec<f64> = (0..keys.len())
-            .map(|slot| accs[slot * n_aggs + i].finish(a.func))
+
+    /// Assemble the result table: group columns then aggregate columns.
+    /// Global aggregation with no groups always yields exactly one row.
+    pub fn finish(mut self) -> Result<Table> {
+        let n_aggs = self.aggs.len();
+        if self.group_by.is_empty() && self.keys.is_empty() {
+            self.keys.push(Vec::new());
+            self.accs.resize(n_aggs, Accumulator::new());
+        }
+
+        let mut fields = Vec::new();
+        for name in self.group_by {
+            fields.push(Field::new(
+                name.clone(),
+                self.table.schema().data_type(name)?,
+            ));
+        }
+        for a in self.aggs {
+            fields.push(Field::new(a.result_name(), DataType::Float64));
+        }
+        let schema = Schema::new(fields)?;
+
+        let mut columns: Vec<Column> = self
+            .group_by
+            .iter()
+            .map(|n| Column::empty(self.table.schema().data_type(n).expect("validated")))
             .collect();
-        columns.push(Column::Float64(vals));
+        for key in &self.keys {
+            for (col, part) in columns.iter_mut().zip(key) {
+                col.push(part.to_value())?;
+            }
+        }
+        for (i, a) in self.aggs.iter().enumerate() {
+            let vals: Vec<f64> = (0..self.keys.len())
+                .map(|slot| self.accs[slot * n_aggs + i].finish(a.func))
+                .collect();
+            columns.push(Column::Float64(vals));
+        }
+        Table::new(schema, columns)
     }
-    Table::new(schema, columns)
+}
+
+/// Grouped aggregation over a selection vector.
+fn aggregate(table: &Table, sel: &[u32], group_by: &[String], aggs: &[Aggregate]) -> Result<Table> {
+    let mut state = GroupedAggState::new(table, group_by, aggs)?;
+    state.update(sel);
+    state.finish()
 }
 
 /// Stable sort of a table by one column.
@@ -369,7 +443,10 @@ mod tests {
             .unwrap();
         assert_eq!(r.num_rows(), 2);
         assert_eq!(r.column("region").unwrap().as_utf8().unwrap()[0], "east");
-        assert_eq!(r.column("sum(amount)").unwrap().as_f64().unwrap(), &[90.0, 60.0]);
+        assert_eq!(
+            r.column("sum(amount)").unwrap().as_f64().unwrap(),
+            &[90.0, 60.0]
+        );
     }
 
     #[test]
@@ -397,7 +474,10 @@ mod tests {
         // qty>=4: (west,b,40), (east,a,50)
         assert_eq!(r.num_rows(), 2);
         assert_eq!(r.column("region").unwrap().as_utf8().unwrap()[0], "east");
-        assert_eq!(r.column("avg(amount)").unwrap().as_f64().unwrap(), &[50.0, 40.0]);
+        assert_eq!(
+            r.column("avg(amount)").unwrap().as_f64().unwrap(),
+            &[50.0, 40.0]
+        );
     }
 
     #[test]

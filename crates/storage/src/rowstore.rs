@@ -65,11 +65,7 @@ impl RowStore {
             .enumerate()
             .filter(|(_, f)| f.data_type() == DataType::Utf8)
             .map(|(i, _)| {
-                let v = table
-                    .column_at(i)
-                    .as_utf8()
-                    .expect("type checked")
-                    .to_vec();
+                let v = table.column_at(i).as_utf8().expect("type checked").to_vec();
                 (i, v)
             })
             .collect();

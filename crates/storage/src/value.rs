@@ -177,10 +177,7 @@ mod tests {
     fn total_cmp_orders_mixed_numerics() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
-        assert_eq!(
-            Value::Null.total_cmp(&Value::Int(i64::MIN)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
         assert_eq!(
             Value::Str("a".into()).total_cmp(&Value::Int(i64::MAX)),
             Ordering::Greater

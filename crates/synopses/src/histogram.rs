@@ -204,7 +204,9 @@ mod tests {
     fn uniform_data_estimates_are_accurate() {
         let data = uniform(50_000, 3);
         let h = Histogram::equi_width(&data, 64);
-        let probes: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 4.0, i as f64 * 4.0 + 10.0)).collect();
+        let probes: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 4.0, i as f64 * 4.0 + 10.0))
+            .collect();
         assert!(h.range_error(&data, &probes) < 0.05);
     }
 
@@ -226,10 +228,7 @@ mod tests {
         for q in [0.1, 0.5, 0.9] {
             let est = h.estimate_quantile(q);
             let truth = q * 9999.0;
-            assert!(
-                (est - truth).abs() < 200.0,
-                "q={q} est={est} truth={truth}"
-            );
+            assert!((est - truth).abs() < 200.0, "q={q} est={est} truth={truth}");
         }
         assert_eq!(h.estimate_quantile(-0.5), h.estimate_quantile(0.0));
     }

@@ -102,8 +102,7 @@ impl<T> WeightedReservoir<T> {
         if self.items.len() < self.capacity {
             self.items.push((key, item));
             if self.items.len() == self.capacity {
-                self.items
-                    .sort_by(|a, b| a.0.total_cmp(&b.0));
+                self.items.sort_by(|a, b| a.0.total_cmp(&b.0));
             }
         } else if key > self.items[0].0 {
             // Replace the minimum and restore order (insertion into a

@@ -27,7 +27,9 @@ impl CountMinSketch {
             width,
             depth,
             counters: vec![0; width * depth],
-            seeds: (0..depth as u64).map(|i| 0x9E37_79B9 ^ (i * 0xABCD_EF12_3456)).collect(),
+            seeds: (0..depth as u64)
+                .map(|i| 0x9E37_79B9 ^ (i * 0xABCD_EF12_3456))
+                .collect(),
             total: 0,
         }
     }

@@ -228,7 +228,10 @@ mod tests {
         for &(lo, hi) in &[(0usize, 64usize), (5, 20), (31, 33), (60, 64), (10, 10)] {
             let direct: f64 = rec[lo..hi.min(64)].iter().sum();
             let fast = w.range_sum(lo, hi);
-            assert!((direct - fast).abs() < 1e-6, "[{lo},{hi}) {direct} vs {fast}");
+            assert!(
+                (direct - fast).abs() < 1e-6,
+                "[{lo},{hi}) {direct} vs {fast}"
+            );
         }
     }
 

@@ -163,8 +163,16 @@ mod tests {
     #[test]
     fn visible_annotations_sorted_most_specific_first() {
         let mut board = AnnotationBoard::new();
-        board.annotate("ana", Region::new(0.0, 0.0, 100.0, 100.0), "survey-wide note");
-        board.annotate("bo", Region::new(40.0, 40.0, 45.0, 45.0), "candidate cluster");
+        board.annotate(
+            "ana",
+            Region::new(0.0, 0.0, 100.0, 100.0),
+            "survey-wide note",
+        );
+        board.annotate(
+            "bo",
+            Region::new(40.0, 40.0, 45.0, 45.0),
+            "candidate cluster",
+        );
         board.annotate("cy", Region::new(200.0, 200.0, 210.0, 210.0), "elsewhere");
         let viewport = Region::new(30.0, 30.0, 60.0, 60.0);
         let vis = board.visible(&viewport);

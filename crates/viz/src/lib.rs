@@ -40,7 +40,7 @@ pub use annotations::{Annotation, AnnotationBoard, Region};
 pub use ordered::{ordered_bars, OrderedBars};
 pub use reduce::{m4_reduce, pixel_extents, ReducedSeries};
 pub use seedb::{
-    candidate_views, kl_divergence, recall, recommend_naive, recommend_pruned,
-    recommend_shared, ScoredView, SeedbStats, ViewSpec,
+    candidate_views, kl_divergence, recall, recommend_naive, recommend_pruned, recommend_shared,
+    ScoredView, SeedbStats, ViewSpec,
 };
 pub use vizdeck::{propose_charts, ChartKind, ChartProposal};

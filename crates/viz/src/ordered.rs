@@ -165,24 +165,10 @@ mod tests {
 
     #[test]
     fn harder_separation_needs_more_rows() {
-        let easy = ordered_bars(
-            &separated_table(5000, 10.0, 1.0, 3),
-            "g",
-            "v",
-            0.95,
-            100,
-            4,
-        )
-        .unwrap();
-        let hard = ordered_bars(
-            &separated_table(5000, 1.0, 2.0, 3),
-            "g",
-            "v",
-            0.95,
-            100,
-            4,
-        )
-        .unwrap();
+        let easy =
+            ordered_bars(&separated_table(5000, 10.0, 1.0, 3), "g", "v", 0.95, 100, 4).unwrap();
+        let hard =
+            ordered_bars(&separated_table(5000, 1.0, 2.0, 3), "g", "v", 0.95, 100, 4).unwrap();
         assert!(
             hard.rows_sampled > easy.rows_sampled,
             "hard {} vs easy {}",

@@ -426,8 +426,7 @@ mod tests {
         let mut exact_stats = SeedbStats::default();
         let exact = recommend_shared(&t, &target, &views, 5, &mut exact_stats).unwrap();
         let mut pruned_stats = SeedbStats::default();
-        let pruned =
-            recommend_pruned(&t, &target, &views, 5, 10, 7, &mut pruned_stats).unwrap();
+        let pruned = recommend_pruned(&t, &target, &views, 5, 10, 7, &mut pruned_stats).unwrap();
         assert!(
             pruned_stats.agg_ops < exact_stats.agg_ops,
             "pruned {} vs exact {}",

@@ -21,7 +21,10 @@ use exploration::storage::Predicate;
 fn main() {
     // A night's worth of (simulated) telescope output.
     let sky = sky_table(500_000, 6, 1000.0, 2026);
-    println!("== sky survey: {} objects over a 1000×1000 field\n", sky.num_rows());
+    println!(
+        "== sky survey: {} objects over a 1000×1000 field\n",
+        sky.num_rows()
+    );
 
     // 1. Semantic windows: 3×3-cell regions with unusually many objects.
     let grid = GridIndex::build(&sky, "x", "y", "mag", 50, 50).expect("grid");
@@ -47,10 +50,7 @@ fn main() {
     println!();
 
     // 2. Pan towards the densest region with prefetching on.
-    let target = hits
-        .iter()
-        .max_by_key(|h| h.count)
-        .expect("clusters exist");
+    let target = hits.iter().max_by_key(|h| h.count).expect("clusters exist");
     let mut session = PanSession::new(&grid, true);
     let steps = 12i64;
     for i in 0..=steps {
@@ -95,7 +95,10 @@ fn main() {
         );
     }
     let predicate = aide.extracted_predicate().expect("model trained");
-    println!("   extracted predicate touches columns {:?}\n", predicate.columns());
+    println!(
+        "   extracted predicate touches columns {:?}\n",
+        predicate.columns()
+    );
 
     // 4. SciBORQ impressions: biased sample around the interest region,
     //    Horvitz-Thompson-corrected count of bright objects.

@@ -66,7 +66,12 @@ fn main() {
     );
 
     // Adaptive indexing on the now-loaded qty column.
-    let qty = ground_truth.column("qty").expect("col").as_i64().expect("i64").to_vec();
+    let qty = ground_truth
+        .column("qty")
+        .expect("col")
+        .as_i64()
+        .expect("i64")
+        .to_vec();
     let scan = ScanBaseline::new(qty.clone());
     let t0 = Instant::now();
     let sorted = SortedIndex::build(&qty);

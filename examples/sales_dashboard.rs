@@ -10,8 +10,8 @@ use exploration::diversify::{mmr, top_k_relevance, DivStats, Item};
 use exploration::interact::suggest::faceted_recommendations;
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{AggFunc, Predicate};
-use exploration::viz::{propose_charts, ChartKind};
 use exploration::viz::seedb::{candidate_views, recommend_pruned, recommend_shared, SeedbStats};
+use exploration::viz::{propose_charts, ChartKind};
 
 fn main() {
     let sales = sales_table(&SalesConfig {
@@ -32,7 +32,10 @@ fn main() {
             ChartKind::HistogramChart => "hist",
             ChartKind::Scatter => "scatter",
         };
-        println!("   {:<8} {:?} (score {:.2})", kind, chart.columns, chart.score);
+        println!(
+            "   {:<8} {:?} (score {:.2})",
+            kind, chart.columns, chart.score
+        );
     }
     println!();
 
@@ -68,7 +71,10 @@ fn main() {
         );
     }
     let drill = disc.drill_ranking();
-    println!("   drill next into: {} (total surprise {:.1})\n", drill[0].0, drill[0].1);
+    println!(
+        "   drill next into: {} (total surprise {:.1})\n",
+        drill[0].0, drill[0].1
+    );
 
     // 4. Speculative cube session along that drill path.
     let cube = DataCube::new(
@@ -86,7 +92,9 @@ fn main() {
         vec!["region"],
         vec!["channel", "region"],
     ] {
-        session.navigate(&path.iter().map(|s| &**s).collect::<Vec<_>>()).expect("navigate");
+        session
+            .navigate(&path.iter().map(|s| &**s).collect::<Vec<_>>())
+            .expect("navigate");
     }
     let st = session.stats();
     println!(
@@ -97,7 +105,11 @@ fn main() {
 
     // 5. Diversified top-k: show expensive orders, but not 10 clones.
     let prices = sales.column("price").expect("col").as_f64().expect("f64");
-    let discounts = sales.column("discount").expect("col").as_f64().expect("f64");
+    let discounts = sales
+        .column("discount")
+        .expect("col")
+        .as_f64()
+        .expect("f64");
     let qtys = sales.column("qty").expect("col").as_i64().expect("i64");
     let items: Vec<Item> = (0..sales.num_rows())
         .map(|i| {

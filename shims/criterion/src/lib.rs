@@ -1,0 +1,304 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs
+//! one warm-up invocation plus `sample_size` timed invocations and
+//! reports min / mean / max wall time. Environment knobs:
+//!
+//! * `BENCH_SAMPLES` — cap the per-benchmark sample count (smoke runs).
+//! * `BENCH_JSON` — write all results to this path as a JSON array,
+//!   e.g. `BENCH_engine.json` for the repo's perf trajectory.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants only express intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id by `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+/// One benchmark's measurements, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub id: String,
+    pub samples: usize,
+    pub min_ns: u128,
+    pub mean_ns: u128,
+    pub max_ns: u128,
+}
+
+/// The benchmark driver: runs benches and collects [`BenchRecord`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_samples(),
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let samples = default_samples();
+        self.run(id.into_id(), samples, f);
+    }
+
+    fn run(&mut self, id: String, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples,
+            times_ns: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        let times = bencher.times_ns;
+        let record = if times.is_empty() {
+            BenchRecord {
+                id,
+                samples: 0,
+                min_ns: 0,
+                mean_ns: 0,
+                max_ns: 0,
+            }
+        } else {
+            BenchRecord {
+                id,
+                samples: times.len(),
+                min_ns: *times.iter().min().expect("nonempty"),
+                mean_ns: times.iter().sum::<u128>() / times.len() as u128,
+                max_ns: *times.iter().max().expect("nonempty"),
+            }
+        };
+        eprintln!(
+            "bench {:<60} mean {:>12} ns   min {:>12} ns   ({} samples)",
+            record.id, record.mean_ns, record.min_ns, record.samples
+        );
+        self.records.push(record);
+    }
+
+    /// Print the summary and honour `BENCH_JSON`. Called by
+    /// [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.records.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}",
+                    r.id.replace('\\', "\\\\").replace('"', "\\\""),
+                    r.samples,
+                    r.min_ns,
+                    r.mean_ns,
+                    r.max_ns
+                ));
+            }
+            out.push_str("\n]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {} benchmark records to {path}", self.records.len());
+            }
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+        .max(1)
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (capped by
+    /// `BENCH_SAMPLES` when set).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.min(default_samples()).max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run(id, self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (records are flushed eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    times_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine`: one untimed warm-up plus `samples` timed runs.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running every group and writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("p", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(calls >= 2, "warmup + samples");
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "g/f");
+        assert_eq!(c.records[1].id, "g/p/7");
+        assert!(c.records[0].samples >= 1);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("a", 4).into_id(), "a/4");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("s".into_id(), "s");
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro,
+//! `prop_assert*` macros, range/tuple/vec/select strategies, `any`,
+//! `Just`, `prop_oneof!`, and `prop_map`/`prop_flat_map`/`boxed`
+//! combinators. Generation is deterministic per (test name, case
+//! index); set `PROPTEST_SEED` to perturb all tests at once.
+//!
+//! Deliberate simplifications relative to real proptest:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs and
+//!   the case index; inputs are reproducible from the same source.
+//! * String strategies support the `.{lo,hi}` regex shape (arbitrary
+//!   strings with length in `lo..=hi`); any other pattern generates the
+//!   pattern text itself, verbatim.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format_args!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format_args!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fail the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Reject the current case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform (or weighted) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` (the attribute is written at the call site,
+/// exactly as with real proptest) running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut case: u32 = 0;
+                let mut draws: u32 = 0;
+                while case < config.cases {
+                    if draws > config.cases.saturating_mul(16) + 256 {
+                        panic!("proptest '{test_name}': too many rejected cases");
+                    }
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_name, draws);
+                    draws += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));)+
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::core::result::Result::Ok(())
+                        }),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => case += 1,
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                            panic!(
+                                "proptest '{test_name}' failed at case {case} (draw {d}):\n{msg}\ninputs:\n{inputs}",
+                                d = draws - 1
+                            );
+                        }
+                        Err(panic_payload) => {
+                            eprintln!(
+                                "proptest '{test_name}' panicked at case {case} (draw {d}); inputs:\n{inputs}",
+                                d = draws - 1
+                            );
+                            ::std::panic::resume_unwind(panic_payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

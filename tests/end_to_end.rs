@@ -51,7 +51,9 @@ fn full_session_touches_every_layer() {
         .expect("samples");
     let truth = {
         let t = db.table("sales").expect("table");
-        let sel = Predicate::eq("region", "region0").evaluate(t).expect("eval");
+        let sel = Predicate::eq("region", "region0")
+            .evaluate(t)
+            .expect("eval");
         let prices = t.column("price").expect("col").as_f64().expect("f64");
         sel.iter().map(|&i| prices[i as usize]).sum::<f64>() / sel.len() as f64
     };

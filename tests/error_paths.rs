@@ -1,0 +1,174 @@
+//! Error-path coverage: malformed queries must return `Err` — never
+//! panic, never return garbage — and must fail **identically** under
+//! the serial and parallel execution policies. A parallel executor that
+//! panics a worker thread on a bad column name would poison the pool;
+//! these tests pin the contract that validation errors surface as
+//! ordinary `Result`s on the submitting thread under every policy.
+
+use exploration::exec::{evaluate_selection, run_query, ExecPolicy};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Table, MORSEL_ROWS,
+};
+use exploration::ExploreDb;
+
+const POLICIES: [ExecPolicy; 3] = [
+    ExecPolicy::Serial,
+    ExecPolicy::Parallel { workers: 1 },
+    ExecPolicy::Parallel { workers: 4 },
+];
+
+fn tables() -> Vec<(&'static str, Table)> {
+    let cfg = |rows| SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    };
+    vec![
+        ("empty", sales_table(&cfg(0))),
+        ("small", sales_table(&cfg(500))),
+        ("multi_morsel", sales_table(&cfg(MORSEL_ROWS + 99))),
+    ]
+}
+
+/// Run `q` against every table under every policy; all runs must return
+/// `Err`, and for a given table the error must not depend on the policy.
+fn assert_errs_everywhere(q: &Query, context: &str) {
+    for (tname, t) in &tables() {
+        let mut errors = Vec::new();
+        for policy in POLICIES {
+            let err = match run_query(t, q, policy) {
+                Err(e) => e,
+                Ok(got) => panic!(
+                    "{context} on {tname} under {policy:?} must err, got {} rows",
+                    got.num_rows()
+                ),
+            };
+            errors.push(err);
+        }
+        assert!(
+            errors.windows(2).all(|w| w[0] == w[1]),
+            "{context} on {tname}: policies disagree: {errors:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_filter_column_errs() {
+    assert_errs_everywhere(
+        &Query::new().filter(Predicate::cmp("nope", CmpOp::Eq, 1.0)),
+        "unknown filter column",
+    );
+}
+
+#[test]
+fn unknown_projection_column_errs() {
+    assert_errs_everywhere(
+        &Query::new().select(&["region", "missing"]),
+        "unknown projection column",
+    );
+}
+
+#[test]
+fn unknown_group_and_agg_columns_err() {
+    assert_errs_everywhere(
+        &Query::new().group("missing").agg(AggFunc::Count, "qty"),
+        "unknown group column",
+    );
+    assert_errs_everywhere(
+        &Query::new().group("region").agg(AggFunc::Sum, "missing"),
+        "unknown aggregate column",
+    );
+}
+
+#[test]
+fn unknown_order_column_errs() {
+    assert_errs_everywhere(
+        &Query::new().order("missing", SortOrder::Asc),
+        "unknown order column",
+    );
+}
+
+#[test]
+fn type_mismatched_predicate_errs() {
+    // Comparing a string column against a number, and a float column
+    // against a string, must both be type errors — not empty results.
+    assert_errs_everywhere(
+        &Query::new().filter(Predicate::cmp("region", CmpOp::Eq, 3.0)),
+        "number literal vs string column",
+    );
+    assert_errs_everywhere(
+        &Query::new().filter(Predicate::eq("price", "expensive")),
+        "string literal vs float column",
+    );
+    // Non-exact float literal against an Int64 column.
+    assert_errs_everywhere(
+        &Query::new().filter(Predicate::cmp("qty", CmpOp::Ge, 2.5)),
+        "fractional literal vs int column",
+    );
+}
+
+#[test]
+fn string_aggregate_errs() {
+    assert_errs_everywhere(
+        &Query::new().agg(AggFunc::Sum, "region"),
+        "sum over string column",
+    );
+}
+
+#[test]
+fn empty_table_valid_queries_succeed_not_panic() {
+    // The flip side: on an empty table, *valid* queries succeed with
+    // empty (or single-row global-aggregate) results under all policies.
+    let empty = sales_table(&SalesConfig {
+        rows: 0,
+        ..SalesConfig::default()
+    });
+    for policy in POLICIES {
+        let scan = run_query(&empty, &Query::new(), policy).unwrap();
+        assert_eq!(scan.num_rows(), 0);
+        let grouped = run_query(
+            &empty,
+            &Query::new().group("region").agg(AggFunc::Sum, "price"),
+            policy,
+        )
+        .unwrap();
+        assert_eq!(grouped.num_rows(), 0, "no groups on empty input");
+        let global = run_query(&empty, &Query::new().agg(AggFunc::Count, "qty"), policy).unwrap();
+        assert_eq!(
+            global.num_rows(),
+            1,
+            "global aggregate always yields one row"
+        );
+    }
+}
+
+#[test]
+fn selection_errors_match_across_policies() {
+    let t = sales_table(&SalesConfig {
+        rows: MORSEL_ROWS + 10,
+        ..SalesConfig::default()
+    });
+    for policy in POLICIES {
+        let err = evaluate_selection(&t, &Predicate::eq("ghost", 1i64), policy).unwrap_err();
+        assert_eq!(err, StorageError::UnknownColumn("ghost".into()));
+    }
+}
+
+#[test]
+fn engine_unknown_table_errs_under_both_policies() {
+    for policy in POLICIES {
+        let mut db = ExploreDb::with_exec_policy(policy);
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 100,
+                ..SalesConfig::default()
+            }),
+        );
+        let q = Query::new().agg(AggFunc::Count, "qty");
+        assert!(db.query("sales", &q).is_ok());
+        let err = db.query("missing_table", &q).unwrap_err();
+        assert_eq!(err, StorageError::UnknownTable("missing_table".into()));
+        assert!(db.facets("missing_table", &Predicate::True, 1, 3).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based differential testing of the morsel-driven executor.
+//!
+//! Random `Query` values (random predicate trees, group-bys, aggregate
+//! lists, orderings, limits — valid *and* invalid) run under the serial
+//! and parallel policies; the two must either both succeed with
+//! bit-identical tables or both fail with the same error. A second set
+//! of properties pins cracked-range answers to full-scan equivalence on
+//! random crack sequences, serially and through the batched pool path.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use exploration::cracking::{ConcurrentCracker, CrackerColumn};
+use exploration::exec::{evaluate_selection, run_query, ExecPolicy};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+};
+
+/// A shared multi-morsel table (built once; cases only read it).
+fn big_table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        sales_table(&SalesConfig {
+            rows: MORSEL_ROWS + 2048,
+            ..SalesConfig::default()
+        })
+    })
+}
+
+/// A predicate leaf: valid comparisons, plus occasional unknown columns
+/// and type mismatches so error parity is exercised too.
+fn pred_leaf() -> BoxedStrategy<Predicate> {
+    prop_oneof![
+        Just(Predicate::True),
+        (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(a, b)| Predicate::range(
+            "price",
+            a.min(b),
+            a.max(b)
+        )),
+        (0i64..12).prop_map(|v| Predicate::cmp("qty", CmpOp::Ge, v)),
+        prop::sample::select(vec!["region0", "region1", "region5", "no_such_region"])
+            .prop_map(|r| Predicate::eq("region", r)),
+        prop::sample::select(vec!["price", "discount", "qty", "ghost_column"])
+            .prop_map(|c| Predicate::cmp(c, CmpOp::Lt, 400.0)),
+    ]
+    .boxed()
+}
+
+/// One combinator layer over two leaves.
+fn pred_tree() -> BoxedStrategy<Predicate> {
+    (pred_leaf(), pred_leaf(), 0i64..4)
+        .prop_map(|(a, b, shape)| match shape {
+            0 => a.and(b),
+            1 => a.or(b),
+            2 => a.not(),
+            _ => a,
+        })
+        .boxed()
+}
+
+/// Random group-by column lists (always existing columns; bad columns
+/// are exercised through predicates and aggregates).
+fn group_cols() -> BoxedStrategy<Vec<&'static str>> {
+    prop_oneof![
+        Just(Vec::new()),
+        Just(vec!["region"]),
+        Just(vec!["channel"]),
+        Just(vec!["region", "channel"]),
+        Just(vec!["product"]),
+    ]
+    .boxed()
+}
+
+/// Random aggregate lists, including string columns (a type error for
+/// everything but COUNT) and unknown columns.
+fn agg_list() -> BoxedStrategy<Vec<(AggFunc, &'static str)>> {
+    let func = prop::sample::select(vec![
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Var,
+        AggFunc::Std,
+    ]);
+    let col = prop_oneof![
+        4 => prop::sample::select(vec!["price", "discount", "qty"]),
+        1 => prop::sample::select(vec!["region", "missing_col"]),
+    ];
+    prop::collection::vec((func, col), 0..3).boxed()
+}
+
+/// Assemble a `Query` from generated parts, picking an order column
+/// that exists in the result shape (or none).
+fn build_query(
+    pred: Predicate,
+    groups: &[&str],
+    aggs: &[(AggFunc, &str)],
+    order: i64,
+    limit: Option<usize>,
+) -> Query {
+    let mut q = Query::new().filter(pred);
+    for g in groups {
+        q = q.group(g);
+    }
+    for &(f, c) in aggs {
+        q = q.agg(f, c);
+    }
+    let order_col: Option<String> = if let Some(&(f, c)) = aggs.first() {
+        Some(exploration::storage::Aggregate::new(f, c).result_name())
+    } else if let Some(g) = groups.first() {
+        Some((*g).to_string())
+    } else {
+        Some("price".to_string())
+    };
+    match (order, order_col) {
+        (1, Some(c)) => q = q.order(&c, SortOrder::Asc),
+        (2, Some(c)) => q = q.order(&c, SortOrder::Desc),
+        _ => {}
+    }
+    if let Some(n) = limit {
+        q = q.take(n);
+    }
+    q
+}
+
+/// Compare two tables bit-for-bit (floats via `to_bits`).
+fn tables_bitwise_equal(a: &Table, b: &Table) -> bool {
+    if a.schema() != b.schema() || a.num_rows() != b.num_rows() {
+        return false;
+    }
+    a.schema().fields().iter().all(|field| {
+        let ca = a.column(field.name()).unwrap();
+        let cb = b.column(field.name()).unwrap();
+        (0..a.num_rows()).all(
+            |row| match (ca.value(row).unwrap(), cb.value(row).unwrap()) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                (x, y) => x == y,
+            },
+        )
+    })
+}
+
+fn brute_range_ids(base: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    base.iter()
+        .enumerate()
+        .filter(|(_, &v)| v >= lo && v < hi)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any query — valid or not — behaves identically under serial and
+    /// parallel execution: same table bit-for-bit, or same error.
+    #[test]
+    fn random_queries_agree_across_policies(
+        pred in pred_tree(),
+        groups in group_cols(),
+        aggs in agg_list(),
+        order in 0i64..3,
+        limit_raw in 0i64..400,
+    ) {
+        let limit = (limit_raw >= 100).then_some(limit_raw as usize);
+        let q = build_query(pred, &groups, &aggs, order, limit);
+        let t = big_table();
+        let serial = run_query(t, &q, ExecPolicy::Serial);
+        let parallel = run_query(t, &q, ExecPolicy::Parallel { workers: 4 });
+        match (serial, parallel) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                tables_bitwise_equal(&a, &b),
+                "policies diverged on {q:?}"
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "one policy errored: serial ok = {}, parallel ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// Random predicate trees produce the same selection vector under
+    /// both policies — and match the single-pass reference evaluator.
+    #[test]
+    fn random_selections_agree_across_policies(pred in pred_tree()) {
+        let t = big_table();
+        let serial = evaluate_selection(t, &pred, ExecPolicy::Serial);
+        let parallel = evaluate_selection(t, &pred, ExecPolicy::Parallel { workers: 4 });
+        match (serial, parallel) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(a, pred.evaluate(t).unwrap());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "one policy errored: serial ok = {}, parallel ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// Cracked range answers equal a full scan for every prefix of a
+    /// random crack sequence, and the batched pool path agrees with
+    /// both the serial batch and the brute-force counts.
+    #[test]
+    fn cracked_ranges_equal_full_scan(
+        base in prop::collection::vec(-500i64..500, 1..400),
+        queries in prop::collection::vec((-600i64..600, -600i64..600), 1..20),
+    ) {
+        let ranges: Vec<(i64, i64)> = queries
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let expected: Vec<usize> = ranges
+            .iter()
+            .map(|&(lo, hi)| brute_range_ids(&base, lo, hi).len())
+            .collect();
+
+        // Sequential cracking: every intermediate index state must
+        // answer exactly like a scan.
+        let mut cracker = CrackerColumn::new(base.clone());
+        for &(lo, hi) in &ranges {
+            let mut got = cracker.query_ids(lo, hi).to_vec();
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_range_ids(&base, lo, hi));
+            prop_assert!(cracker.check_invariants());
+        }
+
+        // Batched concurrent cracking under both policies.
+        let serial =
+            ConcurrentCracker::new(base.clone()).query_counts_batch(&ranges, ExecPolicy::Serial);
+        let parallel = ConcurrentCracker::new(base.clone())
+            .query_counts_batch(&ranges, ExecPolicy::Parallel { workers: 4 });
+        prop_assert_eq!(&serial, &expected);
+        prop_assert_eq!(&parallel, &expected);
+    }
+}

@@ -39,8 +39,8 @@ fn astronomer_session() {
     // 3. Explore-by-example around the discovered region.
     let cell = 500.0 / 25.0;
     let (x0, y0) = (target.cx as f64 * cell, target.cy as f64 * cell);
-    let hidden = Predicate::range("x", x0, x0 + 3.0 * cell)
-        .and(Predicate::range("y", y0, y0 + 3.0 * cell));
+    let hidden =
+        Predicate::range("x", x0, x0 + 3.0 * cell).and(Predicate::range("y", y0, y0 + 3.0 * cell));
     let mut oracle = LabelOracle::new(&sky, hidden.clone());
     let mut aide = AideSession::new(
         &sky,
@@ -61,7 +61,10 @@ fn astronomer_session() {
     let truth_rows = hidden.evaluate(&sky).expect("eval");
     assert!(!learned_rows.is_empty());
     let truth_set: std::collections::HashSet<u32> = truth_rows.iter().copied().collect();
-    let inside = learned_rows.iter().filter(|r| truth_set.contains(r)).count();
+    let inside = learned_rows
+        .iter()
+        .filter(|r| truth_set.contains(r))
+        .count();
     assert!(
         inside as f64 / learned_rows.len() as f64 > 0.6,
         "learned region precision"

@@ -19,18 +19,21 @@ fn join_then_explore_the_joined_table() {
         ..SalesConfig::default()
     });
     let regions: Vec<String> = (0..8).map(|i| format!("region{i}")).collect();
-    let zones: Vec<&str> = ["north", "north", "south", "south", "east", "east", "west", "west"]
-        .to_vec();
+    let zones: Vec<&str> = [
+        "north", "north", "south", "south", "east", "east", "west", "west",
+    ]
+    .to_vec();
     let dim = Table::new(
         Schema::of(&[("region_name", DataType::Utf8), ("zone", DataType::Utf8)]),
-        vec![
-            Column::from(regions),
-            Column::from(zones),
-        ],
+        vec![Column::from(regions), Column::from(zones)],
     )
     .unwrap();
     let joined = hash_join(&sales, &dim, "region", "region_name").unwrap();
-    assert_eq!(joined.num_rows(), sales.num_rows(), "FK join preserves facts");
+    assert_eq!(
+        joined.num_rows(),
+        sales.num_rows(),
+        "FK join preserves facts"
+    );
     // Aggregate over the joined-in attribute.
     let by_zone = Query::new()
         .group("zone")
@@ -45,7 +48,13 @@ fn join_then_explore_the_joined_table() {
         .unwrap()
         .iter()
         .sum();
-    let truth: f64 = sales.column("price").unwrap().as_f64().unwrap().iter().sum();
+    let truth: f64 = sales
+        .column("price")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .iter()
+        .sum();
     assert!((total - truth).abs() < 1e-6, "join loses no mass");
 }
 
@@ -84,7 +93,10 @@ fn synopsis_store_and_sampling_agree_on_counts() {
         ..SalesConfig::default()
     });
     let store = SynopsisStore::build(&t, 64);
-    let truth = Predicate::range("price", 50.0, 250.0).evaluate(&t).unwrap().len() as f64;
+    let truth = Predicate::range("price", 50.0, 250.0)
+        .evaluate(&t)
+        .unwrap()
+        .len() as f64;
     let est = store.range_count("price", 50.0, 250.0).unwrap().estimate;
     assert!((est - truth).abs() / truth < 0.1);
     // Point counts from the sketch are conservative.
@@ -129,8 +141,13 @@ fn canvas_session_drives_real_queries() {
         }
     }
     // Zoom, then summarize only the window.
-    canvas.apply(&QueryIntent::DrillDown { cx: 0.5, cy: 0.5 }).unwrap();
-    match canvas.apply(&QueryIntent::Summarize { cx: 0.5, cy: 0.5 }).unwrap() {
+    canvas
+        .apply(&QueryIntent::DrillDown { cx: 0.5, cy: 0.5 })
+        .unwrap();
+    match canvas
+        .apply(&QueryIntent::Summarize { cx: 0.5, cy: 0.5 })
+        .unwrap()
+    {
         CanvasResponse::Summary { rows, .. } => {
             let (s, e) = canvas.viewport();
             assert_eq!(rows, e - s);

@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 
-use exploration::cracking::{CrackerColumn, HybridCrackSort, StochasticCracker, StochasticVariant, UpdatableCracker};
+use exploration::cracking::{
+    CrackerColumn, HybridCrackSort, StochasticCracker, StochasticVariant, UpdatableCracker,
+};
 use exploration::storage::{Accumulator, AggFunc, CmpOp, Predicate};
 use exploration::synopses::{CountMinSketch, Histogram, Reservoir, WaveletSynopsis};
 use exploration::viz::reduce::{m4_reduce, pixel_extents};
