@@ -21,6 +21,11 @@ if [[ "${1:-}" != "fast" ]]; then
     BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_engine.json" \
         cargo bench -q -p explore-bench --bench engine
     echo "==> wrote $(wc -c < BENCH_engine.json) bytes of benchmark records"
+
+    echo "==> bench smoke (cache) -> BENCH_cache.json"
+    BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_cache.json" \
+        cargo bench -q -p explore-bench --bench cache
+    echo "==> wrote $(wc -c < BENCH_cache.json) bytes of benchmark records"
 fi
 
 echo "==> CI green"

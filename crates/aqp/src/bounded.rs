@@ -7,9 +7,15 @@
 //! that satisfies the bound — or, for time bounds, the largest sample
 //! that fits the latency budget given a calibrated processing rate.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use explore_cache::{predicate_key, Fingerprint, ResultCache};
 use explore_exec::{evaluate_selection, ExecPolicy};
 use explore_sampling::{SampleCatalog, UniformSample};
-use explore_storage::{Accumulator, AggFunc, Predicate, Result, StorageError, Table};
+use explore_storage::{
+    Accumulator, AggFunc, Column, DataType, Predicate, Result, Schema, StorageError, Table,
+};
 
 use crate::ci::{mean_interval, sum_interval, ConfidenceInterval};
 
@@ -37,6 +43,61 @@ pub struct BoundedAnswer {
     pub exact: bool,
 }
 
+/// Key the cache under the full request shape so distinct bounds never
+/// collide (a looser bound legitimately yields a different answer).
+fn answer_key(predicate: &Predicate, func: AggFunc, column: &str, bound: Bound) -> String {
+    let b = match bound {
+        Bound::RelativeError { target, confidence } => {
+            format!("re:{:016x}:{:016x}", target.to_bits(), confidence.to_bits())
+        }
+        Bound::RowBudget { rows } => format!("rb:{rows}"),
+    };
+    format!(
+        "aqp|p={}|f={func}|c={}:{column}|b={b}",
+        predicate_key(predicate),
+        column.len()
+    )
+}
+
+/// Encode a [`BoundedAnswer`] as a one-row table for cache residency.
+fn encode_answer(ans: &BoundedAnswer) -> Table {
+    Table::new(
+        Schema::of(&[
+            ("estimate", DataType::Float64),
+            ("half_width", DataType::Float64),
+            ("confidence", DataType::Float64),
+            ("fraction_used", DataType::Float64),
+            ("rows_scanned", DataType::Int64),
+            ("exact", DataType::Int64),
+        ]),
+        vec![
+            Column::from(vec![ans.interval.estimate]),
+            Column::from(vec![ans.interval.half_width]),
+            Column::from(vec![ans.interval.confidence]),
+            Column::from(vec![ans.fraction_used]),
+            Column::from(vec![ans.rows_scanned as i64]),
+            Column::from(vec![i64::from(ans.exact)]),
+        ],
+    )
+    .expect("static answer schema")
+}
+
+/// Decode [`encode_answer`]'s shape back; `None` on foreign entries.
+fn decode_answer(t: &Table) -> Option<BoundedAnswer> {
+    let f = |name: &str| -> Option<f64> { t.column(name).ok()?.as_f64()?.first().copied() };
+    let i = |name: &str| -> Option<i64> { t.column(name).ok()?.as_i64()?.first().copied() };
+    Some(BoundedAnswer {
+        interval: ConfidenceInterval {
+            estimate: f("estimate")?,
+            half_width: f("half_width")?,
+            confidence: f("confidence")?,
+        },
+        fraction_used: f("fraction_used")?,
+        rows_scanned: i("rows_scanned")? as usize,
+        exact: i("exact")? != 0,
+    })
+}
+
 /// Bounded executor over a base table and its sample catalog.
 #[derive(Debug)]
 pub struct BoundedExecutor<'a> {
@@ -44,6 +105,8 @@ pub struct BoundedExecutor<'a> {
     catalog: &'a SampleCatalog,
     confidence_default: f64,
     policy: ExecPolicy,
+    /// Optional shared result cache and the base table's registered name.
+    cache: Option<(Arc<ResultCache>, String)>,
 }
 
 impl<'a> BoundedExecutor<'a> {
@@ -55,6 +118,7 @@ impl<'a> BoundedExecutor<'a> {
             catalog,
             confidence_default: 0.95,
             policy: ExecPolicy::Serial,
+            cache: None,
         }
     }
 
@@ -67,10 +131,42 @@ impl<'a> BoundedExecutor<'a> {
         self
     }
 
+    /// Memoize answers in the engine's shared result cache under
+    /// `table_name`'s epoch. A cached answer is bit-identical to rerunning
+    /// against the same sample catalog; mutations of the base table
+    /// invalidate it like any other cached result.
+    pub fn with_cache(mut self, cache: Arc<ResultCache>, table_name: &str) -> Self {
+        self.cache = Some((cache, table_name.to_owned()));
+        self
+    }
+
     /// Approximate `func(column)` over rows matching `predicate`,
     /// honouring the bound. Falls back to exact execution when no sample
     /// suffices (the BlinkDB semantics).
     pub fn aggregate(
+        &self,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        bound: Bound,
+    ) -> Result<BoundedAnswer> {
+        let Some((cache, table_name)) = &self.cache else {
+            return self.aggregate_uncached(predicate, func, column, bound);
+        };
+        let fp = Fingerprint::custom(table_name, answer_key(predicate, func, column, bound));
+        if let Some(hit) = cache.get(&fp).and_then(|t| decode_answer(&t)) {
+            return Ok(hit);
+        }
+        cache.note_miss();
+        let epoch = cache.epoch(table_name);
+        let started = Instant::now();
+        let ans = self.aggregate_uncached(predicate, func, column, bound)?;
+        let cost_ns = started.elapsed().as_nanos();
+        cache.insert(fp, Arc::new(encode_answer(&ans)), None, cost_ns, epoch);
+        Ok(ans)
+    }
+
+    fn aggregate_uncached(
         &self,
         predicate: &Predicate,
         func: AggFunc,
@@ -384,6 +480,58 @@ mod tests {
             "{:?} vs {truth_count}",
             count.interval
         );
+    }
+
+    #[test]
+    fn cached_answers_match_uncached_and_invalidate_on_epoch_bump() {
+        let (base, catalog) = setup();
+        let shared = Arc::new(ResultCache::default());
+        let plain = BoundedExecutor::new(&base, &catalog);
+        let cached = BoundedExecutor::new(&base, &catalog).with_cache(Arc::clone(&shared), "sales");
+        let bound = Bound::RelativeError {
+            target: 0.05,
+            confidence: 0.95,
+        };
+        let truth = plain
+            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .unwrap();
+        let cold = cached
+            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .unwrap();
+        let warm = cached
+            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .unwrap();
+        for ans in [&cold, &warm] {
+            assert_eq!(
+                truth.interval.estimate.to_bits(),
+                ans.interval.estimate.to_bits()
+            );
+            assert_eq!(
+                truth.interval.half_width.to_bits(),
+                ans.interval.half_width.to_bits()
+            );
+            assert_eq!(truth.fraction_used, ans.fraction_used);
+            assert_eq!(truth.rows_scanned, ans.rows_scanned);
+            assert_eq!(truth.exact, ans.exact);
+        }
+        assert_eq!(shared.stats().hits, 1);
+        // A different bound is a different key, never a false hit.
+        let budgeted = cached
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                Bound::RowBudget { rows: 2000 },
+            )
+            .unwrap();
+        assert!((budgeted.fraction_used - 0.01).abs() < 1e-9);
+        assert_eq!(shared.stats().hits, 1);
+        // An epoch bump (base-table mutation) invalidates the answers.
+        shared.bump_epoch("sales");
+        cached
+            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .unwrap();
+        assert_eq!(shared.stats().hits, 1, "stale answer is never served");
     }
 
     #[test]

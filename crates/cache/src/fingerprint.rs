@@ -1,0 +1,252 @@
+//! Canonical query fingerprints.
+//!
+//! A [`Fingerprint`] identifies "the same question asked of the same
+//! table". The key is a canonical encoding of the query: strings and
+//! column names are length-prefixed (no delimiter injection), float
+//! literals are encoded by bit pattern (`-0.0` ≠ `0.0`, NaN payloads
+//! preserved), and the children of `And`/`Or` are sorted so
+//! `a AND b` and `b AND a` share an entry.
+//!
+//! Sorting conjuncts is sound here because the engine evaluates *all*
+//! children of a conjunction/disjunction (no short-circuit): both the
+//! error-or-success outcome and the result mask are order-independent,
+//! and erroring queries are never admitted to the cache in the first
+//! place. Projection, grouping, and aggregate order are preserved —
+//! they shape the output schema.
+
+use std::fmt::Write as _;
+
+use explore_storage::{Predicate, Query, SortOrder, Value};
+
+/// Identity of a cached result: the table it was computed against plus
+/// the canonical query key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    table: String,
+    key: String,
+}
+
+impl Fingerprint {
+    /// Fingerprint a [`Query`] against a named table.
+    pub fn for_query(table: &str, query: &Query) -> Fingerprint {
+        Fingerprint {
+            table: table.to_owned(),
+            key: query_key(query),
+        }
+    }
+
+    /// A fingerprint in a caller-chosen namespace (e.g. `cell|3|7` for
+    /// grid viewport cells, `aqp|…` for bounded-answer synopses). Callers
+    /// own key uniqueness within their namespace.
+    pub fn custom(table: &str, key: impl Into<String>) -> Fingerprint {
+        Fingerprint {
+            table: table.to_owned(),
+            key: key.into(),
+        }
+    }
+
+    /// The table this fingerprint is bound to (epoch scope).
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The canonical key within the table.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// Canonical key for a full query.
+fn query_key(query: &Query) -> String {
+    let mut k = String::with_capacity(64);
+    k.push_str("q|p=");
+    k.push_str(&predicate_key(&query.predicate));
+    k.push_str("|s=");
+    for name in &query.projection {
+        push_str_token(&mut k, name);
+    }
+    k.push_str("|g=");
+    for name in &query.group_by {
+        push_str_token(&mut k, name);
+    }
+    k.push_str("|a=");
+    for agg in &query.aggregates {
+        let _ = write!(k, "{}(", agg.func);
+        push_str_token(&mut k, &agg.column);
+        k.push(')');
+    }
+    k.push_str("|o=");
+    if let Some((col, order)) = &query.order_by {
+        push_str_token(&mut k, col);
+        k.push(match order {
+            SortOrder::Asc => '+',
+            SortOrder::Desc => '-',
+        });
+    }
+    k.push_str("|l=");
+    if let Some(limit) = query.limit {
+        let _ = write!(k, "{limit}");
+    }
+    k
+}
+
+/// Canonical encoding of a predicate, with `And`/`Or` children sorted.
+pub fn predicate_key(predicate: &Predicate) -> String {
+    match predicate {
+        Predicate::True => "T".to_owned(),
+        Predicate::Cmp { column, op, value } => {
+            let mut k = String::from("C(");
+            push_str_token(&mut k, column);
+            let _ = write!(k, ",{op:?},");
+            push_value(&mut k, value);
+            k.push(')');
+            k
+        }
+        Predicate::Range { column, low, high } => {
+            let mut k = String::from("R(");
+            push_str_token(&mut k, column);
+            k.push(',');
+            push_value(&mut k, low);
+            k.push(',');
+            push_value(&mut k, high);
+            k.push(')');
+            k
+        }
+        Predicate::And(ps) => combine('A', ps),
+        Predicate::Or(ps) => combine('O', ps),
+        Predicate::Not(p) => format!("N({})", predicate_key(p)),
+    }
+}
+
+fn combine(tag: char, children: &[Predicate]) -> String {
+    let mut keys: Vec<String> = children.iter().map(predicate_key).collect();
+    keys.sort_unstable();
+    let mut k = String::new();
+    k.push(tag);
+    k.push('[');
+    for child in keys {
+        push_str_token(&mut k, &child);
+    }
+    k.push(']');
+    k
+}
+
+/// Length-prefixed string token: immune to delimiter characters in
+/// column names or literals.
+fn push_str_token(out: &mut String, s: &str) {
+    let _ = write!(out, "{}:{s};", s.len());
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Int(i) => {
+            let _ = write!(out, "i{i}");
+        }
+        Value::Float(f) => {
+            let _ = write!(out, "f{:016x}", f.to_bits());
+        }
+        Value::Str(s) => {
+            out.push('s');
+            push_str_token(out, s);
+        }
+        Value::Null => out.push('n'),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::{AggFunc, CmpOp};
+
+    fn fp(q: &Query) -> Fingerprint {
+        Fingerprint::for_query("sales", q)
+    }
+
+    #[test]
+    fn identical_queries_share_a_fingerprint() {
+        let q = Query::new()
+            .filter(Predicate::range("price", 1.0, 2.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price");
+        assert_eq!(fp(&q), fp(&q.clone()));
+    }
+
+    #[test]
+    fn conjunct_order_is_canonicalized() {
+        let a = Predicate::range("price", 1.0, 2.0);
+        let b = Predicate::eq("region", "east");
+        let ab = Query::new().filter(a.clone().and(b.clone()));
+        let ba = Query::new().filter(b.and(a));
+        assert_eq!(fp(&ab), fp(&ba));
+    }
+
+    #[test]
+    fn disjunct_order_is_canonicalized_but_or_differs_from_and() {
+        let a = Predicate::range("price", 1.0, 2.0);
+        let b = Predicate::eq("region", "east");
+        let or_ab = Query::new().filter(a.clone().or(b.clone()));
+        let or_ba = Query::new().filter(b.clone().or(a.clone()));
+        assert_eq!(fp(&or_ab), fp(&or_ba));
+        assert_ne!(fp(&or_ab), fp(&Query::new().filter(a.and(b))));
+    }
+
+    #[test]
+    fn output_shaping_order_is_preserved() {
+        let q1 = Query::new().select(&["a", "b"]);
+        let q2 = Query::new().select(&["b", "a"]);
+        assert_ne!(fp(&q1), fp(&q2));
+        let g1 = Query::new().group("a").group("b").agg(AggFunc::Count, "a");
+        let g2 = Query::new().group("b").group("a").agg(AggFunc::Count, "a");
+        assert_ne!(fp(&g1), fp(&g2));
+    }
+
+    #[test]
+    fn floats_are_bit_distinguished() {
+        let pos = Query::new().filter(Predicate::eq("x", 0.0f64));
+        let neg = Query::new().filter(Predicate::eq("x", -0.0f64));
+        assert_ne!(fp(&pos), fp(&neg));
+        // And float vs int literals differ even when numerically equal.
+        let int = Query::new().filter(Predicate::eq("x", 1i64));
+        let float = Query::new().filter(Predicate::eq("x", 1.0f64));
+        assert_ne!(fp(&int), fp(&float));
+    }
+
+    #[test]
+    fn string_tokens_resist_delimiter_injection() {
+        let q1 = Query::new().filter(Predicate::eq("c", "a,b"));
+        let q2 = Query::new()
+            .filter(Predicate::eq("c", "a"))
+            .filter(Predicate::eq("c,b", "a"));
+        assert_ne!(fp(&q1), fp(&q2));
+        // Adjacent projections don't merge.
+        assert_ne!(
+            fp(&Query::new().select(&["ab", "c"])),
+            fp(&Query::new().select(&["a", "bc"]))
+        );
+    }
+
+    #[test]
+    fn tables_scope_fingerprints() {
+        let q = Query::new();
+        assert_ne!(
+            Fingerprint::for_query("a", &q),
+            Fingerprint::for_query("b", &q)
+        );
+        assert_eq!(Fingerprint::custom("t", "cell|1|2").key(), "cell|1|2");
+        assert_eq!(Fingerprint::custom("t", "cell|1|2").table(), "t");
+    }
+
+    #[test]
+    fn order_limit_and_ops_distinguish() {
+        let base = Query::new().filter(Predicate::cmp("x", CmpOp::Le, 5.0));
+        assert_ne!(
+            fp(&base),
+            fp(&Query::new().filter(Predicate::cmp("x", CmpOp::Lt, 5.0)))
+        );
+        assert_ne!(fp(&base), fp(&base.clone().take(10)));
+        assert_ne!(
+            fp(&base.clone().order("x", SortOrder::Asc)),
+            fp(&base.clone().order("x", SortOrder::Desc))
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The serve protocol: exact hit → subsumption hit → compute-and-admit.
+//!
+//! [`cached_query`] is the single entry point `ExploreDb` routes through
+//! when caching is enabled. Its contract is *bit-exactness*: for every
+//! query — hit, subsumption serve, or miss — the returned table is
+//! bit-identical (floats by `to_bits`) to what `explore_exec::run_query`
+//! would produce against the base table, and errors are the canonical
+//! `run_query` errors.
+//!
+//! The subsumption path earns this the careful way:
+//!
+//! 1. the **full** new predicate is re-evaluated on the cached subset
+//!    (not some residual predicate — no predicate algebra to get wrong),
+//! 2. subset-local matches are mapped through the entry's stored
+//!    selection vector back to **global** base-table row ids,
+//! 3. the query replays via [`run_query_on_selection`], which partitions
+//!    that global selection at the *base table's* morsel boundaries —
+//!    so gathers and float accumulators see the same values in the same
+//!    order as a base-table scan.
+//!
+//! Any failure inside the subsumption path simply falls through to the
+//! miss path, which reproduces canonical errors and results.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use explore_exec::{evaluate_selection, run_query_on_selection, ExecPolicy};
+use explore_storage::{Query, Result, Table};
+
+use crate::fingerprint::Fingerprint;
+use crate::region::Region;
+use crate::store::{ResultCache, ReuseArtifacts, SubsumeCandidate};
+
+/// Execute `query` against `base` (registered as `table_name`) through
+/// the shared cache. See the module docs for the exactness contract.
+pub fn cached_query(
+    cache: &ResultCache,
+    base: &Table,
+    table_name: &str,
+    query: &Query,
+    policy: ExecPolicy,
+) -> Result<Table> {
+    let fingerprint = Fingerprint::for_query(table_name, query);
+    let epoch = cache.epoch(table_name);
+
+    if let Some(hit) = cache.get(&fingerprint) {
+        return Ok((*hit).clone());
+    }
+
+    if let Some(served) =
+        try_subsumption(cache, base, table_name, query, policy, &fingerprint, epoch)
+    {
+        return Ok(served);
+    }
+
+    cache.note_miss();
+
+    // Mirror `run_query`'s error precedence: scan queries validate the
+    // projection before the predicate ever runs.
+    if query.aggregates.is_empty() && !query.projection.is_empty() {
+        let names: Vec<&str> = query.projection.iter().map(String::as_str).collect();
+        base.schema().project(&names)?;
+    }
+
+    let started = Instant::now();
+    let sel = evaluate_selection(base, &query.predicate, policy)?;
+    let result = run_query_on_selection(base, query, &sel, policy)?;
+    let cost_ns = started.elapsed().as_nanos();
+
+    let result = Arc::new(result);
+    let reuse = build_artifacts(base, query, sel, &result);
+    cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch);
+    Ok((*result).clone())
+}
+
+/// Attempt to answer from a cached superset. `None` means "no sound
+/// candidate" *or* "serving failed" — either way the caller falls back
+/// to base-table execution.
+fn try_subsumption(
+    cache: &ResultCache,
+    base: &Table,
+    table_name: &str,
+    query: &Query,
+    policy: ExecPolicy,
+    fingerprint: &Fingerprint,
+    epoch: u64,
+) -> Option<Table> {
+    if !cache.subsumption_enabled() {
+        return None;
+    }
+    let query_region = Region::relaxed(&query.predicate);
+    let candidate = cache.find_subsuming(table_name, &query_region)?;
+    let SubsumeCandidate {
+        fingerprint: source,
+        sel,
+        subset,
+        cost_ns,
+    } = candidate;
+
+    let started = Instant::now();
+    // Re-evaluate the full predicate on the (smaller) cached subset;
+    // region soundness guarantees no qualifying base row lives outside
+    // it. Errors fall through to the canonical miss path.
+    let local = evaluate_selection(&subset, &query.predicate, policy).ok()?;
+    let global: Vec<u32> = local.iter().map(|&i| sel[i as usize]).collect();
+    let result = run_query_on_selection(base, query, &global, policy).ok()?;
+    let refilter_ns = started.elapsed().as_nanos();
+
+    cache.note_subsumption_hit(&source, cost_ns.saturating_sub(refilter_ns));
+
+    // Admit the narrower result as its own entry so refinement chains
+    // keep re-filtering ever-smaller subsets. Its subset rows come from
+    // the candidate's subset — identical values to a base-table gather.
+    let result = Arc::new(result);
+    let reuse = Region::exact(&query.predicate).map(|region| ReuseArtifacts {
+        region,
+        sel: Arc::new(global),
+        subset: Arc::new(subset.gather(&local)),
+    });
+    cache.insert(
+        fingerprint.clone(),
+        Arc::clone(&result),
+        reuse,
+        refilter_ns,
+        epoch,
+    );
+    Some((*result).clone())
+}
+
+/// Reuse artifacts for a freshly computed result: only when the
+/// predicate normalizes exactly. An identity scan's result *is* its
+/// subset, so the `Arc` is shared instead of re-gathered.
+fn build_artifacts(
+    base: &Table,
+    query: &Query,
+    sel: Vec<u32>,
+    result: &Arc<Table>,
+) -> Option<ReuseArtifacts> {
+    let region = Region::exact(&query.predicate)?;
+    let is_identity_scan = query.aggregates.is_empty()
+        && query.projection.is_empty()
+        && query.order_by.is_none()
+        && query.limit.is_none();
+    let subset = if is_identity_scan {
+        Arc::clone(result)
+    } else {
+        Arc::new(base.gather(&sel))
+    };
+    Some(ReuseArtifacts {
+        region,
+        sel: Arc::new(sel),
+        subset,
+    })
+}

@@ -1,0 +1,705 @@
+//! The shared result store: entries, epochs, cost-aware eviction.
+//!
+//! One [`ResultCache`] is shared by every consumer in a session — the
+//! query path, the speculative prefetcher, the pan/zoom session, the
+//! AQP executor — behind a single mutex. Entries are tiny result tables
+//! (exploration answers are aggregates and top-k slices, not base
+//! data), so the critical sections are pointer moves; the heavy work
+//! (scans, re-filters) always happens outside the lock.
+//!
+//! # Eviction
+//!
+//! Admission and eviction are cost-aware, in the recycler tradition:
+//! an entry's *benefit* is `cost_ns × (hits + 1) / bytes` — measured
+//! compute cost it saves, scaled by observed popularity, per resident
+//! byte. Under byte-budget pressure the lowest-benefit entry goes
+//! first (ties: least recently touched). Oversized results are refused
+//! outright rather than allowed to flush the whole cache.
+//!
+//! # Epochs
+//!
+//! Correctness under mutation is an epoch protocol, not a dependency
+//! graph: every table has a monotonically increasing epoch counter and
+//! every entry is stamped with the epoch it was computed under. Any
+//! mutation bumps the epoch, eagerly purging the table's entries; a
+//! compute that raced with a mutation is refused at insert time
+//! (`epoch_at_compute` no longer current), and `get` re-checks the
+//! stamp so a stale row can never be served.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use explore_storage::{Column, Table};
+
+use crate::fingerprint::Fingerprint;
+use crate::region::Region;
+
+/// Tuning knobs for an enabled cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Resident-byte budget across all entries.
+    pub byte_budget: usize,
+    /// Serve subsumption hits (contained range queries re-filtered from
+    /// cached supersets). Exact hits are always served.
+    pub subsumption: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            byte_budget: 64 << 20,
+            subsumption: true,
+        }
+    }
+}
+
+/// Whether `ExploreDb` routes queries through the shared cache.
+/// `Off` (the default) leaves every execution path bit-identical to a
+/// cache-less build.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum CachePolicy {
+    #[default]
+    Off,
+    On(CacheConfig),
+}
+
+impl CachePolicy {
+    /// Enabled with default configuration.
+    pub fn on() -> Self {
+        CachePolicy::On(CacheConfig::default())
+    }
+
+    /// Is the cache enabled?
+    pub fn is_on(&self) -> bool {
+        matches!(self, CachePolicy::On(_))
+    }
+
+    /// The configuration when enabled.
+    pub fn config(&self) -> Option<&CacheConfig> {
+        match self {
+            CachePolicy::Off => None,
+            CachePolicy::On(c) => Some(c),
+        }
+    }
+}
+
+/// Point-in-time counters, snapshot via [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Exact fingerprint hits.
+    pub hits: u64,
+    /// Queries answered by re-filtering a cached superset.
+    pub subsumption_hits: u64,
+    /// Queries that had to run against base data.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries removed under byte pressure.
+    pub evictions: u64,
+    /// Entries removed because their table's epoch moved.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Resident bytes across live entries.
+    pub bytes: usize,
+    /// Estimated compute saved by hits (ns): full cost for exact hits,
+    /// cost minus the re-filter for subsumption hits.
+    pub saved_cost_ns: u128,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (exact + subsumption).
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.subsumption_hits;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+/// What a cache entry needs to serve *subsumption* hits, beyond the
+/// result itself: the exact region its predicate covers, the selection
+/// vector into the base table, and the gathered subset rows to
+/// re-filter. Entries without artifacts still serve exact hits.
+#[derive(Debug, Clone)]
+pub struct ReuseArtifacts {
+    /// Exact region of the cached predicate ([`Region::exact`]).
+    pub region: Region,
+    /// Qualifying base-table row ids, ascending.
+    pub sel: Arc<Vec<u32>>,
+    /// The qualifying rows, gathered (all base columns).
+    pub subset: Arc<Table>,
+}
+
+/// A cached superset eligible to answer the current query, returned by
+/// [`ResultCache::find_subsuming`].
+#[derive(Debug, Clone)]
+pub struct SubsumeCandidate {
+    /// Entry identity, for [`ResultCache::note_subsumption_hit`].
+    pub fingerprint: Fingerprint,
+    /// Base-table row ids of the cached superset.
+    pub sel: Arc<Vec<u32>>,
+    /// The superset rows to re-filter.
+    pub subset: Arc<Table>,
+    /// What the cached computation originally cost.
+    pub cost_ns: u128,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Table epoch this entry was computed under.
+    epoch: u64,
+    result: Arc<Table>,
+    region: Option<Region>,
+    sel: Option<Arc<Vec<u32>>>,
+    subset: Option<Arc<Table>>,
+    cost_ns: u128,
+    hits: u64,
+    bytes: usize,
+    /// Logical clock of the last touch (insert or hit).
+    stamp: u64,
+}
+
+impl Entry {
+    /// Benefit density: compute saved × popularity per resident byte.
+    fn benefit(&self) -> f64 {
+        self.cost_ns as f64 * (self.hits + 1) as f64 / self.bytes.max(1) as f64
+    }
+
+    fn candidate(&self, fp: &Fingerprint) -> Option<SubsumeCandidate> {
+        Some(SubsumeCandidate {
+            fingerprint: fp.clone(),
+            sel: Arc::clone(self.sel.as_ref()?),
+            subset: Arc::clone(self.subset.as_ref()?),
+            cost_ns: self.cost_ns,
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    config: CacheConfig,
+    entries: HashMap<Fingerprint, Entry>,
+    /// Per-table mutation counters; absent = epoch 0.
+    epochs: HashMap<String, u64>,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    subsumption_hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    invalidations: u64,
+    saved_cost_ns: u128,
+}
+
+impl Inner {
+    fn epoch_of(&self, table: &str) -> u64 {
+        self.epochs.get(table).copied().unwrap_or(0)
+    }
+
+    fn remove_entry(&mut self, fp: &Fingerprint) -> Option<Entry> {
+        let entry = self.entries.remove(fp)?;
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+
+    /// Evict lowest-benefit entries (ties: least recently touched)
+    /// until resident bytes fit the budget.
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.config.byte_budget && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    a.benefit()
+                        .total_cmp(&b.benefit())
+                        .then(a.stamp.cmp(&b.stamp))
+                })
+                .map(|(fp, _)| fp.clone())
+                .expect("entries is non-empty");
+            self.remove_entry(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Thread-safe semantic result cache shared across a session.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(CacheConfig::default())
+    }
+}
+
+impl ResultCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                config,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Replace the configuration; shrinking the budget evicts
+    /// immediately.
+    pub fn set_config(&self, config: CacheConfig) {
+        let mut inner = self.inner.lock();
+        inner.config = config;
+        inner.evict_to_budget();
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.inner.lock().config.clone()
+    }
+
+    /// Whether subsumption serving is enabled.
+    pub fn subsumption_enabled(&self) -> bool {
+        self.inner.lock().config.subsumption
+    }
+
+    /// Current epoch of a table (0 if never mutated).
+    pub fn epoch(&self, table: &str) -> u64 {
+        self.inner.lock().epoch_of(table)
+    }
+
+    /// Record a mutation of `table`: bump its epoch and eagerly purge
+    /// every entry computed against the previous epochs.
+    pub fn bump_epoch(&self, table: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        let epoch = inner.epoch_of(table) + 1;
+        inner.epochs.insert(table.to_owned(), epoch);
+        let stale: Vec<Fingerprint> = inner
+            .entries
+            .keys()
+            .filter(|fp| fp.table() == table)
+            .cloned()
+            .collect();
+        for fp in stale {
+            inner.remove_entry(&fp);
+            inner.invalidations += 1;
+        }
+        epoch
+    }
+
+    /// Exact lookup. A hit bumps the entry's popularity and the
+    /// saved-cost estimate; a stale entry (epoch moved) is purged and
+    /// treated as absent. Misses are *not* counted here — callers that
+    /// fall through to a compute path report via [`ResultCache::note_miss`].
+    pub fn get(&self, fp: &Fingerprint) -> Option<Arc<Table>> {
+        let mut inner = self.inner.lock();
+        let current = inner.epoch_of(fp.table());
+        if inner.entries.get(fp).is_some_and(|e| e.epoch != current) {
+            inner.remove_entry(fp);
+            inner.invalidations += 1;
+            return None;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let (result, cost_ns) = {
+            let entry = inner.entries.get_mut(fp)?;
+            entry.hits += 1;
+            entry.stamp = stamp;
+            (Arc::clone(&entry.result), entry.cost_ns)
+        };
+        inner.hits += 1;
+        inner.saved_cost_ns += cost_ns;
+        Some(result)
+    }
+
+    /// Would [`ResultCache::get`] hit? No counters are touched.
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .get(fp)
+            .is_some_and(|e| e.epoch == inner.epoch_of(fp.table()))
+    }
+
+    /// Find a current-epoch entry over `table` whose exact region
+    /// provably covers `query_region`. Among eligible supersets the
+    /// smallest (fewest subset rows, then least recently touched) wins —
+    /// it is the cheapest to re-filter.
+    pub fn find_subsuming(&self, table: &str, query_region: &Region) -> Option<SubsumeCandidate> {
+        let inner = self.inner.lock();
+        if !inner.config.subsumption {
+            return None;
+        }
+        let current = inner.epoch_of(table);
+        inner
+            .entries
+            .iter()
+            .filter(|(fp, e)| {
+                fp.table() == table
+                    && e.epoch == current
+                    && e.subset.is_some()
+                    && e.region
+                        .as_ref()
+                        .is_some_and(|region| region.covers(query_region))
+            })
+            .min_by_key(|(_, e)| {
+                (
+                    e.subset.as_ref().map_or(usize::MAX, |s| s.num_rows()),
+                    e.stamp,
+                )
+            })
+            .and_then(|(fp, e)| e.candidate(fp))
+    }
+
+    /// Credit a subsumption serve to its source entry. `saved_ns` is the
+    /// original compute cost minus what the re-filter actually took.
+    pub fn note_subsumption_hit(&self, fp: &Fingerprint, saved_ns: u128) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(entry) = inner.entries.get_mut(fp) {
+            entry.hits += 1;
+            entry.stamp = stamp;
+        }
+        inner.subsumption_hits += 1;
+        inner.saved_cost_ns += saved_ns;
+    }
+
+    /// Record a lookup that fell through to base-table execution.
+    pub fn note_miss(&self) {
+        self.inner.lock().misses += 1;
+    }
+
+    /// Admit a computed result. Refused (returns `false`) when the
+    /// table's epoch moved since `epoch_at_compute` (a mutation raced
+    /// the computation) or when the result alone exceeds half the byte
+    /// budget. Reuse artifacts whose subset exceeds a quarter of the
+    /// budget are dropped — the entry stays, exact-hit-only. Admission
+    /// may evict lower-benefit entries to fit.
+    pub fn insert(
+        &self,
+        fp: Fingerprint,
+        result: Arc<Table>,
+        reuse: Option<ReuseArtifacts>,
+        cost_ns: u128,
+        epoch_at_compute: u64,
+    ) -> bool {
+        let result_bytes = table_bytes(&result);
+        let reuse_bytes = reuse.as_ref().map(|r| {
+            r.sel.len() * std::mem::size_of::<u32>()
+                + if Arc::ptr_eq(&r.subset, &result) {
+                    0
+                } else {
+                    table_bytes(&r.subset)
+                }
+        });
+
+        let mut inner = self.inner.lock();
+        if inner.epoch_of(fp.table()) != epoch_at_compute {
+            return false;
+        }
+        let budget = inner.config.byte_budget;
+        if result_bytes > budget / 2 {
+            return false;
+        }
+        let (reuse, extra) = match (reuse, reuse_bytes) {
+            (Some(r), Some(b)) if b <= budget / 4 => (Some(r), b),
+            _ => (None, 0),
+        };
+        inner.remove_entry(&fp);
+        inner.clock += 1;
+        let entry = Entry {
+            epoch: epoch_at_compute,
+            result,
+            region: reuse.as_ref().map(|r| r.region.clone()),
+            sel: reuse.as_ref().map(|r| Arc::clone(&r.sel)),
+            subset: reuse.map(|r| r.subset),
+            cost_ns,
+            hits: 0,
+            bytes: result_bytes + extra,
+            stamp: inner.clock,
+        };
+        inner.bytes += entry.bytes;
+        inner.entries.insert(fp, entry);
+        inner.insertions += 1;
+        inner.evict_to_budget();
+        true
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            subsumption_hits: inner.subsumption_hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            saved_cost_ns: inner.saved_cost_ns,
+        }
+    }
+
+    /// Drop every entry (epochs and counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Resident size estimate of a table: raw vector payloads plus a fixed
+/// per-table overhead. Strings count their byte length plus the
+/// `String` header.
+pub fn table_bytes(table: &Table) -> usize {
+    let mut bytes = 64;
+    for field in table.schema().fields() {
+        let Ok(col) = table.column(field.name()) else {
+            continue;
+        };
+        bytes += match col {
+            Column::Int64(v) => v.len() * 8,
+            Column::Float64(v) => v.len() * 8,
+            Column::Utf8(v) => v.iter().map(|s| s.len() + 24).sum(),
+        };
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::{DataType, Predicate, Query, Schema};
+
+    fn tiny(vals: &[f64]) -> Arc<Table> {
+        Arc::new(
+            Table::new(
+                Schema::of(&[("x", DataType::Float64)]),
+                vec![Column::from(vals.to_vec())],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn fp(name: &str) -> Fingerprint {
+        Fingerprint::custom("t", name)
+    }
+
+    #[test]
+    fn insert_get_and_counters() {
+        let cache = ResultCache::default();
+        let result = tiny(&[1.0, 2.0]);
+        assert!(cache.insert(fp("a"), Arc::clone(&result), None, 1_000, 0));
+        let hit = cache.get(&fp("a")).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &result));
+        assert!(cache.get(&fp("b")).is_none());
+        cache.note_miss();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.saved_cost_ns, 1_000);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(cache.contains(&fp("a")));
+        assert!(!cache.contains(&fp("b")));
+    }
+
+    #[test]
+    fn epoch_bump_purges_and_blocks_stale_inserts() {
+        let cache = ResultCache::default();
+        assert!(cache.insert(fp("a"), tiny(&[1.0]), None, 10, 0));
+        assert_eq!(cache.epoch("t"), 0);
+        assert_eq!(cache.bump_epoch("t"), 1);
+        assert!(cache.get(&fp("a")).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // A compute that started before the bump is refused.
+        assert!(!cache.insert(fp("a"), tiny(&[1.0]), None, 10, 0));
+        // One stamped with the current epoch is admitted.
+        assert!(cache.insert(fp("a"), tiny(&[1.0]), None, 10, 1));
+        assert!(cache.get(&fp("a")).is_some());
+        // Other tables are untouched.
+        assert!(cache.insert(Fingerprint::custom("u", "x"), tiny(&[2.0]), None, 10, 0));
+        cache.bump_epoch("t");
+        assert!(cache.get(&Fingerprint::custom("u", "x")).is_some());
+    }
+
+    #[test]
+    fn eviction_removes_lowest_benefit_first() {
+        let budget = 3 * table_bytes(&tiny(&[0.0; 8]));
+        let cache = ResultCache::new(CacheConfig {
+            byte_budget: budget,
+            subsumption: true,
+        });
+        // Same size, different measured costs → "cheap" has the lowest
+        // benefit density.
+        assert!(cache.insert(fp("cheap"), tiny(&[0.0; 8]), None, 1, 0));
+        assert!(cache.insert(fp("mid"), tiny(&[0.0; 8]), None, 1_000, 0));
+        assert!(cache.insert(fp("dear"), tiny(&[0.0; 8]), None, 1_000_000, 0));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.insert(fp("new"), tiny(&[0.0; 8]), None, 500, 0));
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.contains(&fp("cheap")));
+        assert!(cache.contains(&fp("dear")));
+        assert_eq!(cache.stats().evictions, 1);
+        // A popular cheap entry out-benefits an unpopular pricier one.
+        for _ in 0..10_000 {
+            cache.get(&fp("new"));
+        }
+        assert!(cache.insert(fp("newer"), tiny(&[0.0; 8]), None, 2_000, 0));
+        assert!(cache.contains(&fp("new")));
+        assert!(!cache.contains(&fp("mid")));
+    }
+
+    #[test]
+    fn oversized_results_and_artifacts_are_gated() {
+        let small = table_bytes(&tiny(&[0.0; 4]));
+        let cache = ResultCache::new(CacheConfig {
+            byte_budget: small * 2 + 1,
+            subsumption: true,
+        });
+        // Result bigger than budget/2 is refused outright.
+        assert!(!cache.insert(fp("big"), tiny(&[0.0; 64]), None, 10, 0));
+        assert_eq!(cache.stats().insertions, 0);
+        // Oversized reuse artifacts are dropped, entry kept.
+        let result = tiny(&[1.0]);
+        let reuse = ReuseArtifacts {
+            region: Region::exact(&Predicate::True).unwrap(),
+            sel: Arc::new((0..many_rows() as u32).collect()),
+            subset: tiny(&vec![0.0; many_rows()]),
+        };
+        assert!(cache.insert(fp("kept"), Arc::clone(&result), Some(reuse), 10, 0));
+        assert!(cache.get(&fp("kept")).is_some());
+        assert!(cache
+            .find_subsuming("t", &Region::relaxed(&Predicate::True))
+            .is_none());
+    }
+
+    fn many_rows() -> usize {
+        1 << 12
+    }
+
+    #[test]
+    fn find_subsuming_prefers_smallest_current_superset() {
+        let cache = ResultCache::default();
+        let broad = Predicate::range("x", 0.0, 100.0);
+        let mid = Predicate::range("x", 0.0, 50.0);
+        let insert_with = |name: &str, pred: &Predicate, rows: usize| {
+            let subset = tiny(&vec![1.0; rows]);
+            let reuse = ReuseArtifacts {
+                region: Region::exact(pred).unwrap(),
+                sel: Arc::new((0..rows as u32).collect()),
+                subset,
+            };
+            assert!(cache.insert(fp(name), tiny(&[0.0]), Some(reuse), 10, 0));
+        };
+        insert_with("broad", &broad, 100);
+        insert_with("mid", &mid, 50);
+        let narrow = Region::relaxed(&Predicate::range("x", 10.0, 20.0));
+        let candidate = cache.find_subsuming("t", &narrow).expect("candidate");
+        assert_eq!(candidate.fingerprint, fp("mid"));
+        assert_eq!(candidate.subset.num_rows(), 50);
+        // Outside the mid region only broad qualifies.
+        let wider = Region::relaxed(&Predicate::range("x", 10.0, 80.0));
+        assert_eq!(
+            cache
+                .find_subsuming("t", &wider)
+                .expect("broad")
+                .fingerprint,
+            fp("broad")
+        );
+        // Nothing covers a region that sticks out of every entry.
+        let outside = Region::relaxed(&Predicate::range("x", 50.0, 150.0));
+        assert!(cache.find_subsuming("t", &outside).is_none());
+        // Epoch bump disqualifies everything.
+        cache.bump_epoch("t");
+        assert!(cache.find_subsuming("t", &narrow).is_none());
+        // Subsumption can be configured off.
+        let off = ResultCache::new(CacheConfig {
+            subsumption: false,
+            ..CacheConfig::default()
+        });
+        insert_into(&off, "broad", &broad);
+        assert!(off.find_subsuming("t", &narrow).is_none());
+        assert!(off.get(&fp("broad")).is_some());
+    }
+
+    fn insert_into(cache: &ResultCache, name: &str, pred: &Predicate) {
+        let reuse = ReuseArtifacts {
+            region: Region::exact(pred).unwrap(),
+            sel: Arc::new(vec![0]),
+            subset: tiny(&[1.0]),
+        };
+        assert!(cache.insert(fp(name), tiny(&[0.0]), Some(reuse), 10, 0));
+    }
+
+    #[test]
+    fn shared_subset_arc_is_not_double_counted() {
+        let cache = ResultCache::default();
+        let result = tiny(&[1.0, 2.0, 3.0]);
+        let reuse = ReuseArtifacts {
+            region: Region::exact(&Predicate::True).unwrap(),
+            sel: Arc::new(vec![0, 1, 2]),
+            subset: Arc::clone(&result),
+        };
+        assert!(cache.insert(fp("id"), Arc::clone(&result), Some(reuse), 10, 0));
+        let expected = table_bytes(&result) + 3 * std::mem::size_of::<u32>();
+        assert_eq!(cache.stats().bytes, expected);
+    }
+
+    #[test]
+    fn note_subsumption_hit_credits_source_entry() {
+        let cache = ResultCache::default();
+        insert_into(&cache, "src", &Predicate::range("x", 0.0, 10.0));
+        cache.note_subsumption_hit(&fp("src"), 123);
+        let stats = cache.stats();
+        assert_eq!(stats.subsumption_hits, 1);
+        assert_eq!(stats.saved_cost_ns, 123);
+    }
+
+    #[test]
+    fn clear_and_config_roundtrip() {
+        let cache = ResultCache::default();
+        assert!(cache.is_empty());
+        assert!(cache.insert(fp("a"), tiny(&[1.0]), None, 1, 0));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.subsumption_enabled());
+        cache.set_config(CacheConfig {
+            byte_budget: 123,
+            subsumption: false,
+        });
+        assert_eq!(cache.config().byte_budget, 123);
+        assert!(!cache.subsumption_enabled());
+        // Query canonicalization is visible through the public API.
+        let q = Query::new().filter(Predicate::range("x", 0.0, 1.0));
+        assert_eq!(
+            Fingerprint::for_query("t", &q),
+            Fingerprint::for_query("t", &q.clone())
+        );
+    }
+}

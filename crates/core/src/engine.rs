@@ -13,15 +13,20 @@
 //!   explore-by-example sessions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use explore_aqp::{
     Bound, BoundedAnswer, BoundedExecutor, OnlineAggregation, SynopsisAnswer, SynopsisStore,
 };
+use explore_cache::{CachePolicy, CacheStats, ResultCache};
 use explore_cracking::CrackerColumn;
 use explore_exec::ExecPolicy;
 use explore_loading::{AdaptiveLoader, RawCsv};
+use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
-use explore_storage::{AggFunc, Catalog, Predicate, Query, Result, StorageError, Table};
+use explore_storage::{
+    AggFunc, Catalog, DataType, Predicate, Query, Result, StorageError, Table, Value,
+};
 use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
 
 /// The unified exploration engine.
@@ -40,6 +45,13 @@ pub struct ExploreDb {
     /// morsel-parallel over all available cores. Both settings produce
     /// bit-identical results (see `explore_exec`).
     exec_policy: ExecPolicy,
+    /// The shared semantic result cache. Always allocated — it carries
+    /// the per-table epoch counters even while the policy is `Off`, so
+    /// flipping caching on later never resurrects pre-mutation entries.
+    result_cache: Arc<ResultCache>,
+    /// Whether [`ExploreDb::query`] routes through the cache. `Off` (the
+    /// default) is bit-identical to a cache-less engine.
+    cache_policy: CachePolicy,
 }
 
 impl ExploreDb {
@@ -66,9 +78,114 @@ impl ExploreDb {
         self.exec_policy
     }
 
-    /// Register an in-memory table.
+    /// A fresh engine with result caching enabled.
+    pub fn with_cache_policy(policy: CachePolicy) -> Self {
+        let mut db = ExploreDb::default();
+        db.set_cache_policy(policy);
+        db
+    }
+
+    /// Turn result caching on or off (and retune it). Turning it off
+    /// stops serving and admitting, but keeps epochs and entries — a
+    /// later `On` resumes with a warm cache, minus whatever mutations
+    /// invalidated meanwhile.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        if let Some(config) = policy.config() {
+            self.result_cache.set_config(config.clone());
+        }
+        self.cache_policy = policy;
+    }
+
+    /// The current cache policy.
+    pub fn cache_policy(&self) -> &CachePolicy {
+        &self.cache_policy
+    }
+
+    /// Snapshot of the shared cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.result_cache.stats()
+    }
+
+    /// Handle to the shared result cache, for wiring into middleware
+    /// sessions ([`SpeculativeExecutor::with_shared_cache`],
+    /// `PanSession::with_shared_cache`, `BoundedExecutor::with_cache`).
+    pub fn cache(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.result_cache)
+    }
+
+    /// Current mutation epoch of a table (0 until first mutated).
+    pub fn table_epoch(&self, table: &str) -> u64 {
+        self.result_cache.epoch(table)
+    }
+
+    /// Record that `table`'s data changed: bumps the cache epoch (so no
+    /// pre-mutation result is ever served again) and drops the table's
+    /// adaptive indexes, which mirror the old data. The mutation APIs
+    /// below call this automatically; callers that mutate through other
+    /// channels must call it themselves.
+    pub fn note_mutation(&mut self, table: &str) {
+        self.result_cache.bump_epoch(table);
+        self.crackers.retain(|(t, _), _| t != table);
+    }
+
+    /// Register an in-memory table. Re-registering an existing name is
+    /// a mutation: the old name's cache entries are invalidated.
     pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        if self.catalog.get(&name).is_ok() {
+            self.note_mutation(&name);
+        }
         self.catalog.register(name, table);
+    }
+
+    /// Append one row of dynamic values to an in-memory table.
+    pub fn push_row(&mut self, table: &str, values: Vec<Value>) -> Result<()> {
+        self.catalog.get_mut(table)?.push_row(values)?;
+        self.note_mutation(table);
+        Ok(())
+    }
+
+    /// Append all rows of `rows` (identical schema) to an in-memory
+    /// table.
+    pub fn append_rows(&mut self, table: &str, rows: &Table) -> Result<()> {
+        self.catalog.get_mut(table)?.append(rows)?;
+        self.note_mutation(table);
+        Ok(())
+    }
+
+    /// Set `column = value` on every row matching `predicate`; returns
+    /// how many rows changed. Type incompatibilities are rejected before
+    /// any write, so a failed update never leaves the table half-mutated.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        predicate: &Predicate,
+        column: &str,
+        value: Value,
+    ) -> Result<usize> {
+        let t = self.catalog.get_mut(table)?;
+        let sel = predicate.evaluate(t)?;
+        let expected = t.column(column)?.data_type();
+        let compatible = matches!(
+            (expected, &value),
+            (DataType::Int64, Value::Int(_))
+                | (DataType::Float64, Value::Float(_) | Value::Int(_))
+                | (DataType::Utf8, Value::Str(_))
+        );
+        if !compatible {
+            return Err(StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: expected.name(),
+                found: value.data_type().map_or("Null", DataType::name),
+            });
+        }
+        for &row in &sel {
+            t.set_cell(column, row as usize, value.clone())?;
+        }
+        if !sel.is_empty() {
+            self.note_mutation(table);
+        }
+        Ok(sel.len())
     }
 
     /// Attach a raw CSV file; queries against it run through the NoDB
@@ -90,12 +207,21 @@ impl ExploreDb {
         self.catalog.get(name)
     }
 
-    /// Run an exact query, routing to the right storage path.
+    /// Run an exact query, routing to the right storage path. With
+    /// caching on, in-memory tables are served through the semantic
+    /// result cache (exact and subsumption reuse); raw tables always go
+    /// through the adaptive loader, whose incremental load state is
+    /// itself the cache.
     pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
         if let Some(loader) = self.raw.get_mut(table) {
             return loader.query(query);
         }
-        explore_exec::run_query(self.catalog.get(table)?, query, self.exec_policy)
+        let base = self.catalog.get(table)?;
+        if self.cache_policy.is_on() {
+            explore_cache::cached_query(&self.result_cache, base, table, query, self.exec_policy)
+        } else {
+            explore_exec::run_query(base, query, self.exec_policy)
+        }
     }
 
     /// Progress of invisible loading for a raw table (columns loaded,
@@ -132,7 +258,16 @@ impl ExploreDb {
                 .insert(key.clone(), CrackerColumn::new(values));
         }
         let cracker = self.crackers.get_mut(&key).expect("just inserted");
-        Ok(cracker.query_ids(low, high).to_vec())
+        let pieces_before = cracker.num_pieces();
+        let ids = cracker.query_ids(low, high).to_vec();
+        // Cracking reorganizes the index copy, not the base table, so
+        // cached results stay byte-correct — but the ISSUE's protocol
+        // treats a reorganization as an epoch event, which keeps the
+        // cache conservative if cracking ever becomes in-place.
+        if cracker.num_pieces() != pieces_before {
+            self.result_cache.bump_epoch(table);
+        }
+        Ok(ids)
     }
 
     /// Pieces the adaptive index on (table, column) currently has —
@@ -174,9 +309,24 @@ impl ExploreDb {
                 "no sample catalog for {table}; call build_samples first"
             ))
         })?;
-        BoundedExecutor::new(t, samples)
-            .with_policy(self.exec_policy)
-            .aggregate(predicate, func, column, bound)
+        let mut ex = BoundedExecutor::new(t, samples).with_policy(self.exec_policy);
+        if self.cache_policy.is_on() {
+            ex = ex.with_cache(Arc::clone(&self.result_cache), table);
+        }
+        ex.aggregate(predicate, func, column, bound)
+    }
+
+    /// A speculative range-aggregate executor over `table`, prefetching
+    /// up to `budget` neighboring requests per call. With caching on it
+    /// shares the engine's result cache, so speculatively computed
+    /// aggregates are visible to [`ExploreDb::query`] and vice versa.
+    pub fn speculator(&self, table: &str, budget: usize) -> Result<SpeculativeExecutor<'_>> {
+        let t = self.catalog.get(table)?;
+        let mut ex = SpeculativeExecutor::new(t, budget);
+        if self.cache_policy.is_on() {
+            ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table);
+        }
+        Ok(ex)
     }
 
     /// Start an online aggregation whose confidence interval the caller
@@ -494,6 +644,139 @@ mod tests {
         let deck = db.propose_charts("sales", 5).unwrap();
         assert_eq!(deck.len(), 5);
         assert!(deck.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn cached_queries_are_bit_identical_and_counted() {
+        let mut plain = engine_with_sales(4_000);
+        let mut cached = ExploreDb::with_cache_policy(CachePolicy::on());
+        cached.register("sales", plain.table("sales").unwrap().clone());
+        let q = Query::new()
+            .filter(Predicate::range("price", 100.0, 600.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price");
+        let truth = plain.query("sales", &q).unwrap();
+        let cold = cached.query("sales", &q).unwrap();
+        let warm = cached.query("sales", &q).unwrap();
+        assert_eq!(truth, cold);
+        assert_eq!(truth, warm);
+        let stats = cached.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        // A contained range is served by subsumption, still bit-identical.
+        let narrow = Query::new()
+            .filter(Predicate::range("price", 200.0, 500.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price");
+        assert_eq!(
+            plain.query("sales", &narrow).unwrap(),
+            cached.query("sales", &narrow).unwrap()
+        );
+        assert_eq!(cached.cache_stats().subsumption_hits, 1);
+    }
+
+    #[test]
+    fn mutations_bump_epochs_and_invalidate() {
+        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 2_000,
+                ..SalesConfig::default()
+            }),
+        );
+        assert_eq!(db.table_epoch("sales"), 0);
+        let q = Query::new().agg(AggFunc::Sum, "qty");
+        let before = db.query("sales", &q).unwrap();
+        let row = db.table("sales").unwrap().row(0).unwrap();
+        db.push_row("sales", row).unwrap();
+        assert_eq!(db.table_epoch("sales"), 1);
+        let after = db.query("sales", &q).unwrap();
+        assert_ne!(before, after, "append must change SUM(qty)");
+        assert!(db.cache_stats().invalidations >= 1);
+
+        // update_where: type mismatch is rejected atomically, a real
+        // update lands and bumps the epoch.
+        assert!(db
+            .update_where("sales", &Predicate::True, "qty", Value::from("oops"))
+            .is_err());
+        assert_eq!(
+            db.table_epoch("sales"),
+            1,
+            "failed update is not a mutation"
+        );
+        let n = db
+            .update_where(
+                "sales",
+                &Predicate::cmp("qty", explore_storage::CmpOp::Ge, 0i64),
+                "qty",
+                Value::Int(1),
+            )
+            .unwrap();
+        assert!(n > 0);
+        assert_eq!(db.table_epoch("sales"), 2);
+        let uniform = db.query("sales", &q).unwrap();
+        let rows = db.table("sales").unwrap().num_rows() as i64;
+        assert_eq!(
+            uniform.column("sum(qty)").unwrap().as_f64().unwrap()[0],
+            rows as f64
+        );
+
+        // Matching zero rows mutates nothing.
+        let zero = db
+            .update_where(
+                "sales",
+                &Predicate::cmp("qty", explore_storage::CmpOp::Lt, -5i64),
+                "qty",
+                Value::Int(9),
+            )
+            .unwrap();
+        assert_eq!(zero, 0);
+        assert_eq!(db.table_epoch("sales"), 2);
+
+        // Re-registering a name invalidates it; appending a table bumps.
+        let copy = db.table("sales").unwrap().clone();
+        db.register("sales", copy.clone());
+        assert_eq!(db.table_epoch("sales"), 3);
+        db.append_rows("sales", &copy).unwrap();
+        assert_eq!(db.table_epoch("sales"), 4);
+        assert_eq!(db.table("sales").unwrap().num_rows(), 2 * copy.num_rows());
+    }
+
+    #[test]
+    fn cracking_reorganization_bumps_epoch() {
+        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 3_000,
+                ..SalesConfig::default()
+            }),
+        );
+        let e0 = db.table_epoch("sales");
+        db.cracked_range("sales", "qty", 3, 7).unwrap();
+        let e1 = db.table_epoch("sales");
+        assert!(e1 > e0, "first crack reorganizes");
+        // A repeated identical query adds no pieces, so no bump.
+        db.cracked_range("sales", "qty", 3, 7).unwrap();
+        assert_eq!(db.table_epoch("sales"), e1);
+        // Mutation drops the adaptive index entirely.
+        let row = db.table("sales").unwrap().row(0).unwrap();
+        db.push_row("sales", row).unwrap();
+        assert!(db.index_pieces("sales", "qty").is_none());
+    }
+
+    #[test]
+    fn cache_policy_off_keeps_epochs() {
+        let mut db = engine_with_sales(500);
+        assert!(!db.cache_policy().is_on());
+        let row = db.table("sales").unwrap().row(0).unwrap();
+        db.push_row("sales", row).unwrap();
+        assert_eq!(db.table_epoch("sales"), 1, "epochs advance even when Off");
+        db.set_cache_policy(CachePolicy::on());
+        assert!(db.cache_policy().is_on());
+        assert_eq!(db.table_epoch("sales"), 1);
     }
 
     #[test]

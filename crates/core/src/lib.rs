@@ -46,6 +46,7 @@ pub use taxonomy::{render_table1, table1, Cluster, Layer};
 // dependency for downstream users (the root `exploration` package and
 // the examples rely on this).
 pub use explore_aqp as aqp;
+pub use explore_cache as cache;
 pub use explore_cracking as cracking;
 pub use explore_cube as cube;
 pub use explore_diversify as diversify;

@@ -40,4 +40,6 @@ pub mod query;
 
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
-pub use query::{evaluate_selection, morsel_count, morsel_range, run_query};
+pub use query::{
+    evaluate_selection, morsel_count, morsel_range, run_query, run_query_on_selection,
+};

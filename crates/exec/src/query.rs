@@ -102,6 +102,65 @@ pub fn run_query(table: &Table, query: &Query, policy: ExecPolicy) -> Result<Tab
     }
 }
 
+/// Execute the post-filter part of `query` on a precomputed selection
+/// vector of **ascending global row ids**, preserving the base table's
+/// morsel decomposition: morsel `m` processes exactly the slice of
+/// `sel` falling inside its row window, and partials merge in morsel
+/// order, as in [`run_query`].
+///
+/// The payoff is bit-exactness: if `sel` is what `query.predicate`
+/// selects on `table`, the output is bit-identical to
+/// `run_query(table, query, policy)` — per-morsel float accumulation
+/// sees the same values in the same order, and empty slices merge as
+/// exact no-ops. The semantic result cache leans on this to answer a
+/// contained range query from a cached superset without perturbing a
+/// single ulp.
+pub fn run_query_on_selection(
+    table: &Table,
+    query: &Query,
+    sel: &[u32],
+    policy: ExecPolicy,
+) -> Result<Table> {
+    let n = table.num_rows();
+    let n_morsels = morsel_count(n);
+    // `sel` is ascending, so each morsel's share is one contiguous
+    // slice; cut at the same row offsets `run_query` scans at.
+    let bounds: Vec<usize> = (0..=n_morsels)
+        .map(|m| sel.partition_point(|&row| (row as usize) < m * MORSEL_ROWS))
+        .collect();
+    let slice = |m: usize| &sel[bounds[m]..bounds[m + 1]];
+
+    if query.aggregates.is_empty() {
+        let projected;
+        let target = if query.projection.is_empty() {
+            table
+        } else {
+            let names: Vec<&str> = query.projection.iter().map(String::as_str).collect();
+            projected = table.project(&names)?;
+            &projected
+        };
+        let pieces = run_morsels(policy, n_morsels, |m| Ok(target.gather(slice(m))))?;
+        let mut iter = pieces.into_iter();
+        let mut out = iter.next().expect("at least one morsel");
+        for piece in iter {
+            out.append(&piece)?;
+        }
+        query.apply_order_limit(out)
+    } else {
+        let partials = run_morsels(policy, n_morsels, |m| {
+            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+            state.update(slice(m));
+            Ok(state)
+        })?;
+        let mut iter = partials.into_iter();
+        let mut acc = iter.next().expect("at least one morsel");
+        for partial in iter {
+            acc.merge(partial);
+        }
+        query.apply_order_limit(acc.finish()?)
+    }
+}
+
 /// Run `f` once per morsel index under `policy` and collect the results
 /// in morsel order. Errors are resolved deterministically: the error of
 /// the lowest-indexed failing morsel wins under either policy.
@@ -169,8 +228,12 @@ mod tests {
         assert_eq!(a.num_rows(), b.num_rows());
         assert_eq!(a.schema(), b.schema());
         for field in a.schema().fields() {
-            let ca = a.column(field.name()).unwrap();
-            let cb = b.column(field.name()).unwrap();
+            let ca = a
+                .column(field.name())
+                .unwrap_or_else(|e| panic!("left table lost column {:?}: {e}", field.name()));
+            let cb = b
+                .column(field.name())
+                .unwrap_or_else(|e| panic!("right table lost column {:?}: {e}", field.name()));
             for row in 0..a.num_rows() {
                 match (ca.value(row).unwrap(), cb.value(row).unwrap()) {
                     (Value::Float(x), Value::Float(y)) => {
@@ -234,6 +297,57 @@ mod tests {
         // Same groups and counts as the single-accumulator reference.
         let reference = q.run(&t).unwrap();
         assert_eq!(serial.num_rows(), reference.num_rows());
+    }
+
+    #[test]
+    fn selection_replay_is_bit_identical_to_run_query() {
+        let t = table();
+        let shapes = [
+            Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+            Query::new()
+                .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+                .select(&["region", "price"])
+                .order("price", SortOrder::Desc)
+                .take(321),
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 800.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Var, "discount")
+                .order("sum(price)", SortOrder::Desc),
+            Query::new()
+                .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+                .agg(AggFunc::Avg, "price"),
+        ];
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            for q in &shapes {
+                let sel = evaluate_selection(&t, &q.predicate, policy).unwrap();
+                let direct = run_query(&t, q, policy).unwrap();
+                let replayed = run_query_on_selection(&t, q, &sel, policy).unwrap();
+                assert_tables_bitwise(&direct, &replayed);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_replay_policies_agree_on_arbitrary_subsets() {
+        // Not just predicate-produced selections: any ascending subset
+        // must agree across policies (the cache maps subset-local ids
+        // back to global ids before replaying).
+        let t = table();
+        let every_third: Vec<u32> = (0..t.num_rows() as u32).step_by(3).collect();
+        let q = Query::new()
+            .group("region")
+            .agg(AggFunc::Avg, "price")
+            .agg(AggFunc::Std, "discount");
+        let serial = run_query_on_selection(&t, &q, &every_third, ExecPolicy::Serial).unwrap();
+        let parallel =
+            run_query_on_selection(&t, &q, &every_third, ExecPolicy::Parallel { workers: 4 })
+                .unwrap();
+        assert_tables_bitwise(&serial, &parallel);
+        // Empty selection still yields the canonical aggregate shape.
+        let empty = run_query_on_selection(&t, &q, &[], ExecPolicy::Serial).unwrap();
+        assert_eq!(empty.num_rows(), 0);
     }
 
     #[test]

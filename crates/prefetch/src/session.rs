@@ -9,8 +9,35 @@
 //! misses into background work.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use explore_cache::{Fingerprint, ResultCache};
+use explore_storage::{Column, DataType, Schema, Table};
 
 use crate::grid::{CellAgg, GridIndex};
+
+/// Encode a cell aggregate as a one-row table, the shared cache's unit
+/// of storage.
+fn encode_cell(agg: CellAgg) -> Table {
+    Table::new(
+        Schema::of(&[("count", DataType::Int64), ("sum", DataType::Float64)]),
+        vec![
+            Column::from(vec![agg.count as i64]),
+            Column::from(vec![agg.sum]),
+        ],
+    )
+    .expect("static cell schema")
+}
+
+/// Decode [`encode_cell`]'s shape back; `None` on foreign entries.
+fn decode_cell(t: &Table) -> Option<CellAgg> {
+    let count = *t.column("count").ok()?.as_i64()?.first()?;
+    let sum = *t.column("sum").ok()?.as_f64()?.first()?;
+    Some(CellAgg {
+        count: count as u64,
+        sum,
+    })
+}
 
 /// A rectangular viewport in cell coordinates, `w × h` cells anchored at
 /// `(cx, cy)`.
@@ -64,11 +91,29 @@ impl PanStats {
     }
 }
 
+/// The engine-wide result cache a session can park its cells in, keyed
+/// under `table_name`'s epoch so mutations invalidate them with
+/// everything else.
+#[derive(Debug)]
+struct SharedCellCache {
+    cache: Arc<ResultCache>,
+    table_name: String,
+}
+
+impl SharedCellCache {
+    fn fingerprint(&self, cx: usize, cy: usize) -> Fingerprint {
+        Fingerprint::custom(&self.table_name, format!("cell|{cx}|{cy}"))
+    }
+}
+
 /// An interactive pan session over a grid.
 #[derive(Debug)]
 pub struct PanSession<'a> {
     grid: &'a GridIndex,
     cache: HashMap<(usize, usize), CellAgg>,
+    /// When set, cells live in the shared semantic result cache instead
+    /// of the private map.
+    shared: Option<SharedCellCache>,
     prefetch: bool,
     stats: PanStats,
     last: Option<Viewport>,
@@ -80,10 +125,22 @@ impl<'a> PanSession<'a> {
         PanSession {
             grid,
             cache: HashMap::new(),
+            shared: None,
             prefetch,
             stats: PanStats::default(),
             last: None,
         }
+    }
+
+    /// Park cell aggregates in the engine's shared result cache (under
+    /// `table_name`'s epoch) rather than this session's private map, so
+    /// they survive the session and obey the shared eviction policy.
+    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>, table_name: &str) -> Self {
+        self.shared = Some(SharedCellCache {
+            cache,
+            table_name: table_name.to_owned(),
+        });
+        self
     }
 
     /// Session statistics.
@@ -91,9 +148,66 @@ impl<'a> PanSession<'a> {
         self.stats
     }
 
-    /// Cached cells.
+    /// Cached cells (all shared-cache entries when one is wired).
     pub fn cached_cells(&self) -> usize {
-        self.cache.len()
+        match &self.shared {
+            Some(s) => s.cache.len(),
+            None => self.cache.len(),
+        }
+    }
+
+    /// Serve one cell: cache probe, then foreground fetch + admit.
+    fn cell(&mut self, cx: usize, cy: usize) -> CellAgg {
+        if let Some(s) = &self.shared {
+            let fp = s.fingerprint(cx, cy);
+            if let Some(agg) = s.cache.get(&fp).and_then(|t| decode_cell(&t)) {
+                self.stats.hits += 1;
+                return agg;
+            }
+            s.cache.note_miss();
+            let epoch = s.cache.epoch(&s.table_name);
+            let (agg, cost) = self.grid.fetch_cell(cx, cy);
+            self.stats.misses += 1;
+            self.stats.foreground_work += cost;
+            s.cache
+                .insert(fp, Arc::new(encode_cell(agg)), None, cost as u128, epoch);
+            agg
+        } else if let Some(&agg) = self.cache.get(&(cx, cy)) {
+            self.stats.hits += 1;
+            agg
+        } else {
+            let (agg, cost) = self.grid.fetch_cell(cx, cy);
+            self.stats.misses += 1;
+            self.stats.foreground_work += cost;
+            self.cache.insert((cx, cy), agg);
+            agg
+        }
+    }
+
+    /// True when a cell is already resident (prefetch can skip it).
+    fn is_cached(&self, cx: usize, cy: usize) -> bool {
+        match &self.shared {
+            Some(s) => s.cache.contains(&s.fingerprint(cx, cy)),
+            None => self.cache.contains_key(&(cx, cy)),
+        }
+    }
+
+    /// Background-fetch a cell during think time.
+    fn prefetch_cell(&mut self, cx: usize, cy: usize) {
+        let (agg, cost) = self.grid.fetch_cell(cx, cy);
+        self.stats.background_work += cost;
+        if let Some(s) = &self.shared {
+            let epoch = s.cache.epoch(&s.table_name);
+            s.cache.insert(
+                s.fingerprint(cx, cy),
+                Arc::new(encode_cell(agg)),
+                None,
+                cost as u128,
+                epoch,
+            );
+        } else {
+            self.cache.insert((cx, cy), agg);
+        }
     }
 
     /// The user moves the viewport here; returns the viewport's cell
@@ -102,16 +216,7 @@ impl<'a> PanSession<'a> {
     pub fn view(&mut self, vp: Viewport) -> Vec<CellAgg> {
         let mut out = Vec::new();
         for (cx, cy) in vp.cells(self.grid) {
-            if let Some(&agg) = self.cache.get(&(cx, cy)) {
-                self.stats.hits += 1;
-                out.push(agg);
-            } else {
-                let (agg, cost) = self.grid.fetch_cell(cx, cy);
-                self.stats.misses += 1;
-                self.stats.foreground_work += cost;
-                self.cache.insert((cx, cy), agg);
-                out.push(agg);
-            }
+            out.push(self.cell(cx, cy));
         }
         if self.prefetch {
             if let Some(prev) = self.last {
@@ -123,10 +228,8 @@ impl<'a> PanSession<'a> {
                     h: vp.h,
                 };
                 for (cx, cy) in predicted.cells(self.grid) {
-                    if !self.cache.contains_key(&(cx, cy)) {
-                        let (agg, cost) = self.grid.fetch_cell(cx, cy);
-                        self.stats.background_work += cost;
-                        self.cache.insert((cx, cy), agg);
+                    if !self.is_cached(cx, cy) {
+                        self.prefetch_cell(cx, cy);
                     }
                 }
             }
@@ -219,6 +322,45 @@ mod tests {
             h: 4,
         });
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_sessions_match_private_and_respect_epochs() {
+        let g = grid();
+        let shared = Arc::new(ResultCache::default());
+        let mut a = PanSession::new(&g, true).with_shared_cache(Arc::clone(&shared), "sky");
+        let mut b = PanSession::new(&g, true);
+        for i in 0..8 {
+            let vp = Viewport {
+                cx: i,
+                cy: 10,
+                w: 4,
+                h: 4,
+            };
+            assert_eq!(a.view(vp), b.view(vp));
+        }
+        assert!(a.stats().hits > 0);
+        assert!(!shared.is_empty());
+        // A second session over the same shared cache starts warm.
+        let mut c = PanSession::new(&g, false).with_shared_cache(Arc::clone(&shared), "sky");
+        c.view(Viewport {
+            cx: 0,
+            cy: 10,
+            w: 4,
+            h: 4,
+        });
+        assert_eq!(c.stats().misses, 0, "cells parked by the first session");
+        // An epoch bump (mutation) invalidates every parked cell.
+        shared.bump_epoch("sky");
+        let mut d = PanSession::new(&g, false).with_shared_cache(Arc::clone(&shared), "sky");
+        d.view(Viewport {
+            cx: 0,
+            cy: 10,
+            w: 4,
+            h: 4,
+        });
+        assert_eq!(d.stats().hits, 0, "stale cells are never served");
+        assert!(d.stats().misses > 0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! scheduling is speculative.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use explore_cache::{cached_query, Fingerprint, ResultCache};
+use explore_exec::ExecPolicy;
 use explore_storage::{AggFunc, Query, Result, Table};
 
 use parking_lot::Mutex;
@@ -82,12 +85,24 @@ impl SpeculationStats {
     }
 }
 
+/// The engine-wide semantic cache a speculator can share instead of its
+/// private map, so speculative work benefits every consumer of the
+/// [`ResultCache`] (and vice versa).
+#[derive(Debug)]
+struct SharedCache {
+    cache: Arc<ResultCache>,
+    table_name: String,
+}
+
 /// A query middleware that caches answers and speculatively executes
 /// neighbor queries after each foreground request.
 #[derive(Debug)]
 pub struct SpeculativeExecutor<'a> {
     table: &'a Table,
     cache: Mutex<HashMap<RangeRequest, f64>>,
+    /// When set, answers live in the shared semantic result cache
+    /// instead of the private map.
+    shared: Option<SharedCache>,
     /// Speculation budget per foreground query (0 disables).
     budget: usize,
     stats: Mutex<SpeculationStats>,
@@ -99,25 +114,64 @@ impl<'a> SpeculativeExecutor<'a> {
         SpeculativeExecutor {
             table,
             cache: Mutex::new(HashMap::new()),
+            shared: None,
             budget,
             stats: Mutex::new(SpeculationStats::default()),
+        }
+    }
+
+    /// Store answers in the engine's shared result cache (under
+    /// `table_name`'s epoch) rather than this session's private map.
+    /// Eviction and invalidation then follow the shared cache's policy.
+    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>, table_name: &str) -> Self {
+        self.shared = Some(SharedCache {
+            cache,
+            table_name: table_name.to_owned(),
+        });
+        self
+    }
+
+    /// True when a request's answer is already resident.
+    fn is_cached(&self, req: &RangeRequest) -> bool {
+        match &self.shared {
+            Some(s) => {
+                let fp = Fingerprint::for_query(&s.table_name, &req.to_query());
+                s.cache.contains(&fp)
+            }
+            None => self.cache.lock().contains_key(req),
         }
     }
 
     /// Execute a request (cache → compute), then speculate on its
     /// neighbors up to the budget.
     pub fn execute(&self, req: &RangeRequest) -> Result<f64> {
-        let cached = self.cache.lock().get(req).copied();
-        let answer = match cached {
-            Some(v) => {
-                self.stats.lock().hits += 1;
-                v
+        let answer = if self.shared.is_some() {
+            // `run` serves residents straight from the shared cache, so
+            // probe first only to attribute the hit/miss.
+            let hit = self.is_cached(req);
+            let v = self.run(req)?;
+            let mut stats = self.stats.lock();
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
             }
-            None => {
-                let v = self.run(req)?;
-                self.stats.lock().misses += 1;
-                self.cache.lock().insert(req.clone(), v);
-                v
+            v
+        } else {
+            // Bind before matching: a scrutinee temporary would hold the
+            // lock across the whole match, deadlocking the miss arm.
+            let cached = self.cache.lock().get(req).copied();
+            match cached {
+                Some(v) => {
+                    self.stats.lock().hits += 1;
+                    v
+                }
+                None => {
+                    let v = self.run(req)?;
+                    self.stats.lock().misses += 1;
+                    self.cache.lock().insert(req.clone(), v);
+                    v
+                }
             }
         };
         // Speculation phase ("user think time").
@@ -126,11 +180,13 @@ impl<'a> SpeculativeExecutor<'a> {
             if done >= self.budget {
                 break;
             }
-            if self.cache.lock().contains_key(&n) {
+            if self.is_cached(&n) {
                 continue;
             }
             let v = self.run(&n)?;
-            self.cache.lock().insert(n, v);
+            if self.shared.is_none() {
+                self.cache.lock().insert(n, v);
+            }
             self.stats.lock().speculative_runs += 1;
             done += 1;
         }
@@ -138,7 +194,19 @@ impl<'a> SpeculativeExecutor<'a> {
     }
 
     fn run(&self, req: &RangeRequest) -> Result<f64> {
-        let result = req.to_query().run(self.table)?;
+        let query = req.to_query();
+        let result = match &self.shared {
+            // The shared path serves hits, subsumption reuse and
+            // admission inside `cached_query`.
+            Some(s) => cached_query(
+                &s.cache,
+                self.table,
+                &s.table_name,
+                &query,
+                ExecPolicy::Serial,
+            )?,
+            None => query.run(self.table)?,
+        };
         let name = format!("{}({})", req.func, req.measure);
         Ok(result.column(&name)?.as_f64().expect("aggregate column")[0])
     }
@@ -148,9 +216,12 @@ impl<'a> SpeculativeExecutor<'a> {
         *self.stats.lock()
     }
 
-    /// Cached answers.
+    /// Cached answers (entries in the shared cache when one is wired).
     pub fn cached(&self) -> usize {
-        self.cache.lock().len()
+        match &self.shared {
+            Some(s) => s.cache.len(),
+            None => self.cache.lock().len(),
+        }
     }
 }
 
@@ -225,6 +296,35 @@ mod tests {
         let s = ex.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn shared_cache_mode_matches_private_and_is_engine_visible() {
+        let t = table();
+        let shared = Arc::new(ResultCache::default());
+        let spec = SpeculativeExecutor::new(&t, 4).with_shared_cache(Arc::clone(&shared), "sales");
+        let base = SpeculativeExecutor::new(&t, 4);
+        for step in 0..4 {
+            let r = req(1 + step * 2, 3 + step * 2);
+            assert_eq!(spec.execute(&r).unwrap(), base.execute(&r).unwrap());
+        }
+        let s = spec.stats();
+        assert!(s.hits >= 3, "speculated neighbors should hit: {s:?}");
+        assert!(spec.cached() > 0);
+        assert_eq!(spec.cached(), shared.len());
+        // The speculated answers are plain cached queries: an engine-level
+        // request for the same shape is a shared-cache hit.
+        let q = Query::new()
+            .filter(Predicate::range("qty", 1i64, 3i64))
+            .agg(AggFunc::Sum, "price");
+        let hits_before = shared.stats().hits;
+        cached_query(&shared, &t, "sales", &q, ExecPolicy::Serial).unwrap();
+        assert_eq!(shared.stats().hits, hits_before + 1);
+        // An epoch bump (mutation) empties the session's view of the cache.
+        shared.bump_epoch("sales");
+        let r = req(1, 3);
+        spec.execute(&r).unwrap();
+        assert_eq!(spec.stats().misses, s.misses + 1, "post-mutation refetch");
     }
 
     #[test]

@@ -131,6 +131,31 @@ impl Column {
         Ok(())
     }
 
+    /// Overwrite the value at `row` in place, with the same type rules
+    /// as [`Column::push`] (integer literals widen into float columns).
+    /// Backs in-place table updates, which the result cache observes
+    /// through its epoch protocol.
+    pub fn set(&mut self, row: usize, value: Value) -> Result<()> {
+        let len = self.len();
+        if row >= len {
+            return Err(StorageError::RowOutOfBounds { index: row, len });
+        }
+        match (self, value) {
+            (Column::Int64(v), Value::Int(x)) => v[row] = x,
+            (Column::Float64(v), Value::Float(x)) => v[row] = x,
+            (Column::Float64(v), Value::Int(x)) => v[row] = x as f64,
+            (Column::Utf8(v), Value::Str(x)) => v[row] = x,
+            (col, value) => {
+                return Err(StorageError::TypeMismatch {
+                    column: String::new(),
+                    expected: col.data_type().name(),
+                    found: value.data_type().map_or("Null", DataType::name),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Gather the rows named by `sel` (a selection vector of row ids)
     /// into a new column. Out-of-range ids are a logic error upstream
     /// and panic.

@@ -116,6 +116,20 @@ impl Table {
         Ok(())
     }
 
+    /// Overwrite one cell in place (same typing rules as
+    /// [`Column::set`]). The engine's `update_where` builds on this and
+    /// bumps the table's cache epoch afterwards.
+    pub fn set_cell(&mut self, column: &str, row: usize, value: Value) -> Result<()> {
+        if row >= self.rows {
+            return Err(StorageError::RowOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        let index = self.schema.index_of(column)?;
+        self.columns[index].set(row, value)
+    }
+
     /// Append all rows of another table with an identical schema.
     pub fn append(&mut self, other: &Table) -> Result<()> {
         if self.schema != other.schema {
@@ -241,6 +255,21 @@ mod tests {
         assert_eq!(t.num_rows(), 4);
         assert!(t.push_row(vec![Value::Int(4)]).is_err());
         assert!(t.row(99).is_err());
+    }
+
+    #[test]
+    fn set_cell_updates_in_place_with_type_checks() {
+        let mut t = sample();
+        t.set_cell("id", 1, Value::Int(42)).unwrap();
+        t.set_cell("name", 2, Value::from("z")).unwrap();
+        assert_eq!(
+            t.row(1).unwrap(),
+            vec![Value::Int(42), Value::Str("b".into())]
+        );
+        assert_eq!(t.row(2).unwrap()[1], Value::Str("z".into()));
+        assert!(t.set_cell("id", 1, Value::from("oops")).is_err());
+        assert!(t.set_cell("id", 99, Value::Int(1)).is_err());
+        assert!(t.set_cell("missing", 0, Value::Int(1)).is_err());
     }
 
     #[test]

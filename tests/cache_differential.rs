@@ -1,0 +1,324 @@
+//! Cache-on/off differential harness for the semantic result cache.
+//!
+//! Every query shape from the serial/parallel differential suite replays
+//! against a cache-enabled engine — cold (first touch) and warm (second
+//! touch, served from cache), under both execution policies — and must
+//! be **bit-identical** (floats via `to_bits`) to the cache-off engine.
+//! A separate battery drives contained range predicates through the
+//! subsumption path and pins those to the uncached answers too.
+
+use exploration::cache::{CacheConfig, CachePolicy};
+use exploration::exec::ExecPolicy;
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+};
+use exploration::ExploreDb;
+
+/// The two table scales of the parallel differential suite: several
+/// morsels with a ragged tail, and a sub-morsel degenerate.
+fn table_sizes() -> [usize; 2] {
+    [777, 2 * MORSEL_ROWS + 4321]
+}
+
+fn sales(rows: usize) -> Table {
+    sales_table(&SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    })
+}
+
+/// A budget large enough that this workload never evicts — the harness
+/// tests serve-path correctness; eviction policy is unit-tested in
+/// `explore-cache`.
+fn roomy_policy() -> CachePolicy {
+    CachePolicy::On(CacheConfig {
+        byte_budget: 1 << 30,
+        ..CacheConfig::default()
+    })
+}
+
+/// Assert two tables are identical down to the float bit patterns.
+fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.schema(), b.schema(), "{context}: schema");
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    for field in a.schema().fields() {
+        let ca = a.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: left table lost column {:?}: {e}", field.name())
+        });
+        let cb = b.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: right table lost column {:?}: {e}", field.name())
+        });
+        for row in 0..a.num_rows() {
+            let va = ca
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            let vb = cb
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: {}[{row}] {x} vs {y}",
+                    field.name()
+                ),
+                (x, y) => assert_eq!(x, y, "{context}: {}[{row}]", field.name()),
+            }
+        }
+    }
+}
+
+/// The twelve query shapes of `tests/parallel_differential.rs`.
+fn query_shapes() -> Vec<(&'static str, Query)> {
+    vec![
+        ("full_scan", Query::new()),
+        (
+            "filter_scan",
+            Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+        ),
+        (
+            "projection",
+            Query::new()
+                .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+                .select(&["region", "price"]),
+        ),
+        (
+            "order_limit",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 900.0))
+                .select(&["product", "price"])
+                .order("price", SortOrder::Desc)
+                .take(123),
+        ),
+        (
+            "global_aggregates",
+            Query::new()
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Min, "discount")
+                .agg(AggFunc::Max, "discount")
+                .agg(AggFunc::Var, "price")
+                .agg(AggFunc::Std, "price"),
+        ),
+        (
+            "filtered_global_aggregate",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel1"))
+                .agg(AggFunc::Avg, "price"),
+        ),
+        (
+            "group_by",
+            Query::new()
+                .group("region")
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "multi_column_group_by",
+            Query::new()
+                .group("region")
+                .group("channel")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Var, "discount"),
+        ),
+        (
+            "full_pipeline",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 800.0).and(Predicate::cmp(
+                    "qty",
+                    CmpOp::Ge,
+                    2.0,
+                )))
+                .group("product")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "qty")
+                .order("sum(price)", SortOrder::Desc)
+                .take(7),
+        ),
+        (
+            "compound_predicate",
+            Query::new().filter(
+                Predicate::eq("region", "region0")
+                    .or(Predicate::range("price", 0.0, 120.0))
+                    .and(Predicate::cmp("qty", CmpOp::Lt, 8.0).not()),
+            ),
+        ),
+        (
+            "empty_result_filter",
+            Query::new()
+                .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "string_predicate_scan",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel0"))
+                .select(&["channel", "qty"]),
+        ),
+    ]
+}
+
+/// Cold and warm cache passes equal the cache-off engine for every
+/// shape, at both table scales, under both execution policies.
+#[test]
+fn every_shape_is_bit_identical_with_cache_off_cold_and_warm() {
+    for rows in table_sizes() {
+        let t = sales(rows);
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            let mut off = ExploreDb::with_exec_policy(policy);
+            off.register("sales", t.clone());
+            let mut on = ExploreDb::with_exec_policy(policy);
+            on.set_cache_policy(roomy_policy());
+            on.register("sales", t.clone());
+
+            let shapes = query_shapes();
+            let baselines: Vec<Table> = shapes
+                .iter()
+                .map(|(name, q)| {
+                    off.query("sales", q)
+                        .unwrap_or_else(|e| panic!("{name} baseline: {e}"))
+                })
+                .collect();
+
+            for ((name, q), baseline) in shapes.iter().zip(&baselines) {
+                let cold = on
+                    .query("sales", q)
+                    .unwrap_or_else(|e| panic!("{name} cold: {e}"));
+                assert_bitwise_eq(
+                    baseline,
+                    &cold,
+                    &format!("{name} cold ({rows} rows, {policy:?})"),
+                );
+            }
+            let stats_cold = on.cache_stats();
+            assert_eq!(stats_cold.hits, 0, "cold pass must not hit");
+            assert!(
+                stats_cold.insertions > 0,
+                "cold pass populates the cache: {stats_cold:?}"
+            );
+
+            for ((name, q), baseline) in shapes.iter().zip(&baselines) {
+                let warm = on
+                    .query("sales", q)
+                    .unwrap_or_else(|e| panic!("{name} warm: {e}"));
+                assert_bitwise_eq(
+                    baseline,
+                    &warm,
+                    &format!("{name} warm ({rows} rows, {policy:?})"),
+                );
+            }
+            let stats_warm = on.cache_stats();
+            assert_eq!(
+                stats_warm.hits,
+                shapes.len() as u64,
+                "every warm query is an exact hit: {stats_warm:?}"
+            );
+        }
+    }
+}
+
+/// Subsumption serving: a narrow range answered from a cached broader
+/// range equals the uncached answer bit-for-bit, scans and aggregates
+/// alike, under both execution policies.
+#[test]
+fn subsumption_serves_are_bit_identical() {
+    let t = sales(2 * MORSEL_ROWS + 4321);
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+        let mut off = ExploreDb::with_exec_policy(policy);
+        off.register("sales", t.clone());
+        let mut on = ExploreDb::with_exec_policy(policy);
+        on.set_cache_policy(roomy_policy());
+        on.register("sales", t.clone());
+
+        // Broad seed: price in [50, 900).
+        let broad = Query::new().filter(Predicate::range("price", 50.0, 900.0));
+        assert_bitwise_eq(
+            &off.query("sales", &broad).unwrap(),
+            &on.query("sales", &broad).unwrap(),
+            "broad seed",
+        );
+
+        // Strictly contained shapes over the same column, escalating in
+        // narrowness; each may be served from a previously admitted
+        // superset.
+        let contained: Vec<(&str, Query)> = vec![
+            (
+                "narrow_scan",
+                Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+            ),
+            (
+                "narrower_agg",
+                Query::new()
+                    .filter(Predicate::range("price", 200.0, 400.0))
+                    .group("region")
+                    .agg(AggFunc::Sum, "price")
+                    .agg(AggFunc::Avg, "discount"),
+            ),
+            (
+                "multi_column_contained",
+                Query::new()
+                    .filter(Predicate::range("price", 120.0, 550.0).and(Predicate::cmp(
+                        "qty",
+                        CmpOp::Ge,
+                        3i64,
+                    )))
+                    .select(&["region", "price", "qty"]),
+            ),
+            (
+                "contained_order_limit",
+                Query::new()
+                    .filter(Predicate::range("price", 60.0, 880.0))
+                    .select(&["product", "price"])
+                    .order("price", SortOrder::Asc)
+                    .take(50),
+            ),
+        ];
+        for (name, q) in &contained {
+            let baseline = off.query("sales", q).unwrap();
+            let served = on.query("sales", q).unwrap();
+            assert_bitwise_eq(&baseline, &served, &format!("{name} ({policy:?})"));
+        }
+        let stats = on.cache_stats();
+        assert!(
+            stats.subsumption_hits >= 2,
+            "contained ranges should reuse cached supersets: {stats:?}"
+        );
+
+        // And the subsumption-admitted narrower results serve exactly on
+        // repeat.
+        for (name, q) in &contained {
+            let baseline = off.query("sales", q).unwrap();
+            let repeat = on.query("sales", q).unwrap();
+            assert_bitwise_eq(&baseline, &repeat, &format!("{name} repeat ({policy:?})"));
+        }
+    }
+}
+
+/// Flipping the policy off mid-session returns to the uncached path and
+/// stays bit-identical.
+#[test]
+fn toggling_cache_policy_preserves_results() {
+    let t = sales(20_000);
+    let mut off = ExploreDb::new();
+    off.register("sales", t.clone());
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", t);
+    let q = Query::new()
+        .filter(Predicate::range("price", 100.0, 700.0))
+        .group("region")
+        .agg(AggFunc::Avg, "price");
+    let baseline = off.query("sales", &q).unwrap();
+    assert_bitwise_eq(&baseline, &db.query("sales", &q).unwrap(), "on cold");
+    assert_bitwise_eq(&baseline, &db.query("sales", &q).unwrap(), "on warm");
+    db.set_cache_policy(CachePolicy::Off);
+    let hits_frozen = db.cache_stats().hits;
+    assert_bitwise_eq(&baseline, &db.query("sales", &q).unwrap(), "off again");
+    assert_eq!(
+        db.cache_stats().hits,
+        hits_frozen,
+        "Off must not serve from cache"
+    );
+}

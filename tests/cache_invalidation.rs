@@ -1,0 +1,266 @@
+//! Epoch-invalidation correctness for the semantic result cache.
+//!
+//! Every mutation channel — row append, bulk append, in-place update,
+//! table re-registration, adaptive-index reorganization — must bump the
+//! table's epoch, and a warm cache must never serve a pre-mutation
+//! result: after each mutation the cached engine's answers are compared
+//! bit-for-bit against a cache-less engine over the same mutated data.
+
+use exploration::cache::CachePolicy;
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{AggFunc, CmpOp, Predicate, Query, Table, Value};
+use exploration::ExploreDb;
+
+fn sales(rows: usize) -> Table {
+    sales_table(&SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    })
+}
+
+/// The probe workload: a scan, an aggregate, and a narrow range that
+/// exercises the subsumption path.
+fn probes() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "scan",
+            Query::new().filter(Predicate::range("price", 50.0, 900.0)),
+        ),
+        (
+            "aggregate",
+            Query::new()
+                .group("region")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Count, "qty"),
+        ),
+        (
+            "subsumed_range",
+            Query::new()
+                .filter(Predicate::range("price", 100.0, 600.0))
+                .agg(AggFunc::Sum, "qty"),
+        ),
+    ]
+}
+
+/// Assert bitwise equality (floats via `to_bits`).
+fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.schema(), b.schema(), "{context}: schema");
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    for field in a.schema().fields() {
+        let ca = a.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: left table lost column {:?}: {e}", field.name())
+        });
+        let cb = b.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: right table lost column {:?}: {e}", field.name())
+        });
+        for row in 0..a.num_rows() {
+            let va = ca
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            let vb = cb
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: {}[{row}] {x} vs {y}",
+                    field.name()
+                ),
+                (x, y) => assert_eq!(x, y, "{context}: {}[{row}]", field.name()),
+            }
+        }
+    }
+}
+
+/// Run the probe workload on the warm cached engine and pin every answer
+/// to an uncached engine over a snapshot of the same (mutated) table.
+fn assert_matches_uncached(db: &mut ExploreDb, context: &str) {
+    let snapshot = db.table("sales").unwrap().clone();
+    let mut fresh = ExploreDb::new();
+    fresh.register("sales", snapshot);
+    for (name, q) in probes() {
+        let cached = db
+            .query("sales", &q)
+            .unwrap_or_else(|e| panic!("{context}/{name}: {e}"));
+        let truth = fresh.query("sales", &q).unwrap();
+        assert_bitwise_eq(&truth, &cached, &format!("{context}/{name}"));
+    }
+}
+
+/// Warm the cache so a stale serve *would* be observable if epochs were
+/// broken.
+fn warm(db: &mut ExploreDb) {
+    for (_, q) in probes() {
+        db.query("sales", &q).unwrap();
+        db.query("sales", &q).unwrap();
+    }
+}
+
+#[test]
+fn push_row_invalidates_warm_entries() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(10_000));
+    warm(&mut db);
+    assert!(db.cache_stats().hits > 0, "warm-up should hit");
+    assert_eq!(db.table_epoch("sales"), 0);
+
+    // An extreme row that visibly shifts every probe.
+    db.push_row(
+        "sales",
+        vec![
+            Value::from("regionX"),
+            Value::from("productX"),
+            Value::from("channelX"),
+            Value::Float(500.0),
+            Value::Float(0.5),
+            Value::Int(1_000),
+        ],
+    )
+    .unwrap();
+    assert_eq!(db.table_epoch("sales"), 1);
+    assert!(db.cache_stats().invalidations > 0, "stale entries purged");
+    assert_matches_uncached(&mut db, "after push_row");
+}
+
+#[test]
+fn append_rows_invalidates_warm_entries() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(8_000));
+    warm(&mut db);
+    let extra = sales(1_000);
+    db.append_rows("sales", &extra).unwrap();
+    assert_eq!(db.table_epoch("sales"), 1);
+    assert_eq!(db.table("sales").unwrap().num_rows(), 9_000);
+    assert_matches_uncached(&mut db, "after append_rows");
+}
+
+#[test]
+fn update_where_invalidates_warm_entries() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(10_000));
+    warm(&mut db);
+    let sum_before = db
+        .query("sales", &Query::new().agg(AggFunc::Sum, "price"))
+        .unwrap();
+
+    let changed = db
+        .update_where(
+            "sales",
+            &Predicate::range("price", 100.0, 600.0),
+            "price",
+            Value::Float(50.0),
+        )
+        .unwrap();
+    assert!(changed > 0);
+    assert_eq!(db.table_epoch("sales"), 1);
+
+    let sum_after = db
+        .query("sales", &Query::new().agg(AggFunc::Sum, "price"))
+        .unwrap();
+    let before = sum_before.column("sum(price)").unwrap().as_f64().unwrap()[0];
+    let after = sum_after.column("sum(price)").unwrap().as_f64().unwrap()[0];
+    assert_ne!(
+        before.to_bits(),
+        after.to_bits(),
+        "update must be visible through the cache"
+    );
+    assert_matches_uncached(&mut db, "after update_where");
+
+    // A no-match update mutates nothing and keeps the (new) warm cache.
+    let zero = db
+        .update_where(
+            "sales",
+            &Predicate::cmp("price", CmpOp::Lt, -1.0),
+            "price",
+            Value::Float(0.0),
+        )
+        .unwrap();
+    assert_eq!(zero, 0);
+    assert_eq!(db.table_epoch("sales"), 1, "no rows matched, no epoch bump");
+}
+
+#[test]
+fn reregistering_a_table_invalidates_its_entries() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(6_000));
+    warm(&mut db);
+    // Replace the table wholesale with differently-seeded data.
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 6_000,
+            seed: 99,
+            ..SalesConfig::default()
+        }),
+    );
+    assert_eq!(db.table_epoch("sales"), 1);
+    assert_matches_uncached(&mut db, "after re-register");
+}
+
+#[test]
+fn cracking_reorganization_is_an_epoch_event() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(10_000));
+    warm(&mut db);
+    let e0 = db.table_epoch("sales");
+
+    // First crack reorganizes the index: conservative epoch bump.
+    db.cracked_range("sales", "qty", 3, 7).unwrap();
+    let e1 = db.table_epoch("sales");
+    assert!(e1 > e0, "reorganization bumps the epoch");
+
+    // Cracking never touches the base table, so answers still equal an
+    // uncached rerun (the bump is purely conservative).
+    assert_matches_uncached(&mut db, "after crack");
+
+    // A repeat of the same range adds no pieces and no epoch.
+    db.cracked_range("sales", "qty", 3, 7).unwrap();
+    assert_eq!(db.table_epoch("sales"), e1);
+}
+
+#[test]
+fn subsumption_never_serves_across_a_mutation() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", sales(10_000));
+
+    // Seed a broad scan whose artifacts could subsume later ranges.
+    let broad = Query::new().filter(Predicate::range("price", 0.0, 1000.0));
+    db.query("sales", &broad).unwrap();
+
+    // Mutate: every price shifts, so the old subset is wrong everywhere.
+    db.update_where("sales", &Predicate::True, "price", Value::Float(123.25))
+        .unwrap();
+
+    // A narrow range that the stale broad entry would have subsumed.
+    let narrow = Query::new().filter(Predicate::range("price", 100.0, 200.0));
+    let got = db.query("sales", &narrow).unwrap();
+    let mut fresh = ExploreDb::new();
+    fresh.register("sales", db.table("sales").unwrap().clone());
+    let truth = fresh.query("sales", &narrow).unwrap();
+    assert_bitwise_eq(&truth, &got, "narrow after mutation");
+    assert_eq!(got.num_rows(), 10_000, "every row now matches");
+    assert_eq!(
+        db.cache_stats().subsumption_hits,
+        0,
+        "stale superset must not serve"
+    );
+}
+
+#[test]
+fn epochs_are_per_table() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("a", sales(3_000));
+    db.register("b", sales(3_000));
+    let q = Query::new().agg(AggFunc::Sum, "price");
+    db.query("a", &q).unwrap();
+    db.query("b", &q).unwrap();
+    let row = db.table("a").unwrap().row(0).unwrap();
+    db.push_row("a", row).unwrap();
+    assert_eq!(db.table_epoch("a"), 1);
+    assert_eq!(db.table_epoch("b"), 0);
+    // b's entry survives a's mutation.
+    let hits_before = db.cache_stats().hits;
+    db.query("b", &q).unwrap();
+    assert_eq!(db.cache_stats().hits, hits_before + 1);
+}

@@ -1,0 +1,256 @@
+//! Property-based testing of the semantic result cache.
+//!
+//! Three properties:
+//!
+//! 1. **Session equivalence** — a random sequence of queries (range
+//!    scans and aggregates over shared, overlapping intervals, so
+//!    subsumption fires constantly) interleaved with random mutations
+//!    behaves identically on a cache-on engine and a cache-less engine:
+//!    bit-identical tables or the same error, at every step.
+//! 2. **Containment soundness** — whenever the region algebra claims a
+//!    cached predicate covers a query predicate, the query's selection
+//!    really is a subset of the cached selection. Bound values are drawn
+//!    from small pools so open/closed near-misses at equal endpoints are
+//!    generated constantly.
+//! 3. **Subsumption cross-check** — random contained ranges served warm
+//!    equal full cold scans.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use exploration::cache::{CachePolicy, Region};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{AggFunc, CmpOp, Predicate, Query, Table, Value};
+use exploration::ExploreDb;
+
+fn base_table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        sales_table(&SalesConfig {
+            rows: 6_000,
+            ..SalesConfig::default()
+        })
+    })
+}
+
+/// Compare two tables bit-for-bit (floats via `to_bits`).
+fn tables_bitwise_equal(a: &Table, b: &Table) -> bool {
+    if a.schema() != b.schema() || a.num_rows() != b.num_rows() {
+        return false;
+    }
+    a.schema().fields().iter().all(|field| {
+        let ca = a.column(field.name()).expect("schema-listed column");
+        let cb = b.column(field.name()).expect("schema-listed column");
+        (0..a.num_rows()).all(|row| {
+            match (
+                ca.value(row).expect("in-range row"),
+                cb.value(row).expect("in-range row"),
+            ) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                (x, y) => x == y,
+            }
+        })
+    })
+}
+
+/// Bound pools deliberately tiny: adjacent queries collide on endpoints,
+/// producing the open/closed containment near-misses that matter.
+const PRICE_BOUNDS: [f64; 6] = [0.0, 100.0, 250.0, 250.5, 600.0, 1000.0];
+const QTY_BOUNDS: [i64; 5] = [0, 2, 3, 5, 8];
+
+/// A range-ish predicate leaf over one column, with every comparison
+/// operator represented (Ne/Eq included: exact regions refuse Ne, and
+/// both sides must stay sound regardless).
+fn pred_leaf() -> BoxedStrategy<Predicate> {
+    let price_ops = (
+        prop::sample::select(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq]),
+        prop::sample::select(PRICE_BOUNDS.to_vec()),
+    )
+        .prop_map(|(op, v)| Predicate::cmp("price", op, v));
+    let price_range = (
+        prop::sample::select(PRICE_BOUNDS.to_vec()),
+        prop::sample::select(PRICE_BOUNDS.to_vec()),
+    )
+        .prop_map(|(a, b)| Predicate::range("price", a.min(b), a.max(b)));
+    let qty_ops = (
+        prop::sample::select(vec![
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ]),
+        prop::sample::select(QTY_BOUNDS.to_vec()),
+    )
+        .prop_map(|(op, v)| Predicate::cmp("qty", op, v));
+    let qty_range = (
+        prop::sample::select(QTY_BOUNDS.to_vec()),
+        prop::sample::select(QTY_BOUNDS.to_vec()),
+    )
+        .prop_map(|(a, b)| Predicate::range("qty", a.min(b), a.max(b)));
+    prop_oneof![price_ops, price_range, qty_ops, qty_range].boxed()
+}
+
+/// Conjunctions of up to three leaves — multi-column regions.
+fn pred_conj() -> BoxedStrategy<Predicate> {
+    prop::collection::vec(pred_leaf(), 1..4)
+        .prop_map(|mut leaves| {
+            let mut p = leaves.pop().expect("vec is non-empty");
+            for q in leaves {
+                p = p.and(q);
+            }
+            p
+        })
+        .boxed()
+}
+
+/// A query over a random predicate: scan or aggregate shape.
+fn query_of(pred: Predicate, shape: i64) -> Query {
+    match shape {
+        0 => Query::new().filter(pred),
+        1 => Query::new().filter(pred).select(&["region", "price"]),
+        2 => Query::new().filter(pred).agg(AggFunc::Sum, "price"),
+        _ => Query::new()
+            .filter(pred)
+            .group("region")
+            .agg(AggFunc::Count, "qty")
+            .agg(AggFunc::Avg, "price"),
+    }
+}
+
+/// One session step: a query, or a mutation.
+#[derive(Debug, Clone)]
+enum Step {
+    Query(Predicate, i64),
+    PushRow(i64),
+    Update(Predicate, f64),
+}
+
+fn step() -> BoxedStrategy<Step> {
+    prop_oneof![
+        8 => (pred_conj(), 0i64..4).prop_map(|(p, s)| Step::Query(p, s)),
+        1 => (0i64..2000).prop_map(Step::PushRow),
+        1 => (pred_conj(), prop::sample::select(PRICE_BOUNDS.to_vec()))
+            .prop_map(|(p, v)| Step::Update(p, v)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random query/mutation sessions: cache-on and cache-off engines
+    /// agree bit-for-bit (or error-for-error) at every step.
+    #[test]
+    fn random_sessions_agree_with_uncached_engine(
+        steps in prop::collection::vec(step(), 1..24),
+    ) {
+        let t = base_table().clone();
+        let mut cached = ExploreDb::with_cache_policy(CachePolicy::on());
+        cached.register("sales", t.clone());
+        let mut plain = ExploreDb::new();
+        plain.register("sales", t);
+
+        for (i, s) in steps.into_iter().enumerate() {
+            match s {
+                Step::Query(pred, shape) => {
+                    let q = query_of(pred, shape);
+                    match (cached.query("sales", &q), plain.query("sales", &q)) {
+                        (Ok(a), Ok(b)) => prop_assert!(
+                            tables_bitwise_equal(&a, &b),
+                            "step {i}: cached diverged on {q:?}"
+                        ),
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        (a, b) => prop_assert!(
+                            false,
+                            "step {i}: cached ok = {}, plain ok = {}",
+                            a.is_ok(),
+                            b.is_ok()
+                        ),
+                    }
+                }
+                Step::PushRow(qty) => {
+                    let row = vec![
+                        Value::from("regionX"),
+                        Value::from("productX"),
+                        Value::from("channelX"),
+                        Value::Float(qty as f64 / 2.0),
+                        Value::Float(0.25),
+                        Value::Int(qty),
+                    ];
+                    cached.push_row("sales", row.clone()).expect("valid row");
+                    plain.push_row("sales", row).expect("valid row");
+                }
+                Step::Update(pred, v) => {
+                    let a = cached
+                        .update_where("sales", &pred, "price", Value::Float(v))
+                        .expect("valid update");
+                    let b = plain
+                        .update_where("sales", &pred, "price", Value::Float(v))
+                        .expect("valid update");
+                    prop_assert_eq!(a, b, "step {}: update counts diverged", i);
+                }
+            }
+        }
+    }
+
+    /// Region containment is sound: `exact(cached) ⊇ relaxed(query)`
+    /// implies the query's matching rows are a subset of the cached
+    /// predicate's matching rows.
+    #[test]
+    fn claimed_containment_implies_row_subset(
+        cached_pred in pred_conj(),
+        query_pred in pred_conj(),
+    ) {
+        let Some(cached_region) = Region::exact(&cached_pred) else {
+            // No exact region — never offered for subsumption; nothing
+            // to check.
+            return Ok(());
+        };
+        let query_region = Region::relaxed(&query_pred);
+        if !cached_region.covers(&query_region) {
+            return Ok(());
+        }
+        let t = base_table();
+        let cached_sel = cached_pred.evaluate(t).expect("known columns");
+        let query_sel = query_pred.evaluate(t).expect("known columns");
+        let cached_set: std::collections::HashSet<u32> =
+            cached_sel.into_iter().collect();
+        for row in query_sel {
+            prop_assert!(
+                cached_set.contains(&row),
+                "row {row} matches {query_pred:?} but not the covering {cached_pred:?}"
+            );
+        }
+    }
+
+    /// Warm contained ranges equal cold full scans.
+    #[test]
+    fn contained_ranges_served_warm_equal_cold_scans(
+        lo in prop::sample::select(PRICE_BOUNDS.to_vec()),
+        hi in prop::sample::select(PRICE_BOUNDS.to_vec()),
+        shape in 0i64..4,
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let t = base_table().clone();
+        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        db.register("sales", t.clone());
+        // Seed the widest range, then query the contained one warm.
+        db.query(
+            "sales",
+            &Query::new().filter(Predicate::range("price", 0.0, 1000.0)),
+        )
+        .expect("seed scan");
+        let q = query_of(Predicate::range("price", lo, hi), shape);
+        let warm = db.query("sales", &q).expect("warm query");
+        let mut fresh = ExploreDb::new();
+        fresh.register("sales", t);
+        let cold = fresh.query("sales", &q).expect("cold query");
+        prop_assert!(
+            tables_bitwise_equal(&cold, &warm),
+            "warm serve diverged on price in [{lo}, {hi}) shape {shape}"
+        );
+    }
+}

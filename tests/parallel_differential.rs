@@ -42,10 +42,20 @@ fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
     assert_eq!(a.schema(), b.schema(), "{context}: schema");
     assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
     for field in a.schema().fields() {
-        let ca = a.column(field.name()).unwrap();
-        let cb = b.column(field.name()).unwrap();
+        let ca = a.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: left table lost column {:?}: {e}", field.name())
+        });
+        let cb = b.column(field.name()).unwrap_or_else(|e| {
+            panic!("{context}: right table lost column {:?}: {e}", field.name())
+        });
         for row in 0..a.num_rows() {
-            match (ca.value(row).unwrap(), cb.value(row).unwrap()) {
+            let va = ca
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            let vb = cb
+                .value(row)
+                .unwrap_or_else(|e| panic!("{context}: {}[{row}] unreadable: {e}", field.name()));
+            match (va, vb) {
                 (Value::Float(x), Value::Float(y)) => assert_eq!(
                     x.to_bits(),
                     y.to_bits(),
