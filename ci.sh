@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Local CI: exactly what .github/workflows/ci.yml runs.
 #
-#   ./ci.sh          # fmt check, clippy -D warnings, full test suite,
-#                    # engine-bench smoke emitting BENCH_engine.json
-#   ./ci.sh fast     # skip the bench smoke
+#   ./ci.sh          # fmt check, clippy -D warnings, docs, full test
+#                    # suite, bench smokes + regression gate against
+#                    # bench/baselines/
+#   ./ci.sh fast     # skip the bench smoke and gate
+#
+# Knobs: BENCH_SAMPLES (default 3), BENCH_GATE=warn to report
+# regressions without failing, BENCH_GATE_THRESHOLD (default 1.5).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,6 +16,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo test -q"
 cargo test -q --workspace
@@ -26,6 +33,14 @@ if [[ "${1:-}" != "fast" ]]; then
     BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_cache.json" \
         cargo bench -q -p explore-bench --bench cache
     echo "==> wrote $(wc -c < BENCH_cache.json) bytes of benchmark records"
+
+    echo "==> bench-check (engine vs bench/baselines)"
+    cargo run -q --release -p explore-bench --bin bench_gate -- \
+        BENCH_engine.json bench/baselines/BENCH_engine.json
+
+    echo "==> bench-check (cache vs bench/baselines)"
+    cargo run -q --release -p explore-bench --bin bench_gate -- \
+        BENCH_cache.json bench/baselines/BENCH_cache.json
 fi
 
 echo "==> CI green"

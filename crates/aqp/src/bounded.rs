@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use explore_cache::{predicate_key, Fingerprint, ResultCache};
 use explore_exec::{evaluate_selection, ExecPolicy};
+use explore_obs::MetricsRegistry;
 use explore_sampling::{SampleCatalog, UniformSample};
 use explore_storage::{
     Accumulator, AggFunc, Column, DataType, Predicate, Result, Schema, StorageError, Table,
@@ -107,6 +108,8 @@ pub struct BoundedExecutor<'a> {
     policy: ExecPolicy,
     /// Optional shared result cache and the base table's registered name.
     cache: Option<(Arc<ResultCache>, String)>,
+    /// Optional observability registry mirroring answer counters.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'a> BoundedExecutor<'a> {
@@ -119,6 +122,7 @@ impl<'a> BoundedExecutor<'a> {
             confidence_default: 0.95,
             policy: ExecPolicy::Serial,
             cache: None,
+            metrics: None,
         }
     }
 
@@ -140,10 +144,37 @@ impl<'a> BoundedExecutor<'a> {
         self
     }
 
+    /// Mirror answer counters (`aqp.answers`, `aqp.exact_fallbacks`) and
+    /// the `aqp.latency_ns` histogram into an observability registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Approximate `func(column)` over rows matching `predicate`,
     /// honouring the bound. Falls back to exact execution when no sample
     /// suffices (the BlinkDB semantics).
     pub fn aggregate(
+        &self,
+        predicate: &Predicate,
+        func: AggFunc,
+        column: &str,
+        bound: Bound,
+    ) -> Result<BoundedAnswer> {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let out = self.aggregate_dispatch(predicate, func, column, bound);
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.inc("aqp.answers", 1);
+            metrics.observe_ns("aqp.latency_ns", started.elapsed().as_nanos() as u64);
+            if matches!(&out, Ok(ans) if ans.exact) {
+                metrics.inc("aqp.exact_fallbacks", 1);
+            }
+        }
+        out
+    }
+
+    /// Route through the shared cache when one is wired.
+    fn aggregate_dispatch(
         &self,
         predicate: &Predicate,
         func: AggFunc,
@@ -532,6 +563,37 @@ mod tests {
             .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
             .unwrap();
         assert_eq!(shared.stats().hits, 1, "stale answer is never served");
+    }
+
+    #[test]
+    fn metrics_count_answers_and_exact_fallbacks() {
+        let (base, catalog) = setup();
+        let m = Arc::new(MetricsRegistry::default());
+        let ex = BoundedExecutor::new(&base, &catalog).with_metrics(Arc::clone(&m));
+        ex.aggregate(
+            &Predicate::True,
+            AggFunc::Avg,
+            "price",
+            Bound::RelativeError {
+                target: 0.10,
+                confidence: 0.95,
+            },
+        )
+        .unwrap();
+        ex.aggregate(
+            &Predicate::True,
+            AggFunc::Avg,
+            "price",
+            Bound::RelativeError {
+                target: 0.0,
+                confidence: 0.95,
+            },
+        )
+        .unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("aqp.answers"), 2);
+        assert_eq!(snap.counter("aqp.exact_fallbacks"), 1);
+        assert_eq!(snap.histogram("aqp.latency_ns").unwrap().count, 2);
     }
 
     #[test]

@@ -10,12 +10,14 @@ use explore_core::cracking::ConcurrentCracker;
 use explore_core::exec::{run_query, ExecPolicy};
 use explore_core::layout::{AccessOp, AdaptiveStore, StoreConfig};
 use explore_core::loading::{eager_load, AdaptiveLoader, ExternalScanner, RawCsv};
+use explore_core::obs::ObsPolicy;
 use explore_core::storage::csv::write_csv;
 use explore_core::storage::gen::{sales_table, uniform_i64, SalesConfig};
 use explore_core::storage::{AggFunc, Predicate, Query};
 use explore_core::viz::seedb::{
     candidate_views, recommend_naive, recommend_pruned, recommend_shared, SeedbStats,
 };
+use explore_core::ExploreDb;
 
 fn bench_e4_loading(c: &mut Criterion) {
     let t = sales_table(&SalesConfig {
@@ -232,6 +234,37 @@ fn bench_exec_parallel_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the same engine query with tracing off vs
+/// on. Off is the seed's instruction stream plus one relaxed atomic
+/// load per query, so it must sit within noise of earlier baselines;
+/// On records a full span tree per query and must stay within a few
+/// percent — tracing that costs real throughput never gets left
+/// enabled.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let t = sales_table(&SalesConfig {
+        rows: 200_000,
+        ..SalesConfig::default()
+    });
+    let q = Query::new()
+        .filter(Predicate::range("price", 50.0, 800.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Avg, "qty");
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("off", |b| {
+        let mut db = ExploreDb::new();
+        db.register("sales", t.clone());
+        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+    });
+    group.bench_function("on", |b| {
+        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        db.register("sales", t.clone());
+        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+    });
+    group.finish();
+}
+
 /// E17: data-series 1-NN by strategy, post-convergence.
 fn bench_e17_series(c: &mut Criterion) {
     use explore_core::series::{noisy_copy, random_walks, BuildMode, SeriesIndex};
@@ -279,6 +312,7 @@ criterion_group!(
     bench_e16_concurrency,
     bench_ablation_positional_map,
     bench_exec_parallel_scan,
+    bench_obs_overhead,
     bench_e17_series
 );
 criterion_main!(benches);

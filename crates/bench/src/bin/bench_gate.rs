@@ -1,0 +1,378 @@
+//! CI bench-regression gate: compare a fresh `BENCH_*.json` against a
+//! committed baseline and fail when a benchmark regressed.
+//!
+//! ```text
+//! bench_gate <fresh.json> <baseline.json>
+//! ```
+//!
+//! Rules, per baseline record (matched to the fresh run by `id`):
+//!
+//! * timing records (`unit == "ns"`): fail when `fresh.min_ns >
+//!   threshold × baseline.min_ns`. `min_ns` is the comparison metric
+//!   because a minimum over samples is the noise-robust statistic the
+//!   shim provides — means on shared CI runners drift with load.
+//! * value records (any other unit, e.g. `percent`): fail when the
+//!   fresh value dropped more than [`VALUE_DROP`] below the baseline
+//!   (hit rates and ratios regress by falling, not slowing).
+//! * a baseline id missing from the fresh run fails (a silently deleted
+//!   bench is a regression of coverage); fresh ids absent from the
+//!   baseline pass and are listed as new.
+//!
+//! Environment:
+//!
+//! * `BENCH_GATE=warn` — report regressions but exit 0 (for noisy
+//!   runners or intentional slowdowns awaiting a baseline refresh).
+//! * `BENCH_GATE_THRESHOLD` — timing ratio limit (default 1.5).
+//!
+//! The parser is hand-rolled for the flat record shape the vendored
+//! criterion shim writes; there is no serde in this workspace.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default timing-regression threshold: fresh min may be up to 1.5×
+/// the baseline min before the gate trips.
+const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// Maximum absolute drop tolerated for non-timing value records.
+const VALUE_DROP: f64 = 10.0;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    id: String,
+    min_ns: u128,
+    value: f64,
+    unit: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <fresh.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+    let threshold = std::env::var("BENCH_GATE_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 1.0)
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let warn_only = std::env::var("BENCH_GATE").is_ok_and(|v| v.eq_ignore_ascii_case("warn"));
+
+    let fresh = match load(fresh_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {fresh_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let verdicts = gate(&fresh, &baseline, threshold);
+    let mut failures = 0usize;
+    for v in &verdicts {
+        let tag = match v.outcome {
+            Outcome::Ok => "ok  ",
+            Outcome::New => "new ",
+            Outcome::Regressed | Outcome::Missing => {
+                failures += 1;
+                "FAIL"
+            }
+        };
+        println!("{tag}  {}", v.detail);
+    }
+    println!(
+        "bench_gate: {} baseline ids, {} fresh, {} failures (threshold {threshold}x{})",
+        baseline.len(),
+        fresh.len(),
+        failures,
+        if warn_only { ", warn-only" } else { "" }
+    );
+    if failures > 0 && !warn_only {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    New,
+    Regressed,
+    Missing,
+}
+
+#[derive(Debug)]
+struct Verdict {
+    outcome: Outcome,
+    detail: String,
+}
+
+/// Compare fresh records against the baseline; one verdict per id.
+fn gate(fresh: &[Record], baseline: &[Record], threshold: f64) -> Vec<Verdict> {
+    let fresh_by_id: BTreeMap<&str, &Record> = fresh.iter().map(|r| (r.id.as_str(), r)).collect();
+    let mut verdicts = Vec::with_capacity(baseline.len() + fresh.len());
+    for base in baseline {
+        let Some(now) = fresh_by_id.get(base.id.as_str()) else {
+            verdicts.push(Verdict {
+                outcome: Outcome::Missing,
+                detail: format!("{} — in baseline but missing from fresh run", base.id),
+            });
+            continue;
+        };
+        verdicts.push(judge(now, base, threshold));
+    }
+    let base_ids: BTreeMap<&str, ()> = baseline.iter().map(|r| (r.id.as_str(), ())).collect();
+    for now in fresh {
+        if !base_ids.contains_key(now.id.as_str()) {
+            verdicts.push(Verdict {
+                outcome: Outcome::New,
+                detail: format!("{} — no baseline yet", now.id),
+            });
+        }
+    }
+    verdicts
+}
+
+fn judge(now: &Record, base: &Record, threshold: f64) -> Verdict {
+    if base.unit == "ns" {
+        if base.min_ns == 0 {
+            return Verdict {
+                outcome: Outcome::Ok,
+                detail: format!("{} — baseline min 0 ns, skipped", base.id),
+            };
+        }
+        let ratio = now.min_ns as f64 / base.min_ns as f64;
+        let detail = format!(
+            "{} — min {} ns vs baseline {} ns ({ratio:.2}x)",
+            base.id, now.min_ns, base.min_ns
+        );
+        Verdict {
+            outcome: if ratio > threshold {
+                Outcome::Regressed
+            } else {
+                Outcome::Ok
+            },
+            detail,
+        }
+    } else {
+        let drop = base.value - now.value;
+        let detail = format!(
+            "{} — {} {} vs baseline {} (drop {drop:.1})",
+            base.id, now.value, base.unit, base.value
+        );
+        Verdict {
+            outcome: if drop > VALUE_DROP {
+                Outcome::Regressed
+            } else {
+                Outcome::Ok
+            },
+            detail,
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_records(&text)
+}
+
+/// Parse a JSON array of flat benchmark records. Tolerates pre-`value`
+/// records (older baselines): `unit` defaults to `"ns"` and `value` to
+/// `min_ns`.
+fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    for obj in split_objects(text)? {
+        let id = field_str(obj, "id").ok_or_else(|| format!("record without id: {obj}"))?;
+        let min_ns = field_raw(obj, "min_ns")
+            .and_then(|v| v.parse::<u128>().ok())
+            .ok_or_else(|| format!("record without min_ns: {obj}"))?;
+        let unit = field_str(obj, "unit").unwrap_or_else(|| "ns".to_owned());
+        let value = field_raw(obj, "value")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(min_ns as f64);
+        records.push(Record {
+            id,
+            min_ns,
+            value,
+            unit,
+        });
+    }
+    Ok(records)
+}
+
+/// Slice out each top-level `{...}` object, respecting string literals.
+fn split_objects(text: &str) -> Result<Vec<&str>, String> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                if depth == 0 {
+                    objects.push(&text[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err("truncated JSON".to_owned());
+    }
+    Ok(objects)
+}
+
+/// The raw token following `"key":` within a flat object, up to the
+/// next comma or closing brace (for numbers/bools).
+fn field_raw(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_owned())
+}
+
+/// A string field's unescaped value.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let raw = field_raw(obj, key)?;
+    let raw = raw.strip_prefix('"')?;
+    // Walk to the closing quote, honouring the two escapes the shim
+    // writes (`\"` and `\\`).
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "g/fast", "samples": 3, "min_ns": 1000, "mean_ns": 1100, "max_ns": 1200, "value": 1000, "unit": "ns"},
+  {"id": "stats/rate", "samples": 1, "min_ns": 0, "mean_ns": 0, "max_ns": 0, "value": 90.5, "unit": "percent"}
+]
+"#;
+
+    fn rec(id: &str, min_ns: u128) -> Record {
+        Record {
+            id: id.into(),
+            min_ns,
+            value: min_ns as f64,
+            unit: "ns".into(),
+        }
+    }
+
+    fn pct(id: &str, value: f64) -> Record {
+        Record {
+            id: id.into(),
+            min_ns: 0,
+            value,
+            unit: "percent".into(),
+        }
+    }
+
+    #[test]
+    fn parses_shim_output() {
+        let records = parse_records(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], rec("g/fast", 1000));
+        assert_eq!(records[1], pct("stats/rate", 90.5));
+    }
+
+    #[test]
+    fn parses_legacy_records_without_value_unit() {
+        let legacy =
+            r#"[{"id": "old/bench", "samples": 3, "min_ns": 42, "mean_ns": 50, "max_ns": 60}]"#;
+        let records = parse_records(legacy).unwrap();
+        assert_eq!(records[0], rec("old/bench", 42));
+    }
+
+    #[test]
+    fn escaped_ids_round_trip() {
+        let text = r#"[{"id": "quo\"te\\slash", "min_ns": 7}]"#;
+        let records = parse_records(text).unwrap();
+        assert_eq!(records[0].id, "quo\"te\\slash");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        assert!(parse_records(r#"[{"id": "x", "min_ns": 1"#).is_err());
+        assert!(parse_records(r#"[{"min_ns": 1}]"#).is_err());
+    }
+
+    #[test]
+    fn timing_regressions_trip_at_threshold() {
+        let base = vec![rec("a", 1000)];
+        let ok = gate(&[rec("a", 1499)], &base, 1.5);
+        assert_eq!(ok[0].outcome, Outcome::Ok);
+        let bad = gate(&[rec("a", 1501)], &base, 1.5);
+        assert_eq!(bad[0].outcome, Outcome::Regressed);
+    }
+
+    #[test]
+    fn value_records_gate_on_absolute_drop() {
+        let base = vec![pct("r", 95.0)];
+        assert_eq!(gate(&[pct("r", 86.0)], &base, 1.5)[0].outcome, Outcome::Ok);
+        assert_eq!(
+            gate(&[pct("r", 80.0)], &base, 1.5)[0].outcome,
+            Outcome::Regressed
+        );
+        // Improvements never trip.
+        assert_eq!(gate(&[pct("r", 100.0)], &base, 1.5)[0].outcome, Outcome::Ok);
+    }
+
+    #[test]
+    fn missing_baseline_id_fails_and_new_ids_pass() {
+        let base = vec![rec("kept", 100), rec("deleted", 100)];
+        let fresh = vec![rec("kept", 100), rec("brand_new", 100)];
+        let verdicts = gate(&fresh, &base, 1.5);
+        let of = |id: &str| {
+            verdicts
+                .iter()
+                .find(|v| v.detail.starts_with(id))
+                .unwrap()
+                .outcome
+        };
+        assert_eq!(of("kept"), Outcome::Ok);
+        assert_eq!(of("deleted"), Outcome::Missing);
+        assert_eq!(of("brand_new"), Outcome::New);
+    }
+
+    #[test]
+    fn zero_baseline_min_is_skipped_not_divided() {
+        let base = vec![rec("z", 0)];
+        assert_eq!(gate(&[rec("z", 999)], &base, 1.5)[0].outcome, Outcome::Ok);
+    }
+}

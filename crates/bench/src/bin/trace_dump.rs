@@ -1,0 +1,61 @@
+//! Dump a representative set of query traces and the metrics snapshot.
+//!
+//! CI runs this when a job fails and uploads the output as an artifact,
+//! so a red build ships the engine's own account of where query time
+//! went (cold scans, cache serves, subsumption re-filters, cracking
+//! steps) alongside the test log. It is also a handy local smoke:
+//!
+//! ```text
+//! cargo run -p explore-bench --bin trace_dump
+//! ```
+
+use explore_core::cache::{CacheConfig, CachePolicy};
+use explore_core::exec::ExecPolicy;
+use explore_core::obs::{render_trace, ObsPolicy};
+use explore_core::storage::gen::{sales_table, SalesConfig};
+use explore_core::storage::{AggFunc, Predicate, Query};
+use explore_core::ExploreDb;
+
+fn main() {
+    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    db.set_cache_policy(CachePolicy::On(CacheConfig::default()));
+    db.set_exec_policy(ExecPolicy::Parallel { workers: 2 });
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 50_000,
+            ..SalesConfig::default()
+        }),
+    );
+
+    let grouped = Query::new()
+        .filter(Predicate::range("price", 100.0, 700.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price");
+    let contained = Query::new()
+        .filter(Predicate::range("price", 200.0, 600.0))
+        .agg(AggFunc::Avg, "price");
+    let global = Query::new()
+        .agg(AggFunc::Count, "qty")
+        .agg(AggFunc::Avg, "discount");
+
+    // Cold pass (misses + admissions), warm repeat (exact hits), and a
+    // contained range (subsumption serve off the grouped query's
+    // superset selection).
+    for q in [&grouped, &global, &grouped, &global, &contained] {
+        db.query("sales", q).expect("workload query");
+    }
+    // An adaptive-index path so crack spans show up too.
+    db.cracked_range("sales", "qty", 2, 7).expect("crack");
+    db.cracked_range("sales", "qty", 3, 6).expect("crack");
+
+    println!("=== recent traces (oldest first) ===\n");
+    for trace in db.recent_traces() {
+        println!("{}", render_trace(&trace));
+    }
+    println!("=== metrics ===\n");
+    print!("{}", db.metrics_snapshot());
+
+    println!("\n=== explain: warm grouped query ===\n");
+    println!("{}", db.explain("sales", &grouped).expect("explain"));
+}

@@ -13,7 +13,8 @@
 //!    (not some residual predicate — no predicate algebra to get wrong),
 //! 2. subset-local matches are mapped through the entry's stored
 //!    selection vector back to **global** base-table row ids,
-//! 3. the query replays via [`run_query_on_selection`], which partitions
+//! 3. the query replays via [`explore_exec::run_query_on_selection`],
+//!    which partitions
 //!    that global selection at the *base table's* morsel boundaries —
 //!    so gathers and float accumulators see the same values in the same
 //!    order as a base-table scan.
@@ -24,7 +25,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use explore_exec::{evaluate_selection, run_query_on_selection, ExecPolicy};
+use explore_exec::{evaluate_selection_traced, run_query_on_selection_traced, ExecPolicy};
+use explore_obs::{ActiveTrace, CacheOutcome, SpanKind, ROOT_SPAN};
 use explore_storage::{Query, Result, Table};
 
 use crate::fingerprint::Fingerprint;
@@ -40,19 +42,45 @@ pub fn cached_query(
     query: &Query,
     policy: ExecPolicy,
 ) -> Result<Table> {
+    cached_query_traced(cache, base, table_name, query, policy, None)
+}
+
+/// [`cached_query`] with optional span recording: one cache-lookup span
+/// tagged with the outcome (hit / subsumption / miss), an admit span
+/// when a result is offered to the cache, and the usual exec spans for
+/// whatever actually ran. Tracing never changes what is served.
+pub fn cached_query_traced(
+    cache: &ResultCache,
+    base: &Table,
+    table_name: &str,
+    query: &Query,
+    policy: ExecPolicy,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let fingerprint = Fingerprint::for_query(table_name, query);
     let epoch = cache.epoch(table_name);
 
+    let lookup_start = trace.map(|t| t.now_ns());
     if let Some(hit) = cache.get(&fingerprint) {
+        record_lookup(trace, lookup_start, CacheOutcome::Hit);
         return Ok((*hit).clone());
     }
 
-    if let Some(served) =
-        try_subsumption(cache, base, table_name, query, policy, &fingerprint, epoch)
-    {
+    if let Some(served) = try_subsumption(
+        cache,
+        base,
+        table_name,
+        query,
+        policy,
+        &fingerprint,
+        epoch,
+        trace,
+        lookup_start,
+    ) {
         return Ok(served);
     }
 
+    record_lookup(trace, lookup_start, CacheOutcome::Miss);
     cache.note_miss();
 
     // Mirror `run_query`'s error precedence: scan queries validate the
@@ -63,19 +91,36 @@ pub fn cached_query(
     }
 
     let started = Instant::now();
-    let sel = evaluate_selection(base, &query.predicate, policy)?;
-    let result = run_query_on_selection(base, query, &sel, policy)?;
+    let sel = evaluate_selection_traced(base, &query.predicate, policy, trace)?;
+    let result = run_query_on_selection_traced(base, query, &sel, policy, trace)?;
     let cost_ns = started.elapsed().as_nanos();
 
     let result = Arc::new(result);
     let reuse = build_artifacts(base, query, sel, &result);
-    cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch);
+    let admit_start = trace.map(|t| t.now_ns());
+    let accepted = cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch);
+    record_admit(trace, admit_start, accepted);
     Ok((*result).clone())
+}
+
+/// Record the cache-lookup span once its outcome is known.
+fn record_lookup(trace: Option<&ActiveTrace>, start: Option<u64>, outcome: CacheOutcome) {
+    if let Some((t, start)) = trace.zip(start) {
+        t.record(ROOT_SPAN, SpanKind::CacheLookup(outcome), start, t.now_ns());
+    }
+}
+
+/// Record the admission span around a [`ResultCache::insert`] offer.
+fn record_admit(trace: Option<&ActiveTrace>, start: Option<u64>, accepted: bool) {
+    if let Some((t, start)) = trace.zip(start) {
+        t.record(ROOT_SPAN, SpanKind::Admit { accepted }, start, t.now_ns());
+    }
 }
 
 /// Attempt to answer from a cached superset. `None` means "no sound
 /// candidate" *or* "serving failed" — either way the caller falls back
 /// to base-table execution.
+#[allow(clippy::too_many_arguments)]
 fn try_subsumption(
     cache: &ResultCache,
     base: &Table,
@@ -84,12 +129,17 @@ fn try_subsumption(
     policy: ExecPolicy,
     fingerprint: &Fingerprint,
     epoch: u64,
+    trace: Option<&ActiveTrace>,
+    lookup_start: Option<u64>,
 ) -> Option<Table> {
     if !cache.subsumption_enabled() {
         return None;
     }
     let query_region = Region::relaxed(&query.predicate);
     let candidate = cache.find_subsuming(table_name, &query_region)?;
+    // The probe found a superset: the lookup span closes here, before
+    // the re-filter work (which records its own exec spans).
+    record_lookup(trace, lookup_start, CacheOutcome::Subsumption);
     let SubsumeCandidate {
         fingerprint: source,
         sel,
@@ -101,9 +151,9 @@ fn try_subsumption(
     // Re-evaluate the full predicate on the (smaller) cached subset;
     // region soundness guarantees no qualifying base row lives outside
     // it. Errors fall through to the canonical miss path.
-    let local = evaluate_selection(&subset, &query.predicate, policy).ok()?;
+    let local = evaluate_selection_traced(&subset, &query.predicate, policy, trace).ok()?;
     let global: Vec<u32> = local.iter().map(|&i| sel[i as usize]).collect();
-    let result = run_query_on_selection(base, query, &global, policy).ok()?;
+    let result = run_query_on_selection_traced(base, query, &global, policy, trace).ok()?;
     let refilter_ns = started.elapsed().as_nanos();
 
     cache.note_subsumption_hit(&source, cost_ns.saturating_sub(refilter_ns));
@@ -117,13 +167,15 @@ fn try_subsumption(
         sel: Arc::new(global),
         subset: Arc::new(subset.gather(&local)),
     });
-    cache.insert(
+    let admit_start = trace.map(|t| t.now_ns());
+    let accepted = cache.insert(
         fingerprint.clone(),
         Arc::clone(&result),
         reuse,
         refilter_ns,
         epoch,
     );
+    record_admit(trace, admit_start, accepted);
     Some((*result).clone())
 }
 

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use explore_obs::MetricsRegistry;
 use explore_storage::{Column, Table};
 
 use crate::fingerprint::Fingerprint;
@@ -196,11 +197,22 @@ struct Inner {
     evictions: u64,
     invalidations: u64,
     saved_cost_ns: u128,
+    /// Mirror of the counters into an observability registry, when one
+    /// is attached via [`ResultCache::set_metrics`].
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Inner {
     fn epoch_of(&self, table: &str) -> u64 {
         self.epochs.get(table).copied().unwrap_or(0)
+    }
+
+    /// Bump an attached registry counter; no-op (one `Option` check)
+    /// when observability is off.
+    fn bump(&self, name: &str) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc(name, 1);
+        }
     }
 
     fn remove_entry(&mut self, fp: &Fingerprint) -> Option<Entry> {
@@ -225,6 +237,7 @@ impl Inner {
                 .expect("entries is non-empty");
             self.remove_entry(&victim);
             self.evictions += 1;
+            self.bump("cache.evictions");
         }
     }
 }
@@ -272,6 +285,16 @@ impl ResultCache {
         self.inner.lock().config.clone()
     }
 
+    /// Attach (or detach, with `None`) an observability registry. While
+    /// attached, every counter bump is mirrored into `cache.*` metrics
+    /// (`cache.hits`, `cache.misses`, `cache.subsumption_hits`,
+    /// `cache.insertions`, `cache.evictions`, `cache.invalidations`).
+    /// Stats themselves are unchanged — the registry is a mirror, not a
+    /// replacement.
+    pub fn set_metrics(&self, metrics: Option<Arc<MetricsRegistry>>) {
+        self.inner.lock().metrics = metrics;
+    }
+
     /// Whether subsumption serving is enabled.
     pub fn subsumption_enabled(&self) -> bool {
         self.inner.lock().config.subsumption
@@ -297,6 +320,7 @@ impl ResultCache {
         for fp in stale {
             inner.remove_entry(&fp);
             inner.invalidations += 1;
+            inner.bump("cache.invalidations");
         }
         epoch
     }
@@ -311,6 +335,7 @@ impl ResultCache {
         if inner.entries.get(fp).is_some_and(|e| e.epoch != current) {
             inner.remove_entry(fp);
             inner.invalidations += 1;
+            inner.bump("cache.invalidations");
             return None;
         }
         inner.clock += 1;
@@ -323,6 +348,7 @@ impl ResultCache {
         };
         inner.hits += 1;
         inner.saved_cost_ns += cost_ns;
+        inner.bump("cache.hits");
         Some(result)
     }
 
@@ -377,11 +403,14 @@ impl ResultCache {
         }
         inner.subsumption_hits += 1;
         inner.saved_cost_ns += saved_ns;
+        inner.bump("cache.subsumption_hits");
     }
 
     /// Record a lookup that fell through to base-table execution.
     pub fn note_miss(&self) {
-        self.inner.lock().misses += 1;
+        let mut inner = self.inner.lock();
+        inner.misses += 1;
+        inner.bump("cache.misses");
     }
 
     /// Admit a computed result. Refused (returns `false`) when the
@@ -436,6 +465,7 @@ impl ResultCache {
         inner.bytes += entry.bytes;
         inner.entries.insert(fp, entry);
         inner.insertions += 1;
+        inner.bump("cache.insertions");
         inner.evict_to_budget();
         true
     }

@@ -22,6 +22,9 @@ use explore_cache::{CachePolicy, CacheStats, ResultCache};
 use explore_cracking::CrackerColumn;
 use explore_exec::ExecPolicy;
 use explore_loading::{AdaptiveLoader, RawCsv};
+use explore_obs::{
+    render_trace, ActiveTrace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
+};
 use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
 use explore_storage::{
@@ -52,6 +55,13 @@ pub struct ExploreDb {
     /// Whether [`ExploreDb::query`] routes through the cache. `Off` (the
     /// default) is bit-identical to a cache-less engine.
     cache_policy: CachePolicy,
+    /// The engine's tracer + metrics owner. Always allocated; recording
+    /// is gated by `obs_policy` and costs one relaxed load while off.
+    obs: Arc<Tracer>,
+    /// Whether queries record traces and metrics. `Off` (the default)
+    /// leaves every execution path byte-identical to an uninstrumented
+    /// engine.
+    obs_policy: ObsPolicy,
 }
 
 impl ExploreDb {
@@ -99,6 +109,61 @@ impl ExploreDb {
     /// The current cache policy.
     pub fn cache_policy(&self) -> &CachePolicy {
         &self.cache_policy
+    }
+
+    /// A fresh engine with observability enabled.
+    pub fn with_obs_policy(policy: ObsPolicy) -> Self {
+        let mut db = ExploreDb::default();
+        db.set_obs_policy(policy);
+        db
+    }
+
+    /// Turn query tracing and metrics on or off. `On` makes every
+    /// [`ExploreDb::query`] record a span tree into the recent-trace
+    /// ring and mirror engine counters into the metrics registry; `Off`
+    /// (the default) stops recording but keeps what was collected.
+    /// Either way results are bit-identical — observability never
+    /// changes what executes.
+    pub fn set_obs_policy(&mut self, policy: ObsPolicy) {
+        self.obs.set_policy(&policy);
+        self.result_cache
+            .set_metrics(policy.is_on().then(|| self.obs.metrics()));
+        self.obs_policy = policy;
+    }
+
+    /// The current observability policy.
+    pub fn obs_policy(&self) -> &ObsPolicy {
+        &self.obs_policy
+    }
+
+    /// Handle to the engine's tracer, for wiring into external
+    /// consumers or dumping traces out-of-band.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Point-in-time snapshot of every engine counter and latency
+    /// histogram collected while observability was on.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics().snapshot()
+    }
+
+    /// The most recent finished query traces, oldest first (bounded by
+    /// the policy's ring capacity).
+    pub fn recent_traces(&self) -> Vec<QueryTrace> {
+        self.obs.recent_traces()
+    }
+
+    /// Profile one query regardless of the observability policy and
+    /// render its span tree as a human-readable report. The query
+    /// executes for real (through the same cache/exec routing as
+    /// [`ExploreDb::query`]), so the profile reflects live state —
+    /// explaining a cached query shows the hit, not the original scan.
+    pub fn explain(&mut self, table: &str, query: &Query) -> Result<String> {
+        let trace = self.obs.force_start(table, query.describe());
+        let result = self.run_routed(table, query, Some(&trace));
+        let finished = trace.finish();
+        result.map(|_| render_trace(&finished))
     }
 
     /// Snapshot of the shared cache's counters.
@@ -213,14 +278,42 @@ impl ExploreDb {
     /// through the adaptive loader, whose incremental load state is
     /// itself the cache.
     pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
+        let trace = self.obs.start(table, || query.describe());
+        let result = self.run_routed(table, query, trace.as_ref());
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        result
+    }
+
+    /// The routing core of [`ExploreDb::query`], shared with
+    /// [`ExploreDb::explain`]: raw tables go through the adaptive
+    /// loader (recorded as one raw-load span), in-memory tables through
+    /// the cache or the plain executor.
+    fn run_routed(
+        &mut self,
+        table: &str,
+        query: &Query,
+        trace: Option<&ActiveTrace>,
+    ) -> Result<Table> {
         if let Some(loader) = self.raw.get_mut(table) {
-            return loader.query(query);
+            return match trace {
+                Some(t) => t.scope(ROOT_SPAN, SpanKind::RawLoad, || loader.query(query)),
+                None => loader.query(query),
+            };
         }
         let base = self.catalog.get(table)?;
         if self.cache_policy.is_on() {
-            explore_cache::cached_query(&self.result_cache, base, table, query, self.exec_policy)
+            explore_cache::cached_query_traced(
+                &self.result_cache,
+                base,
+                table,
+                query,
+                self.exec_policy,
+                trace,
+            )
         } else {
-            explore_exec::run_query(base, query, self.exec_policy)
+            explore_exec::run_query_traced(base, query, self.exec_policy, trace)
         }
     }
 
@@ -257,15 +350,37 @@ impl ExploreDb {
             self.crackers
                 .insert(key.clone(), CrackerColumn::new(values));
         }
+        let trace = self
+            .obs
+            .start(table, || format!("cracked_range({column}, {low}, {high})"));
         let cracker = self.crackers.get_mut(&key).expect("just inserted");
         let pieces_before = cracker.num_pieces();
+        let start = trace.as_ref().map(|t| t.now_ns());
         let ids = cracker.query_ids(low, high).to_vec();
+        let pieces_after = cracker.num_pieces();
+        if let Some((t, start)) = trace.as_ref().zip(start) {
+            t.record(
+                ROOT_SPAN,
+                SpanKind::Crack {
+                    pieces_before: pieces_before as u32,
+                    pieces_after: pieces_after as u32,
+                },
+                start,
+                t.now_ns(),
+            );
+            if pieces_after != pieces_before {
+                t.metrics().inc("crack.reorganizations", 1);
+            }
+        }
         // Cracking reorganizes the index copy, not the base table, so
         // cached results stay byte-correct — but the ISSUE's protocol
         // treats a reorganization as an epoch event, which keeps the
         // cache conservative if cracking ever becomes in-place.
-        if cracker.num_pieces() != pieces_before {
+        if pieces_after != pieces_before {
             self.result_cache.bump_epoch(table);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
         }
         Ok(ids)
     }
@@ -313,7 +428,32 @@ impl ExploreDb {
         if self.cache_policy.is_on() {
             ex = ex.with_cache(Arc::clone(&self.result_cache), table);
         }
-        ex.aggregate(predicate, func, column, bound)
+        if self.obs_policy.is_on() {
+            ex = ex.with_metrics(self.obs.metrics());
+        }
+        let trace = self.obs.start(table, || {
+            format!("approx {func}({column}) where {predicate}")
+        });
+        let start = trace.as_ref().map(|t| t.now_ns());
+        let ans = ex.aggregate(predicate, func, column, bound);
+        if let Some((t, start)) = trace.as_ref().zip(start) {
+            if let Ok(ans) = &ans {
+                t.record(
+                    ROOT_SPAN,
+                    SpanKind::Aqp {
+                        fraction_bp: (ans.fraction_used * 10_000.0).round() as u32,
+                        rows_scanned: ans.rows_scanned.min(u32::MAX as usize) as u32,
+                        exact: ans.exact,
+                    },
+                    start,
+                    t.now_ns(),
+                );
+            }
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        ans
     }
 
     /// A speculative range-aggregate executor over `table`, prefetching
@@ -325,6 +465,9 @@ impl ExploreDb {
         let mut ex = SpeculativeExecutor::new(t, budget);
         if self.cache_policy.is_on() {
             ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table);
+        }
+        if self.obs_policy.is_on() {
+            ex = ex.with_metrics(self.obs.metrics());
         }
         Ok(ex)
     }
@@ -777,6 +920,136 @@ mod tests {
         db.set_cache_policy(CachePolicy::on());
         assert!(db.cache_policy().is_on());
         assert_eq!(db.table_epoch("sales"), 1);
+    }
+
+    #[test]
+    fn obs_on_records_traces_and_metrics() {
+        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        db.set_cache_policy(CachePolicy::on());
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 4_000,
+                ..SalesConfig::default()
+            }),
+        );
+        let q = Query::new()
+            .filter(Predicate::range("price", 100.0, 600.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price");
+        db.query("sales", &q).unwrap(); // miss
+        db.query("sales", &q).unwrap(); // exact hit
+        let traces = db.recent_traces();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(QueryTrace::is_well_formed));
+        assert_eq!(traces[0].spans_labelled("cache.miss").len(), 1);
+        assert_eq!(traces[1].spans_labelled("cache.hit").len(), 1);
+        assert!(
+            traces[0].spans_labelled("exec").len() >= 2,
+            "filter + replay"
+        );
+        assert!(
+            traces[1].spans_labelled("exec").is_empty(),
+            "hit runs nothing"
+        );
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("query.traced"), 2);
+        assert_eq!(snap.counter("cache.hits"), 1);
+        assert_eq!(snap.counter("cache.misses"), 1);
+        assert_eq!(snap.counter("cache.insertions"), 1);
+        assert_eq!(snap.histogram("query.latency_ns").unwrap().count, 2);
+
+        // Cracking records a crack span and the reorganization counter.
+        db.cracked_range("sales", "qty", 3, 7).unwrap();
+        let last = db.recent_traces().pop().unwrap();
+        assert_eq!(last.spans_labelled("crack").len(), 1);
+        assert_eq!(db.metrics_snapshot().counter("crack.reorganizations"), 1);
+
+        // Off again: recording stops, history is retained.
+        db.set_obs_policy(ObsPolicy::Off);
+        db.query("sales", &q).unwrap();
+        assert_eq!(db.recent_traces().len(), 3);
+        assert_eq!(db.metrics_snapshot().counter("query.traced"), 3);
+    }
+
+    #[test]
+    fn obs_off_by_default_and_results_identical() {
+        let mut plain = engine_with_sales(3_000);
+        let mut traced = ExploreDb::with_obs_policy(ObsPolicy::on());
+        traced.register("sales", plain.table("sales").unwrap().clone());
+        assert!(!plain.obs_policy().is_on());
+        assert!(traced.obs_policy().is_on());
+        let q = Query::new()
+            .filter(Predicate::cmp("qty", explore_storage::CmpOp::Ge, 5.0))
+            .select(&["region", "price"])
+            .order("price", explore_storage::SortOrder::Desc)
+            .take(100);
+        assert_eq!(
+            plain.query("sales", &q).unwrap(),
+            traced.query("sales", &q).unwrap()
+        );
+        assert!(plain.recent_traces().is_empty());
+        assert_eq!(plain.metrics_snapshot().counter("query.traced"), 0);
+    }
+
+    #[test]
+    fn explain_renders_a_profile_regardless_of_policy() {
+        let mut db = engine_with_sales(2_000);
+        assert!(!db.obs_policy().is_on());
+        let q = Query::new()
+            .filter(Predicate::range("price", 100.0, 500.0))
+            .group("region")
+            .agg(AggFunc::Avg, "price");
+        let report = db.explain("sales", &q).unwrap();
+        assert!(report.contains("total:"), "{report}");
+        assert!(report.contains("exec"), "{report}");
+        assert!(report.contains("morsel"), "{report}");
+        // The profiled query ran for real and reflects live routing.
+        db.set_cache_policy(CachePolicy::on());
+        db.query("sales", &q).unwrap();
+        let warm = db.explain("sales", &q).unwrap();
+        assert!(warm.contains("cache lookup → hit"), "{warm}");
+        // Errors surface as errors, not as reports.
+        let bad = Query::new().filter(Predicate::cmp("no_such", explore_storage::CmpOp::Eq, 1.0));
+        assert!(db.explain("sales", &bad).is_err());
+    }
+
+    #[test]
+    fn obs_covers_aqp_and_speculation() {
+        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 20_000,
+                ..SalesConfig::default()
+            }),
+        );
+        db.build_samples("sales", &[0.01, 0.1], &[], 7).unwrap();
+        db.approx_aggregate(
+            "sales",
+            &Predicate::True,
+            AggFunc::Avg,
+            "price",
+            Bound::RowBudget { rows: 2_500 },
+        )
+        .unwrap();
+        let trace = db.recent_traces().pop().unwrap();
+        assert_eq!(trace.spans_labelled("aqp").len(), 1);
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("aqp.answers"), 1);
+
+        let spec = db.speculator("sales", 2).unwrap();
+        spec.execute(&explore_prefetch::RangeRequest {
+            column: "qty".into(),
+            low: 2,
+            high: 5,
+            func: AggFunc::Sum,
+            measure: "price".into(),
+        })
+        .unwrap();
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("prefetch.misses"), 1);
+        assert_eq!(snap.counter("prefetch.speculative_runs"), 2);
     }
 
     #[test]

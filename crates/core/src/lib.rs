@@ -54,6 +54,7 @@ pub use explore_exec as exec;
 pub use explore_explore as interact;
 pub use explore_layout as layout;
 pub use explore_loading as loading;
+pub use explore_obs as obs;
 pub use explore_prefetch as prefetch;
 pub use explore_sampling as sampling;
 pub use explore_series as series;

@@ -14,9 +14,11 @@
 //! * as the column converges, exclusive acquisitions vanish and
 //!   throughput scales with readers (experiment E16).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use explore_exec::{global_pool, ExecPolicy};
+use explore_obs::MetricsRegistry;
 use parking_lot::RwLock;
 
 use crate::cracker::CrackerColumn;
@@ -37,6 +39,10 @@ pub struct ConcurrentCracker {
     inner: RwLock<CrackerColumn>,
     shared: AtomicU64,
     exclusive: AtomicU64,
+    /// Fast gate for the metrics mirror: one relaxed load when off, so
+    /// detached observability costs readers nothing.
+    metrics_on: AtomicBool,
+    metrics: RwLock<Option<Arc<MetricsRegistry>>>,
 }
 
 impl ConcurrentCracker {
@@ -46,6 +52,25 @@ impl ConcurrentCracker {
             inner: RwLock::new(CrackerColumn::new(values)),
             shared: AtomicU64::new(0),
             exclusive: AtomicU64::new(0),
+            metrics_on: AtomicBool::new(false),
+            metrics: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach, with `None`) an observability registry that
+    /// mirrors lock acquisitions as `crack.shared_locks` /
+    /// `crack.exclusive_locks` counters.
+    pub fn set_metrics(&self, metrics: Option<Arc<MetricsRegistry>>) {
+        self.metrics_on.store(metrics.is_some(), Ordering::Relaxed);
+        *self.metrics.write() = metrics;
+    }
+
+    fn bump(&self, counter: &AtomicU64, metric: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if self.metrics_on.load(Ordering::Relaxed) {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.inc(metric, 1);
+            }
         }
     }
 
@@ -56,14 +81,14 @@ impl ConcurrentCracker {
             let col = self.inner.read();
             if let Some((s, e)) = col.lookup(low, high) {
                 drop(col);
-                self.shared.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.shared, "crack.shared_locks");
                 return e - s;
             }
         }
         let mut col = self.inner.write();
         let (s, e) = col.query(low, high);
         drop(col);
-        self.exclusive.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.exclusive, "crack.exclusive_locks");
         e - s
     }
 
@@ -75,7 +100,7 @@ impl ConcurrentCracker {
             if let Some((s, e)) = col.lookup(low, high) {
                 let sum = col.values()[s..e].iter().sum();
                 drop(col);
-                self.shared.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.shared, "crack.shared_locks");
                 return sum;
             }
         }
@@ -83,7 +108,7 @@ impl ConcurrentCracker {
         let (s, e) = col.query(low, high);
         let sum = col.values()[s..e].iter().sum();
         drop(col);
-        self.exclusive.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.exclusive, "crack.exclusive_locks");
         sum
     }
 
@@ -227,6 +252,23 @@ mod tests {
         for (i, &(lo, hi)) in queries.iter().enumerate() {
             assert_eq!(serial[i], scan.query_count(lo, hi), "query {i}");
         }
+    }
+
+    #[test]
+    fn metrics_mirror_lock_counters() {
+        let c = ConcurrentCracker::new(uniform_i64(1000, 0, 100, 13));
+        let m = Arc::new(MetricsRegistry::default());
+        c.set_metrics(Some(Arc::clone(&m)));
+        c.query_count(10, 20); // cracks (exclusive)
+        c.query_count(10, 20); // indexed (shared)
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("crack.exclusive_locks"), 1);
+        assert_eq!(snap.counter("crack.shared_locks"), 1);
+        // Detached: native stats keep counting, the mirror stops.
+        c.set_metrics(None);
+        c.query_count(10, 20);
+        assert_eq!(c.lock_stats().shared, 2);
+        assert_eq!(m.snapshot().counter("crack.shared_locks"), 1);
     }
 
     #[test]

@@ -272,9 +272,9 @@ impl CrackerColumn {
     /// identical to the branchy kernel (verified by tests).
     ///
     /// Does **not** register a boundary: callers must only partition
-    /// within a single existing piece (as [`bound_position`]
-    /// (Self::bound_position) does) or on a fresh column, otherwise the
-    /// cracker-index invariant breaks.
+    /// within a single existing piece (as
+    /// [`bound_position`](Self::bound_position) does) or on a fresh
+    /// column, otherwise the cracker-index invariant breaks.
     pub fn crack_in_two_predicated(&mut self, start: usize, end: usize, pivot: i64) -> usize {
         // Out-of-place predicated partition into a scratch buffer:
         // write each element to either the advancing low cursor or the

@@ -41,5 +41,6 @@ pub mod query;
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{
-    evaluate_selection, morsel_count, morsel_range, run_query, run_query_on_selection,
+    evaluate_selection, evaluate_selection_traced, morsel_count, morsel_range, run_query,
+    run_query_on_selection, run_query_on_selection_traced, run_query_traced,
 };

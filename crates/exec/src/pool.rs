@@ -215,15 +215,29 @@ impl ExecPool {
     /// Falls back to an inline sequential loop when the effective
     /// parallelism is 1 or another job already holds the pool.
     pub fn run(&self, workers: usize, n_morsels: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_counted(workers, n_morsels, task);
+    }
+
+    /// Like [`ExecPool::run`], but reports how many participants the job
+    /// was actually dispatched to — 1 means it ran inline on the calling
+    /// thread (single effective worker, busy pool, or a tiny job). The
+    /// observability layer records this in each exec span so inline
+    /// fallbacks are visible in traces.
+    pub fn run_counted(
+        &self,
+        workers: usize,
+        n_morsels: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) -> usize {
         if n_morsels == 0 {
-            return;
+            return 0;
         }
         let participants = workers.min(self.helpers.len() + 1).min(n_morsels).max(1);
         if participants == 1 {
             for m in 0..n_morsels {
                 task(m);
             }
-            return;
+            return 1;
         }
 
         let job = {
@@ -234,7 +248,7 @@ impl ExecPool {
                     for m in 0..n_morsels {
                         task(m);
                     }
-                    return;
+                    return 1;
                 }
                 Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
             };
@@ -243,7 +257,7 @@ impl ExecPool {
                 for m in 0..n_morsels {
                     task(m);
                 }
-                return;
+                return 1;
             }
             // Block-partition the morsels across the participants:
             // participant p starts with a contiguous chunk, preserving
@@ -294,6 +308,7 @@ impl ExecPool {
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+        participants
     }
 }
 
@@ -400,8 +415,28 @@ mod tests {
     fn single_participant_runs_in_order() {
         let pool = ExecPool::new(0);
         let order = Mutex::new(Vec::new());
-        pool.run(8, 5, &|m| order.lock().unwrap().push(m));
-        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        let used = pool.run_counted(8, 5, &|m| {
+            order.lock().unwrap_or_else(PoisonError::into_inner).push(m)
+        });
+        assert_eq!(used, 1, "zero helpers degrade to inline execution");
+        assert_eq!(
+            *order.lock().unwrap_or_else(PoisonError::into_inner),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn run_counted_reports_multi_participant_dispatch() {
+        let pool = ExecPool::new(3);
+        let hits = AtomicUsize::new(0);
+        let used = pool.run_counted(4, 256, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 256);
+        assert!(
+            (2..=4).contains(&used),
+            "4 requested workers over 256 morsels should dispatch to the pool, got {used}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::cell::UnsafeCell;
 
+use explore_obs::{ActiveTrace, SpanKind, ROOT_SPAN};
 use explore_storage::{Predicate, Query, Result, Table, MORSEL_ROWS};
 
 use crate::policy::ExecPolicy;
@@ -47,10 +48,26 @@ pub fn evaluate_selection(
     predicate: &Predicate,
     policy: ExecPolicy,
 ) -> Result<Vec<u32>> {
+    evaluate_selection_traced(table, predicate, policy, None)
+}
+
+/// [`evaluate_selection`] with optional span recording. `trace` being
+/// `None` is the zero-cost off path; `Some` records one exec span with
+/// a morsel child per row window. The returned selection is identical
+/// either way.
+pub fn evaluate_selection_traced(
+    table: &Table,
+    predicate: &Predicate,
+    policy: ExecPolicy,
+    trace: Option<&ActiveTrace>,
+) -> Result<Vec<u32>> {
     let n = table.num_rows();
-    let pieces = run_morsels(policy, morsel_count(n), |m| {
-        predicate.evaluate_range(table, morsel_range(m, n))
-    })?;
+    let pieces = run_morsels(
+        policy,
+        morsel_count(n),
+        |m| predicate.evaluate_range(table, morsel_range(m, n)),
+        trace.map(|t| (t, "filter")),
+    )?;
     let mut sel = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
     for piece in pieces {
         sel.extend_from_slice(&piece);
@@ -61,6 +78,18 @@ pub fn evaluate_selection(
 /// Execute `query` against `table` under `policy`. See the module docs
 /// for the determinism contract.
 pub fn run_query(table: &Table, query: &Query, policy: ExecPolicy) -> Result<Table> {
+    run_query_traced(table, query, policy, None)
+}
+
+/// [`run_query`] with optional span recording: an exec span (with
+/// per-morsel children) plus a merge span. Tracing never changes what
+/// is computed — the result is bit-identical to the untraced call.
+pub fn run_query_traced(
+    table: &Table,
+    query: &Query,
+    policy: ExecPolicy,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
 
@@ -74,31 +103,47 @@ pub fn run_query(table: &Table, query: &Query, policy: ExecPolicy) -> Result<Tab
             projected = table.project(&names)?;
             &projected
         };
-        let pieces = run_morsels(policy, n_morsels, |m| {
-            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
-            Ok(target.gather(&sel))
+        let pieces = run_morsels(
+            policy,
+            n_morsels,
+            |m| {
+                let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+                Ok(target.gather(&sel))
+            },
+            trace.map(|t| (t, "scan")),
+        )?;
+        let out = merge_traced(trace, || {
+            let mut iter = pieces.into_iter();
+            let mut out = iter.next().expect("at least one morsel");
+            for piece in iter {
+                out.append(&piece)?;
+            }
+            Ok(out)
         })?;
-        let mut iter = pieces.into_iter();
-        let mut out = iter.next().expect("at least one morsel");
-        for piece in iter {
-            out.append(&piece)?;
-        }
         query.apply_order_limit(out)
     } else {
         // Aggregate query: one partial state per morsel, merged in
         // morsel order (group output order is first-appearance order).
-        let partials = run_morsels(policy, n_morsels, |m| {
-            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
-            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-            state.update(&sel);
-            Ok(state)
+        let partials = run_morsels(
+            policy,
+            n_morsels,
+            |m| {
+                let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+                let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+                state.update(&sel);
+                Ok(state)
+            },
+            trace.map(|t| (t, "aggregate")),
+        )?;
+        let merged = merge_traced(trace, || {
+            let mut iter = partials.into_iter();
+            let mut acc = iter.next().expect("at least one morsel");
+            for partial in iter {
+                acc.merge(partial);
+            }
+            acc.finish()
         })?;
-        let mut iter = partials.into_iter();
-        let mut acc = iter.next().expect("at least one morsel");
-        for partial in iter {
-            acc.merge(partial);
-        }
-        query.apply_order_limit(acc.finish()?)
+        query.apply_order_limit(merged)
     }
 }
 
@@ -121,6 +166,19 @@ pub fn run_query_on_selection(
     sel: &[u32],
     policy: ExecPolicy,
 ) -> Result<Table> {
+    run_query_on_selection_traced(table, query, sel, policy, None)
+}
+
+/// [`run_query_on_selection`] with optional span recording; the exec
+/// span is staged `"replay"` so traces distinguish cache-subsumption
+/// replays from base-table scans.
+pub fn run_query_on_selection_traced(
+    table: &Table,
+    query: &Query,
+    sel: &[u32],
+    policy: ExecPolicy,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
     // `sel` is ascending, so each morsel's share is one contiguous
@@ -139,51 +197,131 @@ pub fn run_query_on_selection(
             projected = table.project(&names)?;
             &projected
         };
-        let pieces = run_morsels(policy, n_morsels, |m| Ok(target.gather(slice(m))))?;
-        let mut iter = pieces.into_iter();
-        let mut out = iter.next().expect("at least one morsel");
-        for piece in iter {
-            out.append(&piece)?;
-        }
+        let pieces = run_morsels(
+            policy,
+            n_morsels,
+            |m| Ok(target.gather(slice(m))),
+            trace.map(|t| (t, "replay")),
+        )?;
+        let out = merge_traced(trace, || {
+            let mut iter = pieces.into_iter();
+            let mut out = iter.next().expect("at least one morsel");
+            for piece in iter {
+                out.append(&piece)?;
+            }
+            Ok(out)
+        })?;
         query.apply_order_limit(out)
     } else {
-        let partials = run_morsels(policy, n_morsels, |m| {
-            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-            state.update(slice(m));
-            Ok(state)
+        let partials = run_morsels(
+            policy,
+            n_morsels,
+            |m| {
+                let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+                state.update(slice(m));
+                Ok(state)
+            },
+            trace.map(|t| (t, "replay")),
+        )?;
+        let merged = merge_traced(trace, || {
+            let mut iter = partials.into_iter();
+            let mut acc = iter.next().expect("at least one morsel");
+            for partial in iter {
+                acc.merge(partial);
+            }
+            acc.finish()
         })?;
-        let mut iter = partials.into_iter();
-        let mut acc = iter.next().expect("at least one morsel");
-        for partial in iter {
-            acc.merge(partial);
-        }
-        query.apply_order_limit(acc.finish()?)
+        query.apply_order_limit(merged)
     }
 }
 
 /// Run `f` once per morsel index under `policy` and collect the results
 /// in morsel order. Errors are resolved deterministically: the error of
 /// the lowest-indexed failing morsel wins under either policy.
-fn run_morsels<T, F>(policy: ExecPolicy, n_morsels: usize, f: F) -> Result<Vec<T>>
+///
+/// With `trace` set, records one [`SpanKind::Exec`] span (parented at
+/// the trace root, stamped with the stage label and the number of pool
+/// participants actually dispatched) plus one [`SpanKind::Morsel`]
+/// child per morsel. The exec span id is reserved *before* the morsels
+/// run so children can parent under it, then filled in afterwards once
+/// the participant count is known.
+fn run_morsels<T, F>(
+    policy: ExecPolicy,
+    n_morsels: usize,
+    f: F,
+    trace: Option<(&ActiveTrace, &'static str)>,
+) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    match policy {
-        ExecPolicy::Serial => (0..n_morsels).map(f).collect(),
+    let span = trace.map(|(t, stage)| (t, stage, t.alloc_id(), t.now_ns()));
+    let run_one = |m: usize| -> Result<T> {
+        match span {
+            Some((t, _, exec_id, _)) => {
+                let start = t.now_ns();
+                let out = f(m);
+                t.record(
+                    exec_id,
+                    SpanKind::Morsel { index: m as u32 },
+                    start,
+                    t.now_ns(),
+                );
+                out
+            }
+            None => f(m),
+        }
+    };
+    let (result, participants) = match policy {
+        ExecPolicy::Serial => ((0..n_morsels).map(run_one).collect(), 1usize),
         ExecPolicy::Parallel { workers } => {
             let slots = SlotVec::new(n_morsels);
-            global_pool().run(workers.max(1), n_morsels, &|m| {
+            let participants = global_pool().run_counted(workers.max(1), n_morsels, &|m| {
                 // Safety: the pool executes each morsel index exactly
                 // once, so each slot is written by exactly one task.
-                unsafe { slots.set(m, f(m)) };
+                unsafe { slots.set(m, run_one(m)) };
             });
             let mut out = Vec::with_capacity(n_morsels);
+            let mut collected = Ok(());
             for slot in slots.into_inner() {
-                out.push(slot.expect("pool ran every morsel")?);
+                match slot.expect("pool ran every morsel") {
+                    Ok(v) => out.push(v),
+                    Err(e) => {
+                        collected = Err(e);
+                        break;
+                    }
+                }
             }
-            Ok(out)
+            (collected.map(|()| out), participants.max(1))
         }
+    };
+    if let Some((t, stage, exec_id, start)) = span {
+        t.record_as(
+            exec_id,
+            ROOT_SPAN,
+            SpanKind::Exec {
+                stage,
+                participants: participants as u32,
+                morsels: n_morsels as u32,
+            },
+            start,
+            t.now_ns(),
+        );
+    }
+    result
+}
+
+/// Run the morsel-order merge step `f`, wrapped in a [`SpanKind::Merge`]
+/// span when tracing is active.
+fn merge_traced<T>(trace: Option<&ActiveTrace>, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match trace {
+        Some(t) => {
+            let start = t.now_ns();
+            let out = f();
+            t.record(ROOT_SPAN, SpanKind::Merge, start, t.now_ns());
+            out
+        }
+        None => f(),
     }
 }
 

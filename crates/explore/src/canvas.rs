@@ -5,7 +5,7 @@
 //! a touch is not a request for a full query result but for *as much of
 //! one as fits under the finger right now*. The canvas maps the unit
 //! square onto a table — x spans the columns, y spans the visible row
-//! window — and executes [`QueryIntent`](crate::gesture::QueryIntent)s
+//! window — and executes [`QueryIntent`]s
 //! against it:
 //!
 //! * **tap** → inspect the tuple under the finger;

@@ -1,0 +1,202 @@
+//! Human-readable rendering of a [`QueryTrace`] — the output of
+//! `ExploreDb::explain`.
+//!
+//! The renderer prints the span tree with per-span wall time and share
+//! of the whole query. Morsel spans are the one exception: a fan-out
+//! over a large table produces hundreds of them, so they collapse into
+//! a single summary line (count, min/mean/max) under their exec span.
+
+use std::fmt::Write as _;
+
+use crate::span::{QueryTrace, Span, SpanKind, ROOT_SPAN};
+
+/// Format nanoseconds with a readable unit.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+fn describe(kind: &SpanKind) -> String {
+    match kind {
+        SpanKind::Query => "query".to_owned(),
+        SpanKind::CacheLookup(outcome) => format!("cache lookup → {outcome:?}").to_lowercase(),
+        SpanKind::Exec {
+            stage,
+            participants,
+            morsels,
+        } => format!("exec[{stage}] {morsels} morsels on {participants} thread(s)"),
+        SpanKind::Morsel { index } => format!("morsel {index}"),
+        SpanKind::Merge => "merge partials (morsel order)".to_owned(),
+        SpanKind::Crack {
+            pieces_before,
+            pieces_after,
+        } => {
+            if pieces_after > pieces_before {
+                format!("crack: {pieces_before} → {pieces_after} pieces (reorganized)")
+            } else {
+                format!("crack: answered from {pieces_before} existing pieces")
+            }
+        }
+        SpanKind::Admit { accepted: true } => "cache admit".to_owned(),
+        SpanKind::Admit { accepted: false } => "cache admit refused".to_owned(),
+        SpanKind::RawLoad => "adaptive loader (raw CSV)".to_owned(),
+        SpanKind::Aqp {
+            fraction_bp,
+            rows_scanned,
+            exact,
+        } => {
+            if *exact {
+                format!("aqp: exact fallback, {rows_scanned} rows")
+            } else {
+                format!(
+                    "aqp: {:.2}% sample, {rows_scanned} rows",
+                    *fraction_bp as f64 / 100.0
+                )
+            }
+        }
+        SpanKind::Stage(s) => (*s).to_owned(),
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn render_subtree(out: &mut String, trace: &QueryTrace, span: &Span, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{indent}{} — {} ({:.1}%)",
+        describe(&span.kind),
+        fmt_ns(span.dur_ns),
+        pct(span.dur_ns, trace.total_ns)
+    );
+    let children = trace.children(span.id);
+    let (morsels, others): (Vec<&&Span>, Vec<&&Span>) = children
+        .iter()
+        .partition(|s| matches!(s.kind, SpanKind::Morsel { .. }));
+    if !morsels.is_empty() {
+        let durs: Vec<u64> = morsels.iter().map(|s| s.dur_ns).collect();
+        let min = durs.iter().min().copied().unwrap_or(0);
+        let max = durs.iter().max().copied().unwrap_or(0);
+        let mean = durs.iter().sum::<u64>() / durs.len() as u64;
+        let _ = writeln!(
+            out,
+            "{indent}  {} morsels: min {} / mean {} / max {}",
+            morsels.len(),
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+    for child in others {
+        render_subtree(out, trace, child, depth + 1);
+    }
+}
+
+/// Render a finished trace as an indented profile.
+pub fn render_trace(trace: &QueryTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace #{} — table \"{}\" — {}",
+        trace.seq, trace.table, trace.query
+    );
+    let _ = writeln!(out, "total: {}", fmt_ns(trace.total_ns));
+    if trace.dropped_spans > 0 {
+        let _ = writeln!(
+            out,
+            "({} spans dropped past the per-trace budget)",
+            trace.dropped_spans
+        );
+    }
+    if let Some(root) = trace.span(ROOT_SPAN) {
+        for child in trace.children(root.id) {
+            render_subtree(&mut out, trace, child, 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::CacheOutcome;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(12_300), "12.3 µs");
+        assert_eq!(fmt_ns(12_300_000), "12.30 ms");
+        assert_eq!(fmt_ns(12_300_000_000), "12.300 s");
+    }
+
+    #[test]
+    fn renders_tree_with_morsel_summary() {
+        let trace = QueryTrace {
+            seq: 7,
+            table: "sales".into(),
+            query: "select …".into(),
+            total_ns: 1000,
+            spans: vec![
+                Span {
+                    id: ROOT_SPAN,
+                    parent: ROOT_SPAN,
+                    kind: SpanKind::Query,
+                    start_ns: 0,
+                    dur_ns: 1000,
+                },
+                Span {
+                    id: 1,
+                    parent: ROOT_SPAN,
+                    kind: SpanKind::CacheLookup(CacheOutcome::Miss),
+                    start_ns: 0,
+                    dur_ns: 10,
+                },
+                Span {
+                    id: 2,
+                    parent: ROOT_SPAN,
+                    kind: SpanKind::Exec {
+                        stage: "scan",
+                        participants: 2,
+                        morsels: 2,
+                    },
+                    start_ns: 10,
+                    dur_ns: 900,
+                },
+                Span {
+                    id: 3,
+                    parent: 2,
+                    kind: SpanKind::Morsel { index: 0 },
+                    start_ns: 10,
+                    dur_ns: 400,
+                },
+                Span {
+                    id: 4,
+                    parent: 2,
+                    kind: SpanKind::Morsel { index: 1 },
+                    start_ns: 410,
+                    dur_ns: 400,
+                },
+            ],
+            dropped_spans: 0,
+        };
+        let s = render_trace(&trace);
+        assert!(s.contains("table \"sales\""), "{s}");
+        assert!(s.contains("cache lookup → miss"), "{s}");
+        assert!(s.contains("exec[scan] 2 morsels on 2 thread(s)"), "{s}");
+        assert!(s.contains("2 morsels: min"), "{s}");
+        assert!(
+            !s.contains("morsel 0"),
+            "morsels summarized, not listed: {s}"
+        );
+    }
+}

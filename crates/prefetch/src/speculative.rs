@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use explore_cache::{cached_query, Fingerprint, ResultCache};
 use explore_exec::ExecPolicy;
+use explore_obs::MetricsRegistry;
 use explore_storage::{AggFunc, Query, Result, Table};
 
 use parking_lot::Mutex;
@@ -106,6 +107,8 @@ pub struct SpeculativeExecutor<'a> {
     /// Speculation budget per foreground query (0 disables).
     budget: usize,
     stats: Mutex<SpeculationStats>,
+    /// Optional observability registry mirroring the stats counters.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'a> SpeculativeExecutor<'a> {
@@ -117,6 +120,21 @@ impl<'a> SpeculativeExecutor<'a> {
             shared: None,
             budget,
             stats: Mutex::new(SpeculationStats::default()),
+            metrics: None,
+        }
+    }
+
+    /// Mirror hit/miss/speculation counters into an observability
+    /// registry as `prefetch.hits` / `prefetch.misses` /
+    /// `prefetch.speculative_runs`.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn bump(&self, name: &str) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc(name, 1);
         }
     }
 
@@ -150,12 +168,19 @@ impl<'a> SpeculativeExecutor<'a> {
             // probe first only to attribute the hit/miss.
             let hit = self.is_cached(req);
             let v = self.run(req)?;
-            let mut stats = self.stats.lock();
-            if hit {
-                stats.hits += 1;
-            } else {
-                stats.misses += 1;
+            {
+                let mut stats = self.stats.lock();
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
             }
+            self.bump(if hit {
+                "prefetch.hits"
+            } else {
+                "prefetch.misses"
+            });
             v
         } else {
             // Bind before matching: a scrutinee temporary would hold the
@@ -164,11 +189,13 @@ impl<'a> SpeculativeExecutor<'a> {
             match cached {
                 Some(v) => {
                     self.stats.lock().hits += 1;
+                    self.bump("prefetch.hits");
                     v
                 }
                 None => {
                     let v = self.run(req)?;
                     self.stats.lock().misses += 1;
+                    self.bump("prefetch.misses");
                     self.cache.lock().insert(req.clone(), v);
                     v
                 }
@@ -188,6 +215,7 @@ impl<'a> SpeculativeExecutor<'a> {
                 self.cache.lock().insert(n, v);
             }
             self.stats.lock().speculative_runs += 1;
+            self.bump("prefetch.speculative_runs");
             done += 1;
         }
         Ok(answer)

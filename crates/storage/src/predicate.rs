@@ -5,6 +5,7 @@
 //! each comparison matches on the column type once and then runs a tight
 //! loop over the raw slice.
 
+use std::fmt;
 use std::ops::Range;
 
 use crate::column::Column;
@@ -256,6 +257,53 @@ impl Predicate {
                 Ok(false)
             }
             Predicate::Not(p) => Ok(!p.matches_row(table, row)?),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// SQL-ish rendering, for `explain` profiles and trace labels. Child
+/// predicates of `And`/`Or` are parenthesized unconditionally, so the
+/// output is unambiguous without precedence rules.
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => f.write_str("true"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::Range { column, low, high } => {
+                write!(f, "{low} <= {column} < {high}")
+            }
+            Predicate::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" and ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Predicate::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" or ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Predicate::Not(p) => write!(f, "not ({p})"),
         }
     }
 }

@@ -125,6 +125,40 @@ impl Query {
         self
     }
 
+    /// A compact SQL-ish description of the query, for `explain`
+    /// profiles and trace headers. Not parseable, not canonical — the
+    /// cache fingerprint is the identity; this is for humans.
+    pub fn describe(&self) -> String {
+        let mut s = String::from("select ");
+        let mut outputs: Vec<String> = self.group_by.clone();
+        outputs.extend(self.aggregates.iter().map(Aggregate::result_name));
+        if outputs.is_empty() {
+            outputs.extend(self.projection.iter().cloned());
+        }
+        if outputs.is_empty() {
+            s.push('*');
+        } else {
+            s.push_str(&outputs.join(", "));
+        }
+        if !matches!(self.predicate, Predicate::True) {
+            s.push_str(&format!(" where {}", self.predicate));
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(&format!(" group by {}", self.group_by.join(", ")));
+        }
+        if let Some((col, order)) = &self.order_by {
+            let dir = match order {
+                SortOrder::Asc => "asc",
+                SortOrder::Desc => "desc",
+            };
+            s.push_str(&format!(" order by {col} {dir}"));
+        }
+        if let Some(limit) = self.limit {
+            s.push_str(&format!(" limit {limit}"));
+        }
+        s
+    }
+
     /// All base-table columns this query touches (predicate + projection +
     /// grouping + aggregates). Drives adaptive loading and layout choice.
     pub fn referenced_columns(&self) -> Vec<&str> {

@@ -14,6 +14,12 @@
 //! * `BENCH_SAMPLES` — cap the per-benchmark sample count (smoke runs).
 //! * `BENCH_JSON` — write all results to this path as a JSON array,
 //!   e.g. `BENCH_engine.json` for the repo's perf trajectory.
+//!
+//! Beyond criterion's API, `record_value` (on [`Criterion`] and
+//! [`BenchmarkGroup`]) emits a non-timing measurement — a hit rate, a
+//! count — into the same record stream with an explicit `unit`, so
+//! facts ride the JSON as first-class fields instead of being smuggled
+//! through benchmark ids or fake timings.
 
 use std::time::Instant;
 
@@ -74,7 +80,11 @@ impl IntoBenchmarkId for &str {
     }
 }
 
-/// One benchmark's measurements, in nanoseconds.
+/// One benchmark's measurements. Timing records carry nanosecond
+/// min/mean/max with `unit: "ns"` and `value` mirroring `min_ns`;
+/// non-timing facts recorded via [`Criterion::record_value`] carry the
+/// measured `value` in their own `unit` (e.g. `"percent"`) with the
+/// timing fields zeroed.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     pub id: String,
@@ -82,6 +92,8 @@ pub struct BenchRecord {
     pub min_ns: u128,
     pub mean_ns: u128,
     pub max_ns: u128,
+    pub value: f64,
+    pub unit: String,
 }
 
 /// The benchmark driver: runs benches and collects [`BenchRecord`]s.
@@ -106,6 +118,25 @@ impl Criterion {
         self.run(id.into_id(), samples, f);
     }
 
+    /// Record a non-timing measurement (a hit rate, a count, a ratio)
+    /// under `id` so it rides the same JSON stream as the timings.
+    pub fn record_value(&mut self, id: impl IntoBenchmarkId, value: f64, unit: impl Into<String>) {
+        let record = BenchRecord {
+            id: id.into_id(),
+            samples: 1,
+            min_ns: 0,
+            mean_ns: 0,
+            max_ns: 0,
+            value,
+            unit: unit.into(),
+        };
+        eprintln!(
+            "bench {:<60} value {:>11} {}",
+            record.id, value, record.unit
+        );
+        self.records.push(record);
+    }
+
     fn run(&mut self, id: String, samples: usize, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             samples,
@@ -120,14 +151,19 @@ impl Criterion {
                 min_ns: 0,
                 mean_ns: 0,
                 max_ns: 0,
+                value: 0.0,
+                unit: "ns".into(),
             }
         } else {
+            let min_ns = *times.iter().min().expect("nonempty");
             BenchRecord {
                 id,
                 samples: times.len(),
-                min_ns: *times.iter().min().expect("nonempty"),
+                min_ns,
                 mean_ns: times.iter().sum::<u128>() / times.len() as u128,
                 max_ns: *times.iter().max().expect("nonempty"),
+                value: min_ns as f64,
+                unit: "ns".into(),
             }
         };
         eprintln!(
@@ -147,12 +183,14 @@ impl Criterion {
                     out.push_str(",\n");
                 }
                 out.push_str(&format!(
-                    "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}",
+                    "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"value\": {}, \"unit\": \"{}\"}}",
                     r.id.replace('\\', "\\\\").replace('"', "\\\""),
                     r.samples,
                     r.min_ns,
                     r.mean_ns,
-                    r.max_ns
+                    r.max_ns,
+                    json_f64(r.value),
+                    r.unit.replace('\\', "\\\\").replace('"', "\\\"")
                 ));
             }
             out.push_str("\n]\n");
@@ -162,6 +200,15 @@ impl Criterion {
                 eprintln!("wrote {} benchmark records to {path}", self.records.len());
             }
         }
+    }
+}
+
+/// Render an `f64` as a JSON number (no NaN/Inf — those are not JSON).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
     }
 }
 
@@ -196,6 +243,18 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into_id());
         self.criterion.run(id, self.sample_size, f);
+        self
+    }
+
+    /// Record a non-timing measurement under this group's namespace.
+    pub fn record_value(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.record_value(id, value, unit);
         self
     }
 
@@ -293,6 +352,36 @@ mod tests {
         assert_eq!(c.records[0].id, "g/f");
         assert_eq!(c.records[1].id, "g/p/7");
         assert!(c.records[0].samples >= 1);
+    }
+
+    #[test]
+    fn timing_records_carry_ns_unit_and_mirror_min() {
+        let mut c = Criterion::default();
+        c.bench_function("t", |b| b.iter(|| black_box(1 + 1)));
+        let r = &c.records[0];
+        assert_eq!(r.unit, "ns");
+        assert_eq!(r.value, r.min_ns as f64);
+    }
+
+    #[test]
+    fn value_records_keep_their_unit_and_zero_timings() {
+        let mut c = Criterion::default();
+        c.benchmark_group("g")
+            .record_value("hit_rate", 87.5, "percent");
+        c.record_value("bare", 3.0, "count");
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "g/hit_rate");
+        assert_eq!(c.records[0].value, 87.5);
+        assert_eq!(c.records[0].unit, "percent");
+        assert_eq!(c.records[0].min_ns, 0);
+        assert_eq!(c.records[1].id, "bare");
+    }
+
+    #[test]
+    fn json_numbers_are_finite() {
+        assert_eq!(json_f64(87.5), "87.5");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Observability differential harness: tracing must never change what
+//! executes.
+//!
+//! Every supported query shape runs with [`ObsPolicy::Off`] and
+//! [`ObsPolicy::On`] under both exec policies (and with the result
+//! cache off, cold, and warm) and the result tables are compared
+//! **bit-for-bit** — float cells by `to_bits`. The instrumentation
+//! earns this by construction: every site threads an
+//! `Option<&ActiveTrace>` that only ever wraps the same computation.
+//!
+//! The second half checks that what *was* recorded is truthful: span
+//! trees are well-formed, each exec fan-out records exactly one morsel
+//! child per row window (so morsel counts match the table size), cache
+//! hit/miss/subsumption outcomes appear where the serve protocol says
+//! they happened, and an exact cache hit executes nothing.
+
+use exploration::cache::{CacheConfig, CachePolicy};
+use exploration::exec::{morsel_count, ExecPolicy};
+use exploration::obs::{ObsPolicy, QueryTrace, SpanKind, ROOT_SPAN};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+};
+use exploration::ExploreDb;
+
+/// A table spanning several morsels plus a ragged tail.
+fn multi_morsel_table() -> Table {
+    sales_table(&SalesConfig {
+        rows: 2 * MORSEL_ROWS + 4321,
+        ..SalesConfig::default()
+    })
+}
+
+/// A table smaller than one morsel (degenerate decomposition).
+fn small_table() -> Table {
+    sales_table(&SalesConfig {
+        rows: 777,
+        ..SalesConfig::default()
+    })
+}
+
+/// Assert two tables are identical down to the float bit patterns.
+fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.schema(), b.schema(), "{context}: schema");
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    for field in a.schema().fields() {
+        let ca = a.column(field.name()).expect("left column");
+        let cb = b.column(field.name()).expect("right column");
+        for row in 0..a.num_rows() {
+            let va = ca.value(row).expect("left cell");
+            let vb = cb.value(row).expect("right cell");
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: {}[{row}] {x} vs {y}",
+                    field.name()
+                ),
+                (x, y) => assert_eq!(x, y, "{context}: {}[{row}]", field.name()),
+            }
+        }
+    }
+}
+
+/// The same twelve shapes as the serial/parallel differential harness.
+fn query_shapes() -> Vec<(&'static str, Query)> {
+    vec![
+        ("full_scan", Query::new()),
+        (
+            "filter_scan",
+            Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+        ),
+        (
+            "projection",
+            Query::new()
+                .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+                .select(&["region", "price"]),
+        ),
+        (
+            "order_limit",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 900.0))
+                .select(&["product", "price"])
+                .order("price", SortOrder::Desc)
+                .take(123),
+        ),
+        (
+            "global_aggregates",
+            Query::new()
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Min, "discount")
+                .agg(AggFunc::Max, "discount")
+                .agg(AggFunc::Var, "price")
+                .agg(AggFunc::Std, "price"),
+        ),
+        (
+            "filtered_global_aggregate",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel1"))
+                .agg(AggFunc::Avg, "price"),
+        ),
+        (
+            "group_by",
+            Query::new()
+                .group("region")
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "multi_column_group_by",
+            Query::new()
+                .group("region")
+                .group("channel")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Var, "discount"),
+        ),
+        (
+            "full_pipeline",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 800.0).and(Predicate::cmp(
+                    "qty",
+                    CmpOp::Ge,
+                    2.0,
+                )))
+                .group("product")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "qty")
+                .order("sum(price)", SortOrder::Desc)
+                .take(7),
+        ),
+        (
+            "compound_predicate",
+            Query::new().filter(
+                Predicate::eq("region", "region0")
+                    .or(Predicate::range("price", 0.0, 120.0))
+                    .and(Predicate::cmp("qty", CmpOp::Lt, 8.0).not()),
+            ),
+        ),
+        (
+            "empty_result_filter",
+            Query::new()
+                .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "string_predicate_scan",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel0"))
+                .select(&["channel", "qty"]),
+        ),
+    ]
+}
+
+fn engine(t: &Table, obs: bool, cache: bool, exec: ExecPolicy) -> ExploreDb {
+    let mut db = ExploreDb::new();
+    if obs {
+        db.set_obs_policy(ObsPolicy::on());
+    }
+    if cache {
+        db.set_cache_policy(CachePolicy::On(CacheConfig {
+            byte_budget: 1 << 30,
+            ..CacheConfig::default()
+        }));
+    }
+    db.set_exec_policy(exec);
+    db.register("sales", t.clone());
+    db
+}
+
+const EXEC_POLICIES: [ExecPolicy; 2] = [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }];
+
+/// The last finished trace of a one-query engine interaction.
+fn last_trace(db: &ExploreDb) -> QueryTrace {
+    db.recent_traces().last().expect("a recorded trace").clone()
+}
+
+fn exec_spans(trace: &QueryTrace) -> Vec<(u32, u32, u32)> {
+    trace
+        .spans
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::Exec {
+                participants,
+                morsels,
+                ..
+            } => Some((s.id, participants, morsels)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn obs_on_is_bit_identical_across_shapes_policies_and_cache_modes() {
+    for (table_name, t) in [
+        ("multi-morsel", multi_morsel_table()),
+        ("sub-morsel", small_table()),
+    ] {
+        for exec in EXEC_POLICIES {
+            for cache in [false, true] {
+                let mut off = engine(&t, false, cache, exec);
+                let mut on = engine(&t, true, cache, exec);
+                for (shape, q) in query_shapes() {
+                    let context = format!("{shape} ({table_name}, {exec:?}, cache={cache})");
+                    // Cold pass (and, when caching, the admissions).
+                    assert_bitwise_eq(
+                        &off.query("sales", &q).unwrap(),
+                        &on.query("sales", &q).unwrap(),
+                        &format!("{context}, cold"),
+                    );
+                    // Second pass: with caching every query is now an
+                    // exact hit — serves must be as invisible as misses.
+                    assert_bitwise_eq(
+                        &off.query("sales", &q).unwrap(),
+                        &on.query("sales", &q).unwrap(),
+                        &format!("{context}, warm"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn uncached_traces_record_one_fan_out_with_a_morsel_per_window() {
+    let t = multi_morsel_table();
+    let n_morsels = morsel_count(t.num_rows()) as u32;
+    assert!(n_morsels >= 3, "table must span several morsels");
+    for exec in EXEC_POLICIES {
+        let mut db = engine(&t, true, false, exec);
+        for (shape, q) in query_shapes() {
+            db.query("sales", &q).unwrap();
+            let trace = last_trace(&db);
+            let context = format!("{shape} ({exec:?})");
+            assert!(trace.is_well_formed(), "{context}: {trace:?}");
+            let execs = exec_spans(&trace);
+            assert_eq!(execs.len(), 1, "{context}: one fan-out per uncached query");
+            let (exec_id, participants, morsels) = execs[0];
+            assert_eq!(morsels, n_morsels, "{context}: morsels match table size");
+            assert!(participants >= 1, "{context}");
+            assert_eq!(
+                trace.span(exec_id).unwrap().parent,
+                ROOT_SPAN,
+                "{context}: exec spans hang off the root"
+            );
+            // One morsel child per row window, all inside the fan-out.
+            let morsel_spans = trace.spans_labelled("morsel");
+            assert_eq!(morsel_spans.len(), n_morsels as usize, "{context}");
+            assert!(
+                morsel_spans.iter().all(|s| s.parent == exec_id),
+                "{context}: morsels parent at their fan-out"
+            );
+            let mut indexes: Vec<u32> = morsel_spans
+                .iter()
+                .filter_map(|s| match s.kind {
+                    SpanKind::Morsel { index } => Some(index),
+                    _ => None,
+                })
+                .collect();
+            indexes.sort_unstable();
+            assert_eq!(
+                indexes,
+                (0..n_morsels).collect::<Vec<_>>(),
+                "{context}: every window recorded exactly once"
+            );
+            assert_eq!(trace.spans_labelled("merge").len(), 1, "{context}");
+            assert_eq!(trace.dropped_spans, 0, "{context}");
+        }
+    }
+}
+
+#[test]
+fn cached_traces_tell_the_serve_story() {
+    let t = multi_morsel_table();
+    let n_morsels = morsel_count(t.num_rows()) as u32;
+    for exec in EXEC_POLICIES {
+        for (shape, q) in query_shapes() {
+            // A fresh engine per shape: an earlier shape's cached
+            // superset would otherwise serve this one by subsumption
+            // and the cold pass would not be a miss.
+            let mut db = engine(&t, true, true, exec);
+            let context = format!("{shape} ({exec:?})");
+
+            // Cold: a miss computes (filter + replay fan-outs) and admits.
+            db.query("sales", &q).unwrap();
+            let cold = last_trace(&db);
+            assert!(cold.is_well_formed(), "{context}: {cold:?}");
+            assert_eq!(
+                cold.spans_labelled("cache.miss").len(),
+                1,
+                "{context}: cold lookup is a miss"
+            );
+            let execs = exec_spans(&cold);
+            assert_eq!(execs.len(), 2, "{context}: filter then replay");
+            assert!(
+                execs.iter().all(|&(_, _, m)| m == n_morsels),
+                "{context}: both fan-outs cover the base table"
+            );
+            assert_eq!(
+                cold.spans_labelled("morsel").len(),
+                2 * n_morsels as usize,
+                "{context}"
+            );
+            assert_eq!(
+                cold.spans_labelled("admit").len(),
+                1,
+                "{context}: computed result admitted"
+            );
+
+            // Warm: an exact hit executes nothing.
+            db.query("sales", &q).unwrap();
+            let warm = last_trace(&db);
+            assert!(warm.is_well_formed(), "{context}: {warm:?}");
+            assert_eq!(
+                warm.spans_labelled("cache.hit").len(),
+                1,
+                "{context}: warm lookup is an exact hit"
+            );
+            assert!(
+                exec_spans(&warm).is_empty() && warm.spans_labelled("morsel").is_empty(),
+                "{context}: a cache hit must not contain exec spans: {warm:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subsumption_traces_mark_the_refilter_serve() {
+    let t = multi_morsel_table();
+    let mut db = engine(&t, true, true, ExecPolicy::Serial);
+    // Seed a superset selection, then ask a strictly contained range the
+    // cache has never seen: served by re-filtering the cached subset.
+    db.query(
+        "sales",
+        &Query::new().filter(Predicate::range("price", 100.0, 800.0)),
+    )
+    .unwrap();
+    db.query(
+        "sales",
+        &Query::new()
+            .filter(Predicate::range("price", 200.0, 700.0))
+            .agg(AggFunc::Sum, "price"),
+    )
+    .unwrap();
+    let trace = last_trace(&db);
+    assert!(trace.is_well_formed(), "{trace:?}");
+    assert_eq!(
+        trace.spans_labelled("cache.subsumption").len(),
+        1,
+        "contained range must serve via subsumption: {trace:?}"
+    );
+    // The re-filter executes over the cached subset, not the base table
+    // — fan-outs exist but the lookup span itself contains none of them
+    // (it closed at probe time).
+    let lookup = trace.spans_labelled("cache.subsumption")[0];
+    assert!(
+        trace.children(lookup.id).is_empty(),
+        "lookup spans have no children: {trace:?}"
+    );
+    assert!(!exec_spans(&trace).is_empty());
+}
+
+#[test]
+fn off_records_nothing_and_ring_is_bounded() {
+    let t = small_table();
+    let mut db = engine(&t, false, false, ExecPolicy::Serial);
+    for (_, q) in query_shapes() {
+        db.query("sales", &q).unwrap();
+    }
+    assert!(db.recent_traces().is_empty(), "Off must record nothing");
+    assert_eq!(db.metrics_snapshot().counter("query.traced"), 0);
+
+    // On: the ring keeps the most recent `ring_capacity` traces.
+    db.set_obs_policy(ObsPolicy::on());
+    let capacity = db.obs_policy().config().expect("on").ring_capacity;
+    for round in 0..capacity + 5 {
+        let q = Query::new().agg(AggFunc::Count, "qty").take(round + 1);
+        db.query("sales", &q).unwrap();
+    }
+    let traces = db.recent_traces();
+    assert_eq!(traces.len(), capacity, "ring holds the newest traces");
+    let seqs: Vec<u64> = traces.iter().map(|t| t.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "oldest-first order: {seqs:?}"
+    );
+}
