@@ -7,7 +7,8 @@
 #   ./ci.sh fast     # skip the bench smoke and gate
 #
 # Knobs: BENCH_SAMPLES (default 3), BENCH_GATE=warn to report
-# regressions without failing, BENCH_GATE_THRESHOLD (default 1.5).
+# regressions without failing, BENCH_GATE_THRESHOLD (default 1.5),
+# CHAOS_ITERS (default 200 seeded fault schedules; raise for soak runs).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,6 +23,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+# The chaos-differential suite re-runs as an explicit smoke step so the
+# seeded schedule count is pinned and overridable: every iteration's
+# faults replay from its iteration number, so a CI failure names the
+# exact seed to reproduce locally.
+echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules)"
+CHAOS_ITERS="${CHAOS_ITERS:-200}" \
+    cargo test -q --test chaos_differential --test cancel_proptests
 
 if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (engine) -> BENCH_engine.json"

@@ -265,6 +265,54 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-layer overhead: the same query with the fail-point registry
+/// disarmed (the production state — every hazard site pays one relaxed
+/// load), with a never-tripping cancel token (one counter bump per
+/// morsel boundary), and under a generous deadline (adds an `Instant`
+/// read per check). All three must sit within noise of each other; a
+/// robustness layer that taxes the fault-free path never ships.
+fn bench_fault_overhead(c: &mut Criterion) {
+    use std::time::Duration;
+
+    use explore_core::CancelToken;
+
+    let t = sales_table(&SalesConfig {
+        rows: 200_000,
+        ..SalesConfig::default()
+    });
+    let q = Query::new()
+        .filter(Predicate::range("price", 50.0, 800.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Avg, "qty");
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(10);
+    group.bench_function("disarmed", |b| {
+        let mut db = ExploreDb::new();
+        db.register("sales", t.clone());
+        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+    });
+    group.bench_function("cancel_token", |b| {
+        let mut db = ExploreDb::new();
+        db.register("sales", t.clone());
+        let token = CancelToken::new();
+        b.iter(|| {
+            black_box(
+                db.query_cancellable("sales", &q, &token)
+                    .expect("query")
+                    .num_rows(),
+            )
+        })
+    });
+    group.bench_function("deadline", |b| {
+        let mut db = ExploreDb::new();
+        db.register("sales", t.clone());
+        db.set_query_deadline(Some(Duration::from_secs(3600)));
+        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+    });
+    group.finish();
+}
+
 /// E17: data-series 1-NN by strategy, post-convergence.
 fn bench_e17_series(c: &mut Criterion) {
     use explore_core::series::{noisy_copy, random_walks, BuildMode, SeriesIndex};
@@ -313,6 +361,7 @@ criterion_group!(
     bench_ablation_positional_map,
     bench_exec_parallel_scan,
     bench_obs_overhead,
+    bench_fault_overhead,
     bench_e17_series
 );
 criterion_main!(benches);

@@ -65,7 +65,7 @@ pub mod store;
 
 pub use fingerprint::{predicate_key, Fingerprint};
 pub use region::{BoundVal, Interval, Region};
-pub use serve::{cached_query, cached_query_traced};
+pub use serve::{cached_query, cached_query_ctx, cached_query_traced};
 pub use store::{
     table_bytes, CacheConfig, CachePolicy, CacheStats, ResultCache, ReuseArtifacts,
     SubsumeCandidate,

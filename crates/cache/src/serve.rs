@@ -25,7 +25,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use explore_exec::{evaluate_selection_traced, run_query_on_selection_traced, ExecPolicy};
+use explore_exec::{evaluate_selection_ctx, run_query_on_selection_ctx, ExecPolicy, RunCtx};
 use explore_obs::{ActiveTrace, CacheOutcome, SpanKind, ROOT_SPAN};
 use explore_storage::{Query, Result, Table};
 
@@ -57,6 +57,29 @@ pub fn cached_query_traced(
     policy: ExecPolicy,
     trace: Option<&ActiveTrace>,
 ) -> Result<Table> {
+    cached_query_ctx(
+        cache,
+        base,
+        table_name,
+        query,
+        policy,
+        &RunCtx::none(),
+        trace,
+    )
+}
+
+/// [`cached_query_traced`] with a fault-injection/cancellation context,
+/// threaded into every exec call so cancellation is still checked per
+/// morsel on hit-miss re-filters and base-table scans alike.
+pub fn cached_query_ctx(
+    cache: &ResultCache,
+    base: &Table,
+    table_name: &str,
+    query: &Query,
+    policy: ExecPolicy,
+    ctx: &RunCtx,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let fingerprint = Fingerprint::for_query(table_name, query);
     let epoch = cache.epoch(table_name);
 
@@ -74,11 +97,16 @@ pub fn cached_query_traced(
         policy,
         &fingerprint,
         epoch,
+        ctx,
         trace,
         lookup_start,
     ) {
         return Ok(served);
     }
+
+    // A cancellation that aborted the subsumption path must surface as
+    // the typed error, not silently fall through to a (doomed) rescan.
+    ctx.check_cancel()?;
 
     record_lookup(trace, lookup_start, CacheOutcome::Miss);
     cache.note_miss();
@@ -91,8 +119,8 @@ pub fn cached_query_traced(
     }
 
     let started = Instant::now();
-    let sel = evaluate_selection_traced(base, &query.predicate, policy, trace)?;
-    let result = run_query_on_selection_traced(base, query, &sel, policy, trace)?;
+    let sel = evaluate_selection_ctx(base, &query.predicate, policy, ctx, trace)?;
+    let result = run_query_on_selection_ctx(base, query, &sel, policy, ctx, trace)?;
     let cost_ns = started.elapsed().as_nanos();
 
     let result = Arc::new(result);
@@ -129,6 +157,7 @@ fn try_subsumption(
     policy: ExecPolicy,
     fingerprint: &Fingerprint,
     epoch: u64,
+    ctx: &RunCtx,
     trace: Option<&ActiveTrace>,
     lookup_start: Option<u64>,
 ) -> Option<Table> {
@@ -151,9 +180,9 @@ fn try_subsumption(
     // Re-evaluate the full predicate on the (smaller) cached subset;
     // region soundness guarantees no qualifying base row lives outside
     // it. Errors fall through to the canonical miss path.
-    let local = evaluate_selection_traced(&subset, &query.predicate, policy, trace).ok()?;
+    let local = evaluate_selection_ctx(&subset, &query.predicate, policy, ctx, trace).ok()?;
     let global: Vec<u32> = local.iter().map(|&i| sel[i as usize]).collect();
-    let result = run_query_on_selection_traced(base, query, &global, policy, trace).ok()?;
+    let result = run_query_on_selection_ctx(base, query, &global, policy, ctx, trace).ok()?;
     let refilter_ns = started.elapsed().as_nanos();
 
     cache.note_subsumption_hit(&source, cost_ns.saturating_sub(refilter_ns));

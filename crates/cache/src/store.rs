@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use explore_fault::FailPoints;
 use explore_obs::MetricsRegistry;
 use explore_storage::{Column, Table};
 
@@ -200,6 +201,9 @@ struct Inner {
     /// Mirror of the counters into an observability registry, when one
     /// is attached via [`ResultCache::set_metrics`].
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Fail-point registry consulted at admission, lookup, and eviction,
+    /// when one is attached via [`ResultCache::set_faults`].
+    faults: Option<Arc<FailPoints>>,
 }
 
 impl Inner {
@@ -215,6 +219,12 @@ impl Inner {
         }
     }
 
+    /// Does the named fail point trigger? One `Option` check when no
+    /// registry is attached.
+    fn fire(&self, name: &str) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.fire(name))
+    }
+
     fn remove_entry(&mut self, fp: &Fingerprint) -> Option<Entry> {
         let entry = self.entries.remove(fp)?;
         self.bytes -= entry.bytes;
@@ -224,8 +234,21 @@ impl Inner {
     /// Evict lowest-benefit entries (ties: least recently touched)
     /// until resident bytes fit the budget.
     fn evict_to_budget(&mut self) {
-        while self.bytes > self.config.byte_budget && !self.entries.is_empty() {
-            let victim = self
+        if self.bytes > self.config.byte_budget && self.fire("cache.evict") {
+            // Injected eviction failure: rather than risk an over-budget
+            // resident set, degrade by dropping every entry. The cache
+            // only ever accelerates — correctness is unaffected.
+            let dropped = self.entries.len() as u64;
+            self.entries.clear();
+            self.bytes = 0;
+            self.evictions += dropped;
+            if let Some(metrics) = &self.metrics {
+                metrics.inc("cache.evictions", dropped);
+            }
+            return;
+        }
+        while self.bytes > self.config.byte_budget {
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by(|(_, a), (_, b)| {
@@ -234,7 +257,9 @@ impl Inner {
                         .then(a.stamp.cmp(&b.stamp))
                 })
                 .map(|(fp, _)| fp.clone())
-                .expect("entries is non-empty");
+            else {
+                break;
+            };
             self.remove_entry(&victim);
             self.evictions += 1;
             self.bump("cache.evictions");
@@ -295,6 +320,17 @@ impl ResultCache {
         self.inner.lock().metrics = metrics;
     }
 
+    /// Attach (or detach, with `None`) a fail-point registry. Armed
+    /// points divert the cache's hazard sites: `cache.admit` refuses
+    /// admission (the caller computed the result anyway and serves it),
+    /// `cache.lookup` forces a lookup to miss (the query recomputes),
+    /// and `cache.evict` degrades eviction to dropping every entry.
+    /// All three degradations preserve result correctness — the cache
+    /// is only ever an accelerator.
+    pub fn set_faults(&self, faults: Option<Arc<FailPoints>>) {
+        self.inner.lock().faults = faults;
+    }
+
     /// Whether subsumption serving is enabled.
     pub fn subsumption_enabled(&self) -> bool {
         self.inner.lock().config.subsumption
@@ -331,6 +367,12 @@ impl ResultCache {
     /// fall through to a compute path report via [`ResultCache::note_miss`].
     pub fn get(&self, fp: &Fingerprint) -> Option<Arc<Table>> {
         let mut inner = self.inner.lock();
+        if inner.fire("cache.lookup") {
+            // Injected lookup failure: report a miss; the caller falls
+            // back to the compute path and still returns a correct
+            // (bit-identical) result.
+            return None;
+        }
         let current = inner.epoch_of(fp.table());
         if inner.entries.get(fp).is_some_and(|e| e.epoch != current) {
             inner.remove_entry(fp);
@@ -368,6 +410,9 @@ impl ResultCache {
     pub fn find_subsuming(&self, table: &str, query_region: &Region) -> Option<SubsumeCandidate> {
         let inner = self.inner.lock();
         if !inner.config.subsumption {
+            return None;
+        }
+        if inner.fire("cache.lookup") {
             return None;
         }
         let current = inner.epoch_of(table);
@@ -438,6 +483,11 @@ impl ResultCache {
         });
 
         let mut inner = self.inner.lock();
+        if inner.fire("cache.admit") {
+            // Injected admission failure: the computed result is still
+            // returned to the caller; it just isn't cached.
+            return false;
+        }
         if inner.epoch_of(fp.table()) != epoch_at_compute {
             return false;
         }

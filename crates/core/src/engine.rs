@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use explore_aqp::{
     Bound, BoundedAnswer, BoundedExecutor, OnlineAggregation, SynopsisAnswer, SynopsisStore,
@@ -21,7 +22,8 @@ use explore_aqp::{
 use explore_cache::{CachePolicy, CacheStats, ResultCache};
 use explore_cracking::CrackerColumn;
 use explore_exec::ExecPolicy;
-use explore_loading::{AdaptiveLoader, RawCsv};
+use explore_fault::{CancelToken, FailPoints, Observer, QueryDeadline, RunCtx};
+use explore_loading::{AdaptiveLoader, ErrorPolicy, RawCsv};
 use explore_obs::{
     render_trace, ActiveTrace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
 };
@@ -33,7 +35,7 @@ use explore_storage::{
 use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
 
 /// The unified exploration engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExploreDb {
     catalog: Catalog,
     /// Raw (not-yet-loaded) tables served by the adaptive loader.
@@ -62,6 +64,41 @@ pub struct ExploreDb {
     /// leaves every execution path byte-identical to an uninstrumented
     /// engine.
     obs_policy: ObsPolicy,
+    /// Engine-wide deterministic fail-point registry. Disarmed (the
+    /// default and only production state) every injection site costs one
+    /// relaxed atomic load; tests arm named points to force the engine
+    /// down its degradation paths. Shared with the result cache, every
+    /// raw-table loader, and each exec call.
+    faults: Arc<FailPoints>,
+    /// Deadline applied to every [`ExploreDb::query`]; `None` (default)
+    /// means queries run to completion.
+    deadline: Option<QueryDeadline>,
+    /// How raw-table loaders treat malformed CSV rows; applied to
+    /// current and future attachments.
+    load_error_policy: ErrorPolicy,
+}
+
+impl Default for ExploreDb {
+    fn default() -> Self {
+        let faults = Arc::new(FailPoints::default());
+        let result_cache = Arc::<ResultCache>::default();
+        result_cache.set_faults(Some(Arc::clone(&faults)));
+        ExploreDb {
+            catalog: Catalog::default(),
+            raw: HashMap::new(),
+            crackers: HashMap::new(),
+            samples: HashMap::new(),
+            synopses: HashMap::new(),
+            exec_policy: ExecPolicy::default(),
+            result_cache,
+            cache_policy: CachePolicy::default(),
+            obs: Arc::default(),
+            obs_policy: ObsPolicy::default(),
+            faults,
+            deadline: None,
+            load_error_policy: ErrorPolicy::default(),
+        }
+    }
 }
 
 impl ExploreDb {
@@ -128,6 +165,12 @@ impl ExploreDb {
         self.obs.set_policy(&policy);
         self.result_cache
             .set_metrics(policy.is_on().then(|| self.obs.metrics()));
+        // Mirror fault trips and degradation/cancellation events into
+        // the metrics registry as `fault.*` / `cancel.*` counters.
+        self.faults.set_observer(policy.is_on().then(|| {
+            let metrics = self.obs.metrics();
+            Arc::new(move |name: &str| metrics.inc(name, 1)) as Observer
+        }));
         self.obs_policy = policy;
     }
 
@@ -160,10 +203,52 @@ impl ExploreDb {
     /// [`ExploreDb::query`]), so the profile reflects live state —
     /// explaining a cached query shows the hit, not the original scan.
     pub fn explain(&mut self, table: &str, query: &Query) -> Result<String> {
+        let ctx = self.run_ctx(None);
         let trace = self.obs.force_start(table, query.describe());
-        let result = self.run_routed(table, query, Some(&trace));
+        let result = self.run_routed(table, query, &ctx, Some(&trace));
         let finished = trace.finish();
+        self.note_cancel(&result);
         result.map(|_| render_trace(&finished))
+    }
+
+    /// Handle to the engine's fail-point registry. Tests arm named
+    /// points (`exec.spawn`, `exec.morsel`, `cache.admit`,
+    /// `cache.lookup`, `cache.evict`, `load.parse`, `load.map`,
+    /// `crack.reorg`) to drive the engine down its degradation paths;
+    /// the registry also counts `fault.*` / `cancel.*` events.
+    pub fn fail_points(&self) -> Arc<FailPoints> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Set (or clear) a per-query deadline. Each subsequent
+    /// [`ExploreDb::query`] mints a fresh token whose clock starts at
+    /// query start; a query that overruns returns
+    /// `StorageError::DeadlineExceeded` at its next morsel boundary,
+    /// with all engine state (cache, indexes, loaders) still valid.
+    pub fn set_query_deadline(&mut self, limit: Option<Duration>) {
+        self.deadline = limit.map(QueryDeadline);
+    }
+
+    /// The current per-query deadline, if any.
+    pub fn query_deadline(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.0)
+    }
+
+    /// How raw-table loaders treat malformed CSV rows: `Abort` (the
+    /// default) surfaces the first parse error, `SkipRow` tombstones the
+    /// offending row and keeps serving. Applies to already-attached and
+    /// future raw tables.
+    pub fn set_load_error_policy(&mut self, policy: ErrorPolicy) {
+        self.load_error_policy = policy;
+        for loader in self.raw.values_mut() {
+            loader.set_error_policy(policy);
+        }
+    }
+
+    /// Rows skipped so far by a raw table's loader under
+    /// [`ErrorPolicy::SkipRow`] (`None` for in-memory tables).
+    pub fn rows_skipped(&self, table: &str) -> Option<u64> {
+        self.raw.get(table).map(AdaptiveLoader::rows_skipped)
     }
 
     /// Snapshot of the shared cache's counters.
@@ -256,7 +341,10 @@ impl ExploreDb {
     /// Attach a raw CSV file; queries against it run through the NoDB
     /// adaptive loader until the workload has loaded it.
     pub fn attach_raw(&mut self, name: impl Into<String>, raw: RawCsv) {
-        self.raw.insert(name.into(), AdaptiveLoader::new(raw));
+        let mut loader = AdaptiveLoader::new(raw);
+        loader.set_faults(Some(Arc::clone(&self.faults)));
+        loader.set_error_policy(self.load_error_policy);
+        self.raw.insert(name.into(), loader);
     }
 
     /// Registered table names (in-memory, then raw).
@@ -278,12 +366,53 @@ impl ExploreDb {
     /// through the adaptive loader, whose incremental load state is
     /// itself the cache.
     pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
+        let ctx = self.run_ctx(None);
+        self.query_with_ctx(table, query, &ctx)
+    }
+
+    /// [`ExploreDb::query`] under an external cancel token: the caller
+    /// (another thread, a UI) may cancel at any time, and the query
+    /// returns `StorageError::Cancelled` at its next morsel boundary.
+    /// Partial state — cracker indexes, cache entries, pool workers —
+    /// stays valid, and a follow-up query returns results bit-identical
+    /// to a never-cancelled engine.
+    pub fn query_cancellable(
+        &mut self,
+        table: &str,
+        query: &Query,
+        cancel: &CancelToken,
+    ) -> Result<Table> {
+        let ctx = self.run_ctx(Some(cancel.clone()));
+        self.query_with_ctx(table, query, &ctx)
+    }
+
+    fn query_with_ctx(&mut self, table: &str, query: &Query, ctx: &RunCtx) -> Result<Table> {
         let trace = self.obs.start(table, || query.describe());
-        let result = self.run_routed(table, query, trace.as_ref());
+        let result = self.run_routed(table, query, ctx, trace.as_ref());
         if let Some(trace) = trace {
             trace.finish();
         }
+        self.note_cancel(&result);
         result
+    }
+
+    /// The fault/cancellation context for one query: the engine's fail
+    /// points plus an explicit token, or one minted from the deadline.
+    fn run_ctx(&self, cancel: Option<CancelToken>) -> RunCtx {
+        RunCtx {
+            faults: Some(Arc::clone(&self.faults)),
+            cancel: cancel.or_else(|| self.deadline.as_ref().map(QueryDeadline::token)),
+        }
+    }
+
+    /// Count cancellation outcomes as `cancel.*` events (mirrored into
+    /// obs metrics when observability is on).
+    fn note_cancel<T>(&self, result: &Result<T>) {
+        match result {
+            Err(StorageError::Cancelled) => self.faults.note("cancel.cancelled"),
+            Err(StorageError::DeadlineExceeded) => self.faults.note("cancel.deadline_exceeded"),
+            _ => {}
+        }
     }
 
     /// The routing core of [`ExploreDb::query`], shared with
@@ -294,8 +423,12 @@ impl ExploreDb {
         &mut self,
         table: &str,
         query: &Query,
+        ctx: &RunCtx,
         trace: Option<&ActiveTrace>,
     ) -> Result<Table> {
+        // An already-cancelled or expired token fails before routing —
+        // even a warm cache hit must not mask the typed error.
+        ctx.check_cancel()?;
         if let Some(loader) = self.raw.get_mut(table) {
             return match trace {
                 Some(t) => t.scope(ROOT_SPAN, SpanKind::RawLoad, || loader.query(query)),
@@ -304,16 +437,17 @@ impl ExploreDb {
         }
         let base = self.catalog.get(table)?;
         if self.cache_policy.is_on() {
-            explore_cache::cached_query_traced(
+            explore_cache::cached_query_ctx(
                 &self.result_cache,
                 base,
                 table,
                 query,
                 self.exec_policy,
+                ctx,
                 trace,
             )
         } else {
-            explore_exec::run_query_traced(base, query, self.exec_policy, trace)
+            explore_exec::run_query_ctx(base, query, self.exec_policy, ctx, trace)
         }
     }
 
@@ -335,25 +469,34 @@ impl ExploreDb {
         low: i64,
         high: i64,
     ) -> Result<Vec<u32>> {
-        let key = (table.to_owned(), column.to_owned());
-        if !self.crackers.contains_key(&key) {
+        let key = self.ensure_cracker(table, column)?;
+        if self.faults.fire("crack.reorg") {
+            // Injected reorganization failure: answer by scanning the
+            // (never-reorganized) base column instead. Cracking writes
+            // are discretionary, so skipping one changes convergence
+            // rate, never answers.
+            self.faults.note("fault.crack.scan_fallback");
             let t = self.catalog.get(table)?;
             let col = t.column(column)?;
-            let values = col
-                .as_i64()
-                .ok_or_else(|| StorageError::TypeMismatch {
-                    column: column.to_owned(),
-                    expected: "Int64",
-                    found: col.data_type().name(),
-                })?
-                .to_vec();
-            self.crackers
-                .insert(key.clone(), CrackerColumn::new(values));
+            let values = col.as_i64().ok_or_else(|| StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "Int64",
+                found: col.data_type().name(),
+            })?;
+            return Ok(values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v >= low && v < high)
+                .map(|(i, _)| i as u32)
+                .collect());
         }
         let trace = self
             .obs
             .start(table, || format!("cracked_range({column}, {low}, {high})"));
-        let cracker = self.crackers.get_mut(&key).expect("just inserted");
+        let cracker = self
+            .crackers
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::Internal("cracker lost after ensure".into()))?;
         let pieces_before = cracker.num_pieces();
         let start = trace.as_ref().map(|t| t.now_ns());
         let ids = cracker.query_ids(low, high).to_vec();
@@ -383,6 +526,57 @@ impl ExploreDb {
             trace.finish();
         }
         Ok(ids)
+    }
+
+    /// [`ExploreDb::cracked_range`] under an external cancel token. The
+    /// token is checked between crack (partition) steps, so a cancelled
+    /// call may have cracked the low bound but not the high one — the
+    /// cracker index is well-formed either way, and the partial work is
+    /// kept (it benefits later queries rather than being rolled back).
+    pub fn cracked_range_cancellable(
+        &mut self,
+        table: &str,
+        column: &str,
+        low: i64,
+        high: i64,
+        cancel: &CancelToken,
+    ) -> Result<Vec<u32>> {
+        let key = self.ensure_cracker(table, column)?;
+        let cracker = self
+            .crackers
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::Internal("cracker lost after ensure".into()))?;
+        let pieces_before = cracker.num_pieces();
+        let out = cracker
+            .query_cancellable(low, high, cancel)
+            .map(|(s, e)| cracker.ids()[s..e].to_vec());
+        // Even an aborted call may have registered a boundary: keep the
+        // epoch protocol conservative about reorganizations.
+        if cracker.num_pieces() != pieces_before {
+            self.result_cache.bump_epoch(table);
+        }
+        self.note_cancel(&out);
+        out
+    }
+
+    /// Build the (table, column) cracker on first use; returns its key.
+    fn ensure_cracker(&mut self, table: &str, column: &str) -> Result<(String, String)> {
+        let key = (table.to_owned(), column.to_owned());
+        if !self.crackers.contains_key(&key) {
+            let t = self.catalog.get(table)?;
+            let col = t.column(column)?;
+            let values = col
+                .as_i64()
+                .ok_or_else(|| StorageError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: "Int64",
+                    found: col.data_type().name(),
+                })?
+                .to_vec();
+            self.crackers
+                .insert(key.clone(), CrackerColumn::new(values));
+        }
+        Ok(key)
     }
 
     /// Pieces the adaptive index on (table, column) currently has —

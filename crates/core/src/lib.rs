@@ -42,6 +42,17 @@ pub use engine::ExploreDb;
 pub use language::{parse, ExplorationSession, Outcome, Statement};
 pub use taxonomy::{render_table1, table1, Cluster, Layer};
 
+/// The engine-level error type. `StorageError` is the workspace-wide
+/// error enum; cancelled and timed-out queries surface its `Cancelled`
+/// / `DeadlineExceeded` variants, and violated runtime invariants its
+/// `Internal` variant.
+pub use explore_storage::StorageError as EngineError;
+
+// Fault-injection and cancellation primitives, re-exported so tests
+// and downstream users can arm fail points and mint cancel tokens
+// without depending on `explore-fault` directly.
+pub use explore_fault::{CancelToken, FailPoints, QueryDeadline, Schedule};
+
 // Re-export the technique crates so `explore-core` is a one-stop
 // dependency for downstream users (the root `exploration` package and
 // the examples rely on this).
@@ -52,6 +63,7 @@ pub use explore_cube as cube;
 pub use explore_diversify as diversify;
 pub use explore_exec as exec;
 pub use explore_explore as interact;
+pub use explore_fault as fault;
 pub use explore_layout as layout;
 pub use explore_loading as loading;
 pub use explore_obs as obs;

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use explore_exec::{global_pool, ExecPolicy};
+use explore_fault::FailPoints;
 use explore_obs::MetricsRegistry;
 use parking_lot::RwLock;
 
@@ -43,6 +44,8 @@ pub struct ConcurrentCracker {
     /// detached observability costs readers nothing.
     metrics_on: AtomicBool,
     metrics: RwLock<Option<Arc<MetricsRegistry>>>,
+    /// Optional fault-injection registry (see [`Self::set_faults`]).
+    faults: RwLock<Option<Arc<FailPoints>>>,
 }
 
 impl ConcurrentCracker {
@@ -54,6 +57,31 @@ impl ConcurrentCracker {
             exclusive: AtomicU64::new(0),
             metrics_on: AtomicBool::new(false),
             metrics: RwLock::new(None),
+            faults: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach) a fault-injection registry. One fail point is
+    /// honored: `crack.reorg` — when it fires on a query that would need
+    /// to crack, the reorganization is skipped and the answer is served
+    /// by a read-locked scan of the raw values instead (counted as a
+    /// shared acquisition and noted as `fault.crack.scan_fallback`).
+    /// Cracking writes are discretionary, so skipping one never changes
+    /// an answer — only the convergence rate.
+    pub fn set_faults(&self, faults: Option<Arc<FailPoints>>) {
+        *self.faults.write() = faults;
+    }
+
+    fn fire(&self, name: &str) -> bool {
+        match self.faults.read().as_ref() {
+            Some(f) => f.fire(name),
+            None => false,
+        }
+    }
+
+    fn note(&self, event: &str) {
+        if let Some(f) = self.faults.read().as_ref() {
+            f.note(event);
         }
     }
 
@@ -85,6 +113,18 @@ impl ConcurrentCracker {
                 return e - s;
             }
         }
+        if self.fire("crack.reorg") {
+            let col = self.inner.read();
+            let n = col
+                .values()
+                .iter()
+                .filter(|&&v| v >= low && v < high)
+                .count();
+            drop(col);
+            self.bump(&self.shared, "crack.shared_locks");
+            self.note("fault.crack.scan_fallback");
+            return n;
+        }
         let mut col = self.inner.write();
         let (s, e) = col.query(low, high);
         drop(col);
@@ -103,6 +143,14 @@ impl ConcurrentCracker {
                 self.bump(&self.shared, "crack.shared_locks");
                 return sum;
             }
+        }
+        if self.fire("crack.reorg") {
+            let col = self.inner.read();
+            let sum = col.values().iter().filter(|&&v| v >= low && v < high).sum();
+            drop(col);
+            self.bump(&self.shared, "crack.shared_locks");
+            self.note("fault.crack.scan_fallback");
+            return sum;
         }
         let mut col = self.inner.write();
         let (s, e) = col.query(low, high);

@@ -15,6 +15,9 @@
 use std::collections::BTreeMap;
 use std::ops::Bound::{Excluded, Unbounded};
 
+use explore_fault::CancelToken;
+use explore_storage::Result;
+
 /// Counters describing the physical work a cracker has performed.
 /// Used by tests (to assert convergence) and by the benchmark harness
 /// (to report work per query alongside wall time).
@@ -112,6 +115,43 @@ impl CrackerColumn {
         let p_hi = self.bound_position(high);
         debug_assert!(p_lo <= p_hi);
         (p_lo, p_hi)
+    }
+
+    /// Cooperatively cancellable [`query`](Self::query): the token is
+    /// checked before each crack (partition) step, so a cancelled query
+    /// aborts between reorganization steps, never inside one. Because
+    /// every crack op runs to completion before the next check, the
+    /// cracker index is well-formed after a `Cancelled`/
+    /// `DeadlineExceeded` error — any boundary the aborted query already
+    /// registered is valid and benefits later queries.
+    pub fn query_cancellable(
+        &mut self,
+        low: i64,
+        high: i64,
+        cancel: &CancelToken,
+    ) -> Result<(usize, usize)> {
+        if low >= high || self.values.is_empty() {
+            return Ok((0, 0));
+        }
+        cancel.check()?;
+        if !self.index.contains_key(&low) && !self.index.contains_key(&high) {
+            let (s1, e1) = self.piece_for(low);
+            let (s2, e2) = self.piece_for(high);
+            if (s1, e1) == (s2, e2) {
+                let (p_lo, p_hi) = self.crack_in_three(s1, e1, low, high);
+                self.index.insert(low, p_lo);
+                self.index.insert(high, p_hi);
+                return Ok((p_lo, p_hi));
+            }
+        }
+        let p_lo = self.bound_position(low);
+        // Mid-reorg cancellation point: the low boundary's crack has
+        // fully completed (and stays useful); the high bound's crack
+        // simply never starts.
+        cancel.check()?;
+        let p_hi = self.bound_position(high);
+        debug_assert!(p_lo <= p_hi);
+        Ok((p_lo, p_hi))
     }
 
     /// Like [`query`](Self::query) but returns the base-table row ids of

@@ -38,9 +38,11 @@ pub mod policy;
 pub mod pool;
 pub mod query;
 
+pub use explore_fault::RunCtx;
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{
-    evaluate_selection, evaluate_selection_traced, morsel_count, morsel_range, run_query,
-    run_query_on_selection, run_query_on_selection_traced, run_query_traced,
+    evaluate_selection, evaluate_selection_ctx, evaluate_selection_traced, morsel_count,
+    morsel_range, run_query, run_query_ctx, run_query_on_selection, run_query_on_selection_ctx,
+    run_query_on_selection_traced, run_query_traced,
 };

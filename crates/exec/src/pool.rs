@@ -185,17 +185,22 @@ impl ExecPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let handles = (0..helpers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                // Participant 0 is always the caller.
-                let id = i + 1;
-                std::thread::Builder::new()
-                    .name(format!("explore-exec-{id}"))
-                    .spawn(move || helper_loop(&shared, id))
-                    .expect("spawn exec helper")
-            })
-            .collect();
+        // Helper-spawn failure (thread exhaustion) degrades to a smaller
+        // pool instead of panicking: the caller always participates, so
+        // even zero helpers still executes every morsel.
+        let mut handles = Vec::with_capacity(helpers);
+        for _ in 0..helpers {
+            let shared = Arc::clone(&shared);
+            // Participant 0 is always the caller.
+            let id = handles.len() + 1;
+            match std::thread::Builder::new()
+                .name(format!("explore-exec-{id}"))
+                .spawn(move || helper_loop(&shared, id))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(_) => break,
+            }
+        }
         ExecPool {
             shared,
             helpers: handles,

@@ -19,8 +19,9 @@
 
 use std::cell::UnsafeCell;
 
+use explore_fault::RunCtx;
 use explore_obs::{ActiveTrace, SpanKind, ROOT_SPAN};
-use explore_storage::{Predicate, Query, Result, Table, MORSEL_ROWS};
+use explore_storage::{Predicate, Query, Result, StorageError, Table, MORSEL_ROWS};
 
 use crate::policy::ExecPolicy;
 use crate::pool::global_pool;
@@ -61,11 +62,27 @@ pub fn evaluate_selection_traced(
     policy: ExecPolicy,
     trace: Option<&ActiveTrace>,
 ) -> Result<Vec<u32>> {
+    evaluate_selection_ctx(table, predicate, policy, &RunCtx::none(), trace)
+}
+
+/// [`evaluate_selection_traced`] with a fault-injection/cancellation
+/// context: the cancel token is checked once per morsel, and armed
+/// fail points may divert the dispatch path (`exec.spawn` forces the
+/// inline-serial route; `exec.morsel` panics a pooled morsel, which the
+/// dispatcher catches and retries serially).
+pub fn evaluate_selection_ctx(
+    table: &Table,
+    predicate: &Predicate,
+    policy: ExecPolicy,
+    ctx: &RunCtx,
+    trace: Option<&ActiveTrace>,
+) -> Result<Vec<u32>> {
     let n = table.num_rows();
     let pieces = run_morsels(
         policy,
         morsel_count(n),
         |m| predicate.evaluate_range(table, morsel_range(m, n)),
+        ctx,
         trace.map(|t| (t, "filter")),
     )?;
     let mut sel = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
@@ -90,6 +107,20 @@ pub fn run_query_traced(
     policy: ExecPolicy,
     trace: Option<&ActiveTrace>,
 ) -> Result<Table> {
+    run_query_ctx(table, query, policy, &RunCtx::none(), trace)
+}
+
+/// [`run_query_traced`] with a fault-injection/cancellation context.
+/// A cancelled or expired token surfaces as
+/// `StorageError::Cancelled`/`DeadlineExceeded` after at most one
+/// in-flight morsel finishes; no partial result escapes.
+pub fn run_query_ctx(
+    table: &Table,
+    query: &Query,
+    policy: ExecPolicy,
+    ctx: &RunCtx,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
 
@@ -110,6 +141,7 @@ pub fn run_query_traced(
                 let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
                 Ok(target.gather(&sel))
             },
+            ctx,
             trace.map(|t| (t, "scan")),
         )?;
         let out = merge_traced(trace, || {
@@ -133,6 +165,7 @@ pub fn run_query_traced(
                 state.update(&sel);
                 Ok(state)
             },
+            ctx,
             trace.map(|t| (t, "aggregate")),
         )?;
         let merged = merge_traced(trace, || {
@@ -179,6 +212,19 @@ pub fn run_query_on_selection_traced(
     policy: ExecPolicy,
     trace: Option<&ActiveTrace>,
 ) -> Result<Table> {
+    run_query_on_selection_ctx(table, query, sel, policy, &RunCtx::none(), trace)
+}
+
+/// [`run_query_on_selection_traced`] with a fault-injection and
+/// cancellation context.
+pub fn run_query_on_selection_ctx(
+    table: &Table,
+    query: &Query,
+    sel: &[u32],
+    policy: ExecPolicy,
+    ctx: &RunCtx,
+    trace: Option<&ActiveTrace>,
+) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
     // `sel` is ascending, so each morsel's share is one contiguous
@@ -201,6 +247,7 @@ pub fn run_query_on_selection_traced(
             policy,
             n_morsels,
             |m| Ok(target.gather(slice(m))),
+            ctx,
             trace.map(|t| (t, "replay")),
         )?;
         let out = merge_traced(trace, || {
@@ -221,6 +268,7 @@ pub fn run_query_on_selection_traced(
                 state.update(slice(m));
                 Ok(state)
             },
+            ctx,
             trace.map(|t| (t, "replay")),
         )?;
         let merged = merge_traced(trace, || {
@@ -239,16 +287,33 @@ pub fn run_query_on_selection_traced(
 /// in morsel order. Errors are resolved deterministically: the error of
 /// the lowest-indexed failing morsel wins under either policy.
 ///
+/// The context hooks in two behaviours, both off (one branch each) by
+/// default:
+///
+/// * **Cancellation** — `ctx.check_cancel()` runs before every morsel,
+///   so a cancelled/expired token stops the query after at most the
+///   in-flight morsels finish; remaining morsels fail fast without
+///   doing work.
+/// * **Fault injection** — the `exec.spawn` fail point diverts pool
+///   dispatch to an inline serial loop, and the `exec.morsel` fail
+///   point panics inside a pooled morsel task. Any worker panic
+///   (injected or real) is caught and the whole batch degrades to
+///   serial execution — bit-identical output, since the morsel
+///   decomposition and merge order never change. A panic that repeats
+///   serially propagates; the serial retry does not re-inject.
+///
 /// With `trace` set, records one [`SpanKind::Exec`] span (parented at
 /// the trace root, stamped with the stage label and the number of pool
 /// participants actually dispatched) plus one [`SpanKind::Morsel`]
-/// child per morsel. The exec span id is reserved *before* the morsels
-/// run so children can parent under it, then filled in afterwards once
-/// the participant count is known.
+/// child per morsel, and a [`SpanKind::Fault`] marker when a
+/// degradation path engages. The exec span id is reserved *before* the
+/// morsels run so children can parent under it, then filled in
+/// afterwards once the participant count is known.
 fn run_morsels<T, F>(
     policy: ExecPolicy,
     n_morsels: usize,
     f: F,
+    ctx: &RunCtx,
     trace: Option<(&ActiveTrace, &'static str)>,
 ) -> Result<Vec<T>>
 where
@@ -256,7 +321,13 @@ where
     F: Fn(usize) -> Result<T> + Sync,
 {
     let span = trace.map(|(t, stage)| (t, stage, t.alloc_id(), t.now_ns()));
-    let run_one = |m: usize| -> Result<T> {
+    // `inject` is true only for pooled attempts: the serial fallback
+    // must not re-trigger the fault it is recovering from.
+    let run_one = |m: usize, inject: bool| -> Result<T> {
+        ctx.check_cancel()?;
+        if inject && ctx.fire("exec.morsel") {
+            panic!("faultsim: injected morsel panic");
+        }
         match span {
             Some((t, _, exec_id, _)) => {
                 let start = t.now_ns();
@@ -272,27 +343,65 @@ where
             None => f(m),
         }
     };
+    let run_serial = |inject: bool| (0..n_morsels).map(|m| run_one(m, inject)).collect();
+    let serial_fallback = || {
+        ctx.note("fault.exec.serial_fallback");
+        if let Some((t, _, exec_id, _)) = span {
+            let now = t.now_ns();
+            t.record(
+                exec_id,
+                SpanKind::Fault {
+                    site: "exec.serial_fallback",
+                },
+                now,
+                now,
+            );
+        }
+        (run_serial(false), 1usize)
+    };
     let (result, participants) = match policy {
-        ExecPolicy::Serial => ((0..n_morsels).map(run_one).collect(), 1usize),
+        ExecPolicy::Serial => (run_serial(false), 1usize),
+        ExecPolicy::Parallel { .. } if ctx.fire("exec.spawn") => {
+            // Injected dispatch failure: pretend the pool was
+            // unavailable and run the batch inline.
+            serial_fallback()
+        }
         ExecPolicy::Parallel { workers } => {
-            let slots = SlotVec::new(n_morsels);
-            let participants = global_pool().run_counted(workers.max(1), n_morsels, &|m| {
-                // Safety: the pool executes each morsel index exactly
-                // once, so each slot is written by exactly one task.
-                unsafe { slots.set(m, run_one(m)) };
-            });
-            let mut out = Vec::with_capacity(n_morsels);
-            let mut collected = Ok(());
-            for slot in slots.into_inner() {
-                match slot.expect("pool ran every morsel") {
-                    Ok(v) => out.push(v),
-                    Err(e) => {
-                        collected = Err(e);
-                        break;
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let slots = SlotVec::new(n_morsels);
+                let participants = global_pool().run_counted(workers.max(1), n_morsels, &|m| {
+                    // Safety: the pool executes each morsel index exactly
+                    // once, so each slot is written by exactly one task.
+                    unsafe { slots.set(m, run_one(m, true)) };
+                });
+                (slots, participants)
+            }));
+            match attempt {
+                Ok((slots, participants)) => {
+                    let mut out = Vec::with_capacity(n_morsels);
+                    let mut collected = Ok(());
+                    for slot in slots.into_inner() {
+                        match slot {
+                            Some(Ok(v)) => out.push(v),
+                            Some(Err(e)) => {
+                                collected = Err(e);
+                                break;
+                            }
+                            None => {
+                                collected =
+                                    Err(StorageError::Internal("pool skipped a morsel".into()));
+                                break;
+                            }
+                        }
                     }
+                    (collected.map(|()| out), participants.max(1))
                 }
+                // A worker panicked (injected or real). The pool caught
+                // it, unpublished the job, and stays valid; re-run the
+                // whole batch serially — same decomposition, same merge
+                // order, bit-identical output.
+                Err(_) => serial_fallback(),
             }
-            (collected.map(|()| out), participants.max(1))
         }
     };
     if let Some((t, stage, exec_id, start)) = span {

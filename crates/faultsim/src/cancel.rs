@@ -1,0 +1,183 @@
+//! Cooperative cancellation tokens and query deadlines.
+//!
+//! A [`CancelToken`] is checked by the executor once per morsel (and by
+//! the cracker between reorganization steps). Checks are cheap — one
+//! counter bump plus one or two relaxed loads; the deadline clock is
+//! only consulted when a deadline is set. Because every check lands on
+//! a unit-of-work boundary, a triggered token stops the query after at
+//! most one in-flight morsel's worth of extra work, and the engine's
+//! partial state is always the state *between* complete units — valid
+//! by construction.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use explore_storage::{Result, StorageError};
+
+#[derive(Debug)]
+struct Inner {
+    /// Set by [`CancelToken::cancel`] or by an exhausted check budget.
+    cancelled: AtomicBool,
+    /// Wall-clock deadline, if any.
+    deadline: Option<Instant>,
+    /// Cancel deterministically after this many checks, if set. Used by
+    /// tests to cancel at an exact morsel boundary.
+    check_budget: Option<u64>,
+    /// Total checks performed so far.
+    checks: AtomicU64,
+}
+
+/// A cloneable cancellation token; clones share state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    fn build(deadline: Option<Instant>, check_budget: Option<u64>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                check_budget,
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A token that only triggers via [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::build(None, None)
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken::build(Instant::now().checked_add(timeout), None)
+    }
+
+    /// A token that cancels deterministically on check number `n + 1` —
+    /// i.e. it survives exactly `n` checks. `after_checks(0)` cancels
+    /// on the very first boundary.
+    pub fn after_checks(n: u64) -> CancelToken {
+        CancelToken::build(None, Some(n))
+    }
+
+    /// Request cancellation; every subsequent check fails.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled (manually or by budget)? Deadline
+    /// expiry is only detected at check time.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// How many checks have been performed against this token.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// One cooperative check, called at unit-of-work boundaries.
+    /// Returns `StorageError::Cancelled` when cancelled (manually or by
+    /// an exhausted check budget) and `StorageError::DeadlineExceeded`
+    /// when the deadline has passed.
+    pub fn check(&self) -> Result<()> {
+        let n = self.inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Err(StorageError::Cancelled);
+        }
+        if let Some(budget) = self.inner.check_budget {
+            if n > budget {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                return Err(StorageError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                return Err(StorageError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A per-query time budget, convertible into a fresh [`CancelToken`] at
+/// query start. The engine stores one of these as a policy knob and
+/// mints a token per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryDeadline(pub Duration);
+
+impl QueryDeadline {
+    /// A deadline of `millis` milliseconds.
+    pub fn from_millis(millis: u64) -> QueryDeadline {
+        QueryDeadline(Duration::from_millis(millis))
+    }
+
+    /// Mint a token whose clock starts now.
+    pub fn token(&self) -> CancelToken {
+        CancelToken::with_deadline(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let t = CancelToken::new();
+        for _ in 0..10 {
+            assert!(t.check().is_ok());
+        }
+        assert_eq!(t.checks(), 10);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancel_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(StorageError::Cancelled));
+        assert_eq!(t.check(), Err(StorageError::Cancelled));
+    }
+
+    #[test]
+    fn check_budget_cancels_at_exact_boundary() {
+        let t = CancelToken::after_checks(3);
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert_eq!(t.check(), Err(StorageError::Cancelled));
+        assert_eq!(t.check(), Err(StorageError::Cancelled), "sticky");
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let t = CancelToken::with_deadline(Duration::from_nanos(0));
+        assert_eq!(t.check(), Err(StorageError::DeadlineExceeded));
+        // Sticky: later checks report Cancelled (the query is dead
+        // either way; the first error is the one callers see).
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let t = QueryDeadline(Duration::from_secs(3600)).token();
+        assert!(t.check().is_ok());
+        assert_eq!(
+            QueryDeadline::from_millis(5),
+            QueryDeadline(Duration::from_millis(5))
+        );
+    }
+}

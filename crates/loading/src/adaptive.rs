@@ -15,8 +15,11 @@
 //!   the workload).
 //! * **Selective parsing** — columns never touched are never parsed.
 
+use std::sync::Arc;
+
+use explore_fault::FailPoints;
 use explore_storage::csv::push_parsed;
-use explore_storage::{Column, Field, Query, Result, Schema, Table};
+use explore_storage::{Column, Field, Query, Result, Schema, StorageError, Table, Value};
 
 use crate::raw::RawCsv;
 
@@ -31,6 +34,21 @@ pub struct LoadMetrics {
     pub map_hits: u64,
     /// Queries answered entirely from cached columns.
     pub cached_queries: u64,
+    /// Rows excluded under [`ErrorPolicy::SkipRow`].
+    pub rows_skipped: u64,
+}
+
+/// What to do when a row fails to parse (malformed field, short row, or
+/// an injected `load.parse` fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Surface the parse error to the caller (the default — queries on
+    /// clean files are unaffected either way).
+    #[default]
+    Abort,
+    /// Drop the offending row from every query answer and keep going;
+    /// each skipped row is counted in [`LoadMetrics::rows_skipped`].
+    SkipRow,
 }
 
 /// An adaptive loader over one raw CSV file.
@@ -49,6 +67,15 @@ pub struct AdaptiveLoader {
     /// number of distinct shapes in a session (small in practice).
     view_cache: std::collections::HashMap<Vec<String>, Table>,
     metrics: LoadMetrics,
+    /// How row-level parse failures are handled.
+    error_policy: ErrorPolicy,
+    /// Rows excluded from query answers under [`ErrorPolicy::SkipRow`].
+    /// Columns keep a typed placeholder at dead rows so lengths stay
+    /// aligned; views filter them out.
+    dead: Vec<bool>,
+    /// Fail-point registry for the tokenizer/positional-map hazard
+    /// sites, when attached.
+    faults: Option<Arc<FailPoints>>,
 }
 
 impl AdaptiveLoader {
@@ -63,7 +90,40 @@ impl AdaptiveLoader {
             cache: vec![None; ncols],
             view_cache: std::collections::HashMap::new(),
             metrics: LoadMetrics::default(),
+            error_policy: ErrorPolicy::default(),
+            dead: vec![false; rows],
+            faults: None,
         }
+    }
+
+    /// Set how row-level parse failures are handled.
+    pub fn set_error_policy(&mut self, policy: ErrorPolicy) {
+        self.error_policy = policy;
+    }
+
+    /// Current parse-failure policy.
+    pub fn error_policy(&self) -> ErrorPolicy {
+        self.error_policy
+    }
+
+    /// Attach (or detach) a fail-point registry. Armed points:
+    /// `load.parse` makes a field read parse as malformed (handled per
+    /// the [`ErrorPolicy`]), `load.map` makes one positional-map read
+    /// fall back to tokenizing the line from its start (bit-identical
+    /// answer, just slower).
+    pub fn set_faults(&mut self, faults: Option<Arc<FailPoints>>) {
+        self.faults = faults;
+    }
+
+    /// Does the named fail point trigger? One `Option` check when no
+    /// registry is attached.
+    fn fire(&self, name: &str) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.fire(name))
+    }
+
+    /// Rows currently excluded under [`ErrorPolicy::SkipRow`].
+    pub fn rows_skipped(&self) -> u64 {
+        self.metrics.rows_skipped
     }
 
     /// The file's schema.
@@ -103,7 +163,39 @@ impl AdaptiveLoader {
         for row in 0..self.raw.num_rows() {
             let (start, end) = self.locate_field(row, fi);
             let line = self.raw.line(row);
-            push_parsed(&mut col, &line[start..end], row + 2)?;
+            let parsed = if self.fire("load.parse") {
+                Err(StorageError::Csv {
+                    line: row + 2,
+                    message: "injected parse fault".into(),
+                })
+            } else {
+                push_parsed(&mut col, &line[start..end], row + 2)
+            };
+            match parsed {
+                Ok(()) => {}
+                Err(e) => match self.error_policy {
+                    // Abort mid-column leaves valid state: the cache
+                    // slot stays `None` and the positional map only
+                    // ever gained accurate offsets.
+                    ErrorPolicy::Abort => return Err(e),
+                    ErrorPolicy::SkipRow => {
+                        // Keep column lengths aligned with a typed
+                        // placeholder; the row is filtered out of every
+                        // view below.
+                        col.push(match dt {
+                            explore_storage::DataType::Int64 => Value::Int(0),
+                            explore_storage::DataType::Float64 => Value::Float(0.0),
+                            explore_storage::DataType::Utf8 => Value::Str(String::new()),
+                        })?;
+                        if !self.dead[row] {
+                            self.dead[row] = true;
+                            self.metrics.rows_skipped += 1;
+                            // Views built before this row died include it.
+                            self.view_cache.clear();
+                        }
+                    }
+                },
+            }
             self.metrics.fields_parsed += 1;
         }
         self.cache[fi] = Some(col);
@@ -113,6 +205,23 @@ impl AdaptiveLoader {
     /// Byte range (within the line) of `field` in `row`, tokenizing as
     /// little as possible and extending the positional map.
     fn locate_field(&mut self, row: usize, field: usize) -> (usize, usize) {
+        if self.fire("load.map") {
+            // Injected positional-map failure: ignore the map for this
+            // access and tokenize the line from its start. Same bytes
+            // come back and the map is left untouched, so a corrupted
+            // or unavailable map entry can never corrupt an answer.
+            let line = self.raw.line(row);
+            let mut start = 0usize;
+            for _ in 0..field {
+                self.metrics.fields_tokenized += 1;
+                match line[start..].find(',') {
+                    Some(i) => start += i + 1,
+                    None => break, // short row; parse error surfaces later
+                }
+            }
+            let end = line[start..].find(',').map_or(line.len(), |i| start + i);
+            return (start, end);
+        }
         let ncols = self.raw.schema().len();
         let line = self.raw.line(row);
         let known = self.known[row] as usize;
@@ -194,12 +303,31 @@ impl AdaptiveLoader {
                     name.clone(),
                     self.raw.schema().fields()[fi].data_type(),
                 ));
-                cols.push(self.cache[fi].clone().expect("ensured above"));
+                match self.cache[fi].clone() {
+                    Some(col) => cols.push(col),
+                    None => {
+                        return Err(StorageError::Internal(format!(
+                            "column cache lost {name} after ensure_column"
+                        )))
+                    }
+                }
             }
-            self.view_cache
-                .insert(names.clone(), Table::new(Schema::new(fields)?, cols)?);
+            let mut view = Table::new(Schema::new(fields)?, cols)?;
+            if self.dead.iter().any(|&d| d) {
+                // Skipped rows are excluded once at view-build time;
+                // the filtered view is what gets cached.
+                let live: Vec<u32> = (0..self.raw.num_rows())
+                    .filter(|&r| !self.dead[r])
+                    .map(|r| r as u32)
+                    .collect();
+                view = view.gather(&live);
+            }
+            self.view_cache.insert(names.clone(), view);
         }
-        let view = self.view_cache.get(&names).expect("just built");
+        let view = self
+            .view_cache
+            .get(&names)
+            .ok_or_else(|| StorageError::Internal("view cache lost freshly built view".into()))?;
         query.run(view)
     }
 }

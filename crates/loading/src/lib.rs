@@ -29,5 +29,5 @@
 pub mod adaptive;
 pub mod raw;
 
-pub use adaptive::{AdaptiveLoader, LoadMetrics};
+pub use adaptive::{AdaptiveLoader, ErrorPolicy, LoadMetrics};
 pub use raw::{eager_load, ExternalScanner, RawCsv};

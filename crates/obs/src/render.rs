@@ -59,6 +59,7 @@ fn describe(kind: &SpanKind) -> String {
             }
         }
         SpanKind::Stage(s) => (*s).to_owned(),
+        SpanKind::Fault { site } => format!("fault degradation: {site}"),
     }
 }
 

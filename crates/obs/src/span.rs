@@ -64,6 +64,9 @@ pub enum SpanKind {
     },
     /// A labelled catch-all for middleware stages.
     Stage(&'static str),
+    /// A fault-injection degradation path engaged at the named site
+    /// (e.g. "exec.serial_fallback"); zero-duration marker span.
+    Fault { site: &'static str },
 }
 
 impl SpanKind {
@@ -82,6 +85,7 @@ impl SpanKind {
             SpanKind::RawLoad => "raw_load",
             SpanKind::Aqp { .. } => "aqp",
             SpanKind::Stage(s) => s,
+            SpanKind::Fault { .. } => "fault",
         }
     }
 }

@@ -28,6 +28,13 @@ pub enum StorageError {
     Csv { line: usize, message: String },
     /// The query was structurally invalid (e.g. aggregate without input).
     InvalidQuery(String),
+    /// The query was cancelled cooperatively via its cancel token.
+    Cancelled,
+    /// The query's deadline passed before it finished.
+    DeadlineExceeded,
+    /// An engine invariant was violated at runtime (poisoned lock, lost
+    /// internal state) and surfaced as an error instead of a panic.
+    Internal(String),
 }
 
 impl fmt::Display for StorageError {
@@ -57,6 +64,9 @@ impl fmt::Display for StorageError {
                 write!(f, "CSV parse error at line {line}: {message}")
             }
             StorageError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
+            StorageError::Cancelled => write!(f, "query cancelled"),
+            StorageError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            StorageError::Internal(message) => write!(f, "internal engine error: {message}"),
         }
     }
 }

@@ -6,10 +6,10 @@
 //! result: after each mutation the cached engine's answers are compared
 //! bit-for-bit against a cache-less engine over the same mutated data.
 
-use exploration::cache::CachePolicy;
+use exploration::cache::{CacheConfig, CachePolicy};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{AggFunc, CmpOp, Predicate, Query, Table, Value};
-use exploration::ExploreDb;
+use exploration::{ExploreDb, Schedule};
 
 fn sales(rows: usize) -> Table {
     sales_table(&SalesConfig {
@@ -263,4 +263,78 @@ fn epochs_are_per_table() {
     let hits_before = db.cache_stats().hits;
     db.query("b", &q).unwrap();
     assert_eq!(db.cache_stats().hits, hits_before + 1);
+}
+
+// --- Eviction edge cases: degenerate budgets and injected failures ---
+// The cache is an accelerator, never an authority: under a zero budget,
+// an entry bigger than the whole budget, or an injected eviction
+// failure, every answer must still come back correct via the compute
+// path.
+
+#[test]
+fn zero_byte_budget_serves_through_compute() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: 0,
+        subsumption: true,
+    }));
+    db.register("sales", sales(3_000));
+    assert_matches_uncached(&mut db, "zero budget");
+    assert_matches_uncached(&mut db, "zero budget repeat");
+    let stats = db.cache_stats();
+    assert_eq!(stats.bytes, 0, "nothing may be resident under a 0 budget");
+    assert_eq!(stats.entries, 0);
+}
+
+#[test]
+fn entry_larger_than_budget_is_never_admitted() {
+    let budget = 64; // smaller than any real result table
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: budget,
+        subsumption: true,
+    }));
+    db.register("sales", sales(3_000));
+    assert_matches_uncached(&mut db, "oversized entries");
+    assert_matches_uncached(&mut db, "oversized entries repeat");
+    assert!(
+        db.cache_stats().bytes <= budget,
+        "budget must hold even when every result is oversized"
+    );
+}
+
+#[test]
+fn injected_eviction_failure_degrades_to_clear_all() {
+    // A stream of distinct small results overflows a small budget, with
+    // the eviction fail point armed: the degraded path drops ALL
+    // entries (a safe overcorrection) instead of picking victims.
+    // Answers must stay correct throughout.
+    let budget = 4 << 10;
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: budget,
+        subsumption: true,
+    }));
+    db.register("sales", sales(3_000));
+    let mut fresh = ExploreDb::new();
+    fresh.register("sales", db.table("sales").unwrap().clone());
+    let faults = db.fail_points();
+    faults.arm("cache.evict", Schedule::Always);
+    for i in 0..64 {
+        // Distinct narrow scans: each admissible (well under half the
+        // budget), collectively far over it.
+        let lo = f64::from(i) * 12.0;
+        let q = Query::new().filter(Predicate::range("price", lo, lo + 5.0));
+        let got = db.query("sales", &q).unwrap();
+        let truth = fresh.query("sales", &q).unwrap();
+        assert_bitwise_eq(&truth, &got, &format!("evict-fault scan {i}"));
+    }
+    assert!(
+        faults.trips("cache.evict") > 0,
+        "workload never hit the armed eviction point"
+    );
+    assert!(
+        db.cache_stats().bytes <= budget,
+        "clear-all degradation must keep the resident set within budget"
+    );
+    // Disarm: normal victim selection resumes on the same cache.
+    faults.disarm_all();
+    assert_matches_uncached(&mut db, "after disarm");
 }

@@ -1,0 +1,235 @@
+//! Property-based cancellation testing: a query cancelled at *any*
+//! morsel boundary — or mid-crack-reorganization — must surface the
+//! typed `Cancelled` error, leave every engine structure well-formed,
+//! and not perturb any later answer.
+//!
+//! Determinism comes from [`CancelToken::after_checks`]: the token
+//! survives exactly `n` cooperative checks and trips on check `n + 1`,
+//! so "cancel at a random morsel boundary" is a pure function of the
+//! generated budget, replayable from the proptest seed.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use exploration::cracking::CrackerColumn;
+use exploration::exec::ExecPolicy;
+use exploration::obs::ObsPolicy;
+use exploration::storage::gen::{sales_table, uniform_i64, SalesConfig};
+use exploration::storage::{AggFunc, Predicate, Query, StorageError, Table, Value, MORSEL_ROWS};
+use exploration::{CancelToken, ExploreDb};
+
+/// A three-morsel table, so there are real boundaries to cancel at.
+fn big_table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        sales_table(&SalesConfig {
+            rows: 2 * MORSEL_ROWS + 4321,
+            ..SalesConfig::default()
+        })
+    })
+}
+
+/// The reference answer for the query shape the properties use.
+fn truth() -> &'static Table {
+    static TRUTH: OnceLock<Table> = OnceLock::new();
+    TRUTH.get_or_init(|| {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        db.register("sales", big_table().clone());
+        db.query("sales", &prop_query()).unwrap()
+    })
+}
+
+fn prop_query() -> Query {
+    Query::new()
+        .filter(Predicate::range("price", 100.0, 700.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Count, "qty")
+}
+
+/// Bit-level table equality (floats by `to_bits`).
+fn tables_bit_equal(a: &Table, b: &Table) -> bool {
+    if a.schema() != b.schema() || a.num_rows() != b.num_rows() {
+        return false;
+    }
+    a.schema().fields().iter().all(|f| {
+        let (ca, cb) = (a.column(f.name()).unwrap(), b.column(f.name()).unwrap());
+        (0..a.num_rows()).all(|r| match (ca.value(r).unwrap(), cb.value(r).unwrap()) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            (x, y) => x == y,
+        })
+    })
+}
+
+proptest! {
+    /// Cancel a query after a random number of morsel-boundary checks,
+    /// under either policy: the run either completes bit-identically or
+    /// fails with exactly `StorageError::Cancelled`, and a follow-up
+    /// uncancelled query on the same engine is bit-identical to truth.
+    #[test]
+    fn cancel_at_any_morsel_boundary_is_clean(
+        budget in 0u64..12,
+        parallel in 0u8..2,
+        workers in 1usize..5,
+    ) {
+        let policy = if parallel == 1 {
+            ExecPolicy::Parallel { workers }
+        } else {
+            ExecPolicy::Serial
+        };
+        let mut db = ExploreDb::with_exec_policy(policy);
+        db.register("sales", big_table().clone());
+        let token = CancelToken::after_checks(budget);
+        match db.query_cancellable("sales", &prop_query(), &token) {
+            Ok(got) => prop_assert!(
+                tables_bit_equal(truth(), &got),
+                "completed run diverged (budget {budget})"
+            ),
+            Err(StorageError::Cancelled) => {}
+            Err(e) => prop_assert!(false, "non-typed error: {e}"),
+        }
+        // The engine must be unharmed either way.
+        let after = db.query("sales", &prop_query()).unwrap();
+        prop_assert!(tables_bit_equal(truth(), &after), "post-cancel state corrupted");
+    }
+
+    /// Cancel mid-crack-reorganization at the column level: the cracker
+    /// index must stay well-formed, and subsequent (uncancelled) queries
+    /// must match an uncracked brute-force scan exactly.
+    #[test]
+    fn cancel_mid_crack_leaves_wellformed_index(
+        seed in 0u64..1000,
+        a in 0i64..500,
+        b in 0i64..500,
+        budget in 0u64..4,
+    ) {
+        let base = uniform_i64(4000, 0, 500, seed);
+        let (low, high) = (a.min(b), a.max(b) + 1);
+        let mut c = CrackerColumn::new(base.clone());
+        let token = CancelToken::after_checks(budget);
+        match c.query_cancellable(low, high, &token) {
+            Ok((s, e)) => prop_assert_eq!(e - s, brute_count(&base, low, high)),
+            Err(StorageError::Cancelled) => {}
+            Err(e) => prop_assert!(false, "non-typed error: {e}"),
+        }
+        prop_assert!(c.check_invariants(), "cancelled crack broke the index");
+        // Partial cracks (e.g. the low bound landed, the high didn't)
+        // must not change any later answer.
+        let mut got: Vec<u32> = c.query_ids(low, high).to_vec();
+        got.sort_unstable();
+        let want: Vec<u32> = base
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= low && v < high)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want, "post-cancel cracker answer diverged from scan");
+        prop_assert!(c.check_invariants());
+    }
+
+    /// The same property through the engine façade: a cancelled
+    /// `cracked_range` keeps the adaptive index usable and later calls
+    /// agree with a predicate scan.
+    #[test]
+    fn engine_cracked_range_survives_cancellation(
+        budget in 0u64..3,
+        a in 0i64..9,
+    ) {
+        let (low, high) = (a, a + 3);
+        let mut db = ExploreDb::new();
+        db.register("sales", big_table().clone());
+        let token = CancelToken::after_checks(budget);
+        match db.cracked_range_cancellable("sales", "qty", low, high, &token) {
+            Ok(_) | Err(StorageError::Cancelled) => {}
+            Err(e) => prop_assert!(false, "non-typed error: {e}"),
+        }
+        let mut got = db.cracked_range("sales", "qty", low, high).unwrap();
+        got.sort_unstable();
+        let scan = Predicate::range("qty", low, high)
+            .evaluate(db.table("sales").unwrap())
+            .unwrap();
+        prop_assert_eq!(got, scan, "post-cancel cracked_range diverged");
+    }
+}
+
+fn brute_count(base: &[i64], low: i64, high: i64) -> usize {
+    base.iter().filter(|&&v| v >= low && v < high).count()
+}
+
+/// Acceptance bar: a cancelled query stops within one morsel's worth of
+/// work. With a budget of one surviving check, exactly one morsel may
+/// run before the cancellation lands — proven from the recorded span
+/// tree, not wall-clock guesswork.
+#[test]
+fn cancellation_lands_within_one_morsel_of_work() {
+    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    db.set_exec_policy(ExecPolicy::Serial);
+    db.register("sales", big_table().clone());
+
+    let token = CancelToken::after_checks(1);
+    let err = db
+        .query_cancellable("sales", &prop_query(), &token)
+        .unwrap_err();
+    assert_eq!(err, StorageError::Cancelled);
+
+    let trace = db.recent_traces().pop().expect("trace recorded on error");
+    assert!(trace.is_well_formed());
+    let morsels = trace.spans_labelled("morsel").len();
+    assert!(
+        morsels <= 1,
+        "cancelled query ran {morsels} morsels; budget allowed at most one"
+    );
+    assert_eq!(db.metrics_snapshot().counter("cancel.cancelled"), 1);
+
+    // The engine serves bit-identical results afterwards.
+    let after = db.query("sales", &prop_query()).unwrap();
+    assert!(tables_bit_equal(truth(), &after));
+}
+
+/// A zero-length deadline trips before any morsel executes and is
+/// reported as the typed `DeadlineExceeded`; clearing the deadline
+/// restores normal service on the same engine.
+#[test]
+fn expired_deadline_returns_typed_error_and_clean_state() {
+    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    db.register("sales", big_table().clone());
+    db.set_query_deadline(Some(Duration::ZERO));
+    assert_eq!(db.query_deadline(), Some(Duration::ZERO));
+
+    let err = db.query("sales", &prop_query()).unwrap_err();
+    assert_eq!(err, StorageError::DeadlineExceeded);
+    let trace = db.recent_traces().pop().expect("trace recorded on error");
+    assert_eq!(
+        trace.spans_labelled("morsel").len(),
+        0,
+        "expired deadline must stop the query before the first morsel"
+    );
+    assert_eq!(db.metrics_snapshot().counter("cancel.deadline_exceeded"), 1);
+
+    db.set_query_deadline(None);
+    let after = db.query("sales", &prop_query()).unwrap();
+    assert!(tables_bit_equal(truth(), &after));
+}
+
+/// Deadlines thread through the cache path too: with caching on, an
+/// expired deadline surfaces before compute, and the cache still serves
+/// correct (bit-identical) results once the deadline is lifted.
+#[test]
+fn deadline_with_cache_on_is_typed_and_recoverable() {
+    use exploration::cache::CachePolicy;
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    db.register("sales", big_table().clone());
+    db.set_query_deadline(Some(Duration::ZERO));
+    assert_eq!(
+        db.query("sales", &prop_query()).unwrap_err(),
+        StorageError::DeadlineExceeded
+    );
+    db.set_query_deadline(None);
+    let cold = db.query("sales", &prop_query()).unwrap();
+    let warm = db.query("sales", &prop_query()).unwrap();
+    assert!(tables_bit_equal(truth(), &cold));
+    assert!(tables_bit_equal(truth(), &warm));
+    assert!(db.cache_stats().hits >= 1, "cache fully recovered");
+}

@@ -172,3 +172,96 @@ fn engine_unknown_table_errs_under_both_policies() {
         assert!(db.facets("missing_table", &Predicate::True, 1, 3).is_err());
     }
 }
+
+// --- Loading-layer error paths: malformed CSV and typed cancellation ---
+
+mod loading_errors {
+    use exploration::loading::{AdaptiveLoader, ErrorPolicy, RawCsv};
+    use exploration::storage::{AggFunc, DataType, Field, Query, Schema, StorageError};
+
+    fn bad_csv() -> RawCsv {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+        ])
+        .unwrap();
+        // Line 3 holds a non-numeric `a`; everything else is clean.
+        RawCsv::new("a,b\n1,2.5\nnope,3.0\n4,5.5\n".to_owned(), schema).unwrap()
+    }
+
+    /// A genuinely malformed row surfaces as a typed CSV error (with
+    /// the 1-based file line) under the default Abort policy — never a
+    /// panic — and the loader stays usable.
+    #[test]
+    fn malformed_row_aborts_with_typed_error() {
+        let mut loader = AdaptiveLoader::new(bad_csv());
+        let q = Query::new().agg(AggFunc::Sum, "a");
+        match loader.query(&q) {
+            Err(StorageError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected CSV error, got {other:?}"),
+        }
+        // Clean columns still load on the same loader.
+        let ok = loader.query(&Query::new().agg(AggFunc::Sum, "b")).unwrap();
+        assert_eq!(ok.column("sum(b)").unwrap().as_f64().unwrap()[0], 11.0);
+    }
+
+    /// Under `SkipRow` the malformed row is tombstoned: queries answer
+    /// over the surviving rows, the skip is counted, and the dead row
+    /// is excluded from *every* later view (including clean columns).
+    #[test]
+    fn malformed_row_skips_under_skiprow_policy() {
+        let mut loader = AdaptiveLoader::new(bad_csv());
+        loader.set_error_policy(ErrorPolicy::SkipRow);
+        assert_eq!(loader.error_policy(), ErrorPolicy::SkipRow);
+        let got = loader.query(&Query::new().agg(AggFunc::Sum, "a")).unwrap();
+        assert_eq!(got.column("sum(a)").unwrap().as_f64().unwrap()[0], 5.0);
+        assert_eq!(loader.rows_skipped(), 1);
+        // The dead row's `b` value (3.0) must not leak into views.
+        let b = loader.query(&Query::new().agg(AggFunc::Sum, "b")).unwrap();
+        assert_eq!(b.column("sum(b)").unwrap().as_f64().unwrap()[0], 8.0);
+        assert_eq!(loader.rows_skipped(), 1, "row is only skipped once");
+    }
+}
+
+mod cancellation_errors {
+    use super::*;
+    use exploration::CancelToken;
+
+    /// A pre-cancelled token fails queries with exactly
+    /// `StorageError::Cancelled` under every policy — same typed error,
+    /// no panic, no partial result.
+    #[test]
+    fn cancelled_token_errs_identically_under_all_policies() {
+        let t = sales_table(&SalesConfig {
+            rows: MORSEL_ROWS + 99,
+            ..SalesConfig::default()
+        });
+        let q = Query::new().group("region").agg(AggFunc::Sum, "price");
+        for policy in POLICIES {
+            let mut db = ExploreDb::with_exec_policy(policy);
+            db.register("sales", t.clone());
+            let token = CancelToken::new();
+            token.cancel();
+            assert_eq!(
+                db.query_cancellable("sales", &q, &token).unwrap_err(),
+                StorageError::Cancelled,
+                "{policy:?}"
+            );
+            // The same engine still answers uncancelled queries.
+            db.query("sales", &q).unwrap();
+        }
+    }
+
+    /// The new typed variants render stable, human-readable messages.
+    #[test]
+    fn new_error_variants_display() {
+        assert_eq!(StorageError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            StorageError::DeadlineExceeded.to_string(),
+            "query deadline exceeded"
+        );
+        assert!(StorageError::Internal("lost state".into())
+            .to_string()
+            .contains("lost state"));
+    }
+}
