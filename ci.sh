@@ -12,6 +12,17 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> variant-creep lint (no public *_traced/*_ctx/*_cancellable fns)"
+# The engine exposes exactly one implementation per operation, with
+# QueryCtx threading tracing/cancellation/faults. Any public fn named
+# *_traced, *_ctx, or *_cancellable is a regression to the old
+# variant-per-concern API. Allowlist is intentionally empty.
+if grep -rnE 'pub (async )?fn [a-zA-Z0-9_]+_(traced|ctx|cancellable)\b' \
+    --include='*.rs' crates/; then
+    echo "error: public per-concern variant fn found; thread a QueryCtx instead" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use explore_cache::{predicate_key, Fingerprint, ResultCache};
-use explore_exec::{evaluate_selection, ExecPolicy};
+use explore_exec::{evaluate_selection, QueryCtx};
 use explore_obs::MetricsRegistry;
 use explore_sampling::{SampleCatalog, UniformSample};
 use explore_storage::{
@@ -61,7 +61,7 @@ fn answer_key(predicate: &Predicate, func: AggFunc, column: &str, bound: Bound) 
 }
 
 /// Encode a [`BoundedAnswer`] as a one-row table for cache residency.
-fn encode_answer(ans: &BoundedAnswer) -> Table {
+fn encode_answer(ans: &BoundedAnswer) -> Result<Table> {
     Table::new(
         Schema::of(&[
             ("estimate", DataType::Float64),
@@ -80,7 +80,7 @@ fn encode_answer(ans: &BoundedAnswer) -> Table {
             Column::from(vec![i64::from(ans.exact)]),
         ],
     )
-    .expect("static answer schema")
+    .map_err(|e| StorageError::Internal(format!("static answer schema: {e}")))
 }
 
 /// Decode [`encode_answer`]'s shape back; `None` on foreign entries.
@@ -105,7 +105,6 @@ pub struct BoundedExecutor<'a> {
     base: &'a Table,
     catalog: &'a SampleCatalog,
     confidence_default: f64,
-    policy: ExecPolicy,
     /// Optional shared result cache and the base table's registered name.
     cache: Option<(Arc<ResultCache>, String)>,
     /// Optional observability registry mirroring answer counters.
@@ -120,19 +119,9 @@ impl<'a> BoundedExecutor<'a> {
             base,
             catalog,
             confidence_default: 0.95,
-            policy: ExecPolicy::Serial,
             cache: None,
             metrics: None,
         }
-    }
-
-    /// Run predicate scans (over samples and the base table) under the
-    /// given execution policy. Sample scans are usually small, but the
-    /// exact fallback walks the full base table, where the morsel pool
-    /// pays off. Either policy yields bit-identical selections.
-    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
-        self.policy = policy;
-        self
     }
 
     /// Memoize answers in the engine's shared result cache under
@@ -154,15 +143,23 @@ impl<'a> BoundedExecutor<'a> {
     /// Approximate `func(column)` over rows matching `predicate`,
     /// honouring the bound. Falls back to exact execution when no sample
     /// suffices (the BlinkDB semantics).
+    ///
+    /// The context supplies the execution policy for predicate scans
+    /// (sample scans are usually small, but the exact fallback walks the
+    /// full base table, where the morsel pool pays off — either policy
+    /// yields bit-identical selections), and its cancellation tokens are
+    /// checked per ladder rung and per scan morsel, so a deadline stops
+    /// the sample-size escalation between rungs.
     pub fn aggregate(
         &self,
         predicate: &Predicate,
         func: AggFunc,
         column: &str,
         bound: Bound,
+        ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
         let started = self.metrics.as_ref().map(|_| Instant::now());
-        let out = self.aggregate_dispatch(predicate, func, column, bound);
+        let out = self.aggregate_dispatch(predicate, func, column, bound, ctx);
         if let (Some(metrics), Some(started)) = (&self.metrics, started) {
             metrics.inc("aqp.answers", 1);
             metrics.observe_ns("aqp.latency_ns", started.elapsed().as_nanos() as u64);
@@ -180,9 +177,10 @@ impl<'a> BoundedExecutor<'a> {
         func: AggFunc,
         column: &str,
         bound: Bound,
+        ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
         let Some((cache, table_name)) = &self.cache else {
-            return self.aggregate_uncached(predicate, func, column, bound);
+            return self.aggregate_uncached(predicate, func, column, bound, ctx);
         };
         let fp = Fingerprint::custom(table_name, answer_key(predicate, func, column, bound));
         if let Some(hit) = cache.get(&fp).and_then(|t| decode_answer(&t)) {
@@ -191,9 +189,9 @@ impl<'a> BoundedExecutor<'a> {
         cache.note_miss();
         let epoch = cache.epoch(table_name);
         let started = Instant::now();
-        let ans = self.aggregate_uncached(predicate, func, column, bound)?;
+        let ans = self.aggregate_uncached(predicate, func, column, bound, ctx)?;
         let cost_ns = started.elapsed().as_nanos();
-        cache.insert(fp, Arc::new(encode_answer(&ans)), None, cost_ns, epoch);
+        cache.insert(fp, Arc::new(encode_answer(&ans)?), None, cost_ns, epoch);
         Ok(ans)
     }
 
@@ -203,17 +201,20 @@ impl<'a> BoundedExecutor<'a> {
         func: AggFunc,
         column: &str,
         bound: Bound,
+        ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
         match bound {
             Bound::RelativeError { target, confidence } => {
                 for (fraction, sample) in self.catalog.uniform_ladder() {
-                    let ans =
-                        self.run_on_sample(sample, fraction, predicate, func, column, confidence)?;
+                    ctx.check_cancel()?;
+                    let ans = self.run_on_sample(
+                        sample, fraction, predicate, func, column, confidence, ctx,
+                    )?;
                     if ans.interval.relative_error() <= target {
                         return Ok(ans);
                     }
                 }
-                self.run_exact(predicate, func, column)
+                self.run_exact(predicate, func, column, ctx)
             }
             Bound::RowBudget { rows } => {
                 // Largest sample fitting the budget.
@@ -230,10 +231,11 @@ impl<'a> BoundedExecutor<'a> {
                         func,
                         column,
                         self.confidence_default,
+                        ctx,
                     ),
                     None => {
                         if self.base.num_rows() <= rows {
-                            self.run_exact(predicate, func, column)
+                            self.run_exact(predicate, func, column, ctx)
                         } else {
                             Err(StorageError::InvalidQuery(format!(
                                 "no sample fits a budget of {rows} rows"
@@ -245,6 +247,7 @@ impl<'a> BoundedExecutor<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_on_sample(
         &self,
         sample: &UniformSample,
@@ -253,9 +256,10 @@ impl<'a> BoundedExecutor<'a> {
         func: AggFunc,
         column: &str,
         confidence: f64,
+        ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
         let t = sample.table();
-        let sel = evaluate_selection(t, predicate, self.policy)?;
+        let sel = evaluate_selection(t, predicate, ctx)?;
         let col = t.column(column)?;
         if func != AggFunc::Count && !col.data_type().is_numeric() {
             return Err(StorageError::TypeMismatch {
@@ -324,8 +328,9 @@ impl<'a> BoundedExecutor<'a> {
         predicate: &Predicate,
         func: AggFunc,
         column: &str,
+        ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
-        let sel = evaluate_selection(self.base, predicate, self.policy)?;
+        let sel = evaluate_selection(self.base, predicate, ctx)?;
         let col = self.base.column(column)?;
         let mut acc = Accumulator::new();
         for &row in &sel {
@@ -360,7 +365,9 @@ mod tests {
             rows: 100_000,
             ..SalesConfig::default()
         });
-        let catalog = SampleCatalog::build(&base, &[0.001, 0.01, 0.05, 0.2], &[], 7).unwrap();
+        let catalog =
+            SampleCatalog::build(&base, &[0.001, 0.01, 0.05, 0.2], &[], 7, &QueryCtx::none())
+                .unwrap();
         (base, catalog)
     }
 
@@ -382,6 +389,7 @@ mod tests {
                     target: 0.10,
                     confidence: 0.95,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!(!ans.exact);
@@ -403,6 +411,7 @@ mod tests {
                     target: 0.2,
                     confidence: 0.95,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         let tight = ex
@@ -414,6 +423,7 @@ mod tests {
                     target: 0.005,
                     confidence: 0.95,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!(tight.fraction_used > loose.fraction_used);
@@ -433,6 +443,7 @@ mod tests {
                     target: 0.0,
                     confidence: 0.95,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!(ans.exact);
@@ -450,6 +461,7 @@ mod tests {
                 AggFunc::Avg,
                 "price",
                 Bound::RowBudget { rows: 2000 },
+                &QueryCtx::none(),
             )
             .unwrap();
         // 0.01 × 100k = 1000 fits; 0.05 × 100k = 5000 does not.
@@ -466,6 +478,7 @@ mod tests {
             AggFunc::Avg,
             "price",
             Bound::RowBudget { rows: 10 },
+            &QueryCtx::none(),
         );
         assert!(r.is_err());
     }
@@ -488,6 +501,7 @@ mod tests {
                     target: 0.05,
                     confidence: 0.99,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!(
@@ -504,6 +518,7 @@ mod tests {
                     target: 0.05,
                     confidence: 0.99,
                 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!(
@@ -524,13 +539,31 @@ mod tests {
             confidence: 0.95,
         };
         let truth = plain
-            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                bound,
+                &QueryCtx::none(),
+            )
             .unwrap();
         let cold = cached
-            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                bound,
+                &QueryCtx::none(),
+            )
             .unwrap();
         let warm = cached
-            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                bound,
+                &QueryCtx::none(),
+            )
             .unwrap();
         for ans in [&cold, &warm] {
             assert_eq!(
@@ -553,6 +586,7 @@ mod tests {
                 AggFunc::Avg,
                 "price",
                 Bound::RowBudget { rows: 2000 },
+                &QueryCtx::none(),
             )
             .unwrap();
         assert!((budgeted.fraction_used - 0.01).abs() < 1e-9);
@@ -560,7 +594,13 @@ mod tests {
         // An epoch bump (base-table mutation) invalidates the answers.
         shared.bump_epoch("sales");
         cached
-            .aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
+            .aggregate(
+                &Predicate::True,
+                AggFunc::Avg,
+                "price",
+                bound,
+                &QueryCtx::none(),
+            )
             .unwrap();
         assert_eq!(shared.stats().hits, 1, "stale answer is never served");
     }
@@ -578,6 +618,7 @@ mod tests {
                 target: 0.10,
                 confidence: 0.95,
             },
+            &QueryCtx::none(),
         )
         .unwrap();
         ex.aggregate(
@@ -588,6 +629,7 @@ mod tests {
                 target: 0.0,
                 confidence: 0.95,
             },
+            &QueryCtx::none(),
         )
         .unwrap();
         let snap = m.snapshot();
@@ -608,6 +650,7 @@ mod tests {
                 target: 0.5,
                 confidence: 0.95,
             },
+            &QueryCtx::none(),
         );
         assert!(r.is_err());
     }

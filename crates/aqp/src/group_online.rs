@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use explore_fault::CancelToken;
 use explore_storage::rng::SplitMix64;
 use explore_storage::{Accumulator, Result, StorageError, Table};
 
@@ -39,6 +40,8 @@ pub struct GroupedOnlineAggregation {
     accs: HashMap<String, Accumulator>,
     total_rows: u64,
     seen: u64,
+    /// Cooperative cancellation token, checked once per batch.
+    cancel: Option<CancelToken>,
 }
 
 impl GroupedOnlineAggregation {
@@ -81,13 +84,25 @@ impl GroupedOnlineAggregation {
             accs: HashMap::new(),
             total_rows: table.num_rows() as u64,
             seen: 0,
+            cancel: None,
         })
     }
 
-    /// Process up to `batch` more rows; `None` once exhausted.
-    pub fn step(&mut self, batch: usize) -> Option<Vec<GroupEstimate>> {
+    /// Attach a cancellation token checked before every batch; see
+    /// [`crate::online::OnlineAggregation::with_cancel`].
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Process up to `batch` more rows; `Ok(None)` once exhausted. An
+    /// attached cancel token is checked before the batch runs.
+    pub fn step(&mut self, batch: usize) -> Result<Option<Vec<GroupEstimate>>> {
         if self.cursor >= self.order.len() {
-            return None;
+            return Ok(None);
+        }
+        if let Some(c) = &self.cancel {
+            c.check()?;
         }
         let end = (self.cursor + batch).min(self.order.len());
         for &row in &self.order[self.cursor..end] {
@@ -99,7 +114,7 @@ impl GroupedOnlineAggregation {
             self.seen += 1;
         }
         self.cursor = end;
-        Some(self.snapshot())
+        Ok(Some(self.snapshot()))
     }
 
     /// Current per-group estimates, sorted by group label.
@@ -145,10 +160,11 @@ impl GroupedOnlineAggregation {
     }
 
     /// Run until every group's *relative* CI half-width is at or below
-    /// `target` (or data is exhausted). Returns the final snapshot.
-    pub fn run_until(&mut self, target: f64, batch: usize) -> Vec<GroupEstimate> {
+    /// `target` (or data is exhausted). Returns the final snapshot. A
+    /// triggered cancel token stops within one batch.
+    pub fn run_until(&mut self, target: f64, batch: usize) -> Result<Vec<GroupEstimate>> {
         let mut last = self.snapshot();
-        while let Some(snap) = self.step(batch) {
+        while let Some(snap) = self.step(batch)? {
             let done =
                 !snap.is_empty() && snap.iter().all(|g| g.interval.relative_error() <= target);
             last = snap;
@@ -156,7 +172,7 @@ impl GroupedOnlineAggregation {
                 break;
             }
         }
-        last
+        Ok(last)
     }
 }
 
@@ -189,7 +205,7 @@ mod tests {
         let t = table();
         let truths = truth(&t);
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.99, 1).unwrap();
-        g.step(10_000);
+        g.step(10_000).unwrap();
         let snap = g.snapshot();
         assert!(!snap.is_empty());
         let mut covered = 0;
@@ -214,7 +230,7 @@ mod tests {
         });
         let truths = truth(&t);
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 2).unwrap();
-        while g.step(500).is_some() {}
+        while g.step(500).unwrap().is_some() {}
         assert!(g.is_exhausted());
         assert!((g.fraction() - 1.0).abs() < 1e-12);
         for est in g.snapshot() {
@@ -231,7 +247,7 @@ mod tests {
     fn run_until_stops_early_on_easy_targets() {
         let t = table();
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 3).unwrap();
-        let snap = g.run_until(0.05, 2_000);
+        let snap = g.run_until(0.05, 2_000).unwrap();
         assert!(!g.is_exhausted(), "±5% should not need the whole table");
         assert!(snap.iter().all(|e| e.interval.relative_error() <= 0.05));
         // Rare groups gate the stop: the largest group is tight long
@@ -245,7 +261,7 @@ mod tests {
     fn small_groups_have_wider_intervals() {
         let t = table(); // zipf-skewed regions
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 4).unwrap();
-        g.step(5_000);
+        g.step(5_000).unwrap();
         let snap = g.snapshot();
         let biggest = snap.iter().max_by_key(|e| e.seen).unwrap();
         let smallest = snap.iter().min_by_key(|e| e.seen).unwrap();
@@ -270,7 +286,7 @@ mod tests {
         // Sanity: group set matches the exact group-by's groups.
         let t = table();
         let mut g = GroupedOnlineAggregation::start(&t, "region", "price", 0.95, 6).unwrap();
-        while g.step(20_000).is_some() {}
+        while g.step(20_000).unwrap().is_some() {}
         let online_groups: Vec<String> = g.snapshot().into_iter().map(|e| e.group).collect();
         let exact = Query::new()
             .filter(Predicate::True)

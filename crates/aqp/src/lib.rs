@@ -20,7 +20,7 @@
 //! let mut oa = OnlineAggregation::start(
 //!     &t, &Predicate::True, AggFunc::Avg, "price", 0.95, 7,
 //! ).unwrap();
-//! let trace = oa.run_until(0.02, 500); // stop at ±2%
+//! let trace = oa.run_until(0.02, 500).unwrap(); // stop at ±2%
 //! assert!(trace.last().unwrap().processed < 20_000);
 //! ```
 

@@ -8,6 +8,7 @@
 //! the answer is "interesting or clearly not" — the founding idea of
 //! approximate interfaces for exploration.
 
+use explore_fault::CancelToken;
 use explore_storage::rng::SplitMix64;
 use explore_storage::{Accumulator, AggFunc, Predicate, Result, StorageError, Table};
 
@@ -45,6 +46,10 @@ pub struct OnlineAggregation {
     mask: Vec<bool>,
     /// Column values to aggregate, by row id.
     values: Vec<f64>,
+    /// Cooperative cancellation token, checked once per batch. Owned
+    /// (not borrowed) because the aggregation is a long-lived session
+    /// that outlives any single engine call.
+    cancel: Option<CancelToken>,
 }
 
 impl OnlineAggregation {
@@ -87,15 +92,30 @@ impl OnlineAggregation {
             total_rows: n as u64,
             mask,
             values,
+            cancel: None,
         })
     }
 
+    /// Attach a cancellation token checked before every batch, so a
+    /// deadline or external cancel stops the aggregation within one
+    /// batch of work. The already-accumulated estimate stays valid and
+    /// [`snapshot`](Self::snapshot) keeps serving it.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Process up to `batch` more rows; returns the new snapshot, or
-    /// `None` when the table is exhausted (the last snapshot before
-    /// exhaustion is exact).
-    pub fn step(&mut self, batch: usize) -> Option<Snapshot> {
+    /// `Ok(None)` when the table is exhausted (the last snapshot before
+    /// exhaustion is exact). An attached cancel token is checked before
+    /// the batch runs; a triggered token surfaces as
+    /// `Cancelled`/`DeadlineExceeded` without touching more rows.
+    pub fn step(&mut self, batch: usize) -> Result<Option<Snapshot>> {
         if self.cursor >= self.order.len() {
-            return None;
+            return Ok(None);
+        }
+        if let Some(c) = &self.cancel {
+            c.check()?;
         }
         let end = (self.cursor + batch).min(self.order.len());
         for &row in &self.order[self.cursor..end] {
@@ -108,7 +128,7 @@ impl OnlineAggregation {
             }
         }
         self.cursor = end;
-        Some(self.snapshot())
+        Ok(Some(self.snapshot()))
     }
 
     /// The current snapshot without processing more rows.
@@ -156,16 +176,19 @@ impl OnlineAggregation {
     /// Run until the relative CI half-width drops to `target` (or the
     /// table is exhausted), recording a snapshot per batch. Returns the
     /// trace — the data behind experiment E5's "CI width vs tuples" plot.
-    pub fn run_until(&mut self, target_relative_error: f64, batch: usize) -> Vec<Snapshot> {
+    /// A triggered cancel token stops within one batch; snapshots taken
+    /// before the stop are lost to the caller, but the running estimate
+    /// remains queryable via [`snapshot`](Self::snapshot).
+    pub fn run_until(&mut self, target_relative_error: f64, batch: usize) -> Result<Vec<Snapshot>> {
         let mut trace = Vec::new();
-        while let Some(snap) = self.step(batch) {
+        while let Some(snap) = self.step(batch)? {
             let done = snap.interval.relative_error() <= target_relative_error;
             trace.push(snap);
             if done {
                 break;
             }
         }
-        trace
+        Ok(trace)
     }
 
     /// Estimated number of rows matching the predicate, extrapolated
@@ -207,7 +230,7 @@ mod tests {
         let truth = truth_avg(&t);
         let mut oa =
             OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 1).unwrap();
-        let trace = oa.run_until(0.001, 1000);
+        let trace = oa.run_until(0.001, 1000).unwrap();
         assert!(!trace.is_empty());
         // CI width shrinks monotonically-ish; compare first vs last.
         let first = trace.first().unwrap().interval.half_width;
@@ -226,7 +249,7 @@ mod tests {
         let t = table();
         let mut oa =
             OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 2).unwrap();
-        let trace = oa.run_until(0.01, 500); // ±1%
+        let trace = oa.run_until(0.01, 500).unwrap(); // ±1%
         let processed = trace.last().unwrap().processed;
         assert!(processed < 25_000, "needed {processed} of 50k rows for ±1%");
         assert!(!oa.is_exhausted());
@@ -242,7 +265,7 @@ mod tests {
         let mut oa =
             OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 3).unwrap();
         let mut last = None;
-        while let Some(s) = oa.step(100) {
+        while let Some(s) = oa.step(100).unwrap() {
             last = Some(s);
         }
         let s = last.unwrap();
@@ -258,7 +281,7 @@ mod tests {
         let pred = Predicate::eq("region", "region0");
         let truth = pred.evaluate(&t).unwrap().len() as f64;
         let mut oa = OnlineAggregation::start(&t, &pred, AggFunc::Count, "qty", 0.99, 4).unwrap();
-        oa.step(5000);
+        oa.step(5000).unwrap();
         let s = oa.snapshot();
         assert!(
             s.interval.contains(truth),
@@ -279,7 +302,7 @@ mod tests {
         for seed in 0..trials {
             let mut oa =
                 OnlineAggregation::start(&t, &pred, AggFunc::Sum, "price", 0.95, seed).unwrap();
-            oa.step(5000);
+            oa.step(5000).unwrap();
             if oa.snapshot().interval.contains(truth) {
                 hits += 1;
             }
@@ -292,7 +315,7 @@ mod tests {
         let t = table();
         let mut oa =
             OnlineAggregation::start(&t, &Predicate::True, AggFunc::Max, "price", 0.95, 5).unwrap();
-        oa.step(100);
+        oa.step(100).unwrap();
         assert!(oa.snapshot().interval.half_width.is_infinite());
     }
 
@@ -303,5 +326,28 @@ mod tests {
             OnlineAggregation::start(&t, &Predicate::True, AggFunc::Sum, "region", 0.95, 6)
                 .is_err()
         );
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+
+    #[test]
+    fn triggered_token_stops_within_one_batch() {
+        let t = sales_table(&SalesConfig {
+            rows: 10_000,
+            ..SalesConfig::default()
+        });
+        let token = CancelToken::after_checks(2);
+        let mut oa = OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 1)
+            .unwrap()
+            .with_cancel(Some(token));
+        assert!(oa.step(100).unwrap().is_some());
+        assert!(oa.step(100).unwrap().is_some());
+        assert!(matches!(oa.step(100), Err(StorageError::Cancelled)));
+        // The running estimate survives the stop.
+        assert_eq!(oa.snapshot().processed, 200);
     }
 }

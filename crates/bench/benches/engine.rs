@@ -7,7 +7,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use explore_core::cracking::ConcurrentCracker;
-use explore_core::exec::{run_query, ExecPolicy};
+use explore_core::exec::{run_query, ExecPolicy, QueryCtx};
 use explore_core::layout::{AccessOp, AdaptiveStore, StoreConfig};
 use explore_core::loading::{eager_load, AdaptiveLoader, ExternalScanner, RawCsv};
 use explore_core::obs::ObsPolicy;
@@ -48,14 +48,14 @@ fn bench_e4_loading(c: &mut Criterion) {
         b.iter(|| {
             let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
             let mut loader = AdaptiveLoader::new(raw);
-            black_box(loader.query(&q).expect("query"))
+            black_box(loader.query(&q, &QueryCtx::none()).expect("query"))
         })
     });
     group.bench_function("adaptive_warm_query", |b| {
         let raw = RawCsv::new(csv.clone(), t.schema().clone()).expect("raw");
         let mut loader = AdaptiveLoader::new(raw);
-        loader.query(&q).expect("warm-up");
-        b.iter(|| black_box(loader.query(&q).expect("query")))
+        loader.query(&q, &QueryCtx::none()).expect("warm-up");
+        b.iter(|| black_box(loader.query(&q, &QueryCtx::none()).expect("query")))
     });
     group.finish();
 }
@@ -72,13 +72,18 @@ fn bench_e7_seedb(c: &mut Criterion) {
     group.bench_function("naive", |b| {
         b.iter(|| {
             let mut s = SeedbStats::default();
-            black_box(recommend_naive(&t, &target, &views, 5, &mut s).expect("naive"))
+            black_box(
+                recommend_naive(&t, &target, &views, 5, &mut s, &QueryCtx::none()).expect("naive"),
+            )
         })
     });
     group.bench_function("shared", |b| {
         b.iter(|| {
             let mut s = SeedbStats::default();
-            black_box(recommend_shared(&t, &target, &views, 5, &mut s).expect("shared"))
+            black_box(
+                recommend_shared(&t, &target, &views, 5, &mut s, &QueryCtx::none())
+                    .expect("shared"),
+            )
         })
     });
     for phases in [2usize, 5, 10] {
@@ -86,7 +91,17 @@ fn bench_e7_seedb(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = SeedbStats::default();
                 black_box(
-                    recommend_pruned(&t, &target, &views, 5, phases, 14, &mut s).expect("pruned"),
+                    recommend_pruned(
+                        &t,
+                        &target,
+                        &views,
+                        5,
+                        phases,
+                        14,
+                        &mut s,
+                        &QueryCtx::none(),
+                    )
+                    .expect("pruned"),
                 )
             })
         });
@@ -222,12 +237,15 @@ fn bench_exec_parallel_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec_1m_filtered_groupby");
     group.sample_size(10);
     group.bench_function("serial", |b| {
-        b.iter(|| black_box(run_query(&t, &q, ExecPolicy::Serial).expect("query")))
+        b.iter(|| black_box(run_query(&t, &q, &QueryCtx::none()).expect("query")))
     });
     for workers in [1usize, 2, 4] {
         group.bench_function(format!("parallel_{workers}_workers"), |b| {
             b.iter(|| {
-                black_box(run_query(&t, &q, ExecPolicy::Parallel { workers }).expect("query"))
+                black_box(
+                    run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers }))
+                        .expect("query"),
+                )
             })
         });
     }
@@ -295,14 +313,8 @@ fn bench_fault_overhead(c: &mut Criterion) {
     group.bench_function("cancel_token", |b| {
         let mut db = ExploreDb::new();
         db.register("sales", t.clone());
-        let token = CancelToken::new();
-        b.iter(|| {
-            black_box(
-                db.query_cancellable("sales", &q, &token)
-                    .expect("query")
-                    .num_rows(),
-            )
-        })
+        db.set_cancel_token(Some(CancelToken::new()));
+        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
     });
     group.bench_function("deadline", |b| {
         let mut db = ExploreDb::new();

@@ -6,6 +6,7 @@ use std::hint::black_box;
 
 use explore_core::aqp::{Bound, BoundedExecutor, OnlineAggregation};
 use explore_core::diversify::{mmr, swap, DivStats, Item};
+use explore_core::exec::QueryCtx;
 use explore_core::prefetch::{find_windows_naive, find_windows_prefix, GridIndex};
 use explore_core::sampling::SampleCatalog;
 use explore_core::storage::gen::{sales_table, sky_table, SalesConfig};
@@ -35,7 +36,7 @@ fn bench_e5_online_aggregation(c: &mut Criterion) {
                         9,
                     )
                     .expect("start");
-                    black_box(oa.run_until(target, 2000))
+                    black_box(oa.run_until(target, 2000).expect("run"))
                 })
             },
         );
@@ -54,7 +55,8 @@ fn bench_e6_bounded_execution(c: &mut Criterion) {
         rows: 500_000,
         ..SalesConfig::default()
     });
-    let catalog = SampleCatalog::build(&t, &[0.001, 0.01, 0.1], &[], 10).expect("catalog");
+    let catalog =
+        SampleCatalog::build(&t, &[0.001, 0.01, 0.1], &[], 10, &QueryCtx::none()).expect("catalog");
     let ex = BoundedExecutor::new(&t, &catalog);
     let mut group = c.benchmark_group("e6_bounded_execution");
     for (name, bound) in [
@@ -77,8 +79,14 @@ fn bench_e6_bounded_execution(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    ex.aggregate(&Predicate::True, AggFunc::Avg, "price", bound)
-                        .expect("aggregate"),
+                    ex.aggregate(
+                        &Predicate::True,
+                        AggFunc::Avg,
+                        "price",
+                        bound,
+                        &QueryCtx::none(),
+                    )
+                    .expect("aggregate"),
                 )
             })
         });
@@ -116,13 +124,13 @@ fn bench_e10_diversification(c: &mut Criterion) {
     group.bench_function("mmr_k20", |b| {
         b.iter(|| {
             let mut stats = DivStats::default();
-            black_box(mmr(&items, 20, 0.5, &[], &mut stats))
+            black_box(mmr(&items, 20, 0.5, &[], &mut stats, &QueryCtx::none()).expect("mmr"))
         })
     });
     group.bench_function("swap_k20", |b| {
         b.iter(|| {
             let mut stats = DivStats::default();
-            black_box(swap(&items, 20, 0.5, 10, &mut stats))
+            black_box(swap(&items, 20, 0.5, 10, &mut stats, &QueryCtx::none()).expect("swap"))
         })
     });
     group.finish();

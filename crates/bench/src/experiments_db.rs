@@ -8,6 +8,7 @@ use explore_core::cracking::{
     ConcurrentCracker, CrackerColumn, HybridCrackSort, ScanBaseline, SortedIndex,
     StochasticCracker, StochasticVariant,
 };
+use explore_core::exec::QueryCtx;
 use explore_core::layout::{AccessOp, AdaptiveStore, StoreConfig};
 use explore_core::loading::{eager_load, AdaptiveLoader, ExternalScanner, RawCsv};
 use explore_core::storage::csv::write_csv;
@@ -234,7 +235,7 @@ pub fn e4() {
     let mut loader = AdaptiveLoader::new(raw3);
     let mut adaptive_cum = vec![0.0];
     for q in &session {
-        let (_, dt) = timed(|| loader.query(q).expect("query"));
+        let (_, dt) = timed(|| loader.query(q, &QueryCtx::none()).expect("query"));
         adaptive_cum.push(adaptive_cum.last().unwrap() + dt);
     }
 

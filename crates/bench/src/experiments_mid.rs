@@ -4,6 +4,7 @@
 use explore_core::aqp::{Bound, BoundedExecutor, OnlineAggregation};
 use explore_core::cube::{CubeSession, DataCube, DiscoveryView};
 use explore_core::diversify::{mmr, objective, top_k_relevance, DivStats, DiversityCache, Item};
+use explore_core::exec::QueryCtx;
 use explore_core::prefetch::{
     find_windows_naive, find_windows_prefix, GridIndex, PanSession, Viewport,
 };
@@ -37,7 +38,7 @@ pub fn e5() {
         "tuples", "estimate", "±half-width", "rel. err"
     );
     let mut shown = 0;
-    while let Some(snap) = oa.step(20_000) {
+    while let Some(snap) = oa.step(20_000).expect("step") {
         shown += 1;
         if shown <= 5 || shown % 20 == 0 || oa.is_exhausted() {
             println!(
@@ -54,7 +55,7 @@ pub fn e5() {
     }
     let mut oa = OnlineAggregation::start(&t, &Predicate::True, AggFunc::Avg, "price", 0.95, 51)
         .expect("start");
-    let trace = oa.run_until(0.01, 5_000);
+    let trace = oa.run_until(0.01, 5_000).expect("run");
     println!(
         "\nearly stop at ±1%@95%: {} of {rows} tuples ({:.2}%)",
         trace.last().expect("non-empty").processed,
@@ -74,7 +75,8 @@ pub fn e6() {
         ..SalesConfig::default()
     });
     let fractions = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1];
-    let catalog = SampleCatalog::build(&t, &fractions, &[("region", 500)], 60).expect("catalog");
+    let catalog = SampleCatalog::build(&t, &fractions, &[("region", 500)], 60, &QueryCtx::none())
+        .expect("catalog");
     let ex = BoundedExecutor::new(&t, &catalog);
     let truth = {
         let p = t.column("price").expect("col").as_f64().expect("f64");
@@ -94,6 +96,7 @@ pub fn e6() {
                 Bound::RowBudget {
                     rows: (rows as f64 * f) as usize + 1,
                 },
+                &QueryCtx::none(),
             )
             .expect("aggregate")
         });
@@ -116,6 +119,7 @@ pub fn e6() {
                     target,
                     confidence: 0.95,
                 },
+                &QueryCtx::none(),
             )
             .expect("aggregate");
         println!(
@@ -160,7 +164,7 @@ pub fn e9() {
             } else {
                 (20 + (i - 20) / 2, 15 + (i - 20))
             };
-            session.view(Viewport { cx, cy, w: 5, h: 5 });
+            session.view(Viewport { cx, cy, w: 5, h: 5 }).expect("view");
         }
         let s = session.stats();
         println!(
@@ -200,7 +204,8 @@ pub fn e10() {
     );
     for &lambda in &[1.0, 0.7, 0.5, 0.3, 0.0] {
         let mut stats = DivStats::default();
-        let (ids, t_us) = timed(|| mmr(&items, 20, lambda, &[], &mut stats));
+        let (ids, t_us) =
+            timed(|| mmr(&items, 20, lambda, &[], &mut stats, &QueryCtx::none()).expect("mmr"));
         let sel = refs(&ids);
         let rel: f64 = sel.iter().map(|i| i.relevance).sum::<f64>() / sel.len() as f64;
         let mut dist = 0.0;
@@ -232,7 +237,9 @@ pub fn e10() {
         for step in 0..10usize {
             let lo = step * 100;
             let window: Vec<Item> = items[lo..lo + 1000].to_vec();
-            cache.diversify(&window, 20, 0.5, reuse);
+            cache
+                .diversify(&window, 20, 0.5, reuse, &QueryCtx::none())
+                .expect("diversify");
         }
         println!(
             "session of 10 overlapping queries (reuse={reuse}): {} distance evals, {} reused",

@@ -2,6 +2,7 @@
 //! explore-by-example (E8), query-from-output (E14) and
 //! visualization-bound sampling (E15).
 
+use explore_core::exec::QueryCtx;
 use explore_core::interact::aide::{AideConfig, AideSession, LabelOracle};
 use explore_core::interact::qbo::discover_query;
 use explore_core::render_table1;
@@ -42,14 +43,27 @@ pub fn e7() {
         views.len()
     );
     let mut s_naive = SeedbStats::default();
-    let (exact, t_naive) =
-        timed(|| recommend_naive(&t, &target, &views, 5, &mut s_naive).expect("naive"));
+    let (exact, t_naive) = timed(|| {
+        recommend_naive(&t, &target, &views, 5, &mut s_naive, &QueryCtx::none()).expect("naive")
+    });
     let mut s_shared = SeedbStats::default();
-    let (shared, t_shared) =
-        timed(|| recommend_shared(&t, &target, &views, 5, &mut s_shared).expect("shared"));
+    let (shared, t_shared) = timed(|| {
+        recommend_shared(&t, &target, &views, 5, &mut s_shared, &QueryCtx::none()).expect("shared")
+    });
     let mut s_pruned = SeedbStats::default();
-    let (pruned, t_pruned) =
-        timed(|| recommend_pruned(&t, &target, &views, 5, 10, 70, &mut s_pruned).expect("pruned"));
+    let (pruned, t_pruned) = timed(|| {
+        recommend_pruned(
+            &t,
+            &target,
+            &views,
+            5,
+            10,
+            70,
+            &mut s_pruned,
+            &QueryCtx::none(),
+        )
+        .expect("pruned")
+    });
     println!(
         "{:>10} | {:>12} | {:>14} | {:>8} | {:>8}",
         "strategy", "latency", "agg ops", "pruned", "recall"

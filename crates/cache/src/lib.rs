@@ -30,18 +30,19 @@
 //! use std::sync::Arc;
 //!
 //! use explore_cache::{cached_query, CacheConfig, ResultCache};
-//! use explore_exec::ExecPolicy;
+//! use explore_exec::QueryCtx;
 //! use explore_storage::{gen, AggFunc, Predicate, Query};
 //!
 //! let sales = gen::sales_table(&gen::SalesConfig::default());
 //! let cache = ResultCache::new(CacheConfig::default());
+//! let ctx = QueryCtx::none();
 //!
 //! // A broad range aggregate: cold miss, then an exact warm hit.
 //! let broad = Query::new()
 //!     .filter(Predicate::range("qty", 2.0, 8.0))
 //!     .agg(AggFunc::Sum, "price");
-//! let cold = cached_query(&cache, &sales, "sales", &broad, ExecPolicy::Serial).unwrap();
-//! let warm = cached_query(&cache, &sales, "sales", &broad, ExecPolicy::Serial).unwrap();
+//! let cold = cached_query(&cache, &sales, "sales", &broad, &ctx).unwrap();
+//! let warm = cached_query(&cache, &sales, "sales", &broad, &ctx).unwrap();
 //! assert_eq!(cold, warm);
 //! assert_eq!(cache.stats().hits, 1);
 //!
@@ -50,11 +51,11 @@
 //! let narrow = Query::new()
 //!     .filter(Predicate::range("qty", 3.0, 6.0))
 //!     .agg(AggFunc::Sum, "price");
-//! let served = cached_query(&cache, &sales, "sales", &narrow, ExecPolicy::Serial).unwrap();
+//! let served = cached_query(&cache, &sales, "sales", &narrow, &ctx).unwrap();
 //! assert_eq!(cache.stats().subsumption_hits, 1);
 //!
 //! // ...and it is exactly what a cache-less run computes.
-//! let direct = explore_exec::run_query(&sales, &narrow, ExecPolicy::Serial).unwrap();
+//! let direct = explore_exec::run_query(&sales, &narrow, &ctx).unwrap();
 //! assert_eq!(served, direct);
 //! ```
 
@@ -65,7 +66,7 @@ pub mod store;
 
 pub use fingerprint::{predicate_key, Fingerprint};
 pub use region::{BoundVal, Interval, Region};
-pub use serve::{cached_query, cached_query_ctx, cached_query_traced};
+pub use serve::cached_query;
 pub use store::{
     table_bytes, CacheConfig, CachePolicy, CacheStats, ResultCache, ReuseArtifacts,
     SubsumeCandidate,

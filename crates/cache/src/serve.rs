@@ -7,6 +7,14 @@
 //! would produce against the base table, and errors are the canonical
 //! `run_query` errors.
 //!
+//! The one [`QueryCtx`] threads through every exec call, so cancellation
+//! is checked per morsel on subsumption re-filters and base-table scans
+//! alike, fail points apply at the same hazard sites, and an attached
+//! trace records one cache-lookup span tagged with the outcome (hit /
+//! subsumption / miss), an admit span when a result is offered to the
+//! cache, and the usual exec spans for whatever actually ran. None of it
+//! changes what is served.
+//!
 //! The subsumption path earns this the careful way:
 //!
 //! 1. the **full** new predicate is re-evaluated on the cached subset
@@ -25,8 +33,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use explore_exec::{evaluate_selection_ctx, run_query_on_selection_ctx, ExecPolicy, RunCtx};
-use explore_obs::{ActiveTrace, CacheOutcome, SpanKind, ROOT_SPAN};
+use explore_exec::{evaluate_selection, run_query_on_selection, QueryCtx};
+use explore_obs::{CacheOutcome, SpanKind, ROOT_SPAN};
 use explore_storage::{Query, Result, Table};
 
 use crate::fingerprint::Fingerprint;
@@ -34,58 +42,21 @@ use crate::region::Region;
 use crate::store::{ResultCache, ReuseArtifacts, SubsumeCandidate};
 
 /// Execute `query` against `base` (registered as `table_name`) through
-/// the shared cache. See the module docs for the exactness contract.
+/// the shared cache, under one [`QueryCtx`]. See the module docs for
+/// the exactness contract.
 pub fn cached_query(
     cache: &ResultCache,
     base: &Table,
     table_name: &str,
     query: &Query,
-    policy: ExecPolicy,
-) -> Result<Table> {
-    cached_query_traced(cache, base, table_name, query, policy, None)
-}
-
-/// [`cached_query`] with optional span recording: one cache-lookup span
-/// tagged with the outcome (hit / subsumption / miss), an admit span
-/// when a result is offered to the cache, and the usual exec spans for
-/// whatever actually ran. Tracing never changes what is served.
-pub fn cached_query_traced(
-    cache: &ResultCache,
-    base: &Table,
-    table_name: &str,
-    query: &Query,
-    policy: ExecPolicy,
-    trace: Option<&ActiveTrace>,
-) -> Result<Table> {
-    cached_query_ctx(
-        cache,
-        base,
-        table_name,
-        query,
-        policy,
-        &RunCtx::none(),
-        trace,
-    )
-}
-
-/// [`cached_query_traced`] with a fault-injection/cancellation context,
-/// threaded into every exec call so cancellation is still checked per
-/// morsel on hit-miss re-filters and base-table scans alike.
-pub fn cached_query_ctx(
-    cache: &ResultCache,
-    base: &Table,
-    table_name: &str,
-    query: &Query,
-    policy: ExecPolicy,
-    ctx: &RunCtx,
-    trace: Option<&ActiveTrace>,
+    ctx: &QueryCtx,
 ) -> Result<Table> {
     let fingerprint = Fingerprint::for_query(table_name, query);
     let epoch = cache.epoch(table_name);
 
-    let lookup_start = trace.map(|t| t.now_ns());
+    let lookup_start = ctx.trace.map(|t| t.now_ns());
     if let Some(hit) = cache.get(&fingerprint) {
-        record_lookup(trace, lookup_start, CacheOutcome::Hit);
+        record_lookup(ctx, lookup_start, CacheOutcome::Hit);
         return Ok((*hit).clone());
     }
 
@@ -94,11 +65,9 @@ pub fn cached_query_ctx(
         base,
         table_name,
         query,
-        policy,
         &fingerprint,
         epoch,
         ctx,
-        trace,
         lookup_start,
     ) {
         return Ok(served);
@@ -108,7 +77,7 @@ pub fn cached_query_ctx(
     // the typed error, not silently fall through to a (doomed) rescan.
     ctx.check_cancel()?;
 
-    record_lookup(trace, lookup_start, CacheOutcome::Miss);
+    record_lookup(ctx, lookup_start, CacheOutcome::Miss);
     cache.note_miss();
 
     // Mirror `run_query`'s error precedence: scan queries validate the
@@ -119,28 +88,28 @@ pub fn cached_query_ctx(
     }
 
     let started = Instant::now();
-    let sel = evaluate_selection_ctx(base, &query.predicate, policy, ctx, trace)?;
-    let result = run_query_on_selection_ctx(base, query, &sel, policy, ctx, trace)?;
+    let sel = evaluate_selection(base, &query.predicate, ctx)?;
+    let result = run_query_on_selection(base, query, &sel, ctx)?;
     let cost_ns = started.elapsed().as_nanos();
 
     let result = Arc::new(result);
     let reuse = build_artifacts(base, query, sel, &result);
-    let admit_start = trace.map(|t| t.now_ns());
+    let admit_start = ctx.trace.map(|t| t.now_ns());
     let accepted = cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch);
-    record_admit(trace, admit_start, accepted);
+    record_admit(ctx, admit_start, accepted);
     Ok((*result).clone())
 }
 
 /// Record the cache-lookup span once its outcome is known.
-fn record_lookup(trace: Option<&ActiveTrace>, start: Option<u64>, outcome: CacheOutcome) {
-    if let Some((t, start)) = trace.zip(start) {
+fn record_lookup(ctx: &QueryCtx, start: Option<u64>, outcome: CacheOutcome) {
+    if let Some((t, start)) = ctx.trace.zip(start) {
         t.record(ROOT_SPAN, SpanKind::CacheLookup(outcome), start, t.now_ns());
     }
 }
 
 /// Record the admission span around a [`ResultCache::insert`] offer.
-fn record_admit(trace: Option<&ActiveTrace>, start: Option<u64>, accepted: bool) {
-    if let Some((t, start)) = trace.zip(start) {
+fn record_admit(ctx: &QueryCtx, start: Option<u64>, accepted: bool) {
+    if let Some((t, start)) = ctx.trace.zip(start) {
         t.record(ROOT_SPAN, SpanKind::Admit { accepted }, start, t.now_ns());
     }
 }
@@ -154,11 +123,9 @@ fn try_subsumption(
     base: &Table,
     table_name: &str,
     query: &Query,
-    policy: ExecPolicy,
     fingerprint: &Fingerprint,
     epoch: u64,
-    ctx: &RunCtx,
-    trace: Option<&ActiveTrace>,
+    ctx: &QueryCtx,
     lookup_start: Option<u64>,
 ) -> Option<Table> {
     if !cache.subsumption_enabled() {
@@ -168,7 +135,7 @@ fn try_subsumption(
     let candidate = cache.find_subsuming(table_name, &query_region)?;
     // The probe found a superset: the lookup span closes here, before
     // the re-filter work (which records its own exec spans).
-    record_lookup(trace, lookup_start, CacheOutcome::Subsumption);
+    record_lookup(ctx, lookup_start, CacheOutcome::Subsumption);
     let SubsumeCandidate {
         fingerprint: source,
         sel,
@@ -180,9 +147,9 @@ fn try_subsumption(
     // Re-evaluate the full predicate on the (smaller) cached subset;
     // region soundness guarantees no qualifying base row lives outside
     // it. Errors fall through to the canonical miss path.
-    let local = evaluate_selection_ctx(&subset, &query.predicate, policy, ctx, trace).ok()?;
+    let local = evaluate_selection(&subset, &query.predicate, ctx).ok()?;
     let global: Vec<u32> = local.iter().map(|&i| sel[i as usize]).collect();
-    let result = run_query_on_selection_ctx(base, query, &global, policy, ctx, trace).ok()?;
+    let result = run_query_on_selection(base, query, &global, ctx).ok()?;
     let refilter_ns = started.elapsed().as_nanos();
 
     cache.note_subsumption_hit(&source, cost_ns.saturating_sub(refilter_ns));
@@ -196,7 +163,7 @@ fn try_subsumption(
         sel: Arc::new(global),
         subset: Arc::new(subset.gather(&local)),
     });
-    let admit_start = trace.map(|t| t.now_ns());
+    let admit_start = ctx.trace.map(|t| t.now_ns());
     let accepted = cache.insert(
         fingerprint.clone(),
         Arc::clone(&result),
@@ -204,7 +171,7 @@ fn try_subsumption(
         refilter_ns,
         epoch,
     );
-    record_admit(trace, admit_start, accepted);
+    record_admit(ctx, admit_start, accepted);
     Some((*result).clone())
 }
 

@@ -21,11 +21,12 @@ use explore_aqp::{
 };
 use explore_cache::{CachePolicy, CacheStats, ResultCache};
 use explore_cracking::CrackerColumn;
-use explore_exec::ExecPolicy;
-use explore_fault::{CancelToken, FailPoints, Observer, QueryDeadline, RunCtx};
+use explore_cube::{CubeSession, DataCube, DiscoveryView};
+use explore_exec::{ExecPolicy, QueryCtx};
+use explore_fault::{CancelToken, FailPoints, Observer, QueryDeadline};
 use explore_loading::{AdaptiveLoader, ErrorPolicy, RawCsv};
 use explore_obs::{
-    render_trace, ActiveTrace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
+    render_trace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
 };
 use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
@@ -73,6 +74,10 @@ pub struct ExploreDb {
     /// Deadline applied to every [`ExploreDb::query`]; `None` (default)
     /// means queries run to completion.
     deadline: Option<QueryDeadline>,
+    /// Session-wide external cancel token. When set, every engine entry
+    /// point checks it at morsel/step boundaries; an explicit token wins
+    /// over the deadline when both are set (the deadline still applies).
+    cancel: Option<CancelToken>,
     /// How raw-table loaders treat malformed CSV rows; applied to
     /// current and future attachments.
     load_error_policy: ErrorPolicy,
@@ -96,6 +101,7 @@ impl Default for ExploreDb {
             obs_policy: ObsPolicy::default(),
             faults,
             deadline: None,
+            cancel: None,
             load_error_policy: ErrorPolicy::default(),
         }
     }
@@ -203,9 +209,9 @@ impl ExploreDb {
     /// [`ExploreDb::query`]), so the profile reflects live state —
     /// explaining a cached query shows the hit, not the original scan.
     pub fn explain(&mut self, table: &str, query: &Query) -> Result<String> {
-        let ctx = self.run_ctx(None);
         let trace = self.obs.force_start(table, query.describe());
-        let result = self.run_routed(table, query, &ctx, Some(&trace));
+        let ctx = self.query_ctx().with_trace(Some(&trace));
+        let result = self.run_routed(table, query, &ctx);
         let finished = trace.finish();
         self.note_cancel(&result);
         result.map(|_| render_trace(&finished))
@@ -232,6 +238,21 @@ impl ExploreDb {
     /// The current per-query deadline, if any.
     pub fn query_deadline(&self) -> Option<Duration> {
         self.deadline.map(|d| d.0)
+    }
+
+    /// Set (or clear) a session-wide external cancel token. The caller
+    /// (another thread, a UI) may trigger it at any time; every engine
+    /// entry point then returns `StorageError::Cancelled` at its next
+    /// morsel/step boundary. Partial state — cracker indexes, cache
+    /// entries, pool workers — stays valid, and a follow-up call returns
+    /// results bit-identical to a never-cancelled engine.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// The current session cancel token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
     }
 
     /// How raw-table loaders treat malformed CSV rows: `Abort` (the
@@ -366,29 +387,9 @@ impl ExploreDb {
     /// through the adaptive loader, whose incremental load state is
     /// itself the cache.
     pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
-        let ctx = self.run_ctx(None);
-        self.query_with_ctx(table, query, &ctx)
-    }
-
-    /// [`ExploreDb::query`] under an external cancel token: the caller
-    /// (another thread, a UI) may cancel at any time, and the query
-    /// returns `StorageError::Cancelled` at its next morsel boundary.
-    /// Partial state — cracker indexes, cache entries, pool workers —
-    /// stays valid, and a follow-up query returns results bit-identical
-    /// to a never-cancelled engine.
-    pub fn query_cancellable(
-        &mut self,
-        table: &str,
-        query: &Query,
-        cancel: &CancelToken,
-    ) -> Result<Table> {
-        let ctx = self.run_ctx(Some(cancel.clone()));
-        self.query_with_ctx(table, query, &ctx)
-    }
-
-    fn query_with_ctx(&mut self, table: &str, query: &Query, ctx: &RunCtx) -> Result<Table> {
         let trace = self.obs.start(table, || query.describe());
-        let result = self.run_routed(table, query, ctx, trace.as_ref());
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
+        let result = self.run_routed(table, query, &ctx);
         if let Some(trace) = trace {
             trace.finish();
         }
@@ -396,13 +397,23 @@ impl ExploreDb {
         result
     }
 
-    /// The fault/cancellation context for one query: the engine's fail
-    /// points plus an explicit token, or one minted from the deadline.
-    fn run_ctx(&self, cancel: Option<CancelToken>) -> RunCtx {
-        RunCtx {
-            faults: Some(Arc::clone(&self.faults)),
-            cancel: cancel.or_else(|| self.deadline.as_ref().map(QueryDeadline::token)),
-        }
+    /// The execution context for one engine call: the engine's exec
+    /// policy and fail points, the session cancel token, and a deadline
+    /// token freshly minted so its clock starts at this call.
+    fn query_ctx(&self) -> QueryCtx<'static> {
+        QueryCtx::new(self.exec_policy)
+            .with_faults(Some(Arc::clone(&self.faults)))
+            .with_cancel(self.cancel.clone())
+            .with_deadline(self.deadline.as_ref().map(QueryDeadline::token))
+    }
+
+    /// One token for long-lived middleware sessions that outlive a
+    /// single engine call: the session cancel token when set, else a
+    /// token minted from the deadline.
+    fn session_token(&self) -> Option<CancelToken> {
+        self.cancel
+            .clone()
+            .or_else(|| self.deadline.as_ref().map(QueryDeadline::token))
     }
 
     /// Count cancellation outcomes as `cancel.*` events (mirrored into
@@ -419,35 +430,21 @@ impl ExploreDb {
     /// [`ExploreDb::explain`]: raw tables go through the adaptive
     /// loader (recorded as one raw-load span), in-memory tables through
     /// the cache or the plain executor.
-    fn run_routed(
-        &mut self,
-        table: &str,
-        query: &Query,
-        ctx: &RunCtx,
-        trace: Option<&ActiveTrace>,
-    ) -> Result<Table> {
+    fn run_routed(&mut self, table: &str, query: &Query, ctx: &QueryCtx) -> Result<Table> {
         // An already-cancelled or expired token fails before routing —
         // even a warm cache hit must not mask the typed error.
         ctx.check_cancel()?;
         if let Some(loader) = self.raw.get_mut(table) {
-            return match trace {
-                Some(t) => t.scope(ROOT_SPAN, SpanKind::RawLoad, || loader.query(query)),
-                None => loader.query(query),
+            return match ctx.trace {
+                Some(t) => t.scope(ROOT_SPAN, SpanKind::RawLoad, || loader.query(query, ctx)),
+                None => loader.query(query, ctx),
             };
         }
         let base = self.catalog.get(table)?;
         if self.cache_policy.is_on() {
-            explore_cache::cached_query_ctx(
-                &self.result_cache,
-                base,
-                table,
-                query,
-                self.exec_policy,
-                ctx,
-                trace,
-            )
+            explore_cache::cached_query(&self.result_cache, base, table, query, ctx)
         } else {
-            explore_exec::run_query_ctx(base, query, self.exec_policy, ctx, trace)
+            explore_exec::run_query(base, query, ctx)
         }
     }
 
@@ -461,7 +458,11 @@ impl ExploreDb {
 
     /// Range query through the adaptive index: first call cracks (cost ≈
     /// scan), later calls converge to index speed. The column must be
-    /// Int64.
+    /// Int64. Honors the session cancel token and deadline: the token is
+    /// checked between crack (partition) steps, so a cancelled call may
+    /// have cracked the low bound but not the high one — the index is
+    /// well-formed either way, and the partial work is kept (it benefits
+    /// later queries rather than being rolled back).
     pub fn cracked_range(
         &mut self,
         table: &str,
@@ -469,6 +470,9 @@ impl ExploreDb {
         low: i64,
         high: i64,
     ) -> Result<Vec<u32>> {
+        let ctx = self.query_ctx();
+        ctx.check_cancel()?;
+        let token = self.session_token();
         let key = self.ensure_cracker(table, column)?;
         if self.faults.fire("crack.reorg") {
             // Injected reorganization failure: answer by scanning the
@@ -499,7 +503,9 @@ impl ExploreDb {
             .ok_or_else(|| StorageError::Internal("cracker lost after ensure".into()))?;
         let pieces_before = cracker.num_pieces();
         let start = trace.as_ref().map(|t| t.now_ns());
-        let ids = cracker.query_ids(low, high).to_vec();
+        let ids = cracker
+            .query_bounds(low, high, token.as_ref())
+            .map(|(s, e)| cracker.ids()[s..e].to_vec());
         let pieces_after = cracker.num_pieces();
         if let Some((t, start)) = trace.as_ref().zip(start) {
             t.record(
@@ -518,45 +524,16 @@ impl ExploreDb {
         // Cracking reorganizes the index copy, not the base table, so
         // cached results stay byte-correct — but the ISSUE's protocol
         // treats a reorganization as an epoch event, which keeps the
-        // cache conservative if cracking ever becomes in-place.
+        // cache conservative if cracking ever becomes in-place. Even an
+        // aborted (cancelled) call may have registered a boundary.
         if pieces_after != pieces_before {
             self.result_cache.bump_epoch(table);
         }
         if let Some(trace) = trace {
             trace.finish();
         }
-        Ok(ids)
-    }
-
-    /// [`ExploreDb::cracked_range`] under an external cancel token. The
-    /// token is checked between crack (partition) steps, so a cancelled
-    /// call may have cracked the low bound but not the high one — the
-    /// cracker index is well-formed either way, and the partial work is
-    /// kept (it benefits later queries rather than being rolled back).
-    pub fn cracked_range_cancellable(
-        &mut self,
-        table: &str,
-        column: &str,
-        low: i64,
-        high: i64,
-        cancel: &CancelToken,
-    ) -> Result<Vec<u32>> {
-        let key = self.ensure_cracker(table, column)?;
-        let cracker = self
-            .crackers
-            .get_mut(&key)
-            .ok_or_else(|| StorageError::Internal("cracker lost after ensure".into()))?;
-        let pieces_before = cracker.num_pieces();
-        let out = cracker
-            .query_cancellable(low, high, cancel)
-            .map(|(s, e)| cracker.ids()[s..e].to_vec());
-        // Even an aborted call may have registered a boundary: keep the
-        // epoch protocol conservative about reorganizations.
-        if cracker.num_pieces() != pieces_before {
-            self.result_cache.bump_epoch(table);
-        }
-        self.note_cancel(&out);
-        out
+        self.note_cancel(&ids);
+        ids
     }
 
     /// Build the (table, column) cracker on first use; returns its key.
@@ -588,7 +565,9 @@ impl ExploreDb {
     }
 
     /// Build (or rebuild) the sample catalog enabling approximate
-    /// queries on a table.
+    /// queries on a table. Honors the session cancel token and deadline
+    /// (checked between samples) and records a `sample.build` span and
+    /// counter when observability is on.
     pub fn build_samples(
         &mut self,
         table: &str,
@@ -596,8 +575,27 @@ impl ExploreDb {
         stratify_on: &[(&str, usize)],
         seed: u64,
     ) -> Result<()> {
-        let t = self.catalog.get(table)?;
-        let catalog = SampleCatalog::build(t, fractions, stratify_on, seed)?;
+        let trace = self.obs.start(table, || {
+            format!(
+                "build_samples({} samples)",
+                fractions.len() + stratify_on.len()
+            )
+        });
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
+        let start = ctx.trace.map(|t| t.now_ns());
+        let result = self
+            .catalog
+            .get(table)
+            .and_then(|t| SampleCatalog::build(t, fractions, stratify_on, seed, &ctx));
+        if let Some((t, s)) = ctx.trace.zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("sample.build"), s, t.now_ns());
+            t.metrics().inc("sample.builds", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        let catalog = result?;
         self.samples.insert(table.to_owned(), catalog);
         Ok(())
     }
@@ -618,7 +616,7 @@ impl ExploreDb {
                 "no sample catalog for {table}; call build_samples first"
             ))
         })?;
-        let mut ex = BoundedExecutor::new(t, samples).with_policy(self.exec_policy);
+        let mut ex = BoundedExecutor::new(t, samples);
         if self.cache_policy.is_on() {
             ex = ex.with_cache(Arc::clone(&self.result_cache), table);
         }
@@ -628,8 +626,9 @@ impl ExploreDb {
         let trace = self.obs.start(table, || {
             format!("approx {func}({column}) where {predicate}")
         });
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
         let start = trace.as_ref().map(|t| t.now_ns());
-        let ans = ex.aggregate(predicate, func, column, bound);
+        let ans = ex.aggregate(predicate, func, column, bound, &ctx);
         if let Some((t, start)) = trace.as_ref().zip(start) {
             if let Ok(ans) = &ans {
                 t.record(
@@ -647,6 +646,7 @@ impl ExploreDb {
         if let Some(trace) = trace {
             trace.finish();
         }
+        self.note_cancel(&ans);
         ans
     }
 
@@ -656,7 +656,7 @@ impl ExploreDb {
     /// aggregates are visible to [`ExploreDb::query`] and vice versa.
     pub fn speculator(&self, table: &str, budget: usize) -> Result<SpeculativeExecutor<'_>> {
         let t = self.catalog.get(table)?;
-        let mut ex = SpeculativeExecutor::new(t, budget);
+        let mut ex = SpeculativeExecutor::new(t, budget).with_cancel(self.session_token());
         if self.cache_policy.is_on() {
             ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table);
         }
@@ -667,7 +667,10 @@ impl ExploreDb {
     }
 
     /// Start an online aggregation whose confidence interval the caller
-    /// can watch shrink.
+    /// can watch shrink. The session inherits the engine's cancel token
+    /// (or a deadline token whose clock starts now), so `step`/`run_until`
+    /// stop within one batch of a trigger; an `aqp.online` span and
+    /// counter are recorded when observability is on.
     pub fn online_aggregate(
         &self,
         table: &str,
@@ -677,7 +680,11 @@ impl ExploreDb {
         confidence: f64,
         seed: u64,
     ) -> Result<OnlineAggregation> {
-        OnlineAggregation::start(
+        let trace = self.obs.start(table, || {
+            format!("online {func}({column}) where {predicate}")
+        });
+        let start = trace.as_ref().map(|t| t.now_ns());
+        let oa = OnlineAggregation::start(
             self.catalog.get(table)?,
             predicate,
             func,
@@ -685,10 +692,22 @@ impl ExploreDb {
             confidence,
             seed,
         )
+        .map(|oa| oa.with_cancel(self.session_token()));
+        if let Some((t, s)) = trace.as_ref().zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("aqp.online"), s, t.now_ns());
+            t.metrics().inc("aqp.online_sessions", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        oa
     }
 
     /// SeeDB: recommend the `k` most deviating views of `target` rows
-    /// vs the rest of the table, using the shared-scan strategy.
+    /// vs the rest of the table, using the shared-scan strategy. The
+    /// shared scan checks the session cancel token and deadline every
+    /// few thousand rows; a cancelled call leaves the engine serving
+    /// exact truth as if it never ran.
     pub fn recommend_views(
         &self,
         table: &str,
@@ -696,9 +715,21 @@ impl ExploreDb {
         k: usize,
     ) -> Result<Vec<ScoredView>> {
         let t = self.catalog.get(table)?;
+        let trace = self.obs.start(table, || format!("recommend_views(k={k})"));
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
         let views = candidate_views(t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
         let mut stats = SeedbStats::default();
-        recommend_shared(t, target, &views, k, &mut stats)
+        let start = ctx.trace.map(|t| t.now_ns());
+        let result = recommend_shared(t, target, &views, k, &mut stats, &ctx);
+        if let Some((t, s)) = ctx.trace.zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("viz.recommend"), s, t.now_ns());
+            t.metrics().inc("viz.recommendations", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        result
     }
 
     /// Build (or rebuild) the AQUA-style synopsis store for a table.
@@ -718,7 +749,7 @@ impl ExploreDb {
         low: f64,
         high: f64,
     ) -> Result<SynopsisAnswer> {
-        self.synopsis_store(table)?.range_count(column, low, high)
+        self.estimate_with(table, |s| s.range_count(column, low, high))
     }
 
     /// Estimate `COUNT(*) WHERE column = value` for a string column.
@@ -728,12 +759,41 @@ impl ExploreDb {
         column: &str,
         value: &str,
     ) -> Result<SynopsisAnswer> {
-        self.synopsis_store(table)?.point_count(column, value)
+        self.estimate_with(table, |s| s.point_count(column, value))
     }
 
     /// Estimate `COUNT(DISTINCT column)` for a string column.
     pub fn estimate_distinct(&self, table: &str, column: &str) -> Result<SynopsisAnswer> {
-        self.synopsis_store(table)?.distinct_count(column)
+        self.estimate_with(table, |s| s.distinct_count(column))
+    }
+
+    /// Shared wrapper for the synopsis estimators: cancel/deadline check
+    /// up front (estimates are single-step), `synopsis.estimate` span
+    /// and counter when observability is on.
+    fn estimate_with(
+        &self,
+        table: &str,
+        f: impl FnOnce(&SynopsisStore) -> Result<SynopsisAnswer>,
+    ) -> Result<SynopsisAnswer> {
+        let ctx = self.query_ctx();
+        ctx.check_cancel()?;
+        let store = self.synopsis_store(table)?;
+        let trace = self.obs.start(table, || "synopsis estimate".to_owned());
+        let start = trace.as_ref().map(|t| t.now_ns());
+        let result = f(store);
+        if let Some((t, s)) = trace.as_ref().zip(start) {
+            t.record(
+                ROOT_SPAN,
+                SpanKind::Stage("synopsis.estimate"),
+                s,
+                t.now_ns(),
+            );
+            t.metrics().inc("synopsis.estimates", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        result
     }
 
     fn synopsis_store(&self, table: &str) -> Result<&SynopsisStore> {
@@ -754,8 +814,17 @@ impl ExploreDb {
         k: usize,
     ) -> Result<Vec<explore_explore::Facet>> {
         let t = self.catalog.get(table)?;
-        let rows = explore_exec::evaluate_selection(t, predicate, self.exec_policy)?;
-        explore_explore::faceted_recommendations(t, &rows, min_support, k)
+        let trace = self
+            .obs
+            .start(table, || format!("facets(k={k}) where {predicate}"));
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
+        let result = explore_exec::evaluate_selection(t, predicate, &ctx)
+            .and_then(|rows| explore_explore::faceted_recommendations(t, &rows, min_support, k));
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        result
     }
 
     /// Diversified top-k rows: relevance from a numeric column, pairwise
@@ -771,7 +840,36 @@ impl ExploreDb {
         lambda: f64,
     ) -> Result<Vec<u32>> {
         let t = self.catalog.get(table)?;
-        let rows = explore_exec::evaluate_selection(t, predicate, self.exec_policy)?;
+        let trace = self
+            .obs
+            .start(table, || format!("diversified_topk(k={k}, λ={lambda})"));
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
+        let start = ctx.trace.map(|t| t.now_ns());
+        let result =
+            Self::diversify_rows(t, predicate, relevance_col, feature_cols, k, lambda, &ctx);
+        if let Some((t, s)) = ctx.trace.zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("div.topk"), s, t.now_ns());
+            t.metrics().inc("div.topk", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        result
+    }
+
+    /// The selection + item construction + MMR core of
+    /// [`ExploreDb::diversified_topk`].
+    fn diversify_rows(
+        t: &Table,
+        predicate: &Predicate,
+        relevance_col: &str,
+        feature_cols: &[&str],
+        k: usize,
+        lambda: f64,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<u32>> {
+        let rows = explore_exec::evaluate_selection(t, predicate, ctx)?;
         let rel = t.column(relevance_col)?;
         let feats: Vec<&explore_storage::Column> = feature_cols
             .iter()
@@ -801,12 +899,87 @@ impl ExploreDb {
             items.push(explore_diversify::Item::new(row, relevance, features));
         }
         let mut stats = explore_diversify::DivStats::default();
-        Ok(explore_diversify::mmr(&items, k, lambda, &[], &mut stats))
+        explore_diversify::mmr(&items, k, lambda, &[], &mut stats, ctx)
     }
 
-    /// VizDeck: deal the top-`k` chart proposals for a table.
+    /// VizDeck: deal the top-`k` chart proposals for a table. The
+    /// deal is single-pass; the session cancel token and deadline are
+    /// checked up front, and a `viz.propose` span and counter are
+    /// recorded when observability is on.
     pub fn propose_charts(&self, table: &str, k: usize) -> Result<Vec<explore_viz::ChartProposal>> {
-        explore_viz::propose_charts(self.catalog.get(table)?, k)
+        let ctx = self.query_ctx();
+        ctx.check_cancel()?;
+        let t = self.catalog.get(table)?;
+        let trace = self.obs.start(table, || format!("propose_charts(k={k})"));
+        let start = trace.as_ref().map(|t| t.now_ns());
+        let result = explore_viz::propose_charts(t, k);
+        if let Some((t, s)) = trace.as_ref().zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("viz.propose"), s, t.now_ns());
+            t.metrics().inc("viz.proposals", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        result
+    }
+
+    /// Discovery-driven cube exploration: score every cell of
+    /// `SUM(measure) GROUP BY dim_a, dim_b` against the independence
+    /// model. The grouped query runs through the engine's routed
+    /// pipeline, so it honors caching, tracing, deadlines, the session
+    /// cancel token and fail points like any other query; a
+    /// `cube.discover` span and counter are recorded when observability
+    /// is on.
+    pub fn discover_cube(
+        &mut self,
+        table: &str,
+        dim_a: &str,
+        dim_b: &str,
+        measure: &str,
+    ) -> Result<DiscoveryView> {
+        let trace = self.obs.start(table, || {
+            format!("discover_cube({dim_a}, {dim_b}, {measure})")
+        });
+        let ctx = self.query_ctx().with_trace(trace.as_ref());
+        let query = Query::new()
+            .group(dim_a)
+            .group(dim_b)
+            .agg(AggFunc::Sum, measure);
+        let start = ctx.trace.map(|t| t.now_ns());
+        let result = self
+            .run_routed(table, &query, &ctx)
+            .and_then(|grouped| DiscoveryView::from_grouped(&grouped, dim_a, dim_b, measure));
+        if let Some((t, s)) = ctx.trace.zip(start) {
+            t.record(ROOT_SPAN, SpanKind::Stage("cube.discover"), s, t.now_ns());
+            t.metrics().inc("cube.discoveries", 1);
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        result
+    }
+
+    /// A DICE-style speculative cube session over `table`. The session
+    /// holds its own cube lattice built from a snapshot of the table; it
+    /// inherits the engine's session cancel token (or a deadline token
+    /// whose clock starts now), and emits `cube.*` counters into the
+    /// engine's metrics registry when observability is on.
+    pub fn cube_session(
+        &self,
+        table: &str,
+        dims: &[&str],
+        measure: &str,
+        func: AggFunc,
+        speculate: bool,
+    ) -> Result<CubeSession> {
+        let t = self.catalog.get(table)?;
+        let cube = DataCube::new(t.clone(), dims, measure, func)?;
+        let mut session = CubeSession::new(cube, speculate).with_cancel(self.session_token());
+        if self.obs_policy.is_on() {
+            session = session.with_metrics(Some(self.obs.metrics()));
+        }
+        Ok(session)
     }
 }
 
@@ -923,7 +1096,7 @@ mod tests {
         let mut oa = db
             .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 3)
             .unwrap();
-        let trace = oa.run_until(0.02, 500);
+        let trace = oa.run_until(0.02, 500).unwrap();
         assert!(!trace.is_empty());
         assert!(trace.last().unwrap().processed < 20_000);
     }

@@ -95,45 +95,37 @@ impl CrackerColumn {
     /// Answer the half-open range query `low <= v < high`, cracking as
     /// needed. Returns the contiguous position range `[start, end)` in
     /// the cracker column holding the qualifying values.
+    ///
+    /// Infallible convenience over [`query_bounds`](Self::query_bounds)
+    /// with no cancellation.
     pub fn query(&mut self, low: i64, high: i64) -> (usize, usize) {
-        if low >= high || self.values.is_empty() {
-            return (0, 0);
-        }
-        // If both bounds are new and land in the same piece, a single
-        // three-way pass is cheaper than two two-way passes.
-        if !self.index.contains_key(&low) && !self.index.contains_key(&high) {
-            let (s1, e1) = self.piece_for(low);
-            let (s2, e2) = self.piece_for(high);
-            if (s1, e1) == (s2, e2) {
-                let (p_lo, p_hi) = self.crack_in_three(s1, e1, low, high);
-                self.index.insert(low, p_lo);
-                self.index.insert(high, p_hi);
-                return (p_lo, p_hi);
-            }
-        }
-        let p_lo = self.bound_position(low);
-        let p_hi = self.bound_position(high);
-        debug_assert!(p_lo <= p_hi);
-        (p_lo, p_hi)
+        // With no token, no check can fail.
+        self.query_bounds(low, high, None).unwrap_or_default()
     }
 
-    /// Cooperatively cancellable [`query`](Self::query): the token is
-    /// checked before each crack (partition) step, so a cancelled query
-    /// aborts between reorganization steps, never inside one. Because
-    /// every crack op runs to completion before the next check, the
-    /// cracker index is well-formed after a `Cancelled`/
+    /// The single range-query implementation: answer `low <= v < high`,
+    /// cracking as needed, under an optional cooperative cancellation
+    /// token. The token is checked before each crack (partition) step,
+    /// so a cancelled query aborts between reorganization steps, never
+    /// inside one. Because every crack op runs to completion before the
+    /// next check, the cracker index is well-formed after a `Cancelled`/
     /// `DeadlineExceeded` error — any boundary the aborted query already
-    /// registered is valid and benefits later queries.
-    pub fn query_cancellable(
+    /// registered is valid and benefits later queries. With `None` the
+    /// checks cost one `Option` branch each.
+    pub fn query_bounds(
         &mut self,
         low: i64,
         high: i64,
-        cancel: &CancelToken,
+        cancel: Option<&CancelToken>,
     ) -> Result<(usize, usize)> {
         if low >= high || self.values.is_empty() {
             return Ok((0, 0));
         }
-        cancel.check()?;
+        if let Some(c) = cancel {
+            c.check()?;
+        }
+        // If both bounds are new and land in the same piece, a single
+        // three-way pass is cheaper than two two-way passes.
         if !self.index.contains_key(&low) && !self.index.contains_key(&high) {
             let (s1, e1) = self.piece_for(low);
             let (s2, e2) = self.piece_for(high);
@@ -148,7 +140,9 @@ impl CrackerColumn {
         // Mid-reorg cancellation point: the low boundary's crack has
         // fully completed (and stays useful); the high bound's crack
         // simply never starts.
-        cancel.check()?;
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         let p_hi = self.bound_position(high);
         debug_assert!(p_lo <= p_hi);
         Ok((p_lo, p_hi))

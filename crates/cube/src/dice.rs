@@ -7,6 +7,10 @@
 //! the system speculatively executes the neighbors; when the next
 //! interaction arrives it is usually a cache hit and feels instant.
 
+use std::sync::Arc;
+
+use explore_fault::CancelToken;
+use explore_obs::MetricsRegistry;
 use explore_storage::{Result, Table};
 
 use crate::lattice::DataCube;
@@ -40,6 +44,8 @@ pub struct CubeSession {
     cube: DataCube,
     speculate: bool,
     stats: SessionStats,
+    cancel: Option<CancelToken>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl CubeSession {
@@ -50,6 +56,29 @@ impl CubeSession {
             cube,
             speculate,
             stats: SessionStats::default(),
+            cancel: None,
+            metrics: None,
+        }
+    }
+
+    /// Attach a cancellation token. Checked before the foreground cuboid
+    /// and before every speculative neighbor, so an impatient session
+    /// cancel stops background speculation between cuboids.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attach a metrics registry; the session then emits `cube.hits`,
+    /// `cube.misses` and `cube.speculative` counters.
+    pub fn with_metrics(mut self, metrics: Option<Arc<MetricsRegistry>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    fn inc(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.inc(name, 1);
         }
     }
 
@@ -67,21 +96,32 @@ impl CubeSession {
     /// (modeling the user's think time) the session speculatively
     /// materializes all lattice neighbors.
     pub fn navigate(&mut self, group_dims: &[&str]) -> Result<Table> {
+        if let Some(c) = &self.cancel {
+            c.check()?;
+        }
         let before = self.cube.computed();
         let result = self.cube.cuboid(group_dims)?.clone();
         if self.cube.computed() > before {
             self.stats.misses += 1;
+            self.inc("cube.misses");
         } else {
             self.stats.hits += 1;
+            self.inc("cube.hits");
         }
         if self.speculate {
             let neighbors = self.cube.neighbors(group_dims);
             for n in neighbors {
+                if let Some(c) = &self.cancel {
+                    if c.is_cancelled() {
+                        break; // stop speculating, keep the answer
+                    }
+                }
                 let refs: Vec<&str> = n.iter().map(String::as_str).collect();
                 let before = self.cube.computed();
                 self.cube.cuboid(&refs)?;
                 if self.cube.computed() > before {
                     self.stats.speculative_work += 1;
+                    self.inc("cube.speculative");
                     // Speculative computations should not count as
                     // foreground misses; they already didn't (we only
                     // count in navigate()), but they do consume the

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use explore_storage::{AggFunc, Query, Result, Table};
+use explore_storage::{AggFunc, Query, Result, StorageError, Table};
 
 /// One scored cube cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +39,24 @@ impl DiscoveryView {
             .group(dim_b)
             .agg(AggFunc::Sum, measure)
             .run(table)?;
-        let a_vals = grouped.column(dim_a)?.as_utf8().expect("dims are Utf8");
-        let b_vals = grouped.column(dim_b)?.as_utf8().expect("dims are Utf8");
-        let sums = grouped
-            .column(&format!("sum({measure})"))?
-            .as_f64()
-            .expect("aggregate is Float64");
+        DiscoveryView::from_grouped(&grouped, dim_a, dim_b, measure)
+    }
+
+    /// Score an already-grouped `SUM(measure) GROUP BY dim_a, dim_b`
+    /// result. Lets callers that obtained the grouped table elsewhere
+    /// (e.g. through the engine's cached/traced pipeline) reuse it.
+    pub fn from_grouped(grouped: &Table, dim_a: &str, dim_b: &str, measure: &str) -> Result<Self> {
+        let utf8 = |name: &str| -> Result<&[String]> {
+            grouped.column(name)?.as_utf8().ok_or_else(|| {
+                StorageError::Internal(format!("discovery dimension {name} is not Utf8"))
+            })
+        };
+        let a_vals = utf8(dim_a)?;
+        let b_vals = utf8(dim_b)?;
+        let agg_name = format!("sum({measure})");
+        let sums = grouped.column(&agg_name)?.as_f64().ok_or_else(|| {
+            StorageError::Internal(format!("discovery aggregate {agg_name} is not Float64"))
+        })?;
 
         let mut row_tot: HashMap<&str, f64> = HashMap::new();
         let mut col_tot: HashMap<&str, f64> = HashMap::new();

@@ -1,6 +1,9 @@
 //! Diversification algorithms: top-k baseline, MMR greedy, and Swap
 //! (Vieira et al., "On query result diversification", ICDE'11 \[65\]).
 
+use explore_exec::QueryCtx;
+use explore_storage::Result;
+
 use crate::item::{objective, Item};
 
 /// Work metric: pairwise distance evaluations (the dominant cost of all
@@ -26,13 +29,16 @@ pub fn top_k_relevance(items: &[Item], k: usize) -> Vec<u32> {
 /// Maximal Marginal Relevance greedy selection: repeatedly add the item
 /// maximizing `λ·relevance + (1-λ)·min-distance-to-selected`.
 /// Optionally seeded with already-chosen ids (DivIDE cache reuse).
+/// The context's cancellation tokens are checked once per greedy round
+/// (each round scans all remaining candidates).
 pub fn mmr(
     items: &[Item],
     k: usize,
     lambda: f64,
     seed_ids: &[u32],
     stats: &mut DivStats,
-) -> Vec<u32> {
+    ctx: &QueryCtx,
+) -> Result<Vec<u32>> {
     let k = k.min(items.len());
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     let mut remaining: Vec<usize> = (0..items.len()).collect();
@@ -57,6 +63,7 @@ pub fn mmr(
         }
     }
     while selected.len() < k && !remaining.is_empty() {
+        ctx.check_cancel()?;
         let mut best_pos = 0;
         let mut best_score = f64::NEG_INFINITY;
         for (pos, &cand) in remaining.iter().enumerate() {
@@ -73,7 +80,7 @@ pub fn mmr(
         }
         selected.push(remaining.swap_remove(best_pos));
     }
-    selected.into_iter().map(|i| items[i].id).collect()
+    Ok(selected.into_iter().map(|i| items[i].id).collect())
 }
 
 /// The Swap algorithm: start from top-k relevance, then greedily swap in
@@ -84,10 +91,11 @@ pub fn swap(
     lambda: f64,
     max_rounds: usize,
     stats: &mut DivStats,
-) -> Vec<u32> {
+    ctx: &QueryCtx,
+) -> Result<Vec<u32>> {
     let k = k.min(items.len());
     if k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| items[b].relevance.total_cmp(&items[a].relevance));
@@ -100,6 +108,7 @@ pub fn swap(
     };
     let mut current = eval(&selected, stats);
     for _ in 0..max_rounds {
+        ctx.check_cancel()?;
         let mut improved = false;
         #[allow(clippy::needless_range_loop)]
         'outer: for oi in 0..outside.len() {
@@ -118,7 +127,7 @@ pub fn swap(
             break;
         }
     }
-    selected.into_iter().map(|i| items[i].id).collect()
+    Ok(selected.into_iter().map(|i| items[i].id).collect())
 }
 
 #[cfg(test)]
@@ -164,7 +173,7 @@ mod tests {
     fn mmr_trades_relevance_for_spread() {
         let items = clustered_items();
         let mut stats = DivStats::default();
-        let div_ids = mmr(&items, 10, 0.3, &[], &mut stats);
+        let div_ids = mmr(&items, 10, 0.3, &[], &mut stats, &QueryCtx::none()).unwrap();
         let top_ids = top_k_relevance(&items, 10);
         let lambda = 0.3;
         let div_obj = objective(&by_ids(&items, &div_ids), lambda);
@@ -180,7 +189,7 @@ mod tests {
     fn lambda_one_equals_topk_set() {
         let items = clustered_items();
         let mut stats = DivStats::default();
-        let mut a = mmr(&items, 10, 1.0, &[], &mut stats);
+        let mut a = mmr(&items, 10, 1.0, &[], &mut stats, &QueryCtx::none()).unwrap();
         let mut b = top_k_relevance(&items, 10);
         a.sort_unstable();
         b.sort_unstable();
@@ -192,7 +201,7 @@ mod tests {
         let items = clustered_items();
         let mut stats = DivStats::default();
         let lambda = 0.3;
-        let sw = swap(&items, 10, lambda, 50, &mut stats);
+        let sw = swap(&items, 10, lambda, 50, &mut stats, &QueryCtx::none()).unwrap();
         assert_eq!(sw.len(), 10);
         let sw_obj = objective(&by_ids(&items, &sw), lambda);
         let top_obj = objective(&by_ids(&items, &top_k_relevance(&items, 10)), lambda);
@@ -204,12 +213,12 @@ mod tests {
         let items = clustered_items();
         let mut stats = DivStats::default();
         let seeds = vec![0u32, 25, 45];
-        let ids = mmr(&items, 10, 0.5, &seeds, &mut stats);
+        let ids = mmr(&items, 10, 0.5, &seeds, &mut stats, &QueryCtx::none()).unwrap();
         for s in &seeds {
             assert!(ids.contains(s));
         }
         // Unknown seed ids are ignored.
-        let ids = mmr(&items, 5, 0.5, &[9999], &mut stats);
+        let ids = mmr(&items, 5, 0.5, &[9999], &mut stats, &QueryCtx::none()).unwrap();
         assert_eq!(ids.len(), 5);
     }
 
@@ -217,9 +226,23 @@ mod tests {
     fn k_larger_than_population() {
         let items = clustered_items();
         let mut stats = DivStats::default();
-        assert_eq!(mmr(&items, 1000, 0.5, &[], &mut stats).len(), items.len());
-        assert_eq!(swap(&items, 1000, 0.5, 5, &mut stats).len(), items.len());
-        assert!(mmr(&items, 0, 0.5, &[], &mut stats).is_empty());
-        assert!(swap(&[], 10, 0.5, 5, &mut stats).is_empty());
+        assert_eq!(
+            mmr(&items, 1000, 0.5, &[], &mut stats, &QueryCtx::none())
+                .unwrap()
+                .len(),
+            items.len()
+        );
+        assert_eq!(
+            swap(&items, 1000, 0.5, 5, &mut stats, &QueryCtx::none())
+                .unwrap()
+                .len(),
+            items.len()
+        );
+        assert!(mmr(&items, 0, 0.5, &[], &mut stats, &QueryCtx::none())
+            .unwrap()
+            .is_empty());
+        assert!(swap(&[], 10, 0.5, 5, &mut stats, &QueryCtx::none())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -8,6 +8,9 @@
 
 use std::collections::HashSet;
 
+use explore_exec::QueryCtx;
+use explore_storage::Result;
+
 use crate::algorithms::{mmr, DivStats};
 use crate::item::Item;
 
@@ -34,7 +37,16 @@ impl DiversityCache {
 
     /// Diversify the `items` of a new query. When `reuse` is on, cached
     /// ids still present in the new candidate set seed the selection.
-    pub fn diversify(&mut self, items: &[Item], k: usize, lambda: f64, reuse: bool) -> Vec<u32> {
+    /// Cancellation flows through to the underlying [`mmr`] rounds; a
+    /// cancelled call leaves the previous query's cache entry intact.
+    pub fn diversify(
+        &mut self,
+        items: &[Item],
+        k: usize,
+        lambda: f64,
+        reuse: bool,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<u32>> {
         let seeds: Vec<u32> = if reuse {
             let valid: HashSet<u32> = items.iter().map(|i| i.id).collect();
             self.last
@@ -48,9 +60,9 @@ impl DiversityCache {
         if !seeds.is_empty() {
             self.reused_queries += 1;
         }
-        let ids = mmr(items, k, lambda, &seeds, &mut self.stats);
+        let ids = mmr(items, k, lambda, &seeds, &mut self.stats, ctx)?;
         self.last = ids.clone();
-        ids
+        Ok(ids)
     }
 }
 
@@ -81,15 +93,21 @@ mod tests {
         let q2: Vec<Item> = base[30..].to_vec();
 
         let mut with = DiversityCache::new();
-        with.diversify(&q1, 20, 0.5, true);
+        with.diversify(&q1, 20, 0.5, true, &QueryCtx::none())
+            .unwrap();
         let work_q1 = with.stats().distance_evals;
-        with.diversify(&q2, 20, 0.5, true);
+        with.diversify(&q2, 20, 0.5, true, &QueryCtx::none())
+            .unwrap();
         let with_q2 = with.stats().distance_evals - work_q1;
 
         let mut without = DiversityCache::new();
-        without.diversify(&q1, 20, 0.5, false);
+        without
+            .diversify(&q1, 20, 0.5, false, &QueryCtx::none())
+            .unwrap();
         let base_q1 = without.stats().distance_evals;
-        without.diversify(&q2, 20, 0.5, false);
+        without
+            .diversify(&q2, 20, 0.5, false, &QueryCtx::none())
+            .unwrap();
         let without_q2 = without.stats().distance_evals - base_q1;
 
         assert!(
@@ -108,11 +126,17 @@ mod tests {
         let lambda = 0.5;
 
         let mut cache = DiversityCache::new();
-        cache.diversify(&q1, 15, lambda, true);
-        let reused = cache.diversify(&q2, 15, lambda, true);
+        cache
+            .diversify(&q1, 15, lambda, true, &QueryCtx::none())
+            .unwrap();
+        let reused = cache
+            .diversify(&q2, 15, lambda, true, &QueryCtx::none())
+            .unwrap();
 
         let mut scratch = DiversityCache::new();
-        let fresh = scratch.diversify(&q2, 15, lambda, false);
+        let fresh = scratch
+            .diversify(&q2, 15, lambda, false, &QueryCtx::none())
+            .unwrap();
 
         let score = |ids: &[u32]| {
             let refs: Vec<&Item> = ids
@@ -128,15 +152,21 @@ mod tests {
     #[test]
     fn disjoint_queries_cannot_reuse() {
         let mut cache = DiversityCache::new();
-        cache.diversify(&items(3, 100, 0), 10, 0.5, true);
-        cache.diversify(&items(4, 100, 1000), 10, 0.5, true);
+        cache
+            .diversify(&items(3, 100, 0), 10, 0.5, true, &QueryCtx::none())
+            .unwrap();
+        cache
+            .diversify(&items(4, 100, 1000), 10, 0.5, true, &QueryCtx::none())
+            .unwrap();
         assert_eq!(cache.reused_queries, 0, "no overlapping ids");
     }
 
     #[test]
     fn first_query_never_reuses() {
         let mut cache = DiversityCache::new();
-        let ids = cache.diversify(&items(5, 50, 0), 10, 0.5, true);
+        let ids = cache
+            .diversify(&items(5, 50, 0), 10, 0.5, true, &QueryCtx::none())
+            .unwrap();
         assert_eq!(ids.len(), 10);
         assert_eq!(cache.reused_queries, 0);
     }

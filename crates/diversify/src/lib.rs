@@ -13,12 +13,13 @@
 //!
 //! ```
 //! use explore_diversify::{mmr, top_k_relevance, DivStats, Item};
+//! use explore_exec::QueryCtx;
 //!
 //! let items: Vec<Item> = (0..100)
 //!     .map(|i| Item::new(i, (i as f64) / 100.0, vec![(i % 10) as f64, (i / 10) as f64]))
 //!     .collect();
 //! let mut stats = DivStats::default();
-//! let diverse = mmr(&items, 10, 0.3, &[], &mut stats);
+//! let diverse = mmr(&items, 10, 0.3, &[], &mut stats, &QueryCtx::none()).unwrap();
 //! let plain = top_k_relevance(&items, 10);
 //! assert_ne!(diverse, plain);
 //! ```

@@ -1,0 +1,209 @@
+//! The single per-query execution context.
+//!
+//! A [`QueryCtx`] bundles every cross-cutting policy a query carries —
+//! execution policy, fail-point registry, session cancel token, per-call
+//! deadline token, and the active trace — into one value minted once per
+//! engine call and threaded through every layer. It replaces the
+//! `_traced`/`_ctx`/`_cancellable` method variants that previously
+//! duplicated each operation per concern.
+//!
+//! Cost when everything is off: [`QueryCtx::check_cancel`] is two `None`
+//! branches, [`QueryCtx::fire`] is one `Option` check (one relaxed load
+//! when a registry is attached but disarmed), and a `None` trace skips
+//! all span recording — the unified pipeline's disarmed cost is the same
+//! one-relaxed-load budget the separate variants had.
+
+use std::sync::Arc;
+
+use explore_fault::{CancelToken, FailPoints};
+use explore_obs::ActiveTrace;
+use explore_storage::Result;
+
+use crate::policy::ExecPolicy;
+
+/// Per-query execution context threaded through exec, cache, cracking,
+/// loading, and every middleware crate. Borrow is cheap; the trace is a
+/// borrowed handle and the rest are `Option`s over `Arc`s/tokens.
+#[derive(Clone, Default)]
+pub struct QueryCtx<'t> {
+    /// How morsels are dispatched.
+    pub exec: ExecPolicy,
+    /// Fail-point registry consulted at hazard sites. `None` means no
+    /// injection (the common path for direct library use).
+    pub faults: Option<Arc<FailPoints>>,
+    /// Session-scoped cancellation token (set via
+    /// `ExploreDb::set_cancel_token` or a `with_cancel` builder).
+    pub cancel: Option<CancelToken>,
+    /// Per-call deadline token, minted from the engine's
+    /// `QueryDeadline` when one is configured.
+    pub deadline: Option<CancelToken>,
+    /// Active trace for span recording; `None` is the zero-cost off
+    /// path.
+    pub trace: Option<&'t ActiveTrace>,
+}
+
+impl QueryCtx<'static> {
+    /// The empty context: serial execution, no faults, no cancellation,
+    /// no tracing. The default for direct library use.
+    pub const fn none() -> QueryCtx<'static> {
+        QueryCtx {
+            exec: ExecPolicy::Serial,
+            faults: None,
+            cancel: None,
+            deadline: None,
+            trace: None,
+        }
+    }
+
+    /// A context carrying only an execution policy.
+    pub const fn new(exec: ExecPolicy) -> QueryCtx<'static> {
+        QueryCtx {
+            exec,
+            faults: None,
+            cancel: None,
+            deadline: None,
+            trace: None,
+        }
+    }
+}
+
+impl<'t> QueryCtx<'t> {
+    /// Replace the execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> QueryCtx<'t> {
+        self.exec = exec;
+        self
+    }
+
+    /// Attach (or detach) a fail-point registry.
+    pub fn with_faults(mut self, faults: Option<Arc<FailPoints>>) -> QueryCtx<'t> {
+        self.faults = faults;
+        self
+    }
+
+    /// Attach (or detach) a session cancel token.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> QueryCtx<'t> {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attach (or detach) a per-call deadline token.
+    pub fn with_deadline(mut self, deadline: Option<CancelToken>) -> QueryCtx<'t> {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attach (or detach) an active trace. Generic over the trace
+    /// lifetime so a `'static` starter context can pick up a trace
+    /// borrowed for the duration of one call.
+    pub fn with_trace<'u>(self, trace: Option<&'u ActiveTrace>) -> QueryCtx<'u> {
+        QueryCtx {
+            exec: self.exec,
+            faults: self.faults,
+            cancel: self.cancel,
+            deadline: self.deadline,
+            trace,
+        }
+    }
+
+    /// Does the named fail point trigger on this hit?
+    pub fn fire(&self, name: &str) -> bool {
+        match &self.faults {
+            Some(f) => f.fire(name),
+            None => false,
+        }
+    }
+
+    /// Count a degradation/cancellation event (see `FailPoints::note`).
+    pub fn note(&self, event: &str) {
+        if let Some(f) = &self.faults {
+            f.note(event);
+        }
+    }
+
+    /// One cooperative cancellation check at a unit-of-work boundary.
+    /// Consults the session cancel token first, then the per-call
+    /// deadline token, so an external cancel always wins and a deadline
+    /// still applies underneath a session token. `Ok(())` when neither
+    /// is set.
+    pub fn check_cancel(&self) -> Result<()> {
+        if let Some(c) = &self.cancel {
+            c.check()?;
+        }
+        if let Some(d) = &self.deadline {
+            d.check()?;
+        }
+        Ok(())
+    }
+
+    /// True when either token has already triggered. Used by
+    /// best-effort background work (prefetching) that stops quietly
+    /// instead of surfacing an error.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self
+                .deadline
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_fault::Schedule;
+    use explore_storage::StorageError;
+
+    #[test]
+    fn empty_ctx_is_inert() {
+        let ctx = QueryCtx::none();
+        assert!(!ctx.fire("anything"));
+        ctx.note("anything");
+        assert!(ctx.check_cancel().is_ok());
+        assert!(!ctx.is_cancelled());
+        assert_eq!(ctx.exec, ExecPolicy::Serial);
+    }
+
+    #[test]
+    fn ctx_with_faults_fires_and_counts() {
+        let faults = Arc::new(FailPoints::new());
+        faults.arm("x", Schedule::Always);
+        let ctx = QueryCtx::none().with_faults(Some(Arc::clone(&faults)));
+        assert!(ctx.fire("x"));
+        assert!(!ctx.fire("y"));
+        ctx.note("degraded");
+        assert_eq!(faults.trips("x"), 1);
+        assert_eq!(faults.event("degraded"), 1);
+    }
+
+    #[test]
+    fn session_cancel_wins_over_deadline() {
+        let cancel = CancelToken::new();
+        let deadline = CancelToken::with_deadline(std::time::Duration::from_nanos(0));
+        let ctx = QueryCtx::none()
+            .with_cancel(Some(cancel.clone()))
+            .with_deadline(Some(deadline));
+        cancel.cancel();
+        assert_eq!(ctx.check_cancel(), Err(StorageError::Cancelled));
+        assert!(ctx.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_applies_under_live_session_token() {
+        let ctx = QueryCtx::none()
+            .with_cancel(Some(CancelToken::new()))
+            .with_deadline(Some(CancelToken::with_deadline(
+                std::time::Duration::from_nanos(0),
+            )));
+        assert_eq!(ctx.check_cancel(), Err(StorageError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let ctx = QueryCtx::new(ExecPolicy::parallel())
+            .with_exec(ExecPolicy::Serial)
+            .with_cancel(Some(CancelToken::after_checks(1)));
+        assert_eq!(ctx.exec, ExecPolicy::Serial);
+        assert!(ctx.check_cancel().is_ok());
+        assert!(ctx.check_cancel().is_err());
+    }
+}

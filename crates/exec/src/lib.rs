@@ -18,10 +18,14 @@
 //! giving up the determinism that differential testing (and result
 //! caching across techniques) depends on.
 //!
+//! Every entry point takes one [`QueryCtx`] — the single per-query
+//! context bundling execution policy, fail points, cancellation, and
+//! tracing — instead of per-concern method variants.
+//!
 //! # Example
 //!
 //! ```
-//! use explore_exec::{run_query, ExecPolicy};
+//! use explore_exec::{run_query, ExecPolicy, QueryCtx};
 //! use explore_storage::{gen, AggFunc, Predicate, Query};
 //!
 //! let sales = gen::sales_table(&gen::SalesConfig::default());
@@ -29,20 +33,19 @@
 //!     .filter(Predicate::range("price", 50.0, 200.0))
 //!     .group("region")
 //!     .agg(AggFunc::Avg, "price");
-//! let serial = run_query(&sales, &query, ExecPolicy::Serial).unwrap();
-//! let parallel = run_query(&sales, &query, ExecPolicy::parallel()).unwrap();
+//! let serial = run_query(&sales, &query, &QueryCtx::none()).unwrap();
+//! let parallel = run_query(&sales, &query, &QueryCtx::new(ExecPolicy::parallel())).unwrap();
 //! assert_eq!(serial.num_rows(), parallel.num_rows());
 //! ```
 
+pub mod ctx;
 pub mod policy;
 pub mod pool;
 pub mod query;
 
-pub use explore_fault::RunCtx;
+pub use ctx::QueryCtx;
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{
-    evaluate_selection, evaluate_selection_ctx, evaluate_selection_traced, morsel_count,
-    morsel_range, run_query, run_query_ctx, run_query_on_selection, run_query_on_selection_ctx,
-    run_query_on_selection_traced, run_query_traced,
+    evaluate_selection, morsel_count, morsel_range, run_query, run_query_on_selection,
 };

@@ -10,6 +10,12 @@
 //! which thread computes each morsel, never what is computed or the
 //! order in which partials are combined.
 //!
+//! Every entry point takes one [`QueryCtx`] carrying the execution
+//! policy, fail-point registry, cancellation tokens, and trace handle —
+//! there are no per-concern method variants. A default context
+//! ([`QueryCtx::none`]) gives plain serial execution with every hook
+//! disabled at the cost of a couple of `None` branches per morsel.
+//!
 //! Note the reference point: the serial policy here is the morsel
 //! pipeline run on one thread, which matches [`Query::run`] exactly for
 //! scans and for ordering/limits, while float aggregates can differ from
@@ -19,10 +25,10 @@
 
 use std::cell::UnsafeCell;
 
-use explore_fault::RunCtx;
-use explore_obs::{ActiveTrace, SpanKind, ROOT_SPAN};
+use explore_obs::{SpanKind, ROOT_SPAN};
 use explore_storage::{Predicate, Query, Result, StorageError, Table, MORSEL_ROWS};
 
+use crate::ctx::QueryCtx;
 use crate::policy::ExecPolicy;
 use crate::pool::global_pool;
 
@@ -41,50 +47,22 @@ pub fn morsel_count(n_rows: usize) -> usize {
     n_rows.div_ceil(MORSEL_ROWS).max(1)
 }
 
-/// Evaluate `predicate` over the whole table under `policy`, returning
+/// Evaluate `predicate` over the whole table under `ctx`, returning
 /// global row ids in ascending order — the same selection vector
-/// [`Predicate::evaluate`] produces, computed morsel-wise.
+/// [`Predicate::evaluate`] produces, computed morsel-wise. The context's
+/// cancel tokens are checked once per morsel, armed fail points may
+/// divert the dispatch path, and an attached trace records one exec span
+/// with a morsel child per row window; the returned selection is
+/// identical whatever the context carries.
 pub fn evaluate_selection(
     table: &Table,
     predicate: &Predicate,
-    policy: ExecPolicy,
-) -> Result<Vec<u32>> {
-    evaluate_selection_traced(table, predicate, policy, None)
-}
-
-/// [`evaluate_selection`] with optional span recording. `trace` being
-/// `None` is the zero-cost off path; `Some` records one exec span with
-/// a morsel child per row window. The returned selection is identical
-/// either way.
-pub fn evaluate_selection_traced(
-    table: &Table,
-    predicate: &Predicate,
-    policy: ExecPolicy,
-    trace: Option<&ActiveTrace>,
-) -> Result<Vec<u32>> {
-    evaluate_selection_ctx(table, predicate, policy, &RunCtx::none(), trace)
-}
-
-/// [`evaluate_selection_traced`] with a fault-injection/cancellation
-/// context: the cancel token is checked once per morsel, and armed
-/// fail points may divert the dispatch path (`exec.spawn` forces the
-/// inline-serial route; `exec.morsel` panics a pooled morsel, which the
-/// dispatcher catches and retries serially).
-pub fn evaluate_selection_ctx(
-    table: &Table,
-    predicate: &Predicate,
-    policy: ExecPolicy,
-    ctx: &RunCtx,
-    trace: Option<&ActiveTrace>,
+    ctx: &QueryCtx,
 ) -> Result<Vec<u32>> {
     let n = table.num_rows();
-    let pieces = run_morsels(
-        policy,
-        morsel_count(n),
-        |m| predicate.evaluate_range(table, morsel_range(m, n)),
-        ctx,
-        trace.map(|t| (t, "filter")),
-    )?;
+    let pieces = run_morsels(ctx, morsel_count(n), "filter", |m| {
+        predicate.evaluate_range(table, morsel_range(m, n))
+    })?;
     let mut sel = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
     for piece in pieces {
         sel.extend_from_slice(&piece);
@@ -92,35 +70,11 @@ pub fn evaluate_selection_ctx(
     Ok(sel)
 }
 
-/// Execute `query` against `table` under `policy`. See the module docs
-/// for the determinism contract.
-pub fn run_query(table: &Table, query: &Query, policy: ExecPolicy) -> Result<Table> {
-    run_query_traced(table, query, policy, None)
-}
-
-/// [`run_query`] with optional span recording: an exec span (with
-/// per-morsel children) plus a merge span. Tracing never changes what
-/// is computed — the result is bit-identical to the untraced call.
-pub fn run_query_traced(
-    table: &Table,
-    query: &Query,
-    policy: ExecPolicy,
-    trace: Option<&ActiveTrace>,
-) -> Result<Table> {
-    run_query_ctx(table, query, policy, &RunCtx::none(), trace)
-}
-
-/// [`run_query_traced`] with a fault-injection/cancellation context.
-/// A cancelled or expired token surfaces as
+/// Execute `query` against `table` under `ctx`. See the module docs for
+/// the determinism contract. A cancelled or expired token surfaces as
 /// `StorageError::Cancelled`/`DeadlineExceeded` after at most one
 /// in-flight morsel finishes; no partial result escapes.
-pub fn run_query_ctx(
-    table: &Table,
-    query: &Query,
-    policy: ExecPolicy,
-    ctx: &RunCtx,
-    trace: Option<&ActiveTrace>,
-) -> Result<Table> {
+pub fn run_query(table: &Table, query: &Query, ctx: &QueryCtx) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
 
@@ -134,17 +88,11 @@ pub fn run_query_ctx(
             projected = table.project(&names)?;
             &projected
         };
-        let pieces = run_morsels(
-            policy,
-            n_morsels,
-            |m| {
-                let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
-                Ok(target.gather(&sel))
-            },
-            ctx,
-            trace.map(|t| (t, "scan")),
-        )?;
-        let out = merge_traced(trace, || {
+        let pieces = run_morsels(ctx, n_morsels, "scan", |m| {
+            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+            Ok(target.gather(&sel))
+        })?;
+        let out = merge_traced(ctx, || {
             let mut iter = pieces.into_iter();
             let mut out = iter.next().expect("at least one morsel");
             for piece in iter {
@@ -156,19 +104,13 @@ pub fn run_query_ctx(
     } else {
         // Aggregate query: one partial state per morsel, merged in
         // morsel order (group output order is first-appearance order).
-        let partials = run_morsels(
-            policy,
-            n_morsels,
-            |m| {
-                let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
-                let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-                state.update(&sel);
-                Ok(state)
-            },
-            ctx,
-            trace.map(|t| (t, "aggregate")),
-        )?;
-        let merged = merge_traced(trace, || {
+        let partials = run_morsels(ctx, n_morsels, "aggregate", |m| {
+            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
+            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+            state.update(&sel);
+            Ok(state)
+        })?;
+        let merged = merge_traced(ctx, || {
             let mut iter = partials.into_iter();
             let mut acc = iter.next().expect("at least one morsel");
             for partial in iter {
@@ -184,11 +126,12 @@ pub fn run_query_ctx(
 /// vector of **ascending global row ids**, preserving the base table's
 /// morsel decomposition: morsel `m` processes exactly the slice of
 /// `sel` falling inside its row window, and partials merge in morsel
-/// order, as in [`run_query`].
+/// order, as in [`run_query`]. The exec span is staged `"replay"` so
+/// traces distinguish cache-subsumption replays from base-table scans.
 ///
 /// The payoff is bit-exactness: if `sel` is what `query.predicate`
 /// selects on `table`, the output is bit-identical to
-/// `run_query(table, query, policy)` — per-morsel float accumulation
+/// `run_query(table, query, ctx)` — per-morsel float accumulation
 /// sees the same values in the same order, and empty slices merge as
 /// exact no-ops. The semantic result cache leans on this to answer a
 /// contained range query from a cached superset without perturbing a
@@ -197,33 +140,7 @@ pub fn run_query_on_selection(
     table: &Table,
     query: &Query,
     sel: &[u32],
-    policy: ExecPolicy,
-) -> Result<Table> {
-    run_query_on_selection_traced(table, query, sel, policy, None)
-}
-
-/// [`run_query_on_selection`] with optional span recording; the exec
-/// span is staged `"replay"` so traces distinguish cache-subsumption
-/// replays from base-table scans.
-pub fn run_query_on_selection_traced(
-    table: &Table,
-    query: &Query,
-    sel: &[u32],
-    policy: ExecPolicy,
-    trace: Option<&ActiveTrace>,
-) -> Result<Table> {
-    run_query_on_selection_ctx(table, query, sel, policy, &RunCtx::none(), trace)
-}
-
-/// [`run_query_on_selection_traced`] with a fault-injection and
-/// cancellation context.
-pub fn run_query_on_selection_ctx(
-    table: &Table,
-    query: &Query,
-    sel: &[u32],
-    policy: ExecPolicy,
-    ctx: &RunCtx,
-    trace: Option<&ActiveTrace>,
+    ctx: &QueryCtx,
 ) -> Result<Table> {
     let n = table.num_rows();
     let n_morsels = morsel_count(n);
@@ -243,14 +160,8 @@ pub fn run_query_on_selection_ctx(
             projected = table.project(&names)?;
             &projected
         };
-        let pieces = run_morsels(
-            policy,
-            n_morsels,
-            |m| Ok(target.gather(slice(m))),
-            ctx,
-            trace.map(|t| (t, "replay")),
-        )?;
-        let out = merge_traced(trace, || {
+        let pieces = run_morsels(ctx, n_morsels, "replay", |m| Ok(target.gather(slice(m))))?;
+        let out = merge_traced(ctx, || {
             let mut iter = pieces.into_iter();
             let mut out = iter.next().expect("at least one morsel");
             for piece in iter {
@@ -260,18 +171,12 @@ pub fn run_query_on_selection_ctx(
         })?;
         query.apply_order_limit(out)
     } else {
-        let partials = run_morsels(
-            policy,
-            n_morsels,
-            |m| {
-                let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-                state.update(slice(m));
-                Ok(state)
-            },
-            ctx,
-            trace.map(|t| (t, "replay")),
-        )?;
-        let merged = merge_traced(trace, || {
+        let partials = run_morsels(ctx, n_morsels, "replay", |m| {
+            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
+            state.update(slice(m));
+            Ok(state)
+        })?;
+        let merged = merge_traced(ctx, || {
             let mut iter = partials.into_iter();
             let mut acc = iter.next().expect("at least one morsel");
             for partial in iter {
@@ -283,11 +188,12 @@ pub fn run_query_on_selection_ctx(
     }
 }
 
-/// Run `f` once per morsel index under `policy` and collect the results
-/// in morsel order. Errors are resolved deterministically: the error of
-/// the lowest-indexed failing morsel wins under either policy.
+/// Run `f` once per morsel index under the context's policy and collect
+/// the results in morsel order. Errors are resolved deterministically:
+/// the error of the lowest-indexed failing morsel wins under either
+/// policy.
 ///
-/// The context hooks in two behaviours, both off (one branch each) by
+/// The context hooks in three behaviours, all off (one branch each) by
 /// default:
 ///
 /// * **Cancellation** — `ctx.check_cancel()` runs before every morsel,
@@ -301,26 +207,19 @@ pub fn run_query_on_selection_ctx(
 ///   serial execution — bit-identical output, since the morsel
 ///   decomposition and merge order never change. A panic that repeats
 ///   serially propagates; the serial retry does not re-inject.
-///
-/// With `trace` set, records one [`SpanKind::Exec`] span (parented at
-/// the trace root, stamped with the stage label and the number of pool
-/// participants actually dispatched) plus one [`SpanKind::Morsel`]
-/// child per morsel, and a [`SpanKind::Fault`] marker when a
-/// degradation path engages. The exec span id is reserved *before* the
-/// morsels run so children can parent under it, then filled in
-/// afterwards once the participant count is known.
-fn run_morsels<T, F>(
-    policy: ExecPolicy,
-    n_morsels: usize,
-    f: F,
-    ctx: &RunCtx,
-    trace: Option<(&ActiveTrace, &'static str)>,
-) -> Result<Vec<T>>
+/// * **Tracing** — with `ctx.trace` set, records one [`SpanKind::Exec`]
+///   span (parented at the trace root, stamped with the stage label and
+///   the number of pool participants actually dispatched) plus one
+///   [`SpanKind::Morsel`] child per morsel, and a [`SpanKind::Fault`]
+///   marker when a degradation path engages. The exec span id is
+///   reserved *before* the morsels run so children can parent under it,
+///   then filled in afterwards once the participant count is known.
+fn run_morsels<T, F>(ctx: &QueryCtx, n_morsels: usize, stage: &'static str, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    let span = trace.map(|(t, stage)| (t, stage, t.alloc_id(), t.now_ns()));
+    let span = ctx.trace.map(|t| (t, t.alloc_id(), t.now_ns()));
     // `inject` is true only for pooled attempts: the serial fallback
     // must not re-trigger the fault it is recovering from.
     let run_one = |m: usize, inject: bool| -> Result<T> {
@@ -329,7 +228,7 @@ where
             panic!("faultsim: injected morsel panic");
         }
         match span {
-            Some((t, _, exec_id, _)) => {
+            Some((t, exec_id, _)) => {
                 let start = t.now_ns();
                 let out = f(m);
                 t.record(
@@ -346,7 +245,7 @@ where
     let run_serial = |inject: bool| (0..n_morsels).map(|m| run_one(m, inject)).collect();
     let serial_fallback = || {
         ctx.note("fault.exec.serial_fallback");
-        if let Some((t, _, exec_id, _)) = span {
+        if let Some((t, exec_id, _)) = span {
             let now = t.now_ns();
             t.record(
                 exec_id,
@@ -359,7 +258,7 @@ where
         }
         (run_serial(false), 1usize)
     };
-    let (result, participants) = match policy {
+    let (result, participants) = match ctx.exec {
         ExecPolicy::Serial => (run_serial(false), 1usize),
         ExecPolicy::Parallel { .. } if ctx.fire("exec.spawn") => {
             // Injected dispatch failure: pretend the pool was
@@ -404,7 +303,7 @@ where
             }
         }
     };
-    if let Some((t, stage, exec_id, start)) = span {
+    if let Some((t, exec_id, start)) = span {
         t.record_as(
             exec_id,
             ROOT_SPAN,
@@ -421,9 +320,9 @@ where
 }
 
 /// Run the morsel-order merge step `f`, wrapped in a [`SpanKind::Merge`]
-/// span when tracing is active.
-fn merge_traced<T>(trace: Option<&ActiveTrace>, f: impl FnOnce() -> Result<T>) -> Result<T> {
-    match trace {
+/// span when the context carries a trace.
+fn merge_traced<T>(ctx: &QueryCtx, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match ctx.trace {
         Some(t) => {
             let start = t.now_ns();
             let out = f();
@@ -511,7 +410,10 @@ mod tests {
         let p = Predicate::range("price", 100.0, 600.0);
         let expected = p.evaluate(&t).unwrap();
         for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
-            assert_eq!(evaluate_selection(&t, &p, policy).unwrap(), expected);
+            assert_eq!(
+                evaluate_selection(&t, &p, &QueryCtx::new(policy)).unwrap(),
+                expected
+            );
         }
     }
 
@@ -525,7 +427,10 @@ mod tests {
             .take(500);
         let reference = q.run(&t).unwrap();
         for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
-            assert_tables_bitwise(&run_query(&t, &q, policy).unwrap(), &reference);
+            assert_tables_bitwise(
+                &run_query(&t, &q, &QueryCtx::new(policy)).unwrap(),
+                &reference,
+            );
         }
     }
 
@@ -538,8 +443,9 @@ mod tests {
             .agg(AggFunc::Sum, "price")
             .agg(AggFunc::Avg, "qty")
             .order("sum(price)", SortOrder::Desc);
-        let serial = run_query(&t, &q, ExecPolicy::Serial).unwrap();
-        let parallel = run_query(&t, &q, ExecPolicy::Parallel { workers: 4 }).unwrap();
+        let serial = run_query(&t, &q, &QueryCtx::none()).unwrap();
+        let parallel =
+            run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap();
         assert_tables_bitwise(&serial, &parallel);
         // Same groups and counts as the single-accumulator reference.
         let reference = q.run(&t).unwrap();
@@ -567,10 +473,11 @@ mod tests {
                 .agg(AggFunc::Avg, "price"),
         ];
         for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            let ctx = QueryCtx::new(policy);
             for q in &shapes {
-                let sel = evaluate_selection(&t, &q.predicate, policy).unwrap();
-                let direct = run_query(&t, q, policy).unwrap();
-                let replayed = run_query_on_selection(&t, q, &sel, policy).unwrap();
+                let sel = evaluate_selection(&t, &q.predicate, &ctx).unwrap();
+                let direct = run_query(&t, q, &ctx).unwrap();
+                let replayed = run_query_on_selection(&t, q, &sel, &ctx).unwrap();
                 assert_tables_bitwise(&direct, &replayed);
             }
         }
@@ -587,13 +494,17 @@ mod tests {
             .group("region")
             .agg(AggFunc::Avg, "price")
             .agg(AggFunc::Std, "discount");
-        let serial = run_query_on_selection(&t, &q, &every_third, ExecPolicy::Serial).unwrap();
-        let parallel =
-            run_query_on_selection(&t, &q, &every_third, ExecPolicy::Parallel { workers: 4 })
-                .unwrap();
+        let serial = run_query_on_selection(&t, &q, &every_third, &QueryCtx::none()).unwrap();
+        let parallel = run_query_on_selection(
+            &t,
+            &q,
+            &every_third,
+            &QueryCtx::new(ExecPolicy::Parallel { workers: 4 }),
+        )
+        .unwrap();
         assert_tables_bitwise(&serial, &parallel);
         // Empty selection still yields the canonical aggregate shape.
-        let empty = run_query_on_selection(&t, &q, &[], ExecPolicy::Serial).unwrap();
+        let empty = run_query_on_selection(&t, &q, &[], &QueryCtx::none()).unwrap();
         assert_eq!(empty.num_rows(), 0);
     }
 
@@ -601,9 +512,18 @@ mod tests {
     fn errors_identical_across_policies() {
         let t = table();
         let q = Query::new().filter(Predicate::cmp("no_such", CmpOp::Eq, 1.0));
-        let serial = run_query(&t, &q, ExecPolicy::Serial).unwrap_err();
-        let parallel = run_query(&t, &q, ExecPolicy::Parallel { workers: 4 }).unwrap_err();
+        let serial = run_query(&t, &q, &QueryCtx::none()).unwrap_err();
+        let parallel =
+            run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap_err();
         assert_eq!(serial.to_string(), parallel.to_string());
         assert!(matches!(serial, StorageError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn cancel_token_stops_between_morsels() {
+        let t = table();
+        let q = Query::new().agg(AggFunc::Sum, "price");
+        let ctx = QueryCtx::none().with_cancel(Some(explore_fault::CancelToken::after_checks(1)));
+        assert_eq!(run_query(&t, &q, &ctx), Err(StorageError::Cancelled));
     }
 }

@@ -24,87 +24,3 @@ pub mod point;
 
 pub use cancel::{CancelToken, QueryDeadline};
 pub use point::{FailPoint, FailPoints, Observer, PointStats, Schedule};
-
-use explore_storage::Result;
-use std::sync::Arc;
-
-/// Per-query execution context: which fail points apply and which
-/// cancel token (if any) bounds the query. Threaded by the engine
-/// through exec and cache call paths.
-#[derive(Clone, Default)]
-pub struct RunCtx {
-    /// Fail-point registry consulted at hazard sites. `None` means no
-    /// injection (the common path for direct library use of exec).
-    pub faults: Option<Arc<FailPoints>>,
-    /// Cooperative cancellation token, checked per morsel.
-    pub cancel: Option<CancelToken>,
-}
-
-/// The empty context: no faults, no cancellation.
-pub const NO_CTX: RunCtx = RunCtx {
-    faults: None,
-    cancel: None,
-};
-
-impl RunCtx {
-    /// A context with no faults and no cancellation.
-    pub const fn none() -> RunCtx {
-        NO_CTX
-    }
-
-    /// A context that only injects faults.
-    pub fn with_faults(faults: Arc<FailPoints>) -> RunCtx {
-        RunCtx {
-            faults: Some(faults),
-            cancel: None,
-        }
-    }
-
-    /// Does the named fail point trigger on this hit?
-    pub fn fire(&self, name: &str) -> bool {
-        match &self.faults {
-            Some(f) => f.fire(name),
-            None => false,
-        }
-    }
-
-    /// Count a degradation/cancellation event (see [`FailPoints::note`]).
-    pub fn note(&self, event: &str) {
-        if let Some(f) = &self.faults {
-            f.note(event);
-        }
-    }
-
-    /// Per-morsel cancellation check; `Ok(())` when no token is set.
-    pub fn check_cancel(&self) -> Result<()> {
-        match &self.cancel {
-            Some(c) => c.check(),
-            None => Ok(()),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_ctx_is_inert() {
-        let ctx = RunCtx::none();
-        assert!(!ctx.fire("anything"));
-        ctx.note("anything");
-        assert!(ctx.check_cancel().is_ok());
-    }
-
-    #[test]
-    fn ctx_with_faults_fires_and_counts() {
-        let faults = Arc::new(FailPoints::new());
-        faults.arm("x", Schedule::Always);
-        let ctx = RunCtx::with_faults(Arc::clone(&faults));
-        assert!(ctx.fire("x"));
-        assert!(!ctx.fire("y"));
-        ctx.note("degraded");
-        assert_eq!(faults.trips("x"), 1);
-        assert_eq!(faults.event("degraded"), 1);
-    }
-}

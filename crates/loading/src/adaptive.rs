@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use explore_exec::QueryCtx;
 use explore_fault::FailPoints;
 use explore_storage::csv::push_parsed;
 use explore_storage::{Column, Field, Query, Result, Schema, StorageError, Table, Value};
@@ -267,8 +268,11 @@ impl AdaptiveLoader {
     }
 
     /// Run a query directly against the raw file, loading exactly the
-    /// referenced columns first.
-    pub fn query(&mut self, query: &Query) -> Result<Table> {
+    /// referenced columns first. The context's cancellation tokens are
+    /// checked before each column load — the loader's unit of work — so
+    /// a deadline stops invisible loading between columns, leaving the
+    /// cache and positional map valid for the next query.
+    pub fn query(&mut self, query: &Query, ctx: &QueryCtx) -> Result<Table> {
         let needed: Vec<String> = query
             .referenced_columns()
             .into_iter()
@@ -276,6 +280,7 @@ impl AdaptiveLoader {
             .collect();
         let mut any_loaded = false;
         for name in &needed {
+            ctx.check_cancel()?;
             any_loaded |= self.ensure_column(name)?;
         }
         if !any_loaded {
@@ -355,14 +360,14 @@ mod tests {
             .filter(Predicate::range("price", 50.0, 150.0))
             .group("region")
             .agg(AggFunc::Sum, "qty");
-        assert_eq!(l.query(&q).unwrap(), q.run(&t).unwrap());
+        assert_eq!(l.query(&q, &QueryCtx::none()).unwrap(), q.run(&t).unwrap());
     }
 
     #[test]
     fn untouched_columns_are_never_parsed() {
         let (_, mut l) = loader(300);
         let q = Query::new().agg(AggFunc::Avg, "price");
-        l.query(&q).unwrap();
+        l.query(&q, &QueryCtx::none()).unwrap();
         assert_eq!(l.columns_loaded(), 1);
         assert!(!l.fully_loaded());
         // price is field 3 of 6: parsed fields = rows × 1.
@@ -375,9 +380,9 @@ mod tests {
         let q = Query::new()
             .filter(Predicate::eq("region", "region0"))
             .agg(AggFunc::Count, "region");
-        l.query(&q).unwrap();
+        l.query(&q, &QueryCtx::none()).unwrap();
         let toks = l.metrics().fields_tokenized;
-        l.query(&q).unwrap();
+        l.query(&q, &QueryCtx::none()).unwrap();
         let m = l.metrics();
         assert_eq!(m.fields_tokenized, toks, "no new tokenization");
         assert_eq!(m.cached_queries, 1);
@@ -400,7 +405,8 @@ mod tests {
         l.ensure_column("region").unwrap();
         assert_eq!(l.metrics().map_hits - hits_before, 200, "field 0 is free");
         assert_eq!(
-            l.query(&Query::new().agg(AggFunc::Sum, "qty")).unwrap(),
+            l.query(&Query::new().agg(AggFunc::Sum, "qty"), &QueryCtx::none())
+                .unwrap(),
             Query::new().agg(AggFunc::Sum, "qty").run(&t).unwrap()
         );
     }
@@ -415,7 +421,7 @@ mod tests {
         // Everything now answers from memory.
         let q = Query::new().select(&["region", "qty"]).take(5);
         let before = l.metrics().fields_tokenized;
-        l.query(&q).unwrap();
+        l.query(&q, &QueryCtx::none()).unwrap();
         assert_eq!(l.metrics().fields_tokenized, before);
     }
 
@@ -423,7 +429,10 @@ mod tests {
     fn first_query_cost_is_proportional_to_referenced_columns() {
         let (_, mut narrow) = loader(400);
         narrow
-            .query(&Query::new().agg(AggFunc::Count, "region"))
+            .query(
+                &Query::new().agg(AggFunc::Count, "region"),
+                &QueryCtx::none(),
+            )
             .unwrap();
         let (_, mut wide) = loader(400);
         wide.query(
@@ -431,6 +440,7 @@ mod tests {
                 .group("region")
                 .agg(AggFunc::Sum, "qty")
                 .agg(AggFunc::Avg, "price"),
+            &QueryCtx::none(),
         )
         .unwrap();
         assert!(

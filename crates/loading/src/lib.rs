@@ -15,6 +15,7 @@
 //!   column caching / invisible loading.
 //!
 //! ```
+//! use explore_exec::QueryCtx;
 //! use explore_loading::{AdaptiveLoader, RawCsv};
 //! use explore_storage::{csv::write_csv, gen, AggFunc, Query};
 //!
@@ -22,7 +23,7 @@
 //! let raw = RawCsv::new(write_csv(&t), t.schema().clone()).unwrap();
 //! let mut loader = AdaptiveLoader::new(raw);
 //! // First query parses only the `price` column...
-//! loader.query(&Query::new().agg(AggFunc::Avg, "price")).unwrap();
+//! loader.query(&Query::new().agg(AggFunc::Avg, "price"), &QueryCtx::none()).unwrap();
 //! assert_eq!(loader.columns_loaded(), 1);
 //! ```
 

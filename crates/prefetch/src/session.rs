@@ -12,13 +12,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use explore_cache::{Fingerprint, ResultCache};
-use explore_storage::{Column, DataType, Schema, Table};
+use explore_fault::CancelToken;
+use explore_storage::{Column, DataType, Result, Schema, StorageError, Table};
 
 use crate::grid::{CellAgg, GridIndex};
 
 /// Encode a cell aggregate as a one-row table, the shared cache's unit
 /// of storage.
-fn encode_cell(agg: CellAgg) -> Table {
+fn encode_cell(agg: CellAgg) -> Result<Table> {
     Table::new(
         Schema::of(&[("count", DataType::Int64), ("sum", DataType::Float64)]),
         vec![
@@ -26,7 +27,7 @@ fn encode_cell(agg: CellAgg) -> Table {
             Column::from(vec![agg.sum]),
         ],
     )
-    .expect("static cell schema")
+    .map_err(|e| StorageError::Internal(format!("static cell schema: {e}")))
 }
 
 /// Decode [`encode_cell`]'s shape back; `None` on foreign entries.
@@ -117,6 +118,9 @@ pub struct PanSession<'a> {
     prefetch: bool,
     stats: PanStats,
     last: Option<Viewport>,
+    /// Optional session cancellation token: a triggered token fails the
+    /// foreground view and stops background prefetching.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> PanSession<'a> {
@@ -129,7 +133,14 @@ impl<'a> PanSession<'a> {
             prefetch,
             stats: PanStats::default(),
             last: None,
+            cancel: None,
         }
+    }
+
+    /// Attach a session cancellation token (see the field docs).
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Park cell aggregates in the engine's shared result cache (under
@@ -157,12 +168,12 @@ impl<'a> PanSession<'a> {
     }
 
     /// Serve one cell: cache probe, then foreground fetch + admit.
-    fn cell(&mut self, cx: usize, cy: usize) -> CellAgg {
+    fn cell(&mut self, cx: usize, cy: usize) -> Result<CellAgg> {
         if let Some(s) = &self.shared {
             let fp = s.fingerprint(cx, cy);
             if let Some(agg) = s.cache.get(&fp).and_then(|t| decode_cell(&t)) {
                 self.stats.hits += 1;
-                return agg;
+                return Ok(agg);
             }
             s.cache.note_miss();
             let epoch = s.cache.epoch(&s.table_name);
@@ -170,17 +181,17 @@ impl<'a> PanSession<'a> {
             self.stats.misses += 1;
             self.stats.foreground_work += cost;
             s.cache
-                .insert(fp, Arc::new(encode_cell(agg)), None, cost as u128, epoch);
-            agg
+                .insert(fp, Arc::new(encode_cell(agg)?), None, cost as u128, epoch);
+            Ok(agg)
         } else if let Some(&agg) = self.cache.get(&(cx, cy)) {
             self.stats.hits += 1;
-            agg
+            Ok(agg)
         } else {
             let (agg, cost) = self.grid.fetch_cell(cx, cy);
             self.stats.misses += 1;
             self.stats.foreground_work += cost;
             self.cache.insert((cx, cy), agg);
-            agg
+            Ok(agg)
         }
     }
 
@@ -193,14 +204,14 @@ impl<'a> PanSession<'a> {
     }
 
     /// Background-fetch a cell during think time.
-    fn prefetch_cell(&mut self, cx: usize, cy: usize) {
+    fn prefetch_cell(&mut self, cx: usize, cy: usize) -> Result<()> {
         let (agg, cost) = self.grid.fetch_cell(cx, cy);
         self.stats.background_work += cost;
         if let Some(s) = &self.shared {
             let epoch = s.cache.epoch(&s.table_name);
             s.cache.insert(
                 s.fingerprint(cx, cy),
-                Arc::new(encode_cell(agg)),
+                Arc::new(encode_cell(agg)?),
                 None,
                 cost as u128,
                 epoch,
@@ -208,15 +219,20 @@ impl<'a> PanSession<'a> {
         } else {
             self.cache.insert((cx, cy), agg);
         }
+        Ok(())
     }
 
     /// The user moves the viewport here; returns the viewport's cell
     /// aggregates. Afterwards the prefetcher runs for the predicted next
-    /// position.
-    pub fn view(&mut self, vp: Viewport) -> Vec<CellAgg> {
+    /// position; a cancelled session token stops that background work
+    /// without failing the answer already computed.
+    pub fn view(&mut self, vp: Viewport) -> Result<Vec<CellAgg>> {
+        if let Some(c) = &self.cancel {
+            c.check()?;
+        }
         let mut out = Vec::new();
         for (cx, cy) in vp.cells(self.grid) {
-            out.push(self.cell(cx, cy));
+            out.push(self.cell(cx, cy)?);
         }
         if self.prefetch {
             if let Some(prev) = self.last {
@@ -228,14 +244,17 @@ impl<'a> PanSession<'a> {
                     h: vp.h,
                 };
                 for (cx, cy) in predicted.cells(self.grid) {
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
                     if !self.is_cached(cx, cy) {
-                        self.prefetch_cell(cx, cy);
+                        self.prefetch_cell(cx, cy)?;
                     }
                 }
             }
         }
         self.last = Some(vp);
-        out
+        Ok(out)
     }
 }
 
@@ -252,12 +271,14 @@ mod tests {
     /// A straight pan to the right, one cell per step.
     fn pan_right(session: &mut PanSession, steps: i64) {
         for i in 0..steps {
-            session.view(Viewport {
-                cx: i,
-                cy: 10,
-                w: 4,
-                h: 4,
-            });
+            session
+                .view(Viewport {
+                    cx: i,
+                    cy: 10,
+                    w: 4,
+                    h: 4,
+                })
+                .unwrap();
         }
     }
 
@@ -300,7 +321,7 @@ mod tests {
                 w: 3,
                 h: 3,
             };
-            assert_eq!(a.view(vp), b.view(vp));
+            assert_eq!(a.view(vp).unwrap(), b.view(vp).unwrap());
         }
     }
 
@@ -308,19 +329,23 @@ mod tests {
     fn viewport_clipping_at_edges() {
         let g = grid();
         let mut s = PanSession::new(&g, true);
-        let out = s.view(Viewport {
-            cx: -2,
-            cy: -2,
-            w: 4,
-            h: 4,
-        });
+        let out = s
+            .view(Viewport {
+                cx: -2,
+                cy: -2,
+                w: 4,
+                h: 4,
+            })
+            .unwrap();
         assert_eq!(out.len(), 4, "only the in-grid quadrant");
-        let out = s.view(Viewport {
-            cx: 31,
-            cy: 31,
-            w: 4,
-            h: 4,
-        });
+        let out = s
+            .view(Viewport {
+                cx: 31,
+                cy: 31,
+                w: 4,
+                h: 4,
+            })
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -337,7 +362,7 @@ mod tests {
                 w: 4,
                 h: 4,
             };
-            assert_eq!(a.view(vp), b.view(vp));
+            assert_eq!(a.view(vp).unwrap(), b.view(vp).unwrap());
         }
         assert!(a.stats().hits > 0);
         assert!(!shared.is_empty());
@@ -348,7 +373,8 @@ mod tests {
             cy: 10,
             w: 4,
             h: 4,
-        });
+        })
+        .unwrap();
         assert_eq!(c.stats().misses, 0, "cells parked by the first session");
         // An epoch bump (mutation) invalidates every parked cell.
         shared.bump_epoch("sky");
@@ -358,7 +384,8 @@ mod tests {
             cy: 10,
             w: 4,
             h: 4,
-        });
+        })
+        .unwrap();
         assert_eq!(d.stats().hits, 0, "stale cells are never served");
         assert!(d.stats().misses > 0);
     }
@@ -377,7 +404,7 @@ mod tests {
                 w: 3,
                 h: 3,
             };
-            s.view(vp);
+            s.view(vp).unwrap();
             assert!(s.cached_cells() >= cached_prev);
             cached_prev = s.cached_cells();
         }

@@ -14,9 +14,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use explore_cache::{cached_query, Fingerprint, ResultCache};
-use explore_exec::ExecPolicy;
+use explore_exec::QueryCtx;
+use explore_fault::CancelToken;
 use explore_obs::MetricsRegistry;
-use explore_storage::{AggFunc, Query, Result, Table};
+use explore_storage::{AggFunc, Query, Result, StorageError, Table};
 
 use parking_lot::Mutex;
 
@@ -109,6 +110,9 @@ pub struct SpeculativeExecutor<'a> {
     stats: Mutex<SpeculationStats>,
     /// Optional observability registry mirroring the stats counters.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional session cancellation token: checked before the
+    /// foreground query and before each speculative neighbor.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> SpeculativeExecutor<'a> {
@@ -121,7 +125,15 @@ impl<'a> SpeculativeExecutor<'a> {
             budget,
             stats: Mutex::new(SpeculationStats::default()),
             metrics: None,
+            cancel: None,
         }
+    }
+
+    /// Attach a session cancellation token. A triggered token fails the
+    /// foreground query and silently stops background speculation.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Mirror hit/miss/speculation counters into an observability
@@ -163,6 +175,9 @@ impl<'a> SpeculativeExecutor<'a> {
     /// Execute a request (cache → compute), then speculate on its
     /// neighbors up to the budget.
     pub fn execute(&self, req: &RangeRequest) -> Result<f64> {
+        if let Some(c) = &self.cancel {
+            c.check()?;
+        }
         let answer = if self.shared.is_some() {
             // `run` serves residents straight from the shared cache, so
             // probe first only to attribute the hit/miss.
@@ -201,10 +216,15 @@ impl<'a> SpeculativeExecutor<'a> {
                 }
             }
         };
-        // Speculation phase ("user think time").
+        // Speculation phase ("user think time"). Background work is
+        // best-effort: a cancel stops it without failing the answer
+        // already computed above.
         let mut done = 0;
         for n in req.neighbors() {
             if done >= self.budget {
+                break;
+            }
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                 break;
             }
             if self.is_cached(&n) {
@@ -223,20 +243,21 @@ impl<'a> SpeculativeExecutor<'a> {
 
     fn run(&self, req: &RangeRequest) -> Result<f64> {
         let query = req.to_query();
+        let ctx = QueryCtx::new(explore_exec::ExecPolicy::Serial).with_cancel(self.cancel.clone());
         let result = match &self.shared {
             // The shared path serves hits, subsumption reuse and
             // admission inside `cached_query`.
-            Some(s) => cached_query(
-                &s.cache,
-                self.table,
-                &s.table_name,
-                &query,
-                ExecPolicy::Serial,
-            )?,
+            Some(s) => cached_query(&s.cache, self.table, &s.table_name, &query, &ctx)?,
             None => query.run(self.table)?,
         };
         let name = format!("{}({})", req.func, req.measure);
-        Ok(result.column(&name)?.as_f64().expect("aggregate column")[0])
+        let col = result
+            .column(&name)?
+            .as_f64()
+            .ok_or_else(|| StorageError::Internal(format!("aggregate {name} is not Float64")))?;
+        col.first().copied().ok_or_else(|| {
+            StorageError::Internal(format!("aggregate {name} produced an empty column"))
+        })
     }
 
     /// Session statistics.
@@ -346,7 +367,7 @@ mod tests {
             .filter(Predicate::range("qty", 1i64, 3i64))
             .agg(AggFunc::Sum, "price");
         let hits_before = shared.stats().hits;
-        cached_query(&shared, &t, "sales", &q, ExecPolicy::Serial).unwrap();
+        cached_query(&shared, &t, "sales", &q, &QueryCtx::none()).unwrap();
         assert_eq!(shared.stats().hits, hits_before + 1);
         // An epoch bump (mutation) empties the session's view of the cache.
         shared.bump_epoch("sales");

@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use explore_exec::QueryCtx;
 use explore_storage::{Result, Table};
 
 use crate::stratified::StratifiedSample;
@@ -67,21 +68,27 @@ pub struct SampleCatalog {
 
 impl SampleCatalog {
     /// Build a catalog with the standard BlinkDB-style ladder of uniform
-    /// fractions plus stratified samples on the given columns.
+    /// fractions plus stratified samples on the given columns. The
+    /// context's cancellation tokens are checked before each sample —
+    /// the build's unit of work — so a deadline stops a catalog build
+    /// between samples with no partial catalog escaping.
     pub fn build(
         base: &Table,
         fractions: &[f64],
         stratify_on: &[(&str, usize)],
         seed: u64,
+        ctx: &QueryCtx,
     ) -> Result<Self> {
         let mut samples = BTreeMap::new();
         for (i, &f) in fractions.iter().enumerate() {
+            ctx.check_cancel()?;
             samples.insert(
                 SampleKey::uniform(f),
                 StoredSample::Uniform(UniformSample::build(base, f, seed + i as u64)),
             );
         }
         for (j, &(col, cap)) in stratify_on.iter().enumerate() {
+            ctx.check_cancel()?;
             samples.insert(
                 SampleKey::stratified(col, cap),
                 StoredSample::Stratified(StratifiedSample::build(
@@ -167,6 +174,7 @@ mod tests {
             &[0.01, 0.05, 0.1],
             &[("region", 100), ("product", 50)],
             1,
+            &QueryCtx::none(),
         )
         .unwrap()
     }
@@ -198,7 +206,14 @@ mod tests {
             rows: 5000,
             ..SalesConfig::default()
         });
-        let c = SampleCatalog::build(&base, &[], &[("region", 10), ("region", 100)], 2).unwrap();
+        let c = SampleCatalog::build(
+            &base,
+            &[],
+            &[("region", 10), ("region", 100)],
+            2,
+            &QueryCtx::none(),
+        )
+        .unwrap();
         assert_eq!(c.best_stratified("region").unwrap().cap(), 100);
         assert!(c.best_stratified("channel").is_none());
     }
@@ -216,6 +231,8 @@ mod tests {
             rows: 100,
             ..SalesConfig::default()
         });
-        assert!(SampleCatalog::build(&base, &[0.1], &[("price", 10)], 3).is_err());
+        assert!(
+            SampleCatalog::build(&base, &[0.1], &[("price", 10)], 3, &QueryCtx::none()).is_err()
+        );
     }
 }

@@ -13,6 +13,7 @@
 //!   storage.
 //!
 //! ```
+//! use explore_exec::QueryCtx;
 //! use explore_sampling::{SampleCatalog, SampleKey};
 //! use explore_storage::gen::{sales_table, SalesConfig};
 //!
@@ -22,6 +23,7 @@
 //!     &[0.01, 0.1],
 //!     &[("region", 100)],
 //!     42,
+//!     &QueryCtx::none(),
 //! ).unwrap();
 //! assert_eq!(catalog.uniform_ladder().len(), 2);
 //! assert!(catalog.best_stratified("region").is_some());

@@ -17,6 +17,7 @@
 //!   data regions with overlap queries and live notification \[48\].
 //!
 //! ```
+//! use explore_exec::QueryCtx;
 //! use explore_viz::seedb::{candidate_views, recommend_shared, SeedbStats};
 //! use explore_storage::{gen, AggFunc, Predicate};
 //!
@@ -25,6 +26,7 @@
 //! let mut stats = SeedbStats::default();
 //! let top = recommend_shared(
 //!     &t, &Predicate::eq("product", "product0"), &views, 3, &mut stats,
+//!     &QueryCtx::none(),
 //! ).unwrap();
 //! assert_eq!(top.len(), 3);
 //! assert_eq!(stats.scans, 1); // one shared pass for all views

@@ -17,8 +17,14 @@
 
 use std::collections::HashMap;
 
+use explore_exec::QueryCtx;
 use explore_storage::rng::SplitMix64;
 use explore_storage::{AggFunc, Predicate, Result, StorageError, Table};
+
+/// How often the row loops consult the cancellation tokens: one check
+/// per this many rows keeps the disarmed cost negligible while bounding
+/// post-cancel work to a fraction of a scan.
+const CANCEL_CHECK_ROWS: usize = 4096;
 
 /// One candidate view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -148,6 +154,28 @@ struct Prepared<'a> {
     mask: Vec<bool>,
 }
 
+impl<'a> Prepared<'a> {
+    /// The prepared dimension labels for `name`; every view passed to
+    /// [`prepare`] has its columns resolved there, so a miss is an
+    /// internal invariant violation, not a user error.
+    fn dim(&self, name: &str) -> Result<&'a [String]> {
+        self.dims
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| StorageError::Internal(format!("prepared dims lost column {name}")))
+    }
+
+    /// The prepared measure values for `name`; see [`Prepared::dim`].
+    fn measure(&self, name: &str) -> Result<&[f64]> {
+        self.measures
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| StorageError::Internal(format!("prepared measures lost column {name}")))
+    }
+}
+
 fn prepare<'a>(
     table: &'a Table,
     target: &Predicate,
@@ -186,31 +214,28 @@ fn prepare<'a>(
     })
 }
 
-/// Naive strategy: one separate pass over the data per view.
+/// Naive strategy: one separate pass over the data per view. The
+/// context's cancellation tokens are checked before each view's scan and
+/// every `CANCEL_CHECK_ROWS` rows within it.
 pub fn recommend_naive(
     table: &Table,
     target: &Predicate,
     views: &[ViewSpec],
     k: usize,
     stats: &mut SeedbStats,
+    ctx: &QueryCtx,
 ) -> Result<Vec<ScoredView>> {
     let prep = prepare(table, target, views)?;
     let mut scored = Vec::with_capacity(views.len());
     for v in views {
-        let dim = prep
-            .dims
-            .iter()
-            .find(|(n, _)| *n == v.dimension.as_str())
-            .expect("prepared")
-            .1;
-        let meas = &prep
-            .measures
-            .iter()
-            .find(|(n, _)| *n == v.measure.as_str())
-            .expect("prepared")
-            .1;
+        ctx.check_cancel()?;
+        let dim = prep.dim(&v.dimension)?;
+        let meas = prep.measure(&v.measure)?;
         let mut acc = ViewAcc::default();
         for row in 0..table.num_rows() {
+            if row % CANCEL_CHECK_ROWS == 0 {
+                ctx.check_cancel()?;
+            }
             acc.update(&dim[row], prep.mask[row], meas[row]);
             stats.agg_ops += 1;
         }
@@ -225,43 +250,51 @@ pub fn recommend_naive(
     Ok(scored)
 }
 
-/// Shared-scan strategy: one pass computes every view.
+/// Shared-scan strategy: one pass computes every view. Cancellation is
+/// checked every `CANCEL_CHECK_ROWS` rows of the combined scan.
 pub fn recommend_shared(
     table: &Table,
     target: &Predicate,
     views: &[ViewSpec],
     k: usize,
     stats: &mut SeedbStats,
+    ctx: &QueryCtx,
 ) -> Result<Vec<ScoredView>> {
     let prep = prepare(table, target, views)?;
-    // One accumulator per (dimension, measure) pair; aggregates share it.
-    let mut pair_accs: HashMap<(&str, &str), ViewAcc> = HashMap::new();
+    // One accumulator per (dimension, measure) pair; aggregates share
+    // it. Column lookups are hoisted out of the row loop.
+    type PairAcc<'a> = (&'a str, &'a str, &'a [String], &'a [f64], ViewAcc);
+    let mut pair_accs: Vec<PairAcc> = Vec::new();
     for v in views {
-        pair_accs
-            .entry((v.dimension.as_str(), v.measure.as_str()))
-            .or_default();
+        let (d, m) = (v.dimension.as_str(), v.measure.as_str());
+        if !pair_accs.iter().any(|&(pd, pm, ..)| pd == d && pm == m) {
+            pair_accs.push((d, m, prep.dim(d)?, prep.measure(m)?, ViewAcc::default()));
+        }
     }
     for row in 0..table.num_rows() {
-        for (&(d, m), acc) in pair_accs.iter_mut() {
-            let dim = prep.dims.iter().find(|(n, _)| *n == d).expect("prepared").1;
-            let meas = &prep
-                .measures
-                .iter()
-                .find(|(n, _)| *n == m)
-                .expect("prepared")
-                .1;
+        if row % CANCEL_CHECK_ROWS == 0 {
+            ctx.check_cancel()?;
+        }
+        for (_, _, dim, meas, acc) in pair_accs.iter_mut() {
             acc.update(&dim[row], prep.mask[row], meas[row]);
             stats.agg_ops += 1;
         }
     }
     stats.scans += 1;
-    let mut scored: Vec<ScoredView> = views
-        .iter()
-        .map(|v| ScoredView {
+    let acc_for = |d: &str, m: &str| -> Result<&ViewAcc> {
+        pair_accs
+            .iter()
+            .find(|&&(pd, pm, ..)| pd == d && pm == m)
+            .map(|(.., acc)| acc)
+            .ok_or_else(|| StorageError::Internal(format!("shared scan lost pair ({d}, {m})")))
+    };
+    let mut scored = Vec::with_capacity(views.len());
+    for v in views {
+        scored.push(ScoredView {
             spec: v.clone(),
-            utility: pair_accs[&(v.dimension.as_str(), v.measure.as_str())].utility(v.func),
-        })
-        .collect();
+            utility: acc_for(v.dimension.as_str(), v.measure.as_str())?.utility(v.func),
+        });
+    }
     scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
     scored.truncate(k);
     Ok(scored)
@@ -279,6 +312,7 @@ pub fn recommend_pruned(
     phases: usize,
     seed: u64,
     stats: &mut SeedbStats,
+    ctx: &QueryCtx,
 ) -> Result<Vec<ScoredView>> {
     let phases = phases.max(1);
     let prep = prepare(table, target, views)?;
@@ -286,27 +320,23 @@ pub fn recommend_pruned(
     let mut order: Vec<u32> = (0..n as u32).collect();
     SplitMix64::new(seed).shuffle(&mut order);
 
+    // Resolve every view's columns once, up front.
+    let cols: Vec<(&[String], &[f64])> = views
+        .iter()
+        .map(|v| Ok((prep.dim(&v.dimension)?, prep.measure(&v.measure)?)))
+        .collect::<Result<_>>()?;
     let mut alive: Vec<usize> = (0..views.len()).collect();
     let mut accs: Vec<ViewAcc> = vec![ViewAcc::default(); views.len()];
     let phase_len = n.div_ceil(phases);
     for phase in 0..phases {
         let slice = &order[phase * phase_len..((phase + 1) * phase_len).min(n)];
-        for &row in slice {
+        for (i, &row) in slice.iter().enumerate() {
+            if i % CANCEL_CHECK_ROWS == 0 {
+                ctx.check_cancel()?;
+            }
             let row = row as usize;
             for &vi in &alive {
-                let v = &views[vi];
-                let dim = prep
-                    .dims
-                    .iter()
-                    .find(|(d, _)| *d == v.dimension.as_str())
-                    .expect("prepared")
-                    .1;
-                let meas = &prep
-                    .measures
-                    .iter()
-                    .find(|(m, _)| *m == v.measure.as_str())
-                    .expect("prepared")
-                    .1;
+                let (dim, meas) = cols[vi];
                 accs[vi].update(&dim[row], prep.mask[row], meas[row]);
                 stats.agg_ops += 1;
             }
@@ -398,8 +428,8 @@ mod tests {
         let (t, target, views) = setup();
         let mut s1 = SeedbStats::default();
         let mut s2 = SeedbStats::default();
-        let a = recommend_naive(&t, &target, &views, 5, &mut s1).unwrap();
-        let b = recommend_shared(&t, &target, &views, 5, &mut s2).unwrap();
+        let a = recommend_naive(&t, &target, &views, 5, &mut s1, &QueryCtx::none()).unwrap();
+        let b = recommend_shared(&t, &target, &views, 5, &mut s2, &QueryCtx::none()).unwrap();
         assert_eq!(recall(&b, &a), 1.0);
         for (x, y) in a.iter().zip(&b) {
             assert!((x.utility - y.utility).abs() < 1e-9);
@@ -411,8 +441,8 @@ mod tests {
         let (t, target, views) = setup();
         let mut naive = SeedbStats::default();
         let mut shared = SeedbStats::default();
-        recommend_naive(&t, &target, &views, 5, &mut naive).unwrap();
-        recommend_shared(&t, &target, &views, 5, &mut shared).unwrap();
+        recommend_naive(&t, &target, &views, 5, &mut naive, &QueryCtx::none()).unwrap();
+        recommend_shared(&t, &target, &views, 5, &mut shared, &QueryCtx::none()).unwrap();
         // Shared: one op per (dim, measure) pair per row = 9/row;
         // naive: one per view per row = 27/row.
         assert!(shared.agg_ops * 2 < naive.agg_ops);
@@ -424,9 +454,20 @@ mod tests {
     fn pruning_saves_work_with_high_recall() {
         let (t, target, views) = setup();
         let mut exact_stats = SeedbStats::default();
-        let exact = recommend_shared(&t, &target, &views, 5, &mut exact_stats).unwrap();
+        let exact =
+            recommend_shared(&t, &target, &views, 5, &mut exact_stats, &QueryCtx::none()).unwrap();
         let mut pruned_stats = SeedbStats::default();
-        let pruned = recommend_pruned(&t, &target, &views, 5, 10, 7, &mut pruned_stats).unwrap();
+        let pruned = recommend_pruned(
+            &t,
+            &target,
+            &views,
+            5,
+            10,
+            7,
+            &mut pruned_stats,
+            &QueryCtx::none(),
+        )
+        .unwrap();
         assert!(
             pruned_stats.agg_ops < exact_stats.agg_ops,
             "pruned {} vs exact {}",
@@ -442,7 +483,7 @@ mod tests {
     fn top_view_is_genuinely_deviating() {
         let (t, target, views) = setup();
         let mut stats = SeedbStats::default();
-        let top = recommend_shared(&t, &target, &views, 27, &mut stats).unwrap();
+        let top = recommend_shared(&t, &target, &views, 27, &mut stats, &QueryCtx::none()).unwrap();
         // Utilities are sorted and positive somewhere.
         assert!(top.windows(2).all(|w| w[0].utility >= w[1].utility));
         assert!(top[0].utility > top[top.len() - 1].utility);
@@ -453,8 +494,9 @@ mod tests {
         let (t, target, views) = setup();
         let mut a = SeedbStats::default();
         let mut b = SeedbStats::default();
-        let shared = recommend_shared(&t, &target, &views, 5, &mut a).unwrap();
-        let pruned = recommend_pruned(&t, &target, &views, 5, 1, 3, &mut b).unwrap();
+        let shared = recommend_shared(&t, &target, &views, 5, &mut a, &QueryCtx::none()).unwrap();
+        let pruned =
+            recommend_pruned(&t, &target, &views, 5, 1, 3, &mut b, &QueryCtx::none()).unwrap();
         assert_eq!(recall(&pruned, &shared), 1.0);
         assert_eq!(b.pruned, 0);
     }
@@ -468,6 +510,6 @@ mod tests {
             func: AggFunc::Avg,
         }];
         let mut stats = SeedbStats::default();
-        assert!(recommend_shared(&t, &target, &bad, 1, &mut stats).is_err());
+        assert!(recommend_shared(&t, &target, &bad, 1, &mut stats, &QueryCtx::none()).is_err());
     }
 }

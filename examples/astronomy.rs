@@ -57,7 +57,7 @@ fn main() {
         // Straight-line pan from the field corner towards the target.
         let cx = (target.cx as i64 * i) / steps;
         let cy = (target.cy as i64 * i) / steps;
-        session.view(Viewport { cx, cy, w: 4, h: 4 });
+        session.view(Viewport { cx, cy, w: 4, h: 4 }).expect("view");
     }
     let s = session.stats();
     println!(

@@ -83,7 +83,7 @@ fn main() {
         .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
         .expect("online");
     println!("== online aggregation of avg(price):");
-    for snap in oa.run_until(0.005, 20_000) {
+    for snap in oa.run_until(0.005, 20_000).expect("online aggregation") {
         println!(
             "   {:>6.1}% processed → {:.2} ± {:.2}",
             snap.fraction * 100.0,

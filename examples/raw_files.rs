@@ -11,6 +11,7 @@
 //! shifts from analytics to tuple fetches.
 
 use exploration::cracking::{CrackerColumn, ScanBaseline, SortedIndex};
+use exploration::exec::QueryCtx;
 use exploration::layout::{AccessOp, AdaptiveStore, LayoutUsed};
 use exploration::loading::{eager_load, AdaptiveLoader, RawCsv};
 use exploration::storage::csv::write_csv;
@@ -48,10 +49,10 @@ fn main() {
     let raw = RawCsv::new(csv, ground_truth.schema().clone()).expect("raw");
     let mut loader = AdaptiveLoader::new(raw);
     let t0 = Instant::now();
-    let adaptive_answer = loader.query(&q).expect("query");
+    let adaptive_answer = loader.query(&q, &QueryCtx::none()).expect("query");
     let first = t0.elapsed();
     let t0 = Instant::now();
-    loader.query(&q).expect("query");
+    loader.query(&q, &QueryCtx::none()).expect("query");
     let second = t0.elapsed();
     assert_eq!(eager_answer, adaptive_answer);
     let (cols, total) = (loader.columns_loaded(), loader.schema().len());

@@ -7,6 +7,7 @@
 
 use exploration::cube::{CubeSession, DataCube, DiscoveryView};
 use exploration::diversify::{mmr, top_k_relevance, DivStats, Item};
+use exploration::exec::QueryCtx;
 use exploration::interact::suggest::faceted_recommendations;
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{AggFunc, Predicate};
@@ -44,12 +45,29 @@ fn main() {
     let views = candidate_views(&sales, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
     let mut shared_stats = SeedbStats::default();
     let t0 = std::time::Instant::now();
-    let exact = recommend_shared(&sales, &target, &views, 3, &mut shared_stats).expect("seedb");
+    let exact = recommend_shared(
+        &sales,
+        &target,
+        &views,
+        3,
+        &mut shared_stats,
+        &QueryCtx::none(),
+    )
+    .expect("seedb");
     let shared_time = t0.elapsed();
     let mut pruned_stats = SeedbStats::default();
     let t0 = std::time::Instant::now();
-    let fast =
-        recommend_pruned(&sales, &target, &views, 3, 10, 5, &mut pruned_stats).expect("seedb");
+    let fast = recommend_pruned(
+        &sales,
+        &target,
+        &views,
+        3,
+        10,
+        5,
+        &mut pruned_stats,
+        &QueryCtx::none(),
+    )
+    .expect("seedb");
     let pruned_time = t0.elapsed();
     println!("== SeeDB: top views where channel0 deviates");
     for v in &exact {
@@ -123,7 +141,7 @@ fn main() {
         .collect();
     let mut stats = DivStats::default();
     let plain = top_k_relevance(&items, 8);
-    let diverse = mmr(&items, 8, 0.4, &[], &mut stats);
+    let diverse = mmr(&items, 8, 0.4, &[], &mut stats, &QueryCtx::none()).expect("mmr");
     println!("== top-8 orders, plain vs diversified (row ids):");
     println!("   plain:     {plain:?}");
     println!("   diversified: {diverse:?}\n");

@@ -81,8 +81,8 @@ proptest! {
         };
         let mut db = ExploreDb::with_exec_policy(policy);
         db.register("sales", big_table().clone());
-        let token = CancelToken::after_checks(budget);
-        match db.query_cancellable("sales", &prop_query(), &token) {
+        db.set_cancel_token(Some(CancelToken::after_checks(budget)));
+        match db.query("sales", &prop_query()) {
             Ok(got) => prop_assert!(
                 tables_bit_equal(truth(), &got),
                 "completed run diverged (budget {budget})"
@@ -91,6 +91,7 @@ proptest! {
             Err(e) => prop_assert!(false, "non-typed error: {e}"),
         }
         // The engine must be unharmed either way.
+        db.set_cancel_token(None);
         let after = db.query("sales", &prop_query()).unwrap();
         prop_assert!(tables_bit_equal(truth(), &after), "post-cancel state corrupted");
     }
@@ -109,7 +110,7 @@ proptest! {
         let (low, high) = (a.min(b), a.max(b) + 1);
         let mut c = CrackerColumn::new(base.clone());
         let token = CancelToken::after_checks(budget);
-        match c.query_cancellable(low, high, &token) {
+        match c.query_bounds(low, high, Some(&token)) {
             Ok((s, e)) => prop_assert_eq!(e - s, brute_count(&base, low, high)),
             Err(StorageError::Cancelled) => {}
             Err(e) => prop_assert!(false, "non-typed error: {e}"),
@@ -140,11 +141,12 @@ proptest! {
         let (low, high) = (a, a + 3);
         let mut db = ExploreDb::new();
         db.register("sales", big_table().clone());
-        let token = CancelToken::after_checks(budget);
-        match db.cracked_range_cancellable("sales", "qty", low, high, &token) {
+        db.set_cancel_token(Some(CancelToken::after_checks(budget)));
+        match db.cracked_range("sales", "qty", low, high) {
             Ok(_) | Err(StorageError::Cancelled) => {}
             Err(e) => prop_assert!(false, "non-typed error: {e}"),
         }
+        db.set_cancel_token(None);
         let mut got = db.cracked_range("sales", "qty", low, high).unwrap();
         got.sort_unstable();
         let scan = Predicate::range("qty", low, high)
@@ -168,11 +170,10 @@ fn cancellation_lands_within_one_morsel_of_work() {
     db.set_exec_policy(ExecPolicy::Serial);
     db.register("sales", big_table().clone());
 
-    let token = CancelToken::after_checks(1);
-    let err = db
-        .query_cancellable("sales", &prop_query(), &token)
-        .unwrap_err();
+    db.set_cancel_token(Some(CancelToken::after_checks(1)));
+    let err = db.query("sales", &prop_query()).unwrap_err();
     assert_eq!(err, StorageError::Cancelled);
+    db.set_cancel_token(None);
 
     let trace = db.recent_traces().pop().expect("trace recorded on error");
     assert!(trace.is_well_formed());
@@ -232,4 +233,57 @@ fn deadline_with_cache_on_is_typed_and_recoverable() {
     assert!(tables_bit_equal(truth(), &cold));
     assert!(tables_bit_equal(truth(), &warm));
     assert!(db.cache_stats().hits >= 1, "cache fully recovered");
+}
+
+/// A deadline (or cancel token) on an online-aggregation session stops
+/// it within one batch: the session inherits the engine's token at
+/// start, and `run_until` surfaces the typed error instead of silently
+/// finishing.
+#[test]
+fn online_aggregation_deadline_stops_within_one_batch() {
+    let mut db = ExploreDb::new();
+    db.register("sales", big_table().clone());
+    // A token surviving exactly two checks models a deadline expiring
+    // mid-session deterministically.
+    db.set_cancel_token(Some(CancelToken::after_checks(2)));
+    let mut oa = db
+        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+        .unwrap();
+    let batch = 100;
+    assert!(oa.step(batch).unwrap().is_some(), "first batch runs");
+    assert!(oa.step(batch).unwrap().is_some(), "second batch runs");
+    assert_eq!(oa.step(batch).unwrap_err(), StorageError::Cancelled);
+    assert_eq!(
+        oa.snapshot().processed,
+        2 * batch as u64,
+        "no work past the batch where the token tripped"
+    );
+    // An expired real deadline trips a fresh session before any batch.
+    db.set_cancel_token(None);
+    db.set_query_deadline(Some(Duration::ZERO));
+    let mut oa = db
+        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 8)
+        .unwrap();
+    assert_eq!(oa.step(batch).unwrap_err(), StorageError::DeadlineExceeded);
+}
+
+/// A cancelled `recommend_views` surfaces the typed error and leaves
+/// the engine serving exact truth, as if the recommendation never ran.
+#[test]
+fn cancelled_recommend_views_leaves_engine_serving_truth() {
+    let mut db = ExploreDb::new();
+    db.register("sales", big_table().clone());
+    db.set_cancel_token(Some(CancelToken::after_checks(1)));
+    let err = db
+        .recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        .unwrap_err();
+    assert_eq!(err, StorageError::Cancelled);
+    db.set_cancel_token(None);
+    let after = db.query("sales", &prop_query()).unwrap();
+    assert!(tables_bit_equal(truth(), &after));
+    // And the uncancelled recommendation itself still works.
+    let views = db
+        .recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        .unwrap();
+    assert_eq!(views.len(), 3);
 }

@@ -242,10 +242,9 @@ fn seeded_fault_schedules_never_corrupt_results() {
         let cancel = (rng.range_i64(0, 4) == 0)
             .then(|| CancelToken::after_checks(rng.range_i64(0, 12) as u64));
 
-        let result = match &cancel {
-            Some(token) => db.query_cancellable("sales", query, token),
-            None => db.query("sales", query),
-        };
+        db.set_cancel_token(cancel.clone());
+        let result = db.query("sales", query);
+        db.set_cancel_token(None);
         match result {
             Ok(got) => assert_bitwise_eq(&truths[shape_idx], &got, &context),
             Err(StorageError::Cancelled) => assert!(
@@ -400,6 +399,66 @@ fn crack_reorg_failure_degrades_to_scan() {
     again.sort_unstable();
     assert_eq!(again, scan);
     assert!(db.index_pieces("sales", "qty").unwrap() > pieces);
+}
+
+/// Seeded chaos over `diversified_topk`: the middleware entry point is
+/// routed through the same context-threaded pipeline as `query`, so
+/// exec-layer faults and cancellation budgets must leave it either
+/// returning the exact fault-free ranking or a clean typed error —
+/// and the engine keeps serving truth afterwards.
+#[test]
+fn seeded_chaos_over_diversified_topk_is_exact_or_typed() {
+    let table = chaos_table();
+    let pred = Predicate::range("price", 50.0, 800.0);
+    let features = ["qty", "discount"];
+    let truth = {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        db.register("sales", table.clone());
+        db.diversified_topk("sales", &pred, "price", &features, 10, 0.5)
+            .unwrap()
+    };
+    assert_eq!(truth.len(), 10);
+
+    for iter in 0..chaos_iters().min(100) {
+        let mut rng = SplitMix64::new(0xD1BE_7000 + iter as u64);
+        let policy = if rng.range_i64(0, 2) == 0 {
+            ExecPolicy::Serial
+        } else {
+            ExecPolicy::Parallel {
+                workers: rng.range_i64(1, 5) as usize,
+            }
+        };
+        let context = format!("diversify iter {iter}: policy={policy:?}");
+        let mut db = ExploreDb::with_exec_policy(policy);
+        db.register("sales", table.clone());
+
+        let faults = db.fail_points();
+        for _ in 0..rng.range_i64(1, 3) {
+            let point = POINTS[rng.range_i64(0, POINTS.len() as i64) as usize];
+            faults.arm(point, random_schedule(&mut rng));
+        }
+        let cancel = (rng.range_i64(0, 3) == 0)
+            .then(|| CancelToken::after_checks(rng.range_i64(0, 8) as u64));
+
+        db.set_cancel_token(cancel.clone());
+        let result = db.diversified_topk("sales", &pred, "price", &features, 10, 0.5);
+        db.set_cancel_token(None);
+        match result {
+            Ok(got) => assert_eq!(got, truth, "{context}"),
+            Err(StorageError::Cancelled) => assert!(
+                cancel.is_some(),
+                "{context}: Cancelled without a cancel token"
+            ),
+            Err(e) => panic!("{context}: fault leaked as non-typed error: {e}"),
+        }
+
+        // Disarmed, the same engine reproduces the exact ranking.
+        faults.disarm_all();
+        let clean = db
+            .diversified_topk("sales", &pred, "price", &features, 10, 0.5)
+            .unwrap_or_else(|e| panic!("{context}: post-fault call failed: {e}"));
+        assert_eq!(clean, truth, "{context} (post-fault)");
+    }
 }
 
 /// Raw-CSV parse faults follow the engine's `ErrorPolicy`: `Abort`

@@ -79,7 +79,7 @@ fn full_session_touches_every_layer() {
     let mut oa = db
         .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 2)
         .expect("online");
-    while oa.step(10_000).is_some() {}
+    while oa.step(10_000).unwrap().is_some() {}
     let global_truth = {
         let p = db
             .table("sales")

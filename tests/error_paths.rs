@@ -5,7 +5,7 @@
 //! these tests pin the contract that validation errors surface as
 //! ordinary `Result`s on the submitting thread under every policy.
 
-use exploration::exec::{evaluate_selection, run_query, ExecPolicy};
+use exploration::exec::{evaluate_selection, run_query, ExecPolicy, QueryCtx};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{
     AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Table, MORSEL_ROWS,
@@ -36,7 +36,7 @@ fn assert_errs_everywhere(q: &Query, context: &str) {
     for (tname, t) in &tables() {
         let mut errors = Vec::new();
         for policy in POLICIES {
-            let err = match run_query(t, q, policy) {
+            let err = match run_query(t, q, &QueryCtx::new(policy)) {
                 Err(e) => e,
                 Ok(got) => panic!(
                     "{context} on {tname} under {policy:?} must err, got {} rows",
@@ -124,16 +124,21 @@ fn empty_table_valid_queries_succeed_not_panic() {
         ..SalesConfig::default()
     });
     for policy in POLICIES {
-        let scan = run_query(&empty, &Query::new(), policy).unwrap();
+        let scan = run_query(&empty, &Query::new(), &QueryCtx::new(policy)).unwrap();
         assert_eq!(scan.num_rows(), 0);
         let grouped = run_query(
             &empty,
             &Query::new().group("region").agg(AggFunc::Sum, "price"),
-            policy,
+            &QueryCtx::new(policy),
         )
         .unwrap();
         assert_eq!(grouped.num_rows(), 0, "no groups on empty input");
-        let global = run_query(&empty, &Query::new().agg(AggFunc::Count, "qty"), policy).unwrap();
+        let global = run_query(
+            &empty,
+            &Query::new().agg(AggFunc::Count, "qty"),
+            &QueryCtx::new(policy),
+        )
+        .unwrap();
         assert_eq!(
             global.num_rows(),
             1,
@@ -149,7 +154,8 @@ fn selection_errors_match_across_policies() {
         ..SalesConfig::default()
     });
     for policy in POLICIES {
-        let err = evaluate_selection(&t, &Predicate::eq("ghost", 1i64), policy).unwrap_err();
+        let err = evaluate_selection(&t, &Predicate::eq("ghost", 1i64), &QueryCtx::new(policy))
+            .unwrap_err();
         assert_eq!(err, StorageError::UnknownColumn("ghost".into()));
     }
 }
@@ -176,6 +182,7 @@ fn engine_unknown_table_errs_under_both_policies() {
 // --- Loading-layer error paths: malformed CSV and typed cancellation ---
 
 mod loading_errors {
+    use exploration::exec::QueryCtx;
     use exploration::loading::{AdaptiveLoader, ErrorPolicy, RawCsv};
     use exploration::storage::{AggFunc, DataType, Field, Query, Schema, StorageError};
 
@@ -196,12 +203,14 @@ mod loading_errors {
     fn malformed_row_aborts_with_typed_error() {
         let mut loader = AdaptiveLoader::new(bad_csv());
         let q = Query::new().agg(AggFunc::Sum, "a");
-        match loader.query(&q) {
+        match loader.query(&q, &QueryCtx::none()) {
             Err(StorageError::Csv { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected CSV error, got {other:?}"),
         }
         // Clean columns still load on the same loader.
-        let ok = loader.query(&Query::new().agg(AggFunc::Sum, "b")).unwrap();
+        let ok = loader
+            .query(&Query::new().agg(AggFunc::Sum, "b"), &QueryCtx::none())
+            .unwrap();
         assert_eq!(ok.column("sum(b)").unwrap().as_f64().unwrap()[0], 11.0);
     }
 
@@ -213,11 +222,15 @@ mod loading_errors {
         let mut loader = AdaptiveLoader::new(bad_csv());
         loader.set_error_policy(ErrorPolicy::SkipRow);
         assert_eq!(loader.error_policy(), ErrorPolicy::SkipRow);
-        let got = loader.query(&Query::new().agg(AggFunc::Sum, "a")).unwrap();
+        let got = loader
+            .query(&Query::new().agg(AggFunc::Sum, "a"), &QueryCtx::none())
+            .unwrap();
         assert_eq!(got.column("sum(a)").unwrap().as_f64().unwrap()[0], 5.0);
         assert_eq!(loader.rows_skipped(), 1);
         // The dead row's `b` value (3.0) must not leak into views.
-        let b = loader.query(&Query::new().agg(AggFunc::Sum, "b")).unwrap();
+        let b = loader
+            .query(&Query::new().agg(AggFunc::Sum, "b"), &QueryCtx::none())
+            .unwrap();
         assert_eq!(b.column("sum(b)").unwrap().as_f64().unwrap()[0], 8.0);
         assert_eq!(loader.rows_skipped(), 1, "row is only skipped once");
     }
@@ -242,12 +255,14 @@ mod cancellation_errors {
             db.register("sales", t.clone());
             let token = CancelToken::new();
             token.cancel();
+            db.set_cancel_token(Some(token));
             assert_eq!(
-                db.query_cancellable("sales", &q, &token).unwrap_err(),
+                db.query("sales", &q).unwrap_err(),
                 StorageError::Cancelled,
                 "{policy:?}"
             );
             // The same engine still answers uncancelled queries.
+            db.set_cancel_token(None);
             db.query("sales", &q).unwrap();
         }
     }

@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use exploration::cracking::{ConcurrentCracker, CrackerColumn};
-use exploration::exec::{evaluate_selection, run_query, ExecPolicy};
+use exploration::exec::{evaluate_selection, run_query, ExecPolicy, QueryCtx};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{
     AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
@@ -167,8 +167,8 @@ proptest! {
         let limit = (limit_raw >= 100).then_some(limit_raw as usize);
         let q = build_query(pred, &groups, &aggs, order, limit);
         let t = big_table();
-        let serial = run_query(t, &q, ExecPolicy::Serial);
-        let parallel = run_query(t, &q, ExecPolicy::Parallel { workers: 4 });
+        let serial = run_query(t, &q, &QueryCtx::none());
+        let parallel = run_query(t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 }));
         match (serial, parallel) {
             (Ok(a), Ok(b)) => prop_assert!(
                 tables_bitwise_equal(&a, &b),
@@ -189,8 +189,8 @@ proptest! {
     #[test]
     fn random_selections_agree_across_policies(pred in pred_tree()) {
         let t = big_table();
-        let serial = evaluate_selection(t, &pred, ExecPolicy::Serial);
-        let parallel = evaluate_selection(t, &pred, ExecPolicy::Parallel { workers: 4 });
+        let serial = evaluate_selection(t, &pred, &QueryCtx::none());
+        let parallel = evaluate_selection(t, &pred, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 }));
         match (serial, parallel) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(&a, &b);

@@ -23,12 +23,14 @@ fn astronomer_session() {
     // 2. Interactive pan toward the region with prefetch.
     let mut session = PanSession::new(&grid, true);
     for i in 0..10i64 {
-        session.view(Viewport {
-            cx: (target.cx as i64 * i) / 10,
-            cy: (target.cy as i64 * i) / 10,
-            w: 3,
-            h: 3,
-        });
+        session
+            .view(Viewport {
+                cx: (target.cx as i64 * i) / 10,
+                cy: (target.cy as i64 * i) / 10,
+                w: 3,
+                h: 3,
+            })
+            .expect("view");
     }
     assert!(
         session.stats().hit_rate() > 0.3,
@@ -97,7 +99,8 @@ fn prefetch_baseline_comparison_holds_on_sessions() {
                 cy: 5,
                 w: 4,
                 h: 4,
-            });
+            })
+            .expect("view");
         }
         s.stats()
     };

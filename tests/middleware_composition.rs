@@ -65,7 +65,7 @@ fn grouped_online_aggregation_matches_exact_groups() {
         ..SalesConfig::default()
     });
     let mut g = GroupedOnlineAggregation::start(&t, "channel", "price", 0.95, 9).unwrap();
-    let snap = g.run_until(0.03, 2_000);
+    let snap = g.run_until(0.03, 2_000).unwrap();
     assert!(!snap.is_empty());
     // Every interval is within its bound and brackets the exact mean.
     let exact = Query::new()

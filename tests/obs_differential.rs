@@ -362,6 +362,184 @@ fn subsumption_traces_mark_the_refilter_serve() {
     assert!(!exec_spans(&trace).is_empty());
 }
 
+/// Every middleware entry point routed through the unified pipeline
+/// records a well-formed trace carrying its stage span directly under
+/// the root, and bumps its counter — `build_samples`, bounded/online
+/// AQP, SeeDB recommendation, synopsis estimates, diversified top-k,
+/// VizDeck proposals, and cube discovery.
+#[test]
+fn middleware_entry_points_record_wellformed_stage_spans() {
+    let t = small_table();
+    let mut db = engine(&t, true, false, ExecPolicy::Serial);
+    db.build_samples("sales", &[0.05, 0.2], &[("region", 50)], 7)
+        .unwrap();
+    db.build_synopses("sales", 32).unwrap();
+
+    // Each step: (context, run it, stage label, counter name).
+    let check = |db: &ExploreDb, context: &str, label: &str, counter: &str| {
+        let trace = last_trace(db);
+        assert!(trace.is_well_formed(), "{context}: {trace:?}");
+        let stages = trace.spans_labelled(label);
+        assert_eq!(stages.len(), 1, "{context}: one `{label}` span: {trace:?}");
+        assert_eq!(
+            stages[0].parent, ROOT_SPAN,
+            "{context}: stage spans hang off the root"
+        );
+        assert_eq!(trace.dropped_spans, 0, "{context}");
+        assert!(
+            db.metrics_snapshot().counter(counter) >= 1,
+            "{context}: counter `{counter}` incremented"
+        );
+    };
+
+    check(&db, "build_samples", "sample.build", "sample.builds");
+
+    db.approx_aggregate(
+        "sales",
+        &Predicate::True,
+        AggFunc::Avg,
+        "price",
+        exploration::aqp::Bound::RelativeError {
+            target: 0.05,
+            confidence: 0.95,
+        },
+    )
+    .unwrap();
+    let trace = last_trace(&db);
+    assert!(trace.is_well_formed(), "approx_aggregate: {trace:?}");
+    assert_eq!(
+        trace.spans_labelled("aqp").len(),
+        1,
+        "approx_aggregate records one aqp span: {trace:?}"
+    );
+
+    let mut oa = db
+        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+        .unwrap();
+    oa.step(200).unwrap();
+    check(&db, "online_aggregate", "aqp.online", "aqp.online_sessions");
+
+    db.recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        .unwrap();
+    check(
+        &db,
+        "recommend_views",
+        "viz.recommend",
+        "viz.recommendations",
+    );
+
+    db.estimate_range_count("sales", "price", 100.0, 600.0)
+        .unwrap();
+    check(
+        &db,
+        "estimate_range_count",
+        "synopsis.estimate",
+        "synopsis.estimates",
+    );
+
+    db.diversified_topk(
+        "sales",
+        &Predicate::True,
+        "price",
+        &["qty", "discount"],
+        5,
+        0.5,
+    )
+    .unwrap();
+    check(&db, "diversified_topk", "div.topk", "div.topk");
+
+    db.propose_charts("sales", 4).unwrap();
+    check(&db, "propose_charts", "viz.propose", "viz.proposals");
+
+    db.discover_cube("sales", "region", "product", "price")
+        .unwrap();
+    check(&db, "discover_cube", "cube.discover", "cube.discoveries");
+}
+
+/// The instrumentation on the middleware entry points is observation
+/// only: with the same seeds, `ObsPolicy::Off` and `ObsPolicy::On`
+/// produce identical answers for every entry point — and Off records
+/// no traces at all while doing so.
+#[test]
+fn middleware_obs_off_output_is_identical_to_on() {
+    let t = small_table();
+    let mut off = engine(&t, false, false, ExecPolicy::Serial);
+    let mut on = engine(&t, true, false, ExecPolicy::Serial);
+    for db in [&mut off, &mut on] {
+        db.build_samples("sales", &[0.05, 0.2], &[("region", 50)], 7)
+            .unwrap();
+        db.build_synopses("sales", 32).unwrap();
+    }
+    let bound = exploration::aqp::Bound::RelativeError {
+        target: 0.05,
+        confidence: 0.95,
+    };
+
+    // Debug renderings preserve float text exactly; equal strings mean
+    // the observed pipeline computed the same values.
+    let run = |db: &mut ExploreDb| -> Vec<String> {
+        let mut outs = Vec::new();
+        outs.push(format!(
+            "{:?}",
+            db.approx_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", bound)
+                .unwrap()
+        ));
+        let mut oa = db
+            .online_aggregate("sales", &Predicate::True, AggFunc::Sum, "price", 0.95, 11)
+            .unwrap();
+        outs.push(format!("{:?}", oa.step(300).unwrap()));
+        outs.push(format!(
+            "{:?}",
+            db.recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+                .unwrap()
+        ));
+        outs.push(format!(
+            "{:?}",
+            db.estimate_range_count("sales", "price", 100.0, 600.0)
+                .unwrap()
+        ));
+        outs.push(format!(
+            "{:?}",
+            db.estimate_distinct("sales", "region").unwrap()
+        ));
+        outs.push(format!(
+            "{:?}",
+            db.diversified_topk(
+                "sales",
+                &Predicate::True,
+                "price",
+                &["qty", "discount"],
+                5,
+                0.5
+            )
+            .unwrap()
+        ));
+        outs.push(format!("{:?}", db.propose_charts("sales", 4).unwrap()));
+        outs.push(format!(
+            "{:?}",
+            db.discover_cube("sales", "region", "product", "price")
+                .unwrap()
+                .cells()
+        ));
+        outs
+    };
+
+    let off_outs = run(&mut off);
+    let on_outs = run(&mut on);
+    assert_eq!(off_outs.len(), on_outs.len());
+    for (i, (a, b)) in off_outs.iter().zip(&on_outs).enumerate() {
+        assert_eq!(a, b, "middleware output {i} diverged between Off and On");
+    }
+    assert!(
+        off.recent_traces().is_empty(),
+        "Off must record no middleware traces"
+    );
+    assert!(
+        !on.recent_traces().is_empty(),
+        "On must have recorded middleware traces"
+    );
+}
+
 #[test]
 fn off_records_nothing_and_ring_is_bounded() {
     let t = small_table();

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use exploration::cracking::ConcurrentCracker;
-use exploration::exec::{evaluate_selection, run_query, ExecPolicy};
+use exploration::exec::{evaluate_selection, run_query, ExecPolicy, QueryCtx};
 use exploration::storage::gen::{sales_table, uniform_i64, SalesConfig};
 use exploration::storage::{
     AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
@@ -71,8 +71,8 @@ fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
 /// Run a query under serial and 4-worker-parallel policies and require
 /// bit-identical output.
 fn assert_policies_agree(t: &Table, q: &Query, context: &str) {
-    let serial = run_query(t, q, ExecPolicy::Serial).unwrap();
-    let parallel = run_query(t, q, ExecPolicy::Parallel { workers: 4 }).unwrap();
+    let serial = run_query(t, q, &QueryCtx::none()).unwrap();
+    let parallel = run_query(t, q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap();
     assert_bitwise_eq(&serial, &parallel, context);
 }
 
@@ -198,9 +198,9 @@ fn worker_counts_do_not_change_results() {
         .group("region")
         .agg(AggFunc::Avg, "price")
         .order("avg(price)", SortOrder::Asc);
-    let reference = run_query(&t, &q, ExecPolicy::Serial).unwrap();
+    let reference = run_query(&t, &q, &QueryCtx::none()).unwrap();
     for workers in [0, 1, 2, 3, 4, 8, 64] {
-        let got = run_query(&t, &q, ExecPolicy::Parallel { workers }).unwrap();
+        let got = run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers })).unwrap();
         assert_bitwise_eq(&reference, &got, &format!("workers = {workers}"));
     }
 }
@@ -215,8 +215,9 @@ fn selection_vectors_are_identical_across_policies() {
         Predicate::cmp("qty", CmpOp::Ge, 5.0).not(),
     ];
     for p in &preds {
-        let serial = evaluate_selection(&t, p, ExecPolicy::Serial).unwrap();
-        let parallel = evaluate_selection(&t, p, ExecPolicy::Parallel { workers: 4 }).unwrap();
+        let serial = evaluate_selection(&t, p, &QueryCtx::none()).unwrap();
+        let parallel =
+            evaluate_selection(&t, p, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap();
         assert_eq!(serial, parallel);
         // And the morsel-wise serial path matches the original
         // single-pass evaluator exactly.
@@ -234,7 +235,8 @@ fn parallel_equals_reference_executor_for_scans() {
             continue;
         }
         let reference = q.run(&t).unwrap();
-        let parallel = run_query(&t, &q, ExecPolicy::Parallel { workers: 4 }).unwrap();
+        let parallel =
+            run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap();
         assert_bitwise_eq(&reference, &parallel, name);
     }
 }
@@ -248,7 +250,7 @@ fn stress_concurrent_sessions_hammer_the_pool() {
         .collect();
     let references: Vec<Table> = shapes
         .iter()
-        .map(|(_, q)| run_query(&t, q, ExecPolicy::Serial).unwrap())
+        .map(|(_, q)| run_query(&t, q, &QueryCtx::none()).unwrap())
         .collect();
     let references = Arc::new(references);
     let shapes = Arc::new(shapes);
@@ -262,7 +264,8 @@ fn stress_concurrent_sessions_hammer_the_pool() {
                 for round in 0..6 {
                     let i = (session + round) % shapes.len();
                     let (name, q) = &shapes[i];
-                    let got = run_query(&t, q, ExecPolicy::Parallel { workers: 4 }).unwrap();
+                    let got = run_query(&t, q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 }))
+                        .unwrap();
                     assert_bitwise_eq(
                         &references[i],
                         &got,
