@@ -8,7 +8,9 @@
 #
 # Knobs: BENCH_SAMPLES (default 3), BENCH_GATE=warn to report
 # regressions without failing, BENCH_GATE_THRESHOLD (default 1.5),
-# CHAOS_ITERS (default 200 seeded fault schedules; raise for soak runs).
+# CHAOS_ITERS (default 200 seeded fault schedules; raise for soak runs),
+# SPEEDUP_ITERS (best-of-N sampling in tests/parallel_speedup.rs; its
+# wall-clock assertion only arms on hosts with >= 4 cores).
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -250,6 +250,34 @@ fn bench_exec_parallel_scan(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Speedup ratio as a gate-checkable value record: serial / parallel-4
+    // wall time × 100, higher is better. On a single-core host the
+    // profitability guard routes both through the serial path, so the
+    // ratio sits at parity (~100); on a ≥4-core host it must clear well
+    // above. Recorded manually because timing facts, not samples, are
+    // what the bench gate compares.
+    let samples = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize)
+        .max(2);
+    let best = |policy: ExecPolicy| {
+        (0..samples)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                black_box(run_query(&t, &q, &QueryCtx::new(policy)).expect("query"));
+                start.elapsed().as_nanos()
+            })
+            .min()
+            .unwrap()
+    };
+    let serial_ns = best(ExecPolicy::Serial);
+    let parallel_ns = best(ExecPolicy::Parallel { workers: 4 });
+    let ratio_pct = 100.0 * serial_ns as f64 / parallel_ns.max(1) as f64;
+    let mut speedup = c.benchmark_group("exec_speedup");
+    speedup.record_value("parallel_4_vs_serial", ratio_pct, "percent");
+    speedup.finish();
 }
 
 /// Observability overhead: the same engine query with tracing off vs

@@ -93,9 +93,18 @@ pub fn cached_query(
     let cost_ns = started.elapsed().as_nanos();
 
     let result = Arc::new(result);
-    let reuse = build_artifacts(base, query, sel, &result);
+    // Cost-aware admission: results too cheap to be worth caching skip
+    // artifact construction and insertion entirely — the cold path pays
+    // (almost) nothing for them, which is what keeps `CachePolicy::On`
+    // tracking cache-off on workloads that never re-ask a query.
     let admit_start = ctx.trace.map(|t| t.now_ns());
-    let accepted = cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch);
+    let accepted = if cache.should_admit(cost_ns) {
+        let reuse = build_artifacts(base, query, sel, &result, cost_ns);
+        cache.insert(fingerprint, Arc::clone(&result), reuse, cost_ns, epoch)
+    } else {
+        cache.note_admit_rejected();
+        false
+    };
     record_admit(ctx, admit_start, accepted);
     Ok((*result).clone())
 }
@@ -177,12 +186,22 @@ fn try_subsumption(
 
 /// Reuse artifacts for a freshly computed result: only when the
 /// predicate normalizes exactly. An identity scan's result *is* its
-/// subset, so the `Arc` is shared instead of re-gathered.
+/// subset, so the `Arc` is shared instead of re-gathered. For any other
+/// shape the subset must be gathered, which is the expensive part of
+/// the cold path — so it's gated on benefit *before* the gather: the
+/// selection must narrow the base table by at least a 1/8th (a subset
+/// covering nearly every base row makes a re-filter scan about as many
+/// rows as the base table would — all cost, no savings), and the
+/// estimated subset bytes must not exceed the observed compute cost in
+/// ns (≈ 1 byte/ns materialization: an artifact that costs more to
+/// build than the computation it might save is a bad trade). Entries
+/// without artifacts still serve exact hits.
 fn build_artifacts(
     base: &Table,
     query: &Query,
     sel: Vec<u32>,
     result: &Arc<Table>,
+    cost_ns: u128,
 ) -> Option<ReuseArtifacts> {
     let region = Region::exact(&query.predicate)?;
     let is_identity_scan = query.aggregates.is_empty()
@@ -192,6 +211,13 @@ fn build_artifacts(
     let subset = if is_identity_scan {
         Arc::clone(result)
     } else {
+        if sel.len() * 8 >= base.num_rows() * 7 {
+            return None;
+        }
+        let est_bytes = estimated_row_bytes(base).saturating_mul(sel.len());
+        if est_bytes as u128 > cost_ns {
+            return None;
+        }
         Arc::new(base.gather(&sel))
     };
     Some(ReuseArtifacts {
@@ -199,4 +225,27 @@ fn build_artifacts(
         sel: Arc::new(sel),
         subset,
     })
+}
+
+/// Cheap per-row byte estimate for gather gating: exact for numeric
+/// columns, and string columns extrapolate from the first rows instead
+/// of walking every string — `table_bytes` is exact but O(rows), far
+/// too slow to pay on every admission decision.
+fn estimated_row_bytes(table: &Table) -> usize {
+    use explore_storage::Column;
+    let mut bytes = 0usize;
+    for field in table.schema().fields() {
+        let Ok(col) = table.column(field.name()) else {
+            continue;
+        };
+        bytes += match col {
+            Column::Int64(_) | Column::Float64(_) => 8,
+            Column::Utf8(v) => {
+                let sample = &v[..v.len().min(64)];
+                let sampled: usize = sample.iter().map(|s| s.len() + 24).sum();
+                sampled / sample.len().max(1)
+            }
+        };
+    }
+    bytes
 }

@@ -46,6 +46,15 @@ pub struct CacheConfig {
     /// Serve subsumption hits (contained range queries re-filtered from
     /// cached supersets). Exact hits are always served.
     pub subsumption: bool,
+    /// Cost-aware admission floor: a freshly computed result is only
+    /// admitted when its observed compute cost is at least this many
+    /// nanoseconds. Caching a result that was nearly free buys nothing
+    /// on a future hit but still pays insertion, artifact, and eviction
+    /// overhead on the cold path — the reason `CachePolicy::On` used to
+    /// lag cache-off on cold workloads. Subsumption re-admissions are
+    /// exempt: their cost (the re-filter) is cheap by design, but they
+    /// keep refinement chains alive. `0` admits everything.
+    pub admit_min_cost_ns: u64,
 }
 
 impl Default for CacheConfig {
@@ -53,6 +62,7 @@ impl Default for CacheConfig {
         CacheConfig {
             byte_budget: 64 << 20,
             subsumption: true,
+            admit_min_cost_ns: 2_000,
         }
     }
 }
@@ -109,6 +119,8 @@ pub struct CacheStats {
     /// Estimated compute saved by hits (ns): full cost for exact hits,
     /// cost minus the re-filter for subsumption hits.
     pub saved_cost_ns: u128,
+    /// Results refused by cost-aware admission (too cheap to cache).
+    pub admit_rejected: u64,
 }
 
 impl CacheStats {
@@ -198,6 +210,7 @@ struct Inner {
     evictions: u64,
     invalidations: u64,
     saved_cost_ns: u128,
+    admit_rejected: u64,
     /// Mirror of the counters into an observability registry, when one
     /// is attached via [`ResultCache::set_metrics`].
     metrics: Option<Arc<MetricsRegistry>>,
@@ -458,6 +471,20 @@ impl ResultCache {
         inner.bump("cache.misses");
     }
 
+    /// Cost-aware admission decision: should a freshly computed result
+    /// with observed compute cost `cost_ns` be admitted? Deterministic
+    /// in (config, cost), so off/cold/warm runs decide identically.
+    pub fn should_admit(&self, cost_ns: u128) -> bool {
+        cost_ns >= u128::from(self.inner.lock().config.admit_min_cost_ns)
+    }
+
+    /// Record a result refused by [`ResultCache::should_admit`].
+    pub fn note_admit_rejected(&self) {
+        let mut inner = self.inner.lock();
+        inner.admit_rejected += 1;
+        inner.bump("cache.admit_rejected");
+    }
+
     /// Admit a computed result. Refused (returns `false`) when the
     /// table's epoch moved since `epoch_at_compute` (a mutation raced
     /// the computation) or when the result alone exceeds half the byte
@@ -533,6 +560,7 @@ impl ResultCache {
             entries: inner.entries.len(),
             bytes: inner.bytes,
             saved_cost_ns: inner.saved_cost_ns,
+            admit_rejected: inner.admit_rejected,
         }
     }
 
@@ -633,6 +661,7 @@ mod tests {
         let cache = ResultCache::new(CacheConfig {
             byte_budget: budget,
             subsumption: true,
+            ..CacheConfig::default()
         });
         // Same size, different measured costs → "cheap" has the lowest
         // benefit density.
@@ -660,6 +689,7 @@ mod tests {
         let cache = ResultCache::new(CacheConfig {
             byte_budget: small * 2 + 1,
             subsumption: true,
+            ..CacheConfig::default()
         });
         // Result bigger than budget/2 is refused outright.
         assert!(!cache.insert(fp("big"), tiny(&[0.0; 64]), None, 10, 0));
@@ -772,6 +802,7 @@ mod tests {
         cache.set_config(CacheConfig {
             byte_budget: 123,
             subsumption: false,
+            ..CacheConfig::default()
         });
         assert_eq!(cache.config().byte_budget, 123);
         assert!(!cache.subsumption_enabled());

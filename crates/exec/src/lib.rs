@@ -47,5 +47,6 @@ pub use ctx::QueryCtx;
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{
-    evaluate_selection, morsel_count, morsel_range, run_query, run_query_on_selection,
+    evaluate_selection, morsel_count, morsel_range, morsel_rows_for, run_query,
+    run_query_on_selection, MAX_MORSELS,
 };

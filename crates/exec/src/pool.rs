@@ -47,10 +47,11 @@ struct Job {
     /// Participants actually working this job; helper threads with an id
     /// at or above this sit the job out.
     participants: usize,
-    /// The task, lifetime-erased. Safety: the submitting caller does not
-    /// return from [`ExecPool::run`] until every participant that joined
-    /// the job has detached, so the pointee outlives all dereferences.
-    task: *const (dyn Fn(usize) + Sync),
+    /// The task, lifetime-erased, called as `task(worker, morsel)`.
+    /// Safety: the submitting caller does not return from
+    /// [`ExecPool::run`] until every participant that joined the job has
+    /// detached, so the pointee outlives all dereferences.
+    task: *const (dyn Fn(usize, usize) + Sync),
     /// Set on the first panic; participants stop claiming morsels.
     panicked: AtomicBool,
     /// First caught panic payload, re-thrown by the caller.
@@ -128,7 +129,7 @@ impl Job {
             };
             // Safety: see the field comment on `task`.
             let task = unsafe { &*self.task };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(m))) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(me, m))) {
                 self.panicked.store(true, Ordering::Relaxed);
                 let mut slot = self.payload.lock().unwrap_or_else(PoisonError::into_inner);
                 slot.get_or_insert(payload);
@@ -234,13 +235,28 @@ impl ExecPool {
         n_morsels: usize,
         task: &(dyn Fn(usize) + Sync),
     ) -> usize {
+        self.run_counted_indexed(workers, n_morsels, &|_worker, m| task(m))
+    }
+
+    /// Like [`ExecPool::run_counted`], but the task also receives the
+    /// participant index (`0..participants`) that runs it. A participant
+    /// index is stable for the duration of the job and exclusive to one
+    /// thread, which lets callers keep per-worker state (e.g. aggregation
+    /// scratch) without synchronization. Inline fallbacks run everything
+    /// as participant 0.
+    pub fn run_counted_indexed(
+        &self,
+        workers: usize,
+        n_morsels: usize,
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> usize {
         if n_morsels == 0 {
             return 0;
         }
         let participants = workers.min(self.helpers.len() + 1).min(n_morsels).max(1);
         if participants == 1 {
             for m in 0..n_morsels {
-                task(m);
+                task(0, m);
             }
             return 1;
         }
@@ -251,7 +267,7 @@ impl ExecPool {
                 // Contended or poisoned: run inline instead of queueing.
                 Err(std::sync::TryLockError::WouldBlock) => {
                     for m in 0..n_morsels {
-                        task(m);
+                        task(0, m);
                     }
                     return 1;
                 }
@@ -260,7 +276,7 @@ impl ExecPool {
             if st.job.is_some() {
                 drop(st);
                 for m in 0..n_morsels {
-                    task(m);
+                    task(0, m);
                 }
                 return 1;
             }
@@ -337,12 +353,12 @@ impl Drop for ExecPool {
 /// The caller must keep the pointee alive — and must not return from the
 /// submission — until every participant has detached from the job.
 unsafe fn erase_task_lifetime<'a>(
-    task: &'a (dyn Fn(usize) + Sync),
-) -> *const (dyn Fn(usize) + Sync + 'static) {
+    task: &'a (dyn Fn(usize, usize) + Sync),
+) -> *const (dyn Fn(usize, usize) + Sync + 'static) {
     unsafe {
         std::mem::transmute::<
-            *const (dyn Fn(usize) + Sync + 'a),
-            *const (dyn Fn(usize) + Sync + 'static),
+            *const (dyn Fn(usize, usize) + Sync + 'a),
+            *const (dyn Fn(usize, usize) + Sync + 'static),
         >(task)
     }
 }
@@ -485,9 +501,38 @@ mod tests {
     }
 
     #[test]
+    fn worker_indexes_are_exclusive_per_thread() {
+        let pool = ExecPool::new(3);
+        // Each worker index must map to exactly one thread for the whole
+        // job — that exclusivity is what makes per-worker state sound.
+        let owners: Vec<Mutex<Option<std::thread::ThreadId>>> =
+            (0..4).map(|_| Mutex::new(None)).collect();
+        let used = pool.run_counted_indexed(4, 512, &|w, _m| {
+            let mut owner = owners[w].lock().unwrap_or_else(PoisonError::into_inner);
+            let me = std::thread::current().id();
+            match *owner {
+                None => *owner = Some(me),
+                Some(prev) => assert_eq!(prev, me, "worker {w} ran on two threads"),
+            }
+        });
+        let claimed = owners
+            .iter()
+            .filter(|o| o.lock().unwrap_or_else(PoisonError::into_inner).is_some())
+            .count();
+        assert!(claimed <= used, "claimed {claimed} indexes, used {used}");
+        // Inline fallback (zero helpers) runs everything as worker 0.
+        let solo = ExecPool::new(0);
+        let max_w = AtomicUsize::new(0);
+        solo.run_counted_indexed(4, 16, &|w, _| {
+            max_w.fetch_max(w, Ordering::Relaxed);
+        });
+        assert_eq!(max_w.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn steal_protocol_covers_range() {
         // Drive pop/steal directly to pin down the deque arithmetic.
-        let noop: &'static (dyn Fn(usize) + Sync) = &|_| {};
+        let noop: &'static (dyn Fn(usize, usize) + Sync) = &|_, _| {};
         let job = Job {
             ranges: vec![AtomicU64::new(pack(0, 10)), AtomicU64::new(pack(0, 0))],
             participants: 2,

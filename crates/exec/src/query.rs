@@ -1,10 +1,14 @@
 //! Morsel-driven execution of [`Query`] plans.
 //!
-//! A table is split into fixed [`MORSEL_ROWS`]-row morsels at the same
-//! offsets regardless of policy. Each morsel independently evaluates the
-//! predicate over its row window and either gathers its matching rows
-//! (scan queries) or folds them into a [`GroupedAggState`] partial
-//! (aggregate queries). Partial results are then merged **in morsel
+//! A table is split into morsels at the same offsets regardless of
+//! policy: [`MORSEL_ROWS`] rows each up to [`MAX_MORSELS`] units, then
+//! adaptively coarser (see [`morsel_rows_for`]) so huge scans stay a
+//! handful of work units. Each morsel independently evaluates the
+//! predicate over its row window (vectorized, see
+//! `Predicate::evaluate_range`) and either gathers its matching rows
+//! (scan queries) or folds them into a per-worker aggregation state
+//! that emits one partial batch per morsel (aggregate queries; see
+//! `run_agg_morsels`). Partial results are then merged **in morsel
 //! order**, so [`ExecPolicy::Serial`] and [`ExecPolicy::Parallel`]
 //! produce bit-identical tables by construction: the only difference is
 //! which thread computes each morsel, never what is computed or the
@@ -23,6 +27,7 @@
 //! pairwise versus one long accumulation). Between the two policies the
 //! results are identical down to the bit.
 
+use std::borrow::Cow;
 use std::cell::UnsafeCell;
 
 use explore_obs::{SpanKind, ROOT_SPAN};
@@ -32,19 +37,40 @@ use crate::ctx::QueryCtx;
 use crate::policy::ExecPolicy;
 use crate::pool::global_pool;
 
-use explore_storage::GroupedAggState;
+use explore_storage::{Aggregate, GroupedAggState, MorselAggBatch, WorkerAggState};
+
+/// Cap on how many morsels one fan-out produces. Above
+/// `MAX_MORSELS × MORSEL_ROWS` rows, morsels grow (in whole multiples
+/// of [`MORSEL_ROWS`]) instead of multiplying, so a huge scan stays a
+/// handful of coarse work units rather than hundreds of tiny tasks
+/// whose per-morsel overhead (dispatch, span, partial merge) eats the
+/// parallel win.
+pub const MAX_MORSELS: usize = 64;
+
+/// Adaptive morsel size for a table of `n_rows` rows: the fixed
+/// [`MORSEL_ROWS`] granularity until the table would decompose into
+/// more than [`MAX_MORSELS`] units, then scaled up so it doesn't.
+/// The size depends *only* on the row count — never on the policy or
+/// worker count — because serial and parallel execution must share the
+/// decomposition for bit-identity, and selection replay must cut at
+/// the same offsets.
+pub fn morsel_rows_for(n_rows: usize) -> usize {
+    let units = n_rows.div_ceil(MORSEL_ROWS).max(1);
+    MORSEL_ROWS * units.div_ceil(MAX_MORSELS)
+}
 
 /// The half-open row window of morsel `m` in a table of `n_rows` rows.
 pub fn morsel_range(m: usize, n_rows: usize) -> std::ops::Range<usize> {
-    let start = m * MORSEL_ROWS;
-    start..n_rows.min(start + MORSEL_ROWS)
+    let rows = morsel_rows_for(n_rows);
+    let start = m * rows;
+    start..n_rows.min(start + rows)
 }
 
 /// How many morsels a table of `n_rows` rows decomposes into. Always at
 /// least one, so validation (unknown columns, type mismatches) runs even
 /// on empty tables and both policies surface identical errors.
 pub fn morsel_count(n_rows: usize) -> usize {
-    n_rows.div_ceil(MORSEL_ROWS).max(1)
+    n_rows.div_ceil(morsel_rows_for(n_rows)).max(1)
 }
 
 /// Evaluate `predicate` over the whole table under `ctx`, returning
@@ -102,22 +128,22 @@ pub fn run_query(table: &Table, query: &Query, ctx: &QueryCtx) -> Result<Table> 
         })?;
         query.apply_order_limit(out)
     } else {
-        // Aggregate query: one partial state per morsel, merged in
-        // morsel order (group output order is first-appearance order).
-        let partials = run_morsels(ctx, n_morsels, "aggregate", |m| {
-            let sel = query.predicate.evaluate_range(table, morsel_range(m, n))?;
-            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-            state.update(&sel);
-            Ok(state)
-        })?;
-        let merged = merge_traced(ctx, || {
-            let mut iter = partials.into_iter();
-            let mut acc = iter.next().expect("at least one morsel");
-            for partial in iter {
-                acc.merge(partial);
-            }
-            acc.finish()
-        })?;
+        // Aggregate query: per-worker interner state, one partial batch
+        // per morsel, absorbed in morsel order (group output order is
+        // first-appearance order).
+        let merged = run_agg_morsels(
+            ctx,
+            table,
+            &query.group_by,
+            &query.aggregates,
+            n_morsels,
+            "aggregate",
+            |m| {
+                Ok(Cow::Owned(
+                    query.predicate.evaluate_range(table, morsel_range(m, n))?,
+                ))
+            },
+        )?;
         query.apply_order_limit(merged)
     }
 }
@@ -146,8 +172,9 @@ pub fn run_query_on_selection(
     let n_morsels = morsel_count(n);
     // `sel` is ascending, so each morsel's share is one contiguous
     // slice; cut at the same row offsets `run_query` scans at.
+    let rows_per_morsel = morsel_rows_for(n);
     let bounds: Vec<usize> = (0..=n_morsels)
-        .map(|m| sel.partition_point(|&row| (row as usize) < m * MORSEL_ROWS))
+        .map(|m| sel.partition_point(|&row| (row as usize) < m * rows_per_morsel))
         .collect();
     let slice = |m: usize| &sel[bounds[m]..bounds[m + 1]];
 
@@ -171,19 +198,15 @@ pub fn run_query_on_selection(
         })?;
         query.apply_order_limit(out)
     } else {
-        let partials = run_morsels(ctx, n_morsels, "replay", |m| {
-            let mut state = GroupedAggState::new(table, &query.group_by, &query.aggregates)?;
-            state.update(slice(m));
-            Ok(state)
-        })?;
-        let merged = merge_traced(ctx, || {
-            let mut iter = partials.into_iter();
-            let mut acc = iter.next().expect("at least one morsel");
-            for partial in iter {
-                acc.merge(partial);
-            }
-            acc.finish()
-        })?;
+        let merged = run_agg_morsels(
+            ctx,
+            table,
+            &query.group_by,
+            &query.aggregates,
+            n_morsels,
+            "replay",
+            |m| Ok(Cow::Borrowed(slice(m))),
+        )?;
         query.apply_order_limit(merged)
     }
 }
@@ -265,7 +288,7 @@ where
             // unavailable and run the batch inline.
             serial_fallback()
         }
-        ExecPolicy::Parallel { workers } => {
+        ExecPolicy::Parallel { workers } if parallel_profitable(workers, n_morsels) => {
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let slots = SlotVec::new(n_morsels);
                 let participants = global_pool().run_counted(workers.max(1), n_morsels, &|m| {
@@ -302,6 +325,17 @@ where
                 Err(_) => serial_fallback(),
             }
         }
+        ExecPolicy::Parallel { .. } => {
+            // Serial fast-path: the pool would run this inline on the
+            // calling thread anyway (one effective worker or a tiny
+            // job), so skip dispatch entirely. Fault semantics match
+            // the pooled path: injected morsel panics still fire and
+            // still degrade to the non-injecting serial fallback.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_serial(true))) {
+                Ok(result) => (result, 1usize),
+                Err(_) => serial_fallback(),
+            }
+        }
     };
     if let Some((t, exec_id, start)) = span {
         t.record_as(
@@ -317,6 +351,248 @@ where
         );
     }
     result
+}
+
+/// Would a parallel fan-out actually dispatch to more than one thread?
+/// Mirrors the pool's own participant clamp; when the answer is no, the
+/// executor skips pool submission entirely (the serial fast-path).
+fn parallel_profitable(workers: usize, n_morsels: usize) -> bool {
+    workers
+        .max(1)
+        .min(global_pool().helper_count() + 1)
+        .min(n_morsels)
+        > 1
+}
+
+/// One pool participant's aggregation state plus its span bookkeeping.
+struct AggWorker<'t> {
+    state: WorkerAggState<'t>,
+    /// `(first_start_ns, last_end_ns)` of this worker's morsels, when
+    /// tracing.
+    window: Option<(u64, u64)>,
+    morsels: u32,
+}
+
+/// Per-participant state slots for one aggregation fan-out.
+struct WorkerSlots<'t>(Vec<UnsafeCell<Option<AggWorker<'t>>>>);
+
+// Safety: the pool guarantees each participant index is exclusive to
+// one thread for the job's duration, so distinct slots are only ever
+// touched by distinct threads; the pool's completion barrier
+// happens-before the collector reads them.
+unsafe impl Sync for WorkerSlots<'_> {}
+
+impl<'t> WorkerSlots<'t> {
+    fn new(cap: usize) -> Self {
+        WorkerSlots((0..cap).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// Only participant `w` may call this for slot `w`, and only while
+    /// the job runs (or after its completion barrier).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, w: usize) -> &mut Option<AggWorker<'t>> {
+        unsafe { &mut *self.0[w].get() }
+    }
+
+    fn into_inner(self) -> Vec<Option<AggWorker<'t>>> {
+        self.0.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// Aggregate-specific fan-out: like [`run_morsels`], but each pool
+/// participant keeps one [`WorkerAggState`] across every morsel it
+/// runs (the group-key interner amortizes across stolen morsels instead
+/// of being rebuilt per morsel), and each morsel yields a lightweight
+/// [`MorselAggBatch`] partial. Batches are absorbed into the final
+/// state **in morsel order** — a batch's content depends only on its
+/// morsel's rows, never on the worker that ran it, so the result is
+/// bit-identical across policies, worker counts, and steal schedules.
+///
+/// `sel_for(m)` produces morsel `m`'s selection (predicate evaluation
+/// for direct runs, a precomputed slice for cache replays); it runs
+/// before aggregate-column validation, preserving the error precedence
+/// of the historical per-morsel path. Cancellation, fault injection
+/// (`exec.spawn`/`exec.morsel` with serial fallback from fresh state),
+/// and span recording all match [`run_morsels`]; additionally each
+/// participant that ran at least one morsel gets a
+/// [`SpanKind::Worker`] child under the exec span, and the merge bumps
+/// the `exec.worker_merge` counter by the number of worker states
+/// merged.
+fn run_agg_morsels<'t, 's>(
+    ctx: &QueryCtx,
+    table: &'t Table,
+    group_by: &'t [String],
+    aggs: &'t [Aggregate],
+    n_morsels: usize,
+    stage: &'static str,
+    sel_for: impl Fn(usize) -> Result<Cow<'s, [u32]>> + Sync,
+) -> Result<Table> {
+    let span = ctx.trace.map(|t| (t, t.alloc_id(), t.now_ns()));
+    // `inject` is true only for first attempts; the serial fallback must
+    // not re-trigger the fault it is recovering from.
+    let run_one = |slots: &WorkerSlots<'t>,
+                   w: usize,
+                   m: usize,
+                   inject: bool|
+     -> Result<(u32, MorselAggBatch)> {
+        ctx.check_cancel()?;
+        if inject && ctx.fire("exec.morsel") {
+            panic!("faultsim: injected morsel panic");
+        }
+        // Safety: the pool hands index `w` to exactly one thread.
+        let cell = unsafe { slots.get(w) };
+        let work = |cell: &mut Option<AggWorker<'t>>| -> Result<MorselAggBatch> {
+            // Predicate errors must win over aggregate-validation errors
+            // within a morsel, as in the historical path.
+            let sel = sel_for(m)?;
+            if cell.is_none() {
+                *cell = Some(AggWorker {
+                    state: WorkerAggState::new(table, group_by, aggs)?,
+                    window: None,
+                    morsels: 0,
+                });
+            }
+            let worker = cell.as_mut().expect("initialized above");
+            let batch = worker.state.update_morsel(&sel);
+            worker.morsels += 1;
+            Ok(batch)
+        };
+        match span {
+            Some((t, exec_id, _)) => {
+                let start = t.now_ns();
+                let out = work(cell);
+                let end = t.now_ns();
+                t.record(exec_id, SpanKind::Morsel { index: m as u32 }, start, end);
+                if let Some(worker) = cell.as_mut() {
+                    let first = worker.window.map_or(start, |(s, _)| s);
+                    worker.window = Some((first, end));
+                }
+                out.map(|batch| (w as u32, batch))
+            }
+            None => work(cell).map(|batch| (w as u32, batch)),
+        }
+    };
+    type Collected = Result<Vec<(u32, MorselAggBatch)>>;
+    let run_serial = |inject: bool| -> (WorkerSlots<'t>, Collected) {
+        let slots = WorkerSlots::new(1);
+        let result = (0..n_morsels)
+            .map(|m| run_one(&slots, 0, m, inject))
+            .collect();
+        (slots, result)
+    };
+    let serial_fallback = || {
+        ctx.note("fault.exec.serial_fallback");
+        if let Some((t, exec_id, _)) = span {
+            let now = t.now_ns();
+            t.record(
+                exec_id,
+                SpanKind::Fault {
+                    site: "exec.serial_fallback",
+                },
+                now,
+                now,
+            );
+        }
+        // Fresh state: nothing interned during an aborted pooled attempt
+        // may leak into the serial re-run.
+        let (slots, result) = run_serial(false);
+        (slots, result, 1usize)
+    };
+    let (worker_slots, collected, participants) = match ctx.exec {
+        ExecPolicy::Serial => {
+            let (slots, result) = run_serial(false);
+            (slots, result, 1usize)
+        }
+        ExecPolicy::Parallel { .. } if ctx.fire("exec.spawn") => serial_fallback(),
+        ExecPolicy::Parallel { workers } if parallel_profitable(workers, n_morsels) => {
+            let cap = workers
+                .max(1)
+                .min(global_pool().helper_count() + 1)
+                .min(n_morsels);
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let slots = WorkerSlots::new(cap);
+                let batches: SlotVec<Result<(u32, MorselAggBatch)>> = SlotVec::new(n_morsels);
+                let participants =
+                    global_pool().run_counted_indexed(workers.max(1), n_morsels, &|w, m| {
+                        // Safety: each morsel index runs exactly once.
+                        unsafe { batches.set(m, run_one(&slots, w, m, true)) };
+                    });
+                (slots, batches, participants)
+            }));
+            match attempt {
+                Ok((slots, batches, participants)) => {
+                    let mut out = Vec::with_capacity(n_morsels);
+                    let mut result = Ok(());
+                    for slot in batches.into_inner() {
+                        match slot {
+                            Some(Ok(v)) => out.push(v),
+                            Some(Err(e)) => {
+                                result = Err(e);
+                                break;
+                            }
+                            None => {
+                                result =
+                                    Err(StorageError::Internal("pool skipped a morsel".into()));
+                                break;
+                            }
+                        }
+                    }
+                    (slots, result.map(|()| out), participants.max(1))
+                }
+                Err(_) => serial_fallback(),
+            }
+        }
+        ExecPolicy::Parallel { .. } => {
+            // Serial fast-path below the profitability threshold; fault
+            // semantics match the pooled path (see `run_morsels`).
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_serial(true))) {
+                Ok((slots, result)) => (slots, result, 1usize),
+                Err(_) => serial_fallback(),
+            }
+        }
+    };
+    let workers = worker_slots.into_inner();
+    if let Some((t, exec_id, start)) = span {
+        for (w, worker) in workers.iter().enumerate() {
+            let Some(worker) = worker else { continue };
+            if let Some((first, last)) = worker.window {
+                t.record(
+                    exec_id,
+                    SpanKind::Worker {
+                        index: w as u32,
+                        morsels: worker.morsels,
+                    },
+                    first,
+                    last,
+                );
+            }
+        }
+        t.record_as(
+            exec_id,
+            ROOT_SPAN,
+            SpanKind::Exec {
+                stage,
+                participants: participants as u32,
+                morsels: n_morsels as u32,
+            },
+            start,
+            t.now_ns(),
+        );
+    }
+    let batches = collected?;
+    if let Some((t, _, _)) = span {
+        let merged_states = workers.iter().flatten().filter(|c| c.morsels > 0).count();
+        t.metrics().inc("exec.worker_merge", merged_states as u64);
+    }
+    merge_traced(ctx, || {
+        let mut acc = GroupedAggState::new(table, group_by, aggs)?;
+        for (w, batch) in &batches {
+            let worker = workers[*w as usize].as_ref().expect("batch has a worker");
+            acc.absorb_batch(&worker.state, batch);
+        }
+        acc.finish()
+    })
 }
 
 /// Run the morsel-order merge step `f`, wrapped in a [`SpanKind::Merge`]
@@ -402,6 +678,38 @@ mod tests {
             morsel_range(1, MORSEL_ROWS + 5),
             MORSEL_ROWS..MORSEL_ROWS + 5
         );
+    }
+
+    #[test]
+    fn adaptive_morsel_sizing() {
+        // Fixed granularity up to MAX_MORSELS units…
+        assert_eq!(morsel_rows_for(0), MORSEL_ROWS);
+        assert_eq!(morsel_rows_for(MORSEL_ROWS * MAX_MORSELS), MORSEL_ROWS);
+        assert_eq!(morsel_count(MORSEL_ROWS * MAX_MORSELS), MAX_MORSELS);
+        // …then morsels coarsen instead of multiplying.
+        assert_eq!(
+            morsel_rows_for(MORSEL_ROWS * MAX_MORSELS + 1),
+            2 * MORSEL_ROWS
+        );
+        for n in [
+            MORSEL_ROWS * MAX_MORSELS + 1,
+            3 * MORSEL_ROWS * MAX_MORSELS + 17,
+            10 * MORSEL_ROWS * MAX_MORSELS,
+            100 * MORSEL_ROWS * MAX_MORSELS + 99,
+        ] {
+            let count = morsel_count(n);
+            assert!(count <= MAX_MORSELS, "{n} rows → {count} morsels");
+            assert_eq!(morsel_rows_for(n) % MORSEL_ROWS, 0, "{n}");
+            // Windows tile the table exactly.
+            let mut covered = 0;
+            for m in 0..count {
+                let r = morsel_range(m, n);
+                assert_eq!(r.start, covered, "{n} morsel {m}");
+                assert!(r.end > r.start, "{n} morsel {m} empty");
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn describe(kind: &SpanKind) -> String {
             morsels,
         } => format!("exec[{stage}] {morsels} morsels on {participants} thread(s)"),
         SpanKind::Morsel { index } => format!("morsel {index}"),
+        SpanKind::Worker { index, morsels } => format!("worker {index}: {morsels} morsel(s)"),
         SpanKind::Merge => "merge partials (morsel order)".to_owned(),
         SpanKind::Crack {
             pieces_before,

@@ -42,6 +42,10 @@ pub enum SpanKind {
     },
     /// One morsel's work inside an [`SpanKind::Exec`] fan-out.
     Morsel { index: u32 },
+    /// One pool participant's whole contribution to an
+    /// [`SpanKind::Exec`] fan-out: from its first morsel to its last,
+    /// with how many morsels it ran. Makes steal imbalance visible.
+    Worker { index: u32, morsels: u32 },
     /// Merging per-morsel partials in morsel order.
     Merge,
     /// An adaptive-index step; equal piece counts mean the query
@@ -79,6 +83,7 @@ impl SpanKind {
             SpanKind::CacheLookup(CacheOutcome::Miss) => "cache.miss",
             SpanKind::Exec { .. } => "exec",
             SpanKind::Morsel { .. } => "morsel",
+            SpanKind::Worker { .. } => "worker",
             SpanKind::Merge => "merge",
             SpanKind::Crack { .. } => "crack",
             SpanKind::Admit { .. } => "admit",

@@ -56,7 +56,10 @@ pub use column::Column;
 pub use error::{Result, StorageError};
 pub use join::hash_join;
 pub use predicate::{mask_to_sel, CmpOp, Predicate};
-pub use query::{sort_table, Aggregate, GroupedAggState, Query, SortOrder, MORSEL_ROWS};
+pub use query::{
+    sort_table, Aggregate, GroupedAggState, MorselAggBatch, Query, SortOrder, WorkerAggState,
+    MORSEL_ROWS,
+};
 pub use rowstore::RowStore;
 pub use schema::{Field, Schema};
 pub use table::Table;

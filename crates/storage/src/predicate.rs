@@ -5,6 +5,7 @@
 //! each comparison matches on the column type once and then runs a tight
 //! loop over the raw slice.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Range;
 
@@ -12,6 +13,33 @@ use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::table::Table;
 use crate::value::Value;
+
+thread_local! {
+    /// Reusable word buffers for the vectorized evaluation path. One
+    /// pool per thread means each executor worker keeps its own bitmap
+    /// scratch hot across morsels, with zero cross-thread contention.
+    static BIT_SCRATCH: RefCell<WordPool> = RefCell::new(WordPool::default());
+}
+
+/// A free-list of `u64` bitmap buffers, recycled across predicate
+/// nodes and across morsels on the same thread.
+#[derive(Debug, Default)]
+struct WordPool {
+    free: Vec<Vec<u64>>,
+}
+
+impl WordPool {
+    fn take(&mut self, words: usize) -> Vec<u64> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(words, 0);
+        buf
+    }
+
+    fn give(&mut self, buf: Vec<u64>) {
+        self.free.push(buf);
+    }
+}
 
 /// Comparison operators supported in predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,14 +195,101 @@ impl Predicate {
     /// row ids in ascending order. The morsel-driven executor fans this
     /// out: each worker scans one window and the per-window selections
     /// concatenate, in window order, to exactly [`Predicate::evaluate`].
+    ///
+    /// This is the vectorized hot path: each node fills a `u64` bitmap
+    /// (64 rows per word, branchless per element), combinators fold
+    /// word-wise, and the final bitmap converts to row ids via
+    /// `trailing_zeros`. Bitmap buffers come from a thread-local pool,
+    /// so a worker re-running this per morsel allocates nothing after
+    /// warm-up. [`Predicate::evaluate_mask_range`] remains the scalar
+    /// reference the differential suites compare against; both paths
+    /// share literal resolution and `CmpOp::holds`, so results —
+    /// including NaN comparisons and error precedence — are identical.
     pub fn evaluate_range(&self, table: &Table, rows: Range<usize>) -> Result<Vec<u32>> {
+        if rows.end > table.num_rows() || rows.start > rows.end {
+            return Err(StorageError::RowOutOfBounds {
+                index: rows.end,
+                len: table.num_rows(),
+            });
+        }
         let start = rows.start;
-        let mask = self.evaluate_mask_range(table, rows)?;
-        Ok(mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some((start + i) as u32))
-            .collect())
+        let words = rows.len().div_ceil(64);
+        BIT_SCRATCH.with(|scratch| {
+            let pool = &mut *scratch.borrow_mut();
+            let mut bits = pool.take(words);
+            let result = self
+                .eval_bits(table, rows, &mut bits, pool)
+                .map(|()| bits_to_sel(&bits, start));
+            pool.give(bits);
+            result
+        })
+    }
+
+    /// Fill `out` (one bit per row in `rows`, LSB-first within each
+    /// word) with the predicate's truth values. Every arm writes every
+    /// word, and all arms keep bits past the window clear, so callers
+    /// never mask the tail. Child evaluation order (and therefore error
+    /// precedence) matches [`Predicate::evaluate_mask_range`] exactly.
+    fn eval_bits(
+        &self,
+        table: &Table,
+        rows: Range<usize>,
+        out: &mut [u64],
+        pool: &mut WordPool,
+    ) -> Result<()> {
+        let n = rows.len();
+        match self {
+            Predicate::True => {
+                set_all_bits(out, n);
+                Ok(())
+            }
+            Predicate::Cmp { column, op, value } => {
+                cmp_bits(table.column(column)?, column, *op, value, rows, out)
+            }
+            Predicate::Range { column, low, high } => {
+                range_bits(table.column(column)?, column, low, high, rows, out)
+            }
+            Predicate::And(ps) => {
+                set_all_bits(out, n);
+                let mut tmp = pool.take(out.len());
+                let mut result = Ok(());
+                for p in ps {
+                    result = p.eval_bits(table, rows.clone(), &mut tmp, pool);
+                    if result.is_err() {
+                        break;
+                    }
+                    for (a, b) in out.iter_mut().zip(&tmp) {
+                        *a &= *b;
+                    }
+                }
+                pool.give(tmp);
+                result
+            }
+            Predicate::Or(ps) => {
+                out.fill(0);
+                let mut tmp = pool.take(out.len());
+                let mut result = Ok(());
+                for p in ps {
+                    result = p.eval_bits(table, rows.clone(), &mut tmp, pool);
+                    if result.is_err() {
+                        break;
+                    }
+                    for (a, b) in out.iter_mut().zip(&tmp) {
+                        *a |= *b;
+                    }
+                }
+                pool.give(tmp);
+                result
+            }
+            Predicate::Not(p) => {
+                p.eval_bits(table, rows, out, pool)?;
+                for w in out.iter_mut() {
+                    *w = !*w;
+                }
+                mask_tail_bits(out, n);
+                Ok(())
+            }
+        }
     }
 
     /// Evaluate to a dense boolean mask over the row window `rows`
@@ -404,6 +519,139 @@ fn range_mask(
     }
 }
 
+/// Set the first `n` bits of `out`, leaving the tail clear.
+fn set_all_bits(out: &mut [u64], n: usize) {
+    out.fill(!0u64);
+    mask_tail_bits(out, n);
+}
+
+/// Clear any bits at positions `>= n` in the last word.
+fn mask_tail_bits(out: &mut [u64], n: usize) {
+    if !n.is_multiple_of(64) {
+        if let Some(last) = out.last_mut() {
+            *last &= (1u64 << (n % 64)) - 1;
+        }
+    }
+}
+
+/// Branchless bitmap fill: one word per 64 values, `f` per element.
+/// Partial tail chunks leave their high bits clear by construction.
+#[inline]
+fn fill_bits<T: Copy>(vals: &[T], out: &mut [u64], f: impl Fn(T) -> bool) {
+    for (w, chunk) in out.iter_mut().zip(vals.chunks(64)) {
+        let mut bits = 0u64;
+        for (j, &x) in chunk.iter().enumerate() {
+            bits |= u64::from(f(x)) << j;
+        }
+        *w = bits;
+    }
+}
+
+/// Expand a window bitmap to ascending global row ids.
+fn bits_to_sel(bits: &[u64], start: usize) -> Vec<u32> {
+    let count: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+    let mut sel = Vec::with_capacity(count);
+    for (i, &word) in bits.iter().enumerate() {
+        let base = start + i * 64;
+        let mut w = word;
+        while w != 0 {
+            sel.push((base + w.trailing_zeros() as usize) as u32);
+            w &= w - 1;
+        }
+    }
+    sel
+}
+
+/// Bitmap twin of [`cmp_mask`]: identical literal resolution (including
+/// the exact-float-against-int rule) and identical per-element
+/// comparisons via [`CmpOp::holds`].
+fn cmp_bits(
+    col: &Column,
+    name: &str,
+    op: CmpOp,
+    value: &Value,
+    rows: Range<usize>,
+    out: &mut [u64],
+) -> Result<()> {
+    match col {
+        Column::Int64(v) => {
+            let lit = value.as_int().or_else(|| {
+                // Allow float literals against int columns only when exact.
+                value.as_float().and_then(|f| {
+                    let i = f as i64;
+                    (i as f64 == f).then_some(i)
+                })
+            });
+            let lit = lit.ok_or_else(|| type_err(name, "Int64", value))?;
+            fill_bits(&v[rows], out, |x| op.holds(&x, &lit));
+        }
+        Column::Float64(v) => {
+            let lit = value
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", value))?;
+            fill_bits(&v[rows], out, |x| op.holds(&x, &lit));
+        }
+        Column::Utf8(v) => {
+            let lit = value
+                .as_str()
+                .ok_or_else(|| type_err(name, "Utf8", value))?;
+            for (w, chunk) in out.iter_mut().zip(v[rows].chunks(64)) {
+                let mut bits = 0u64;
+                for (j, x) in chunk.iter().enumerate() {
+                    bits |= u64::from(op.holds(&x.as_str(), &lit)) << j;
+                }
+                *w = bits;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bitmap twin of [`range_mask`]: same type coercions, same
+/// `lo <= x < hi` semantics per element.
+fn range_bits(
+    col: &Column,
+    name: &str,
+    low: &Value,
+    high: &Value,
+    rows: Range<usize>,
+    out: &mut [u64],
+) -> Result<()> {
+    match col {
+        Column::Int64(v) => {
+            let lo = low.as_float().ok_or_else(|| type_err(name, "Int64", low))?;
+            let hi = high
+                .as_float()
+                .ok_or_else(|| type_err(name, "Int64", high))?;
+            fill_bits(&v[rows], out, |x| {
+                let x = x as f64;
+                x >= lo && x < hi
+            });
+        }
+        Column::Float64(v) => {
+            let lo = low
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", low))?;
+            let hi = high
+                .as_float()
+                .ok_or_else(|| type_err(name, "Float64", high))?;
+            fill_bits(&v[rows], out, |x| x >= lo && x < hi);
+        }
+        Column::Utf8(v) => {
+            let lo = low.as_str().ok_or_else(|| type_err(name, "Utf8", low))?;
+            let hi = high.as_str().ok_or_else(|| type_err(name, "Utf8", high))?;
+            for (w, chunk) in out.iter_mut().zip(v[rows].chunks(64)) {
+                let mut bits = 0u64;
+                for (j, x) in chunk.iter().enumerate() {
+                    bits |= u64::from(x.as_str() >= lo && x.as_str() < hi) << j;
+                }
+                *w = bits;
+            }
+        }
+    }
+    Ok(())
+}
+
 fn type_err(column: &str, expected: &'static str, found: &Value) -> StorageError {
     StorageError::TypeMismatch {
         column: column.to_owned(),
@@ -552,5 +800,79 @@ mod tests {
     fn mask_to_sel_roundtrip() {
         assert_eq!(mask_to_sel(&[true, false, true, true]), vec![0, 2, 3]);
         assert!(mask_to_sel(&[]).is_empty());
+    }
+
+    /// The vectorized bitmap path must agree with the scalar mask path
+    /// on every window, for a table wider than one bitmap word and
+    /// floats including NaN / infinities / signed zero.
+    #[test]
+    fn vectorized_range_agrees_with_scalar_mask() {
+        let n = 200;
+        let ints: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 19 - 9).collect();
+        let floats: Vec<f64> = (0..n)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                4 => 0.0,
+                _ => (i as f64 - 100.0) / 3.0,
+            })
+            .collect();
+        let strs: Vec<String> = (0..n).map(|i| format!("s{}", i % 11)).collect();
+        let t = Table::new(
+            Schema::of(&[
+                ("a", DataType::Int64),
+                ("b", DataType::Float64),
+                ("c", DataType::Utf8),
+            ]),
+            vec![Column::from(ints), Column::from(floats), Column::from(strs)],
+        )
+        .unwrap();
+
+        let preds = vec![
+            Predicate::True,
+            Predicate::cmp("b", CmpOp::Eq, f64::NAN),
+            Predicate::cmp("b", CmpOp::Ne, f64::NAN),
+            Predicate::cmp("b", CmpOp::Ge, 0.0),
+            Predicate::cmp("b", CmpOp::Lt, f64::INFINITY),
+            Predicate::eq("b", -0.0f64),
+            Predicate::range("b", -5.0, 5.0),
+            Predicate::range("a", -3i64, 4i64),
+            Predicate::cmp("a", CmpOp::Le, 0i64),
+            Predicate::eq("c", "s3"),
+            Predicate::range("c", "s1", "s4"),
+            Predicate::cmp("a", CmpOp::Gt, -2i64)
+                .and(Predicate::cmp("b", CmpOp::Lt, 10.0))
+                .or(Predicate::eq("c", "s7").not()),
+            Predicate::And(Vec::new()),
+            Predicate::Or(Vec::new()),
+        ];
+        for p in &preds {
+            for window in [
+                0..n,
+                0..0,
+                0..1,
+                0..63,
+                0..64,
+                0..65,
+                63..129,
+                128..n,
+                199..n,
+            ] {
+                let scalar = mask_to_sel(&p.evaluate_mask_range(&t, window.clone()).unwrap())
+                    .iter()
+                    .map(|&i| i + window.start as u32)
+                    .collect::<Vec<u32>>();
+                let vectorized = p.evaluate_range(&t, window.clone()).unwrap();
+                assert_eq!(vectorized, scalar, "pred {p} window {window:?}");
+            }
+        }
+        // Error parity on the vectorized path.
+        assert!(Predicate::eq("missing", 1i64)
+            .evaluate_range(&t, 0..n)
+            .is_err());
+        assert!(Predicate::eq("a", "nope").evaluate_range(&t, 0..n).is_err());
+        assert!(Predicate::True.evaluate_range(&t, 100..(n + 1)).is_err());
     }
 }

@@ -244,6 +244,186 @@ fn key_part(col: &Column, row: usize) -> KeyPart {
     }
 }
 
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash step.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the bytes of a string cell.
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn hash_combine(h: u64, cell: u64) -> u64 {
+    mix64(h ^ cell.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Hash the group key of `row` directly from the columns — no `KeyPart`
+/// allocation. Must agree with [`hash_key`] on the interned form.
+#[inline]
+fn hash_row(cols: &[&Column], row: usize) -> u64 {
+    let mut h = 0u64;
+    for col in cols {
+        let cell = match col {
+            Column::Int64(v) => v[row] as u64,
+            Column::Float64(v) => v[row].to_bits(),
+            Column::Utf8(v) => hash_str(&v[row]),
+        };
+        h = hash_combine(h, cell);
+    }
+    h
+}
+
+/// Hash an interned key; agrees with [`hash_row`] by construction.
+#[inline]
+fn hash_key(key: &[KeyPart]) -> u64 {
+    let mut h = 0u64;
+    for part in key {
+        let cell = match part {
+            KeyPart::Int(v) => *v as u64,
+            KeyPart::Bits(b) => *b,
+            KeyPart::Str(s) => hash_str(s),
+        };
+        h = hash_combine(h, cell);
+    }
+    h
+}
+
+/// Cell-by-cell equality between an interned key and a table row,
+/// without materializing the row's key.
+#[inline]
+fn key_matches_row(key: &[KeyPart], cols: &[&Column], row: usize) -> bool {
+    key.iter().zip(cols).all(|(part, col)| match (part, col) {
+        (KeyPart::Int(k), Column::Int64(v)) => *k == v[row],
+        (KeyPart::Bits(k), Column::Float64(v)) => *k == v[row].to_bits(),
+        (KeyPart::Str(k), Column::Utf8(v)) => *k == v[row],
+        _ => false,
+    })
+}
+
+/// A group-key interner: maps group keys to dense slot ids, assigned in
+/// first-appearance order (which is what fixes group output order).
+/// Rows are hashed straight off the column storage, so the per-row hot
+/// path allocates a `Vec<KeyPart>` only the first time a group appears.
+/// The full-hash bucket map makes slot assignment independent of the
+/// `HashMap`'s seed: bucket contents are ordered by insertion, and
+/// collisions fall back to exact key comparison.
+#[derive(Debug, Default)]
+struct GroupIndex {
+    buckets: HashMap<u64, Vec<u32>>,
+    keys: Vec<Vec<KeyPart>>,
+}
+
+impl GroupIndex {
+    /// Slot of the group key at `row`, interning it on first sight.
+    /// Returns `(slot, is_new)`.
+    #[inline]
+    fn slot_of_row(&mut self, cols: &[&Column], row: usize) -> (usize, bool) {
+        let h = hash_row(cols, row);
+        let bucket = self.buckets.entry(h).or_default();
+        for &slot in bucket.iter() {
+            if key_matches_row(&self.keys[slot as usize], cols, row) {
+                return (slot as usize, false);
+            }
+        }
+        let slot = self.keys.len();
+        self.keys
+            .push(cols.iter().map(|c| key_part(c, row)).collect());
+        bucket.push(slot as u32);
+        (slot, true)
+    }
+
+    /// Slot of an already-materialized key (the merge path).
+    fn slot_of_key(&mut self, key: &[KeyPart]) -> (usize, bool) {
+        let h = hash_key(key);
+        let bucket = self.buckets.entry(h).or_default();
+        for &slot in bucket.iter() {
+            if self.keys[slot as usize].as_slice() == key {
+                return (slot as usize, false);
+            }
+        }
+        let slot = self.keys.len();
+        self.keys.push(key.to_vec());
+        bucket.push(slot as u32);
+        (slot, true)
+    }
+}
+
+/// Pre-resolved aggregate input: what value feeds the accumulator for a
+/// given row. Hoists the per-row column-type dispatch of the old
+/// `numeric_at` path out of the loop.
+#[derive(Debug, Clone, Copy)]
+enum AggSrc<'a> {
+    /// COUNT ignores the column and always contributes 1.
+    Count,
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+    /// Non-numeric input (only reachable for COUNT-validated shapes);
+    /// preserves the historical `unwrap_or(0.0)` value.
+    Zero,
+}
+
+impl<'a> AggSrc<'a> {
+    fn of(func: AggFunc, col: &'a Column) -> AggSrc<'a> {
+        if func == AggFunc::Count {
+            return AggSrc::Count;
+        }
+        match col {
+            Column::Int64(v) => AggSrc::Int(v),
+            Column::Float64(v) => AggSrc::Float(v),
+            Column::Utf8(_) => AggSrc::Zero,
+        }
+    }
+
+    #[inline]
+    fn at(self, row: usize) -> f64 {
+        match self {
+            AggSrc::Count => 1.0,
+            AggSrc::Int(v) => v[row] as f64,
+            AggSrc::Float(v) => v[row],
+            AggSrc::Zero => 0.0,
+        }
+    }
+}
+
+/// Resolve and validate the columns a grouped aggregation touches.
+fn validated_agg_cols<'a>(
+    table: &'a Table,
+    group_by: &[String],
+    aggs: &[Aggregate],
+) -> Result<(Vec<&'a Column>, Vec<&'a Column>)> {
+    let group_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|n| table.column(n))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<&Column> = aggs
+        .iter()
+        .map(|a| {
+            let c = table.column(&a.column)?;
+            if a.func != AggFunc::Count && !c.data_type().is_numeric() {
+                return Err(StorageError::TypeMismatch {
+                    column: a.column.clone(),
+                    expected: "numeric",
+                    found: c.data_type().name(),
+                });
+            }
+            Ok(c)
+        })
+        .collect::<Result<_>>()?;
+    Ok((group_cols, agg_cols))
+}
+
 /// Mergeable partial state of a grouped aggregation — the unit the
 /// morsel-driven executor computes per morsel and merges in morsel
 /// order. The serial path is the degenerate case: one state fed the
@@ -258,42 +438,27 @@ pub struct GroupedAggState<'a> {
     group_by: &'a [String],
     aggs: &'a [Aggregate],
     group_cols: Vec<&'a Column>,
-    agg_cols: Vec<&'a Column>,
-    /// Group index: key -> slot in the accumulator arena.
-    groups: HashMap<Vec<KeyPart>, usize>,
-    keys: Vec<Vec<KeyPart>>,
+    agg_srcs: Vec<AggSrc<'a>>,
+    index: GroupIndex,
     accs: Vec<Accumulator>,
 }
 
 impl<'a> GroupedAggState<'a> {
     /// Validate the referenced columns and build an empty state.
     pub fn new(table: &'a Table, group_by: &'a [String], aggs: &'a [Aggregate]) -> Result<Self> {
-        let group_cols: Vec<&Column> = group_by
+        let (group_cols, agg_cols) = validated_agg_cols(table, group_by, aggs)?;
+        let agg_srcs = aggs
             .iter()
-            .map(|n| table.column(n))
-            .collect::<Result<_>>()?;
-        let agg_cols: Vec<&Column> = aggs
-            .iter()
-            .map(|a| {
-                let c = table.column(&a.column)?;
-                if a.func != AggFunc::Count && !c.data_type().is_numeric() {
-                    return Err(StorageError::TypeMismatch {
-                        column: a.column.clone(),
-                        expected: "numeric",
-                        found: c.data_type().name(),
-                    });
-                }
-                Ok(c)
-            })
-            .collect::<Result<_>>()?;
+            .zip(&agg_cols)
+            .map(|(a, c)| AggSrc::of(a.func, c))
+            .collect();
         Ok(GroupedAggState {
             table,
             group_by,
             aggs,
             group_cols,
-            agg_cols,
-            groups: HashMap::new(),
-            keys: Vec::new(),
+            agg_srcs,
+            index: GroupIndex::default(),
             accs: Vec::new(),
         })
     }
@@ -303,21 +468,13 @@ impl<'a> GroupedAggState<'a> {
         let n_aggs = self.aggs.len();
         for &row in sel {
             let row = row as usize;
-            let key: Vec<KeyPart> = self.group_cols.iter().map(|c| key_part(c, row)).collect();
-            let keys = &mut self.keys;
-            let accs = &mut self.accs;
-            let slot = *self.groups.entry(key).or_insert_with_key(|k| {
-                keys.push(k.clone());
-                accs.resize(accs.len() + n_aggs, Accumulator::new());
-                keys.len() - 1
-            });
-            for (i, (agg, col)) in self.aggs.iter().zip(&self.agg_cols).enumerate() {
-                let x = if agg.func == AggFunc::Count {
-                    1.0
-                } else {
-                    col.numeric_at(row).unwrap_or(0.0)
-                };
-                accs[slot * n_aggs + i].update(x);
+            let (slot, is_new) = self.index.slot_of_row(&self.group_cols, row);
+            if is_new {
+                self.accs
+                    .resize(self.accs.len() + n_aggs, Accumulator::new());
+            }
+            for (i, src) in self.agg_srcs.iter().enumerate() {
+                self.accs[slot * n_aggs + i].update(src.at(row));
             }
         }
     }
@@ -326,17 +483,37 @@ impl<'a> GroupedAggState<'a> {
     /// one. Groups first seen in `other` are appended in `other`'s order.
     pub fn merge(&mut self, other: GroupedAggState<'a>) {
         let n_aggs = self.aggs.len();
-        for (other_slot, key) in other.keys.iter().enumerate() {
-            let keys = &mut self.keys;
-            let accs = &mut self.accs;
-            let slot = *self.groups.entry(key.clone()).or_insert_with_key(|k| {
-                keys.push(k.clone());
-                accs.resize(accs.len() + n_aggs, Accumulator::new());
-                keys.len() - 1
-            });
+        for (other_slot, key) in other.index.keys.iter().enumerate() {
+            let (slot, is_new) = self.index.slot_of_key(key);
+            if is_new {
+                self.accs
+                    .resize(self.accs.len() + n_aggs, Accumulator::new());
+            }
             for i in 0..n_aggs {
                 let partial = other.accs[other_slot * n_aggs + i];
                 self.accs[slot * n_aggs + i].merge(&partial);
+            }
+        }
+    }
+
+    /// Merge one morsel's partial batch, resolving the batch's
+    /// worker-local slot ids through the worker state that produced it.
+    /// Groups first seen in this batch append in the batch's first-touch
+    /// order and every accumulator merges exactly once, so absorbing
+    /// batches in morsel order performs the exact `Accumulator::merge`
+    /// sequence of the historical per-morsel merge chain — bit-identical
+    /// results under every steal schedule.
+    pub fn absorb_batch(&mut self, worker: &WorkerAggState<'a>, batch: &MorselAggBatch) {
+        let n_aggs = self.aggs.len();
+        for (local, &wslot) in batch.slots.iter().enumerate() {
+            let key = &worker.index.keys[wslot as usize];
+            let (slot, is_new) = self.index.slot_of_key(key);
+            if is_new {
+                self.accs
+                    .resize(self.accs.len() + n_aggs, Accumulator::new());
+            }
+            for i in 0..n_aggs {
+                self.accs[slot * n_aggs + i].merge(&batch.accs[local * n_aggs + i]);
             }
         }
     }
@@ -345,8 +522,8 @@ impl<'a> GroupedAggState<'a> {
     /// Global aggregation with no groups always yields exactly one row.
     pub fn finish(mut self) -> Result<Table> {
         let n_aggs = self.aggs.len();
-        if self.group_by.is_empty() && self.keys.is_empty() {
-            self.keys.push(Vec::new());
+        if self.group_by.is_empty() && self.index.keys.is_empty() {
+            self.index.keys.push(Vec::new());
             self.accs.resize(n_aggs, Accumulator::new());
         }
 
@@ -367,18 +544,105 @@ impl<'a> GroupedAggState<'a> {
             .iter()
             .map(|n| Column::empty(self.table.schema().data_type(n).expect("validated")))
             .collect();
-        for key in &self.keys {
+        for key in &self.index.keys {
             for (col, part) in columns.iter_mut().zip(key) {
                 col.push(part.to_value())?;
             }
         }
         for (i, a) in self.aggs.iter().enumerate() {
-            let vals: Vec<f64> = (0..self.keys.len())
+            let vals: Vec<f64> = (0..self.index.keys.len())
                 .map(|slot| self.accs[slot * n_aggs + i].finish(a.func))
                 .collect();
             columns.push(Column::Float64(vals));
         }
         Table::new(schema, columns)
+    }
+}
+
+/// Per-worker aggregation state for the morsel-driven executor: a
+/// group-key interner that lives for all the morsels a worker runs,
+/// plus epoch-stamped scratch for building per-morsel partial batches
+/// without clearing anything between morsels.
+///
+/// Splitting "which groups exist" (worker-lifetime, amortized across
+/// stolen morsels) from "this morsel's partial accumulators" (returned
+/// per morsel as a [`MorselAggBatch`]) is what lets workers keep state
+/// without giving up determinism: a batch depends only on the morsel's
+/// rows — never on which worker computed it or what it saw before — so
+/// batches absorbed in morsel order produce bit-identical results under
+/// every steal schedule.
+#[derive(Debug)]
+pub struct WorkerAggState<'a> {
+    group_cols: Vec<&'a Column>,
+    agg_srcs: Vec<AggSrc<'a>>,
+    index: GroupIndex,
+    /// Per worker-slot epoch stamp: equals `epoch` iff the slot already
+    /// has a batch-local accumulator row in the current morsel.
+    slot_stamp: Vec<u32>,
+    /// Batch-local row of the slot, valid when the stamp matches.
+    slot_local: Vec<u32>,
+    epoch: u32,
+}
+
+/// One morsel's partial aggregation: worker-slot ids in first-touch
+/// order plus one accumulator row (`aggs.len()` accumulators) per
+/// touched group. Resolved back to group keys by
+/// [`GroupedAggState::absorb_batch`] via the worker state's interner.
+#[derive(Debug)]
+pub struct MorselAggBatch {
+    slots: Vec<u32>,
+    accs: Vec<Accumulator>,
+}
+
+impl<'a> WorkerAggState<'a> {
+    /// Validate the referenced columns and build an empty worker state.
+    /// Validation matches [`GroupedAggState::new`] exactly.
+    pub fn new(table: &'a Table, group_by: &'a [String], aggs: &'a [Aggregate]) -> Result<Self> {
+        let (group_cols, agg_cols) = validated_agg_cols(table, group_by, aggs)?;
+        let agg_srcs = aggs
+            .iter()
+            .zip(&agg_cols)
+            .map(|(a, c)| AggSrc::of(a.func, c))
+            .collect();
+        Ok(WorkerAggState {
+            group_cols,
+            agg_srcs,
+            index: GroupIndex::default(),
+            slot_stamp: Vec::new(),
+            slot_local: Vec::new(),
+            epoch: 0,
+        })
+    }
+
+    /// Aggregate one morsel's selection into a fresh partial batch.
+    /// Group interning persists across calls; accumulators do not.
+    pub fn update_morsel(&mut self, sel: &[u32]) -> MorselAggBatch {
+        self.epoch += 1;
+        let n_aggs = self.agg_srcs.len();
+        let mut slots: Vec<u32> = Vec::new();
+        let mut accs: Vec<Accumulator> = Vec::new();
+        for &row in sel {
+            let row = row as usize;
+            let (wslot, is_new) = self.index.slot_of_row(&self.group_cols, row);
+            if is_new {
+                self.slot_stamp.push(0);
+                self.slot_local.push(0);
+            }
+            let local = if self.slot_stamp[wslot] == self.epoch {
+                self.slot_local[wslot] as usize
+            } else {
+                let local = slots.len();
+                self.slot_stamp[wslot] = self.epoch;
+                self.slot_local[wslot] = local as u32;
+                slots.push(wslot as u32);
+                accs.resize(accs.len() + n_aggs, Accumulator::new());
+                local
+            };
+            for (i, src) in self.agg_srcs.iter().enumerate() {
+                accs[local * n_aggs + i].update(src.at(row));
+            }
+        }
+        MorselAggBatch { slots, accs }
     }
 }
 
@@ -572,5 +836,58 @@ mod tests {
             .unwrap();
         assert_eq!(r.num_rows(), 2);
         assert_eq!(r.column("sum(v)").unwrap().as_f64().unwrap(), &[3.0, 3.0]);
+    }
+
+    /// Worker batches absorbed in morsel order must be bit-identical to
+    /// the single-state reference — regardless of which worker state
+    /// computed which morsel (here: one worker for all, and a deliberately
+    /// skewed two-worker split).
+    #[test]
+    fn worker_batches_absorb_to_reference_state() {
+        let t = sales();
+        let group_by = vec!["region".to_string()];
+        let aggs = vec![
+            Aggregate::new(AggFunc::Sum, "amount"),
+            Aggregate::new(AggFunc::Avg, "qty"),
+            Aggregate::new(AggFunc::Count, "product"),
+        ];
+        let morsels: Vec<Vec<u32>> = vec![vec![0, 1], vec![2, 3], vec![4], vec![]];
+
+        let mut reference = GroupedAggState::new(&t, &group_by, &aggs).unwrap();
+        for sel in &morsels {
+            reference.update(sel);
+        }
+        let expected = reference.finish().unwrap();
+
+        for assignment in [vec![0, 0, 0, 0], vec![0, 1, 1, 0], vec![1, 0, 1, 0]] {
+            let mut workers = [
+                WorkerAggState::new(&t, &group_by, &aggs).unwrap(),
+                WorkerAggState::new(&t, &group_by, &aggs).unwrap(),
+            ];
+            let batches: Vec<(usize, MorselAggBatch)> = morsels
+                .iter()
+                .zip(&assignment)
+                .map(|(sel, &w)| (w, workers[w].update_morsel(sel)))
+                .collect();
+            let mut acc = GroupedAggState::new(&t, &group_by, &aggs).unwrap();
+            for (w, batch) in &batches {
+                acc.absorb_batch(&workers[*w], batch);
+            }
+            let got = acc.finish().unwrap();
+            assert_eq!(got.num_rows(), expected.num_rows());
+            for field in expected.schema().fields() {
+                let a = expected.column(field.name()).unwrap();
+                let b = got.column(field.name()).unwrap();
+                for row in 0..expected.num_rows() {
+                    let (x, y) = (a.value(row).unwrap(), b.value(row).unwrap());
+                    match (x, y) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            assert_eq!(x.to_bits(), y.to_bits());
+                        }
+                        (x, y) => assert_eq!(x, y),
+                    }
+                }
+            }
+        }
     }
 }

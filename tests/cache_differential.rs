@@ -322,3 +322,94 @@ fn toggling_cache_policy_preserves_results() {
         "Off must not serve from cache"
     );
 }
+
+/// A threshold no real query can clear: every result is refused at
+/// admission, both passes recompute, and both stay bit-identical to the
+/// uncached engine. Rejection must be invisible in results and visible
+/// in stats and the `cache.admit_rejected` counter.
+#[test]
+fn admission_rejection_is_bit_identical_and_observed() {
+    use exploration::obs::ObsPolicy;
+
+    let t = sales(2 * MORSEL_ROWS + 4321);
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+        let mut off = ExploreDb::with_exec_policy(policy);
+        off.register("sales", t.clone());
+        let mut on = ExploreDb::with_exec_policy(policy);
+        on.set_obs_policy(ObsPolicy::on());
+        on.set_cache_policy(CachePolicy::On(CacheConfig {
+            byte_budget: 1 << 30,
+            admit_min_cost_ns: u64::MAX,
+            ..CacheConfig::default()
+        }));
+        on.register("sales", t.clone());
+
+        let shapes = query_shapes();
+        for pass in ["cold", "recompute"] {
+            for (name, q) in &shapes {
+                let baseline = off.query("sales", q).unwrap();
+                let got = on.query("sales", q).unwrap();
+                assert_bitwise_eq(&baseline, &got, &format!("{name} {pass} ({policy:?})"));
+            }
+        }
+
+        let stats = on.cache_stats();
+        assert_eq!(stats.insertions, 0, "nothing admitted: {stats:?}");
+        assert_eq!(stats.hits, 0, "nothing cached → nothing hit: {stats:?}");
+        assert_eq!(
+            stats.misses,
+            2 * shapes.len() as u64,
+            "every pass recomputes: {stats:?}"
+        );
+        assert_eq!(
+            stats.admit_rejected,
+            2 * shapes.len() as u64,
+            "every computed result was refused: {stats:?}"
+        );
+        assert_eq!(
+            on.metrics_snapshot().counter("cache.admit_rejected"),
+            2 * shapes.len() as u64,
+            "rejections mirrored into obs metrics"
+        );
+    }
+}
+
+/// A zero threshold admits everything (the pre-admission behavior): the
+/// warm pass is all exact hits and still bit-identical.
+#[test]
+fn admission_threshold_zero_admits_everything() {
+    let t = sales(20_000);
+    let mut off = ExploreDb::new();
+    off.register("sales", t.clone());
+    let mut on = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: 1 << 30,
+        admit_min_cost_ns: 0,
+        ..CacheConfig::default()
+    }));
+    on.register("sales", t);
+
+    let shapes = query_shapes();
+    for (name, q) in &shapes {
+        let baseline = off.query("sales", q).unwrap();
+        assert_bitwise_eq(
+            &baseline,
+            &on.query("sales", q).unwrap(),
+            &format!("{name} cold"),
+        );
+    }
+    for (name, q) in &shapes {
+        let baseline = off.query("sales", q).unwrap();
+        assert_bitwise_eq(
+            &baseline,
+            &on.query("sales", q).unwrap(),
+            &format!("{name} warm"),
+        );
+    }
+    let stats = on.cache_stats();
+    assert_eq!(stats.admit_rejected, 0, "zero threshold refuses nothing");
+    assert_eq!(
+        stats.hits,
+        shapes.len() as u64,
+        "every warm query is an exact hit: {stats:?}"
+    );
+}

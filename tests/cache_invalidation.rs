@@ -276,6 +276,7 @@ fn zero_byte_budget_serves_through_compute() {
     let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
         byte_budget: 0,
         subsumption: true,
+        ..CacheConfig::default()
     }));
     db.register("sales", sales(3_000));
     assert_matches_uncached(&mut db, "zero budget");
@@ -291,6 +292,7 @@ fn entry_larger_than_budget_is_never_admitted() {
     let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
         byte_budget: budget,
         subsumption: true,
+        ..CacheConfig::default()
     }));
     db.register("sales", sales(3_000));
     assert_matches_uncached(&mut db, "oversized entries");
@@ -311,6 +313,7 @@ fn injected_eviction_failure_degrades_to_clear_all() {
     let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
         byte_budget: budget,
         subsumption: true,
+        ..CacheConfig::default()
     }));
     db.register("sales", sales(3_000));
     let mut fresh = ExploreDb::new();
@@ -337,4 +340,76 @@ fn injected_eviction_failure_degrades_to_clear_all() {
     // Disarm: normal victim selection resumes on the same cache.
     faults.disarm_all();
     assert_matches_uncached(&mut db, "after disarm");
+}
+
+/// Admission rejection composes with epoch invalidation: with an
+/// unclearable threshold nothing is ever resident, so mutations have
+/// nothing to purge, every probe recomputes against the current table
+/// state, and rejection counting keeps pace.
+#[test]
+fn admission_rejection_composes_with_invalidation() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: 1 << 30,
+        admit_min_cost_ns: u64::MAX,
+        ..CacheConfig::default()
+    }));
+    db.register("sales", sales(10_000));
+    warm(&mut db);
+    let stats = db.cache_stats();
+    assert_eq!(stats.insertions, 0, "threshold admits nothing: {stats:?}");
+    assert_eq!(stats.hits, 0, "nothing resident to hit: {stats:?}");
+    assert!(stats.admit_rejected > 0, "rejections counted: {stats:?}");
+    assert_matches_uncached(&mut db, "rejected-everything cold state");
+
+    db.push_row(
+        "sales",
+        vec![
+            Value::from("regionX"),
+            Value::from("productX"),
+            Value::from("channelX"),
+            Value::Float(500.0),
+            Value::Float(0.5),
+            Value::Int(1_000),
+        ],
+    )
+    .unwrap();
+    assert_eq!(db.table_epoch("sales"), 1);
+    assert_matches_uncached(&mut db, "after push_row with admission rejection");
+    let stats = db.cache_stats();
+    assert_eq!(stats.insertions, 0, "still nothing admitted: {stats:?}");
+}
+
+/// Under the default threshold these multi-millisecond debug queries
+/// all clear admission: warm hits serve, and a mutation still purges
+/// them — admission gating must not weaken epoch invalidation.
+#[test]
+fn admitted_entries_still_invalidate_on_mutation() {
+    let mut db = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+        byte_budget: 1 << 30,
+        ..CacheConfig::default()
+    }));
+    db.register("sales", sales(10_000));
+    warm(&mut db);
+    let stats = db.cache_stats();
+    assert!(stats.insertions > 0, "default threshold admits: {stats:?}");
+    assert!(stats.hits > 0, "admitted entries serve warm: {stats:?}");
+    assert_eq!(stats.admit_rejected, 0, "no rejections expected: {stats:?}");
+
+    db.push_row(
+        "sales",
+        vec![
+            Value::from("regionX"),
+            Value::from("productX"),
+            Value::from("channelX"),
+            Value::Float(500.0),
+            Value::Float(0.5),
+            Value::Int(1_000),
+        ],
+    )
+    .unwrap();
+    assert!(
+        db.cache_stats().invalidations > 0,
+        "admitted entries purged on mutation"
+    );
+    assert_matches_uncached(&mut db, "after push_row with admission active");
 }

@@ -15,7 +15,8 @@ use exploration::cracking::{ConcurrentCracker, CrackerColumn};
 use exploration::exec::{evaluate_selection, run_query, ExecPolicy, QueryCtx};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{
-    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+    AggFunc, CmpOp, Column, DataType, Predicate, Query, Schema, SortOrder, Table, Value,
+    MORSEL_ROWS,
 };
 
 /// A shared multi-morsel table (built once; cases only read it).
@@ -143,6 +144,91 @@ fn tables_bitwise_equal(a: &Table, b: &Table) -> bool {
     })
 }
 
+/// Tables of assorted sizes around the morsel boundaries (built once),
+/// so worker-count sweeps hit sub-morsel, exact-boundary, and
+/// multi-morsel decompositions.
+fn sized_tables() -> &'static Vec<Table> {
+    static TABLES: OnceLock<Vec<Table>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        [
+            0,
+            1,
+            777,
+            4096,
+            MORSEL_ROWS - 1,
+            MORSEL_ROWS,
+            MORSEL_ROWS + 1,
+        ]
+        .iter()
+        .map(|&rows| {
+            sales_table(&SalesConfig {
+                rows,
+                ..SalesConfig::default()
+            })
+        })
+        .collect()
+    })
+}
+
+/// Float values rich in boundary cases for the vectorized-vs-scalar
+/// predicate property.
+fn tricky_float() -> BoxedStrategy<f64> {
+    prop_oneof![
+        4 => -1000.0f64..1000.0,
+        1 => prop::sample::select(vec![
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            f64::MIN,
+            f64::MAX,
+            f64::EPSILON,
+        ]),
+    ]
+    .boxed()
+}
+
+/// Predicates over the ad-hoc (f, i, s) table used by the vectorized
+/// property, including unknown columns for error parity.
+fn adhoc_pred() -> BoxedStrategy<Predicate> {
+    fn leaf() -> BoxedStrategy<Predicate> {
+        prop_oneof![
+            Just(Predicate::True),
+            (
+                prop::sample::select(vec!["f", "i", "s", "ghost"]),
+                prop::sample::select(vec![
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                    CmpOp::Eq,
+                    CmpOp::Ne
+                ]),
+                tricky_float()
+            )
+                .prop_map(|(c, op, v)| Predicate::cmp(c, op, v)),
+            (
+                prop::sample::select(vec!["f", "i"]),
+                tricky_float(),
+                tricky_float()
+            )
+                .prop_map(|(c, a, b)| Predicate::range(c, a.min(b), a.max(b))),
+            prop::sample::select(vec!["s0", "s1", "zzz"]).prop_map(|v| Predicate::eq("s", v)),
+        ]
+        .boxed()
+    }
+    (leaf(), leaf(), 0i64..5)
+        .prop_map(|(a, b, shape)| match shape {
+            0 => a.and(b),
+            1 => a.or(b),
+            2 => a.not(),
+            3 => a.and(b).not(),
+            _ => a,
+        })
+        .boxed()
+}
+
 fn brute_range_ids(base: &[i64], lo: i64, hi: i64) -> Vec<u32> {
     base.iter()
         .enumerate()
@@ -200,6 +286,85 @@ proptest! {
             (a, b) => prop_assert!(
                 false,
                 "one policy errored: serial ok = {}, parallel ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// Random queries over random table sizes agree with the serial
+    /// reference under every worker count — sub-morsel tables take the
+    /// profitability fast path, larger ones the pooled path, and both
+    /// must be invisible in the output.
+    #[test]
+    fn random_sizes_and_worker_counts_agree_with_serial(
+        table_idx in 0usize..7,
+        workers in prop::sample::select(vec![1usize, 2, 3, 8]),
+        pred in pred_tree(),
+        groups in group_cols(),
+        aggs in agg_list(),
+    ) {
+        let q = build_query(pred, &groups, &aggs, 0, None);
+        let t = &sized_tables()[table_idx];
+        let serial = run_query(t, &q, &QueryCtx::none());
+        let parallel = run_query(t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers }));
+        match (serial, parallel) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                tables_bitwise_equal(&a, &b),
+                "policies diverged on {q:?} (rows = {}, workers = {workers})",
+                t.num_rows()
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "one policy errored: serial ok = {}, parallel ok = {}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// The vectorized bitmap predicate path agrees with the scalar mask
+    /// reference on random data including NaN, infinities, signed zero,
+    /// and extreme magnitudes — same selections, same errors.
+    #[test]
+    fn vectorized_predicates_agree_with_scalar_reference(
+        floats in prop::collection::vec(tricky_float(), 1..300),
+        pred in adhoc_pred(),
+        window in 0usize..4,
+    ) {
+        let n = floats.len();
+        let ints: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 23 - 11).collect();
+        let strs: Vec<String> = (0..n).map(|i| format!("s{}", i % 3)).collect();
+        let t = Table::new(
+            Schema::of(&[
+                ("f", DataType::Float64),
+                ("i", DataType::Int64),
+                ("s", DataType::Utf8),
+            ]),
+            vec![Column::from(floats), Column::from(ints), Column::from(strs)],
+        )
+        .unwrap();
+        let range = match window {
+            0 => 0..n,
+            1 => 0..n.min(64),
+            2 => n / 2..n,
+            _ => n / 3..(2 * n / 3).max(n / 3),
+        };
+        let vectorized = pred.evaluate_range(&t, range.clone());
+        let scalar = pred.evaluate_mask_range(&t, range.clone()).map(|mask| {
+            mask.iter()
+                .enumerate()
+                .filter(|(_, &hit)| hit)
+                .map(|(i, _)| (range.start + i) as u32)
+                .collect::<Vec<u32>>()
+        });
+        match (vectorized, scalar) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "diverged on {:?}", pred),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "one path errored: vectorized ok = {}, scalar ok = {}",
                 a.is_ok(),
                 b.is_ok()
             ),

@@ -17,8 +17,10 @@ use exploration::cracking::ConcurrentCracker;
 use exploration::exec::{evaluate_selection, run_query, ExecPolicy, QueryCtx};
 use exploration::storage::gen::{sales_table, uniform_i64, SalesConfig};
 use exploration::storage::{
-    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+    AggFunc, CmpOp, Column, DataType, Predicate, Query, Schema, SortOrder, Table, Value,
+    MORSEL_ROWS,
 };
+use exploration::{ExploreDb, Schedule};
 
 /// A table spanning several morsels plus a ragged tail, so the morsel
 /// merge order actually matters.
@@ -238,6 +240,117 @@ fn parallel_equals_reference_executor_for_scans() {
         let parallel =
             run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers: 4 })).unwrap();
         assert_bitwise_eq(&reference, &parallel, name);
+    }
+}
+
+/// A table whose group-by key column has (almost) one group per row —
+/// far more groups than a single morsel holds rows, so every worker's
+/// interner outgrows any per-morsel scratch assumptions.
+fn high_cardinality_table() -> Table {
+    let rows = MORSEL_ROWS + 9_000;
+    let keys = uniform_i64(rows, 0, 50_000_000, 7);
+    let vals = uniform_i64(rows, -1_000, 1_000, 8);
+    Table::new(
+        Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64)]),
+        vec![Column::from(keys), Column::from(vals)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn high_cardinality_group_by_agrees_across_worker_counts() {
+    let t = high_cardinality_table();
+    let q = Query::new()
+        .group("k")
+        .agg(AggFunc::Sum, "v")
+        .agg(AggFunc::Count, "v");
+    let reference = run_query(&t, &q, &QueryCtx::none()).unwrap();
+    assert!(
+        reference.num_rows() > MORSEL_ROWS,
+        "cardinality check: {} groups should exceed one morsel's {} rows",
+        reference.num_rows(),
+        MORSEL_ROWS
+    );
+    for workers in [1, 2, 3, 8] {
+        let got = run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers })).unwrap();
+        assert_bitwise_eq(&reference, &got, &format!("high-card, workers = {workers}"));
+    }
+}
+
+#[test]
+fn single_group_agrees_across_worker_counts() {
+    // Every row lands in the same group: the per-worker interner holds
+    // one slot and every morsel batch merges into it.
+    let t = sales_table(&SalesConfig {
+        rows: 2 * MORSEL_ROWS + 4321,
+        regions: 1,
+        ..SalesConfig::default()
+    });
+    let q = Query::new()
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Avg, "discount")
+        .agg(AggFunc::Var, "price");
+    let reference = run_query(&t, &q, &QueryCtx::none()).unwrap();
+    assert_eq!(reference.num_rows(), 1, "one region → one group");
+    for workers in [1, 2, 3, 8] {
+        let got = run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers })).unwrap();
+        assert_bitwise_eq(
+            &reference,
+            &got,
+            &format!("single group, workers = {workers}"),
+        );
+    }
+}
+
+#[test]
+fn empty_selection_agrees_across_worker_counts() {
+    // A predicate matching nothing: no worker ever materializes an
+    // aggregation state, and the merged output is the empty group set.
+    let t = multi_morsel_table();
+    let q = Query::new()
+        .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price");
+    let reference = run_query(&t, &q, &QueryCtx::none()).unwrap();
+    assert_eq!(reference.num_rows(), 0);
+    for workers in [1, 2, 3, 8] {
+        let got = run_query(&t, &q, &QueryCtx::new(ExecPolicy::Parallel { workers })).unwrap();
+        assert_bitwise_eq(
+            &reference,
+            &got,
+            &format!("empty selection, workers = {workers}"),
+        );
+    }
+}
+
+#[test]
+fn seeded_morsel_chaos_stays_bit_identical_across_worker_counts() {
+    // Seeded `exec.morsel` panics force mid-flight serial fallbacks; the
+    // degraded run must still be bit-identical to the fault-free serial
+    // answer for every worker count.
+    let t = multi_morsel_table();
+    let q = Query::new()
+        .filter(Predicate::range("price", 100.0, 700.0))
+        .group("region")
+        .group("channel")
+        .agg(AggFunc::Sum, "price")
+        .agg(AggFunc::Avg, "qty");
+    let truth = {
+        let mut serial = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        serial.register("sales", t.clone());
+        serial.query("sales", &q).unwrap()
+    };
+    for workers in [1, 2, 3, 8] {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers });
+        db.register("sales", t.clone());
+        let faults = db.fail_points();
+        for seed in 0..6u64 {
+            faults.arm("exec.morsel", Schedule::Seeded { seed, one_in: 3 });
+            let got = db.query("sales", &q).expect("degrades, not fails");
+            assert_bitwise_eq(&truth, &got, &format!("workers = {workers}, seed = {seed}"));
+        }
+        faults.disarm_all();
     }
 }
 
