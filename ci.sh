@@ -14,12 +14,13 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> variant-creep lint (no public *_traced/*_ctx/*_cancellable fns)"
+echo "==> variant-creep lint (no public *_traced/*_ctx/*_cancellable/*_sharded fns)"
 # The engine exposes exactly one implementation per operation, with
-# QueryCtx threading tracing/cancellation/faults. Any public fn named
-# *_traced, *_ctx, or *_cancellable is a regression to the old
+# QueryCtx threading tracing/cancellation/faults and ShardPolicy routing
+# sharded dispatch internally. Any public fn named *_traced, *_ctx,
+# *_cancellable, or *_sharded is a regression to the old
 # variant-per-concern API. Allowlist is intentionally empty.
-if grep -rnE 'pub (async )?fn [a-zA-Z0-9_]+_(traced|ctx|cancellable)\b' \
+if grep -rnE 'pub (async )?fn [a-zA-Z0-9_]+_(traced|ctx|cancellable|sharded)\b' \
     --include='*.rs' crates/; then
     echo "error: public per-concern variant fn found; thread a QueryCtx instead" >&2
     exit 1
@@ -43,7 +44,8 @@ cargo test -q --workspace
 # exact seed to reproduce locally.
 echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules)"
 CHAOS_ITERS="${CHAOS_ITERS:-200}" \
-    cargo test -q --test chaos_differential --test cancel_proptests
+    cargo test -q --test chaos_differential --test cancel_proptests \
+    --test shard_differential
 
 if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (engine) -> BENCH_engine.json"
@@ -56,6 +58,11 @@ if [[ "${1:-}" != "fast" ]]; then
         cargo bench -q -p explore-bench --bench cache
     echo "==> wrote $(wc -c < BENCH_cache.json) bytes of benchmark records"
 
+    echo "==> bench smoke (shard) -> BENCH_shard.json"
+    BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_shard.json" \
+        cargo bench -q -p explore-bench --bench shard
+    echo "==> wrote $(wc -c < BENCH_shard.json) bytes of benchmark records"
+
     echo "==> bench-check (engine vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_engine.json bench/baselines/BENCH_engine.json
@@ -63,6 +70,10 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench-check (cache vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_cache.json bench/baselines/BENCH_cache.json
+
+    echo "==> bench-check (shard vs bench/baselines)"
+    cargo run -q --release -p explore-bench --bin bench_gate -- \
+        BENCH_shard.json bench/baselines/BENCH_shard.json
 fi
 
 echo "==> CI green"

@@ -30,6 +30,7 @@ use explore_obs::{
 };
 use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
+use explore_shard::{run_sharded_query, scoped_name, ShardPolicy, ShardStats, ShardedTable};
 use explore_storage::{
     AggFunc, Catalog, DataType, Predicate, Query, Result, StorageError, Table, Value,
 };
@@ -58,6 +59,15 @@ pub struct ExploreDb {
     /// Whether [`ExploreDb::query`] routes through the cache. `Off` (the
     /// default) is bit-identical to a cache-less engine.
     cache_policy: CachePolicy,
+    /// Whether registered tables are mirrored into row-range shards with
+    /// per-shard cracking, caching, and epochs. `Off` (the default) is
+    /// the unchanged single-table engine.
+    shard_policy: ShardPolicy,
+    /// The sharded mirrors, present only while `shard_policy` is on.
+    /// The canonical table stays in `catalog` — every non-query
+    /// subsystem keeps reading it — and mutations dual-write: canonical
+    /// first (it validates), then the owning shard.
+    sharded: HashMap<String, ShardedTable>,
     /// The engine's tracer + metrics owner. Always allocated; recording
     /// is gated by `obs_policy` and costs one relaxed load while off.
     obs: Arc<Tracer>,
@@ -97,6 +107,8 @@ impl Default for ExploreDb {
             exec_policy: ExecPolicy::default(),
             result_cache,
             cache_policy: CachePolicy::default(),
+            shard_policy: ShardPolicy::default(),
+            sharded: HashMap::new(),
             obs: Arc::default(),
             obs_policy: ObsPolicy::default(),
             faults,
@@ -152,6 +164,60 @@ impl ExploreDb {
     /// The current cache policy.
     pub fn cache_policy(&self) -> &CachePolicy {
         &self.cache_policy
+    }
+
+    /// A fresh engine with table sharding enabled.
+    pub fn with_shard_policy(policy: ShardPolicy) -> Self {
+        let mut db = ExploreDb::default();
+        db.set_shard_policy(policy);
+        db
+    }
+
+    /// Turn table sharding on or off (and retune it). `On` mirrors every
+    /// registered in-memory table into contiguous row-range shards, each
+    /// with its own cracker state and cache-epoch scope; queries fan out
+    /// per shard and merge bit-identically to the unsharded engine (see
+    /// `explore_shard`). `Off` drops the mirrors — the canonical tables
+    /// in the catalog were authoritative all along.
+    pub fn set_shard_policy(&mut self, policy: ShardPolicy) {
+        self.shard_policy = policy;
+        self.sharded.clear();
+        if self.shard_policy.is_on() {
+            let names: Vec<String> = self.catalog.names().iter().map(|s| s.to_string()).collect();
+            for name in names {
+                self.rebuild_shards(&name);
+            }
+        }
+    }
+
+    /// The current shard policy.
+    pub fn shard_policy(&self) -> &ShardPolicy {
+        &self.shard_policy
+    }
+
+    /// Per-shard layout, epoch, and index statistics for a table, or
+    /// `None` when the table has no sharded mirror (policy off, raw
+    /// table, or unknown name).
+    pub fn shard_stats(&self, table: &str) -> Option<Vec<ShardStats>> {
+        self.sharded
+            .get(table)
+            .map(|st| st.stats(|i| self.result_cache.epoch(&scoped_name(table, i))))
+    }
+
+    /// (Re)build `table`'s sharded mirror from the canonical catalog
+    /// copy. Bumps the new mirror's shard-scope epochs: the mirror's
+    /// contents changed, so cache entries under its scoped names — from
+    /// any earlier sharding era, including one the policy was toggled
+    /// across — must not survive into it.
+    fn rebuild_shards(&mut self, table: &str) {
+        self.sharded.remove(table);
+        if let (ShardPolicy::On(config), Ok(t)) = (&self.shard_policy, self.catalog.get(table)) {
+            let mirror = ShardedTable::build(table, t, config);
+            for s in 0..mirror.shard_count() {
+                self.result_cache.bump_epoch(&scoped_name(table, s));
+            }
+            self.sharded.insert(table.to_owned(), mirror);
+        }
     }
 
     /// A fresh engine with observability enabled.
@@ -220,8 +286,9 @@ impl ExploreDb {
     /// Handle to the engine's fail-point registry. Tests arm named
     /// points (`exec.spawn`, `exec.morsel`, `cache.admit`,
     /// `cache.lookup`, `cache.evict`, `load.parse`, `load.map`,
-    /// `crack.reorg`) to drive the engine down its degradation paths;
-    /// the registry also counts `fault.*` / `cancel.*` events.
+    /// `crack.reorg`, `shard.dispatch`, `shard.merge`) to drive the
+    /// engine down its degradation paths; the registry also counts
+    /// `fault.*` / `cancel.*` events.
     pub fn fail_points(&self) -> Arc<FailPoints> {
         Arc::clone(&self.faults)
     }
@@ -289,13 +356,40 @@ impl ExploreDb {
         self.result_cache.epoch(table)
     }
 
-    /// Record that `table`'s data changed: bumps the cache epoch (so no
-    /// pre-mutation result is ever served again) and drops the table's
-    /// adaptive indexes, which mirror the old data. The mutation APIs
-    /// below call this automatically; callers that mutate through other
-    /// channels must call it themselves.
+    /// Record that `table`'s data changed through a channel the engine
+    /// did not see: bumps the cache epoch (so no pre-mutation result is
+    /// ever served again) — every shard-scope epoch included — drops the
+    /// table's adaptive indexes, which mirror the old data, and rebuilds
+    /// the sharded mirror from the canonical copy. The mutation APIs
+    /// below route mutations precisely instead (bumping only the owning
+    /// shard's epoch); callers that mutate through other channels get
+    /// this conservative whole-table invalidation.
     pub fn note_mutation(&mut self, table: &str) {
+        self.invalidate_table(table);
+        self.rebuild_shards(table);
+    }
+
+    /// Whole-table invalidation: base epoch, every current shard-scope
+    /// epoch, and the table's adaptive indexes.
+    fn invalidate_table(&mut self, table: &str) {
         self.result_cache.bump_epoch(table);
+        if let Some(st) = self.sharded.get(table) {
+            for s in 0..st.shard_count() {
+                self.result_cache.bump_epoch(&scoped_name(table, s));
+            }
+        }
+        self.crackers.retain(|(t, _), _| t != table);
+    }
+
+    /// Record a mutation the sharded mirror already absorbed in place:
+    /// bump the base epoch (whole-table results die) and only the
+    /// mutated shards' scope epochs — the other shards' cached results
+    /// are still exact, and keeping them live is the payoff of sharding.
+    fn note_shard_mutation(&mut self, table: &str, mutated: &[usize]) {
+        self.result_cache.bump_epoch(table);
+        for &s in mutated {
+            self.result_cache.bump_epoch(&scoped_name(table, s));
+        }
         self.crackers.retain(|(t, _), _| t != table);
     }
 
@@ -304,15 +398,24 @@ impl ExploreDb {
     pub fn register(&mut self, name: impl Into<String>, table: Table) {
         let name = name.into();
         if self.catalog.get(&name).is_ok() {
-            self.note_mutation(&name);
+            self.invalidate_table(&name);
         }
-        self.catalog.register(name, table);
+        self.catalog.register(name.clone(), table);
+        self.rebuild_shards(&name);
     }
 
     /// Append one row of dynamic values to an in-memory table.
     pub fn push_row(&mut self, table: &str, values: Vec<Value>) -> Result<()> {
-        self.catalog.get_mut(table)?.push_row(values)?;
-        self.note_mutation(table);
+        self.catalog.get_mut(table)?.push_row(values.clone())?;
+        match self.sharded.get_mut(table) {
+            // The canonical write above validated; the mirror's schema is
+            // identical, so this routes to the owning (last) shard.
+            Some(st) => {
+                let shard = st.push_row(values)?;
+                self.note_shard_mutation(table, &[shard]);
+            }
+            None => self.note_mutation(table),
+        }
         Ok(())
     }
 
@@ -320,7 +423,13 @@ impl ExploreDb {
     /// table.
     pub fn append_rows(&mut self, table: &str, rows: &Table) -> Result<()> {
         self.catalog.get_mut(table)?.append(rows)?;
-        self.note_mutation(table);
+        match self.sharded.get_mut(table) {
+            Some(st) => {
+                let shard = st.append_rows(rows)?;
+                self.note_shard_mutation(table, &[shard]);
+            }
+            None => self.note_mutation(table),
+        }
         Ok(())
     }
 
@@ -354,7 +463,13 @@ impl ExploreDb {
             t.set_cell(column, row as usize, value.clone())?;
         }
         if !sel.is_empty() {
-            self.note_mutation(table);
+            match self.sharded.get_mut(table) {
+                Some(st) => {
+                    let mutated = st.update_where(&sel, column, &value)?;
+                    self.note_shard_mutation(table, &mutated);
+                }
+                None => self.note_mutation(table),
+            }
         }
         Ok(sel.len())
     }
@@ -441,6 +556,10 @@ impl ExploreDb {
             };
         }
         let base = self.catalog.get(table)?;
+        if let Some(st) = self.sharded.get(table) {
+            let cache = self.cache_policy.is_on().then_some(&*self.result_cache);
+            return run_sharded_query(st, cache, query, ctx);
+        }
         if self.cache_policy.is_on() {
             explore_cache::cached_query(&self.result_cache, base, table, query, ctx)
         } else {
@@ -473,7 +592,20 @@ impl ExploreDb {
         let ctx = self.query_ctx();
         ctx.check_cancel()?;
         let token = self.session_token();
-        let key = self.ensure_cracker(table, column)?;
+        let key = if self.sharded.contains_key(table) {
+            // Sharded tables crack per shard; validate the column here so
+            // the error shape matches `ensure_cracker` exactly.
+            let t = self.catalog.get(table)?;
+            let col = t.column(column)?;
+            col.as_i64().ok_or_else(|| StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "Int64",
+                found: col.data_type().name(),
+            })?;
+            None
+        } else {
+            Some(self.ensure_cracker(table, column)?)
+        };
         if self.faults.fire("crack.reorg") {
             // Injected reorganization failure: answer by scanning the
             // (never-reorganized) base column instead. Cracking writes
@@ -494,6 +626,9 @@ impl ExploreDb {
                 .map(|(i, _)| i as u32)
                 .collect());
         }
+        let Some(key) = key else {
+            return self.cracked_range_sharded(table, column, low, high, token);
+        };
         let trace = self
             .obs
             .start(table, || format!("cracked_range({column}, {low}, {high})"));
@@ -536,6 +671,67 @@ impl ExploreDb {
         ids
     }
 
+    /// The sharded variant of [`ExploreDb::cracked_range`]: each shard
+    /// cracks its own copy of the column independently, shards whose
+    /// piece count grew bump their scope epochs (plus the base epoch),
+    /// and matching global row ids come back concatenated in shard
+    /// order — cracked (physical) order within each shard, like the
+    /// unsharded path.
+    fn cracked_range_sharded(
+        &mut self,
+        table: &str,
+        column: &str,
+        low: i64,
+        high: i64,
+        token: Option<CancelToken>,
+    ) -> Result<Vec<u32>> {
+        let trace = self
+            .obs
+            .start(table, || format!("cracked_range({column}, {low}, {high})"));
+        let st = self
+            .sharded
+            .get_mut(table)
+            .ok_or_else(|| StorageError::Internal("sharded mirror lost after route".into()))?;
+        let pieces_before = st.index_pieces(column).unwrap_or(0);
+        let start = trace.as_ref().map(|t| t.now_ns());
+        let result = st.cracked_range(column, low, high, token.as_ref());
+        let pieces_after = st.index_pieces(column).unwrap_or(0);
+        if let Some((t, s)) = trace.as_ref().zip(start) {
+            t.record(
+                ROOT_SPAN,
+                SpanKind::Crack {
+                    pieces_before: pieces_before as u32,
+                    pieces_after: pieces_after as u32,
+                },
+                s,
+                t.now_ns(),
+            );
+            if pieces_after != pieces_before {
+                t.metrics().inc("crack.reorganizations", 1);
+            }
+        }
+        match &result {
+            // Reorganization is an epoch event (see the unsharded path),
+            // but a per-shard one: only the shards that grew pieces bump.
+            Ok((_, reorganized)) if !reorganized.is_empty() => {
+                for &s in reorganized {
+                    self.result_cache.bump_epoch(&scoped_name(table, s));
+                }
+                self.result_cache.bump_epoch(table);
+            }
+            // An aborted (cancelled) call may have reorganized some
+            // shards before stopping and cannot say which; invalidate
+            // conservatively.
+            Err(_) if pieces_after != pieces_before => self.invalidate_table(table),
+            _ => {}
+        }
+        if let Some(trace) = trace {
+            trace.finish();
+        }
+        self.note_cancel(&result);
+        result.map(|(ids, _)| ids)
+    }
+
     /// Build the (table, column) cracker on first use; returns its key.
     fn ensure_cracker(&mut self, table: &str, column: &str) -> Result<(String, String)> {
         let key = (table.to_owned(), column.to_owned());
@@ -557,11 +753,17 @@ impl ExploreDb {
     }
 
     /// Pieces the adaptive index on (table, column) currently has —
-    /// observability for convergence.
+    /// observability for convergence. For a sharded table, the sum of
+    /// per-shard piece counts.
     pub fn index_pieces(&self, table: &str, column: &str) -> Option<usize> {
         self.crackers
             .get(&(table.to_owned(), column.to_owned()))
             .map(CrackerColumn::num_pieces)
+            .or_else(|| {
+                self.sharded
+                    .get(table)
+                    .and_then(|st| st.index_pieces(column))
+            })
     }
 
     /// Build (or rebuild) the sample catalog enabling approximate
@@ -1417,6 +1619,101 @@ mod tests {
         let snap = db.metrics_snapshot();
         assert_eq!(snap.counter("prefetch.misses"), 1);
         assert_eq!(snap.counter("prefetch.speculative_runs"), 2);
+    }
+
+    #[test]
+    fn sharded_engine_is_bitwise_and_observable() {
+        use explore_shard::{ShardConfig, ShardPolicy};
+        let mut plain = engine_with_sales(5_000);
+        let mut db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
+            count: 4,
+            min_rows_per_shard: 1,
+        }));
+        assert!(db.shard_policy().is_on());
+        db.register("sales", plain.table("sales").unwrap().clone());
+        for q in [
+            Query::new()
+                .filter(Predicate::range("price", 100.0, 600.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price"),
+            Query::new()
+                .filter(Predicate::eq("channel", "channel1"))
+                .select(&["region", "price"])
+                .order("price", explore_storage::SortOrder::Desc)
+                .take(50),
+        ] {
+            assert_eq!(
+                plain.query("sales", &q).unwrap(),
+                db.query("sales", &q).unwrap()
+            );
+        }
+        let stats = db.shard_stats("sales").unwrap();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.rows).sum::<usize>(), 5_000);
+        assert!(plain.shard_stats("sales").is_none());
+
+        // Cracking routes per shard and still matches a scan.
+        let ids = db.cracked_range("sales", "qty", 3, 7).unwrap();
+        let mut got = ids.clone();
+        got.sort_unstable();
+        let want = Predicate::range("qty", 3i64, 7i64)
+            .evaluate(plain.table("sales").unwrap())
+            .unwrap();
+        assert_eq!(got, want);
+        assert!(db.index_pieces("sales", "qty").unwrap() >= 4);
+
+        // Turning the policy off drops the mirrors; answers unchanged.
+        db.set_shard_policy(ShardPolicy::Off);
+        assert!(db.shard_stats("sales").is_none());
+        let q = Query::new().agg(AggFunc::Sum, "qty");
+        assert_eq!(
+            plain.query("sales", &q).unwrap(),
+            db.query("sales", &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn shard_mutations_bump_only_the_owning_scope() {
+        use explore_shard::{scoped_name, ShardConfig, ShardPolicy};
+        let mut db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
+            count: 4,
+            min_rows_per_shard: 1,
+        }));
+        db.set_cache_policy(CachePolicy::on());
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 2_000,
+                ..SalesConfig::default()
+            }),
+        );
+        let before: Vec<u64> = (0..4)
+            .map(|s| db.table_epoch(&scoped_name("sales", s)))
+            .collect();
+        let base = db.table_epoch("sales");
+
+        // push_row appends to the last shard: only scope 3 bumps.
+        let row = db.table("sales").unwrap().row(0).unwrap();
+        db.push_row("sales", row).unwrap();
+        assert_eq!(db.table_epoch("sales"), base + 1);
+        for s in 0..3 {
+            assert_eq!(db.table_epoch(&scoped_name("sales", s)), before[s]);
+        }
+        assert_eq!(db.table_epoch(&scoped_name("sales", 3)), before[3] + 1);
+
+        // The sharded mirror stays in sync with the canonical table.
+        let q = Query::new().agg(AggFunc::Count, "qty");
+        let n = db.query("sales", &q).unwrap();
+        assert_eq!(
+            n.column("count(qty)").unwrap().as_f64().unwrap()[0],
+            2_001.0
+        );
+
+        // An external-channel mutation is conservative: every scope bumps.
+        db.note_mutation("sales");
+        for s in 0..4 {
+            assert!(db.table_epoch(&scoped_name("sales", s)) > before[s]);
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use explore_obs as obs;
 pub use explore_prefetch as prefetch;
 pub use explore_sampling as sampling;
 pub use explore_series as series;
+pub use explore_shard as shard;
 pub use explore_storage as storage;
 pub use explore_synopses as synopses;
 pub use explore_viz as viz;

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use explore_exec::{global_pool, ExecPolicy};
+use explore_exec::{global_pool, parallel_profitable, ExecPolicy};
 use explore_fault::FailPoints;
 use explore_obs::MetricsRegistry;
 use parking_lot::RwLock;
@@ -175,13 +175,18 @@ impl ConcurrentCracker {
             out[i].store(self.query_count(low, high), Ordering::Relaxed);
         };
         match policy {
-            ExecPolicy::Serial => (0..ranges.len()).for_each(run),
-            ExecPolicy::Parallel { workers } => {
+            // The executor's profitability clamp applies here too: a
+            // batch that would resolve to one participant (single-core
+            // host, one-element batch, workers=1) skips pool dispatch
+            // entirely — per-probe submission otherwise dominates these
+            // tiny cracked-range lookups (the E16 regression).
+            ExecPolicy::Parallel { workers } if parallel_profitable(workers, ranges.len()) => {
                 // One "morsel" per query: cracker queries are tiny
                 // relative to MORSEL_ROWS-row scans, and the pool's
                 // work-stealing keeps the batch balanced anyway.
                 global_pool().run(workers.max(1), ranges.len(), &run);
             }
+            ExecPolicy::Serial | ExecPolicy::Parallel { .. } => (0..ranges.len()).for_each(run),
         }
         out.into_iter().map(|c| c.into_inner()).collect()
     }

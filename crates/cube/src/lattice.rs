@@ -91,7 +91,9 @@ impl DataCube {
         } else {
             self.hits += 1;
         }
-        Ok(self.cache.get(&key).expect("just inserted"))
+        self.cache
+            .get(&key)
+            .ok_or_else(|| StorageError::Internal("cuboid vanished after insert".into()))
     }
 
     /// Materialize the full lattice (2^k cuboids). Exponential — only

@@ -47,6 +47,6 @@ pub use ctx::QueryCtx;
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{
-    evaluate_selection, morsel_count, morsel_range, morsel_rows_for, run_query,
-    run_query_on_selection, MAX_MORSELS,
+    evaluate_selection, morsel_count, morsel_range, morsel_rows_for, parallel_profitable,
+    run_query, run_query_on_selection, MAX_MORSELS,
 };

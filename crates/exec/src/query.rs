@@ -356,7 +356,10 @@ where
 /// Would a parallel fan-out actually dispatch to more than one thread?
 /// Mirrors the pool's own participant clamp; when the answer is no, the
 /// executor skips pool submission entirely (the serial fast-path).
-fn parallel_profitable(workers: usize, n_morsels: usize) -> bool {
+/// Public so other fan-out layers (cracked-range batches, shard
+/// dispatch) apply the same profitability rule instead of inventing
+/// their own thresholds.
+pub fn parallel_profitable(workers: usize, n_morsels: usize) -> bool {
     workers
         .max(1)
         .min(global_pool().helper_count() + 1)

@@ -1,0 +1,24 @@
+//! Sharded tables: per-shard cracking, caching, and epochs with
+//! deterministic fan-out/merge.
+//!
+//! A [`ShardedTable`] partitions a registered table into contiguous
+//! row-range shards, each owning its own cracker column state, result-
+//! cache epoch scope, and stats. Queries fan out per shard on the
+//! shared executor pool and merge under the engine's bit-identity
+//! contract — serial ≡ parallel ≡ sharded, for any shard count (see
+//! [`run_sharded_query`] for how aggregate merges earn this).
+//! Mutations route to
+//! the owning shard and bump only that shard's cache epoch, so a write
+//! to one region of a table no longer evicts cached results over the
+//! others — epoch locality is the subsystem's payoff.
+//!
+//! The engine enables all of this behind [`ShardPolicy`]; the default
+//! `Off` is the unchanged single-table path.
+
+mod fanout;
+mod policy;
+mod table;
+
+pub use fanout::run_sharded_query;
+pub use policy::{ShardConfig, ShardPolicy};
+pub use table::{scoped_name, Shard, ShardStats, ShardedTable};

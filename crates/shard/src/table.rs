@@ -1,0 +1,366 @@
+//! The sharded mirror of one registered table.
+//!
+//! A [`ShardedTable`] partitions a table's rows into contiguous ranges
+//! ("shards"), each holding a bitwise copy of its rows plus private
+//! adaptive-index state. The canonical table stays in the engine
+//! catalog — every non-query subsystem (samples, synopses, SeeDB,
+//! facets, raw loading) keeps reading it unchanged — and the mirror is
+//! kept in sync by routing each mutation to its owning shard.
+//!
+//! Each shard owns a **cache-epoch scope** of its own: cache entries
+//! for shard `i` of table `t` live under the scoped table name
+//! [`scoped_name`]`(t, i)`, so a mutation to one shard bumps only that
+//! shard's epoch and the other shards' entries stay live. That epoch
+//! locality is the point of sharding a cache-fronted engine.
+
+use std::collections::HashMap;
+
+use explore_cracking::CrackerColumn;
+use explore_exec::morsel_rows_for;
+use explore_fault::CancelToken;
+use explore_storage::{Result, StorageError, Table, Value};
+
+use crate::policy::ShardConfig;
+
+/// The cache-epoch scope name of shard `shard` of table `table`. The
+/// `#` separator cannot appear in a registered table name used through
+/// the engine's public API, so scopes never collide with real tables.
+pub fn scoped_name(table: &str, shard: usize) -> String {
+    format!("{table}#s{shard}")
+}
+
+/// One contiguous row-range shard: a bitwise copy of the base table's
+/// rows `[start, start + rows)` plus this shard's private adaptive
+/// indexes.
+#[derive(Debug)]
+pub struct Shard {
+    /// This shard's rows, in base-table order.
+    pub(crate) table: Table,
+    /// Global row id of this shard's first row.
+    pub(crate) start: usize,
+    /// Per-column cracker state, converging independently per shard.
+    pub(crate) crackers: HashMap<String, CrackerColumn>,
+}
+
+impl Shard {
+    /// Global row range `[start, end)` of this shard.
+    pub(crate) fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.table.num_rows()
+    }
+}
+
+/// Point-in-time statistics of one shard, via
+/// [`ShardedTable::stats`] / `ExploreDb::shard_stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index within the table.
+    pub shard: usize,
+    /// Global row id of the shard's first row.
+    pub start: usize,
+    /// Rows currently held by the shard.
+    pub rows: usize,
+    /// The shard's cache epoch (its scoped name's epoch counter).
+    pub epoch: u64,
+    /// Columns with cracker state in this shard.
+    pub crackers: usize,
+    /// Total cracker pieces across this shard's columns.
+    pub pieces: usize,
+}
+
+/// A table partitioned into independent contiguous row-range shards.
+#[derive(Debug)]
+pub struct ShardedTable {
+    name: String,
+    shards: Vec<Shard>,
+}
+
+impl ShardedTable {
+    /// Mirror `table` (registered as `name`) into shards per `config`.
+    /// The split is contiguous and near-balanced: shard `i` of `k` ends
+    /// at `(i+1)*n/k`, **snapped to the executor's global morsel grid**
+    /// when every shard spans at least one morsel. Snapping is a pure
+    /// performance choice — any contiguous partition is bit-identical by
+    /// construction — but aligned boundaries mean no global morsel
+    /// straddles two shards, so the aggregate merge has no serially
+    /// rebuilt straddle morsels (see `explore_shard::fanout`).
+    pub fn build(name: impl Into<String>, table: &Table, config: &ShardConfig) -> ShardedTable {
+        let n = table.num_rows();
+        let k = config.effective_count(n);
+        let rows_per = morsel_rows_for(n);
+        let boundary = |i: usize| {
+            if i == 0 || i == k {
+                return i * n / k;
+            }
+            if n / k >= rows_per {
+                // Interior boundaries spaced ≥ one morsel apart stay
+                // strictly increasing after rounding to the grid.
+                ((i * n + k * rows_per / 2) / (k * rows_per)) * rows_per
+            } else {
+                i * n / k
+            }
+        };
+        let shards = (0..k)
+            .map(|i| {
+                let (start, end) = (boundary(i), boundary(i + 1));
+                let sel: Vec<u32> = (start as u32..end as u32).collect();
+                Shard {
+                    table: table.gather(&sel),
+                    start,
+                    crackers: HashMap::new(),
+                }
+            })
+            .collect();
+        ShardedTable {
+            name: name.into(),
+            shards,
+        }
+    }
+
+    /// The base table's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rows across all shards.
+    pub fn num_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.table.num_rows()).sum()
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Append one row to the table; routes to the last shard (contiguous
+    /// ranges make it the only shard that can grow without reshuffling
+    /// global row ids). Returns the mutated shard's index.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<usize> {
+        let idx = self.shards.len() - 1;
+        let shard = &mut self.shards[idx];
+        shard.table.push_row(values)?;
+        shard.crackers.clear();
+        Ok(idx)
+    }
+
+    /// Append all rows of `rows` to the last shard. Returns the mutated
+    /// shard's index.
+    pub fn append_rows(&mut self, rows: &Table) -> Result<usize> {
+        let idx = self.shards.len() - 1;
+        let shard = &mut self.shards[idx];
+        shard.table.append(rows)?;
+        shard.crackers.clear();
+        Ok(idx)
+    }
+
+    /// Apply `column = value` to the global row ids in `sel` (ascending,
+    /// as produced by predicate evaluation on the canonical table),
+    /// routing each row to its owning shard. Returns the indexes of the
+    /// shards that changed, ascending. The caller has already validated
+    /// type compatibility against the canonical table — identical
+    /// schemas make the writes infallible here short of engine bugs.
+    pub fn update_where(&mut self, sel: &[u32], column: &str, value: &Value) -> Result<Vec<usize>> {
+        let mut mutated = Vec::new();
+        let mut rows = sel.iter().peekable();
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let range = shard.range();
+            let mut touched = false;
+            while let Some(&&row) = rows.peek() {
+                if (row as usize) >= range.end {
+                    break;
+                }
+                if (row as usize) < range.start {
+                    return Err(StorageError::Internal(
+                        "update selection not ascending across shards".into(),
+                    ));
+                }
+                shard
+                    .table
+                    .set_cell(column, row as usize - range.start, value.clone())?;
+                touched = true;
+                rows.next();
+            }
+            if touched {
+                shard.crackers.clear();
+                mutated.push(idx);
+            }
+        }
+        Ok(mutated)
+    }
+
+    /// Range query `low <= v < high` through per-shard adaptive indexes:
+    /// each shard cracks its own copy of `column` independently, and the
+    /// matching ids are returned offset back to global row ids,
+    /// concatenated in shard order. Like the unsharded cracked path, ids
+    /// come back in cracked (physical) order, not ascending.
+    ///
+    /// Returns `(ids, reorganized)` where `reorganized` lists the shards
+    /// whose piece count grew — the caller bumps exactly those shards'
+    /// epochs. The cancel token is checked between crack steps; a
+    /// cancelled call leaves every shard's index well-formed.
+    pub fn cracked_range(
+        &mut self,
+        column: &str,
+        low: i64,
+        high: i64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Vec<u32>, Vec<usize>)> {
+        let mut out = Vec::new();
+        let mut reorganized = Vec::new();
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            if !shard.crackers.contains_key(column) {
+                let col = shard.table.column(column)?;
+                let values = col
+                    .as_i64()
+                    .ok_or_else(|| StorageError::TypeMismatch {
+                        column: column.to_owned(),
+                        expected: "Int64",
+                        found: col.data_type().name(),
+                    })?
+                    .to_vec();
+                shard
+                    .crackers
+                    .insert(column.to_owned(), CrackerColumn::new(values));
+            }
+            let cracker = shard
+                .crackers
+                .get_mut(column)
+                .ok_or_else(|| StorageError::Internal("shard cracker lost after build".into()))?;
+            let before = cracker.num_pieces();
+            let (s, e) = cracker.query_bounds(low, high, cancel)?;
+            if cracker.num_pieces() != before {
+                reorganized.push(idx);
+            }
+            let start = shard.start as u32;
+            out.extend(cracker.ids()[s..e].iter().map(|&i| start + i));
+        }
+        Ok((out, reorganized))
+    }
+
+    /// Total cracker pieces on `column` across shards, or `None` if no
+    /// shard has cracked it yet.
+    pub fn index_pieces(&self, column: &str) -> Option<usize> {
+        let counts: Vec<usize> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.crackers.get(column).map(CrackerColumn::num_pieces))
+            .collect();
+        (!counts.is_empty()).then(|| counts.iter().sum())
+    }
+
+    /// Per-shard statistics; `epoch_of(i)` supplies shard `i`'s cache
+    /// epoch (the engine reads it off the shared result cache).
+    pub fn stats(&self, epoch_of: impl Fn(usize) -> u64) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                start: s.start,
+                rows: s.table.num_rows(),
+                epoch: epoch_of(i),
+                crackers: s.crackers.len(),
+                pieces: s.crackers.values().map(CrackerColumn::num_pieces).sum(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::Predicate;
+
+    fn sales(rows: usize) -> Table {
+        sales_table(&SalesConfig {
+            rows,
+            ..SalesConfig::default()
+        })
+    }
+
+    fn config(count: usize) -> ShardConfig {
+        ShardConfig {
+            count,
+            min_rows_per_shard: 1,
+        }
+    }
+
+    #[test]
+    fn split_is_contiguous_balanced_and_bitwise() {
+        let t = sales(1003);
+        let st = ShardedTable::build("sales", &t, &config(4));
+        assert_eq!(st.shard_count(), 4);
+        assert_eq!(st.num_rows(), 1003);
+        let mut covered = 0;
+        for shard in st.shards() {
+            assert_eq!(shard.start, covered);
+            covered = shard.range().end;
+            for local in 0..shard.table.num_rows() {
+                assert_eq!(
+                    shard.table.row(local).unwrap(),
+                    t.row(shard.start + local).unwrap(),
+                    "shard row {local}"
+                );
+            }
+        }
+        assert_eq!(covered, 1003);
+        // Balance: no two shards differ by more than one row.
+        let sizes: Vec<usize> = st.shards().iter().map(|s| s.table.num_rows()).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn mutations_route_to_owning_shard() {
+        let t = sales(100);
+        let mut st = ShardedTable::build("sales", &t, &config(4));
+        let row = t.row(0).unwrap();
+        assert_eq!(st.push_row(row).unwrap(), 3);
+        assert_eq!(st.num_rows(), 101);
+        assert_eq!(st.append_rows(&t).unwrap(), 3);
+        assert_eq!(st.num_rows(), 201);
+
+        // Update rows spread across two shards.
+        let sel = Predicate::range("qty", 0i64, 100i64).evaluate(&t).unwrap();
+        let some: Vec<u32> = sel.iter().copied().filter(|&r| r < 50).collect();
+        let mutated = st.update_where(&some, "qty", &Value::Int(42)).unwrap();
+        assert!(!mutated.is_empty());
+        for &i in &mutated {
+            assert!(i < 2, "rows < 50 live in the first two shards of 201");
+        }
+    }
+
+    #[test]
+    fn cracked_range_matches_scan_per_shard() {
+        let t = sales(5000);
+        let mut st = ShardedTable::build("sales", &t, &config(4));
+        let (ids, reorganized) = st.cracked_range("qty", 3, 7, None).unwrap();
+        assert!(!reorganized.is_empty(), "first crack reorganizes");
+        let mut got = ids.clone();
+        got.sort_unstable();
+        let want = Predicate::range("qty", 3i64, 7i64).evaluate(&t).unwrap();
+        assert_eq!(got, want);
+        // Repeat adds no pieces anywhere.
+        let (_, again) = st.cracked_range("qty", 3, 7, None).unwrap();
+        assert!(again.is_empty());
+        assert!(st.index_pieces("qty").unwrap() >= 4);
+        assert!(st.index_pieces("price").is_none());
+    }
+
+    #[test]
+    fn stats_reflect_layout() {
+        let t = sales(1000);
+        let mut st = ShardedTable::build("sales", &t, &config(4));
+        st.cracked_range("qty", 2, 5, None).unwrap();
+        let stats = st.stats(|i| i as u64 * 10);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].start, 0);
+        assert_eq!(stats[1].epoch, 10);
+        assert!(stats.iter().all(|s| s.rows == 250 && s.crackers == 1));
+        assert!(stats.iter().all(|s| s.pieces >= 1));
+    }
+}

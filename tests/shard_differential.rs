@@ -1,0 +1,485 @@
+//! Sharded/unsharded differential suite: every query shape, at every
+//! shard count, under either execution policy and with the cache off,
+//! cold, or warm, must be **bit-identical** (floats via `to_bits`) to
+//! the unsharded engine. On top of the exactness matrix: per-shard
+//! epoch locality (a mutation to one shard must not evict the other
+//! shards' cache entries) and seeded chaos over the `shard.dispatch` /
+//! `shard.merge` fail points, which may only degrade gracefully.
+
+use exploration::cache::{CacheConfig, CachePolicy, Fingerprint};
+use exploration::exec::ExecPolicy;
+use exploration::shard::{scoped_name, ShardConfig, ShardPolicy};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::rng::SplitMix64;
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Table, Value, MORSEL_ROWS,
+};
+use exploration::{CancelToken, ExploreDb, Schedule};
+
+/// The two table scales of the parallel differential suite: several
+/// morsels with a ragged tail (shard boundaries fall mid-morsel), and a
+/// sub-morsel degenerate where every shard is a morsel fragment.
+fn table_sizes() -> [usize; 2] {
+    [777, 2 * MORSEL_ROWS + 4321]
+}
+
+/// The shard counts under test: trivial, even, the default, and a prime
+/// that never divides the table evenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn sales(rows: usize) -> Table {
+    sales_table(&SalesConfig {
+        rows,
+        ..SalesConfig::default()
+    })
+}
+
+fn shard_policy(count: usize) -> ShardPolicy {
+    ShardPolicy::On(ShardConfig {
+        count,
+        // The matrix includes sub-morsel tables; let them shard anyway.
+        min_rows_per_shard: 1,
+    })
+}
+
+/// A budget large enough that this workload never evicts.
+fn roomy_policy() -> CachePolicy {
+    CachePolicy::On(CacheConfig {
+        byte_budget: 1 << 30,
+        ..CacheConfig::default()
+    })
+}
+
+/// Assert two tables are identical down to the float bit patterns.
+fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.schema(), b.schema(), "{context}: schema");
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    for field in a.schema().fields() {
+        let ca = a.column(field.name()).unwrap();
+        let cb = b.column(field.name()).unwrap();
+        for row in 0..a.num_rows() {
+            let va = ca.value(row).unwrap();
+            let vb = cb.value(row).unwrap();
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: {}[{row}] {x} vs {y}",
+                    field.name()
+                ),
+                (x, y) => assert_eq!(x, y, "{context}: {}[{row}]", field.name()),
+            }
+        }
+    }
+}
+
+/// The twelve query shapes of the serial/parallel differential suite.
+fn query_shapes() -> Vec<(&'static str, Query)> {
+    vec![
+        ("full_scan", Query::new()),
+        (
+            "filter_scan",
+            Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+        ),
+        (
+            "projection",
+            Query::new()
+                .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+                .select(&["region", "price"]),
+        ),
+        (
+            "order_limit",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 900.0))
+                .select(&["product", "price"])
+                .order("price", SortOrder::Desc)
+                .take(123),
+        ),
+        (
+            "global_aggregates",
+            Query::new()
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Min, "discount")
+                .agg(AggFunc::Max, "discount")
+                .agg(AggFunc::Var, "price")
+                .agg(AggFunc::Std, "price"),
+        ),
+        (
+            "filtered_global_aggregate",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel1"))
+                .agg(AggFunc::Avg, "price"),
+        ),
+        (
+            "group_by",
+            Query::new()
+                .group("region")
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "multi_column_group_by",
+            Query::new()
+                .group("region")
+                .group("channel")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Var, "discount"),
+        ),
+        (
+            "full_pipeline",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 800.0).and(Predicate::cmp(
+                    "qty",
+                    CmpOp::Ge,
+                    2.0,
+                )))
+                .group("product")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "qty")
+                .order("sum(price)", SortOrder::Desc)
+                .take(7),
+        ),
+        (
+            "compound_predicate",
+            Query::new().filter(
+                Predicate::eq("region", "region0")
+                    .or(Predicate::range("price", 0.0, 120.0))
+                    .and(Predicate::cmp("qty", CmpOp::Lt, 8.0).not()),
+            ),
+        ),
+        (
+            "empty_result_filter",
+            Query::new()
+                .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "string_predicate_scan",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel0"))
+                .select(&["channel", "qty"]),
+        ),
+    ]
+}
+
+/// The exactness matrix: 12 shapes × {1, 2, 4, 7} shards ×
+/// {Serial, Parallel} × cache {off, cold, warm}, bitwise vs unsharded.
+#[test]
+fn every_shape_is_bitwise_for_every_shard_count() {
+    for rows in table_sizes() {
+        let t = sales(rows);
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+            // Unsharded, uncached truth.
+            let mut plain = ExploreDb::with_exec_policy(policy);
+            plain.register("sales", t.clone());
+            let shapes = query_shapes();
+            let truths: Vec<Table> = shapes
+                .iter()
+                .map(|(name, q)| {
+                    plain
+                        .query("sales", q)
+                        .unwrap_or_else(|e| panic!("{name} truth: {e}"))
+                })
+                .collect();
+
+            for count in SHARD_COUNTS {
+                // Cache off.
+                let mut off = ExploreDb::with_shard_policy(shard_policy(count));
+                off.set_exec_policy(policy);
+                off.register("sales", t.clone());
+                for ((name, q), truth) in shapes.iter().zip(&truths) {
+                    let got = off
+                        .query("sales", q)
+                        .unwrap_or_else(|e| panic!("{name}: {e}"));
+                    assert_bitwise_eq(
+                        truth,
+                        &got,
+                        &format!("{name} uncached ({rows} rows, {count} shards, {policy:?})"),
+                    );
+                }
+
+                // Cache cold then warm.
+                let mut on = ExploreDb::with_shard_policy(shard_policy(count));
+                on.set_exec_policy(policy);
+                on.set_cache_policy(roomy_policy());
+                on.register("sales", t.clone());
+                for pass in ["cold", "warm"] {
+                    for ((name, q), truth) in shapes.iter().zip(&truths) {
+                        let got = on
+                            .query("sales", q)
+                            .unwrap_or_else(|e| panic!("{name} {pass}: {e}"));
+                        assert_bitwise_eq(
+                            truth,
+                            &got,
+                            &format!("{name} {pass} ({rows} rows, {count} shards, {policy:?})"),
+                        );
+                    }
+                    if pass == "cold" {
+                        let stats = on.cache_stats();
+                        assert!(stats.insertions > 0, "cold pass populates: {stats:?}");
+                        assert_eq!(stats.hits, 0, "cold pass must not hit: {stats:?}");
+                    }
+                }
+                assert!(
+                    on.cache_stats().hits > 0,
+                    "warm pass serves from cache ({count} shards)"
+                );
+            }
+        }
+    }
+}
+
+/// Epoch locality: a mutation routed to one shard invalidates only that
+/// shard's cache entries. With 4 shards and a workload of per-shard
+/// scan entries, appending rows (which lands in the last shard) must
+/// leave **all** other-shard entries live — comfortably above the ≥90%
+/// acceptance bar.
+#[test]
+fn mutation_in_one_shard_keeps_other_shards_cached() {
+    let t = sales(2 * MORSEL_ROWS + 4321);
+    let mut db = ExploreDb::with_shard_policy(shard_policy(4));
+    db.set_cache_policy(roomy_policy());
+    db.register("sales", t.clone());
+
+    // Five scan shapes (no order/limit, so the cached per-shard entry
+    // key is the query itself), each caching one entry per shard.
+    let scans: Vec<Query> = (0..5)
+        .map(|i| {
+            Query::new().filter(Predicate::range(
+                "price",
+                50.0 + 10.0 * i as f64,
+                900.0 - 25.0 * i as f64,
+            ))
+        })
+        .collect();
+    for q in &scans {
+        db.query("sales", q).unwrap();
+    }
+
+    let cache = db.cache();
+    let live = |q: &Query, shard: usize| {
+        cache.contains(&Fingerprint::for_query(&scoped_name("sales", shard), q))
+    };
+    for q in &scans {
+        for shard in 0..4 {
+            assert!(live(q, shard), "entry missing before mutation");
+        }
+    }
+    let epochs_before: Vec<u64> = (0..4)
+        .map(|s| db.table_epoch(&scoped_name("sales", s)))
+        .collect();
+
+    // Mutate: append one row — owned by the last shard.
+    let row = t.row(0).unwrap();
+    db.push_row("sales", row).unwrap();
+
+    // Only the owning shard's epoch moved...
+    for s in 0..3 {
+        assert_eq!(
+            db.table_epoch(&scoped_name("sales", s)),
+            epochs_before[s],
+            "shard {s} epoch must not move"
+        );
+    }
+    assert_eq!(
+        db.table_epoch(&scoped_name("sales", 3)),
+        epochs_before[3] + 1
+    );
+
+    // ...and retention over the other shards' entries is 100% ≥ 90%.
+    let (mut retained, mut total) = (0, 0);
+    for q in &scans {
+        for shard in 0..3 {
+            total += 1;
+            if live(q, shard) {
+                retained += 1;
+            }
+        }
+        assert!(!live(q, 3), "mutated shard's entry must die");
+    }
+    assert_eq!(total, 15);
+    assert!(
+        retained * 100 >= total * 90,
+        "cross-shard retention {retained}/{total} below 90%"
+    );
+
+    // The warm entries actually serve: re-running one scan hits the
+    // three retained shards and misses only the mutated one.
+    let before = db.cache_stats();
+    let got = db.query("sales", &scans[0]).unwrap();
+    let after = db.cache_stats();
+    assert_eq!(after.hits - before.hits, 3, "three shards served warm");
+    assert_eq!(after.misses - before.misses, 1, "one shard recomputed");
+
+    // And the answer reflects the mutation, bit-identically to an
+    // unsharded engine over the mutated table.
+    let mut plain = ExploreDb::new();
+    let mut mutated = t.clone();
+    mutated.push_row(t.row(0).unwrap()).unwrap();
+    plain.register("sales", mutated);
+    assert_bitwise_eq(
+        &plain.query("sales", &scans[0]).unwrap(),
+        &got,
+        "post-mutation scan",
+    );
+}
+
+/// Fail points reachable through a sharded `ExploreDb::query`, the two
+/// shard-specific sites composed with the generic exec/cache ones.
+const POINTS: &[&str] = &[
+    "shard.dispatch",
+    "shard.merge",
+    "exec.spawn",
+    "exec.morsel",
+    "cache.lookup",
+    "cache.admit",
+];
+
+fn chaos_iters() -> usize {
+    std::env::var("CHAOS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150)
+}
+
+/// A random fault schedule derived deterministically from the rng.
+fn random_schedule(rng: &mut SplitMix64) -> Schedule {
+    match rng.range_i64(0, 4) {
+        0 => Schedule::Always,
+        1 => Schedule::Nth(rng.range_i64(1, 5) as u64),
+        2 => Schedule::FirstN(rng.range_i64(1, 4) as u64),
+        _ => Schedule::Seeded {
+            seed: rng.next_u64(),
+            one_in: rng.range_i64(1, 5) as u64,
+        },
+    }
+}
+
+/// Seeded chaos over the shard fail points (composed with exec/cache
+/// ones): every run is bit-identical to the fault-free truth or a clean
+/// typed cancellation — and the same engine, disarmed, still answers
+/// exactly.
+#[test]
+fn seeded_shard_fault_schedules_never_corrupt_results() {
+    let t = sales(2 * MORSEL_ROWS + 4321);
+    let shapes = query_shapes();
+    let truths: Vec<Table> = {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        db.register("sales", t.clone());
+        shapes
+            .iter()
+            .map(|(name, q)| {
+                db.query("sales", q)
+                    .unwrap_or_else(|e| panic!("truth for {name}: {e}"))
+            })
+            .collect()
+    };
+
+    for iter in 0..chaos_iters() {
+        let mut rng = SplitMix64::new(0x5AA2_D000 + iter as u64);
+        let shape_idx = rng.range_i64(0, shapes.len() as i64) as usize;
+        let policy = if rng.range_i64(0, 2) == 0 {
+            ExecPolicy::Serial
+        } else {
+            ExecPolicy::Parallel {
+                workers: rng.range_i64(1, 5) as usize,
+            }
+        };
+        let cache_on = rng.range_i64(0, 2) == 0;
+        let count = SHARD_COUNTS[rng.range_i64(1, SHARD_COUNTS.len() as i64) as usize];
+        let (name, query) = &shapes[shape_idx];
+        let context =
+            format!("iter {iter}: {name} policy={policy:?} cache={cache_on} shards={count}");
+
+        let mut db = ExploreDb::with_shard_policy(shard_policy(count));
+        db.set_exec_policy(policy);
+        if cache_on {
+            db.set_cache_policy(roomy_policy());
+        }
+        db.register("sales", t.clone());
+        if cache_on {
+            // Warm this shape fault-free so lookup faults have entries.
+            db.query("sales", query).unwrap();
+        }
+
+        let faults = db.fail_points();
+        // Always at least one shard point; sometimes generic ones too.
+        faults.arm(
+            POINTS[rng.range_i64(0, 2) as usize],
+            random_schedule(&mut rng),
+        );
+        for _ in 0..rng.range_i64(0, 3) {
+            faults.arm(
+                POINTS[rng.range_i64(0, POINTS.len() as i64) as usize],
+                random_schedule(&mut rng),
+            );
+        }
+        let cancel = (rng.range_i64(0, 4) == 0)
+            .then(|| CancelToken::after_checks(rng.range_i64(0, 12) as u64));
+
+        db.set_cancel_token(cancel.clone());
+        let result = db.query("sales", query);
+        db.set_cancel_token(None);
+        match result {
+            Ok(got) => assert_bitwise_eq(&truths[shape_idx], &got, &context),
+            Err(StorageError::Cancelled) => assert!(
+                cancel.is_some(),
+                "{context}: Cancelled without a cancel token"
+            ),
+            Err(e) => panic!("{context}: fault leaked as non-typed error: {e}"),
+        }
+
+        // Disarm and re-query the SAME engine: any corruption a fault
+        // left behind (cache entry, shard mirror, pool) surfaces here.
+        faults.disarm_all();
+        let clean = db
+            .query("sales", query)
+            .unwrap_or_else(|e| panic!("{context}: post-fault query failed: {e}"));
+        assert_bitwise_eq(
+            &truths[shape_idx],
+            &clean,
+            &format!("{context} (post-fault)"),
+        );
+    }
+}
+
+/// Forced degradation is graceful and observed: with `shard.dispatch`
+/// and `shard.merge` armed `Always`, every query still answers
+/// bit-identically, and the degradation events land in the `fault.*`
+/// counters when observability is on.
+#[test]
+fn forced_shard_degradation_is_bitwise_and_counted() {
+    use exploration::obs::ObsPolicy;
+
+    let t = sales(2 * MORSEL_ROWS + 4321);
+    let mut plain = ExploreDb::new();
+    plain.register("sales", t.clone());
+    let mut db = ExploreDb::with_shard_policy(shard_policy(4));
+    db.set_exec_policy(ExecPolicy::Parallel { workers: 4 });
+    db.set_obs_policy(ObsPolicy::on());
+    db.register("sales", t);
+
+    let faults = db.fail_points();
+    faults.arm("shard.dispatch", Schedule::Always);
+    faults.arm("shard.merge", Schedule::Always);
+    for (name, q) in &query_shapes() {
+        let truth = plain.query("sales", q).unwrap();
+        let got = db
+            .query("sales", q)
+            .unwrap_or_else(|e| panic!("{name} degraded: {e}"));
+        assert_bitwise_eq(&truth, &got, &format!("{name} degraded"));
+    }
+    let snap = db.metrics_snapshot();
+    assert!(
+        snap.counter("fault.shard.serial_fanout") > 0,
+        "dispatch degradation counted"
+    );
+    assert!(
+        snap.counter("fault.shard.remerge") > 0,
+        "merge degradation counted"
+    );
+    faults.disarm_all();
+}
