@@ -9,6 +9,8 @@
 # Knobs: BENCH_SAMPLES (default 3), BENCH_GATE=warn to report
 # regressions without failing, BENCH_GATE_THRESHOLD (default 1.5),
 # CHAOS_ITERS (default 200 seeded fault schedules; raise for soak runs),
+# WORKLOAD_ITERS (default 8 seeded workload replays per test in
+# tests/workload_determinism.rs; raise for soak runs),
 # SPEEDUP_ITERS (best-of-N sampling in tests/parallel_speedup.rs; its
 # wall-clock assertion only arms on hosts with >= 4 cores).
 set -euo pipefail
@@ -42,10 +44,11 @@ cargo test -q --workspace
 # seeded schedule count is pinned and overridable: every iteration's
 # faults replay from its iteration number, so a CI failure names the
 # exact seed to reproduce locally.
-echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules)"
-CHAOS_ITERS="${CHAOS_ITERS:-200}" \
+echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules," \
+    "WORKLOAD_ITERS=${WORKLOAD_ITERS:-8} workload replays)"
+CHAOS_ITERS="${CHAOS_ITERS:-200}" WORKLOAD_ITERS="${WORKLOAD_ITERS:-8}" \
     cargo test -q --test chaos_differential --test cancel_proptests \
-    --test shard_differential
+    --test shard_differential --test workload_determinism
 
 if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (engine) -> BENCH_engine.json"
@@ -63,6 +66,11 @@ if [[ "${1:-}" != "fast" ]]; then
         cargo bench -q -p explore-bench --bench shard
     echo "==> wrote $(wc -c < BENCH_shard.json) bytes of benchmark records"
 
+    echo "==> bench smoke (workload) -> BENCH_workload.json"
+    BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_workload.json" \
+        cargo bench -q -p explore-bench --bench workload
+    echo "==> wrote $(wc -c < BENCH_workload.json) bytes of benchmark records"
+
     echo "==> bench-check (engine vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_engine.json bench/baselines/BENCH_engine.json
@@ -74,6 +82,10 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench-check (shard vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_shard.json bench/baselines/BENCH_shard.json
+
+    echo "==> bench-check (workload vs bench/baselines)"
+    cargo run -q --release -p explore-bench --bin bench_gate -- \
+        BENCH_workload.json bench/baselines/BENCH_workload.json
 fi
 
 echo "==> CI green"

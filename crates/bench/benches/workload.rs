@@ -1,0 +1,136 @@
+//! Interactive-workload benches: replay seeded exploration sessions
+//! (crates/workload) against the full stack and record the numbers an
+//! interactive system is actually judged by.
+//!
+//! Gate-checked records:
+//!
+//! * `workload_latency/{filter,refine,pan,drill,lookup}_p95_ns` — exact
+//!   per-class p95 interaction latency, best-of-N fresh runs
+//!   (lower-better, ratio-gated).
+//! * `workload_slo/violation_rate_pct` — interactions over their budget
+//!   (lower-better, absolute-gated): normally 0, so any sustained rise
+//!   means something crossed the SLO line.
+//! * `workload_cache/hit_rate_pct` — engine result-cache hit rate over
+//!   the run (higher-better, absolute-gated): the refinement/pan reuse
+//!   the middleware layer exists for.
+//! * `workload_throughput/interactions_per_sec` — informational
+//!   (higher-better); too host-dependent to commit to the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Direction};
+use std::hint::black_box;
+use std::time::Duration;
+
+use explore_core::cache::CachePolicy;
+use explore_core::exec::ExecPolicy;
+use explore_workload::{WorkloadConfig, WorkloadReport, WorkloadRunner};
+
+/// The benched configuration: concurrent sessions over a parallel,
+/// cached engine, with an SLO budget generous enough that only a real
+/// regression (not scheduler noise) shows up as a violation.
+fn bench_config() -> WorkloadConfig {
+    WorkloadConfig {
+        sessions: 8,
+        interactions: 32,
+        seed: 0xE15E_ED08,
+        rows: 60_000,
+        threads: 4,
+        exec: ExecPolicy::Parallel { workers: 4 },
+        cache: CachePolicy::on(),
+        think: Duration::ZERO,
+        deadline: None,
+        budget: Duration::from_millis(25),
+        ..WorkloadConfig::default()
+    }
+}
+
+fn fresh_report() -> WorkloadReport {
+    WorkloadRunner::new(bench_config())
+        .expect("build workload runner")
+        .run()
+        .expect("run workload")
+}
+
+fn bench_workload(c: &mut Criterion) {
+    // Timing smoke: one small warm-engine replay per iteration.
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    group.bench_function("replay_4x16_warm", |b| {
+        let runner = WorkloadRunner::new(WorkloadConfig {
+            sessions: 4,
+            interactions: 16,
+            rows: 20_000,
+            ..bench_config()
+        })
+        .expect("build workload runner");
+        b.iter(|| black_box(runner.run().expect("run workload").checksum))
+    });
+    group.finish();
+
+    // Gate records, best-of-N over *fresh* runs so cold-path cracking
+    // and cache warm-up stay inside the measurement.
+    let samples = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3usize)
+        .max(1);
+    let reports: Vec<WorkloadReport> = (0..samples).map(|_| fresh_report()).collect();
+
+    let mut latency = c.benchmark_group("workload_latency");
+    for kind in ["filter", "refine", "pan", "drill", "lookup"] {
+        let p95 = reports
+            .iter()
+            .map(|r| {
+                r.class(kind)
+                    .unwrap_or_else(|| panic!("trajectory never reached class {kind}"))
+                    .p95_ns
+            })
+            .min()
+            .expect("at least one sample");
+        latency.record_latency(format!("{kind}_p95_ns"), p95);
+    }
+    latency.finish();
+
+    let best_violation = reports
+        .iter()
+        .map(WorkloadReport::violation_rate_pct)
+        .fold(f64::INFINITY, f64::min);
+    let mut slo = c.benchmark_group("workload_slo");
+    slo.record_value_directed(
+        "violation_rate_pct",
+        best_violation,
+        "percent",
+        Direction::LowerValue,
+    );
+    slo.finish();
+
+    let best_hit_rate = reports
+        .iter()
+        .map(WorkloadReport::cache_hit_rate_pct)
+        .fold(0.0f64, f64::max);
+    let mut cache = c.benchmark_group("workload_cache");
+    cache.record_value_directed(
+        "hit_rate_pct",
+        best_hit_rate,
+        "percent",
+        Direction::HigherValue,
+    );
+    cache.finish();
+
+    let best_tput = reports
+        .iter()
+        .map(WorkloadReport::throughput_per_sec)
+        .fold(0.0f64, f64::max);
+    let mut tput = c.benchmark_group("workload_throughput");
+    tput.record_value_directed(
+        "interactions_per_sec",
+        best_tput,
+        "per_sec",
+        Direction::HigherValue,
+    );
+    tput.finish();
+
+    eprintln!("{}", reports[0]);
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

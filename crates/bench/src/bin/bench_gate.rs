@@ -5,18 +5,31 @@
 //! bench_gate <fresh.json> <baseline.json>
 //! ```
 //!
-//! Rules, per baseline record (matched to the fresh run by `id`):
+//! Rules, per baseline record (matched to the fresh run by `id`).
+//! Every record carries a regression *direction*; records written
+//! before the field existed default to the pre-direction behavior
+//! (`unit == "ns"` ⇒ `lower_ns`, anything else ⇒ `higher_value`), so
+//! old baselines keep parsing and gating exactly as they did:
 //!
-//! * timing records (`unit == "ns"`): fail when `fresh.min_ns >
-//!   threshold × baseline.min_ns`. `min_ns` is the comparison metric
-//!   because a minimum over samples is the noise-robust statistic the
-//!   shim provides — means on shared CI runners drift with load.
-//! * value records (any other unit, e.g. `percent`): fail when the
-//!   fresh value dropped more than [`VALUE_DROP`] below the baseline
-//!   (hit rates and ratios regress by falling, not slowing).
+//! * `lower_ns` (timings, latency percentiles): fail when
+//!   `fresh.min_ns > threshold × baseline.min_ns`. `min_ns` is the
+//!   comparison metric because a minimum over samples is the
+//!   noise-robust statistic the shim provides — means on shared CI
+//!   runners drift with load.
+//! * `higher_value` (hit rates, speedup ratios): fail when the fresh
+//!   value dropped more than [`VALUE_DROP`] below the baseline (these
+//!   regress by falling, not slowing).
+//! * `lower_value` (violation rates, error counts): fail when the
+//!   fresh value rose more than [`VALUE_DROP`] above the baseline.
 //! * a baseline id missing from the fresh run fails (a silently deleted
 //!   bench is a regression of coverage); fresh ids absent from the
 //!   baseline pass and are listed as new.
+//!
+//! Records also carry the host's core count. When fresh and baseline
+//! disagree the gate *warns* instead of adjusting or failing — a
+//! baseline recorded on a single-core box says nothing trustworthy
+//! about parallel speedups measured on four cores (and vice versa),
+//! so the mismatch is surfaced for a human to refresh the baseline.
 //!
 //! Environment:
 //!
@@ -37,12 +50,41 @@ const DEFAULT_THRESHOLD: f64 = 1.5;
 /// Maximum absolute drop tolerated for non-timing value records.
 const VALUE_DROP: f64 = 10.0;
 
+/// Which way a record regresses (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerNs,
+    HigherValue,
+    LowerValue,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct Record {
     id: String,
     min_ns: u128,
     value: f64,
     unit: String,
+    /// Explicit regression direction; `None` on records written before
+    /// the field existed (gated by the pre-direction inference).
+    direction: Option<Direction>,
+    /// Host core count stamped by the criterion shim; `None` on
+    /// records written before the field existed.
+    cores: Option<u64>,
+}
+
+/// The direction a (fresh, baseline) pair gates under: the fresh
+/// record's explicit direction wins (the shim now always writes one),
+/// then the baseline's, then the legacy inference that kept every
+/// pre-direction baseline passing — timings are lower-better, value
+/// records higher-better.
+fn effective_direction(now: &Record, base: &Record) -> Direction {
+    now.direction
+        .or(base.direction)
+        .unwrap_or(if base.unit == "ns" {
+            Direction::LowerNs
+        } else {
+            Direction::HigherValue
+        })
 }
 
 fn main() -> ExitCode {
@@ -73,6 +115,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(warning) = cores_mismatch(&fresh, &baseline) {
+        eprintln!("bench_gate: {warning}");
+    }
     let verdicts = gate(&fresh, &baseline, threshold);
     let mut failures = 0usize;
     for v in &verdicts {
@@ -141,41 +186,80 @@ fn gate(fresh: &[Record], baseline: &[Record], threshold: f64) -> Vec<Verdict> {
 }
 
 fn judge(now: &Record, base: &Record, threshold: f64) -> Verdict {
-    if base.unit == "ns" {
-        if base.min_ns == 0 {
-            return Verdict {
-                outcome: Outcome::Ok,
-                detail: format!("{} — baseline min 0 ns, skipped", base.id),
-            };
+    match effective_direction(now, base) {
+        Direction::LowerNs => {
+            if base.min_ns == 0 {
+                return Verdict {
+                    outcome: Outcome::Ok,
+                    detail: format!("{} — baseline min 0 ns, skipped", base.id),
+                };
+            }
+            let ratio = now.min_ns as f64 / base.min_ns as f64;
+            let detail = format!(
+                "{} — min {} ns vs baseline {} ns ({ratio:.2}x)",
+                base.id, now.min_ns, base.min_ns
+            );
+            Verdict {
+                outcome: if ratio > threshold {
+                    Outcome::Regressed
+                } else {
+                    Outcome::Ok
+                },
+                detail,
+            }
         }
-        let ratio = now.min_ns as f64 / base.min_ns as f64;
-        let detail = format!(
-            "{} — min {} ns vs baseline {} ns ({ratio:.2}x)",
-            base.id, now.min_ns, base.min_ns
-        );
-        Verdict {
-            outcome: if ratio > threshold {
-                Outcome::Regressed
-            } else {
-                Outcome::Ok
-            },
-            detail,
+        Direction::HigherValue => {
+            let drop = base.value - now.value;
+            let detail = format!(
+                "{} — {} {} vs baseline {} (drop {drop:.1})",
+                base.id, now.value, base.unit, base.value
+            );
+            Verdict {
+                outcome: if drop > VALUE_DROP {
+                    Outcome::Regressed
+                } else {
+                    Outcome::Ok
+                },
+                detail,
+            }
         }
-    } else {
-        let drop = base.value - now.value;
-        let detail = format!(
-            "{} — {} {} vs baseline {} (drop {drop:.1})",
-            base.id, now.value, base.unit, base.value
-        );
-        Verdict {
-            outcome: if drop > VALUE_DROP {
-                Outcome::Regressed
-            } else {
-                Outcome::Ok
-            },
-            detail,
+        Direction::LowerValue => {
+            let rise = now.value - base.value;
+            let detail = format!(
+                "{} — {} {} vs baseline {} (rise {rise:.1})",
+                base.id, now.value, base.unit, base.value
+            );
+            Verdict {
+                outcome: if rise > VALUE_DROP {
+                    Outcome::Regressed
+                } else {
+                    Outcome::Ok
+                },
+                detail,
+            }
         }
     }
+}
+
+/// First core count found in a record set, if any.
+fn cores_of(records: &[Record]) -> Option<u64> {
+    records.iter().find_map(|r| r.cores)
+}
+
+/// A warning line when fresh and baseline were measured on hosts with
+/// different core counts (`None` when they match or either is silent).
+/// Core-sensitive records — parallel speedups, shard fan-out ratios —
+/// are not comparable across host sizes, so the gate surfaces the
+/// mismatch without failing: refreshing the baseline is a human call.
+fn cores_mismatch(fresh: &[Record], baseline: &[Record]) -> Option<String> {
+    let (f, b) = (cores_of(fresh)?, cores_of(baseline)?);
+    (f != b).then(|| {
+        format!(
+            "warning: fresh run measured on {f} cores but baseline on {b}; \
+             core-sensitive records (speedups, fan-out ratios) are not \
+             comparable — consider refreshing the baseline on this host"
+        )
+    })
 }
 
 fn load(path: &str) -> Result<Vec<Record>, String> {
@@ -185,7 +269,9 @@ fn load(path: &str) -> Result<Vec<Record>, String> {
 
 /// Parse a JSON array of flat benchmark records. Tolerates pre-`value`
 /// records (older baselines): `unit` defaults to `"ns"` and `value` to
-/// `min_ns`.
+/// `min_ns`; `direction` and `cores` stay `None` when absent. An
+/// unrecognized direction string is an error — a typo'd direction
+/// silently inverting a gate would be worse than a loud parse failure.
 fn parse_records(text: &str) -> Result<Vec<Record>, String> {
     let mut records = Vec::new();
     for obj in split_objects(text)? {
@@ -197,11 +283,21 @@ fn parse_records(text: &str) -> Result<Vec<Record>, String> {
         let value = field_raw(obj, "value")
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(min_ns as f64);
+        let direction = match field_str(obj, "direction").as_deref() {
+            None => None,
+            Some("lower_ns") => Some(Direction::LowerNs),
+            Some("higher_value") => Some(Direction::HigherValue),
+            Some("lower_value") => Some(Direction::LowerValue),
+            Some(other) => return Err(format!("{id}: unknown direction {other:?}")),
+        };
+        let cores = field_raw(obj, "cores").and_then(|v| v.parse::<u64>().ok());
         records.push(Record {
             id,
             min_ns,
             value,
             unit,
+            direction,
+            cores,
         });
     }
     Ok(records)
@@ -291,6 +387,8 @@ mod tests {
             min_ns,
             value: min_ns as f64,
             unit: "ns".into(),
+            direction: None,
+            cores: None,
         }
     }
 
@@ -300,6 +398,15 @@ mod tests {
             min_ns: 0,
             value,
             unit: "percent".into(),
+            direction: None,
+            cores: None,
+        }
+    }
+
+    fn directed(id: &str, value: f64, direction: Direction) -> Record {
+        Record {
+            direction: Some(direction),
+            ..pct(id, value)
         }
     }
 
@@ -374,5 +481,92 @@ mod tests {
     fn zero_baseline_min_is_skipped_not_divided() {
         let base = vec![rec("z", 0)];
         assert_eq!(gate(&[rec("z", 999)], &base, 1.5)[0].outcome, Outcome::Ok);
+    }
+
+    #[test]
+    fn direction_and_cores_fields_parse() {
+        let text = r#"[
+  {"id": "w/p95", "samples": 1, "min_ns": 5000, "mean_ns": 5000, "max_ns": 5000, "value": 5000, "unit": "ns", "direction": "lower_ns", "cores": 4},
+  {"id": "w/violations", "samples": 1, "min_ns": 0, "mean_ns": 0, "max_ns": 0, "value": 1.5, "unit": "percent", "direction": "lower_value", "cores": 4}
+]"#;
+        let records = parse_records(text).unwrap();
+        assert_eq!(records[0].direction, Some(Direction::LowerNs));
+        assert_eq!(records[0].cores, Some(4));
+        assert_eq!(records[1].direction, Some(Direction::LowerValue));
+        assert!(parse_records(r#"[{"id": "x", "min_ns": 1, "direction": "sideways"}]"#).is_err());
+    }
+
+    #[test]
+    fn legacy_records_infer_the_pre_direction_behavior() {
+        // No direction anywhere: ns gates as lower-better timing,
+        // value units as higher-better — byte-for-byte the old rules.
+        assert_eq!(
+            effective_direction(&rec("t", 5), &rec("t", 5)),
+            Direction::LowerNs
+        );
+        assert_eq!(
+            effective_direction(&pct("r", 5.0), &pct("r", 5.0)),
+            Direction::HigherValue
+        );
+        // Fresh explicit direction wins over inference and baseline.
+        assert_eq!(
+            effective_direction(&directed("r", 5.0, Direction::LowerValue), &pct("r", 5.0)),
+            Direction::LowerValue
+        );
+        // A direction-bearing baseline governs a legacy fresh run.
+        assert_eq!(
+            effective_direction(&pct("r", 5.0), &directed("r", 5.0, Direction::LowerValue)),
+            Direction::LowerValue
+        );
+    }
+
+    #[test]
+    fn lower_value_records_gate_on_absolute_rise() {
+        let base = vec![directed("viol", 1.0, Direction::LowerValue)];
+        // Rising within the margin passes; beyond it fails.
+        assert_eq!(
+            gate(&[directed("viol", 9.0, Direction::LowerValue)], &base, 1.5)[0].outcome,
+            Outcome::Ok
+        );
+        assert_eq!(
+            gate(&[directed("viol", 12.0, Direction::LowerValue)], &base, 1.5)[0].outcome,
+            Outcome::Regressed
+        );
+        // Improvements (drops) never trip a lower-better record.
+        assert_eq!(
+            gate(&[directed("viol", 0.0, Direction::LowerValue)], &base, 1.5)[0].outcome,
+            Outcome::Ok
+        );
+    }
+
+    #[test]
+    fn explicit_lower_ns_direction_gates_latency_value_records() {
+        let base = vec![Record {
+            direction: Some(Direction::LowerNs),
+            ..rec("w/p95", 1000)
+        }];
+        let slow = Record {
+            direction: Some(Direction::LowerNs),
+            ..rec("w/p95", 1501)
+        };
+        assert_eq!(gate(&[slow], &base, 1.5)[0].outcome, Outcome::Regressed);
+    }
+
+    #[test]
+    fn core_count_mismatch_warns_not_fails() {
+        let with_cores = |id: &str, cores| Record {
+            cores: Some(cores),
+            ..rec(id, 100)
+        };
+        let fresh = vec![with_cores("a", 4)];
+        let base = vec![with_cores("a", 1)];
+        let warning = cores_mismatch(&fresh, &base).expect("mismatch warns");
+        assert!(warning.contains("4 cores") && warning.contains("baseline on 1"));
+        // The verdicts themselves are unaffected.
+        assert_eq!(gate(&fresh, &base, 1.5)[0].outcome, Outcome::Ok);
+        // Same cores, or either side silent (legacy baselines): no warning.
+        assert!(cores_mismatch(&fresh, &[with_cores("a", 4)]).is_none());
+        assert!(cores_mismatch(&fresh, &[rec("a", 100)]).is_none());
+        assert!(cores_mismatch(&[rec("a", 100)], &base).is_none());
     }
 }

@@ -1696,8 +1696,8 @@ mod tests {
         let row = db.table("sales").unwrap().row(0).unwrap();
         db.push_row("sales", row).unwrap();
         assert_eq!(db.table_epoch("sales"), base + 1);
-        for s in 0..3 {
-            assert_eq!(db.table_epoch(&scoped_name("sales", s)), before[s]);
+        for (s, &epoch) in before.iter().enumerate().take(3) {
+            assert_eq!(db.table_epoch(&scoped_name("sales", s)), epoch);
         }
         assert_eq!(db.table_epoch(&scoped_name("sales", 3)), before[3] + 1);
 
@@ -1711,8 +1711,8 @@ mod tests {
 
         // An external-channel mutation is conservative: every scope bumps.
         db.note_mutation("sales");
-        for s in 0..4 {
-            assert!(db.table_epoch(&scoped_name("sales", s)) > before[s]);
+        for (s, &epoch) in before.iter().enumerate() {
+            assert!(db.table_epoch(&scoped_name("sales", s)) > epoch);
         }
     }
 

@@ -1,0 +1,591 @@
+//! The session driver: replay generated trajectories concurrently
+//! against one shared engine and account every interaction.
+//!
+//! [`WorkloadRunner`] owns the engine (a `Mutex<ExploreDb>` — each
+//! interaction is one atomic engine call, and the lock wait *is* the
+//! queueing delay a concurrent analyst feels, so it stays inside the
+//! measured latency) plus a shared [`GridIndex`] for the pan sessions,
+//! which never take the engine lock at all. `run` replays every
+//! [`SessionSpec`] and emits a [`WorkloadReport`].
+//!
+//! Determinism contract: wall-clock numbers (latencies, SLO violations,
+//! throughput) are *measured* and vary run to run, but everything in
+//! [`WorkloadReport::deterministic`] — session/interaction/error counts,
+//! per-class counts, and the result `checksum` — is a pure function of
+//! the [`WorkloadConfig`] as long as no deadline or cancel cuts a query
+//! short. Two properties make that hold under concurrency: every engine
+//! result is bit-identical across exec/cache/shard policies and cracking
+//! states (the differential suites' invariant), and the digests below
+//! are order-independent wherever ordering depends on thread interleave
+//! (across sessions, and across row ids within a `cracked_range`
+//! answer, whose order depends on how far cracking has converged).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use explore_cache::{CachePolicy, ResultCache};
+use explore_core::ExploreDb;
+use explore_exec::ExecPolicy;
+use explore_fault::FailPoints;
+use explore_obs::{percentile_sorted, MetricsRegistry, MetricsSnapshot};
+use explore_prefetch::{CellAgg, GridIndex, PanSession, Viewport};
+use explore_shard::ShardPolicy;
+use explore_storage::gen::{sales_table, sky_table, SalesConfig};
+use explore_storage::{AggFunc, Predicate, Query, Result, StorageError, Table};
+use parking_lot::Mutex;
+
+use crate::spec::{Interaction, SessionSpec, GRID_CELLS};
+
+/// Everything that determines a workload run. `seed` fixes the
+/// trajectories *and* the synthetic data; the policies pick the engine
+/// configuration under test.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of concurrent analyst sessions.
+    pub sessions: usize,
+    /// Interactions per session.
+    pub interactions: usize,
+    /// Master seed: trajectories and generated tables derive from it.
+    pub seed: u64,
+    /// Rows in the generated sales fact table (the sky table gets half).
+    pub rows: usize,
+    /// Worker threads replaying sessions (round-robin assignment).
+    pub threads: usize,
+    pub exec: ExecPolicy,
+    pub cache: CachePolicy,
+    pub shard: ShardPolicy,
+    /// Idle time between interactions (human think time). Zero for
+    /// benchmarks.
+    pub think: Duration,
+    /// Engine-enforced per-query deadline; `None` leaves queries uncut
+    /// (required for a deterministic checksum).
+    pub deadline: Option<Duration>,
+    /// SLO budget per interaction: answers slower than this count as
+    /// violations even when they complete.
+    pub budget: Duration,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            sessions: 4,
+            interactions: 24,
+            seed: 0xE15E_ED00,
+            rows: 20_000,
+            threads: 4,
+            exec: ExecPolicy::Serial,
+            cache: CachePolicy::on(),
+            shard: ShardPolicy::Off,
+            think: Duration::ZERO,
+            deadline: None,
+            budget: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Latency summary of one interaction class. Percentiles are exact
+/// (nearest-rank over the raw samples), not histogram-bucket estimates,
+/// so the bench gate sees continuous movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassStats {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// The deterministic projection of a report: exactly the fields that
+/// are a pure function of the config (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicReport {
+    pub sessions: u64,
+    pub interactions: u64,
+    pub errors: u64,
+    pub checksum: u64,
+    pub class_counts: BTreeMap<String, u64>,
+}
+
+/// What one workload run produced.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Sessions replayed.
+    pub sessions: u64,
+    /// Interactions attempted (completed + errored).
+    pub interactions: u64,
+    /// Interactions that broke the SLO budget or were cut by the
+    /// engine deadline.
+    pub violations: u64,
+    /// Interactions that returned an error (deadline, cancel, fault).
+    pub errors: u64,
+    /// Order-independent digest of every successful result.
+    pub checksum: u64,
+    /// Per-class latency summaries, keyed by interaction kind.
+    pub classes: BTreeMap<String, ClassStats>,
+    /// Engine result-cache deltas over the run (includes pan cells when
+    /// the pan sessions share the engine cache).
+    pub cache_hits: u64,
+    pub cache_subsumption_hits: u64,
+    pub cache_misses: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_ns: u64,
+    /// The run's obs-registry snapshot (`workload.<class>` histograms).
+    pub obs: MetricsSnapshot,
+}
+
+impl WorkloadReport {
+    /// Fraction of cache lookups served (plain + subsumption), percent.
+    /// 0 when the cache saw no traffic.
+    pub fn cache_hit_rate_pct(&self) -> f64 {
+        let hits = self.cache_hits + self.cache_subsumption_hits;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of interactions that violated their budget, percent.
+    pub fn violation_rate_pct(&self) -> f64 {
+        if self.interactions == 0 {
+            0.0
+        } else {
+            100.0 * self.violations as f64 / self.interactions as f64
+        }
+    }
+
+    /// Completed interactions per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.interactions as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// One class's stats, if any interaction of that kind ran.
+    pub fn class(&self, kind: &str) -> Option<&ClassStats> {
+        self.classes.get(kind)
+    }
+
+    /// The seed-reproducible projection (see the module docs).
+    pub fn deterministic(&self) -> DeterministicReport {
+        DeterministicReport {
+            sessions: self.sessions,
+            interactions: self.interactions,
+            errors: self.errors,
+            checksum: self.checksum,
+            class_counts: self
+                .classes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.count))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workload: {} sessions × {} interactions  checksum={:016x}",
+            self.sessions,
+            self.interactions / self.sessions.max(1),
+            self.checksum
+        )?;
+        writeln!(
+            f,
+            "  throughput {:.0}/s  violations {:.1}%  errors {}  cache hit {:.1}%",
+            self.throughput_per_sec(),
+            self.violation_rate_pct(),
+            self.errors,
+            self.cache_hit_rate_pct()
+        )?;
+        for (kind, c) in &self.classes {
+            writeln!(
+                f,
+                "  {kind:<8} n={:<5} mean={:<9} p50={:<9} p95={:<9} p99={}",
+                c.count, c.mean_ns, c.p50_ns, c.p95_ns, c.p99_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What one session replay brought home.
+struct SessionOutcome {
+    /// (class, latency_ns, violated) per interaction, in order.
+    latencies: Vec<(&'static str, u64, bool)>,
+    errors: u64,
+    /// Sequential fold of this session's result digests.
+    digest: u64,
+}
+
+/// SplitMix64 finalizer — the mixing step used for all digests.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-style sequential fold (order matters — used only where order is
+/// deterministic).
+fn fold(acc: u64, x: u64) -> u64 {
+    (acc ^ mix(x)).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Digest of a result table: schema names + every cell, bit-exact for
+/// floats. Table contents are deterministic, so an ordered fold is fine.
+fn table_digest(t: &Table) -> u64 {
+    let mut d = 0xCBF2_9CE4_8422_2325u64;
+    for field in t.schema().fields() {
+        for b in field.name().bytes() {
+            d = fold(d, b as u64);
+        }
+    }
+    for col in t.columns() {
+        if let Some(v) = col.as_i64() {
+            d = v.iter().fold(d, |d, &x| fold(d, x as u64));
+        } else if let Some(v) = col.as_f64() {
+            d = v.iter().fold(d, |d, &x| fold(d, x.to_bits()));
+        } else if let Some(v) = col.as_utf8() {
+            d = v.iter().fold(d, |d, s| {
+                s.bytes().fold(fold(d, 0x5F), |d, b| fold(d, b as u64))
+            });
+        }
+    }
+    d
+}
+
+/// Digest of a `cracked_range` answer. Id order depends on how far
+/// cracking has converged (i.e. on cross-session interleave), so the
+/// digest is order-independent: length plus a commutative sum of mixed
+/// ids.
+fn ids_digest(ids: &[u32]) -> u64 {
+    ids.iter().fold(mix(ids.len() as u64), |d, &id| {
+        d.wrapping_add(mix(id as u64 + 1))
+    })
+}
+
+/// Digest of a pan viewport answer (cell order is fixed by the
+/// viewport, so an ordered fold is fine).
+fn cells_digest(cells: &[CellAgg]) -> u64 {
+    cells.iter().fold(0x9E37_79B9_7F4A_7C15u64, |d, c| {
+        fold(fold(d, c.count), c.sum.to_bits())
+    })
+}
+
+/// Replays seeded exploration sessions against one shared engine.
+pub struct WorkloadRunner {
+    config: WorkloadConfig,
+    specs: Vec<SessionSpec>,
+    db: Mutex<ExploreDb>,
+    grid: GridIndex,
+    cache: Arc<ResultCache>,
+    cache_on: bool,
+    faults: Arc<FailPoints>,
+}
+
+impl WorkloadRunner {
+    /// Build the engine (sales table + sky grid, policies applied) and
+    /// generate every session trajectory.
+    pub fn new(config: WorkloadConfig) -> Result<Self> {
+        let specs = (0..config.sessions as u64)
+            .map(|s| SessionSpec::generate(config.seed, s, config.interactions))
+            .collect();
+        let mut db = ExploreDb::new();
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: config.rows,
+                seed: config.seed ^ 0x5A1E_5F00D,
+                ..SalesConfig::default()
+            }),
+        );
+        db.set_exec_policy(config.exec);
+        db.set_cache_policy(config.cache.clone());
+        db.set_shard_policy(config.shard.clone());
+        db.set_query_deadline(config.deadline);
+        let sky = sky_table(
+            (config.rows / 2).max(1_000),
+            6,
+            100.0,
+            config.seed ^ 0x5C1_F1E1D,
+        );
+        let grid = GridIndex::build(
+            &sky,
+            "x",
+            "y",
+            "mag",
+            GRID_CELLS as usize,
+            GRID_CELLS as usize,
+        )?;
+        let cache = db.cache();
+        let cache_on = db.cache_policy().is_on();
+        let faults = db.fail_points();
+        Ok(WorkloadRunner {
+            config,
+            specs,
+            db: Mutex::new(db),
+            grid,
+            cache,
+            cache_on,
+            faults,
+        })
+    }
+
+    /// The generated trajectories (for inspection and tests).
+    pub fn specs(&self) -> &[SessionSpec] {
+        &self.specs
+    }
+
+    /// The engine's fail-point registry, for chaos workloads.
+    pub fn fail_points(&self) -> Arc<FailPoints> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Replay every session concurrently and summarize.
+    pub fn run(&self) -> Result<WorkloadReport> {
+        let registry = MetricsRegistry::new();
+        let stats_before = self.db.lock().cache_stats();
+        let started = Instant::now();
+
+        let workers = self.config.threads.max(1).min(self.specs.len().max(1));
+        let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        self.specs
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|spec| self.replay(spec))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("workload session thread panicked"))
+                .collect()
+        });
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let stats_after = self.db.lock().cache_stats();
+
+        // Combine sessions order-independently: thread scheduling must
+        // not leak into the checksum.
+        let checksum = outcomes
+            .iter()
+            .fold(0u64, |acc, o| acc.wrapping_add(mix(o.digest)));
+        let errors = outcomes.iter().map(|o| o.errors).sum();
+        let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        let mut violations = 0u64;
+        let mut interactions = 0u64;
+        for o in &outcomes {
+            for &(kind, ns, violated) in &o.latencies {
+                interactions += 1;
+                violations += violated as u64;
+                registry.observe_ns(&format!("workload.{kind}"), ns);
+                samples.entry(kind).or_default().push(ns);
+            }
+        }
+        let classes = samples
+            .into_iter()
+            .map(|(kind, mut ns)| {
+                ns.sort_unstable();
+                let sum: u64 = ns.iter().sum();
+                (
+                    kind.to_owned(),
+                    ClassStats {
+                        count: ns.len() as u64,
+                        mean_ns: sum / ns.len() as u64,
+                        p50_ns: percentile_sorted(&ns, 0.50),
+                        p95_ns: percentile_sorted(&ns, 0.95),
+                        p99_ns: percentile_sorted(&ns, 0.99),
+                    },
+                )
+            })
+            .collect();
+
+        Ok(WorkloadReport {
+            sessions: self.specs.len() as u64,
+            interactions,
+            violations,
+            errors,
+            checksum,
+            classes,
+            cache_hits: stats_after.hits - stats_before.hits,
+            cache_subsumption_hits: stats_after.subsumption_hits - stats_before.subsumption_hits,
+            cache_misses: stats_after.misses - stats_before.misses,
+            elapsed_ns,
+            obs: registry.snapshot(),
+        })
+    }
+
+    /// Replay one session: every interaction is timed, accounted, and
+    /// digested. Errors are counted, never propagated — a degraded
+    /// engine must not kill the workload.
+    fn replay(&self, spec: &SessionSpec) -> SessionOutcome {
+        let mut pan = PanSession::new(&self.grid, true);
+        if self.cache_on {
+            pan = pan.with_shared_cache(Arc::clone(&self.cache), "sky");
+        }
+        let mut vp = Viewport {
+            cx: GRID_CELLS / 2,
+            cy: GRID_CELLS / 2,
+            w: 4,
+            h: 4,
+        };
+        let budget_ns = self.config.budget.as_nanos() as u64;
+        let mut latencies = Vec::with_capacity(spec.interactions.len());
+        let mut errors = 0u64;
+        let mut digest = 0xD16E_5700_0000_0000u64 ^ mix(spec.session);
+        for it in &spec.interactions {
+            if !self.config.think.is_zero() {
+                std::thread::sleep(self.config.think);
+            }
+            let start = Instant::now();
+            let outcome: Result<u64> = match *it {
+                Interaction::Filter { lo, hi } | Interaction::Refine { lo, hi } => {
+                    let q = Query::new()
+                        .filter(Predicate::range("price", lo, hi))
+                        .group("region")
+                        .agg(AggFunc::Sum, "price");
+                    self.db.lock().query("sales", &q).map(|t| table_digest(&t))
+                }
+                Interaction::Pan { dx, dy, resize } => {
+                    vp.cx = (vp.cx + dx).clamp(0, GRID_CELLS - 1);
+                    vp.cy = (vp.cy + dy).clamp(0, GRID_CELLS - 1);
+                    vp.w = (vp.w as i64 + resize).clamp(2, 6) as usize;
+                    vp.h = (vp.h as i64 + resize).clamp(2, 6) as usize;
+                    pan.view(vp).map(|cells| cells_digest(&cells))
+                }
+                Interaction::Drill { dim_a, dim_b } => self
+                    .db
+                    .lock()
+                    .discover_cube("sales", dim_a, dim_b, "price")
+                    .map(|view| {
+                        view.cells().iter().fold(0x0D11_1100u64, |d, c| {
+                            let d = c.dim_a.bytes().fold(d, |d, b| fold(d, b as u64));
+                            let d = c.dim_b.bytes().fold(d, |d, b| fold(d, b as u64));
+                            fold(d, c.actual.to_bits())
+                        })
+                    }),
+                Interaction::Lookup { qty } => self
+                    .db
+                    .lock()
+                    .cracked_range("sales", "qty", qty, qty + 1)
+                    .map(|ids| ids_digest(&ids)),
+            };
+            let ns = start.elapsed().as_nanos() as u64;
+            let mut violated = ns > budget_ns;
+            match outcome {
+                Ok(d) => digest = fold(digest, d),
+                Err(e) => {
+                    errors += 1;
+                    if matches!(e, StorageError::DeadlineExceeded) {
+                        violated = true;
+                    }
+                }
+            }
+            latencies.push((it.kind(), ns, violated));
+        }
+        SessionOutcome {
+            latencies,
+            errors,
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> WorkloadConfig {
+        WorkloadConfig {
+            sessions: 3,
+            interactions: 12,
+            rows: 4_000,
+            threads: 3,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_accounts_every_interaction() {
+        let runner = WorkloadRunner::new(quick_config()).unwrap();
+        assert_eq!(runner.specs().len(), 3);
+        let report = runner.run().unwrap();
+        assert_eq!(report.sessions, 3);
+        assert_eq!(report.interactions, 36);
+        assert_eq!(report.errors, 0);
+        let class_total: u64 = report.classes.values().map(|c| c.count).sum();
+        assert_eq!(class_total, 36);
+        for (kind, c) in &report.classes {
+            assert!(c.p50_ns <= c.p95_ns && c.p95_ns <= c.p99_ns, "{kind}");
+            let h = report
+                .obs
+                .histogram(&format!("workload.{kind}"))
+                .expect("observed into obs histogram");
+            assert_eq!(h.count, c.count);
+        }
+        assert!(report.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn same_config_same_deterministic_report() {
+        let a = WorkloadRunner::new(quick_config()).unwrap().run().unwrap();
+        let b = WorkloadRunner::new(quick_config()).unwrap().run().unwrap();
+        assert_eq!(a.deterministic(), b.deterministic());
+        let mut other = quick_config();
+        other.seed ^= 1;
+        let c = WorkloadRunner::new(other).unwrap().run().unwrap();
+        assert_ne!(
+            a.deterministic().checksum,
+            c.deterministic().checksum,
+            "different seed must explore different results"
+        );
+    }
+
+    #[test]
+    fn refinement_hits_the_cache() {
+        let report = WorkloadRunner::new(quick_config()).unwrap().run().unwrap();
+        assert!(
+            report.cache_hits + report.cache_subsumption_hits > 0,
+            "refine/pan traffic should hit the shared cache: {report}"
+        );
+        assert!(report.cache_hit_rate_pct() > 0.0);
+    }
+
+    #[test]
+    fn deadline_cuts_become_counted_violations_not_panics() {
+        let mut cfg = quick_config();
+        cfg.deadline = Some(Duration::ZERO);
+        let report = WorkloadRunner::new(cfg).unwrap().run().unwrap();
+        // Pan never takes the engine lock, so only engine-backed classes
+        // get cut; every error must be counted, nothing panics.
+        assert!(report.errors > 0);
+        assert!(report.violations >= report.errors);
+        assert_eq!(report.interactions, 36);
+    }
+
+    #[test]
+    fn report_math_handles_empty_runs() {
+        let cfg = WorkloadConfig {
+            sessions: 0,
+            interactions: 0,
+            rows: 1_000,
+            ..WorkloadConfig::default()
+        };
+        let report = WorkloadRunner::new(cfg).unwrap().run().unwrap();
+        assert_eq!(report.interactions, 0);
+        assert_eq!(report.violation_rate_pct(), 0.0);
+        assert_eq!(report.cache_hit_rate_pct(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The trajectory grammar: seeded generation of interactive
+//! exploration sessions.
+//!
+//! A [`SessionSpec`] is the *plan* of one analyst session — a sequence
+//! of [`Interaction`]s drawn from the exploration patterns the tutorial
+//! catalogues: range filtering with progressive refinement (result-reuse
+//! territory), viewport panning (prefetching territory), cube
+//! drill-downs (discovery-driven exploration) and point lookups through
+//! the adaptive index (database cracking). Generation is pure: every
+//! decision comes from one [`SplitMix64`] stream derived from
+//! `(workload seed, session number)`, so the same pair always yields
+//! the same trajectory, independent of the machine, the thread that
+//! replays it, or what the other sessions are doing.
+
+use explore_storage::rng::SplitMix64;
+
+/// Stream-splitting constant (the SplitMix64 gamma), so per-session
+/// streams derived from one workload seed do not overlap.
+const SESSION_STREAM: u64 = 0xA076_1D64_78BD_642F;
+
+/// Grid resolution the pan interactions assume (matches the 32×32
+/// [`GridIndex`](explore_prefetch::GridIndex) the runner builds).
+pub const GRID_CELLS: i64 = 32;
+
+/// One step of an exploration trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interaction {
+    /// Fresh range filter over `price`, grouped by region: the classic
+    /// "restrict then aggregate" exploration step.
+    Filter { lo: f64, hi: f64 },
+    /// Narrow the *current* filter: bounds are strictly inside the
+    /// previous ones, so a semantic cache can answer by subsumption.
+    Refine { lo: f64, hi: f64 },
+    /// Move/zoom the session viewport over the sky grid.
+    Pan { dx: i64, dy: i64, resize: i64 },
+    /// Discovery-driven drill: 2-D cube over a dimension pair.
+    Drill {
+        dim_a: &'static str,
+        dim_b: &'static str,
+    },
+    /// Point lookup of one `qty` value through the cracked index.
+    Lookup { qty: i64 },
+}
+
+impl Interaction {
+    /// The latency class this interaction is accounted under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Interaction::Filter { .. } => "filter",
+            Interaction::Refine { .. } => "refine",
+            Interaction::Pan { .. } => "pan",
+            Interaction::Drill { .. } => "drill",
+            Interaction::Lookup { .. } => "lookup",
+        }
+    }
+}
+
+/// All dimension pairs a drill interaction can pick from.
+const DRILL_PAIRS: [(&str, &str); 3] = [
+    ("region", "product"),
+    ("region", "channel"),
+    ("product", "channel"),
+];
+
+/// The deterministic plan of one session: which interactions, in which
+/// order, with which parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Session number within the workload (0-based).
+    pub session: u64,
+    pub interactions: Vec<Interaction>,
+}
+
+impl SessionSpec {
+    /// Generate session `session` of the workload seeded by `seed`,
+    /// `len` interactions long. Pure function of its arguments.
+    pub fn generate(seed: u64, session: u64, len: usize) -> SessionSpec {
+        let mut rng = SplitMix64::new(seed.wrapping_add(session.wrapping_mul(SESSION_STREAM)));
+        let mut interactions = Vec::with_capacity(len);
+        // Current filter bounds; refinement narrows them, a fresh filter
+        // resets them. `None` until the first filter has run.
+        let mut bounds: Option<(f64, f64)> = None;
+        for step in 0..len {
+            let roll = if step == 0 { 0.0 } else { rng.unit_f64() };
+            let next = if roll < 0.25 {
+                let lo = rng.range_f64(0.0, 400.0);
+                let hi = lo + rng.range_f64(100.0, 400.0);
+                bounds = Some((lo, hi));
+                Interaction::Filter { lo, hi }
+            } else if roll < 0.50 {
+                match bounds {
+                    // Shrink each edge by up to a quarter of the width:
+                    // the new range is strictly inside the old one, so
+                    // the cache can serve it by subsumption.
+                    Some((lo, hi)) => {
+                        let w = hi - lo;
+                        let new_lo = lo + rng.unit_f64() * 0.25 * w;
+                        let new_hi = hi - rng.unit_f64() * 0.25 * w;
+                        bounds = Some((new_lo, new_hi));
+                        Interaction::Refine {
+                            lo: new_lo,
+                            hi: new_hi,
+                        }
+                    }
+                    // Nothing to refine yet: degrade to a fresh filter.
+                    None => {
+                        let lo = rng.range_f64(0.0, 400.0);
+                        let hi = lo + rng.range_f64(100.0, 400.0);
+                        bounds = Some((lo, hi));
+                        Interaction::Filter { lo, hi }
+                    }
+                }
+            } else if roll < 0.70 {
+                Interaction::Pan {
+                    dx: rng.range_i64(-2, 2),
+                    dy: rng.range_i64(-2, 2),
+                    resize: rng.range_i64(-1, 1),
+                }
+            } else if roll < 0.85 {
+                let (dim_a, dim_b) = DRILL_PAIRS[rng.below(DRILL_PAIRS.len() as u64) as usize];
+                Interaction::Drill { dim_a, dim_b }
+            } else {
+                Interaction::Lookup {
+                    qty: rng.range_i64(1, 9),
+                }
+            };
+            interactions.push(next);
+        }
+        SessionSpec {
+            session,
+            interactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SessionSpec::generate(7, 3, 64);
+        let b = SessionSpec::generate(7, 3, 64);
+        assert_eq!(a, b);
+        let c = SessionSpec::generate(8, 3, 64);
+        assert_ne!(a, c, "different seed, different trajectory");
+        let d = SessionSpec::generate(7, 4, 64);
+        assert_ne!(a, d, "different session, different trajectory");
+    }
+
+    #[test]
+    fn first_interaction_is_a_filter_and_refines_nest() {
+        for seed in 0..20u64 {
+            for session in 0..4u64 {
+                let spec = SessionSpec::generate(seed, session, 40);
+                assert_eq!(spec.interactions.len(), 40);
+                assert!(matches!(spec.interactions[0], Interaction::Filter { .. }));
+                let mut bounds: Option<(f64, f64)> = None;
+                for it in &spec.interactions {
+                    match *it {
+                        Interaction::Filter { lo, hi } => {
+                            assert!(lo < hi);
+                            bounds = Some((lo, hi));
+                        }
+                        Interaction::Refine { lo, hi } => {
+                            let (plo, phi) = bounds.expect("refine only after a filter");
+                            assert!(lo >= plo && hi <= phi && lo < hi, "refine nests");
+                            bounds = Some((lo, hi));
+                        }
+                        Interaction::Pan { dx, dy, resize } => {
+                            assert!((-2..=2).contains(&dx) && (-2..=2).contains(&dy));
+                            assert!((-1..=1).contains(&resize));
+                        }
+                        Interaction::Lookup { qty } => assert!((1..=9).contains(&qty)),
+                        Interaction::Drill { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_trajectories_cover_every_class() {
+        let spec = SessionSpec::generate(1, 0, 200);
+        for kind in ["filter", "refine", "pan", "drill", "lookup"] {
+            assert!(
+                spec.interactions.iter().any(|i| i.kind() == kind),
+                "200-step trajectory never reached class {kind}"
+            );
+        }
+    }
+}

@@ -19,11 +19,45 @@
 //! [`BenchmarkGroup`]) emits a non-timing measurement — a hit rate, a
 //! count — into the same record stream with an explicit `unit`, so
 //! facts ride the JSON as first-class fields instead of being smuggled
-//! through benchmark ids or fake timings.
+//! through benchmark ids or fake timings. Every record also names its
+//! regression [`Direction`] (timings regress by rising, hit rates by
+//! falling, violation rates by rising) and the host's core count, so
+//! the CI gate can compare directionally and flag baselines recorded
+//! on a differently-sized machine.
 
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Which way a record regresses, carried in the JSON as `direction` so
+/// the CI gate compares without guessing from the unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A nanosecond measurement: regresses by rising (ratio-gated).
+    LowerNs,
+    /// A value record where bigger is better (hit rates): regresses by
+    /// falling.
+    HigherValue,
+    /// A value record where smaller is better (violation rates):
+    /// regresses by rising.
+    LowerValue,
+}
+
+impl Direction {
+    /// The string written into the JSON `direction` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::LowerNs => "lower_ns",
+            Direction::HigherValue => "higher_value",
+            Direction::LowerValue => "lower_value",
+        }
+    }
+}
+
+/// The host's logical core count, stamped into every record.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 /// How `iter_batched` amortizes setup cost. The shim times each routine
 /// invocation individually, so the variants only express intent.
@@ -94,6 +128,7 @@ pub struct BenchRecord {
     pub max_ns: u128,
     pub value: f64,
     pub unit: String,
+    pub direction: Direction,
 }
 
 /// The benchmark driver: runs benches and collects [`BenchRecord`]s.
@@ -120,7 +155,22 @@ impl Criterion {
 
     /// Record a non-timing measurement (a hit rate, a count, a ratio)
     /// under `id` so it rides the same JSON stream as the timings.
+    /// Higher-better by default; use
+    /// [`record_value_directed`](Self::record_value_directed) for
+    /// measurements that regress by rising.
     pub fn record_value(&mut self, id: impl IntoBenchmarkId, value: f64, unit: impl Into<String>) {
+        self.record_value_directed(id, value, unit, Direction::HigherValue);
+    }
+
+    /// [`record_value`](Self::record_value) with an explicit regression
+    /// direction (e.g. [`Direction::LowerValue`] for a violation rate).
+    pub fn record_value_directed(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        value: f64,
+        unit: impl Into<String>,
+        direction: Direction,
+    ) {
         let record = BenchRecord {
             id: id.into_id(),
             samples: 1,
@@ -129,11 +179,30 @@ impl Criterion {
             max_ns: 0,
             value,
             unit: unit.into(),
+            direction,
         };
         eprintln!(
             "bench {:<60} value {:>11} {}",
             record.id, value, record.unit
         );
+        self.records.push(record);
+    }
+
+    /// Record an externally measured latency (e.g. a percentile out of
+    /// a workload report) as a timing-shaped record: `unit: "ns"`,
+    /// ratio-gated lower-better like any benchmarked timing.
+    pub fn record_latency(&mut self, id: impl IntoBenchmarkId, ns: u64) {
+        let record = BenchRecord {
+            id: id.into_id(),
+            samples: 1,
+            min_ns: ns as u128,
+            mean_ns: ns as u128,
+            max_ns: ns as u128,
+            value: ns as f64,
+            unit: "ns".into(),
+            direction: Direction::LowerNs,
+        };
+        eprintln!("bench {:<60} latency {:>11} ns", record.id, ns);
         self.records.push(record);
     }
 
@@ -153,6 +222,7 @@ impl Criterion {
                 max_ns: 0,
                 value: 0.0,
                 unit: "ns".into(),
+                direction: Direction::LowerNs,
             }
         } else {
             let min_ns = *times.iter().min().expect("nonempty");
@@ -164,6 +234,7 @@ impl Criterion {
                 max_ns: *times.iter().max().expect("nonempty"),
                 value: min_ns as f64,
                 unit: "ns".into(),
+                direction: Direction::LowerNs,
             }
         };
         eprintln!(
@@ -177,20 +248,22 @@ impl Criterion {
     /// [`criterion_main!`] after all groups have run.
     pub fn final_summary(&self) {
         if let Ok(path) = std::env::var("BENCH_JSON") {
+            let cores = host_cores();
             let mut out = String::from("[\n");
             for (i, r) in self.records.iter().enumerate() {
                 if i > 0 {
                     out.push_str(",\n");
                 }
                 out.push_str(&format!(
-                    "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"value\": {}, \"unit\": \"{}\"}}",
+                    "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"value\": {}, \"unit\": \"{}\", \"direction\": \"{}\", \"cores\": {cores}}}",
                     r.id.replace('\\', "\\\\").replace('"', "\\\""),
                     r.samples,
                     r.min_ns,
                     r.mean_ns,
                     r.max_ns,
                     json_f64(r.value),
-                    r.unit.replace('\\', "\\\\").replace('"', "\\\"")
+                    r.unit.replace('\\', "\\\\").replace('"', "\\\""),
+                    r.direction.as_str()
                 ));
             }
             out.push_str("\n]\n");
@@ -255,6 +328,29 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into_id());
         self.criterion.record_value(id, value, unit);
+        self
+    }
+
+    /// Directed [`record_value`](Self::record_value) under this group's
+    /// namespace.
+    pub fn record_value_directed(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        value: f64,
+        unit: impl Into<String>,
+        direction: Direction,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .record_value_directed(id, value, unit, direction);
+        self
+    }
+
+    /// Record an externally measured latency under this group's
+    /// namespace (see [`Criterion::record_latency`]).
+    pub fn record_latency(&mut self, id: impl IntoBenchmarkId, ns: u64) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.record_latency(id, ns);
         self
     }
 
@@ -374,7 +470,32 @@ mod tests {
         assert_eq!(c.records[0].value, 87.5);
         assert_eq!(c.records[0].unit, "percent");
         assert_eq!(c.records[0].min_ns, 0);
+        assert_eq!(c.records[0].direction, Direction::HigherValue);
         assert_eq!(c.records[1].id, "bare");
+    }
+
+    #[test]
+    fn directed_and_latency_records_carry_direction() {
+        let mut c = Criterion::default();
+        c.benchmark_group("w")
+            .record_value_directed("violations", 2.5, "percent", Direction::LowerValue)
+            .record_latency("p95", 1234);
+        c.record_latency("bare_p95", 42);
+        assert_eq!(c.records[0].id, "w/violations");
+        assert_eq!(c.records[0].direction, Direction::LowerValue);
+        assert_eq!(c.records[1].id, "w/p95");
+        assert_eq!(c.records[1].unit, "ns");
+        assert_eq!(c.records[1].min_ns, 1234);
+        assert_eq!(c.records[1].direction, Direction::LowerNs);
+        assert_eq!(c.records[2].min_ns, 42);
+    }
+
+    #[test]
+    fn timing_records_are_lower_ns() {
+        let mut c = Criterion::default();
+        c.bench_function("t", |b| b.iter(|| black_box(1)));
+        assert_eq!(c.records[0].direction, Direction::LowerNs);
+        assert!(host_cores() >= 1);
     }
 
     #[test]

@@ -28,3 +28,8 @@
 //! ```
 
 pub use explore_core::*;
+
+// The interactive-workload driver sits *above* the engine facade (it
+// drives `ExploreDb`), so it cannot be re-exported from `explore-core`
+// like the technique crates; alias it here instead.
+pub use explore_workload as workload;

@@ -277,10 +277,10 @@ fn mutation_in_one_shard_keeps_other_shards_cached() {
     db.push_row("sales", row).unwrap();
 
     // Only the owning shard's epoch moved...
-    for s in 0..3 {
+    for (s, &epoch) in epochs_before.iter().enumerate().take(3) {
         assert_eq!(
             db.table_epoch(&scoped_name("sales", s)),
-            epochs_before[s],
+            epoch,
             "shard {s} epoch must not move"
         );
     }
