@@ -48,7 +48,8 @@ echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules," 
     "WORKLOAD_ITERS=${WORKLOAD_ITERS:-8} workload replays)"
 CHAOS_ITERS="${CHAOS_ITERS:-200}" WORKLOAD_ITERS="${WORKLOAD_ITERS:-8}" \
     cargo test -q --test chaos_differential --test cancel_proptests \
-    --test shard_differential --test workload_determinism
+    --test shard_differential --test workload_determinism \
+    --test serve_differential --test serve_fairness
 
 if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (engine) -> BENCH_engine.json"
@@ -71,6 +72,11 @@ if [[ "${1:-}" != "fast" ]]; then
         cargo bench -q -p explore-bench --bench workload
     echo "==> wrote $(wc -c < BENCH_workload.json) bytes of benchmark records"
 
+    echo "==> bench smoke (serve) -> BENCH_serve.json"
+    BENCH_SAMPLES="${BENCH_SAMPLES:-3}" BENCH_JSON="$PWD/BENCH_serve.json" \
+        cargo bench -q -p explore-bench --bench serve
+    echo "==> wrote $(wc -c < BENCH_serve.json) bytes of benchmark records"
+
     echo "==> bench-check (engine vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_engine.json bench/baselines/BENCH_engine.json
@@ -86,6 +92,10 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench-check (workload vs bench/baselines)"
     cargo run -q --release -p explore-bench --bin bench_gate -- \
         BENCH_workload.json bench/baselines/BENCH_workload.json
+
+    echo "==> bench-check (serve vs bench/baselines)"
+    cargo run -q --release -p explore-bench --bin bench_gate -- \
+        BENCH_serve.json bench/baselines/BENCH_serve.json
 fi
 
 echo "==> CI green"

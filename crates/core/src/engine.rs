@@ -26,7 +26,7 @@ use explore_exec::{ExecPolicy, QueryCtx};
 use explore_fault::{CancelToken, FailPoints, Observer, QueryDeadline};
 use explore_loading::{AdaptiveLoader, ErrorPolicy, RawCsv};
 use explore_obs::{
-    render_trace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
+    render_trace, ActiveTrace, MetricsSnapshot, ObsPolicy, QueryTrace, SpanKind, Tracer, ROOT_SPAN,
 };
 use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
@@ -35,6 +35,8 @@ use explore_storage::{
     AggFunc, Catalog, DataType, Predicate, Query, Result, StorageError, Table, Value,
 };
 use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
+
+use crate::session::SessionCtx;
 
 /// The unified exploration engine.
 #[derive(Debug)]
@@ -91,6 +93,12 @@ pub struct ExploreDb {
     /// How raw-table loaders treat malformed CSV rows; applied to
     /// current and future attachments.
     load_error_policy: ErrorPolicy,
+    /// The active per-session policy overlay, installed for the duration
+    /// of one [`ExploreDb::with_session`] call. Sparse: every `Some`
+    /// field overrides the matching engine knob above at `query_ctx()`
+    /// merge time; `None` fields inherit. Absent (the default) the
+    /// engine behaves exactly as before sessions existed.
+    session: Option<SessionCtx>,
 }
 
 impl Default for ExploreDb {
@@ -115,6 +123,7 @@ impl Default for ExploreDb {
             deadline: None,
             cancel: None,
             load_error_policy: ErrorPolicy::default(),
+            session: None,
         }
     }
 }
@@ -286,9 +295,10 @@ impl ExploreDb {
     /// Handle to the engine's fail-point registry. Tests arm named
     /// points (`exec.spawn`, `exec.morsel`, `cache.admit`,
     /// `cache.lookup`, `cache.evict`, `load.parse`, `load.map`,
-    /// `crack.reorg`, `shard.dispatch`, `shard.merge`) to drive the
-    /// engine down its degradation paths; the registry also counts
-    /// `fault.*` / `cancel.*` events.
+    /// `crack.reorg`, `shard.dispatch`, `shard.merge`, and the serving
+    /// layer's `serve.admit` / `serve.yield`) to drive the engine down
+    /// its degradation paths; the registry also counts `fault.*` /
+    /// `cancel.*` events.
     pub fn fail_points(&self) -> Arc<FailPoints> {
         Arc::clone(&self.faults)
     }
@@ -502,7 +512,7 @@ impl ExploreDb {
     /// through the adaptive loader, whose incremental load state is
     /// itself the cache.
     pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
-        let trace = self.obs.start(table, || query.describe());
+        let trace = self.start_trace(table, || query.describe());
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let result = self.run_routed(table, query, &ctx);
         if let Some(trace) = trace {
@@ -512,23 +522,99 @@ impl ExploreDb {
         result
     }
 
+    /// A fresh per-session policy overlay: owns its cancel token,
+    /// inherits every engine default. Customize with the `SessionCtx`
+    /// builders, then scope engine calls to it via
+    /// [`ExploreDb::with_session`].
+    pub fn session(&self) -> SessionCtx {
+        SessionCtx::new()
+    }
+
+    /// Run `f` with `session`'s overlay installed: every `query_ctx()`
+    /// minted inside resolves the session's exec/cache/obs policies,
+    /// deadline budget, cancel token, and yield hook *over* the engine
+    /// defaults (DESIGN.md §10/§13). The previous overlay (normally
+    /// none) is restored afterwards, so nesting and interleaving
+    /// sessions over one engine is safe.
+    pub fn with_session<R>(
+        &mut self,
+        session: &SessionCtx,
+        f: impl FnOnce(&mut ExploreDb) -> R,
+    ) -> R {
+        let prev = self.session.replace(session.clone());
+        let out = f(self);
+        self.session = prev;
+        out
+    }
+
     /// The execution context for one engine call: the engine's exec
     /// policy and fail points, the session cancel token, and a deadline
-    /// token freshly minted so its clock starts at this call.
+    /// token freshly minted so its clock starts at this call. When a
+    /// session overlay is installed ([`ExploreDb::with_session`]), its
+    /// `Some` fields win over the engine knobs — exec policy, cancel
+    /// token, deadline budget, and the cooperative yield hook.
     fn query_ctx(&self) -> QueryCtx<'static> {
-        QueryCtx::new(self.exec_policy)
+        let s = self.session.as_ref();
+        let exec = s.and_then(|s| s.exec).unwrap_or(self.exec_policy);
+        let cancel = s
+            .and_then(|s| s.cancel.clone())
+            .or_else(|| self.cancel.clone());
+        let deadline = s
+            .and_then(|s| s.deadline)
+            .map(QueryDeadline)
+            .or(self.deadline);
+        QueryCtx::new(exec)
             .with_faults(Some(Arc::clone(&self.faults)))
-            .with_cancel(self.cancel.clone())
-            .with_deadline(self.deadline.as_ref().map(QueryDeadline::token))
+            .with_cancel(cancel)
+            .with_deadline(deadline.as_ref().map(QueryDeadline::token))
+            .with_yield_hook(s.and_then(|s| s.yield_hook.clone()))
     }
 
     /// One token for long-lived middleware sessions that outlive a
     /// single engine call: the session cancel token when set, else a
-    /// token minted from the deadline.
+    /// token minted from the deadline. The session overlay's token and
+    /// deadline take the same precedence they do in `query_ctx`.
     fn session_token(&self) -> Option<CancelToken> {
-        self.cancel
-            .clone()
-            .or_else(|| self.deadline.as_ref().map(QueryDeadline::token))
+        let s = self.session.as_ref();
+        s.and_then(|s| s.cancel.clone())
+            .or_else(|| self.cancel.clone())
+            .or_else(|| {
+                s.and_then(|s| s.deadline)
+                    .map(QueryDeadline)
+                    .or(self.deadline)
+                    .as_ref()
+                    .map(QueryDeadline::token)
+            })
+    }
+
+    /// Is the result cache in play for this call? The session overlay's
+    /// cache policy wins over the engine knob.
+    fn cache_on(&self) -> bool {
+        self.session
+            .as_ref()
+            .and_then(|s| s.cache.as_ref())
+            .map_or_else(|| self.cache_policy.is_on(), CachePolicy::is_on)
+    }
+
+    /// Is observability in play for this call? Gates metrics attachment
+    /// on middleware executors; the session overlay wins.
+    fn obs_on(&self) -> bool {
+        self.session
+            .as_ref()
+            .and_then(|s| s.obs.as_ref())
+            .map_or_else(|| self.obs_policy.is_on(), ObsPolicy::is_on)
+    }
+
+    /// Start (or skip) a trace for one engine call, honoring the session
+    /// overlay: `Some(On)` forces a trace even while the engine policy
+    /// is off, `Some(Off)` suppresses one, `None` defers to the engine's
+    /// obs policy via the tracer's own gate.
+    fn start_trace(&self, table: &str, desc: impl FnOnce() -> String) -> Option<ActiveTrace> {
+        match self.session.as_ref().and_then(|s| s.obs.as_ref()) {
+            Some(p) if p.is_on() => Some(self.obs.force_start(table, desc())),
+            Some(_) => None,
+            None => self.obs.start(table, desc),
+        }
     }
 
     /// Count cancellation outcomes as `cancel.*` events (mirrored into
@@ -557,10 +643,10 @@ impl ExploreDb {
         }
         let base = self.catalog.get(table)?;
         if let Some(st) = self.sharded.get(table) {
-            let cache = self.cache_policy.is_on().then_some(&*self.result_cache);
+            let cache = self.cache_on().then_some(&*self.result_cache);
             return run_sharded_query(st, cache, query, ctx);
         }
-        if self.cache_policy.is_on() {
+        if self.cache_on() {
             explore_cache::cached_query(&self.result_cache, base, table, query, ctx)
         } else {
             explore_exec::run_query(base, query, ctx)
@@ -777,7 +863,7 @@ impl ExploreDb {
         stratify_on: &[(&str, usize)],
         seed: u64,
     ) -> Result<()> {
-        let trace = self.obs.start(table, || {
+        let trace = self.start_trace(table, || {
             format!(
                 "build_samples({} samples)",
                 fractions.len() + stratify_on.len()
@@ -819,13 +905,13 @@ impl ExploreDb {
             ))
         })?;
         let mut ex = BoundedExecutor::new(t, samples);
-        if self.cache_policy.is_on() {
+        if self.cache_on() {
             ex = ex.with_cache(Arc::clone(&self.result_cache), table);
         }
-        if self.obs_policy.is_on() {
+        if self.obs_on() {
             ex = ex.with_metrics(self.obs.metrics());
         }
-        let trace = self.obs.start(table, || {
+        let trace = self.start_trace(table, || {
             format!("approx {func}({column}) where {predicate}")
         });
         let ctx = self.query_ctx().with_trace(trace.as_ref());
@@ -859,10 +945,10 @@ impl ExploreDb {
     pub fn speculator(&self, table: &str, budget: usize) -> Result<SpeculativeExecutor<'_>> {
         let t = self.catalog.get(table)?;
         let mut ex = SpeculativeExecutor::new(t, budget).with_cancel(self.session_token());
-        if self.cache_policy.is_on() {
+        if self.cache_on() {
             ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table);
         }
-        if self.obs_policy.is_on() {
+        if self.obs_on() {
             ex = ex.with_metrics(self.obs.metrics());
         }
         Ok(ex)
@@ -882,7 +968,7 @@ impl ExploreDb {
         confidence: f64,
         seed: u64,
     ) -> Result<OnlineAggregation> {
-        let trace = self.obs.start(table, || {
+        let trace = self.start_trace(table, || {
             format!("online {func}({column}) where {predicate}")
         });
         let start = trace.as_ref().map(|t| t.now_ns());
@@ -917,7 +1003,7 @@ impl ExploreDb {
         k: usize,
     ) -> Result<Vec<ScoredView>> {
         let t = self.catalog.get(table)?;
-        let trace = self.obs.start(table, || format!("recommend_views(k={k})"));
+        let trace = self.start_trace(table, || format!("recommend_views(k={k})"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let views = candidate_views(t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
         let mut stats = SeedbStats::default();
@@ -980,7 +1066,7 @@ impl ExploreDb {
         let ctx = self.query_ctx();
         ctx.check_cancel()?;
         let store = self.synopsis_store(table)?;
-        let trace = self.obs.start(table, || "synopsis estimate".to_owned());
+        let trace = self.start_trace(table, || "synopsis estimate".to_owned());
         let start = trace.as_ref().map(|t| t.now_ns());
         let result = f(store);
         if let Some((t, s)) = trace.as_ref().zip(start) {
@@ -1016,9 +1102,7 @@ impl ExploreDb {
         k: usize,
     ) -> Result<Vec<explore_explore::Facet>> {
         let t = self.catalog.get(table)?;
-        let trace = self
-            .obs
-            .start(table, || format!("facets(k={k}) where {predicate}"));
+        let trace = self.start_trace(table, || format!("facets(k={k}) where {predicate}"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let result = explore_exec::evaluate_selection(t, predicate, &ctx)
             .and_then(|rows| explore_explore::faceted_recommendations(t, &rows, min_support, k));
@@ -1042,9 +1126,7 @@ impl ExploreDb {
         lambda: f64,
     ) -> Result<Vec<u32>> {
         let t = self.catalog.get(table)?;
-        let trace = self
-            .obs
-            .start(table, || format!("diversified_topk(k={k}, λ={lambda})"));
+        let trace = self.start_trace(table, || format!("diversified_topk(k={k}, λ={lambda})"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let start = ctx.trace.map(|t| t.now_ns());
         let result =
@@ -1112,7 +1194,7 @@ impl ExploreDb {
         let ctx = self.query_ctx();
         ctx.check_cancel()?;
         let t = self.catalog.get(table)?;
-        let trace = self.obs.start(table, || format!("propose_charts(k={k})"));
+        let trace = self.start_trace(table, || format!("propose_charts(k={k})"));
         let start = trace.as_ref().map(|t| t.now_ns());
         let result = explore_viz::propose_charts(t, k);
         if let Some((t, s)) = trace.as_ref().zip(start) {
@@ -1139,7 +1221,7 @@ impl ExploreDb {
         dim_b: &str,
         measure: &str,
     ) -> Result<DiscoveryView> {
-        let trace = self.obs.start(table, || {
+        let trace = self.start_trace(table, || {
             format!("discover_cube({dim_a}, {dim_b}, {measure})")
         });
         let ctx = self.query_ctx().with_trace(trace.as_ref());
@@ -1178,7 +1260,7 @@ impl ExploreDb {
         let t = self.catalog.get(table)?;
         let cube = DataCube::new(t.clone(), dims, measure, func)?;
         let mut session = CubeSession::new(cube, speculate).with_cancel(self.session_token());
-        if self.obs_policy.is_on() {
+        if self.obs_on() {
             session = session.with_metrics(Some(self.obs.metrics()));
         }
         Ok(session)

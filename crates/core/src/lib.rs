@@ -36,10 +36,12 @@
 
 pub mod engine;
 pub mod language;
+pub mod session;
 pub mod taxonomy;
 
 pub use engine::ExploreDb;
 pub use language::{parse, ExplorationSession, Outcome, Statement};
+pub use session::SessionCtx;
 pub use taxonomy::{render_table1, table1, Cluster, Layer};
 
 /// The engine-level error type. `StorageError` is the workspace-wide

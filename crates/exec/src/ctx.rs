@@ -21,6 +21,16 @@ use explore_storage::Result;
 
 use crate::policy::ExecPolicy;
 
+/// A cooperative scheduling hook invoked at every
+/// [`QueryCtx::check_cancel`] boundary, after the cancel and deadline
+/// tokens pass. A serving layer installs one to turn the engine's
+/// existing unit-of-work boundaries into yield points — quantum
+/// accounting, `thread::yield_now`, fairness bookkeeping — without the
+/// engine knowing anything about sessions. Returning an error aborts
+/// the query with that typed error at the boundary, exactly like a
+/// cancel token.
+pub type YieldHook = Arc<dyn Fn() -> Result<()> + Send + Sync>;
+
 /// Per-query execution context threaded through exec, cache, cracking,
 /// loading, and every middleware crate. Borrow is cheap; the trace is a
 /// borrowed handle and the rest are `Option`s over `Arc`s/tokens.
@@ -37,6 +47,10 @@ pub struct QueryCtx<'t> {
     /// Per-call deadline token, minted from the engine's
     /// `QueryDeadline` when one is configured.
     pub deadline: Option<CancelToken>,
+    /// Cooperative yield hook, consulted at every `check_cancel`
+    /// boundary after both tokens pass. `None` (the default) costs one
+    /// branch; the serving layer installs one per scheduled query.
+    pub yield_hook: Option<YieldHook>,
     /// Active trace for span recording; `None` is the zero-cost off
     /// path.
     pub trace: Option<&'t ActiveTrace>,
@@ -51,6 +65,7 @@ impl QueryCtx<'static> {
             faults: None,
             cancel: None,
             deadline: None,
+            yield_hook: None,
             trace: None,
         }
     }
@@ -62,6 +77,7 @@ impl QueryCtx<'static> {
             faults: None,
             cancel: None,
             deadline: None,
+            yield_hook: None,
             trace: None,
         }
     }
@@ -92,6 +108,12 @@ impl<'t> QueryCtx<'t> {
         self
     }
 
+    /// Attach (or detach) a cooperative yield hook.
+    pub fn with_yield_hook(mut self, hook: Option<YieldHook>) -> QueryCtx<'t> {
+        self.yield_hook = hook;
+        self
+    }
+
     /// Attach (or detach) an active trace. Generic over the trace
     /// lifetime so a `'static` starter context can pick up a trace
     /// borrowed for the duration of one call.
@@ -101,6 +123,7 @@ impl<'t> QueryCtx<'t> {
             faults: self.faults,
             cancel: self.cancel,
             deadline: self.deadline,
+            yield_hook: self.yield_hook,
             trace,
         }
     }
@@ -123,14 +146,18 @@ impl<'t> QueryCtx<'t> {
     /// One cooperative cancellation check at a unit-of-work boundary.
     /// Consults the session cancel token first, then the per-call
     /// deadline token, so an external cancel always wins and a deadline
-    /// still applies underneath a session token. `Ok(())` when neither
-    /// is set.
+    /// still applies underneath a session token; last, the yield hook
+    /// runs, turning the same boundary into a scheduling point when a
+    /// serving layer installed one. `Ok(())` when nothing is set.
     pub fn check_cancel(&self) -> Result<()> {
         if let Some(c) = &self.cancel {
             c.check()?;
         }
         if let Some(d) = &self.deadline {
             d.check()?;
+        }
+        if let Some(h) = &self.yield_hook {
+            h()?;
         }
         Ok(())
     }
@@ -195,6 +222,39 @@ mod tests {
                 std::time::Duration::from_nanos(0),
             )));
         assert_eq!(ctx.check_cancel(), Err(StorageError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn yield_hook_runs_after_tokens_and_can_abort() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = Arc::new(AtomicU64::new(0));
+        let hook_calls = Arc::clone(&calls);
+        let ctx = QueryCtx::none().with_yield_hook(Some(Arc::new(move || {
+            hook_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })));
+        assert!(ctx.check_cancel().is_ok());
+        assert!(ctx.check_cancel().is_ok());
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+
+        // A cancelled token short-circuits before the hook runs.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = ctx.with_cancel(Some(cancel));
+        assert_eq!(ctx.check_cancel(), Err(StorageError::Cancelled));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "hook skipped on cancel");
+
+        // A hook error aborts the boundary with its typed error.
+        let ctx = QueryCtx::none().with_yield_hook(Some(Arc::new(|| {
+            Err(StorageError::Overloaded {
+                queue_depth: 1,
+                limit: 1,
+            })
+        })));
+        assert!(matches!(
+            ctx.check_cancel(),
+            Err(StorageError::Overloaded { .. })
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod policy;
 pub mod pool;
 pub mod query;
 
-pub use ctx::QueryCtx;
+pub use ctx::{QueryCtx, YieldHook};
 pub use policy::ExecPolicy;
 pub use pool::{default_parallelism, global_pool, ExecPool};
 pub use query::{

@@ -1,0 +1,88 @@
+//! Serving-layer configuration.
+
+use std::time::Duration;
+
+/// Everything that shapes the scheduler: worker count, admission bound,
+/// the fairness quantum, and how often in-query boundaries yield the OS
+/// thread.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the run queue. The engine itself is
+    /// `&mut`-serialized, so workers pipeline dispatch/accounting around
+    /// the engine lock rather than executing queries concurrently;
+    /// in-query parallelism still comes from the exec pool. Small values
+    /// (≤ 4) are the intended regime — the point of the layer is
+    /// sessions ≫ workers.
+    pub workers: usize,
+    /// Admission bound: `submit` returns a typed
+    /// [`Overloaded`](explore_storage::StorageError::Overloaded) error
+    /// once this many tasks are queued (in-flight tasks don't count).
+    pub queue_limit: usize,
+    /// Fairness quantum. A session's accumulated service time is divided
+    /// by this to produce its priority bucket: sessions that have
+    /// consumed more whole quanta sort behind lighter ones, so a heavy
+    /// session can never starve light ones of dispatch slots.
+    pub quantum: Duration,
+    /// Cooperative-yield stride: every `yield_every`-th
+    /// `check_cancel` boundary inside a scheduled query calls
+    /// `thread::yield_now()`, letting same-core neighbors (pan sessions,
+    /// submitters) make progress under load. `0` disables in-query
+    /// yielding without disabling quantum accounting.
+    pub yield_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_limit: 256,
+            quantum: Duration::from_millis(1),
+            yield_every: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with a given worker count, other knobs default.
+    pub fn with_workers(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Set the admission bound.
+    pub fn with_queue_limit(mut self, limit: usize) -> ServeConfig {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Set the fairness quantum.
+    pub fn with_quantum(mut self, quantum: Duration) -> ServeConfig {
+        self.quantum = quantum;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_limit >= 1);
+        assert!(!c.quantum.is_zero());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ServeConfig::with_workers(2)
+            .with_queue_limit(8)
+            .with_quantum(Duration::from_micros(100));
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.queue_limit, 8);
+        assert_eq!(c.quantum, Duration::from_micros(100));
+    }
+}

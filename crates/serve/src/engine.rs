@@ -1,0 +1,234 @@
+//! The served-engine facade: owns the engine, the run queue, and the
+//! worker set.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use explore_core::ExploreDb;
+use explore_fault::FailPoints;
+
+use crate::config::ServeConfig;
+use crate::scheduler::Shared;
+use crate::session::Session;
+
+/// An [`ExploreDb`] wrapped in the serving layer: sessions submit
+/// queries, a bounded run queue admits them, and a fixed worker set
+/// executes them in fair, deadline-aware order. Dropping the facade
+/// drains the queue and joins the workers.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Serve `db` with the default config (4 workers, 256-deep queue,
+    /// 1 ms quantum).
+    pub fn new(db: ExploreDb) -> ServeEngine {
+        ServeEngine::with_config(db, ServeConfig::default())
+    }
+
+    /// Serve `db` with an explicit scheduler config.
+    pub fn with_config(db: ExploreDb, cfg: ServeConfig) -> ServeEngine {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared::new(db, cfg));
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeEngine {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Open a fresh session: its own cancel token, engine-default
+    /// policies until overlaid with the `Session` builders.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.shared))
+    }
+
+    /// Run `f` directly against the engine, outside the scheduler —
+    /// for setup (registering tables, flipping engine-wide policies)
+    /// and inspection (metrics, cache stats). Blocks until in-flight
+    /// scheduled queries release the engine lock.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut ExploreDb) -> R) -> R {
+        f(&mut self.shared.db.lock())
+    }
+
+    /// Tasks currently waiting in the run queue (in-flight tasks have
+    /// already left it).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth()
+    }
+
+    /// The scheduler config in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// The engine's fail-point registry (`serve.admit`, `serve.yield`,
+    /// and every engine-side point).
+    pub fn fail_points(&self) -> Arc<FailPoints> {
+        Arc::clone(&self.shared.faults)
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already poisoned nothing (the db
+            // lock is parking_lot); don't double-panic during drop.
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.queue_depth())
+            .field("config", &self.shared.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use explore_storage::{AggFunc, Predicate, Query, StorageError};
+    use std::time::Duration;
+
+    fn served(rows: usize, cfg: ServeConfig) -> ServeEngine {
+        let mut db = ExploreDb::new();
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows,
+                ..SalesConfig::default()
+            }),
+        );
+        ServeEngine::with_config(db, cfg)
+    }
+
+    fn probe_query() -> Query {
+        Query::new()
+            .filter(Predicate::range("price", 50.0, 300.0))
+            .group("region")
+            .agg(AggFunc::Sum, "price")
+    }
+
+    #[test]
+    fn scheduled_query_matches_direct_engine() {
+        let mut db = ExploreDb::new();
+        let table = sales_table(&SalesConfig {
+            rows: 4_000,
+            ..SalesConfig::default()
+        });
+        db.register("sales", table.clone());
+        let direct = db.query("sales", &probe_query()).unwrap();
+
+        let serve = served(4_000, ServeConfig::with_workers(2));
+        let session = serve.session();
+        let servedr = session.query("sales", &probe_query()).unwrap();
+        assert_eq!(direct, servedr);
+    }
+
+    #[test]
+    fn many_sessions_few_workers_all_complete() {
+        let serve = served(2_000, ServeConfig::with_workers(2).with_queue_limit(4_096));
+        let sessions: Vec<Session> = (0..64).map(|_| serve.session()).collect();
+        let tickets: Vec<_> = sessions
+            .iter()
+            .map(|s| s.submit(|db| db.query("sales", &probe_query())).unwrap())
+            .collect();
+        let mut results = tickets.iter().map(|t| t.wait().unwrap());
+        let first = results.next().unwrap();
+        assert!(results.all(|r| r == first), "all sessions see one truth");
+    }
+
+    #[test]
+    fn overload_is_a_typed_rejection() {
+        // One worker, a queue of 1, and a slow first task: the queue
+        // fills and later submits get the typed error.
+        let serve = served(2_000, ServeConfig::with_workers(1).with_queue_limit(1));
+        let blocker = serve.session();
+        // Occupy the worker long enough to observe a full queue.
+        let slow = blocker
+            .submit(|db| {
+                std::thread::sleep(Duration::from_millis(50));
+                db.query("sales", &probe_query())
+            })
+            .unwrap();
+        let filler = serve.session();
+        let mut rejected = 0;
+        let mut queued = Vec::new();
+        for _ in 0..64 {
+            match filler.submit(|db| db.query("sales", &probe_query())) {
+                Ok(t) => queued.push(t),
+                Err(StorageError::Overloaded { queue_depth, limit }) => {
+                    assert_eq!(limit, 1);
+                    assert!(queue_depth >= 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "bounded queue must reject under burst");
+        // Truth is still served: the queued work and a post-backoff
+        // retry both complete exactly.
+        slow.wait().unwrap();
+        for t in &queued {
+            t.wait().unwrap();
+        }
+        filler.query("sales", &probe_query()).unwrap();
+    }
+
+    #[test]
+    fn session_cancel_cuts_scheduled_queries() {
+        let serve = served(2_000, ServeConfig::with_workers(1));
+        let session = serve.session();
+        session.cancel();
+        let err = session.query("sales", &probe_query()).unwrap_err();
+        assert_eq!(err, StorageError::Cancelled);
+        // Other sessions are unaffected.
+        serve.session().query("sales", &probe_query()).unwrap();
+    }
+
+    #[test]
+    fn session_deadline_budget_applies_per_query() {
+        let serve = served(2_000, ServeConfig::with_workers(1));
+        let session = serve.session().with_deadline(Some(Duration::ZERO));
+        let err = session.query("sales", &probe_query()).unwrap_err();
+        assert_eq!(err, StorageError::DeadlineExceeded);
+        // The engine default (no deadline) is untouched.
+        serve.session().query("sales", &probe_query()).unwrap();
+    }
+
+    #[test]
+    fn queue_delay_is_reported_separately() {
+        let serve = served(2_000, ServeConfig::with_workers(1));
+        let s = serve.session();
+        let slow = s
+            .submit(|db| {
+                std::thread::sleep(Duration::from_millis(20));
+                db.query("sales", &probe_query())
+            })
+            .unwrap();
+        let waiting = s.submit(|db| db.query("sales", &probe_query())).unwrap();
+        slow.wait().unwrap();
+        waiting.wait().unwrap();
+        assert!(
+            waiting.queue_ns() >= 10_000_000,
+            "second task queued behind the slow one: {}ns",
+            waiting.queue_ns()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # explore-serve
+//!
+//! The multi-session serving layer over one
+//! [`ExploreDb`](explore_core::ExploreDb): the paper
+//! frames exploration as many concurrent analysts issuing bursty,
+//! latency-sensitive query sequences, and this crate is the substrate
+//! that shape runs on — thousands of [`Session`]s multiplexed over a
+//! fixed worker set, with admission control and deadline-aware fair
+//! scheduling on top.
+//!
+//! Three mechanisms, all built on std primitives (no async runtime):
+//!
+//! * **Sessions** ([`Session`]) are cheap handles carrying their own
+//!   cancel token, deadline budget, and cache/obs/exec policy overlays,
+//!   merged over engine defaults when each scheduled query mints its
+//!   `QueryCtx` (DESIGN.md §10/§13). A session is state, not a thread —
+//!   only in-flight queries occupy workers.
+//! * **Admission control**: the run queue is bounded; a full queue
+//!   rejects with the typed
+//!   [`Overloaded`](explore_storage::StorageError::Overloaded) error
+//!   (queue depth included) rather than queuing without bound. Armed
+//!   `serve.admit` degrades to inline execution — exact answers,
+//!   degraded scheduling.
+//! * **Fair, deadline-aware scheduling**: dispatch order is
+//!   (consumed-quanta, earliest deadline, FIFO) — a heavy session's
+//!   backlog sorts behind light sessions' fresh queries, so light
+//!   sessions can't be starved; queries cooperatively yield at every
+//!   existing `check_cancel` boundary via the `QueryCtx` yield hook.
+//!
+//! Results are bit-identical to direct engine calls: the scheduler
+//! changes *when* a query runs, never *what* it computes — the
+//! serve-differential suite asserts this across query shapes, exec
+//! policies, and cache states.
+//!
+//! ```
+//! use explore_core::ExploreDb;
+//! use explore_serve::{ServeConfig, ServeEngine};
+//! use explore_storage::{gen, AggFunc, Query};
+//!
+//! let mut db = ExploreDb::new();
+//! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
+//! let serve = ServeEngine::with_config(db, ServeConfig::with_workers(2));
+//! let session = serve.session();
+//! let result = session
+//!     .query("sales", &Query::new().group("region").agg(AggFunc::Avg, "price"))
+//!     .unwrap();
+//! assert!(result.num_rows() > 0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod session;
+pub mod ticket;
+
+mod scheduler;
+
+pub use config::ServeConfig;
+pub use engine::ServeEngine;
+pub use session::Session;
+pub use ticket::Ticket;

@@ -1,0 +1,134 @@
+//! Completion tickets for submitted queries.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use explore_storage::{Result, StorageError};
+
+/// Type-erased task output carried from worker to waiter.
+pub(crate) type Payload = Box<dyn Any + Send>;
+
+/// The delivery slot's state: distinguishes "not delivered yet" (keep
+/// waiting) from "delivered and consumed" (typed error, never a hang).
+enum Slot {
+    Pending,
+    Ready(Result<Payload>),
+    Taken,
+}
+
+/// The shared half of a ticket: the slot the worker fills and the
+/// condvar it signals, plus the measured queueing delay.
+pub(crate) struct TicketShared {
+    slot: Mutex<Slot>,
+    done: Condvar,
+    /// Nanoseconds the task spent queued before a worker picked it up
+    /// (0 until dispatch; inline-degraded tasks record 0).
+    queue_ns: AtomicU64,
+}
+
+impl TicketShared {
+    pub(crate) fn new() -> TicketShared {
+        TicketShared {
+            slot: Mutex::new(Slot::Pending),
+            done: Condvar::new(),
+            queue_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker side: record the queueing delay at dispatch.
+    pub(crate) fn set_queue_ns(&self, ns: u64) {
+        self.queue_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Worker side: deliver the result and wake the waiter.
+    pub(crate) fn fulfill(&self, result: Result<Payload>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Slot::Ready(result);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted query's eventual result. [`Ticket::wait`]
+/// blocks until a worker (or the inline-degradation path) delivers it;
+/// [`Ticket::queue_ns`] reports how long the task sat in the run queue,
+/// separating scheduling time from service time for SLO accounting.
+pub struct Ticket<R> {
+    inner: Arc<TicketShared>,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<R: Send + 'static> Ticket<R> {
+    pub(crate) fn new(inner: Arc<TicketShared>) -> Ticket<R> {
+        Ticket {
+            inner,
+            _out: PhantomData,
+        }
+    }
+
+    /// Block until the task completes and take its result. A second
+    /// call returns a typed `Internal` error (the result is delivered
+    /// exactly once).
+    pub fn wait(&self) -> Result<R> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while matches!(*slot, Slot::Pending) {
+            slot = self
+                .inner
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        match std::mem::replace(&mut *slot, Slot::Taken) {
+            Slot::Ready(result) => result?.downcast::<R>().map(|b| *b).map_err(|_| {
+                StorageError::Internal("ticket payload type mismatch on downcast".to_owned())
+            }),
+            _ => Err(StorageError::Internal(
+                "ticket result already taken".to_owned(),
+            )),
+        }
+    }
+
+    /// Nanoseconds the task spent in the run queue before dispatch.
+    /// Final once [`Ticket::wait`] has returned; 0 for inline-degraded
+    /// tasks, which never queue.
+    pub fn queue_ns(&self) -> u64 {
+        self.inner.queue_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfill_then_wait_round_trips() {
+        let shared = Arc::new(TicketShared::new());
+        shared.set_queue_ns(123);
+        shared.fulfill(Ok(Box::new(41u64 + 1) as Payload));
+        let t: Ticket<u64> = Ticket::new(shared);
+        assert_eq!(t.wait(), Ok(42));
+        assert_eq!(t.queue_ns(), 123);
+        // Second wait: typed error, not a hang or panic.
+        assert!(matches!(t.wait(), Err(StorageError::Internal(_))));
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_cross_thread() {
+        let shared = Arc::new(TicketShared::new());
+        let t: Ticket<String> = Ticket::new(Arc::clone(&shared));
+        let h = std::thread::spawn(move || {
+            shared.fulfill(Ok(Box::new("done".to_owned()) as Payload));
+        });
+        assert_eq!(t.wait(), Ok("done".to_owned()));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn error_results_pass_through_typed() {
+        let shared = Arc::new(TicketShared::new());
+        shared.fulfill(Err(StorageError::Cancelled));
+        let t: Ticket<u64> = Ticket::new(shared);
+        assert_eq!(t.wait(), Err(StorageError::Cancelled));
+    }
+}

@@ -32,6 +32,10 @@ pub enum StorageError {
     Cancelled,
     /// The query's deadline passed before it finished.
     DeadlineExceeded,
+    /// The serving layer refused admission: its run queue is full. The
+    /// caller should back off and resubmit — nothing was executed and
+    /// no engine state changed.
+    Overloaded { queue_depth: usize, limit: usize },
     /// An engine invariant was violated at runtime (poisoned lock, lost
     /// internal state) and surfaced as an error instead of a panic.
     Internal(String),
@@ -66,6 +70,10 @@ impl fmt::Display for StorageError {
             StorageError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
             StorageError::Cancelled => write!(f, "query cancelled"),
             StorageError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            StorageError::Overloaded { queue_depth, limit } => write!(
+                f,
+                "serving layer overloaded: run queue at {queue_depth}/{limit}; back off and resubmit"
+            ),
             StorageError::Internal(message) => write!(f, "internal engine error: {message}"),
         }
     }

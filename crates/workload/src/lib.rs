@@ -44,5 +44,7 @@
 pub mod runner;
 pub mod spec;
 
-pub use runner::{ClassStats, DeterministicReport, WorkloadConfig, WorkloadReport, WorkloadRunner};
+pub use runner::{
+    ClassStats, DeterministicReport, DriveMode, WorkloadConfig, WorkloadReport, WorkloadRunner,
+};
 pub use spec::{Interaction, SessionSpec, GRID_CELLS};

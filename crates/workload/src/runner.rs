@@ -1,12 +1,21 @@
 //! The session driver: replay generated trajectories concurrently
 //! against one shared engine and account every interaction.
 //!
-//! [`WorkloadRunner`] owns the engine (a `Mutex<ExploreDb>` — each
-//! interaction is one atomic engine call, and the lock wait *is* the
-//! queueing delay a concurrent analyst feels, so it stays inside the
-//! measured latency) plus a shared [`GridIndex`] for the pan sessions,
-//! which never take the engine lock at all. `run` replays every
-//! [`SessionSpec`] and emits a [`WorkloadReport`].
+//! [`WorkloadRunner`] owns the engine — directly (a `Mutex<ExploreDb>`,
+//! each interaction one atomic engine call) or through the
+//! `explore-serve` scheduler ([`DriveMode::Serve`], one serve session
+//! per analyst session, sessions ≫ scheduler workers) — plus a shared
+//! [`GridIndex`] for the pan sessions, which never take the engine lock
+//! at all. `run` replays every [`SessionSpec`] and emits a
+//! [`WorkloadReport`].
+//!
+//! Each interaction's latency is accounted in two parts: **queueing
+//! delay** (engine-lock wait in direct mode, run-queue wait in serve
+//! mode) and service time. The per-class percentiles cover the total —
+//! that is what the analyst feels — while [`ClassStats::mean_queue_ns`]
+//! / [`ClassStats::p95_queue_ns`] expose the scheduling share, so SLO
+//! accounting can separate an overloaded scheduler from a slow engine
+//! instead of blaming a lock convoy on the query.
 //!
 //! Determinism contract: wall-clock numbers (latencies, SLO violations,
 //! throughput) are *measured* and vary run to run, but everything in
@@ -31,12 +40,27 @@ use explore_exec::ExecPolicy;
 use explore_fault::FailPoints;
 use explore_obs::{percentile_sorted, MetricsRegistry, MetricsSnapshot};
 use explore_prefetch::{CellAgg, GridIndex, PanSession, Viewport};
+use explore_serve::{ServeConfig, ServeEngine, Session as ServeSession};
 use explore_shard::ShardPolicy;
 use explore_storage::gen::{sales_table, sky_table, SalesConfig};
 use explore_storage::{AggFunc, Predicate, Query, Result, StorageError, Table};
 use parking_lot::Mutex;
 
 use crate::spec::{Interaction, SessionSpec, GRID_CELLS};
+
+/// How interactions reach the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveMode {
+    /// Each replay thread locks the engine directly; the lock wait is
+    /// the queueing delay.
+    Direct,
+    /// Route every engine interaction through the `explore-serve`
+    /// scheduler: one serve session per analyst session, multiplexed
+    /// over `workers` scheduler threads behind a `queue_limit`-bounded
+    /// run queue. Admission rejections are retried after a backoff and
+    /// counted in [`WorkloadReport::rejections`].
+    Serve { workers: usize, queue_limit: usize },
+}
 
 /// Everything that determines a workload run. `seed` fixes the
 /// trajectories *and* the synthetic data; the policies pick the engine
@@ -65,6 +89,9 @@ pub struct WorkloadConfig {
     /// SLO budget per interaction: answers slower than this count as
     /// violations even when they complete.
     pub budget: Duration,
+    /// How interactions reach the engine (direct lock vs. the serve
+    /// scheduler).
+    pub mode: DriveMode,
 }
 
 impl Default for WorkloadConfig {
@@ -81,6 +108,7 @@ impl Default for WorkloadConfig {
             think: Duration::ZERO,
             deadline: None,
             budget: Duration::from_millis(50),
+            mode: DriveMode::Direct,
         }
     }
 }
@@ -95,6 +123,11 @@ pub struct ClassStats {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    /// Mean queueing delay (lock wait in direct mode, run-queue wait in
+    /// serve mode) — the scheduling share of `mean_ns`.
+    pub mean_queue_ns: u64,
+    /// p95 queueing delay (same separation as `mean_queue_ns`).
+    pub p95_queue_ns: u64,
 }
 
 /// The deterministic projection of a report: exactly the fields that
@@ -120,6 +153,11 @@ pub struct WorkloadReport {
     pub violations: u64,
     /// Interactions that returned an error (deadline, cancel, fault).
     pub errors: u64,
+    /// Serve-mode admission rejections (typed `Overloaded` errors),
+    /// each retried after a backoff until admitted — truth is always
+    /// re-served, so rejections never change the checksum. Always 0 in
+    /// direct mode.
+    pub rejections: u64,
     /// Order-independent digest of every successful result.
     pub checksum: u64,
     /// Per-class latency summaries, keyed by interaction kind.
@@ -198,17 +236,18 @@ impl fmt::Display for WorkloadReport {
         )?;
         writeln!(
             f,
-            "  throughput {:.0}/s  violations {:.1}%  errors {}  cache hit {:.1}%",
+            "  throughput {:.0}/s  violations {:.1}%  errors {}  rejections {}  cache hit {:.1}%",
             self.throughput_per_sec(),
             self.violation_rate_pct(),
             self.errors,
+            self.rejections,
             self.cache_hit_rate_pct()
         )?;
         for (kind, c) in &self.classes {
             writeln!(
                 f,
-                "  {kind:<8} n={:<5} mean={:<9} p50={:<9} p95={:<9} p99={}",
-                c.count, c.mean_ns, c.p50_ns, c.p95_ns, c.p99_ns
+                "  {kind:<8} n={:<5} mean={:<9} p50={:<9} p95={:<9} p99={:<9} queue(mean={}, p95={})",
+                c.count, c.mean_ns, c.p50_ns, c.p95_ns, c.p99_ns, c.mean_queue_ns, c.p95_queue_ns
             )?;
         }
         Ok(())
@@ -217,9 +256,12 @@ impl fmt::Display for WorkloadReport {
 
 /// What one session replay brought home.
 struct SessionOutcome {
-    /// (class, latency_ns, violated) per interaction, in order.
-    latencies: Vec<(&'static str, u64, bool)>,
+    /// (class, total latency_ns, queue_ns, violated) per interaction,
+    /// in order. `queue_ns` is the scheduling share of the total.
+    latencies: Vec<(&'static str, u64, u64, bool)>,
     errors: u64,
+    /// Admission rejections this session absorbed (serve mode only).
+    rejections: u64,
     /// Sequential fold of this session's result digests.
     digest: u64,
 }
@@ -280,11 +322,32 @@ fn cells_digest(cells: &[CellAgg]) -> u64 {
     })
 }
 
+/// The engine call for one interaction, owned so the serve scheduler
+/// can run it on a worker thread.
+type InteractionOp = Box<dyn FnOnce(&mut ExploreDb) -> Result<u64> + Send>;
+
+/// How the runner reaches the engine (see [`DriveMode`]).
+enum Backend {
+    Direct(Box<Mutex<ExploreDb>>),
+    Serve(ServeEngine),
+}
+
+impl Backend {
+    /// Run `f` directly against the engine, outside any scheduling —
+    /// setup and stats reads.
+    fn with_engine<R>(&self, f: impl FnOnce(&mut ExploreDb) -> R) -> R {
+        match self {
+            Backend::Direct(db) => f(&mut db.lock()),
+            Backend::Serve(engine) => engine.with_engine(f),
+        }
+    }
+}
+
 /// Replays seeded exploration sessions against one shared engine.
 pub struct WorkloadRunner {
     config: WorkloadConfig,
     specs: Vec<SessionSpec>,
-    db: Mutex<ExploreDb>,
+    backend: Backend,
     grid: GridIndex,
     cache: Arc<ResultCache>,
     cache_on: bool,
@@ -328,10 +391,20 @@ impl WorkloadRunner {
         let cache = db.cache();
         let cache_on = db.cache_policy().is_on();
         let faults = db.fail_points();
+        let backend = match config.mode {
+            DriveMode::Direct => Backend::Direct(Box::new(Mutex::new(db))),
+            DriveMode::Serve {
+                workers,
+                queue_limit,
+            } => Backend::Serve(ServeEngine::with_config(
+                db,
+                ServeConfig::with_workers(workers).with_queue_limit(queue_limit),
+            )),
+        };
         Ok(WorkloadRunner {
             config,
             specs,
-            db: Mutex::new(db),
+            backend,
             grid,
             cache,
             cache_on,
@@ -352,7 +425,7 @@ impl WorkloadRunner {
     /// Replay every session concurrently and summarize.
     pub fn run(&self) -> Result<WorkloadReport> {
         let registry = MetricsRegistry::new();
-        let stats_before = self.db.lock().cache_stats();
+        let stats_before = self.backend.with_engine(|db| db.cache_stats());
         let started = Instant::now();
 
         let workers = self.config.threads.max(1).min(self.specs.len().max(1));
@@ -375,7 +448,7 @@ impl WorkloadRunner {
                 .collect()
         });
         let elapsed_ns = started.elapsed().as_nanos() as u64;
-        let stats_after = self.db.lock().cache_stats();
+        let stats_after = self.backend.with_engine(|db| db.cache_stats());
 
         // Combine sessions order-independently: thread scheduling must
         // not leak into the checksum.
@@ -383,22 +456,28 @@ impl WorkloadRunner {
             .iter()
             .fold(0u64, |acc, o| acc.wrapping_add(mix(o.digest)));
         let errors = outcomes.iter().map(|o| o.errors).sum();
-        let mut samples: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        let rejections = outcomes.iter().map(|o| o.rejections).sum();
+        let mut samples: BTreeMap<&'static str, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
         let mut violations = 0u64;
         let mut interactions = 0u64;
         for o in &outcomes {
-            for &(kind, ns, violated) in &o.latencies {
+            for &(kind, ns, queue_ns, violated) in &o.latencies {
                 interactions += 1;
                 violations += violated as u64;
                 registry.observe_ns(&format!("workload.{kind}"), ns);
-                samples.entry(kind).or_default().push(ns);
+                registry.observe_ns(&format!("workload.{kind}.queue"), queue_ns);
+                let (totals, queues) = samples.entry(kind).or_default();
+                totals.push(ns);
+                queues.push(queue_ns);
             }
         }
         let classes = samples
             .into_iter()
-            .map(|(kind, mut ns)| {
+            .map(|(kind, (mut ns, mut queue))| {
                 ns.sort_unstable();
+                queue.sort_unstable();
                 let sum: u64 = ns.iter().sum();
+                let queue_sum: u64 = queue.iter().sum();
                 (
                     kind.to_owned(),
                     ClassStats {
@@ -407,6 +486,8 @@ impl WorkloadRunner {
                         p50_ns: percentile_sorted(&ns, 0.50),
                         p95_ns: percentile_sorted(&ns, 0.95),
                         p99_ns: percentile_sorted(&ns, 0.99),
+                        mean_queue_ns: queue_sum / queue.len() as u64,
+                        p95_queue_ns: percentile_sorted(&queue, 0.95),
                     },
                 )
             })
@@ -417,6 +498,7 @@ impl WorkloadRunner {
             interactions,
             violations,
             errors,
+            rejections,
             checksum,
             classes,
             cache_hits: stats_after.hits - stats_before.hits,
@@ -427,10 +509,86 @@ impl WorkloadRunner {
         })
     }
 
+    /// The engine call for one interaction, as an owned closure the
+    /// serve scheduler can run on a worker thread. `None` for pan
+    /// interactions, which never touch the engine. Each call constructs
+    /// a fresh closure, so a rejected submission can be retried.
+    fn interaction_op(it: &Interaction) -> Option<InteractionOp> {
+        match *it {
+            Interaction::Filter { lo, hi } | Interaction::Refine { lo, hi } => {
+                Some(Box::new(move |db| {
+                    let q = Query::new()
+                        .filter(Predicate::range("price", lo, hi))
+                        .group("region")
+                        .agg(AggFunc::Sum, "price");
+                    db.query("sales", &q).map(|t| table_digest(&t))
+                }))
+            }
+            Interaction::Drill { dim_a, dim_b } => Some(Box::new(move |db| {
+                db.discover_cube("sales", dim_a, dim_b, "price")
+                    .map(|view| {
+                        view.cells().iter().fold(0x0D11_1100u64, |d, c| {
+                            let d = c.dim_a.bytes().fold(d, |d, b| fold(d, b as u64));
+                            let d = c.dim_b.bytes().fold(d, |d, b| fold(d, b as u64));
+                            fold(d, c.actual.to_bits())
+                        })
+                    })
+            })),
+            Interaction::Lookup { qty } => Some(Box::new(move |db| {
+                db.cracked_range("sales", "qty", qty, qty + 1)
+                    .map(|ids| ids_digest(&ids))
+            })),
+            Interaction::Pan { .. } => None,
+        }
+    }
+
+    /// Run one engine-backed interaction through the active backend.
+    /// Returns the digest outcome and the queueing delay (lock wait in
+    /// direct mode, run-queue wait in serve mode). Serve-mode admission
+    /// rejections are counted and retried after yielding — truth is
+    /// always re-served.
+    fn dispatch(
+        &self,
+        session: Option<&ServeSession>,
+        it: &Interaction,
+        rejections: &mut u64,
+    ) -> (Result<u64>, u64) {
+        match session {
+            Some(s) => loop {
+                let op = Self::interaction_op(it).expect("pan never dispatches");
+                match s.submit(op) {
+                    Ok(ticket) => {
+                        let outcome = ticket.wait();
+                        break (outcome, ticket.queue_ns());
+                    }
+                    Err(StorageError::Overloaded { .. }) => {
+                        *rejections += 1;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => break (Err(e), 0),
+                }
+            },
+            None => {
+                let op = Self::interaction_op(it).expect("pan never dispatches");
+                let Backend::Direct(db) = &self.backend else {
+                    unreachable!("direct dispatch without a serve session")
+                };
+                let waited = Instant::now();
+                let mut db = db.lock();
+                let queue_ns = waited.elapsed().as_nanos() as u64;
+                (op(&mut db), queue_ns)
+            }
+        }
+    }
+
     /// Replay one session: every interaction is timed, accounted, and
     /// digested. Errors are counted, never propagated — a degraded
     /// engine must not kill the workload.
     fn replay(&self, spec: &SessionSpec) -> SessionOutcome {
+        let serve_session = match &self.backend {
+            Backend::Serve(engine) => Some(engine.session()),
+            Backend::Direct(_) => None,
+        };
         let mut pan = PanSession::new(&self.grid, true);
         if self.cache_on {
             pan = pan.with_shared_cache(Arc::clone(&self.cache), "sky");
@@ -444,43 +602,22 @@ impl WorkloadRunner {
         let budget_ns = self.config.budget.as_nanos() as u64;
         let mut latencies = Vec::with_capacity(spec.interactions.len());
         let mut errors = 0u64;
+        let mut rejections = 0u64;
         let mut digest = 0xD16E_5700_0000_0000u64 ^ mix(spec.session);
         for it in &spec.interactions {
             if !self.config.think.is_zero() {
                 std::thread::sleep(self.config.think);
             }
             let start = Instant::now();
-            let outcome: Result<u64> = match *it {
-                Interaction::Filter { lo, hi } | Interaction::Refine { lo, hi } => {
-                    let q = Query::new()
-                        .filter(Predicate::range("price", lo, hi))
-                        .group("region")
-                        .agg(AggFunc::Sum, "price");
-                    self.db.lock().query("sales", &q).map(|t| table_digest(&t))
-                }
+            let (outcome, queue_ns): (Result<u64>, u64) = match *it {
                 Interaction::Pan { dx, dy, resize } => {
                     vp.cx = (vp.cx + dx).clamp(0, GRID_CELLS - 1);
                     vp.cy = (vp.cy + dy).clamp(0, GRID_CELLS - 1);
                     vp.w = (vp.w as i64 + resize).clamp(2, 6) as usize;
                     vp.h = (vp.h as i64 + resize).clamp(2, 6) as usize;
-                    pan.view(vp).map(|cells| cells_digest(&cells))
+                    (pan.view(vp).map(|cells| cells_digest(&cells)), 0)
                 }
-                Interaction::Drill { dim_a, dim_b } => self
-                    .db
-                    .lock()
-                    .discover_cube("sales", dim_a, dim_b, "price")
-                    .map(|view| {
-                        view.cells().iter().fold(0x0D11_1100u64, |d, c| {
-                            let d = c.dim_a.bytes().fold(d, |d, b| fold(d, b as u64));
-                            let d = c.dim_b.bytes().fold(d, |d, b| fold(d, b as u64));
-                            fold(d, c.actual.to_bits())
-                        })
-                    }),
-                Interaction::Lookup { qty } => self
-                    .db
-                    .lock()
-                    .cracked_range("sales", "qty", qty, qty + 1)
-                    .map(|ids| ids_digest(&ids)),
+                _ => self.dispatch(serve_session.as_ref(), it, &mut rejections),
             };
             let ns = start.elapsed().as_nanos() as u64;
             let mut violated = ns > budget_ns;
@@ -493,11 +630,12 @@ impl WorkloadRunner {
                     }
                 }
             }
-            latencies.push((it.kind(), ns, violated));
+            latencies.push((it.kind(), ns, queue_ns, violated));
         }
         SessionOutcome {
             latencies,
             errors,
+            rejections,
             digest,
         }
     }
@@ -573,6 +711,44 @@ mod tests {
         assert!(report.errors > 0);
         assert!(report.violations >= report.errors);
         assert_eq!(report.interactions, 36);
+    }
+
+    #[test]
+    fn serve_mode_preserves_the_checksum_with_sessions_past_workers() {
+        let direct = WorkloadRunner::new(quick_config()).unwrap().run().unwrap();
+        let served = WorkloadRunner::new(WorkloadConfig {
+            mode: DriveMode::Serve {
+                workers: 2,
+                queue_limit: 64,
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(
+            direct.deterministic(),
+            served.deterministic(),
+            "scheduling must change when queries run, never what they compute"
+        );
+    }
+
+    #[test]
+    fn queue_delay_is_reported_as_its_own_field() {
+        let report = WorkloadRunner::new(quick_config()).unwrap().run().unwrap();
+        for (kind, c) in &report.classes {
+            assert!(
+                c.mean_queue_ns <= c.mean_ns,
+                "{kind}: queueing delay is a share of the total"
+            );
+            let h = report
+                .obs
+                .histogram(&format!("workload.{kind}.queue"))
+                .expect("queue histogram recorded per class");
+            assert_eq!(h.count, c.count);
+        }
+        // Pan sessions never queue on the engine.
+        assert_eq!(report.class("pan").map(|c| c.mean_queue_ns), Some(0));
     }
 
     #[test]

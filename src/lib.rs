@@ -29,7 +29,9 @@
 
 pub use explore_core::*;
 
-// The interactive-workload driver sits *above* the engine facade (it
-// drives `ExploreDb`), so it cannot be re-exported from `explore-core`
-// like the technique crates; alias it here instead.
+// The serving layer and the interactive-workload driver sit *above*
+// the engine facade (they drive `ExploreDb`), so they cannot be
+// re-exported from `explore-core` like the technique crates; alias
+// them here instead.
+pub use explore_serve as serve;
 pub use explore_workload as workload;

@@ -15,8 +15,11 @@
 //! The iteration count defaults to the CI smoke budget and scales up
 //! via the `CHAOS_ITERS` env var for long-run soaking.
 
+use std::time::Duration;
+
 use exploration::cache::CachePolicy;
 use exploration::exec::ExecPolicy;
+use exploration::serve::{ServeConfig, ServeEngine};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::rng::SplitMix64;
 use exploration::storage::{
@@ -458,6 +461,152 @@ fn seeded_chaos_over_diversified_topk_is_exact_or_typed() {
             .diversified_topk("sales", &pred, "price", &features, 10, 0.5)
             .unwrap_or_else(|e| panic!("{context}: post-fault call failed: {e}"));
         assert_eq!(clean, truth, "{context} (post-fault)");
+    }
+}
+
+/// `serve.admit` armed: the scheduler degrades gracefully — every
+/// submission runs inline on the calling thread instead of queueing —
+/// with exact answers, the degradation event counted, and the queue
+/// path restored (truth re-served) after disarming.
+#[test]
+fn serve_admit_fault_degrades_to_inline_execution() {
+    let table = chaos_table();
+    let q = Query::new().group("region").agg(AggFunc::Sum, "price");
+    let truth = {
+        let mut db = ExploreDb::new();
+        db.register("sales", table.clone());
+        db.query("sales", &q).unwrap()
+    };
+
+    let mut db = ExploreDb::new();
+    db.register("sales", table);
+    let serve = ServeEngine::with_config(db, ServeConfig::with_workers(2));
+    let faults = serve.fail_points();
+    faults.arm("serve.admit", Schedule::Always);
+
+    let session = serve.session();
+    let got = session.query("sales", &q).expect("degrades, not fails");
+    assert_bitwise_eq(&truth, &got, "serve.admit inline degradation");
+    assert!(faults.trips("serve.admit") >= 1, "fault actually fired");
+    assert!(
+        faults.event("fault.serve.inline") >= 1,
+        "inline degradation counted"
+    );
+
+    // Disarm: the same facade schedules through the queue again.
+    faults.disarm_all();
+    let clean = session.query("sales", &q).unwrap();
+    assert_bitwise_eq(&truth, &clean, "post-fault scheduled query");
+}
+
+/// `serve.yield` armed: cooperative yield points are skipped — degraded
+/// scheduling, bit-identical answers — and the skip is noted.
+#[test]
+fn serve_yield_fault_skips_yields_without_corruption() {
+    let table = chaos_table();
+    let q = Query::new()
+        .filter(Predicate::range("price", 50.0, 800.0))
+        .group("product")
+        .agg(AggFunc::Sum, "price")
+        .order("sum(price)", SortOrder::Desc)
+        .take(7);
+    let truth = {
+        let mut db = ExploreDb::new();
+        db.register("sales", table.clone());
+        db.query("sales", &q).unwrap()
+    };
+
+    let mut db = ExploreDb::new();
+    db.register("sales", table);
+    let serve = ServeEngine::with_config(db, ServeConfig::with_workers(1));
+    let faults = serve.fail_points();
+    faults.arm("serve.yield", Schedule::Always);
+
+    let got = serve.session().query("sales", &q).unwrap();
+    assert_bitwise_eq(&truth, &got, "serve.yield skip");
+    assert!(
+        faults.event("fault.serve.yield_skipped") >= 1,
+        "yield skips are noted"
+    );
+
+    faults.disarm_all();
+    let clean = serve.session().query("sales", &q).unwrap();
+    assert_bitwise_eq(&truth, &clean, "post-fault yielding query");
+}
+
+/// Seeded chaos through the serving layer: random engine and serve
+/// fail points (plus occasional zero deadline budgets) over scheduled
+/// sessions must produce the exact fault-free answer or a clean typed
+/// error — and after disarming, the same facade re-serves truth.
+#[test]
+fn seeded_serve_chaos_is_exact_or_typed() {
+    let table = chaos_table();
+    let shapes = query_shapes();
+    let truths: Vec<Table> = {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        db.register("sales", table.clone());
+        shapes
+            .iter()
+            .map(|(_, q)| db.query("sales", q).unwrap())
+            .collect()
+    };
+    const SERVE_POINTS: &[&str] = &["serve.admit", "serve.yield"];
+
+    for iter in 0..chaos_iters().min(60) {
+        let mut rng = SplitMix64::new(0x5E2E_9000 + iter as u64);
+        let shape_idx = rng.range_i64(0, shapes.len() as i64) as usize;
+        let policy = if rng.range_i64(0, 2) == 0 {
+            ExecPolicy::Serial
+        } else {
+            ExecPolicy::Parallel {
+                workers: rng.range_i64(1, 5) as usize,
+            }
+        };
+        let (name, query) = &shapes[shape_idx];
+        let context = format!("serve iter {iter}: {name} policy={policy:?}");
+
+        let mut db = ExploreDb::with_exec_policy(policy);
+        db.register("sales", table.clone());
+        let serve =
+            ServeEngine::with_config(db, ServeConfig::with_workers(rng.range_i64(1, 3) as usize));
+        let faults = serve.fail_points();
+        // Always at least one serve-layer point, plus engine points.
+        faults.arm(
+            SERVE_POINTS[rng.range_i64(0, SERVE_POINTS.len() as i64) as usize],
+            random_schedule(&mut rng),
+        );
+        for _ in 0..rng.range_i64(0, 3) {
+            let point = POINTS[rng.range_i64(0, POINTS.len() as i64) as usize];
+            faults.arm(point, random_schedule(&mut rng));
+        }
+        // One run in four races a zero deadline budget against it.
+        let zero_deadline = rng.range_i64(0, 4) == 0;
+        let session = if zero_deadline {
+            serve.session().with_deadline(Some(Duration::ZERO))
+        } else {
+            serve.session()
+        };
+
+        match session.query("sales", query) {
+            Ok(got) => assert_bitwise_eq(&truths[shape_idx], &got, &context),
+            Err(StorageError::DeadlineExceeded) => assert!(
+                zero_deadline,
+                "{context}: DeadlineExceeded without a deadline budget"
+            ),
+            Err(e) => panic!("{context}: fault leaked as non-typed error: {e}"),
+        }
+
+        // Disarm and re-serve truth through the SAME facade.
+        faults.disarm_all();
+        let clean = serve
+            .session()
+            .query("sales", query)
+            .unwrap_or_else(|e| panic!("{context}: post-fault query failed: {e}"));
+        assert_bitwise_eq(
+            &truths[shape_idx],
+            &clean,
+            &format!("{context} (post-fault)"),
+        );
     }
 }
 

@@ -1,0 +1,260 @@
+//! Serve-differential suite: routing a query through the serving layer
+//! must never change what it computes — only when it runs.
+//!
+//! Every supported query shape is answered twice, by a direct engine
+//! and by a session facade over an identically configured engine,
+//! across Serial/Parallel execution and cache off/warm — bit-identical
+//! down to float bit patterns. On top sits the scale proof: 1000+
+//! concurrent sessions multiplexed over a 4-worker scheduler all
+//! complete with results bit-identical to direct engine calls, and the
+//! seeded interactive workload's checksum is unchanged when driven
+//! through `explore-serve` with sessions ≫ scheduler workers.
+
+use exploration::cache::CachePolicy;
+use exploration::exec::ExecPolicy;
+use exploration::serve::{ServeConfig, ServeEngine};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{
+    AggFunc, CmpOp, Predicate, Query, SortOrder, Table, Value, MORSEL_ROWS,
+};
+use exploration::workload::{DriveMode, WorkloadConfig, WorkloadRunner};
+use exploration::ExploreDb;
+
+/// A table spanning several morsels plus a ragged tail, so parallel
+/// merge order matters (mirrors the other differential suites).
+fn serve_table() -> Table {
+    sales_table(&SalesConfig {
+        rows: MORSEL_ROWS + 4321,
+        ..SalesConfig::default()
+    })
+}
+
+/// Assert two tables are identical down to the float bit patterns.
+fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.schema(), b.schema(), "{context}: schema");
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    for field in a.schema().fields() {
+        let ca = a.column(field.name()).unwrap();
+        let cb = b.column(field.name()).unwrap();
+        for row in 0..a.num_rows() {
+            let va = ca.value(row).unwrap();
+            let vb = cb.value(row).unwrap();
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: {}[{row}] {x} vs {y}",
+                    field.name()
+                ),
+                (x, y) => assert_eq!(x, y, "{context}: {}[{row}]", field.name()),
+            }
+        }
+    }
+}
+
+/// The executor's supported query shapes (mirrors the serial/parallel
+/// and chaos differential suites).
+fn query_shapes() -> Vec<(&'static str, Query)> {
+    vec![
+        ("full_scan", Query::new()),
+        (
+            "filter_scan",
+            Query::new().filter(Predicate::range("price", 100.0, 600.0)),
+        ),
+        (
+            "projection",
+            Query::new()
+                .filter(Predicate::cmp("qty", CmpOp::Ge, 5.0))
+                .select(&["region", "price"]),
+        ),
+        (
+            "order_limit",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 900.0))
+                .select(&["product", "price"])
+                .order("price", SortOrder::Desc)
+                .take(123),
+        ),
+        (
+            "global_aggregates",
+            Query::new()
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Min, "discount")
+                .agg(AggFunc::Max, "discount")
+                .agg(AggFunc::Var, "price")
+                .agg(AggFunc::Std, "price"),
+        ),
+        (
+            "filtered_global_aggregate",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel1"))
+                .agg(AggFunc::Avg, "price"),
+        ),
+        (
+            "group_by",
+            Query::new()
+                .group("region")
+                .agg(AggFunc::Count, "qty")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "multi_column_group_by",
+            Query::new()
+                .group("region")
+                .group("channel")
+                .agg(AggFunc::Avg, "price")
+                .agg(AggFunc::Var, "discount"),
+        ),
+        (
+            "full_pipeline",
+            Query::new()
+                .filter(Predicate::range("price", 50.0, 800.0).and(Predicate::cmp(
+                    "qty",
+                    CmpOp::Ge,
+                    2.0,
+                )))
+                .group("product")
+                .agg(AggFunc::Sum, "price")
+                .agg(AggFunc::Avg, "qty")
+                .order("sum(price)", SortOrder::Desc)
+                .take(7),
+        ),
+        (
+            "compound_predicate",
+            Query::new().filter(
+                Predicate::eq("region", "region0")
+                    .or(Predicate::range("price", 0.0, 120.0))
+                    .and(Predicate::cmp("qty", CmpOp::Lt, 8.0).not()),
+            ),
+        ),
+        (
+            "empty_result_filter",
+            Query::new()
+                .filter(Predicate::cmp("price", CmpOp::Lt, -1.0))
+                .group("region")
+                .agg(AggFunc::Sum, "price"),
+        ),
+        (
+            "string_predicate_scan",
+            Query::new()
+                .filter(Predicate::eq("channel", "channel0"))
+                .select(&["channel", "qty"]),
+        ),
+    ]
+}
+
+/// An engine with the probe table and the given policies.
+fn engine(table: &Table, policy: ExecPolicy, cache_on: bool) -> ExploreDb {
+    let mut db = ExploreDb::with_exec_policy(policy);
+    if cache_on {
+        db.set_cache_policy(CachePolicy::on());
+    }
+    db.register("sales", table.clone());
+    db
+}
+
+/// Every query shape × Serial/Parallel × cache off/warm: the session
+/// facade answers bit-identically to a direct engine, on both the cold
+/// and the warm (second) pass.
+#[test]
+fn session_facade_is_bitwise_identical_to_direct_engine() {
+    let table = serve_table();
+    let shapes = query_shapes();
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
+        for cache_on in [false, true] {
+            let mut direct = engine(&table, policy, cache_on);
+            let serve = ServeEngine::with_config(
+                engine(&table, policy, cache_on),
+                ServeConfig::with_workers(2),
+            );
+            for (name, query) in &shapes {
+                let context = format!("{name} policy={policy:?} cache={cache_on}");
+                let truth_cold = direct.query("sales", query).unwrap();
+                let truth_warm = direct.query("sales", query).unwrap();
+                let session = serve.session();
+                let got_cold = session.query("sales", query).unwrap();
+                let got_warm = session.query("sales", query).unwrap();
+                assert_bitwise_eq(&truth_cold, &got_cold, &format!("{context} (cold)"));
+                assert_bitwise_eq(&truth_warm, &got_warm, &format!("{context} (warm)"));
+            }
+        }
+    }
+}
+
+/// The scale proof: 1200 concurrent sessions — 300× the worker count —
+/// all submit before any result is consumed, and every answer is
+/// bit-identical to the direct engine's truth for its shape. No
+/// rejection (the queue is sized for the burst), no starvation (every
+/// ticket completes), no corruption.
+#[test]
+fn thousand_plus_sessions_complete_on_four_workers_bit_identical() {
+    const SESSIONS: usize = 1200;
+    let table = sales_table(&SalesConfig {
+        rows: 5_000,
+        ..SalesConfig::default()
+    });
+    let shapes = query_shapes();
+    let truths: Vec<Table> = {
+        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        db.register("sales", table.clone());
+        shapes
+            .iter()
+            .map(|(_, q)| db.query("sales", q).unwrap())
+            .collect()
+    };
+
+    let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+    db.register("sales", table);
+    let serve = ServeEngine::with_config(
+        db,
+        ServeConfig::with_workers(4).with_queue_limit(2 * SESSIONS),
+    );
+    let sessions: Vec<_> = (0..SESSIONS).map(|_| serve.session()).collect();
+    let tickets: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let query = shapes[i % shapes.len()].1.clone();
+            s.submit(move |db| db.query("sales", &query))
+                .expect("queue sized for the full burst")
+        })
+        .collect();
+    assert!(
+        serve.queue_depth() > 0 || !tickets.is_empty(),
+        "submission outpaces four workers"
+    );
+    for (i, ticket) in tickets.iter().enumerate() {
+        let got = ticket.wait().unwrap();
+        let (name, _) = &shapes[i % shapes.len()];
+        assert_bitwise_eq(&truths[i % shapes.len()], &got, name);
+    }
+}
+
+/// The seeded interactive workload produces the same deterministic
+/// report (checksum included) whether interactions lock the engine
+/// directly or ride the serve scheduler with sessions ≫ workers.
+#[test]
+fn workload_checksum_unchanged_through_serve_layer() {
+    let base = WorkloadConfig {
+        sessions: 12,
+        interactions: 10,
+        rows: 6_000,
+        threads: 4,
+        ..WorkloadConfig::default()
+    };
+    let direct = WorkloadRunner::new(base.clone()).unwrap().run().unwrap();
+    let served = WorkloadRunner::new(WorkloadConfig {
+        mode: DriveMode::Serve {
+            workers: 2,
+            queue_limit: 256,
+        },
+        ..base
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(direct.deterministic(), served.deterministic());
+    assert_eq!(served.errors, 0);
+}

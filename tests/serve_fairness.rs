@@ -1,0 +1,220 @@
+//! Fairness and starvation behaviour of the serving layer.
+//!
+//! One heavy session must not starve many light ones: the scheduler's
+//! fair-queueing key (consumed quanta first, earliest deadline second,
+//! FIFO last) lets fresh light sessions overtake a heavy session's
+//! backlog, deadline budgets rank ahead of best-effort work, and forced
+//! overload produces typed rejections — never panics — with the truth
+//! re-served after backoff.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exploration::serve::{ServeConfig, ServeEngine, Ticket};
+use exploration::storage::gen::{sales_table, SalesConfig};
+use exploration::storage::{AggFunc, Predicate, Query, StorageError};
+use exploration::ExploreDb;
+
+fn served(cfg: ServeConfig) -> ServeEngine {
+    let mut db = ExploreDb::new();
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 2_000,
+            ..SalesConfig::default()
+        }),
+    );
+    ServeEngine::with_config(db, cfg)
+}
+
+fn probe_query() -> Query {
+    Query::new()
+        .filter(Predicate::range("price", 50.0, 300.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price")
+}
+
+/// Submit a task that records the global order in which it completed.
+fn submit_ordered(
+    session: &exploration::serve::Session,
+    order: &Arc<AtomicU64>,
+    spin: Duration,
+) -> Ticket<u64> {
+    let order = Arc::clone(order);
+    session
+        .submit(move |_db| {
+            std::thread::sleep(spin);
+            Ok(order.fetch_add(1, Ordering::SeqCst))
+        })
+        .expect("queue sized for the test")
+}
+
+/// A heavy session that has already consumed service time sits in a
+/// higher quanta bucket, so fresh light sessions submitted *after* its
+/// backlog still run first — no starvation of interactive work behind
+/// a batch analyst.
+#[test]
+fn light_sessions_overtake_a_heavy_sessions_backlog() {
+    let serve = served(ServeConfig::with_workers(1).with_queue_limit(1_024));
+    let order = Arc::new(AtomicU64::new(0));
+
+    // Let the heavy session accumulate service time (≈ several quanta).
+    let heavy = serve.session();
+    for _ in 0..3 {
+        heavy
+            .run(|_db| {
+                std::thread::sleep(Duration::from_millis(4));
+                Ok(())
+            })
+            .unwrap();
+    }
+    assert!(
+        heavy.consumed_ns() >= 8_000_000,
+        "heavy session accumulated service time: {}ns",
+        heavy.consumed_ns()
+    );
+
+    // Occupy the single worker so everything below queues up.
+    let blocker = serve.session();
+    let gate = blocker
+        .submit(|_db| {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok(())
+        })
+        .unwrap();
+
+    // Heavy submits its backlog FIRST (earlier FIFO sequence) …
+    let heavy_tickets: Vec<Ticket<u64>> = (0..6)
+        .map(|_| submit_ordered(&heavy, &order, Duration::from_millis(1)))
+        .collect();
+    // … then eight fresh light sessions submit one query each.
+    let light_sessions: Vec<_> = (0..8).map(|_| serve.session()).collect();
+    let light_tickets: Vec<Ticket<u64>> = light_sessions
+        .iter()
+        .map(|s| submit_ordered(s, &order, Duration::ZERO))
+        .collect();
+
+    gate.wait().unwrap();
+    let light_order: Vec<u64> = light_tickets.iter().map(|t| t.wait().unwrap()).collect();
+    let heavy_order: Vec<u64> = heavy_tickets.iter().map(|t| t.wait().unwrap()).collect();
+    let max_light = light_order.iter().max().unwrap();
+    let min_heavy = heavy_order.iter().min().unwrap();
+    assert!(
+        max_light < min_heavy,
+        "every light task completes before the heavy backlog: light {light_order:?} vs heavy {heavy_order:?}"
+    );
+}
+
+/// Deadline budgets are an EDF tiebreak within a quanta bucket: light
+/// sessions with budgets overtake a same-bucket best-effort backlog,
+/// none of their generous deadlines is violated under load, and their
+/// observed p95 latency stays bounded.
+#[test]
+fn deadline_sessions_rank_ahead_and_violate_nothing() {
+    let serve = served(ServeConfig::with_workers(1).with_queue_limit(1_024));
+    let order = Arc::new(AtomicU64::new(0));
+
+    let blocker = serve.session();
+    let gate = blocker
+        .submit(|_db| {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok(())
+        })
+        .unwrap();
+
+    // Best-effort backlog from a fresh heavy session: same quanta
+    // bucket (zero), no deadline, earlier FIFO sequence.
+    let heavy = serve.session();
+    let heavy_tickets: Vec<Ticket<u64>> = (0..6)
+        .map(|_| submit_ordered(&heavy, &order, Duration::from_millis(1)))
+        .collect();
+
+    // Light sessions with generous budgets submitted afterwards.
+    let light_sessions: Vec<_> = (0..8)
+        .map(|_| serve.session().with_deadline(Some(Duration::from_secs(10))))
+        .collect();
+    let started = Instant::now();
+    let light_tickets: Vec<Ticket<u64>> = light_sessions
+        .iter()
+        .map(|s| submit_ordered(s, &order, Duration::ZERO))
+        .collect();
+
+    gate.wait().unwrap();
+    let mut latencies = Vec::new();
+    let mut light_order = Vec::new();
+    for t in &light_tickets {
+        // A violated budget would surface as DeadlineExceeded here.
+        light_order.push(t.wait().expect("no light deadline is violated"));
+        latencies.push(started.elapsed());
+    }
+    let heavy_order: Vec<u64> = heavy_tickets.iter().map(|t| t.wait().unwrap()).collect();
+    assert!(
+        light_order.iter().max().unwrap() < heavy_order.iter().min().unwrap(),
+        "deadline holders drain before best-effort: light {light_order:?} vs heavy {heavy_order:?}"
+    );
+    latencies.sort();
+    let p95 = latencies[(latencies.len() * 95).div_ceil(100).saturating_sub(1)];
+    assert!(
+        p95 < Duration::from_secs(5),
+        "light p95 stays bounded under heavy load: {p95:?}"
+    );
+}
+
+/// Forced overload: a bounded queue behind a busy worker rejects with
+/// the typed `Overloaded` error carrying the observed depth — never a
+/// panic — and once pressure clears, a backoff-and-retry loop gets the
+/// exact same answer a direct engine gives.
+#[test]
+fn overload_rejects_typed_and_reserves_truth_after_backoff() {
+    let truth = {
+        let mut db = ExploreDb::new();
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 2_000,
+                ..SalesConfig::default()
+            }),
+        );
+        db.query("sales", &probe_query()).unwrap()
+    };
+
+    let serve = served(ServeConfig::with_workers(1).with_queue_limit(2));
+    let blocker = serve.session();
+    let gate = blocker
+        .submit(|_db| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(())
+        })
+        .unwrap();
+
+    let light = serve.session();
+    let mut rejections = 0u64;
+    let mut queued = Vec::new();
+    for _ in 0..64 {
+        match light.submit(|db| db.query("sales", &probe_query())) {
+            Ok(t) => queued.push(t),
+            Err(StorageError::Overloaded { queue_depth, limit }) => {
+                assert_eq!(limit, 2);
+                assert!(queue_depth >= limit, "depth reported at rejection");
+                rejections += 1;
+            }
+            Err(other) => panic!("overload must reject typed, got: {other}"),
+        }
+    }
+    assert!(rejections > 0, "forced overload produced typed rejections");
+
+    gate.wait().unwrap();
+    for t in &queued {
+        assert_eq!(t.wait().unwrap(), truth);
+    }
+    // Backoff and retry until admitted: the truth is re-served.
+    let reserved = loop {
+        match light.submit(|db| db.query("sales", &probe_query())) {
+            Ok(t) => break t.wait().unwrap(),
+            Err(StorageError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    };
+    assert_eq!(reserved, truth);
+}

@@ -25,7 +25,7 @@ use exploration::cache::CachePolicy;
 use exploration::exec::ExecPolicy;
 use exploration::shard::{ShardConfig, ShardPolicy};
 use exploration::storage::rng::SplitMix64;
-use exploration::workload::{WorkloadConfig, WorkloadReport, WorkloadRunner};
+use exploration::workload::{DriveMode, WorkloadConfig, WorkloadReport, WorkloadRunner};
 use exploration::Schedule;
 
 /// Small-but-concurrent config: several sessions on several threads, so
@@ -43,6 +43,7 @@ fn base_config(seed: u64) -> WorkloadConfig {
         think: Duration::ZERO,
         deadline: None,
         budget: Duration::from_millis(50),
+        mode: DriveMode::Direct,
     }
 }
 
