@@ -11,6 +11,8 @@
 # CHAOS_ITERS (default 200 seeded fault schedules; raise for soak runs),
 # WORKLOAD_ITERS (default 8 seeded workload replays per test in
 # tests/workload_determinism.rs; raise for soak runs),
+# STRESS_ITERS (default 4 seeded reader/mutator/chaos rounds per test in
+# tests/concurrent_stress.rs; raise for soak runs),
 # SPEEDUP_ITERS (best-of-N sampling in tests/parallel_speedup.rs; its
 # wall-clock assertion only arms on hosts with >= 4 cores).
 set -euo pipefail
@@ -25,6 +27,24 @@ echo "==> variant-creep lint (no public *_traced/*_ctx/*_cancellable/*_sharded f
 if grep -rnE 'pub (async )?fn [a-zA-Z0-9_]+_(traced|ctx|cancellable|sharded)\b' \
     --include='*.rs' crates/; then
     echo "error: public per-concern variant fn found; thread a QueryCtx instead" >&2
+    exit 1
+fi
+
+echo "==> shared-read lint (query path stays &self; no Mutex<ExploreDb> outside tests)"
+# The engine's query path is `&self` by construction (DESIGN.md §14):
+# per-table RwLocks and Arc snapshots inside, shared references outside.
+# A `&mut self` receiver creeping back into the engine facade or the
+# serving layer reintroduces the global lock this design removed; Drop
+# impls are the only legitimate exception. Likewise, wrapping the engine
+# in a Mutex anywhere outside tests means some caller stopped trusting
+# the internal synchronization — fix the engine, not the call site.
+if grep -nE '&mut self' crates/core/src/engine.rs crates/serve/src/*.rs \
+    crates/workload/src/runner.rs | grep -vE 'fn drop\(&mut self\)'; then
+    echo "error: &mut self receiver on the shared query path; use interior per-table locks" >&2
+    exit 1
+fi
+if grep -rnE 'Mutex<ExploreDb>' --include='*.rs' crates/ src/ examples/; then
+    echo "error: Mutex<ExploreDb> outside tests; the engine is internally synchronized" >&2
     exit 1
 fi
 
@@ -45,11 +65,13 @@ cargo test -q --workspace
 # faults replay from its iteration number, so a CI failure names the
 # exact seed to reproduce locally.
 echo "==> chaos smoke (CHAOS_ITERS=${CHAOS_ITERS:-200} seeded fault schedules," \
-    "WORKLOAD_ITERS=${WORKLOAD_ITERS:-8} workload replays)"
+    "WORKLOAD_ITERS=${WORKLOAD_ITERS:-8} workload replays," \
+    "STRESS_ITERS=${STRESS_ITERS:-4} reader/mutator stress rounds)"
 CHAOS_ITERS="${CHAOS_ITERS:-200}" WORKLOAD_ITERS="${WORKLOAD_ITERS:-8}" \
+    STRESS_ITERS="${STRESS_ITERS:-4}" \
     cargo test -q --test chaos_differential --test cancel_proptests \
     --test shard_differential --test workload_determinism \
-    --test serve_differential --test serve_fairness
+    --test serve_differential --test serve_fairness --test concurrent_stress
 
 if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (engine) -> BENCH_engine.json"

@@ -105,8 +105,9 @@ pub struct BoundedExecutor<'a> {
     base: &'a Table,
     catalog: &'a SampleCatalog,
     confidence_default: f64,
-    /// Optional shared result cache and the base table's registered name.
-    cache: Option<(Arc<ResultCache>, String)>,
+    /// Optional shared result cache, the base table's registered name,
+    /// and the attach-time admission epoch.
+    cache: Option<(Arc<ResultCache>, String, u64)>,
     /// Optional observability registry mirroring answer counters.
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -124,12 +125,16 @@ impl<'a> BoundedExecutor<'a> {
         }
     }
 
-    /// Memoize answers in the engine's shared result cache under
-    /// `table_name`'s epoch. A cached answer is bit-identical to rerunning
-    /// against the same sample catalog; mutations of the base table
-    /// invalidate it like any other cached result.
-    pub fn with_cache(mut self, cache: Arc<ResultCache>, table_name: &str) -> Self {
-        self.cache = Some((cache, table_name.to_owned()));
+    /// Memoize answers in the engine's shared result cache. A cached
+    /// answer is bit-identical to rerunning against the same sample
+    /// catalog; mutations of the base table invalidate it like any other
+    /// cached result. `epoch` is `table_name`'s mutation epoch, read by
+    /// the caller **before** snapshotting the base table this executor
+    /// borrows — admissions use it so a mutation racing the attach
+    /// leaves entries refused (dead epoch), never stale (see
+    /// `explore_cache::cached_query_at_epoch`).
+    pub fn with_cache(mut self, cache: Arc<ResultCache>, table_name: &str, epoch: u64) -> Self {
+        self.cache = Some((cache, table_name.to_owned(), epoch));
         self
     }
 
@@ -179,15 +184,15 @@ impl<'a> BoundedExecutor<'a> {
         bound: Bound,
         ctx: &QueryCtx,
     ) -> Result<BoundedAnswer> {
-        let Some((cache, table_name)) = &self.cache else {
+        let Some((cache, table_name, epoch)) = &self.cache else {
             return self.aggregate_uncached(predicate, func, column, bound, ctx);
         };
+        let epoch = *epoch;
         let fp = Fingerprint::custom(table_name, answer_key(predicate, func, column, bound));
         if let Some(hit) = cache.get(&fp).and_then(|t| decode_answer(&t)) {
             return Ok(hit);
         }
         cache.note_miss();
-        let epoch = cache.epoch(table_name);
         let started = Instant::now();
         let ans = self.aggregate_uncached(predicate, func, column, bound, ctx)?;
         let cost_ns = started.elapsed().as_nanos();
@@ -533,7 +538,11 @@ mod tests {
         let (base, catalog) = setup();
         let shared = Arc::new(ResultCache::default());
         let plain = BoundedExecutor::new(&base, &catalog);
-        let cached = BoundedExecutor::new(&base, &catalog).with_cache(Arc::clone(&shared), "sales");
+        let cached = BoundedExecutor::new(&base, &catalog).with_cache(
+            Arc::clone(&shared),
+            "sales",
+            shared.epoch("sales"),
+        );
         let bound = Bound::RelativeError {
             target: 0.05,
             confidence: 0.95,

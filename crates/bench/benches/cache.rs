@@ -105,7 +105,7 @@ fn bench_cache_workload(c: &mut Criterion) {
         // allocator warm-up differences between the two loops.
         b.iter_batched(
             || {
-                let mut db = ExploreDb::new();
+                let db = ExploreDb::new();
                 db.register("sales", t.clone());
                 db
             },
@@ -117,7 +117,7 @@ fn bench_cache_workload(c: &mut Criterion) {
         // Fresh engine per sample: every query computes and is admitted.
         b.iter_batched(
             || {
-                let mut db = ExploreDb::with_cache_policy(roomy_policy());
+                let db = ExploreDb::with_cache_policy(roomy_policy());
                 db.register("sales", t.clone());
                 db
             },
@@ -213,7 +213,7 @@ fn bench_cache_subsumption(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_subsumption");
     group.sample_size(10);
     group.bench_function("fresh_ranges_uncached", |b| {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", t.clone());
         let i = Cell::new(0u64);
         b.iter(|| {
@@ -226,7 +226,7 @@ fn bench_cache_subsumption(c: &mut Criterion) {
         })
     });
     group.bench_function("fresh_ranges_subsumed", |b| {
-        let mut db = ExploreDb::with_cache_policy(roomy_policy());
+        let db = ExploreDb::with_cache_policy(roomy_policy());
         db.register("sales", t.clone());
         // Seed the covering superset whose selection artifact serves
         // every shifted range.

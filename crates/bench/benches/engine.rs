@@ -17,7 +17,7 @@ use explore_core::storage::{AggFunc, Predicate, Query};
 use explore_core::viz::seedb::{
     candidate_views, recommend_naive, recommend_pruned, recommend_shared, SeedbStats,
 };
-use explore_core::ExploreDb;
+use explore_core::{ExploreDb, SessionCtx};
 
 fn bench_e4_loading(c: &mut Criterion) {
     let t = sales_table(&SalesConfig {
@@ -299,12 +299,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
     group.sample_size(10);
     group.bench_function("off", |b| {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", t.clone());
         b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
     });
     group.bench_function("on", |b| {
-        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        let db = ExploreDb::with_obs_policy(ObsPolicy::on());
         db.register("sales", t.clone());
         b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
     });
@@ -334,21 +334,33 @@ fn bench_fault_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_overhead");
     group.sample_size(10);
     group.bench_function("disarmed", |b| {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", t.clone());
         b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
     });
     group.bench_function("cancel_token", |b| {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", t.clone());
-        db.set_cancel_token(Some(CancelToken::new()));
-        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+        let ctx = SessionCtx::new().with_cancel(Some(CancelToken::new()));
+        b.iter(|| {
+            black_box(
+                db.with_session(&ctx, |db| db.query("sales", &q))
+                    .expect("query")
+                    .num_rows(),
+            )
+        })
     });
     group.bench_function("deadline", |b| {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", t.clone());
-        db.set_query_deadline(Some(Duration::from_secs(3600)));
-        b.iter(|| black_box(db.query("sales", &q).expect("query").num_rows()))
+        let ctx = SessionCtx::new().with_deadline(Some(Duration::from_secs(3600)));
+        b.iter(|| {
+            black_box(
+                db.with_session(&ctx, |db| db.query("sales", &q))
+                    .expect("query")
+                    .num_rows(),
+            )
+        })
     });
     group.finish();
 }

@@ -15,6 +15,13 @@
 //!   tax" of admitting 64× the sessions with zero extra workers.
 //! * `serve_throughput/queries_per_sec_512_sessions` — queries over
 //!   total makespan at 512 sessions (higher-better).
+//! * `serve_scaling/concurrent_read_throughput_4w_vs_1w` — the same
+//!   fixed read burst from 8 sessions on a 4-worker facade vs a
+//!   1-worker facade, throughput ratio × 100 (higher-better). Workers
+//!   share one `&self` engine (DESIGN.md §14), so on a ≥4-core host
+//!   overlapping service spans push the ratio above parity; on a
+//!   single-core host parity (~100) is the designed outcome — the OS
+//!   can only run one worker at a time.
 //!
 //! Only the smoke timing and the 8- / 64-session p95s are committed to
 //! `bench/baselines/BENCH_serve.json` and gate-checked. The 512-session
@@ -37,8 +44,8 @@ const BURST: usize = 512;
 const WORKERS: usize = 4;
 const SESSION_COUNTS: [usize; 3] = [8, 64, 512];
 
-fn served() -> ServeEngine {
-    let mut db = ExploreDb::new();
+fn served_with_workers(workers: usize) -> ServeEngine {
+    let db = ExploreDb::new();
     db.register(
         "sales",
         sales_table(&SalesConfig {
@@ -48,8 +55,12 @@ fn served() -> ServeEngine {
     );
     ServeEngine::with_config(
         db,
-        ServeConfig::with_workers(WORKERS).with_queue_limit(2 * BURST),
+        ServeConfig::with_workers(workers).with_queue_limit(2 * BURST),
     )
+}
+
+fn served() -> ServeEngine {
+    served_with_workers(WORKERS)
 }
 
 fn probe_query() -> Query {
@@ -141,12 +152,37 @@ fn bench_serve(c: &mut Criterion) {
     }
     latency.finish();
 
+    // Worker scaling on the shared-read engine: best-of-N makespans of
+    // the same 8-session read burst against 4 workers vs 1 worker.
+    // Workers share one `&self` engine, so the ratio measures genuine
+    // execution overlap, not time slicing around an engine lock.
+    let best_makespan = |workers: usize| {
+        (0..samples)
+            .map(|_| {
+                let serve = served_with_workers(workers);
+                let started = Instant::now();
+                black_box(drive_closed_loop(&serve, 8).len());
+                started.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap()
+    };
+    let one_worker_ns = best_makespan(1);
+    let four_worker_ns = best_makespan(WORKERS);
+    let read_scaling_pct = 100.0 * one_worker_ns as f64 / four_worker_ns.max(1) as f64;
+
     let mut scaling = c.benchmark_group("serve_scaling");
     scaling.record_value_directed(
         "p95_degradation_512_over_8",
         best_p95[2] as f64 / best_p95[0].max(1) as f64,
         "ratio",
         Direction::LowerValue,
+    );
+    scaling.record_value_directed(
+        "concurrent_read_throughput_4w_vs_1w",
+        read_scaling_pct,
+        "percent",
+        Direction::HigherValue,
     );
     scaling.finish();
 

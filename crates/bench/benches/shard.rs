@@ -27,7 +27,7 @@ fn sales(rows: usize) -> Table {
 }
 
 fn sharded_db(t: &Table, count: usize) -> ExploreDb {
-    let mut db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
+    let db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
         count,
         min_rows_per_shard: 1,
     }));
@@ -108,7 +108,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
 
 fn bench_shard_epoch_locality(c: &mut Criterion) {
     let t = sales(100_000);
-    let mut db = sharded_db(&t, 4);
+    let db = sharded_db(&t, 4);
     db.set_cache_policy(CachePolicy::On(CacheConfig {
         byte_budget: 1 << 30,
         ..CacheConfig::default()

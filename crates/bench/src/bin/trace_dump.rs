@@ -17,7 +17,7 @@ use explore_core::storage::{AggFunc, Predicate, Query};
 use explore_core::ExploreDb;
 
 fn main() {
-    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    let db = ExploreDb::with_obs_policy(ObsPolicy::on());
     db.set_cache_policy(CachePolicy::On(CacheConfig::default()));
     db.set_exec_policy(ExecPolicy::Parallel { workers: 2 });
     db.register(

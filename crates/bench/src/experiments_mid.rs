@@ -432,7 +432,7 @@ pub fn e18() {
         "speculation", "hit rate", "foreground", "background", "cached"
     );
     for budget in [0usize, 2, 4] {
-        let ex = SpeculativeExecutor::new(&t, budget);
+        let ex = SpeculativeExecutor::new(t.clone(), budget);
         let mut foreground = 0.0;
         for &(lo, hi) in &session {
             let req = RangeRequest {

@@ -66,7 +66,7 @@ pub mod store;
 
 pub use fingerprint::{predicate_key, Fingerprint};
 pub use region::{BoundVal, Interval, Region};
-pub use serve::cached_query;
+pub use serve::{cached_query, cached_query_at_epoch};
 pub use store::{
     table_bytes, CacheConfig, CachePolicy, CacheStats, ResultCache, ReuseArtifacts,
     SubsumeCandidate,

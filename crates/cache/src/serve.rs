@@ -51,8 +51,30 @@ pub fn cached_query(
     query: &Query,
     ctx: &QueryCtx,
 ) -> Result<Table> {
-    let fingerprint = Fingerprint::for_query(table_name, query);
     let epoch = cache.epoch(table_name);
+    cached_query_at_epoch(cache, base, table_name, query, ctx, epoch)
+}
+
+/// [`cached_query`] with the admission epoch supplied by the caller.
+///
+/// Concurrent engines must read the table's epoch **before** taking the
+/// data snapshot that `base` points at: mutations write data first and
+/// bump the epoch second, so epoch-before-snapshot guarantees the
+/// snapshot is at least as new as the epoch it is admitted under. (A
+/// snapshot *newer* than the epoch is admitted under the older epoch
+/// and dies at the mutation's bump — conservative, never stale.) If the
+/// epoch were read here, after the caller's snapshot, a mutation in the
+/// window could leave pre-mutation data admitted under the
+/// post-mutation epoch — a stale entry the bump can no longer kill.
+pub fn cached_query_at_epoch(
+    cache: &ResultCache,
+    base: &Table,
+    table_name: &str,
+    query: &Query,
+    ctx: &QueryCtx,
+    epoch: u64,
+) -> Result<Table> {
+    let fingerprint = Fingerprint::for_query(table_name, query);
 
     let lookup_start = ctx.trace.map(|t| t.now_ns());
     if let Some(hit) = cache.get(&fingerprint) {

@@ -11,16 +11,38 @@
 //! * online aggregation with live confidence intervals;
 //! * SeeDB view recommendation, faceted recommendations and
 //!   explore-by-example sessions.
+//!
+//! # Concurrency model
+//!
+//! The engine is shared, not serialized: every query entry point takes
+//! `&self`, so any number of threads (the serving layer's workers in
+//! particular) run queries concurrently over one `ExploreDb`. The
+//! catalog maps table names to [`Arc`]-shared per-table state; a query
+//! clones the `Arc`s it needs under a brief catalog read lock and runs
+//! lock-free thereafter against an immutable `Table` snapshot.
+//! Mutations take the owning table's write lock (and, for sharded
+//! tables, the owning shards' write locks), bump epochs exactly as the
+//! serialized engine did, and never block queries on *other* tables.
+//!
+//! Lock ordering is strictly catalog → table data → sharded-mirror slot
+//! → shards (ascending) → cracker map, which makes deadlock impossible
+//! by construction (DESIGN.md §14). Epochs are read **before** data
+//! snapshots, so a racing mutation can only make a cache admission die
+//! young, never go stale. Per-session knobs (cancel token, deadline,
+//! policy overlays) live in a thread-local overlay stack installed by
+//! [`ExploreDb::with_session`] — there are no engine-global session
+//! fields left to race on.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use explore_aqp::{
     Bound, BoundedAnswer, BoundedExecutor, OnlineAggregation, SynopsisAnswer, SynopsisStore,
 };
 use explore_cache::{CachePolicy, CacheStats, ResultCache};
-use explore_cracking::CrackerColumn;
+use explore_cracking::ConcurrentCracker;
 use explore_cube::{CubeSession, DataCube, DiscoveryView};
 use explore_exec::{ExecPolicy, QueryCtx};
 use explore_fault::{CancelToken, FailPoints, Observer, QueryDeadline};
@@ -31,74 +53,119 @@ use explore_obs::{
 use explore_prefetch::SpeculativeExecutor;
 use explore_sampling::SampleCatalog;
 use explore_shard::{run_sharded_query, scoped_name, ShardPolicy, ShardStats, ShardedTable};
-use explore_storage::{
-    AggFunc, Catalog, DataType, Predicate, Query, Result, StorageError, Table, Value,
-};
+use explore_storage::{AggFunc, DataType, Predicate, Query, Result, StorageError, Table, Value};
 use explore_viz::seedb::{candidate_views, recommend_shared, ScoredView, SeedbStats};
+use parking_lot::{Mutex, RwLock};
 
 use crate::session::SessionCtx;
 
+thread_local! {
+    /// The per-thread stack of installed session overlays, keyed by
+    /// engine address. [`ExploreDb::with_session`] pushes on entry and
+    /// pops (panic-safely) on exit; `current_session` searches top-down
+    /// for this engine's most recent overlay. Thread-local rather than
+    /// engine-global so concurrent sessions on different worker threads
+    /// never see each other's knobs.
+    static SESSION_OVERLAYS: RefCell<Vec<(usize, SessionCtx)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Everything the engine knows about one registered in-memory table,
+/// shared via `Arc` so queries can keep using a state the catalog has
+/// since replaced.
+#[derive(Debug)]
+struct TableState {
+    /// The canonical table. Readers clone the `Arc` under a brief read
+    /// lock and run against that immutable snapshot; mutations hold the
+    /// write lock across the sharded-mirror write so the two copies
+    /// never diverge observably.
+    data: RwLock<Arc<Table>>,
+    /// Adaptive range indexes, keyed by column. Crackers reorganize
+    /// under their own internal locks; this map only guards presence.
+    crackers: Mutex<HashMap<String, Arc<ConcurrentCracker>>>,
+    /// The sharded mirror, present while the shard policy is on.
+    sharded: RwLock<Option<Arc<ShardedTable>>>,
+    /// Bumped under the data write lock after every data change.
+    /// `ensure_cracker` re-checks it before installing a freshly built
+    /// cracker, so an index built from a snapshot that a mutation has
+    /// since replaced is served once and never installed.
+    generation: AtomicU64,
+}
+
+impl TableState {
+    fn new(table: Arc<Table>) -> Self {
+        TableState {
+            data: RwLock::new(table),
+            crackers: Mutex::new(HashMap::new()),
+            sharded: RwLock::new(None),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current immutable data snapshot.
+    fn snapshot(&self) -> Arc<Table> {
+        Arc::clone(&self.data.read())
+    }
+
+    /// The current sharded mirror, if any.
+    fn mirror(&self) -> Option<Arc<ShardedTable>> {
+        self.sharded.read().as_ref().map(Arc::clone)
+    }
+}
+
 /// The unified exploration engine.
+///
+/// All query entry points take `&self` and the engine is `Sync`: share
+/// one instance across threads (the serving layer does) and run reads
+/// concurrently. Mutation entry points also take `&self` — they lock
+/// only the table they touch.
 #[derive(Debug)]
 pub struct ExploreDb {
-    catalog: Catalog,
-    /// Raw (not-yet-loaded) tables served by the adaptive loader.
-    raw: HashMap<String, AdaptiveLoader>,
-    /// Adaptive range indexes, keyed by (table, column).
-    crackers: HashMap<(String, String), CrackerColumn>,
+    /// Registered in-memory tables. The lock guards the *map*; each
+    /// table's state is `Arc`-shared and internally locked, so catalog
+    /// critical sections are a clone or an insert, never a query.
+    catalog: RwLock<HashMap<String, Arc<TableState>>>,
+    /// Raw (not-yet-loaded) tables served by the adaptive loader. Each
+    /// loader mutates itself on every query (incremental load state), so
+    /// raw-table queries serialize per table — on the loader's own
+    /// mutex, not an engine-wide one.
+    raw: RwLock<HashMap<String, Arc<Mutex<AdaptiveLoader>>>>,
     /// Sample catalogs for approximate execution.
-    samples: HashMap<String, SampleCatalog>,
+    samples: RwLock<HashMap<String, Arc<SampleCatalog>>>,
     /// AQUA-style synopsis stores for zero-touch estimation.
-    synopses: HashMap<String, SynopsisStore>,
+    synopses: RwLock<HashMap<String, Arc<SynopsisStore>>>,
     /// How exact scans and aggregates execute; defaults to
     /// morsel-parallel over all available cores. Both settings produce
     /// bit-identical results (see `explore_exec`).
-    exec_policy: ExecPolicy,
+    exec_policy: RwLock<ExecPolicy>,
     /// The shared semantic result cache. Always allocated — it carries
     /// the per-table epoch counters even while the policy is `Off`, so
     /// flipping caching on later never resurrects pre-mutation entries.
     result_cache: Arc<ResultCache>,
     /// Whether [`ExploreDb::query`] routes through the cache. `Off` (the
     /// default) is bit-identical to a cache-less engine.
-    cache_policy: CachePolicy,
+    cache_policy: RwLock<CachePolicy>,
     /// Whether registered tables are mirrored into row-range shards with
     /// per-shard cracking, caching, and epochs. `Off` (the default) is
-    /// the unchanged single-table engine.
-    shard_policy: ShardPolicy,
-    /// The sharded mirrors, present only while `shard_policy` is on.
-    /// The canonical table stays in `catalog` — every non-query
-    /// subsystem keeps reading it — and mutations dual-write: canonical
-    /// first (it validates), then the owning shard.
-    sharded: HashMap<String, ShardedTable>,
+    /// the unchanged single-table engine. The mirrors themselves live in
+    /// each table's state; the canonical table stays authoritative, and
+    /// mutations dual-write under the canonical write lock.
+    shard_policy: RwLock<ShardPolicy>,
     /// The engine's tracer + metrics owner. Always allocated; recording
     /// is gated by `obs_policy` and costs one relaxed load while off.
     obs: Arc<Tracer>,
     /// Whether queries record traces and metrics. `Off` (the default)
     /// leaves every execution path byte-identical to an uninstrumented
     /// engine.
-    obs_policy: ObsPolicy,
+    obs_policy: RwLock<ObsPolicy>,
     /// Engine-wide deterministic fail-point registry. Disarmed (the
     /// default and only production state) every injection site costs one
     /// relaxed atomic load; tests arm named points to force the engine
     /// down its degradation paths. Shared with the result cache, every
     /// raw-table loader, and each exec call.
     faults: Arc<FailPoints>,
-    /// Deadline applied to every [`ExploreDb::query`]; `None` (default)
-    /// means queries run to completion.
-    deadline: Option<QueryDeadline>,
-    /// Session-wide external cancel token. When set, every engine entry
-    /// point checks it at morsel/step boundaries; an explicit token wins
-    /// over the deadline when both are set (the deadline still applies).
-    cancel: Option<CancelToken>,
     /// How raw-table loaders treat malformed CSV rows; applied to
     /// current and future attachments.
-    load_error_policy: ErrorPolicy,
-    /// The active per-session policy overlay, installed for the duration
-    /// of one [`ExploreDb::with_session`] call. Sparse: every `Some`
-    /// field overrides the matching engine knob above at `query_ctx()`
-    /// merge time; `None` fields inherit. Absent (the default) the
-    /// engine behaves exactly as before sessions existed.
-    session: Option<SessionCtx>,
+    load_error_policy: RwLock<ErrorPolicy>,
 }
 
 impl Default for ExploreDb {
@@ -107,23 +174,18 @@ impl Default for ExploreDb {
         let result_cache = Arc::<ResultCache>::default();
         result_cache.set_faults(Some(Arc::clone(&faults)));
         ExploreDb {
-            catalog: Catalog::default(),
-            raw: HashMap::new(),
-            crackers: HashMap::new(),
-            samples: HashMap::new(),
-            synopses: HashMap::new(),
-            exec_policy: ExecPolicy::default(),
+            catalog: RwLock::new(HashMap::new()),
+            raw: RwLock::new(HashMap::new()),
+            samples: RwLock::new(HashMap::new()),
+            synopses: RwLock::new(HashMap::new()),
+            exec_policy: RwLock::new(ExecPolicy::default()),
             result_cache,
-            cache_policy: CachePolicy::default(),
-            shard_policy: ShardPolicy::default(),
-            sharded: HashMap::new(),
+            cache_policy: RwLock::new(CachePolicy::default()),
+            shard_policy: RwLock::new(ShardPolicy::default()),
             obs: Arc::default(),
-            obs_policy: ObsPolicy::default(),
+            obs_policy: RwLock::new(ObsPolicy::default()),
             faults,
-            deadline: None,
-            cancel: None,
-            load_error_policy: ErrorPolicy::default(),
-            session: None,
+            load_error_policy: RwLock::new(ErrorPolicy::default()),
         }
     }
 }
@@ -136,25 +198,24 @@ impl ExploreDb {
 
     /// A fresh engine with an explicit execution policy.
     pub fn with_exec_policy(policy: ExecPolicy) -> Self {
-        ExploreDb {
-            exec_policy: policy,
-            ..ExploreDb::default()
-        }
+        let db = ExploreDb::default();
+        db.set_exec_policy(policy);
+        db
     }
 
     /// Change the execution policy for subsequent queries.
-    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
-        self.exec_policy = policy;
+    pub fn set_exec_policy(&self, policy: ExecPolicy) {
+        *self.exec_policy.write() = policy;
     }
 
     /// The current execution policy.
     pub fn exec_policy(&self) -> ExecPolicy {
-        self.exec_policy
+        *self.exec_policy.read()
     }
 
     /// A fresh engine with result caching enabled.
     pub fn with_cache_policy(policy: CachePolicy) -> Self {
-        let mut db = ExploreDb::default();
+        let db = ExploreDb::default();
         db.set_cache_policy(policy);
         db
     }
@@ -163,21 +224,21 @@ impl ExploreDb {
     /// stops serving and admitting, but keeps epochs and entries — a
     /// later `On` resumes with a warm cache, minus whatever mutations
     /// invalidated meanwhile.
-    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+    pub fn set_cache_policy(&self, policy: CachePolicy) {
         if let Some(config) = policy.config() {
             self.result_cache.set_config(config.clone());
         }
-        self.cache_policy = policy;
+        *self.cache_policy.write() = policy;
     }
 
     /// The current cache policy.
-    pub fn cache_policy(&self) -> &CachePolicy {
-        &self.cache_policy
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache_policy.read().clone()
     }
 
     /// A fresh engine with table sharding enabled.
     pub fn with_shard_policy(policy: ShardPolicy) -> Self {
-        let mut db = ExploreDb::default();
+        let db = ExploreDb::default();
         db.set_shard_policy(policy);
         db
     }
@@ -188,50 +249,59 @@ impl ExploreDb {
     /// per shard and merge bit-identically to the unsharded engine (see
     /// `explore_shard`). `Off` drops the mirrors — the canonical tables
     /// in the catalog were authoritative all along.
-    pub fn set_shard_policy(&mut self, policy: ShardPolicy) {
-        self.shard_policy = policy;
-        self.sharded.clear();
-        if self.shard_policy.is_on() {
-            let names: Vec<String> = self.catalog.names().iter().map(|s| s.to_string()).collect();
-            for name in names {
-                self.rebuild_shards(&name);
-            }
+    pub fn set_shard_policy(&self, policy: ShardPolicy) {
+        *self.shard_policy.write() = policy;
+        let states: Vec<(String, Arc<TableState>)> = self
+            .catalog
+            .read()
+            .iter()
+            .map(|(n, s)| (n.clone(), Arc::clone(s)))
+            .collect();
+        for (name, st) in states {
+            self.rebuild_shards(&st, &name);
         }
     }
 
     /// The current shard policy.
-    pub fn shard_policy(&self) -> &ShardPolicy {
-        &self.shard_policy
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.shard_policy.read().clone()
     }
 
     /// Per-shard layout, epoch, and index statistics for a table, or
     /// `None` when the table has no sharded mirror (policy off, raw
     /// table, or unknown name).
     pub fn shard_stats(&self, table: &str) -> Option<Vec<ShardStats>> {
-        self.sharded
-            .get(table)
-            .map(|st| st.stats(|i| self.result_cache.epoch(&scoped_name(table, i))))
+        let st = self.catalog.read().get(table).cloned()?;
+        let mirror = st.mirror()?;
+        Some(mirror.stats(|i| self.result_cache.epoch(&scoped_name(table, i))))
     }
 
-    /// (Re)build `table`'s sharded mirror from the canonical catalog
-    /// copy. Bumps the new mirror's shard-scope epochs: the mirror's
-    /// contents changed, so cache entries under its scoped names — from
-    /// any earlier sharding era, including one the policy was toggled
-    /// across — must not survive into it.
-    fn rebuild_shards(&mut self, table: &str) {
-        self.sharded.remove(table);
-        if let (ShardPolicy::On(config), Ok(t)) = (&self.shard_policy, self.catalog.get(table)) {
-            let mirror = ShardedTable::build(table, t, config);
-            for s in 0..mirror.shard_count() {
-                self.result_cache.bump_epoch(&scoped_name(table, s));
+    /// (Re)build `table`'s sharded mirror from the canonical snapshot,
+    /// installing it (or `None`, policy off) in the table's mirror slot.
+    /// Bumps every shard-scope epoch the change touches — the union of
+    /// the old and new shard ranges — so cache entries under scoped
+    /// names from any earlier sharding era, including one the policy was
+    /// toggled across, never survive into the new mirror.
+    fn rebuild_shards(&self, st: &TableState, name: &str) {
+        let policy = self.shard_policy();
+        let old_count = st.mirror().map_or(0, |m| m.shard_count());
+        let mirror = match &policy {
+            ShardPolicy::On(config) => {
+                let data = st.snapshot();
+                Some(Arc::new(ShardedTable::build(name, &data, config)))
             }
-            self.sharded.insert(table.to_owned(), mirror);
+            _ => None,
+        };
+        let new_count = mirror.as_ref().map_or(0, |m| m.shard_count());
+        *st.sharded.write() = mirror;
+        for s in 0..old_count.max(new_count) {
+            self.result_cache.bump_epoch(&scoped_name(name, s));
         }
     }
 
     /// A fresh engine with observability enabled.
     pub fn with_obs_policy(policy: ObsPolicy) -> Self {
-        let mut db = ExploreDb::default();
+        let db = ExploreDb::default();
         db.set_obs_policy(policy);
         db
     }
@@ -242,7 +312,7 @@ impl ExploreDb {
     /// (the default) stops recording but keeps what was collected.
     /// Either way results are bit-identical — observability never
     /// changes what executes.
-    pub fn set_obs_policy(&mut self, policy: ObsPolicy) {
+    pub fn set_obs_policy(&self, policy: ObsPolicy) {
         self.obs.set_policy(&policy);
         self.result_cache
             .set_metrics(policy.is_on().then(|| self.obs.metrics()));
@@ -252,12 +322,12 @@ impl ExploreDb {
             let metrics = self.obs.metrics();
             Arc::new(move |name: &str| metrics.inc(name, 1)) as Observer
         }));
-        self.obs_policy = policy;
+        *self.obs_policy.write() = policy;
     }
 
     /// The current observability policy.
-    pub fn obs_policy(&self) -> &ObsPolicy {
-        &self.obs_policy
+    pub fn obs_policy(&self) -> ObsPolicy {
+        self.obs_policy.read().clone()
     }
 
     /// Handle to the engine's tracer, for wiring into external
@@ -283,7 +353,7 @@ impl ExploreDb {
     /// executes for real (through the same cache/exec routing as
     /// [`ExploreDb::query`]), so the profile reflects live state —
     /// explaining a cached query shows the hit, not the original scan.
-    pub fn explain(&mut self, table: &str, query: &Query) -> Result<String> {
+    pub fn explain(&self, table: &str, query: &Query) -> Result<String> {
         let trace = self.obs.force_start(table, query.describe());
         let ctx = self.query_ctx().with_trace(Some(&trace));
         let result = self.run_routed(table, query, &ctx);
@@ -295,7 +365,8 @@ impl ExploreDb {
     /// Handle to the engine's fail-point registry. Tests arm named
     /// points (`exec.spawn`, `exec.morsel`, `cache.admit`,
     /// `cache.lookup`, `cache.evict`, `load.parse`, `load.map`,
-    /// `crack.reorg`, `shard.dispatch`, `shard.merge`, and the serving
+    /// `crack.reorg`, `shard.dispatch`, `shard.merge`, the engine's own
+    /// `engine.catalog_read` / `engine.table_write`, and the serving
     /// layer's `serve.admit` / `serve.yield`) to drive the engine down
     /// its degradation paths; the registry also counts `fault.*` /
     /// `cancel.*` events.
@@ -303,50 +374,23 @@ impl ExploreDb {
         Arc::clone(&self.faults)
     }
 
-    /// Set (or clear) a per-query deadline. Each subsequent
-    /// [`ExploreDb::query`] mints a fresh token whose clock starts at
-    /// query start; a query that overruns returns
-    /// `StorageError::DeadlineExceeded` at its next morsel boundary,
-    /// with all engine state (cache, indexes, loaders) still valid.
-    pub fn set_query_deadline(&mut self, limit: Option<Duration>) {
-        self.deadline = limit.map(QueryDeadline);
-    }
-
-    /// The current per-query deadline, if any.
-    pub fn query_deadline(&self) -> Option<Duration> {
-        self.deadline.map(|d| d.0)
-    }
-
-    /// Set (or clear) a session-wide external cancel token. The caller
-    /// (another thread, a UI) may trigger it at any time; every engine
-    /// entry point then returns `StorageError::Cancelled` at its next
-    /// morsel/step boundary. Partial state — cracker indexes, cache
-    /// entries, pool workers — stays valid, and a follow-up call returns
-    /// results bit-identical to a never-cancelled engine.
-    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
-        self.cancel = cancel;
-    }
-
-    /// The current session cancel token, if any.
-    pub fn cancel_token(&self) -> Option<CancelToken> {
-        self.cancel.clone()
-    }
-
     /// How raw-table loaders treat malformed CSV rows: `Abort` (the
     /// default) surfaces the first parse error, `SkipRow` tombstones the
     /// offending row and keeps serving. Applies to already-attached and
     /// future raw tables.
-    pub fn set_load_error_policy(&mut self, policy: ErrorPolicy) {
-        self.load_error_policy = policy;
-        for loader in self.raw.values_mut() {
-            loader.set_error_policy(policy);
+    pub fn set_load_error_policy(&self, policy: ErrorPolicy) {
+        *self.load_error_policy.write() = policy;
+        let loaders: Vec<Arc<Mutex<AdaptiveLoader>>> =
+            self.raw.read().values().map(Arc::clone).collect();
+        for loader in loaders {
+            loader.lock().set_error_policy(policy);
         }
     }
 
     /// Rows skipped so far by a raw table's loader under
     /// [`ErrorPolicy::SkipRow`] (`None` for in-memory tables).
     pub fn rows_skipped(&self, table: &str) -> Option<u64> {
-        self.raw.get(table).map(AdaptiveLoader::rows_skipped)
+        self.raw.read().get(table).map(|l| l.lock().rows_skipped())
     }
 
     /// Snapshot of the shared cache's counters.
@@ -374,71 +418,151 @@ impl ExploreDb {
     /// below route mutations precisely instead (bumping only the owning
     /// shard's epoch); callers that mutate through other channels get
     /// this conservative whole-table invalidation.
-    pub fn note_mutation(&mut self, table: &str) {
-        self.invalidate_table(table);
-        self.rebuild_shards(table);
+    pub fn note_mutation(&self, table: &str) {
+        self.result_cache.bump_epoch(table);
+        let st = self.catalog.read().get(table).cloned();
+        if let Some(st) = st {
+            {
+                // Hold the data lock across the generation bump so a
+                // concurrent `ensure_cracker` can never install an
+                // index built from the superseded snapshot.
+                let _guard = st.data.write();
+                st.generation.fetch_add(1, Ordering::SeqCst);
+            }
+            st.crackers.lock().clear();
+            self.rebuild_shards(&st, table);
+        }
     }
 
     /// Whole-table invalidation: base epoch, every current shard-scope
     /// epoch, and the table's adaptive indexes.
-    fn invalidate_table(&mut self, table: &str) {
+    fn invalidate_table(&self, table: &str) {
         self.result_cache.bump_epoch(table);
-        if let Some(st) = self.sharded.get(table) {
-            for s in 0..st.shard_count() {
+        if let Some(st) = self.catalog.read().get(table).cloned() {
+            let count = st.mirror().map_or(0, |m| m.shard_count());
+            for s in 0..count {
                 self.result_cache.bump_epoch(&scoped_name(table, s));
             }
+            st.crackers.lock().clear();
         }
-        self.crackers.retain(|(t, _), _| t != table);
     }
 
     /// Record a mutation the sharded mirror already absorbed in place:
     /// bump the base epoch (whole-table results die) and only the
     /// mutated shards' scope epochs — the other shards' cached results
     /// are still exact, and keeping them live is the payoff of sharding.
-    fn note_shard_mutation(&mut self, table: &str, mutated: &[usize]) {
+    fn note_shard_epochs(&self, table: &str, mutated: &[usize]) {
         self.result_cache.bump_epoch(table);
         for &s in mutated {
             self.result_cache.bump_epoch(&scoped_name(table, s));
         }
-        self.crackers.retain(|(t, _), _| t != table);
     }
 
-    /// Register an in-memory table. Re-registering an existing name is
-    /// a mutation: the old name's cache entries are invalidated.
-    pub fn register(&mut self, name: impl Into<String>, table: Table) {
-        let name = name.into();
-        if self.catalog.get(&name).is_ok() {
-            self.invalidate_table(&name);
+    /// Resolve a table's shared state, or the typed unknown-table error.
+    /// This is the query and mutation paths' single catalog touchpoint,
+    /// and the `engine.catalog_read` fail point fires here — before the
+    /// `Arc` clone, so an injected failure never hands out state.
+    fn table_state(&self, table: &str) -> Result<Arc<TableState>> {
+        if self.faults.fire("engine.catalog_read") {
+            return Err(StorageError::Internal(
+                "injected catalog-read failure (engine.catalog_read)".into(),
+            ));
         }
-        self.catalog.register(name.clone(), table);
-        self.rebuild_shards(&name);
+        self.catalog
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(table.to_owned()))
+    }
+
+    /// The `engine.table_write` fail point, fired at the top of every
+    /// mutation entry point — before any state changes, so an injected
+    /// failure is always a clean no-op.
+    fn fire_table_write(&self) -> Result<()> {
+        if self.faults.fire("engine.table_write") {
+            return Err(StorageError::Internal(
+                "injected table-write failure (engine.table_write)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Register an in-memory table (a `Table` or an `Arc<Table>`).
+    /// Re-registering an existing name is a mutation: the old name's
+    /// cache entries are invalidated and its adaptive indexes dropped.
+    pub fn register(&self, name: impl Into<String>, table: impl Into<Arc<Table>>) {
+        let name = name.into();
+        let table = table.into();
+        let existing = self.catalog.read().get(&name).cloned();
+        match existing {
+            Some(st) => {
+                {
+                    // Data first, bump second: a reader that saw the old
+                    // epoch gets either old data (fine) or new data
+                    // admitted under the old epoch (dies at the bump) —
+                    // never new-epoch/old-data.
+                    let mut data = st.data.write();
+                    *data = table;
+                    st.generation.fetch_add(1, Ordering::SeqCst);
+                }
+                st.crackers.lock().clear();
+                self.rebuild_shards(&st, &name);
+                self.result_cache.bump_epoch(&name);
+            }
+            None => {
+                let st = Arc::new(TableState::new(table));
+                self.rebuild_shards(&st, &name);
+                self.catalog.write().insert(name, st);
+            }
+        }
     }
 
     /// Append one row of dynamic values to an in-memory table.
-    pub fn push_row(&mut self, table: &str, values: Vec<Value>) -> Result<()> {
-        self.catalog.get_mut(table)?.push_row(values.clone())?;
-        match self.sharded.get_mut(table) {
-            // The canonical write above validated; the mirror's schema is
-            // identical, so this routes to the owning (last) shard.
-            Some(st) => {
-                let shard = st.push_row(values)?;
-                self.note_shard_mutation(table, &[shard]);
+    pub fn push_row(&self, table: &str, values: Vec<Value>) -> Result<()> {
+        self.fire_table_write()?;
+        let st = self.table_state(table)?;
+        let mutated = {
+            let mut data = st.data.write();
+            // The canonical write validates; the mirror's schema is
+            // identical, so the dual-write below routes to the owning
+            // (last) shard and cannot fail after this point.
+            Arc::make_mut(&mut *data).push_row(values.clone())?;
+            st.generation.fetch_add(1, Ordering::SeqCst);
+            match st.mirror() {
+                Some(m) => Some(m.push_row(values)?),
+                None => None,
             }
-            None => self.note_mutation(table),
+        };
+        st.crackers.lock().clear();
+        match mutated {
+            Some(shard) => self.note_shard_epochs(table, &[shard]),
+            None => {
+                self.result_cache.bump_epoch(table);
+            }
         }
         Ok(())
     }
 
     /// Append all rows of `rows` (identical schema) to an in-memory
     /// table.
-    pub fn append_rows(&mut self, table: &str, rows: &Table) -> Result<()> {
-        self.catalog.get_mut(table)?.append(rows)?;
-        match self.sharded.get_mut(table) {
-            Some(st) => {
-                let shard = st.append_rows(rows)?;
-                self.note_shard_mutation(table, &[shard]);
+    pub fn append_rows(&self, table: &str, rows: &Table) -> Result<()> {
+        self.fire_table_write()?;
+        let st = self.table_state(table)?;
+        let mutated = {
+            let mut data = st.data.write();
+            Arc::make_mut(&mut *data).append(rows)?;
+            st.generation.fetch_add(1, Ordering::SeqCst);
+            match st.mirror() {
+                Some(m) => Some(m.append_rows(rows)?),
+                None => None,
             }
-            None => self.note_mutation(table),
+        };
+        st.crackers.lock().clear();
+        match mutated {
+            Some(shard) => self.note_shard_epochs(table, &[shard]),
+            None => {
+                self.result_cache.bump_epoch(table);
+            }
         }
         Ok(())
     }
@@ -447,71 +571,88 @@ impl ExploreDb {
     /// how many rows changed. Type incompatibilities are rejected before
     /// any write, so a failed update never leaves the table half-mutated.
     pub fn update_where(
-        &mut self,
+        &self,
         table: &str,
         predicate: &Predicate,
         column: &str,
         value: Value,
     ) -> Result<usize> {
-        let t = self.catalog.get_mut(table)?;
-        let sel = predicate.evaluate(t)?;
-        let expected = t.column(column)?.data_type();
-        let compatible = matches!(
-            (expected, &value),
-            (DataType::Int64, Value::Int(_))
-                | (DataType::Float64, Value::Float(_) | Value::Int(_))
-                | (DataType::Utf8, Value::Str(_))
-        );
-        if !compatible {
-            return Err(StorageError::TypeMismatch {
-                column: column.to_owned(),
-                expected: expected.name(),
-                found: value.data_type().map_or("Null", DataType::name),
-            });
-        }
-        for &row in &sel {
-            t.set_cell(column, row as usize, value.clone())?;
-        }
-        if !sel.is_empty() {
-            match self.sharded.get_mut(table) {
-                Some(st) => {
-                    let mutated = st.update_where(&sel, column, &value)?;
-                    self.note_shard_mutation(table, &mutated);
-                }
-                None => self.note_mutation(table),
+        self.fire_table_write()?;
+        let st = self.table_state(table)?;
+        let (changed, mutated) = {
+            let mut data = st.data.write();
+            let sel = predicate.evaluate(&data)?;
+            let expected = data.column(column)?.data_type();
+            let compatible = matches!(
+                (expected, &value),
+                (DataType::Int64, Value::Int(_))
+                    | (DataType::Float64, Value::Float(_) | Value::Int(_))
+                    | (DataType::Utf8, Value::Str(_))
+            );
+            if !compatible {
+                return Err(StorageError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: expected.name(),
+                    found: value.data_type().map_or("Null", DataType::name),
+                });
+            }
+            if sel.is_empty() {
+                return Ok(0);
+            }
+            let t = Arc::make_mut(&mut *data);
+            for &row in &sel {
+                t.set_cell(column, row as usize, value.clone())?;
+            }
+            st.generation.fetch_add(1, Ordering::SeqCst);
+            let mutated = match st.mirror() {
+                Some(m) => Some(m.update_where(&sel, column, &value)?),
+                None => None,
+            };
+            (sel.len(), mutated)
+        };
+        st.crackers.lock().clear();
+        match mutated {
+            Some(shards) => self.note_shard_epochs(table, &shards),
+            None => {
+                self.result_cache.bump_epoch(table);
             }
         }
-        Ok(sel.len())
+        Ok(changed)
     }
 
     /// Attach a raw CSV file; queries against it run through the NoDB
     /// adaptive loader until the workload has loaded it.
-    pub fn attach_raw(&mut self, name: impl Into<String>, raw: RawCsv) {
+    pub fn attach_raw(&self, name: impl Into<String>, raw: RawCsv) {
         let mut loader = AdaptiveLoader::new(raw);
         loader.set_faults(Some(Arc::clone(&self.faults)));
-        loader.set_error_policy(self.load_error_policy);
-        self.raw.insert(name.into(), loader);
+        loader.set_error_policy(*self.load_error_policy.read());
+        self.raw
+            .write()
+            .insert(name.into(), Arc::new(Mutex::new(loader)));
     }
 
     /// Registered table names (in-memory, then raw).
     pub fn tables(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.catalog.names().iter().map(|s| s.to_string()).collect();
-        names.extend(self.raw.keys().cloned());
+        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
+        names.extend(self.raw.read().keys().cloned());
         names.sort();
         names
     }
 
-    /// Borrow an in-memory table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
-        self.catalog.get(name)
+    /// The current snapshot of an in-memory table. The snapshot is
+    /// immutable: later mutations replace the table's `Arc`, they never
+    /// write through one you already hold.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.table_state(name)?.snapshot())
     }
 
     /// Run an exact query, routing to the right storage path. With
     /// caching on, in-memory tables are served through the semantic
     /// result cache (exact and subsumption reuse); raw tables always go
     /// through the adaptive loader, whose incremental load state is
-    /// itself the cache.
-    pub fn query(&mut self, table: &str, query: &Query) -> Result<Table> {
+    /// itself the cache. Takes `&self`: concurrent callers on different
+    /// threads run genuinely in parallel.
+    pub fn query(&self, table: &str, query: &Query) -> Result<Table> {
         let trace = self.start_trace(table, || query.describe());
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let result = self.run_routed(table, query, &ctx);
@@ -531,38 +672,54 @@ impl ExploreDb {
     }
 
     /// Run `f` with `session`'s overlay installed: every `query_ctx()`
-    /// minted inside resolves the session's exec/cache/obs policies,
-    /// deadline budget, cancel token, and yield hook *over* the engine
-    /// defaults (DESIGN.md §10/§13). The previous overlay (normally
-    /// none) is restored afterwards, so nesting and interleaving
-    /// sessions over one engine is safe.
-    pub fn with_session<R>(
-        &mut self,
-        session: &SessionCtx,
-        f: impl FnOnce(&mut ExploreDb) -> R,
-    ) -> R {
-        let prev = self.session.replace(session.clone());
-        let out = f(self);
-        self.session = prev;
-        out
+    /// minted inside (on this thread) resolves the session's exec/cache/
+    /// obs policies, deadline budget, cancel token, and yield hook
+    /// *over* the engine defaults (DESIGN.md §10/§13). The overlay is
+    /// thread-local and keyed to this engine, so sessions on other
+    /// worker threads — and other engines on this thread — are
+    /// unaffected, and nesting is safe. The overlay pops on exit, panic
+    /// included.
+    pub fn with_session<R>(&self, session: &SessionCtx, f: impl FnOnce(&ExploreDb) -> R) -> R {
+        struct Pop;
+        impl Drop for Pop {
+            fn drop(&mut self) {
+                SESSION_OVERLAYS.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let key = self as *const ExploreDb as usize;
+        SESSION_OVERLAYS.with(|s| s.borrow_mut().push((key, session.clone())));
+        let _pop = Pop;
+        f(self)
+    }
+
+    /// This thread's innermost overlay installed for *this* engine, if
+    /// any.
+    fn current_session(&self) -> Option<SessionCtx> {
+        let key = self as *const ExploreDb as usize;
+        SESSION_OVERLAYS.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(k, _)| *k == key)
+                .map(|(_, ctx)| ctx.clone())
+        })
     }
 
     /// The execution context for one engine call: the engine's exec
-    /// policy and fail points, the session cancel token, and a deadline
-    /// token freshly minted so its clock starts at this call. When a
-    /// session overlay is installed ([`ExploreDb::with_session`]), its
-    /// `Some` fields win over the engine knobs — exec policy, cancel
-    /// token, deadline budget, and the cooperative yield hook.
+    /// policy and fail points, plus — when a session overlay is
+    /// installed ([`ExploreDb::with_session`]) — the session's exec
+    /// policy, cancel token, deadline budget (minted fresh so its clock
+    /// starts at this call), and cooperative yield hook. Cancellation
+    /// and deadlines are session-scoped only: an engine with no overlay
+    /// installed runs to completion.
     fn query_ctx(&self) -> QueryCtx<'static> {
-        let s = self.session.as_ref();
-        let exec = s.and_then(|s| s.exec).unwrap_or(self.exec_policy);
-        let cancel = s
-            .and_then(|s| s.cancel.clone())
-            .or_else(|| self.cancel.clone());
-        let deadline = s
-            .and_then(|s| s.deadline)
-            .map(QueryDeadline)
-            .or(self.deadline);
+        let s = self.current_session();
+        let s = s.as_ref();
+        let exec = s.and_then(|s| s.exec).unwrap_or_else(|| self.exec_policy());
+        let cancel = s.and_then(|s| s.cancel.clone());
+        let deadline = s.and_then(|s| s.deadline).map(QueryDeadline);
         QueryCtx::new(exec)
             .with_faults(Some(Arc::clone(&self.faults)))
             .with_cancel(cancel)
@@ -572,37 +729,32 @@ impl ExploreDb {
 
     /// One token for long-lived middleware sessions that outlive a
     /// single engine call: the session cancel token when set, else a
-    /// token minted from the deadline. The session overlay's token and
-    /// deadline take the same precedence they do in `query_ctx`.
+    /// token minted from the session deadline (its clock starts now).
     fn session_token(&self) -> Option<CancelToken> {
-        let s = self.session.as_ref();
-        s.and_then(|s| s.cancel.clone())
-            .or_else(|| self.cancel.clone())
-            .or_else(|| {
-                s.and_then(|s| s.deadline)
-                    .map(QueryDeadline)
-                    .or(self.deadline)
-                    .as_ref()
-                    .map(QueryDeadline::token)
-            })
+        let s = self.current_session();
+        let s = s.as_ref();
+        s.and_then(|s| s.cancel.clone()).or_else(|| {
+            s.and_then(|s| s.deadline)
+                .map(QueryDeadline)
+                .as_ref()
+                .map(QueryDeadline::token)
+        })
     }
 
     /// Is the result cache in play for this call? The session overlay's
     /// cache policy wins over the engine knob.
     fn cache_on(&self) -> bool {
-        self.session
-            .as_ref()
-            .and_then(|s| s.cache.as_ref())
-            .map_or_else(|| self.cache_policy.is_on(), CachePolicy::is_on)
+        self.current_session()
+            .and_then(|s| s.cache)
+            .map_or_else(|| self.cache_policy.read().is_on(), |p| p.is_on())
     }
 
     /// Is observability in play for this call? Gates metrics attachment
     /// on middleware executors; the session overlay wins.
     fn obs_on(&self) -> bool {
-        self.session
-            .as_ref()
-            .and_then(|s| s.obs.as_ref())
-            .map_or_else(|| self.obs_policy.is_on(), ObsPolicy::is_on)
+        self.current_session()
+            .and_then(|s| s.obs)
+            .map_or_else(|| self.obs_policy.read().is_on(), |p| p.is_on())
     }
 
     /// Start (or skip) a trace for one engine call, honoring the session
@@ -610,7 +762,7 @@ impl ExploreDb {
     /// is off, `Some(Off)` suppresses one, `None` defers to the engine's
     /// obs policy via the tracer's own gate.
     fn start_trace(&self, table: &str, desc: impl FnOnce() -> String) -> Option<ActiveTrace> {
-        match self.session.as_ref().and_then(|s| s.obs.as_ref()) {
+        match self.current_session().and_then(|s| s.obs) {
             Some(p) if p.is_on() => Some(self.obs.force_start(table, desc())),
             Some(_) => None,
             None => self.obs.start(table, desc),
@@ -630,35 +782,52 @@ impl ExploreDb {
     /// The routing core of [`ExploreDb::query`], shared with
     /// [`ExploreDb::explain`]: raw tables go through the adaptive
     /// loader (recorded as one raw-load span), in-memory tables through
-    /// the cache or the plain executor.
-    fn run_routed(&mut self, table: &str, query: &Query, ctx: &QueryCtx) -> Result<Table> {
+    /// the cache or the plain executor. In-memory reads clone the
+    /// table's `Arc` snapshot and run lock-free; the cache-admission
+    /// epoch is read *before* the snapshot (see
+    /// `explore_cache::cached_query_at_epoch` for why that order is the
+    /// sound one).
+    fn run_routed(&self, table: &str, query: &Query, ctx: &QueryCtx) -> Result<Table> {
         // An already-cancelled or expired token fails before routing —
         // even a warm cache hit must not mask the typed error.
         ctx.check_cancel()?;
-        if let Some(loader) = self.raw.get_mut(table) {
+        let loader = self.raw.read().get(table).map(Arc::clone);
+        if let Some(loader) = loader {
+            let mut loader = loader.lock();
             return match ctx.trace {
                 Some(t) => t.scope(ROOT_SPAN, SpanKind::RawLoad, || loader.query(query, ctx)),
                 None => loader.query(query, ctx),
             };
         }
-        let base = self.catalog.get(table)?;
-        if let Some(st) = self.sharded.get(table) {
+        let st = self.table_state(table)?;
+        if let Some(m) = st.mirror() {
             let cache = self.cache_on().then_some(&*self.result_cache);
-            return run_sharded_query(st, cache, query, ctx);
+            return run_sharded_query(&m, cache, query, ctx);
         }
         if self.cache_on() {
-            explore_cache::cached_query(&self.result_cache, base, table, query, ctx)
+            let epoch = self.result_cache.epoch(table);
+            let base = st.snapshot();
+            explore_cache::cached_query_at_epoch(
+                &self.result_cache,
+                &base,
+                table,
+                query,
+                ctx,
+                epoch,
+            )
         } else {
-            explore_exec::run_query(base, query, ctx)
+            let base = st.snapshot();
+            explore_exec::run_query(&base, query, ctx)
         }
     }
 
     /// Progress of invisible loading for a raw table (columns loaded,
     /// total columns), or `None` for in-memory tables.
     pub fn loading_progress(&self, table: &str) -> Option<(usize, usize)> {
-        self.raw
-            .get(table)
-            .map(|l| (l.columns_loaded(), l.schema().len()))
+        self.raw.read().get(table).map(|l| {
+            let l = l.lock();
+            (l.columns_loaded(), l.schema().len())
+        })
     }
 
     /// Range query through the adaptive index: first call cracks (cost ≈
@@ -667,9 +836,12 @@ impl ExploreDb {
     /// checked between crack (partition) steps, so a cancelled call may
     /// have cracked the low bound but not the high one — the index is
     /// well-formed either way, and the partial work is kept (it benefits
-    /// later queries rather than being rolled back).
+    /// later queries rather than being rolled back). Takes `&self`:
+    /// concurrent callers share the index, which reorganizes under its
+    /// own lock (lookups that hit an existing piece don't block each
+    /// other).
     pub fn cracked_range(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         low: i64,
@@ -678,19 +850,22 @@ impl ExploreDb {
         let ctx = self.query_ctx();
         ctx.check_cancel()?;
         let token = self.session_token();
-        let key = if self.sharded.contains_key(table) {
+        let st = self.table_state(table)?;
+        let mirror = st.mirror();
+        let cracker = match &mirror {
             // Sharded tables crack per shard; validate the column here so
             // the error shape matches `ensure_cracker` exactly.
-            let t = self.catalog.get(table)?;
-            let col = t.column(column)?;
-            col.as_i64().ok_or_else(|| StorageError::TypeMismatch {
-                column: column.to_owned(),
-                expected: "Int64",
-                found: col.data_type().name(),
-            })?;
-            None
-        } else {
-            Some(self.ensure_cracker(table, column)?)
+            Some(_) => {
+                let t = st.snapshot();
+                let col = t.column(column)?;
+                col.as_i64().ok_or_else(|| StorageError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: "Int64",
+                    found: col.data_type().name(),
+                })?;
+                None
+            }
+            None => Some(self.ensure_cracker(&st, column)?),
         };
         if self.faults.fire("crack.reorg") {
             // Injected reorganization failure: answer by scanning the
@@ -698,7 +873,7 @@ impl ExploreDb {
             // are discretionary, so skipping one changes convergence
             // rate, never answers.
             self.faults.note("fault.crack.scan_fallback");
-            let t = self.catalog.get(table)?;
+            let t = st.snapshot();
             let col = t.column(column)?;
             let values = col.as_i64().ok_or_else(|| StorageError::TypeMismatch {
                 column: column.to_owned(),
@@ -712,21 +887,16 @@ impl ExploreDb {
                 .map(|(i, _)| i as u32)
                 .collect());
         }
-        let Some(key) = key else {
-            return self.cracked_range_sharded(table, column, low, high, token);
-        };
+        if let Some(m) = mirror {
+            return self.cracked_range_sharded(table, column, low, high, token, &m);
+        }
+        let cracker = cracker.expect("cracker ensured on the unsharded path");
         let trace = self
             .obs
             .start(table, || format!("cracked_range({column}, {low}, {high})"));
-        let cracker = self
-            .crackers
-            .get_mut(&key)
-            .ok_or_else(|| StorageError::Internal("cracker lost after ensure".into()))?;
         let pieces_before = cracker.num_pieces();
         let start = trace.as_ref().map(|t| t.now_ns());
-        let ids = cracker
-            .query_bounds(low, high, token.as_ref())
-            .map(|(s, e)| cracker.ids()[s..e].to_vec());
+        let ids = cracker.query_ids(low, high, token.as_ref());
         let pieces_after = cracker.num_pieces();
         if let Some((t, start)) = trace.as_ref().zip(start) {
             t.record(
@@ -764,20 +934,17 @@ impl ExploreDb {
     /// order — cracked (physical) order within each shard, like the
     /// unsharded path.
     fn cracked_range_sharded(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         low: i64,
         high: i64,
         token: Option<CancelToken>,
+        st: &ShardedTable,
     ) -> Result<Vec<u32>> {
         let trace = self
             .obs
             .start(table, || format!("cracked_range({column}, {low}, {high})"));
-        let st = self
-            .sharded
-            .get_mut(table)
-            .ok_or_else(|| StorageError::Internal("sharded mirror lost after route".into()))?;
         let pieces_before = st.index_pieces(column).unwrap_or(0);
         let start = trace.as_ref().map(|t| t.now_ns());
         let result = st.cracked_range(column, low, high, token.as_ref());
@@ -818,38 +985,47 @@ impl ExploreDb {
         result.map(|(ids, _)| ids)
     }
 
-    /// Build the (table, column) cracker on first use; returns its key.
-    fn ensure_cracker(&mut self, table: &str, column: &str) -> Result<(String, String)> {
-        let key = (table.to_owned(), column.to_owned());
-        if !self.crackers.contains_key(&key) {
-            let t = self.catalog.get(table)?;
-            let col = t.column(column)?;
-            let values = col
-                .as_i64()
-                .ok_or_else(|| StorageError::TypeMismatch {
-                    column: column.to_owned(),
-                    expected: "Int64",
-                    found: col.data_type().name(),
-                })?
-                .to_vec();
-            self.crackers
-                .insert(key.clone(), CrackerColumn::new(values));
+    /// The table's cracker for `column`, building it on first use. A
+    /// build races mutations benignly: the generation counter is read
+    /// before the data snapshot, and a cracker whose generation went
+    /// stale by install time serves this one call but is never
+    /// installed — the next call rebuilds from current data.
+    fn ensure_cracker(&self, st: &TableState, column: &str) -> Result<Arc<ConcurrentCracker>> {
+        if let Some(c) = st.crackers.lock().get(column) {
+            return Ok(Arc::clone(c));
         }
-        Ok(key)
+        let built_at = st.generation.load(Ordering::SeqCst);
+        let t = st.snapshot();
+        let col = t.column(column)?;
+        let values = col
+            .as_i64()
+            .ok_or_else(|| StorageError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "Int64",
+                found: col.data_type().name(),
+            })?
+            .to_vec();
+        let cracker = Arc::new(ConcurrentCracker::new(values));
+        let mut map = st.crackers.lock();
+        if st.generation.load(Ordering::SeqCst) == built_at {
+            let entry = map
+                .entry(column.to_owned())
+                .or_insert_with(|| Arc::clone(&cracker));
+            return Ok(Arc::clone(entry));
+        }
+        Ok(cracker)
     }
 
     /// Pieces the adaptive index on (table, column) currently has —
     /// observability for convergence. For a sharded table, the sum of
     /// per-shard piece counts.
     pub fn index_pieces(&self, table: &str, column: &str) -> Option<usize> {
-        self.crackers
-            .get(&(table.to_owned(), column.to_owned()))
-            .map(CrackerColumn::num_pieces)
-            .or_else(|| {
-                self.sharded
-                    .get(table)
-                    .and_then(|st| st.index_pieces(column))
-            })
+        let st = self.catalog.read().get(table).cloned()?;
+        let cracker = st.crackers.lock().get(column).map(Arc::clone);
+        if let Some(c) = cracker {
+            return Some(c.num_pieces());
+        }
+        st.mirror().and_then(|m| m.index_pieces(column))
     }
 
     /// Build (or rebuild) the sample catalog enabling approximate
@@ -857,7 +1033,7 @@ impl ExploreDb {
     /// (checked between samples) and records a `sample.build` span and
     /// counter when observability is on.
     pub fn build_samples(
-        &mut self,
+        &self,
         table: &str,
         fractions: &[f64],
         stratify_on: &[(&str, usize)],
@@ -871,10 +1047,10 @@ impl ExploreDb {
         });
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let start = ctx.trace.map(|t| t.now_ns());
-        let result = self
-            .catalog
-            .get(table)
-            .and_then(|t| SampleCatalog::build(t, fractions, stratify_on, seed, &ctx));
+        let result = self.table_state(table).and_then(|st| {
+            let t = st.snapshot();
+            SampleCatalog::build(&t, fractions, stratify_on, seed, &ctx)
+        });
         if let Some((t, s)) = ctx.trace.zip(start) {
             t.record(ROOT_SPAN, SpanKind::Stage("sample.build"), s, t.now_ns());
             t.metrics().inc("sample.builds", 1);
@@ -884,7 +1060,9 @@ impl ExploreDb {
         }
         self.note_cancel(&result);
         let catalog = result?;
-        self.samples.insert(table.to_owned(), catalog);
+        self.samples
+            .write()
+            .insert(table.to_owned(), Arc::new(catalog));
         Ok(())
     }
 
@@ -898,15 +1076,18 @@ impl ExploreDb {
         column: &str,
         bound: Bound,
     ) -> Result<BoundedAnswer> {
-        let t = self.catalog.get(table)?;
-        let samples = self.samples.get(table).ok_or_else(|| {
+        let st = self.table_state(table)?;
+        let samples = self.samples.read().get(table).cloned().ok_or_else(|| {
             StorageError::InvalidQuery(format!(
                 "no sample catalog for {table}; call build_samples first"
             ))
         })?;
-        let mut ex = BoundedExecutor::new(t, samples);
+        // Epoch before snapshot, like every cache-admitting path.
+        let epoch = self.result_cache.epoch(table);
+        let t = st.snapshot();
+        let mut ex = BoundedExecutor::new(&t, &samples);
         if self.cache_on() {
-            ex = ex.with_cache(Arc::clone(&self.result_cache), table);
+            ex = ex.with_cache(Arc::clone(&self.result_cache), table, epoch);
         }
         if self.obs_on() {
             ex = ex.with_metrics(self.obs.metrics());
@@ -938,15 +1119,21 @@ impl ExploreDb {
         ans
     }
 
-    /// A speculative range-aggregate executor over `table`, prefetching
-    /// up to `budget` neighboring requests per call. With caching on it
-    /// shares the engine's result cache, so speculatively computed
-    /// aggregates are visible to [`ExploreDb::query`] and vice versa.
-    pub fn speculator(&self, table: &str, budget: usize) -> Result<SpeculativeExecutor<'_>> {
-        let t = self.catalog.get(table)?;
+    /// A speculative range-aggregate executor over a snapshot of
+    /// `table`, prefetching up to `budget` neighboring requests per
+    /// call. With caching on it shares the engine's result cache, so
+    /// speculatively computed aggregates are visible to
+    /// [`ExploreDb::query`] and vice versa.
+    pub fn speculator(&self, table: &str, budget: usize) -> Result<SpeculativeExecutor> {
+        let st = self.table_state(table)?;
+        // Epoch before snapshot: a mutation racing this attach leaves
+        // the executor admitting under a dead epoch — refused entries,
+        // never stale ones.
+        let epoch = self.result_cache.epoch(table);
+        let t = st.snapshot();
         let mut ex = SpeculativeExecutor::new(t, budget).with_cancel(self.session_token());
         if self.cache_on() {
-            ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table);
+            ex = ex.with_shared_cache(Arc::clone(&self.result_cache), table, epoch);
         }
         if self.obs_on() {
             ex = ex.with_metrics(self.obs.metrics());
@@ -972,15 +1159,13 @@ impl ExploreDb {
             format!("online {func}({column}) where {predicate}")
         });
         let start = trace.as_ref().map(|t| t.now_ns());
-        let oa = OnlineAggregation::start(
-            self.catalog.get(table)?,
-            predicate,
-            func,
-            column,
-            confidence,
-            seed,
-        )
-        .map(|oa| oa.with_cancel(self.session_token()));
+        let oa = self
+            .table_state(table)
+            .and_then(|st| {
+                let t = st.snapshot();
+                OnlineAggregation::start(&t, predicate, func, column, confidence, seed)
+            })
+            .map(|oa| oa.with_cancel(self.session_token()));
         if let Some((t, s)) = trace.as_ref().zip(start) {
             t.record(ROOT_SPAN, SpanKind::Stage("aqp.online"), s, t.now_ns());
             t.metrics().inc("aqp.online_sessions", 1);
@@ -1002,13 +1187,13 @@ impl ExploreDb {
         target: &Predicate,
         k: usize,
     ) -> Result<Vec<ScoredView>> {
-        let t = self.catalog.get(table)?;
+        let t = self.table(table)?;
         let trace = self.start_trace(table, || format!("recommend_views(k={k})"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
-        let views = candidate_views(t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        let views = candidate_views(&t, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
         let mut stats = SeedbStats::default();
         let start = ctx.trace.map(|t| t.now_ns());
-        let result = recommend_shared(t, target, &views, k, &mut stats, &ctx);
+        let result = recommend_shared(&t, target, &views, k, &mut stats, &ctx);
         if let Some((t, s)) = ctx.trace.zip(start) {
             t.record(ROOT_SPAN, SpanKind::Stage("viz.recommend"), s, t.now_ns());
             t.metrics().inc("viz.recommendations", 1);
@@ -1021,10 +1206,12 @@ impl ExploreDb {
     }
 
     /// Build (or rebuild) the AQUA-style synopsis store for a table.
-    pub fn build_synopses(&mut self, table: &str, buckets: usize) -> Result<()> {
-        let t = self.catalog.get(table)?;
-        self.synopses
-            .insert(table.to_owned(), SynopsisStore::build(t, buckets));
+    pub fn build_synopses(&self, table: &str, buckets: usize) -> Result<()> {
+        let t = self.table(table)?;
+        self.synopses.write().insert(
+            table.to_owned(),
+            Arc::new(SynopsisStore::build(&t, buckets)),
+        );
         Ok(())
     }
 
@@ -1068,7 +1255,7 @@ impl ExploreDb {
         let store = self.synopsis_store(table)?;
         let trace = self.start_trace(table, || "synopsis estimate".to_owned());
         let start = trace.as_ref().map(|t| t.now_ns());
-        let result = f(store);
+        let result = f(&store);
         if let Some((t, s)) = trace.as_ref().zip(start) {
             t.record(
                 ROOT_SPAN,
@@ -1084,8 +1271,8 @@ impl ExploreDb {
         result
     }
 
-    fn synopsis_store(&self, table: &str) -> Result<&SynopsisStore> {
-        self.synopses.get(table).ok_or_else(|| {
+    fn synopsis_store(&self, table: &str) -> Result<Arc<SynopsisStore>> {
+        self.synopses.read().get(table).cloned().ok_or_else(|| {
             StorageError::InvalidQuery(format!(
                 "no synopses for {table}; call build_synopses first"
             ))
@@ -1101,11 +1288,11 @@ impl ExploreDb {
         min_support: usize,
         k: usize,
     ) -> Result<Vec<explore_explore::Facet>> {
-        let t = self.catalog.get(table)?;
+        let t = self.table(table)?;
         let trace = self.start_trace(table, || format!("facets(k={k}) where {predicate}"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
-        let result = explore_exec::evaluate_selection(t, predicate, &ctx)
-            .and_then(|rows| explore_explore::faceted_recommendations(t, &rows, min_support, k));
+        let result = explore_exec::evaluate_selection(&t, predicate, &ctx)
+            .and_then(|rows| explore_explore::faceted_recommendations(&t, &rows, min_support, k));
         if let Some(trace) = trace {
             trace.finish();
         }
@@ -1125,12 +1312,12 @@ impl ExploreDb {
         k: usize,
         lambda: f64,
     ) -> Result<Vec<u32>> {
-        let t = self.catalog.get(table)?;
+        let t = self.table(table)?;
         let trace = self.start_trace(table, || format!("diversified_topk(k={k}, λ={lambda})"));
         let ctx = self.query_ctx().with_trace(trace.as_ref());
         let start = ctx.trace.map(|t| t.now_ns());
         let result =
-            Self::diversify_rows(t, predicate, relevance_col, feature_cols, k, lambda, &ctx);
+            Self::diversify_rows(&t, predicate, relevance_col, feature_cols, k, lambda, &ctx);
         if let Some((t, s)) = ctx.trace.zip(start) {
             t.record(ROOT_SPAN, SpanKind::Stage("div.topk"), s, t.now_ns());
             t.metrics().inc("div.topk", 1);
@@ -1193,10 +1380,10 @@ impl ExploreDb {
     pub fn propose_charts(&self, table: &str, k: usize) -> Result<Vec<explore_viz::ChartProposal>> {
         let ctx = self.query_ctx();
         ctx.check_cancel()?;
-        let t = self.catalog.get(table)?;
+        let t = self.table(table)?;
         let trace = self.start_trace(table, || format!("propose_charts(k={k})"));
         let start = trace.as_ref().map(|t| t.now_ns());
-        let result = explore_viz::propose_charts(t, k);
+        let result = explore_viz::propose_charts(&t, k);
         if let Some((t, s)) = trace.as_ref().zip(start) {
             t.record(ROOT_SPAN, SpanKind::Stage("viz.propose"), s, t.now_ns());
             t.metrics().inc("viz.proposals", 1);
@@ -1215,7 +1402,7 @@ impl ExploreDb {
     /// `cube.discover` span and counter are recorded when observability
     /// is on.
     pub fn discover_cube(
-        &mut self,
+        &self,
         table: &str,
         dim_a: &str,
         dim_b: &str,
@@ -1257,8 +1444,8 @@ impl ExploreDb {
         func: AggFunc,
         speculate: bool,
     ) -> Result<CubeSession> {
-        let t = self.catalog.get(table)?;
-        let cube = DataCube::new(t.clone(), dims, measure, func)?;
+        let t = self.table(table)?;
+        let cube = DataCube::new((*t).clone(), dims, measure, func)?;
         let mut session = CubeSession::new(cube, speculate).with_cancel(self.session_token());
         if self.obs_on() {
             session = session.with_metrics(Some(self.obs.metrics()));
@@ -1274,7 +1461,7 @@ mod tests {
     use explore_storage::gen::{sales_table, SalesConfig};
 
     fn engine_with_sales(rows: usize) -> ExploreDb {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1291,7 +1478,7 @@ mod tests {
             rows: 300,
             ..SalesConfig::default()
         });
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("mem", t.clone());
         db.attach_raw(
             "raw",
@@ -1312,10 +1499,10 @@ mod tests {
 
     #[test]
     fn cracked_range_matches_scan_and_converges() {
-        let mut db = engine_with_sales(5000);
+        let db = engine_with_sales(5000);
         let ids = db.cracked_range("sales", "qty", 3, 7).unwrap();
         let scan = Predicate::range("qty", 3i64, 7i64)
-            .evaluate(db.table("sales").unwrap())
+            .evaluate(&db.table("sales").unwrap())
             .unwrap();
         let mut got = ids.clone();
         got.sort_unstable();
@@ -1328,14 +1515,14 @@ mod tests {
 
     #[test]
     fn cracking_non_int_column_errors() {
-        let mut db = engine_with_sales(100);
+        let db = engine_with_sales(100);
         assert!(db.cracked_range("sales", "price", 0, 1).is_err());
         assert!(db.cracked_range("nope", "qty", 0, 1).is_err());
     }
 
     #[test]
     fn approximate_aggregation_via_catalog() {
-        let mut db = engine_with_sales(50_000);
+        let db = engine_with_sales(50_000);
         assert!(
             db.approx_aggregate(
                 "sales",
@@ -1362,13 +1549,8 @@ mod tests {
             )
             .unwrap();
         let truth = {
-            let p = db
-                .table("sales")
-                .unwrap()
-                .column("price")
-                .unwrap()
-                .as_f64()
-                .unwrap();
+            let t = db.table("sales").unwrap();
+            let p = t.column("price").unwrap().as_f64().unwrap();
             p.iter().sum::<f64>() / p.len() as f64
         };
         assert!((ans.interval.estimate - truth).abs() / truth < 0.1);
@@ -1442,8 +1624,8 @@ mod tests {
 
     #[test]
     fn cached_queries_are_bit_identical_and_counted() {
-        let mut plain = engine_with_sales(4_000);
-        let mut cached = ExploreDb::with_cache_policy(CachePolicy::on());
+        let plain = engine_with_sales(4_000);
+        let cached = ExploreDb::with_cache_policy(CachePolicy::on());
         cached.register("sales", plain.table("sales").unwrap().clone());
         let q = Query::new()
             .filter(Predicate::range("price", 100.0, 600.0))
@@ -1472,7 +1654,7 @@ mod tests {
 
     #[test]
     fn mutations_bump_epochs_and_invalidate() {
-        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        let db = ExploreDb::with_cache_policy(CachePolicy::on());
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1540,7 +1722,7 @@ mod tests {
 
     #[test]
     fn cracking_reorganization_bumps_epoch() {
-        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        let db = ExploreDb::with_cache_policy(CachePolicy::on());
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1563,7 +1745,7 @@ mod tests {
 
     #[test]
     fn cache_policy_off_keeps_epochs() {
-        let mut db = engine_with_sales(500);
+        let db = engine_with_sales(500);
         assert!(!db.cache_policy().is_on());
         let row = db.table("sales").unwrap().row(0).unwrap();
         db.push_row("sales", row).unwrap();
@@ -1575,7 +1757,7 @@ mod tests {
 
     #[test]
     fn obs_on_records_traces_and_metrics() {
-        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        let db = ExploreDb::with_obs_policy(ObsPolicy::on());
         db.set_cache_policy(CachePolicy::on());
         db.register(
             "sales",
@@ -1625,8 +1807,8 @@ mod tests {
 
     #[test]
     fn obs_off_by_default_and_results_identical() {
-        let mut plain = engine_with_sales(3_000);
-        let mut traced = ExploreDb::with_obs_policy(ObsPolicy::on());
+        let plain = engine_with_sales(3_000);
+        let traced = ExploreDb::with_obs_policy(ObsPolicy::on());
         traced.register("sales", plain.table("sales").unwrap().clone());
         assert!(!plain.obs_policy().is_on());
         assert!(traced.obs_policy().is_on());
@@ -1645,7 +1827,7 @@ mod tests {
 
     #[test]
     fn explain_renders_a_profile_regardless_of_policy() {
-        let mut db = engine_with_sales(2_000);
+        let db = engine_with_sales(2_000);
         assert!(!db.obs_policy().is_on());
         let q = Query::new()
             .filter(Predicate::range("price", 100.0, 500.0))
@@ -1667,7 +1849,7 @@ mod tests {
 
     #[test]
     fn obs_covers_aqp_and_speculation() {
-        let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+        let db = ExploreDb::with_obs_policy(ObsPolicy::on());
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1706,8 +1888,8 @@ mod tests {
     #[test]
     fn sharded_engine_is_bitwise_and_observable() {
         use explore_shard::{ShardConfig, ShardPolicy};
-        let mut plain = engine_with_sales(5_000);
-        let mut db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
+        let plain = engine_with_sales(5_000);
+        let db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
             count: 4,
             min_rows_per_shard: 1,
         }));
@@ -1739,7 +1921,7 @@ mod tests {
         let mut got = ids.clone();
         got.sort_unstable();
         let want = Predicate::range("qty", 3i64, 7i64)
-            .evaluate(plain.table("sales").unwrap())
+            .evaluate(&plain.table("sales").unwrap())
             .unwrap();
         assert_eq!(got, want);
         assert!(db.index_pieces("sales", "qty").unwrap() >= 4);
@@ -1757,7 +1939,7 @@ mod tests {
     #[test]
     fn shard_mutations_bump_only_the_owning_scope() {
         use explore_shard::{scoped_name, ShardConfig, ShardPolicy};
-        let mut db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
+        let db = ExploreDb::with_shard_policy(ShardPolicy::On(ShardConfig {
             count: 4,
             min_rows_per_shard: 1,
         }));

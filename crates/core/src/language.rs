@@ -32,7 +32,7 @@
 use explore_aqp::Bound;
 use explore_storage::{AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Value};
 
-use crate::ExploreDb;
+use crate::{ExploreDb, SessionCtx};
 
 /// A parsed exploration statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -724,228 +724,242 @@ impl ExplorationSession {
         ExplorationSession { db, active: None }
     }
 
-    /// The underlying engine.
-    pub fn db_mut(&mut self) -> &mut ExploreDb {
-        &mut self.db
+    /// The underlying engine. Shared, not exclusive — the engine is
+    /// internally synchronized, so setup and inspection go through
+    /// `&self` just like queries.
+    pub fn db(&self) -> &ExploreDb {
+        &self.db
     }
 
-    /// Parse and execute one statement.
+    /// Parse and execute one statement with the session's defaults.
     pub fn execute(&mut self, input: &str) -> Result<Outcome, StorageError> {
         let stmt = parse(input)?;
-        self.run(stmt)
+        run_stmt(&self.db, &mut self.active, stmt)
     }
 
-    fn active_table(&self) -> Result<&str, StorageError> {
-        self.active
-            .as_deref()
-            .ok_or_else(|| StorageError::InvalidQuery("no active table; USE one first".into()))
+    /// Parse and execute one statement under `ctx`'s overlay: the
+    /// statement sees the overlay's cancel token, deadline budget, and
+    /// policy overrides instead of the engine defaults. This is the
+    /// session-scoped replacement for the old engine-global knob
+    /// setters — per-statement budgets compose with other sessions on
+    /// the same engine instead of racing them.
+    pub fn execute_with(&mut self, ctx: &SessionCtx, input: &str) -> Result<Outcome, StorageError> {
+        let stmt = parse(input)?;
+        let ExplorationSession { db, active } = self;
+        db.with_session(ctx, |db| run_stmt(db, active, stmt))
     }
+}
 
-    fn run(&mut self, stmt: Statement) -> Result<Outcome, StorageError> {
-        match stmt {
-            Statement::Use { table } => {
-                // Validate existence eagerly for a friendly error.
-                if !self.db.tables().iter().any(|t| t == &table) {
-                    return Err(StorageError::UnknownTable(table));
-                }
-                self.active = Some(table.clone());
-                Ok(Outcome::Message(format!("using {table}")))
+fn active_table(active: &Option<String>) -> Result<&str, StorageError> {
+    active
+        .as_deref()
+        .ok_or_else(|| StorageError::InvalidQuery("no active table; USE one first".into()))
+}
+
+fn run_stmt(
+    db: &ExploreDb,
+    active: &mut Option<String>,
+    stmt: Statement,
+) -> Result<Outcome, StorageError> {
+    match stmt {
+        Statement::Use { table } => {
+            // Validate existence eagerly for a friendly error.
+            if !db.tables().iter().any(|t| t == &table) {
+                return Err(StorageError::UnknownTable(table));
             }
-            Statement::Select {
-                aggregates,
-                projection,
-                predicate,
-                group_by,
-                top,
-            } => {
-                let table = self.active_table()?.to_owned();
-                let mut q = Query::new().filter(predicate);
-                for col in &projection {
-                    q.projection.push(col.clone());
-                }
-                for g in &group_by {
-                    q = q.group(g);
-                }
-                for (f, col) in &aggregates {
-                    q = q.agg(*f, col);
-                }
-                if let Some(k) = top {
-                    // TOP k orders by the first aggregate when present.
-                    if let Some((f, col)) = aggregates.first() {
-                        let name = format!("{f}({col})");
-                        q = q.order(&name, SortOrder::Desc);
-                    }
-                    q = q.take(k);
-                }
-                let result = self.db.query(&table, &q)?;
-                Ok(Outcome::Table(result.pretty(20)))
+            *active = Some(table.clone());
+            Ok(Outcome::Message(format!("using {table}")))
+        }
+        Statement::Select {
+            aggregates,
+            projection,
+            predicate,
+            group_by,
+            top,
+        } => {
+            let table = active_table(active)?.to_owned();
+            let mut q = Query::new().filter(predicate);
+            for col in &projection {
+                q.projection.push(col.clone());
             }
-            Statement::Approx {
+            for g in &group_by {
+                q = q.group(g);
+            }
+            for (f, col) in &aggregates {
+                q = q.agg(*f, col);
+            }
+            if let Some(k) = top {
+                // TOP k orders by the first aggregate when present.
+                if let Some((f, col)) = aggregates.first() {
+                    let name = format!("{f}({col})");
+                    q = q.order(&name, SortOrder::Desc);
+                }
+                q = q.take(k);
+            }
+            let result = db.query(&table, &q)?;
+            Ok(Outcome::Table(result.pretty(20)))
+        }
+        Statement::Approx {
+            func,
+            column,
+            predicate,
+            within_pct,
+            confidence,
+        } => {
+            let table = active_table(active)?.to_owned();
+            let ans = db.approx_aggregate(
+                &table,
+                &predicate,
                 func,
+                &column,
+                Bound::RelativeError {
+                    target: within_pct / 100.0,
+                    confidence,
+                },
+            )?;
+            let (low, high) = ans.interval.bounds();
+            Ok(Outcome::Approximate {
+                estimate: ans.interval.estimate,
+                low,
+                high,
+                fraction_used: ans.fraction_used,
+            })
+        }
+        Statement::Samples {
+            fractions,
+            stratify,
+        } => {
+            let table = active_table(active)?.to_owned();
+            let strat_ref: Vec<(&str, usize)> =
+                stratify.iter().map(|(c, n)| (c.as_str(), *n)).collect();
+            db.build_samples(&table, &fractions, &strat_ref, 42)?;
+            Ok(Outcome::Message(format!(
+                "built {} uniform sample(s){} on {table}",
+                fractions.len(),
+                if stratify.is_some() {
+                    " + 1 stratified"
+                } else {
+                    ""
+                }
+            )))
+        }
+        Statement::Crack { column, low, high } => {
+            let table = active_table(active)?.to_owned();
+            let ids = db.cracked_range(&table, &column, low, high)?;
+            Ok(Outcome::RowIds(ids.len()))
+        }
+        Statement::RecommendViews { column, value, top } => {
+            let table = active_table(active)?.to_owned();
+            let target = Predicate::Cmp {
                 column,
-                predicate,
-                within_pct,
-                confidence,
-            } => {
-                let table = self.active_table()?.to_owned();
-                let ans = self.db.approx_aggregate(
-                    &table,
-                    &predicate,
-                    func,
-                    &column,
-                    Bound::RelativeError {
-                        target: within_pct / 100.0,
-                        confidence,
-                    },
-                )?;
-                let (low, high) = ans.interval.bounds();
-                Ok(Outcome::Approximate {
-                    estimate: ans.interval.estimate,
-                    low,
-                    high,
-                    fraction_used: ans.fraction_used,
-                })
-            }
-            Statement::Samples {
-                fractions,
-                stratify,
-            } => {
-                let table = self.active_table()?.to_owned();
-                let strat_ref: Vec<(&str, usize)> =
-                    stratify.iter().map(|(c, n)| (c.as_str(), *n)).collect();
-                self.db.build_samples(&table, &fractions, &strat_ref, 42)?;
-                Ok(Outcome::Message(format!(
-                    "built {} uniform sample(s){} on {table}",
-                    fractions.len(),
-                    if stratify.is_some() {
-                        " + 1 stratified"
-                    } else {
-                        ""
-                    }
-                )))
-            }
-            Statement::Crack { column, low, high } => {
-                let table = self.active_table()?.to_owned();
-                let ids = self.db.cracked_range(&table, &column, low, high)?;
-                Ok(Outcome::RowIds(ids.len()))
-            }
-            Statement::RecommendViews { column, value, top } => {
-                let table = self.active_table()?.to_owned();
-                let target = Predicate::Cmp {
-                    column,
-                    op: CmpOp::Eq,
-                    value,
-                };
-                let views = self.db.recommend_views(&table, &target, top)?;
-                Ok(Outcome::Views(
-                    views
-                        .into_iter()
-                        .map(|v| (v.spec.label(), v.utility))
-                        .collect(),
-                ))
-            }
-            Statement::Facets {
-                column,
+                op: CmpOp::Eq,
                 value,
-                support,
-                top,
-            } => {
-                let table = self.active_table()?.to_owned();
-                let target = Predicate::Cmp {
-                    column,
-                    op: CmpOp::Eq,
-                    value,
-                };
-                let facets = self.db.facets(&table, &target, support, top)?;
-                Ok(Outcome::Facets(
-                    facets
-                        .into_iter()
-                        .map(|f| (f.column, f.value, f.lift))
-                        .collect(),
-                ))
-            }
-            Statement::Diversify {
-                relevance,
-                features,
-                predicate,
-                top,
-                lambda,
-            } => {
-                let table = self.active_table()?.to_owned();
-                let feats: Vec<&str> = features.iter().map(String::as_str).collect();
-                let ids = self
-                    .db
-                    .diversified_topk(&table, &predicate, &relevance, &feats, top, lambda)?;
-                Ok(Outcome::Diversified(ids))
-            }
-            Statement::Synopses { buckets } => {
-                let table = self.active_table()?.to_owned();
-                self.db.build_synopses(&table, buckets)?;
-                Ok(Outcome::Message(format!(
-                    "built synopses ({buckets} buckets) on {table}"
-                )))
-            }
-            Statement::Estimate(kind) => {
-                let table = self.active_table()?.to_owned();
-                let ans = match &kind {
-                    EstimateKind::RangeCount { column, low, high } => {
-                        self.db.estimate_range_count(&table, column, *low, *high)?
-                    }
-                    EstimateKind::PointCount { column, value } => {
-                        self.db.estimate_point_count(&table, column, value)?
-                    }
-                    EstimateKind::Distinct { column } => {
-                        self.db.estimate_distinct(&table, column)?
-                    }
-                };
-                let source = match ans.answered_by {
-                    explore_aqp::AnsweredBy::EquiDepthHistogram => "equi-depth histogram",
-                    explore_aqp::AnsweredBy::CountMinSketch => "count-min sketch",
-                    explore_aqp::AnsweredBy::HyperLogLog => "hyperloglog",
-                };
-                Ok(Outcome::Estimate {
-                    value: ans.estimate,
-                    source,
-                })
-            }
-            Statement::Segment { measure, column, k } => {
-                let table = self.active_table()?.to_owned();
-                let t = self.db.table(&table)?;
-                let seg = match column {
-                    Some(col) => explore_explore::segment(t, &col, &measure, k)?,
-                    None => explore_explore::advise(t, &measure, k)?
-                        .into_iter()
-                        .next()
-                        .ok_or_else(|| {
-                            StorageError::InvalidQuery("no numeric columns to segment on".into())
-                        })?,
-                };
-                Ok(Outcome::Segmentation {
-                    column: seg.column,
-                    variance_explained: seg.variance_explained,
-                    segments: seg
-                        .segments
-                        .iter()
-                        .map(|s| (s.low, s.high, s.rows, s.measure_mean))
-                        .collect(),
-                })
-            }
-            Statement::Charts { top } => {
-                let table = self.active_table()?.to_owned();
-                let deck = self.db.propose_charts(&table, top)?;
-                Ok(Outcome::Charts(
-                    deck.into_iter()
-                        .map(|p| {
-                            let kind = match p.kind {
-                                explore_viz::ChartKind::Bar => "bar",
-                                explore_viz::ChartKind::HistogramChart => "hist",
-                                explore_viz::ChartKind::Scatter => "scatter",
-                            };
-                            (kind.to_owned(), p.columns, p.score)
-                        })
-                        .collect(),
-                ))
-            }
+            };
+            let views = db.recommend_views(&table, &target, top)?;
+            Ok(Outcome::Views(
+                views
+                    .into_iter()
+                    .map(|v| (v.spec.label(), v.utility))
+                    .collect(),
+            ))
+        }
+        Statement::Facets {
+            column,
+            value,
+            support,
+            top,
+        } => {
+            let table = active_table(active)?.to_owned();
+            let target = Predicate::Cmp {
+                column,
+                op: CmpOp::Eq,
+                value,
+            };
+            let facets = db.facets(&table, &target, support, top)?;
+            Ok(Outcome::Facets(
+                facets
+                    .into_iter()
+                    .map(|f| (f.column, f.value, f.lift))
+                    .collect(),
+            ))
+        }
+        Statement::Diversify {
+            relevance,
+            features,
+            predicate,
+            top,
+            lambda,
+        } => {
+            let table = active_table(active)?.to_owned();
+            let feats: Vec<&str> = features.iter().map(String::as_str).collect();
+            let ids = db.diversified_topk(&table, &predicate, &relevance, &feats, top, lambda)?;
+            Ok(Outcome::Diversified(ids))
+        }
+        Statement::Synopses { buckets } => {
+            let table = active_table(active)?.to_owned();
+            db.build_synopses(&table, buckets)?;
+            Ok(Outcome::Message(format!(
+                "built synopses ({buckets} buckets) on {table}"
+            )))
+        }
+        Statement::Estimate(kind) => {
+            let table = active_table(active)?.to_owned();
+            let ans = match &kind {
+                EstimateKind::RangeCount { column, low, high } => {
+                    db.estimate_range_count(&table, column, *low, *high)?
+                }
+                EstimateKind::PointCount { column, value } => {
+                    db.estimate_point_count(&table, column, value)?
+                }
+                EstimateKind::Distinct { column } => db.estimate_distinct(&table, column)?,
+            };
+            let source = match ans.answered_by {
+                explore_aqp::AnsweredBy::EquiDepthHistogram => "equi-depth histogram",
+                explore_aqp::AnsweredBy::CountMinSketch => "count-min sketch",
+                explore_aqp::AnsweredBy::HyperLogLog => "hyperloglog",
+            };
+            Ok(Outcome::Estimate {
+                value: ans.estimate,
+                source,
+            })
+        }
+        Statement::Segment { measure, column, k } => {
+            let table = active_table(active)?.to_owned();
+            let t = db.table(&table)?;
+            let seg = match column {
+                Some(col) => explore_explore::segment(&t, &col, &measure, k)?,
+                None => explore_explore::advise(&t, &measure, k)?
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| {
+                        StorageError::InvalidQuery("no numeric columns to segment on".into())
+                    })?,
+            };
+            Ok(Outcome::Segmentation {
+                column: seg.column,
+                variance_explained: seg.variance_explained,
+                segments: seg
+                    .segments
+                    .iter()
+                    .map(|s| (s.low, s.high, s.rows, s.measure_mean))
+                    .collect(),
+            })
+        }
+        Statement::Charts { top } => {
+            let table = active_table(active)?.to_owned();
+            let deck = db.propose_charts(&table, top)?;
+            Ok(Outcome::Charts(
+                deck.into_iter()
+                    .map(|p| {
+                        let kind = match p.kind {
+                            explore_viz::ChartKind::Bar => "bar",
+                            explore_viz::ChartKind::HistogramChart => "hist",
+                            explore_viz::ChartKind::Scatter => "scatter",
+                        };
+                        (kind.to_owned(), p.columns, p.score)
+                    })
+                    .collect(),
+            ))
         }
     }
 }
@@ -956,7 +970,7 @@ mod tests {
     use explore_storage::gen::{sales_table, SalesConfig};
 
     fn session() -> ExplorationSession {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1072,7 +1086,7 @@ mod tests {
         // Adaptive index.
         let out = s.execute("CRACK qty BETWEEN 3 AND 7;").unwrap();
         let truth = Predicate::range("qty", 3i64, 7i64)
-            .evaluate(s.db_mut().table("sales").unwrap())
+            .evaluate(&s.db().table("sales").unwrap())
             .unwrap()
             .len();
         assert!(matches!(out, Outcome::RowIds(n) if n == truth));
@@ -1112,7 +1126,7 @@ mod tests {
         let direct = Query::new()
             .filter(Predicate::eq("channel", "channel1"))
             .agg(AggFunc::Sum, "qty")
-            .run(s.db_mut().table("sales").unwrap())
+            .run(&s.db().table("sales").unwrap())
             .unwrap()
             .pretty(20);
         assert_eq!(via_lang, direct);
@@ -1159,7 +1173,7 @@ mod extended_verb_tests {
     use explore_storage::gen::{sales_table, SalesConfig};
 
     fn session() -> ExplorationSession {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1248,7 +1262,7 @@ mod estimate_verb_tests {
     use explore_storage::gen::{sales_table, SalesConfig};
 
     fn session() -> ExplorationSession {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1274,7 +1288,7 @@ mod estimate_verb_tests {
         match out {
             Outcome::Estimate { value, source } => {
                 let truth = Predicate::range("price", 50.0, 250.0)
-                    .evaluate(s.db_mut().table("sales").unwrap())
+                    .evaluate(&s.db().table("sales").unwrap())
                     .unwrap()
                     .len() as f64;
                 assert!((value - truth).abs() / truth < 0.15, "{value} vs {truth}");
@@ -1334,7 +1348,7 @@ mod segment_verb_tests {
 
     #[test]
     fn segment_verb_with_and_without_by() {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -1365,5 +1379,64 @@ mod segment_verb_tests {
         assert!(parse("SEGMENT price BY discount").is_err(), "missing INTO");
         let o = s.execute("SEGMENT price BY qty INTO 2").unwrap();
         assert!(o.to_string().contains("variance explained"));
+    }
+}
+
+#[cfg(test)]
+mod session_scoped_tests {
+    use super::*;
+    use crate::CancelToken;
+    use explore_storage::gen::{sales_table, SalesConfig};
+    use std::time::Duration;
+
+    fn session() -> ExplorationSession {
+        let db = ExploreDb::new();
+        db.register(
+            "sales",
+            sales_table(&SalesConfig {
+                rows: 20_000,
+                ..SalesConfig::default()
+            }),
+        );
+        ExplorationSession::with_db(db)
+    }
+
+    /// `execute_with` scopes budgets to one statement: an expired
+    /// deadline or a tripped cancel token cuts that statement and
+    /// leaves no residue on the session or the engine.
+    #[test]
+    fn execute_with_scopes_budgets_to_the_statement() {
+        let mut s = session();
+        s.execute("USE sales;").unwrap();
+
+        let expired = SessionCtx::default().with_deadline(Some(Duration::ZERO));
+        let err = s
+            .execute_with(&expired, "SELECT avg(price) GROUP BY region;")
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DeadlineExceeded));
+
+        let cancelled = SessionCtx::default().with_cancel(Some(CancelToken::after_checks(0)));
+        let err = s
+            .execute_with(&cancelled, "SELECT avg(price) GROUP BY region;")
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Cancelled));
+
+        // The default path is untouched: no global state was set.
+        assert!(s.execute("SELECT avg(price) GROUP BY region;").is_ok());
+        // And a roomy per-statement budget doesn't cut anything.
+        let roomy = SessionCtx::default().with_deadline(Some(Duration::from_secs(3600)));
+        assert!(s
+            .execute_with(&roomy, "SELECT avg(price) GROUP BY region;")
+            .is_ok());
+    }
+
+    /// Session state (the active table) still advances when a statement
+    /// runs under an overlay.
+    #[test]
+    fn execute_with_still_tracks_the_active_table() {
+        let mut s = session();
+        let roomy = SessionCtx::default().with_deadline(Some(Duration::from_secs(3600)));
+        s.execute_with(&roomy, "USE sales;").unwrap();
+        assert!(s.execute_with(&roomy, "SELECT count(qty);").is_ok());
     }
 }

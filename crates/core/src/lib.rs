@@ -25,7 +25,7 @@
 //! use explore_core::ExploreDb;
 //! use explore_storage::{gen, AggFunc, Predicate, Query};
 //!
-//! let mut db = ExploreDb::new();
+//! let db = ExploreDb::new();
 //! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
 //! let result = db.query(
 //!     "sales",

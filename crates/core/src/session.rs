@@ -28,11 +28,12 @@ use explore_obs::ObsPolicy;
 #[derive(Clone, Default)]
 pub struct SessionCtx {
     /// Session-scoped cancellation token. A fresh session owns one;
-    /// `None` inherits the engine's `set_cancel_token` token.
+    /// `None` means the session cannot be cancelled (there is no
+    /// engine-global token to fall back to).
     pub cancel: Option<CancelToken>,
     /// Per-query deadline budget; a fresh token is minted per call so
-    /// each query gets the full budget. `None` inherits the engine's
-    /// `set_query_deadline` knob.
+    /// each query gets the full budget. `None` means no deadline —
+    /// budgets exist only at session scope.
     pub deadline: Option<Duration>,
     /// Execution-policy overlay. `None` inherits the engine knob.
     pub exec: Option<ExecPolicy>,

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use explore_exec::{global_pool, parallel_profitable, ExecPolicy};
-use explore_fault::FailPoints;
+use explore_fault::{CancelToken, FailPoints};
 use explore_obs::MetricsRegistry;
 use parking_lot::RwLock;
 
@@ -130,6 +130,48 @@ impl ConcurrentCracker {
         drop(col);
         self.bump(&self.exclusive, "crack.exclusive_locks");
         e - s
+    }
+
+    /// Matching base-table row ids for `[low, high)` (cracked order),
+    /// honoring the cooperative `cancel` protocol of
+    /// [`CrackerColumn::query_bounds`]. Boundaries already indexed are
+    /// answered under the shared lock; the shared path performs the same
+    /// number of cancel checks as the exclusive one, so cooperative
+    /// check budgets observe identical counts either way.
+    pub fn query_ids(
+        &self,
+        low: i64,
+        high: i64,
+        cancel: Option<&CancelToken>,
+    ) -> explore_storage::Result<Vec<u32>> {
+        {
+            let col = self.inner.read();
+            if low >= high || col.values().is_empty() {
+                return Ok(Vec::new());
+            }
+            if let Some((s, e)) = col.lookup(low, high) {
+                if let Some(c) = cancel {
+                    c.check()?;
+                    c.check()?;
+                }
+                let ids = col.ids()[s..e].to_vec();
+                drop(col);
+                self.bump(&self.shared, "crack.shared_locks");
+                return Ok(ids);
+            }
+        }
+        let mut col = self.inner.write();
+        let result = col
+            .query_bounds(low, high, cancel)
+            .map(|(s, e)| col.ids()[s..e].to_vec());
+        drop(col);
+        self.bump(&self.exclusive, "crack.exclusive_locks");
+        result
+    }
+
+    /// Pieces the underlying column currently has.
+    pub fn num_pieces(&self) -> usize {
+        self.inner.read().num_pieces()
     }
 
     /// Sum of values in `[low, high)` (a representative aggregate that

@@ -41,11 +41,11 @@ pub struct QueryCtx<'t> {
     /// Fail-point registry consulted at hazard sites. `None` means no
     /// injection (the common path for direct library use).
     pub faults: Option<Arc<FailPoints>>,
-    /// Session-scoped cancellation token (set via
-    /// `ExploreDb::set_cancel_token` or a `with_cancel` builder).
+    /// Session-scoped cancellation token (carried by the installed
+    /// `SessionCtx` overlay or a `with_cancel` builder).
     pub cancel: Option<CancelToken>,
-    /// Per-call deadline token, minted from the engine's
-    /// `QueryDeadline` when one is configured.
+    /// Per-call deadline token, minted from the session's deadline
+    /// budget when one is configured.
     pub deadline: Option<CancelToken>,
     /// Cooperative yield hook, consulted at every `check_cancel`
     /// boundary after both tokens pass. `None` (the default) costs one

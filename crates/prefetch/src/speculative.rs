@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use explore_cache::{cached_query, Fingerprint, ResultCache};
+use explore_cache::{cached_query_at_epoch, Fingerprint, ResultCache};
 use explore_exec::QueryCtx;
 use explore_fault::CancelToken;
 use explore_obs::MetricsRegistry;
@@ -94,13 +94,21 @@ impl SpeculationStats {
 struct SharedCache {
     cache: Arc<ResultCache>,
     table_name: String,
+    /// The table's mutation epoch as of attach time, read by the caller
+    /// *before* snapshotting the table this executor owns. Admissions
+    /// use it so a mutation that raced the attach leaves entries refused
+    /// (dead epoch), never stale.
+    epoch: u64,
 }
 
 /// A query middleware that caches answers and speculatively executes
 /// neighbor queries after each foreground request.
 #[derive(Debug)]
-pub struct SpeculativeExecutor<'a> {
-    table: &'a Table,
+pub struct SpeculativeExecutor {
+    /// The owned, immutable table snapshot queries run against. An
+    /// `Arc` so a concurrent engine can hand out executors without
+    /// borrowing from its catalog.
+    table: Arc<Table>,
     cache: Mutex<HashMap<RangeRequest, f64>>,
     /// When set, answers live in the shared semantic result cache
     /// instead of the private map.
@@ -115,11 +123,12 @@ pub struct SpeculativeExecutor<'a> {
     cancel: Option<CancelToken>,
 }
 
-impl<'a> SpeculativeExecutor<'a> {
-    /// Wrap a table. `budget` neighbor queries run after each request.
-    pub fn new(table: &'a Table, budget: usize) -> Self {
+impl SpeculativeExecutor {
+    /// Wrap a table snapshot (a `Table` or an `Arc<Table>`). `budget`
+    /// neighbor queries run after each request.
+    pub fn new(table: impl Into<Arc<Table>>, budget: usize) -> Self {
         SpeculativeExecutor {
-            table,
+            table: table.into(),
             cache: Mutex::new(HashMap::new()),
             shared: None,
             budget,
@@ -150,13 +159,22 @@ impl<'a> SpeculativeExecutor<'a> {
         }
     }
 
-    /// Store answers in the engine's shared result cache (under
-    /// `table_name`'s epoch) rather than this session's private map.
-    /// Eviction and invalidation then follow the shared cache's policy.
-    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>, table_name: &str) -> Self {
+    /// Store answers in the engine's shared result cache rather than
+    /// this session's private map. Eviction and invalidation then follow
+    /// the shared cache's policy. `epoch` is `table_name`'s mutation
+    /// epoch, and the caller must read it **before** taking the table
+    /// snapshot this executor was built from (see
+    /// `explore_cache::cached_query_at_epoch`).
+    pub fn with_shared_cache(
+        mut self,
+        cache: Arc<ResultCache>,
+        table_name: &str,
+        epoch: u64,
+    ) -> Self {
         self.shared = Some(SharedCache {
             cache,
             table_name: table_name.to_owned(),
+            epoch,
         });
         self
     }
@@ -246,9 +264,12 @@ impl<'a> SpeculativeExecutor<'a> {
         let ctx = QueryCtx::new(explore_exec::ExecPolicy::Serial).with_cancel(self.cancel.clone());
         let result = match &self.shared {
             // The shared path serves hits, subsumption reuse and
-            // admission inside `cached_query`.
-            Some(s) => cached_query(&s.cache, self.table, &s.table_name, &query, &ctx)?,
-            None => query.run(self.table)?,
+            // admission inside `cached_query_at_epoch`, admitting under
+            // the attach-time epoch.
+            Some(s) => {
+                cached_query_at_epoch(&s.cache, &self.table, &s.table_name, &query, &ctx, s.epoch)?
+            }
+            None => query.run(&self.table)?,
         };
         let name = format!("{}({})", req.func, req.measure);
         let col = result
@@ -300,7 +321,7 @@ mod tests {
     #[test]
     fn answers_are_exact() {
         let t = table();
-        let ex = SpeculativeExecutor::new(&t, 4);
+        let ex = SpeculativeExecutor::new(t.clone(), 4);
         let got = ex.execute(&req(2, 5)).unwrap();
         let sel = Predicate::range("qty", 2i64, 5i64).evaluate(&t).unwrap();
         let prices = t.column("price").unwrap().as_f64().unwrap();
@@ -311,8 +332,8 @@ mod tests {
     #[test]
     fn panning_sessions_hit_the_speculated_neighbors() {
         let t = table();
-        let spec = SpeculativeExecutor::new(&t, 4);
-        let base = SpeculativeExecutor::new(&t, 0);
+        let spec = SpeculativeExecutor::new(t.clone(), 4);
+        let base = SpeculativeExecutor::new(t.clone(), 0);
         // A pan-right session: each request is the previous shifted by
         // its width — exactly the "pan right" neighbor.
         for step in 0..4 {
@@ -330,7 +351,7 @@ mod tests {
     #[test]
     fn budget_zero_disables_speculation() {
         let t = table();
-        let ex = SpeculativeExecutor::new(&t, 0);
+        let ex = SpeculativeExecutor::new(t.clone(), 0);
         ex.execute(&req(2, 5)).unwrap();
         assert_eq!(ex.stats().speculative_runs, 0);
         assert_eq!(ex.cached(), 1, "only the foreground answer");
@@ -339,7 +360,7 @@ mod tests {
     #[test]
     fn repeat_requests_are_hits_even_without_speculation() {
         let t = table();
-        let ex = SpeculativeExecutor::new(&t, 0);
+        let ex = SpeculativeExecutor::new(t.clone(), 0);
         ex.execute(&req(2, 5)).unwrap();
         ex.execute(&req(2, 5)).unwrap();
         let s = ex.stats();
@@ -351,8 +372,12 @@ mod tests {
     fn shared_cache_mode_matches_private_and_is_engine_visible() {
         let t = table();
         let shared = Arc::new(ResultCache::default());
-        let spec = SpeculativeExecutor::new(&t, 4).with_shared_cache(Arc::clone(&shared), "sales");
-        let base = SpeculativeExecutor::new(&t, 4);
+        let spec = SpeculativeExecutor::new(t.clone(), 4).with_shared_cache(
+            Arc::clone(&shared),
+            "sales",
+            shared.epoch("sales"),
+        );
+        let base = SpeculativeExecutor::new(t.clone(), 4);
         for step in 0..4 {
             let r = req(1 + step * 2, 3 + step * 2);
             assert_eq!(spec.execute(&r).unwrap(), base.execute(&r).unwrap());
@@ -367,7 +392,15 @@ mod tests {
             .filter(Predicate::range("qty", 1i64, 3i64))
             .agg(AggFunc::Sum, "price");
         let hits_before = shared.stats().hits;
-        cached_query(&shared, &t, "sales", &q, &QueryCtx::none()).unwrap();
+        cached_query_at_epoch(
+            &shared,
+            &t,
+            "sales",
+            &q,
+            &QueryCtx::none(),
+            shared.epoch("sales"),
+        )
+        .unwrap();
         assert_eq!(shared.stats().hits, hits_before + 1);
         // An epoch bump (mutation) empties the session's view of the cache.
         shared.bump_epoch("sales");

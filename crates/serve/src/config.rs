@@ -7,12 +7,13 @@ use std::time::Duration;
 /// thread.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads draining the run queue. The engine itself is
-    /// `&mut`-serialized, so workers pipeline dispatch/accounting around
-    /// the engine lock rather than executing queries concurrently;
-    /// in-query parallelism still comes from the exec pool. Small values
-    /// (≤ 4) are the intended regime — the point of the layer is
-    /// sessions ≫ workers.
+    /// Worker threads draining the run queue. The engine's query path
+    /// is `&self` (per-table internal locks, no global lock), so workers
+    /// execute queries genuinely concurrently — read-heavy sessions
+    /// scale with workers up to the core count, on top of the in-query
+    /// parallelism from the exec pool. Small values (≤ core count) are
+    /// the intended regime — the point of the layer is sessions ≫
+    /// workers.
     pub workers: usize,
     /// Admission bound: `submit` returns a typed
     /// [`Overloaded`](explore_storage::StorageError::Overloaded) error

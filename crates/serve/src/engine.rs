@@ -54,10 +54,10 @@ impl ServeEngine {
 
     /// Run `f` directly against the engine, outside the scheduler —
     /// for setup (registering tables, flipping engine-wide policies)
-    /// and inspection (metrics, cache stats). Blocks until in-flight
-    /// scheduled queries release the engine lock.
-    pub fn with_engine<R>(&self, f: impl FnOnce(&mut ExploreDb) -> R) -> R {
-        f(&mut self.shared.db.lock())
+    /// and inspection (metrics, cache stats). The engine is shared, not
+    /// locked: `f` runs concurrently with in-flight scheduled queries.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&ExploreDb) -> R) -> R {
+        f(&self.shared.db)
     }
 
     /// Tasks currently waiting in the run queue (in-flight tasks have
@@ -82,8 +82,8 @@ impl Drop for ServeEngine {
     fn drop(&mut self) {
         self.shared.begin_shutdown();
         for h in self.workers.drain(..) {
-            // A worker that panicked already poisoned nothing (the db
-            // lock is parking_lot); don't double-panic during drop.
+            // A panicking worker poisons nothing; don't double-panic
+            // during drop.
             let _ = h.join();
         }
     }
@@ -107,7 +107,7 @@ mod tests {
     use std::time::Duration;
 
     fn served(rows: usize, cfg: ServeConfig) -> ServeEngine {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn scheduled_query_matches_direct_engine() {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         let table = sales_table(&SalesConfig {
             rows: 4_000,
             ..SalesConfig::default()

@@ -27,17 +27,20 @@
 //!   sessions can't be starved; queries cooperatively yield at every
 //!   existing `check_cancel` boundary via the `QueryCtx` yield hook.
 //!
-//! Results are bit-identical to direct engine calls: the scheduler
-//! changes *when* a query runs, never *what* it computes — the
-//! serve-differential suite asserts this across query shapes, exec
-//! policies, and cache states.
+//! Workers execute against one *shared* engine — the query path is
+//! `&self` with per-table internal locking (DESIGN.md §14), so
+//! overlapping service spans are real concurrency, not time slicing
+//! around a global engine lock. Results are bit-identical to direct
+//! engine calls: the scheduler changes *when* a query runs, never
+//! *what* it computes — the serve-differential suite asserts this
+//! across query shapes, exec policies, and cache states.
 //!
 //! ```
 //! use explore_core::ExploreDb;
 //! use explore_serve::{ServeConfig, ServeEngine};
 //! use explore_storage::{gen, AggFunc, Query};
 //!
-//! let mut db = ExploreDb::new();
+//! let db = ExploreDb::new();
 //! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
 //! let serve = ServeEngine::with_config(db, ServeConfig::with_workers(2));
 //! let session = serve.session();

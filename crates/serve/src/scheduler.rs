@@ -13,11 +13,14 @@
 //! 3. **seq** — global submission order, so equal-priority tasks run
 //!    FIFO and the pop order is fully deterministic.
 //!
-//! Queries cannot be preempted mid-flight (the engine is
-//! `&mut`-serialized), so fairness is enforced at dispatch: every pop
-//! takes the minimum key. Inside a running query, the installed
-//! [`YieldHook`] turns every existing `check_cancel` boundary into a
-//! cooperative yield point and a `serve.yield` fail-point site.
+//! Queries cannot be preempted mid-flight, so fairness is enforced at
+//! dispatch: every pop takes the minimum key. Workers run popped jobs
+//! *concurrently* against the shared engine — the engine's query path
+//! is `&self` and internally locked per table, so overlapping service
+//! spans are real parallelism, not time slicing. Inside a running
+//! query, the installed [`YieldHook`] turns every existing
+//! `check_cancel` boundary into a cooperative yield point and a
+//! `serve.yield` fail-point site.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,18 +28,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
+use crate::config::ServeConfig;
+use crate::ticket::{Payload, TicketShared};
 use explore_core::{ExploreDb, SessionCtx};
 use explore_exec::YieldHook;
 use explore_fault::FailPoints;
 use explore_obs::Tracer;
 use explore_storage::{Result, StorageError};
-use parking_lot::Mutex;
-
-use crate::config::ServeConfig;
-use crate::ticket::{Payload, TicketShared};
 
 /// The type-erased work closure a session submits for execution.
-pub(crate) type RunFn = Box<dyn FnOnce(&mut ExploreDb) -> Result<Payload> + Send>;
+pub(crate) type RunFn = Box<dyn FnOnce(&ExploreDb) -> Result<Payload> + Send>;
 
 /// One queued query: the work closure, the ticket to fulfill, the
 /// submitting session's accounting handle, and its priority key.
@@ -76,9 +77,10 @@ impl Ord for Job {
 
 /// Everything the workers, sessions, and the facade share.
 pub(crate) struct Shared {
-    /// The engine. `parking_lot` (no poisoning): a panicking query must
-    /// not wedge every other session.
-    pub(crate) db: Mutex<ExploreDb>,
+    /// The engine, shared directly: its query path is `&self`, so
+    /// workers execute against it concurrently with no serving-layer
+    /// lock at all.
+    pub(crate) db: ExploreDb,
     /// The run queue, min-ordered by [`TaskKey`].
     queue: StdMutex<BinaryHeap<Reverse<Job>>>,
     /// Signals workers that work arrived (or shutdown began).
@@ -100,7 +102,7 @@ impl Shared {
         let faults = db.fail_points();
         let tracer = db.tracer();
         Shared {
-            db: Mutex::new(db),
+            db,
             queue: StdMutex::new(BinaryHeap::new()),
             work: Condvar::new(),
             cfg,
@@ -177,8 +179,8 @@ impl Shared {
 
     /// Run one job to completion on the calling thread: install the
     /// session overlay (plus the cooperative yield hook), run the
-    /// closure under the engine lock, account the session's consumed
-    /// service time, and fulfill the ticket. `inline` marks the
+    /// closure against the shared engine, account the session's
+    /// consumed service time, and fulfill the ticket. `inline` marks the
     /// admission-degradation path (no queueing delay to record).
     pub(crate) fn execute(&self, job: Job, inline: bool) {
         if !inline {
@@ -188,10 +190,7 @@ impl Shared {
         }
         let overlay = job.overlay.with_yield_hook(Some(self.yield_hook()));
         let started = Instant::now();
-        let result = {
-            let mut db = self.db.lock();
-            db.with_session(&overlay, |db| (job.run)(db))
-        };
+        let result = self.db.with_session(&overlay, |db| (job.run)(db));
         let service_ns = started.elapsed().as_nanos() as u64;
         job.consumed_ns.fetch_add(service_ns, Ordering::Relaxed);
         self.metric_observe("serve.service_ns", service_ns);

@@ -105,11 +105,11 @@ impl Session {
     /// degraded scheduling.
     pub fn submit<R, F>(&self, f: F) -> Result<Ticket<R>>
     where
-        F: FnOnce(&mut ExploreDb) -> Result<R> + Send + 'static,
+        F: FnOnce(&ExploreDb) -> Result<R> + Send + 'static,
         R: Send + 'static,
     {
         let ticket = Arc::new(TicketShared::new());
-        let run = Box::new(move |db: &mut ExploreDb| f(db).map(|r| Box::new(r) as Payload));
+        let run = Box::new(move |db: &ExploreDb| f(db).map(|r| Box::new(r) as Payload));
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
         let quantum_ns = (self.shared.cfg.quantum.as_nanos() as u64).max(1);
         let key = TaskKey {
@@ -141,7 +141,7 @@ impl Session {
     /// Submit one engine call and block for its result.
     pub fn run<R, F>(&self, f: F) -> Result<R>
     where
-        F: FnOnce(&mut ExploreDb) -> Result<R> + Send + 'static,
+        F: FnOnce(&ExploreDb) -> Result<R> + Send + 'static,
         R: Send + 'static,
     {
         self.submit(f)?.wait()

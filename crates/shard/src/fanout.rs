@@ -42,7 +42,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use explore_cache::{cached_query, Fingerprint, ResultCache};
+use explore_cache::{cached_query_at_epoch, Fingerprint, ResultCache};
 use explore_exec::{
     global_pool, morsel_count, morsel_range, parallel_profitable, run_query, ExecPolicy, QueryCtx,
 };
@@ -52,12 +52,18 @@ use explore_storage::{
 };
 use parking_lot::Mutex;
 
-use crate::table::{scoped_name, Shard, ShardedTable};
+use crate::table::{scoped_name, ShardSnapshot, ShardedTable};
 
 /// Execute `query` against the sharded mirror of a registered table.
 /// `cache` is `Some` iff the engine's cache policy is on; per-shard
 /// scan results and whole-table aggregate results are then served and
 /// admitted through it. See the module docs for the exactness contract.
+///
+/// Epoch protocol for concurrent engines: every cache epoch this
+/// fan-out admits under is read **before** the shard snapshot is taken
+/// (see [`explore_cache::cached_query_at_epoch`]) — mutations write
+/// shard data first and bump epochs second, so the snapshot is always
+/// at least as new as the epochs its results are admitted under.
 pub fn run_sharded_query(
     sharded: &ShardedTable,
     cache: Option<&ResultCache>,
@@ -88,18 +94,25 @@ fn run_scan(
     stripped.order_by = None;
     stripped.limit = None;
 
-    let pieces = dispatch(ctx, sharded.shard_count(), |s| {
-        let shard = &sharded.shards()[s];
-        match cache {
-            Some(c) => cached_query(
-                c,
-                &shard.table,
-                &scoped_name(sharded.name(), s),
-                &stripped,
-                ctx,
-            ),
-            None => run_query(&shard.table, &stripped, ctx),
-        }
+    // Scoped epochs first, then the snapshot (see the entry-point docs).
+    let epochs: Vec<u64> = match cache {
+        Some(c) => (0..sharded.shard_count())
+            .map(|s| c.epoch(&scoped_name(sharded.name(), s)))
+            .collect(),
+        None => Vec::new(),
+    };
+    let snap = sharded.snapshot();
+
+    let pieces = dispatch(ctx, snap.shard_count(), |s| match cache {
+        Some(c) => cached_query_at_epoch(
+            c,
+            snap.table(s),
+            &scoped_name(snap.name(), s),
+            &stripped,
+            ctx,
+            epochs[s],
+        ),
+        None => run_query(snap.table(s), &stripped, ctx),
     })?;
 
     let merged = merge_guarded(ctx, || {
@@ -132,6 +145,10 @@ fn run_agg(
     query: &Query,
     ctx: &QueryCtx,
 ) -> Result<Table> {
+    // The composite key reads every scoped epoch (and the base admission
+    // epoch) *before* the snapshot below — the epoch-before-snapshot rule
+    // again: a concurrent mutation in the window makes this run admit
+    // under pre-mutation epochs, which the mutation's bump then kills.
     let keyed = cache.map(|c| {
         let mut key = format!("shard|k={}|", sharded.shard_count());
         for s in 0..sharded.shard_count() {
@@ -145,6 +162,7 @@ fn run_agg(
             c.epoch(sharded.name()),
         )
     });
+    let snap = sharded.snapshot();
 
     let lookup_start = ctx.trace.map(|t| t.now_ns());
     if let Some((c, fp, _)) = &keyed {
@@ -157,7 +175,7 @@ fn run_agg(
     }
 
     let started = Instant::now();
-    let result = sharded_aggregate(sharded, query, ctx)?;
+    let result = sharded_aggregate(&snap, query, ctx)?;
     let cost_ns = started.elapsed().as_nanos();
 
     if let Some((c, fp, epoch)) = keyed {
@@ -179,16 +197,16 @@ fn run_agg(
 /// per-shard batch production out over the pool, rebuild straddling
 /// morsels from bitwise mini-tables, absorb everything in global morsel
 /// order, then order/limit once.
-fn sharded_aggregate(sharded: &ShardedTable, query: &Query, ctx: &QueryCtx) -> Result<Table> {
-    let n_total = sharded.num_rows();
+fn sharded_aggregate(snap: &ShardSnapshot, query: &Query, ctx: &QueryCtx) -> Result<Table> {
+    let n_total = snap.num_rows();
     let n_morsels = morsel_count(n_total);
 
-    let per_shard = dispatch(ctx, sharded.shard_count(), |s| {
-        shard_batches(&sharded.shards()[s], query, n_total, ctx)
+    let per_shard = dispatch(ctx, snap.shard_count(), |s| {
+        shard_batches(snap.table(s), snap.range(s), query, n_total, ctx)
     })?;
 
     // Straddling morsels: rebuilt exactly, at most (shards − 1) of them.
-    let minis = straddle_minis(sharded, n_total)?;
+    let minis = straddle_minis(snap, n_total)?;
     let mut straddle_parts: Vec<(usize, WorkerAggState<'_>, MorselAggBatch)> =
         Vec::with_capacity(minis.len());
     for (m, mini) in &minis {
@@ -216,11 +234,7 @@ fn sharded_aggregate(sharded: &ShardedTable, query: &Query, ctx: &QueryCtx) -> R
         // in it performs the unsharded run's exact accumulator-merge
         // sequence.
         parts.sort_by_key(|p| p.0);
-        let mut acc = GroupedAggState::new(
-            &sharded.shards()[0].table,
-            &query.group_by,
-            &query.aggregates,
-        )?;
+        let mut acc = GroupedAggState::new(snap.table(0), &query.group_by, &query.aggregates)?;
         for (_, worker, batch) in &parts {
             acc.absorb_batch(worker, batch);
         }
@@ -236,12 +250,12 @@ fn sharded_aggregate(sharded: &ShardedTable, query: &Query, ctx: &QueryCtx) -> R
 /// over aggregate-validation errors within a morsel, as in the
 /// unsharded path.
 fn shard_batches<'t>(
-    shard: &'t Shard,
+    table: &'t Table,
+    range: std::ops::Range<usize>,
     query: &'t Query,
     n_total: usize,
     ctx: &QueryCtx,
 ) -> Result<ShardAgg<'t>> {
-    let range = shard.range();
     let mut out = ShardAgg {
         worker: None,
         batches: Vec::new(),
@@ -253,10 +267,10 @@ fn shard_batches<'t>(
         }
         ctx.check_cancel()?;
         let local = g.start - range.start..g.end - range.start;
-        let sel = query.predicate.evaluate_range(&shard.table, local)?;
+        let sel = query.predicate.evaluate_range(table, local)?;
         if out.worker.is_none() {
             out.worker = Some(WorkerAggState::new(
-                &shard.table,
+                table,
                 &query.group_by,
                 &query.aggregates,
             )?);
@@ -275,26 +289,26 @@ fn shard_batches<'t>(
 /// boundary: the morsel's row fragments gathered from each involved
 /// shard and appended in shard (= global row) order, so per-row values
 /// and their order match the unsharded morsel exactly.
-fn straddle_minis(sharded: &ShardedTable, n_total: usize) -> Result<Vec<(usize, Table)>> {
+fn straddle_minis(snap: &ShardSnapshot, n_total: usize) -> Result<Vec<(usize, Table)>> {
     let mut out = Vec::new();
     for m in 0..morsel_count(n_total) {
         let g = morsel_range(m, n_total);
-        let contained = sharded.shards().iter().any(|s| {
-            let r = s.range();
+        let contained = (0..snap.shard_count()).any(|s| {
+            let r = snap.range(s);
             g.start >= r.start && g.end <= r.end
         });
         if contained {
             continue;
         }
         let mut mini: Option<Table> = None;
-        for shard in sharded.shards() {
-            let r = shard.range();
+        for s in 0..snap.shard_count() {
+            let r = snap.range(s);
             let (a, b) = (g.start.max(r.start), g.end.min(r.end));
             if a >= b {
                 continue;
             }
             let sel: Vec<u32> = ((a - r.start) as u32..(b - r.start) as u32).collect();
-            let fragment = shard.table.gather(&sel);
+            let fragment = snap.table(s).gather(&sel);
             match &mut mini {
                 None => mini = Some(fragment),
                 Some(t) => t.append(&fragment)?,
@@ -479,7 +493,7 @@ mod tests {
         // fall inside morsels.
         let t = sales(2 * MORSEL_ROWS);
         let st = sharded(&t, 3);
-        let minis = straddle_minis(&st, st.num_rows()).unwrap();
+        let minis = straddle_minis(&st.snapshot(), st.num_rows()).unwrap();
         assert_eq!(minis.len(), 2);
         for (m, mini) in &minis {
             let g = morsel_range(*m, st.num_rows());

@@ -21,4 +21,4 @@ mod table;
 
 pub use fanout::run_sharded_query;
 pub use policy::{ShardConfig, ShardPolicy};
-pub use table::{scoped_name, Shard, ShardStats, ShardedTable};
+pub use table::{scoped_name, Shard, ShardSnapshot, ShardStats, ShardedTable};

@@ -12,13 +12,31 @@
 //! [`scoped_name`]`(t, i)`, so a mutation to one shard bumps only that
 //! shard's epoch and the other shards' entries stay live. That epoch
 //! locality is the point of sharding a cache-fronted engine.
+//!
+//! **Locking.** Every shard carries its own `RwLock`, so sessions that
+//! mutate *disjoint* shards of one table proceed concurrently, and
+//! queries never block behind a mutation for longer than an `Arc`
+//! clone. The two multi-shard operations acquire their guards in
+//! ascending shard order and hold them together — ordered two-phase
+//! locking, so they serialize against each other without deadlock:
+//!
+//! * [`ShardedTable::snapshot`] (read guards over every shard) gives a
+//!   query a consistent cut of the whole shard set;
+//! * [`ShardedTable::update_where`] (write guards over the touched
+//!   shards) applies a multi-shard update atomically with respect to
+//!   snapshots — no snapshot observes half of one update.
+//!
+//! Single-shard mutations ([`ShardedTable::push_row`],
+//! [`ShardedTable::append_rows`]) lock only the last shard.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use explore_cracking::CrackerColumn;
 use explore_exec::morsel_rows_for;
 use explore_fault::CancelToken;
 use explore_storage::{Result, StorageError, Table, Value};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::policy::ShardConfig;
 
@@ -31,22 +49,24 @@ pub fn scoped_name(table: &str, shard: usize) -> String {
 
 /// One contiguous row-range shard: a bitwise copy of the base table's
 /// rows `[start, start + rows)` plus this shard's private adaptive
-/// indexes.
+/// indexes, behind the shard's own reader-writer lock.
 #[derive(Debug)]
 pub struct Shard {
-    /// This shard's rows, in base-table order.
-    pub(crate) table: Table,
-    /// Global row id of this shard's first row.
-    pub(crate) start: usize,
-    /// Per-column cracker state, converging independently per shard.
-    pub(crate) crackers: HashMap<String, CrackerColumn>,
+    /// Global row id of this shard's first row (fixed at build).
+    start: usize,
+    state: RwLock<ShardState>,
 }
 
-impl Shard {
-    /// Global row range `[start, end)` of this shard.
-    pub(crate) fn range(&self) -> std::ops::Range<usize> {
-        self.start..self.start + self.table.num_rows()
-    }
+/// A shard's lock-protected contents. The table is `Arc`-shared so a
+/// snapshot is one refcount bump; mutations go through `Arc::make_mut`
+/// (in place while unshared, copy-on-write while a snapshot is live),
+/// so a reader's snapshot is immutable by construction — torn reads
+/// cannot happen.
+#[derive(Debug)]
+struct ShardState {
+    table: Arc<Table>,
+    /// Per-column cracker state, converging independently per shard.
+    crackers: HashMap<String, CrackerColumn>,
 }
 
 /// Point-in-time statistics of one shard, via
@@ -65,6 +85,45 @@ pub struct ShardStats {
     pub crackers: usize,
     /// Total cracker pieces across this shard's columns.
     pub pieces: usize,
+}
+
+/// A consistent cut of a sharded table: every shard's table `Arc` plus
+/// its global start row, captured while holding all shard read guards
+/// (ascending order). Queries fan out over the snapshot lock-free; a
+/// concurrent mutation copy-on-writes new shard tables and can never
+/// reach into these.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    name: String,
+    tables: Vec<Arc<Table>>,
+    starts: Vec<usize>,
+}
+
+impl ShardSnapshot {
+    /// The base table's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total rows across all shards.
+    pub fn num_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.num_rows()).sum()
+    }
+
+    /// Shard `i`'s table, as of the snapshot.
+    pub fn table(&self, i: usize) -> &Table {
+        &self.tables[i]
+    }
+
+    /// Global row range `[start, end)` of shard `i`, as of the snapshot.
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.starts[i]..self.starts[i] + self.tables[i].num_rows()
+    }
 }
 
 /// A table partitioned into independent contiguous row-range shards.
@@ -104,9 +163,11 @@ impl ShardedTable {
                 let (start, end) = (boundary(i), boundary(i + 1));
                 let sel: Vec<u32> = (start as u32..end as u32).collect();
                 Shard {
-                    table: table.gather(&sel),
                     start,
-                    crackers: HashMap::new(),
+                    state: RwLock::new(ShardState {
+                        table: Arc::new(table.gather(&sel)),
+                        crackers: HashMap::new(),
+                    }),
                 }
             })
             .collect();
@@ -126,83 +187,124 @@ impl ShardedTable {
         self.shards.len()
     }
 
-    /// Total rows across all shards.
+    /// Total rows across all shards (a consistent count: taken from a
+    /// full snapshot).
     pub fn num_rows(&self) -> usize {
-        self.shards.iter().map(|s| s.table.num_rows()).sum()
+        self.snapshot().num_rows()
     }
 
-    pub(crate) fn shards(&self) -> &[Shard] {
-        &self.shards
+    /// A consistent cut of every shard: all shard read guards are
+    /// acquired in ascending order and held together while the table
+    /// `Arc`s are cloned, so the snapshot observes each multi-shard
+    /// update entirely or not at all (update guards are acquired in the
+    /// same order — ordered 2PL).
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let guards: Vec<RwLockReadGuard<'_, ShardState>> =
+            self.shards.iter().map(|s| s.state.read()).collect();
+        ShardSnapshot {
+            name: self.name.clone(),
+            tables: guards.iter().map(|g| Arc::clone(&g.table)).collect(),
+            starts: self.shards.iter().map(|s| s.start).collect(),
+        }
     }
 
     /// Append one row to the table; routes to the last shard (contiguous
     /// ranges make it the only shard that can grow without reshuffling
-    /// global row ids). Returns the mutated shard's index.
-    pub fn push_row(&mut self, values: Vec<Value>) -> Result<usize> {
+    /// global row ids). Locks only that shard. Returns the mutated
+    /// shard's index.
+    pub fn push_row(&self, values: Vec<Value>) -> Result<usize> {
         let idx = self.shards.len() - 1;
-        let shard = &mut self.shards[idx];
-        shard.table.push_row(values)?;
-        shard.crackers.clear();
+        let mut state = self.shards[idx].state.write();
+        Arc::make_mut(&mut state.table).push_row(values)?;
+        state.crackers.clear();
         Ok(idx)
     }
 
     /// Append all rows of `rows` to the last shard. Returns the mutated
     /// shard's index.
-    pub fn append_rows(&mut self, rows: &Table) -> Result<usize> {
+    pub fn append_rows(&self, rows: &Table) -> Result<usize> {
         let idx = self.shards.len() - 1;
-        let shard = &mut self.shards[idx];
-        shard.table.append(rows)?;
-        shard.crackers.clear();
+        let mut state = self.shards[idx].state.write();
+        Arc::make_mut(&mut state.table).append(rows)?;
+        state.crackers.clear();
         Ok(idx)
     }
 
     /// Apply `column = value` to the global row ids in `sel` (ascending,
     /// as produced by predicate evaluation on the canonical table),
-    /// routing each row to its owning shard. Returns the indexes of the
-    /// shards that changed, ascending. The caller has already validated
-    /// type compatibility against the canonical table — identical
-    /// schemas make the writes infallible here short of engine bugs.
-    pub fn update_where(&mut self, sel: &[u32], column: &str, value: &Value) -> Result<Vec<usize>> {
-        let mut mutated = Vec::new();
-        let mut rows = sel.iter().peekable();
-        for (idx, shard) in self.shards.iter_mut().enumerate() {
-            let range = shard.range();
-            let mut touched = false;
-            while let Some(&&row) = rows.peek() {
-                if (row as usize) >= range.end {
-                    break;
-                }
-                if (row as usize) < range.start {
+    /// routing each row to its owning shard. Write guards over exactly
+    /// the touched shards are acquired in ascending order and held
+    /// across all writes, so concurrent updates to disjoint shards
+    /// proceed in parallel while snapshots never observe a half-applied
+    /// update. Returns the indexes of the shards that changed,
+    /// ascending. The caller has already validated type compatibility
+    /// against the canonical table — identical schemas make the writes
+    /// infallible here short of engine bugs.
+    pub fn update_where(&self, sel: &[u32], column: &str, value: &Value) -> Result<Vec<usize>> {
+        // Phase 1: partition the selection by the (immutable) shard
+        // starts. Shard i < last covers [starts[i], starts[i+1]).
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        let mut cursor = 0usize;
+        for &row in sel {
+            let owner = match self.shards.iter().rposition(|s| s.start <= row as usize) {
+                Some(i) => i,
+                None => {
                     return Err(StorageError::Internal(
                         "update selection not ascending across shards".into(),
-                    ));
+                    ))
                 }
-                shard
-                    .table
-                    .set_cell(column, row as usize - range.start, value.clone())?;
+            };
+            if owner < cursor {
+                return Err(StorageError::Internal(
+                    "update selection not ascending across shards".into(),
+                ));
+            }
+            cursor = owner;
+            buckets[owner].push(row);
+        }
+        // Phase 2: lock the touched shards (ascending) and write.
+        let mut guards: Vec<(usize, RwLockWriteGuard<'_, ShardState>)> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| (i, self.shards[i].state.write()))
+            .collect();
+        let mut mutated = Vec::new();
+        for (idx, state) in &mut guards {
+            let start = self.shards[*idx].start;
+            let len = state.table.num_rows();
+            let mut touched = false;
+            for &row in &buckets[*idx] {
+                let local = row as usize - start;
+                if local >= len {
+                    // Beyond the last shard's current end: the canonical
+                    // selection cannot name such rows; skip defensively.
+                    continue;
+                }
+                Arc::make_mut(&mut state.table).set_cell(column, local, value.clone())?;
                 touched = true;
-                rows.next();
             }
             if touched {
-                shard.crackers.clear();
-                mutated.push(idx);
+                state.crackers.clear();
+                mutated.push(*idx);
             }
         }
         Ok(mutated)
     }
 
     /// Range query `low <= v < high` through per-shard adaptive indexes:
-    /// each shard cracks its own copy of `column` independently, and the
-    /// matching ids are returned offset back to global row ids,
-    /// concatenated in shard order. Like the unsharded cracked path, ids
-    /// come back in cracked (physical) order, not ascending.
+    /// each shard cracks its own copy of `column` independently (under
+    /// its own write lock — cracking reorganizes), and the matching ids
+    /// are returned offset back to global row ids, concatenated in
+    /// shard order. Like the unsharded cracked path, ids come back in
+    /// cracked (physical) order, not ascending.
     ///
     /// Returns `(ids, reorganized)` where `reorganized` lists the shards
     /// whose piece count grew — the caller bumps exactly those shards'
     /// epochs. The cancel token is checked between crack steps; a
     /// cancelled call leaves every shard's index well-formed.
     pub fn cracked_range(
-        &mut self,
+        &self,
         column: &str,
         low: i64,
         high: i64,
@@ -210,9 +312,10 @@ impl ShardedTable {
     ) -> Result<(Vec<u32>, Vec<usize>)> {
         let mut out = Vec::new();
         let mut reorganized = Vec::new();
-        for (idx, shard) in self.shards.iter_mut().enumerate() {
-            if !shard.crackers.contains_key(column) {
-                let col = shard.table.column(column)?;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let mut state = shard.state.write();
+            if !state.crackers.contains_key(column) {
+                let col = state.table.column(column)?;
                 let values = col
                     .as_i64()
                     .ok_or_else(|| StorageError::TypeMismatch {
@@ -221,11 +324,11 @@ impl ShardedTable {
                         found: col.data_type().name(),
                     })?
                     .to_vec();
-                shard
+                state
                     .crackers
                     .insert(column.to_owned(), CrackerColumn::new(values));
             }
-            let cracker = shard
+            let cracker = state
                 .crackers
                 .get_mut(column)
                 .ok_or_else(|| StorageError::Internal("shard cracker lost after build".into()))?;
@@ -246,7 +349,13 @@ impl ShardedTable {
         let counts: Vec<usize> = self
             .shards
             .iter()
-            .filter_map(|s| s.crackers.get(column).map(CrackerColumn::num_pieces))
+            .filter_map(|s| {
+                s.state
+                    .read()
+                    .crackers
+                    .get(column)
+                    .map(CrackerColumn::num_pieces)
+            })
             .collect();
         (!counts.is_empty()).then(|| counts.iter().sum())
     }
@@ -257,13 +366,16 @@ impl ShardedTable {
         self.shards
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardStats {
-                shard: i,
-                start: s.start,
-                rows: s.table.num_rows(),
-                epoch: epoch_of(i),
-                crackers: s.crackers.len(),
-                pieces: s.crackers.values().map(CrackerColumn::num_pieces).sum(),
+            .map(|(i, s)| {
+                let state = s.state.read();
+                ShardStats {
+                    shard: i,
+                    start: s.start,
+                    rows: state.table.num_rows(),
+                    epoch: epoch_of(i),
+                    crackers: state.crackers.len(),
+                    pieces: state.crackers.values().map(CrackerColumn::num_pieces).sum(),
+                }
             })
             .collect()
     }
@@ -295,21 +407,25 @@ mod tests {
         let st = ShardedTable::build("sales", &t, &config(4));
         assert_eq!(st.shard_count(), 4);
         assert_eq!(st.num_rows(), 1003);
+        let snap = st.snapshot();
         let mut covered = 0;
-        for shard in st.shards() {
-            assert_eq!(shard.start, covered);
-            covered = shard.range().end;
-            for local in 0..shard.table.num_rows() {
+        for s in 0..snap.shard_count() {
+            let range = snap.range(s);
+            assert_eq!(range.start, covered);
+            covered = range.end;
+            for local in 0..snap.table(s).num_rows() {
                 assert_eq!(
-                    shard.table.row(local).unwrap(),
-                    t.row(shard.start + local).unwrap(),
+                    snap.table(s).row(local).unwrap(),
+                    t.row(range.start + local).unwrap(),
                     "shard row {local}"
                 );
             }
         }
         assert_eq!(covered, 1003);
         // Balance: no two shards differ by more than one row.
-        let sizes: Vec<usize> = st.shards().iter().map(|s| s.table.num_rows()).collect();
+        let sizes: Vec<usize> = (0..snap.shard_count())
+            .map(|s| snap.table(s).num_rows())
+            .collect();
         let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
         assert!(hi - lo <= 1, "{sizes:?}");
     }
@@ -317,7 +433,7 @@ mod tests {
     #[test]
     fn mutations_route_to_owning_shard() {
         let t = sales(100);
-        let mut st = ShardedTable::build("sales", &t, &config(4));
+        let st = ShardedTable::build("sales", &t, &config(4));
         let row = t.row(0).unwrap();
         assert_eq!(st.push_row(row).unwrap(), 3);
         assert_eq!(st.num_rows(), 101);
@@ -335,9 +451,21 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_are_immutable_under_mutation() {
+        let t = sales(100);
+        let st = ShardedTable::build("sales", &t, &config(4));
+        let before = st.snapshot();
+        let rows_before = before.num_rows();
+        st.push_row(t.row(0).unwrap()).unwrap();
+        // The held snapshot still sees the pre-mutation cut.
+        assert_eq!(before.num_rows(), rows_before);
+        assert_eq!(st.snapshot().num_rows(), rows_before + 1);
+    }
+
+    #[test]
     fn cracked_range_matches_scan_per_shard() {
         let t = sales(5000);
-        let mut st = ShardedTable::build("sales", &t, &config(4));
+        let st = ShardedTable::build("sales", &t, &config(4));
         let (ids, reorganized) = st.cracked_range("qty", 3, 7, None).unwrap();
         assert!(!reorganized.is_empty(), "first crack reorganizes");
         let mut got = ids.clone();
@@ -354,7 +482,7 @@ mod tests {
     #[test]
     fn stats_reflect_layout() {
         let t = sales(1000);
-        let mut st = ShardedTable::build("sales", &t, &config(4));
+        let st = ShardedTable::build("sales", &t, &config(4));
         st.cracked_range("qty", 2, 5, None).unwrap();
         let stats = st.stats(|i| i as u64 * 10);
         assert_eq!(stats.len(), 4);

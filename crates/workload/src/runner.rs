@@ -1,21 +1,21 @@
 //! The session driver: replay generated trajectories concurrently
 //! against one shared engine and account every interaction.
 //!
-//! [`WorkloadRunner`] owns the engine — directly (a `Mutex<ExploreDb>`,
-//! each interaction one atomic engine call) or through the
-//! `explore-serve` scheduler ([`DriveMode::Serve`], one serve session
-//! per analyst session, sessions ≫ scheduler workers) — plus a shared
-//! [`GridIndex`] for the pan sessions, which never take the engine lock
-//! at all. `run` replays every [`SessionSpec`] and emits a
-//! [`WorkloadReport`].
+//! [`WorkloadRunner`] owns the engine — directly (the engine's query
+//! path is `&self`, so replay threads call it concurrently with no
+//! runner-level lock) or through the `explore-serve` scheduler
+//! ([`DriveMode::Serve`], one serve session per analyst session,
+//! sessions ≫ scheduler workers) — plus a shared [`GridIndex`] for the
+//! pan sessions, which never touch the engine at all. `run` replays
+//! every [`SessionSpec`] and emits a [`WorkloadReport`].
 //!
 //! Each interaction's latency is accounted in two parts: **queueing
-//! delay** (engine-lock wait in direct mode, run-queue wait in serve
-//! mode) and service time. The per-class percentiles cover the total —
-//! that is what the analyst feels — while [`ClassStats::mean_queue_ns`]
-//! / [`ClassStats::p95_queue_ns`] expose the scheduling share, so SLO
-//! accounting can separate an overloaded scheduler from a slow engine
-//! instead of blaming a lock convoy on the query.
+//! delay** (zero in direct mode — there is no lock to wait on —
+//! run-queue wait in serve mode) and service time. The per-class
+//! percentiles cover the total — that is what the analyst feels — while
+//! [`ClassStats::mean_queue_ns`] / [`ClassStats::p95_queue_ns`] expose
+//! the scheduling share, so SLO accounting can separate an overloaded
+//! scheduler from a slow engine instead of blaming the query.
 //!
 //! Determinism contract: wall-clock numbers (latencies, SLO violations,
 //! throughput) are *measured* and vary run to run, but everything in
@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use explore_cache::{CachePolicy, ResultCache};
-use explore_core::ExploreDb;
+use explore_core::{ExploreDb, SessionCtx};
 use explore_exec::ExecPolicy;
 use explore_fault::FailPoints;
 use explore_obs::{percentile_sorted, MetricsRegistry, MetricsSnapshot};
@@ -44,15 +44,14 @@ use explore_serve::{ServeConfig, ServeEngine, Session as ServeSession};
 use explore_shard::ShardPolicy;
 use explore_storage::gen::{sales_table, sky_table, SalesConfig};
 use explore_storage::{AggFunc, Predicate, Query, Result, StorageError, Table};
-use parking_lot::Mutex;
 
 use crate::spec::{Interaction, SessionSpec, GRID_CELLS};
 
 /// How interactions reach the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DriveMode {
-    /// Each replay thread locks the engine directly; the lock wait is
-    /// the queueing delay.
+    /// Each replay thread calls the engine directly; the query path is
+    /// `&self`, so calls overlap with zero queueing delay.
     Direct,
     /// Route every engine interaction through the `explore-serve`
     /// scheduler: one serve session per analyst session, multiplexed
@@ -89,8 +88,8 @@ pub struct WorkloadConfig {
     /// SLO budget per interaction: answers slower than this count as
     /// violations even when they complete.
     pub budget: Duration,
-    /// How interactions reach the engine (direct lock vs. the serve
-    /// scheduler).
+    /// How interactions reach the engine (direct shared-engine calls
+    /// vs. the serve scheduler).
     pub mode: DriveMode,
 }
 
@@ -123,8 +122,9 @@ pub struct ClassStats {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
-    /// Mean queueing delay (lock wait in direct mode, run-queue wait in
-    /// serve mode) — the scheduling share of `mean_ns`.
+    /// Mean queueing delay (zero in direct mode — the shared engine has
+    /// no lock to wait on — run-queue wait in serve mode) — the
+    /// scheduling share of `mean_ns`.
     pub mean_queue_ns: u64,
     /// p95 queueing delay (same separation as `mean_queue_ns`).
     pub p95_queue_ns: u64,
@@ -324,20 +324,20 @@ fn cells_digest(cells: &[CellAgg]) -> u64 {
 
 /// The engine call for one interaction, owned so the serve scheduler
 /// can run it on a worker thread.
-type InteractionOp = Box<dyn FnOnce(&mut ExploreDb) -> Result<u64> + Send>;
+type InteractionOp = Box<dyn FnOnce(&ExploreDb) -> Result<u64> + Send>;
 
 /// How the runner reaches the engine (see [`DriveMode`]).
 enum Backend {
-    Direct(Box<Mutex<ExploreDb>>),
+    Direct(Box<ExploreDb>),
     Serve(ServeEngine),
 }
 
 impl Backend {
     /// Run `f` directly against the engine, outside any scheduling —
     /// setup and stats reads.
-    fn with_engine<R>(&self, f: impl FnOnce(&mut ExploreDb) -> R) -> R {
+    fn with_engine<R>(&self, f: impl FnOnce(&ExploreDb) -> R) -> R {
         match self {
-            Backend::Direct(db) => f(&mut db.lock()),
+            Backend::Direct(db) => f(db),
             Backend::Serve(engine) => engine.with_engine(f),
         }
     }
@@ -361,7 +361,7 @@ impl WorkloadRunner {
         let specs = (0..config.sessions as u64)
             .map(|s| SessionSpec::generate(config.seed, s, config.interactions))
             .collect();
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -373,7 +373,6 @@ impl WorkloadRunner {
         db.set_exec_policy(config.exec);
         db.set_cache_policy(config.cache.clone());
         db.set_shard_policy(config.shard.clone());
-        db.set_query_deadline(config.deadline);
         let sky = sky_table(
             (config.rows / 2).max(1_000),
             6,
@@ -392,7 +391,7 @@ impl WorkloadRunner {
         let cache_on = db.cache_policy().is_on();
         let faults = db.fail_points();
         let backend = match config.mode {
-            DriveMode::Direct => Backend::Direct(Box::new(Mutex::new(db))),
+            DriveMode::Direct => Backend::Direct(Box::new(db)),
             DriveMode::Serve {
                 workers,
                 queue_limit,
@@ -543,13 +542,15 @@ impl WorkloadRunner {
     }
 
     /// Run one engine-backed interaction through the active backend.
-    /// Returns the digest outcome and the queueing delay (lock wait in
-    /// direct mode, run-queue wait in serve mode). Serve-mode admission
+    /// Returns the digest outcome and the queueing delay (always zero
+    /// in direct mode — the query path is `&self`, there is no lock to
+    /// wait on — run-queue wait in serve mode). Serve-mode admission
     /// rejections are counted and retried after yielding — truth is
     /// always re-served.
     fn dispatch(
         &self,
         session: Option<&ServeSession>,
+        overlay: &SessionCtx,
         it: &Interaction,
         rejections: &mut u64,
     ) -> (Result<u64>, u64) {
@@ -573,10 +574,7 @@ impl WorkloadRunner {
                 let Backend::Direct(db) = &self.backend else {
                     unreachable!("direct dispatch without a serve session")
                 };
-                let waited = Instant::now();
-                let mut db = db.lock();
-                let queue_ns = waited.elapsed().as_nanos() as u64;
-                (op(&mut db), queue_ns)
+                (db.with_session(overlay, |db| op(db)), 0)
             }
         }
     }
@@ -586,9 +584,12 @@ impl WorkloadRunner {
     /// engine must not kill the workload.
     fn replay(&self, spec: &SessionSpec) -> SessionOutcome {
         let serve_session = match &self.backend {
-            Backend::Serve(engine) => Some(engine.session()),
+            Backend::Serve(engine) => Some(engine.session().with_deadline(self.config.deadline)),
             Backend::Direct(_) => None,
         };
+        // Direct mode scopes the per-query deadline to this replay
+        // session's calls, mirroring what a serve session carries.
+        let overlay = SessionCtx::new().with_deadline(self.config.deadline);
         let mut pan = PanSession::new(&self.grid, true);
         if self.cache_on {
             pan = pan.with_shared_cache(Arc::clone(&self.cache), "sky");
@@ -617,7 +618,7 @@ impl WorkloadRunner {
                     vp.h = (vp.h as i64 + resize).clamp(2, 6) as usize;
                     (pan.view(vp).map(|cells| cells_digest(&cells)), 0)
                 }
-                _ => self.dispatch(serve_session.as_ref(), it, &mut rejections),
+                _ => self.dispatch(serve_session.as_ref(), &overlay, it, &mut rejections),
             };
             let ns = start.elapsed().as_nanos() as u64;
             let mut violated = ns > budget_ns;
@@ -706,8 +707,8 @@ mod tests {
         let mut cfg = quick_config();
         cfg.deadline = Some(Duration::ZERO);
         let report = WorkloadRunner::new(cfg).unwrap().run().unwrap();
-        // Pan never takes the engine lock, so only engine-backed classes
-        // get cut; every error must be counted, nothing panics.
+        // Pan runs off-grid without engine calls, so only engine-backed
+        // classes get cut; every error must be counted, nothing panics.
         assert!(report.errors > 0);
         assert!(report.violations >= report.errors);
         assert_eq!(report.interactions, 36);

@@ -7,15 +7,22 @@
 //! Walks the three layers of the SIGMOD'15 tutorial top-down on a
 //! synthetic sales table: exact queries, adaptive indexing, approximate
 //! aggregation with error bounds, online aggregation, and SeeDB view
-//! recommendation.
+//! recommendation — all through the serving layer, which is the
+//! recommended entry point: a [`ServeEngine`] owns the engine, every
+//! client opens a cheap [`Session`], and the engine's `&self` query
+//! path lets the worker set execute sessions' queries concurrently.
 
 use exploration::aqp::Bound;
+use exploration::serve::ServeEngine;
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{AggFunc, Predicate, Query, SortOrder};
 use exploration::ExploreDb;
 
 fn main() {
-    let mut db = ExploreDb::new();
+    // Build and populate the engine, then hand it to the serving layer.
+    // Setup and stats reads go through `with_engine`; queries go
+    // through sessions.
+    let db = ExploreDb::new();
     db.register(
         "sales",
         sales_table(&SalesConfig {
@@ -23,10 +30,16 @@ fn main() {
             ..SalesConfig::default()
         }),
     );
-    println!("== registered tables: {:?}\n", db.tables());
+    let serve = ServeEngine::new(db);
+    let session = serve.session();
+    println!(
+        "== registered tables: {:?} (served by {} workers)\n",
+        serve.with_engine(|db| db.tables()),
+        serve.config().workers
+    );
 
-    // 1. Exact declarative query.
-    let result = db
+    // 1. Exact declarative query, scheduled on the worker set.
+    let result = session
         .query(
             "sales",
             &Query::new()
@@ -42,32 +55,41 @@ fn main() {
 
     // 2. Adaptive indexing: the first range query cracks, later ones fly.
     let t0 = std::time::Instant::now();
-    let first = db.cracked_range("sales", "qty", 3, 7).expect("crack");
+    let first = session
+        .run(|db| db.cracked_range("sales", "qty", 3, 7))
+        .expect("crack");
     let t1 = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let second = db.cracked_range("sales", "qty", 3, 7).expect("crack");
+    let second = session
+        .run(|db| db.cracked_range("sales", "qty", 3, 7))
+        .expect("crack");
     let t2 = t0.elapsed();
     println!(
         "== adaptive index: {} rows; first query {t1:?}, repeat {t2:?} ({} pieces)\n",
         first.len(),
-        db.index_pieces("sales", "qty").unwrap()
+        serve
+            .with_engine(|db| db.index_pieces("sales", "qty"))
+            .unwrap()
     );
     assert_eq!(first.len(), second.len());
 
     // 3. Approximate aggregation with a 2% error bound at 95% confidence.
-    db.build_samples("sales", &[0.001, 0.01, 0.1], &[("region", 200)], 42)
+    session
+        .run(|db| db.build_samples("sales", &[0.001, 0.01, 0.1], &[("region", 200)], 42))
         .expect("samples");
-    let ans = db
-        .approx_aggregate(
-            "sales",
-            &Predicate::eq("region", "region0"),
-            AggFunc::Avg,
-            "price",
-            Bound::RelativeError {
-                target: 0.02,
-                confidence: 0.95,
-            },
-        )
+    let ans = session
+        .run(|db| {
+            db.approx_aggregate(
+                "sales",
+                &Predicate::eq("region", "region0"),
+                AggFunc::Avg,
+                "price",
+                Bound::RelativeError {
+                    target: 0.02,
+                    confidence: 0.95,
+                },
+            )
+        })
         .expect("approx");
     let (lo, hi) = ans.interval.bounds();
     println!(
@@ -78,9 +100,10 @@ fn main() {
         ans.fraction_used * 100.0
     );
 
-    // 4. Online aggregation: watch the interval shrink.
-    let mut oa = db
-        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+    // 4. Online aggregation: the session starts it (capturing its
+    // cancel token), the client thread watches the interval shrink.
+    let mut oa = session
+        .run(|db| db.online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7))
         .expect("online");
     println!("== online aggregation of avg(price):");
     for snap in oa.run_until(0.005, 20_000).expect("online aggregation") {
@@ -94,8 +117,8 @@ fn main() {
     println!();
 
     // 5. SeeDB: which views make product0 look interesting?
-    let views = db
-        .recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+    let views = session
+        .run(|db| db.recommend_views("sales", &Predicate::eq("product", "product0"), 3))
         .expect("views");
     println!("== recommended views for product0:");
     for v in views {

@@ -8,12 +8,13 @@
 //! ```
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 use exploration::storage::gen::{sales_table, sky_table, SalesConfig};
-use exploration::{ExplorationSession, ExploreDb};
+use exploration::{ExplorationSession, ExploreDb, SessionCtx};
 
 fn main() {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register(
         "sales",
         sales_table(&SalesConfig {
@@ -23,6 +24,11 @@ fn main() {
     );
     db.register("sky", sky_table(100_000, 4, 1000.0, 11));
     let mut session = ExplorationSession::with_db(db);
+    // Every statement runs under a session-scoped budget: the deadline
+    // is an overlay on the statement, not engine-global state, so a
+    // runaway statement is cut without affecting anything else using
+    // the engine.
+    let budget = SessionCtx::default().with_deadline(Some(Duration::from_secs(10)));
 
     let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
     if interactive {
@@ -44,7 +50,7 @@ fn main() {
                     if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
                         break;
                     }
-                    match session.execute(line) {
+                    match session.execute_with(&budget, line) {
                         Ok(outcome) => println!("{outcome}"),
                         Err(e) => println!("error: {e}"),
                     }
@@ -79,7 +85,7 @@ fn main() {
     ];
     for stmt in script {
         println!("explore> {stmt}");
-        match session.execute(stmt) {
+        match session.execute_with(&budget, stmt) {
             Ok(outcome) => println!("{outcome}\n"),
             Err(e) => println!("error: {e}\n"),
         }

@@ -1,33 +1,46 @@
 //! A business-analyst session: zero-query dashboards, deviation-based
-//! view recommendation, cube exploration and diversified drill-downs.
+//! view recommendation, cube exploration and diversified drill-downs —
+//! all driven through a serving-layer [`Session`], the way a dashboard
+//! backend would talk to the engine. One step drops down to the library
+//! layer beneath the facade to compare SeeDB's sharing and pruning
+//! strategies with instrumentation.
 //!
 //! ```bash
 //! cargo run --release --example sales_dashboard
 //! ```
 
-use exploration::cube::{CubeSession, DataCube, DiscoveryView};
-use exploration::diversify::{mmr, top_k_relevance, DivStats, Item};
 use exploration::exec::QueryCtx;
-use exploration::interact::suggest::faceted_recommendations;
+use exploration::serve::ServeEngine;
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::{AggFunc, Predicate};
 use exploration::viz::seedb::{candidate_views, recommend_pruned, recommend_shared, SeedbStats};
-use exploration::viz::{propose_charts, ChartKind};
+use exploration::viz::ChartKind;
+use exploration::ExploreDb;
 
 fn main() {
-    let sales = sales_table(&SalesConfig {
-        rows: 100_000,
-        regions: 12,
-        products: 30,
-        channels: 5,
-        skew: 0.9,
-        seed: 7,
-    });
+    let db = ExploreDb::new();
+    db.register(
+        "sales",
+        sales_table(&SalesConfig {
+            rows: 100_000,
+            regions: 12,
+            products: 30,
+            channels: 5,
+            skew: 0.9,
+            seed: 7,
+        }),
+    );
+    let serve = ServeEngine::new(db);
+    let session = serve.session();
+    let sales = serve.with_engine(|db| db.table("sales")).expect("table");
     println!("== sales fact table: {} rows\n", sales.num_rows());
 
     // 1. VizDeck: deal an initial dashboard without writing a query.
     println!("== initial dashboard deck:");
-    for chart in propose_charts(&sales, 5).expect("deck") {
+    for chart in session
+        .run(|db| db.propose_charts("sales", 5))
+        .expect("deck")
+    {
         let kind = match chart.kind {
             ChartKind::Bar => "bar",
             ChartKind::HistogramChart => "hist",
@@ -41,11 +54,20 @@ fn main() {
     println!();
 
     // 2. SeeDB: the analyst clicks into channel0 — which views deviate?
+    let exact = session
+        .run(|db| db.recommend_views("sales", &Predicate::eq("channel", "channel0"), 3))
+        .expect("seedb");
+    println!("== SeeDB: top views where channel0 deviates");
+    for v in &exact {
+        println!("   {:<28} utility {:.4}", v.spec.label(), v.utility);
+    }
+    // Deep-dive beneath the facade: the shared-scan strategy the engine
+    // uses vs. confidence-interval pruning, with per-strategy stats.
     let target = Predicate::eq("channel", "channel0");
     let views = candidate_views(&sales, &[AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
     let mut shared_stats = SeedbStats::default();
     let t0 = std::time::Instant::now();
-    let exact = recommend_shared(
+    recommend_shared(
         &sales,
         &target,
         &views,
@@ -57,7 +79,7 @@ fn main() {
     let shared_time = t0.elapsed();
     let mut pruned_stats = SeedbStats::default();
     let t0 = std::time::Instant::now();
-    let fast = recommend_pruned(
+    recommend_pruned(
         &sales,
         &target,
         &views,
@@ -69,18 +91,15 @@ fn main() {
     )
     .expect("seedb");
     let pruned_time = t0.elapsed();
-    println!("== SeeDB: top views where channel0 deviates");
-    for v in &exact {
-        println!("   {:<28} utility {:.4}", v.spec.label(), v.utility);
-    }
     println!(
         "   shared scan: {shared_time:?} ({} agg ops); pruned: {pruned_time:?} ({} agg ops, {} views pruned)\n",
         shared_stats.agg_ops, pruned_stats.agg_ops, pruned_stats.pruned
     );
-    let _ = fast;
 
     // 3. Discovery-driven cube: where are the anomalies?
-    let disc = DiscoveryView::build(&sales, "region", "product", "price").expect("cube");
+    let disc = session
+        .run(|db| db.discover_cube("sales", "region", "product", "price"))
+        .expect("cube");
     println!("== discovery-driven exploration: most surprising cells");
     for c in disc.exceptions(0.0).iter().take(3) {
         println!(
@@ -94,15 +113,20 @@ fn main() {
         drill[0].0, drill[0].1
     );
 
-    // 4. Speculative cube session along that drill path.
-    let cube = DataCube::new(
-        sales.clone(),
-        &["region", "product", "channel"],
-        "price",
-        AggFunc::Sum,
-    )
-    .expect("cube");
-    let mut session = CubeSession::new(cube, true);
+    // 4. Speculative cube session along that drill path. The engine
+    // hands back a client-side `CubeSession` that caches and
+    // speculatively materializes cuboids as the analyst navigates.
+    let mut cube = session
+        .run(|db| {
+            db.cube_session(
+                "sales",
+                &["region", "product", "channel"],
+                "price",
+                AggFunc::Sum,
+                true,
+            )
+        })
+        .expect("cube");
     for path in [
         vec![],
         vec!["region"],
@@ -110,46 +134,52 @@ fn main() {
         vec!["region"],
         vec!["channel", "region"],
     ] {
-        session
-            .navigate(&path.iter().map(|s| &**s).collect::<Vec<_>>())
-            .expect("navigate");
+        cube.navigate(&path).expect("navigate");
     }
-    let st = session.stats();
+    let st = cube.stats();
     println!(
         "== speculative cube session: {:.0}% hits ({} speculative cuboids built)\n",
         st.hit_rate() * 100.0,
         st.speculative_work
     );
 
-    // 5. Diversified top-k: show expensive orders, but not 10 clones.
-    let prices = sales.column("price").expect("col").as_f64().expect("f64");
-    let discounts = sales
-        .column("discount")
-        .expect("col")
-        .as_f64()
-        .expect("f64");
-    let qtys = sales.column("qty").expect("col").as_i64().expect("i64");
-    let items: Vec<Item> = (0..sales.num_rows())
-        .map(|i| {
-            Item::new(
-                i as u32,
-                prices[i] / 500.0,
-                vec![prices[i] / 10.0, discounts[i] * 100.0, qtys[i] as f64],
+    // 5. Diversified top-k: show expensive orders, but not 8 clones.
+    // λ = 1.0 ranks by relevance alone; λ = 0.4 trades relevance for
+    // spread across the feature space.
+    let plain = session
+        .run(|db| {
+            db.diversified_topk(
+                "sales",
+                &Predicate::True,
+                "price",
+                &["price", "discount", "qty"],
+                8,
+                1.0,
             )
         })
-        .take(5000)
-        .collect();
-    let mut stats = DivStats::default();
-    let plain = top_k_relevance(&items, 8);
-    let diverse = mmr(&items, 8, 0.4, &[], &mut stats, &QueryCtx::none()).expect("mmr");
-    println!("== top-8 orders, plain vs diversified (row ids):");
-    println!("   plain:     {plain:?}");
-    println!("   diversified: {diverse:?}\n");
+        .expect("topk");
+    let diverse = session
+        .run(|db| {
+            db.diversified_topk(
+                "sales",
+                &Predicate::True,
+                "price",
+                &["price", "discount", "qty"],
+                8,
+                0.4,
+            )
+        })
+        .expect("topk");
+    println!("== top-8 orders, relevance-only vs diversified (row ids):");
+    println!("   λ=1.0: {plain:?}");
+    println!("   λ=0.4: {diverse:?}\n");
 
     // 6. YmalDB: what else correlates with the analyst's selection?
-    let rows = target.evaluate(&sales).expect("rows");
     println!("== you may also like (facets over channel0 rows):");
-    for f in faceted_recommendations(&sales, &rows, 20, 4).expect("facets") {
+    let facets = session
+        .run(|db| db.facets("sales", &Predicate::eq("channel", "channel0"), 20, 4))
+        .expect("facets");
+    for f in facets {
         println!(
             "   {} = {:<12} lift {:.2} ({:.0}% of selection)",
             f.column,

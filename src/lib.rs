@@ -19,7 +19,7 @@
 //! use exploration::ExploreDb;
 //! use exploration::storage::{gen, AggFunc, Query};
 //!
-//! let mut db = ExploreDb::new();
+//! let db = ExploreDb::new();
 //! db.register("sales", gen::sales_table(&gen::SalesConfig::default()));
 //! let out = db
 //!     .query("sales", &Query::new().agg(AggFunc::Count, "qty"))

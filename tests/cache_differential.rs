@@ -168,9 +168,9 @@ fn every_shape_is_bit_identical_with_cache_off_cold_and_warm() {
     for rows in table_sizes() {
         let t = sales(rows);
         for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
-            let mut off = ExploreDb::with_exec_policy(policy);
+            let off = ExploreDb::with_exec_policy(policy);
             off.register("sales", t.clone());
-            let mut on = ExploreDb::with_exec_policy(policy);
+            let on = ExploreDb::with_exec_policy(policy);
             on.set_cache_policy(roomy_policy());
             on.register("sales", t.clone());
 
@@ -227,9 +227,9 @@ fn every_shape_is_bit_identical_with_cache_off_cold_and_warm() {
 fn subsumption_serves_are_bit_identical() {
     let t = sales(2 * MORSEL_ROWS + 4321);
     for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
-        let mut off = ExploreDb::with_exec_policy(policy);
+        let off = ExploreDb::with_exec_policy(policy);
         off.register("sales", t.clone());
-        let mut on = ExploreDb::with_exec_policy(policy);
+        let on = ExploreDb::with_exec_policy(policy);
         on.set_cache_policy(roomy_policy());
         on.register("sales", t.clone());
 
@@ -302,9 +302,9 @@ fn subsumption_serves_are_bit_identical() {
 #[test]
 fn toggling_cache_policy_preserves_results() {
     let t = sales(20_000);
-    let mut off = ExploreDb::new();
+    let off = ExploreDb::new();
     off.register("sales", t.clone());
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("sales", t);
     let q = Query::new()
         .filter(Predicate::range("price", 100.0, 700.0))
@@ -333,9 +333,9 @@ fn admission_rejection_is_bit_identical_and_observed() {
 
     let t = sales(2 * MORSEL_ROWS + 4321);
     for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
-        let mut off = ExploreDb::with_exec_policy(policy);
+        let off = ExploreDb::with_exec_policy(policy);
         off.register("sales", t.clone());
-        let mut on = ExploreDb::with_exec_policy(policy);
+        let on = ExploreDb::with_exec_policy(policy);
         on.set_obs_policy(ObsPolicy::on());
         on.set_cache_policy(CachePolicy::On(CacheConfig {
             byte_budget: 1 << 30,
@@ -379,9 +379,9 @@ fn admission_rejection_is_bit_identical_and_observed() {
 #[test]
 fn admission_threshold_zero_admits_everything() {
     let t = sales(20_000);
-    let mut off = ExploreDb::new();
+    let off = ExploreDb::new();
     off.register("sales", t.clone());
-    let mut on = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
+    let on = ExploreDb::with_cache_policy(CachePolicy::On(CacheConfig {
         byte_budget: 1 << 30,
         admit_min_cost_ns: 0,
         ..CacheConfig::default()

@@ -77,7 +77,7 @@ fn assert_bitwise_eq(a: &Table, b: &Table, context: &str) {
 /// to an uncached engine over a snapshot of the same (mutated) table.
 fn assert_matches_uncached(db: &mut ExploreDb, context: &str) {
     let snapshot = db.table("sales").unwrap().clone();
-    let mut fresh = ExploreDb::new();
+    let fresh = ExploreDb::new();
     fresh.register("sales", snapshot);
     for (name, q) in probes() {
         let cached = db
@@ -221,7 +221,7 @@ fn cracking_reorganization_is_an_epoch_event() {
 
 #[test]
 fn subsumption_never_serves_across_a_mutation() {
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("sales", sales(10_000));
 
     // Seed a broad scan whose artifacts could subsume later ranges.
@@ -235,7 +235,7 @@ fn subsumption_never_serves_across_a_mutation() {
     // A narrow range that the stale broad entry would have subsumed.
     let narrow = Query::new().filter(Predicate::range("price", 100.0, 200.0));
     let got = db.query("sales", &narrow).unwrap();
-    let mut fresh = ExploreDb::new();
+    let fresh = ExploreDb::new();
     fresh.register("sales", db.table("sales").unwrap().clone());
     let truth = fresh.query("sales", &narrow).unwrap();
     assert_bitwise_eq(&truth, &got, "narrow after mutation");
@@ -249,7 +249,7 @@ fn subsumption_never_serves_across_a_mutation() {
 
 #[test]
 fn epochs_are_per_table() {
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("a", sales(3_000));
     db.register("b", sales(3_000));
     let q = Query::new().agg(AggFunc::Sum, "price");
@@ -316,7 +316,7 @@ fn injected_eviction_failure_degrades_to_clear_all() {
         ..CacheConfig::default()
     }));
     db.register("sales", sales(3_000));
-    let mut fresh = ExploreDb::new();
+    let fresh = ExploreDb::new();
     fresh.register("sales", db.table("sales").unwrap().clone());
     let faults = db.fail_points();
     faults.arm("cache.evict", Schedule::Always);

@@ -148,9 +148,9 @@ proptest! {
         steps in prop::collection::vec(step(), 1..24),
     ) {
         let t = base_table().clone();
-        let mut cached = ExploreDb::with_cache_policy(CachePolicy::on());
+        let cached = ExploreDb::with_cache_policy(CachePolicy::on());
         cached.register("sales", t.clone());
-        let mut plain = ExploreDb::new();
+        let plain = ExploreDb::new();
         plain.register("sales", t);
 
         for (i, s) in steps.into_iter().enumerate() {
@@ -235,7 +235,7 @@ proptest! {
     ) {
         let (lo, hi) = (lo.min(hi), lo.max(hi));
         let t = base_table().clone();
-        let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+        let db = ExploreDb::with_cache_policy(CachePolicy::on());
         db.register("sales", t.clone());
         // Seed the widest range, then query the contained one warm.
         db.query(
@@ -245,7 +245,7 @@ proptest! {
         .expect("seed scan");
         let q = query_of(Predicate::range("price", lo, hi), shape);
         let warm = db.query("sales", &q).expect("warm query");
-        let mut fresh = ExploreDb::new();
+        let fresh = ExploreDb::new();
         fresh.register("sales", t);
         let cold = fresh.query("sales", &q).expect("cold query");
         prop_assert!(

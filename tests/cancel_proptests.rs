@@ -7,6 +7,12 @@
 //! survives exactly `n` cooperative checks and trips on check `n + 1`,
 //! so "cancel at a random morsel boundary" is a pure function of the
 //! generated budget, replayable from the proptest seed.
+//!
+//! Cancel tokens and deadlines are *session-scoped*: each property
+//! installs them for exactly the calls that should feel them via
+//! [`ExploreDb::with_session`], and "clearing" them is simply calling
+//! the engine outside the overlay — there is no engine-global knob to
+//! reset (DESIGN.md §10, §14).
 
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -18,7 +24,7 @@ use exploration::exec::ExecPolicy;
 use exploration::obs::ObsPolicy;
 use exploration::storage::gen::{sales_table, uniform_i64, SalesConfig};
 use exploration::storage::{AggFunc, Predicate, Query, StorageError, Table, Value, MORSEL_ROWS};
-use exploration::{CancelToken, ExploreDb};
+use exploration::{CancelToken, ExploreDb, SessionCtx};
 
 /// A three-morsel table, so there are real boundaries to cancel at.
 fn big_table() -> &'static Table {
@@ -35,7 +41,7 @@ fn big_table() -> &'static Table {
 fn truth() -> &'static Table {
     static TRUTH: OnceLock<Table> = OnceLock::new();
     TRUTH.get_or_init(|| {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", big_table().clone());
         db.query("sales", &prop_query()).unwrap()
     })
@@ -47,6 +53,16 @@ fn prop_query() -> Query {
         .group("region")
         .agg(AggFunc::Sum, "price")
         .agg(AggFunc::Count, "qty")
+}
+
+/// An overlay that cancels after `n` surviving cooperative checks.
+fn cancel_after(n: u64) -> SessionCtx {
+    SessionCtx::default().with_cancel(Some(CancelToken::after_checks(n)))
+}
+
+/// An overlay with an already-expired deadline.
+fn expired_deadline() -> SessionCtx {
+    SessionCtx::default().with_deadline(Some(Duration::ZERO))
 }
 
 /// Bit-level table equality (floats by `to_bits`).
@@ -79,10 +95,9 @@ proptest! {
         } else {
             ExecPolicy::Serial
         };
-        let mut db = ExploreDb::with_exec_policy(policy);
+        let db = ExploreDb::with_exec_policy(policy);
         db.register("sales", big_table().clone());
-        db.set_cancel_token(Some(CancelToken::after_checks(budget)));
-        match db.query("sales", &prop_query()) {
+        match db.with_session(&cancel_after(budget), |db| db.query("sales", &prop_query())) {
             Ok(got) => prop_assert!(
                 tables_bit_equal(truth(), &got),
                 "completed run diverged (budget {budget})"
@@ -90,8 +105,8 @@ proptest! {
             Err(StorageError::Cancelled) => {}
             Err(e) => prop_assert!(false, "non-typed error: {e}"),
         }
-        // The engine must be unharmed either way.
-        db.set_cancel_token(None);
+        // The engine must be unharmed either way; outside the overlay
+        // no token applies.
         let after = db.query("sales", &prop_query()).unwrap();
         prop_assert!(tables_bit_equal(truth(), &after), "post-cancel state corrupted");
     }
@@ -139,18 +154,18 @@ proptest! {
         a in 0i64..9,
     ) {
         let (low, high) = (a, a + 3);
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", big_table().clone());
-        db.set_cancel_token(Some(CancelToken::after_checks(budget)));
-        match db.cracked_range("sales", "qty", low, high) {
+        match db.with_session(&cancel_after(budget), |db| {
+            db.cracked_range("sales", "qty", low, high)
+        }) {
             Ok(_) | Err(StorageError::Cancelled) => {}
             Err(e) => prop_assert!(false, "non-typed error: {e}"),
         }
-        db.set_cancel_token(None);
         let mut got = db.cracked_range("sales", "qty", low, high).unwrap();
         got.sort_unstable();
         let scan = Predicate::range("qty", low, high)
-            .evaluate(db.table("sales").unwrap())
+            .evaluate(&db.table("sales").unwrap())
             .unwrap();
         prop_assert_eq!(got, scan, "post-cancel cracked_range diverged");
     }
@@ -166,14 +181,14 @@ fn brute_count(base: &[i64], low: i64, high: i64) -> usize {
 /// tree, not wall-clock guesswork.
 #[test]
 fn cancellation_lands_within_one_morsel_of_work() {
-    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    let db = ExploreDb::with_obs_policy(ObsPolicy::on());
     db.set_exec_policy(ExecPolicy::Serial);
     db.register("sales", big_table().clone());
 
-    db.set_cancel_token(Some(CancelToken::after_checks(1)));
-    let err = db.query("sales", &prop_query()).unwrap_err();
+    let err = db
+        .with_session(&cancel_after(1), |db| db.query("sales", &prop_query()))
+        .unwrap_err();
     assert_eq!(err, StorageError::Cancelled);
-    db.set_cancel_token(None);
 
     let trace = db.recent_traces().pop().expect("trace recorded on error");
     assert!(trace.is_well_formed());
@@ -190,16 +205,16 @@ fn cancellation_lands_within_one_morsel_of_work() {
 }
 
 /// A zero-length deadline trips before any morsel executes and is
-/// reported as the typed `DeadlineExceeded`; clearing the deadline
+/// reported as the typed `DeadlineExceeded`; dropping the overlay
 /// restores normal service on the same engine.
 #[test]
 fn expired_deadline_returns_typed_error_and_clean_state() {
-    let mut db = ExploreDb::with_obs_policy(ObsPolicy::on());
+    let db = ExploreDb::with_obs_policy(ObsPolicy::on());
     db.register("sales", big_table().clone());
-    db.set_query_deadline(Some(Duration::ZERO));
-    assert_eq!(db.query_deadline(), Some(Duration::ZERO));
 
-    let err = db.query("sales", &prop_query()).unwrap_err();
+    let err = db
+        .with_session(&expired_deadline(), |db| db.query("sales", &prop_query()))
+        .unwrap_err();
     assert_eq!(err, StorageError::DeadlineExceeded);
     let trace = db.recent_traces().pop().expect("trace recorded on error");
     assert_eq!(
@@ -209,7 +224,6 @@ fn expired_deadline_returns_typed_error_and_clean_state() {
     );
     assert_eq!(db.metrics_snapshot().counter("cancel.deadline_exceeded"), 1);
 
-    db.set_query_deadline(None);
     let after = db.query("sales", &prop_query()).unwrap();
     assert!(tables_bit_equal(truth(), &after));
 }
@@ -220,14 +234,13 @@ fn expired_deadline_returns_typed_error_and_clean_state() {
 #[test]
 fn deadline_with_cache_on_is_typed_and_recoverable() {
     use exploration::cache::CachePolicy;
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("sales", big_table().clone());
-    db.set_query_deadline(Some(Duration::ZERO));
     assert_eq!(
-        db.query("sales", &prop_query()).unwrap_err(),
+        db.with_session(&expired_deadline(), |db| db.query("sales", &prop_query()))
+            .unwrap_err(),
         StorageError::DeadlineExceeded
     );
-    db.set_query_deadline(None);
     let cold = db.query("sales", &prop_query()).unwrap();
     let warm = db.query("sales", &prop_query()).unwrap();
     assert!(tables_bit_equal(truth(), &cold));
@@ -236,18 +249,20 @@ fn deadline_with_cache_on_is_typed_and_recoverable() {
 }
 
 /// A deadline (or cancel token) on an online-aggregation session stops
-/// it within one batch: the session inherits the engine's token at
+/// it within one batch: the session captures the overlay's token at
 /// start, and `run_until` surfaces the typed error instead of silently
 /// finishing.
 #[test]
 fn online_aggregation_deadline_stops_within_one_batch() {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("sales", big_table().clone());
     // A token surviving exactly two checks models a deadline expiring
-    // mid-session deterministically.
-    db.set_cancel_token(Some(CancelToken::after_checks(2)));
+    // mid-session deterministically. The token is captured when the
+    // session starts, so it outlives the overlay scope.
     let mut oa = db
-        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+        .with_session(&cancel_after(2), |db| {
+            db.online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 7)
+        })
         .unwrap();
     let batch = 100;
     assert!(oa.step(batch).unwrap().is_some(), "first batch runs");
@@ -259,26 +274,26 @@ fn online_aggregation_deadline_stops_within_one_batch() {
         "no work past the batch where the token tripped"
     );
     // An expired real deadline trips a fresh session before any batch.
-    db.set_cancel_token(None);
-    db.set_query_deadline(Some(Duration::ZERO));
     let mut oa = db
-        .online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 8)
+        .with_session(&expired_deadline(), |db| {
+            db.online_aggregate("sales", &Predicate::True, AggFunc::Avg, "price", 0.95, 8)
+        })
         .unwrap();
     assert_eq!(oa.step(batch).unwrap_err(), StorageError::DeadlineExceeded);
 }
 
 /// A cancelled `recommend_views` surfaces the typed error and leaves
-/// the engine serving exact truth, as if the recommendation never ran.
+/// the engine serving truth, as if the recommendation never ran.
 #[test]
 fn cancelled_recommend_views_leaves_engine_serving_truth() {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("sales", big_table().clone());
-    db.set_cancel_token(Some(CancelToken::after_checks(1)));
     let err = db
-        .recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        .with_session(&cancel_after(1), |db| {
+            db.recommend_views("sales", &Predicate::eq("product", "product0"), 3)
+        })
         .unwrap_err();
     assert_eq!(err, StorageError::Cancelled);
-    db.set_cancel_token(None);
     let after = db.query("sales", &prop_query()).unwrap();
     assert!(tables_bit_equal(truth(), &after));
     // And the uncancelled recommendation itself still works.

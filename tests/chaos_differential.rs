@@ -25,7 +25,7 @@ use exploration::storage::rng::SplitMix64;
 use exploration::storage::{
     AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Table, Value, MORSEL_ROWS,
 };
-use exploration::{CancelToken, ExploreDb, Schedule};
+use exploration::{CancelToken, ExploreDb, Schedule, SessionCtx};
 
 /// A table spanning several morsels plus a ragged tail, so parallel
 /// merge order and serial-fallback re-runs actually matter.
@@ -193,7 +193,7 @@ fn seeded_fault_schedules_never_corrupt_results() {
     let shapes = query_shapes();
     // Fault-free truth per shape, computed once on a pristine engine.
     let truths: Vec<Table> = {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", table.clone());
         shapes
             .iter()
@@ -220,7 +220,7 @@ fn seeded_fault_schedules_never_corrupt_results() {
         let (name, query) = &shapes[shape_idx];
         let context = format!("iter {iter}: {name} policy={policy:?} cache={cache_on}");
 
-        let mut db = ExploreDb::with_exec_policy(policy);
+        let db = ExploreDb::with_exec_policy(policy);
         if cache_on {
             db.set_cache_policy(CachePolicy::on());
         }
@@ -245,9 +245,8 @@ fn seeded_fault_schedules_never_corrupt_results() {
         let cancel = (rng.range_i64(0, 4) == 0)
             .then(|| CancelToken::after_checks(rng.range_i64(0, 12) as u64));
 
-        db.set_cancel_token(cancel.clone());
-        let result = db.query("sales", query);
-        db.set_cancel_token(None);
+        let overlay = SessionCtx::default().with_cancel(cancel.clone());
+        let result = db.with_session(&overlay, |db| db.query("sales", query));
         match result {
             Ok(got) => assert_bitwise_eq(&truths[shape_idx], &got, &context),
             Err(StorageError::Cancelled) => assert!(
@@ -276,11 +275,11 @@ fn seeded_fault_schedules_never_corrupt_results() {
 #[test]
 fn injected_worker_panic_falls_back_to_serial() {
     let table = chaos_table();
-    let mut db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers: 4 });
+    let db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers: 4 });
     db.register("sales", table);
     let q = Query::new().group("region").agg(AggFunc::Sum, "price");
     let truth = {
-        let mut serial = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let serial = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         serial.register("sales", chaos_table());
         serial.query("sales", &q).unwrap()
     };
@@ -306,7 +305,7 @@ fn injected_worker_panic_falls_back_to_serial() {
 #[test]
 fn spawn_failure_degrades_to_inline_serial() {
     let table = chaos_table();
-    let mut db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers: 4 });
+    let db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers: 4 });
     db.register("sales", table.clone());
     let q = Query::new()
         .filter(Predicate::range("price", 100.0, 600.0))
@@ -325,7 +324,7 @@ fn spawn_failure_degrades_to_inline_serial() {
 #[test]
 fn admission_failure_serves_through_compute() {
     let table = chaos_table();
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("sales", table);
     let faults = db.fail_points();
     faults.arm("cache.admit", Schedule::Always);
@@ -350,7 +349,7 @@ fn admission_failure_serves_through_compute() {
 #[test]
 fn lookup_failure_forces_recompute() {
     let table = chaos_table();
-    let mut db = ExploreDb::with_cache_policy(CachePolicy::on());
+    let db = ExploreDb::with_cache_policy(CachePolicy::on());
     db.register("sales", table);
     let q = Query::new()
         .filter(Predicate::range("price", 100.0, 700.0))
@@ -374,7 +373,7 @@ fn lookup_failure_forces_recompute() {
 /// same ids, no reorganization, event counted.
 #[test]
 fn crack_reorg_failure_degrades_to_scan() {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("sales", chaos_table());
     let mut truth = db.cracked_range("sales", "qty", 3, 7).unwrap();
     truth.sort_unstable();
@@ -385,7 +384,7 @@ fn crack_reorg_failure_degrades_to_scan() {
     let mut got = db.cracked_range("sales", "qty", 2, 9).unwrap();
     got.sort_unstable();
     let mut scan = Predicate::range("qty", 2i64, 9i64)
-        .evaluate(db.table("sales").unwrap())
+        .evaluate(&db.table("sales").unwrap())
         .unwrap();
     scan.sort_unstable();
     assert_eq!(got, scan);
@@ -415,7 +414,7 @@ fn seeded_chaos_over_diversified_topk_is_exact_or_typed() {
     let pred = Predicate::range("price", 50.0, 800.0);
     let features = ["qty", "discount"];
     let truth = {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", table.clone());
         db.diversified_topk("sales", &pred, "price", &features, 10, 0.5)
             .unwrap()
@@ -432,7 +431,7 @@ fn seeded_chaos_over_diversified_topk_is_exact_or_typed() {
             }
         };
         let context = format!("diversify iter {iter}: policy={policy:?}");
-        let mut db = ExploreDb::with_exec_policy(policy);
+        let db = ExploreDb::with_exec_policy(policy);
         db.register("sales", table.clone());
 
         let faults = db.fail_points();
@@ -443,9 +442,10 @@ fn seeded_chaos_over_diversified_topk_is_exact_or_typed() {
         let cancel = (rng.range_i64(0, 3) == 0)
             .then(|| CancelToken::after_checks(rng.range_i64(0, 8) as u64));
 
-        db.set_cancel_token(cancel.clone());
-        let result = db.diversified_topk("sales", &pred, "price", &features, 10, 0.5);
-        db.set_cancel_token(None);
+        let overlay = SessionCtx::default().with_cancel(cancel.clone());
+        let result = db.with_session(&overlay, |db| {
+            db.diversified_topk("sales", &pred, "price", &features, 10, 0.5)
+        });
         match result {
             Ok(got) => assert_eq!(got, truth, "{context}"),
             Err(StorageError::Cancelled) => assert!(
@@ -473,12 +473,12 @@ fn serve_admit_fault_degrades_to_inline_execution() {
     let table = chaos_table();
     let q = Query::new().group("region").agg(AggFunc::Sum, "price");
     let truth = {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", table.clone());
         db.query("sales", &q).unwrap()
     };
 
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("sales", table);
     let serve = ServeEngine::with_config(db, ServeConfig::with_workers(2));
     let faults = serve.fail_points();
@@ -511,12 +511,12 @@ fn serve_yield_fault_skips_yields_without_corruption() {
         .order("sum(price)", SortOrder::Desc)
         .take(7);
     let truth = {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register("sales", table.clone());
         db.query("sales", &q).unwrap()
     };
 
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("sales", table);
     let serve = ServeEngine::with_config(db, ServeConfig::with_workers(1));
     let faults = serve.fail_points();
@@ -543,7 +543,7 @@ fn seeded_serve_chaos_is_exact_or_typed() {
     let table = chaos_table();
     let shapes = query_shapes();
     let truths: Vec<Table> = {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", table.clone());
         shapes
             .iter()
@@ -565,7 +565,7 @@ fn seeded_serve_chaos_is_exact_or_typed() {
         let (name, query) = &shapes[shape_idx];
         let context = format!("serve iter {iter}: {name} policy={policy:?}");
 
-        let mut db = ExploreDb::with_exec_policy(policy);
+        let db = ExploreDb::with_exec_policy(policy);
         db.register("sales", table.clone());
         let serve =
             ServeEngine::with_config(db, ServeConfig::with_workers(rng.range_i64(1, 3) as usize));
@@ -626,7 +626,7 @@ fn raw_parse_faults_follow_error_policy() {
 
     // Abort (default): the injected malformed row fails the query with
     // a typed CSV error; the engine (and loader) survive.
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.attach_raw(
         "raw",
         RawCsv::new(write_csv(&t), t.schema().clone()).unwrap(),
@@ -645,7 +645,7 @@ fn raw_parse_faults_follow_error_policy() {
     );
 
     // SkipRow: the same fault tombstones one row and the query answers.
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.set_load_error_policy(ErrorPolicy::SkipRow);
     db.attach_raw(
         "raw",
@@ -660,13 +660,13 @@ fn raw_parse_faults_follow_error_policy() {
     assert_eq!(db.rows_skipped("raw"), Some(1));
 
     // load.map: positional-map bypass is bit-identical.
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.attach_raw(
         "raw",
         RawCsv::new(write_csv(&t), t.schema().clone()).unwrap(),
     );
     let truth = {
-        let mut plain = ExploreDb::new();
+        let plain = ExploreDb::new();
         plain.register("mem", t.clone());
         plain.query(
             "mem",

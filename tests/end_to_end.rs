@@ -10,7 +10,7 @@ use exploration::storage::{AggFunc, Predicate, Query, SortOrder};
 use exploration::ExploreDb;
 
 fn sales_db(rows: usize) -> ExploreDb {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register(
         "sales",
         sales_table(&SalesConfig {
@@ -23,7 +23,7 @@ fn sales_db(rows: usize) -> ExploreDb {
 
 #[test]
 fn full_session_touches_every_layer() {
-    let mut db = sales_db(50_000);
+    let db = sales_db(50_000);
 
     // Exact SQL-ish query.
     let exact = db
@@ -42,7 +42,7 @@ fn full_session_touches_every_layer() {
     let mut via_crack = db.cracked_range("sales", "qty", 2, 6).expect("crack");
     via_crack.sort_unstable();
     let via_scan = Predicate::range("qty", 2i64, 6i64)
-        .evaluate(db.table("sales").expect("table"))
+        .evaluate(&db.table("sales").expect("table"))
         .expect("eval");
     assert_eq!(via_crack, via_scan);
 
@@ -52,7 +52,7 @@ fn full_session_touches_every_layer() {
     let truth = {
         let t = db.table("sales").expect("table");
         let sel = Predicate::eq("region", "region0")
-            .evaluate(t)
+            .evaluate(&t)
             .expect("eval");
         let prices = t.column("price").expect("col").as_f64().expect("f64");
         sel.iter().map(|&i| prices[i as usize]).sum::<f64>() / sel.len() as f64
@@ -81,13 +81,8 @@ fn full_session_touches_every_layer() {
         .expect("online");
     while oa.step(10_000).unwrap().is_some() {}
     let global_truth = {
-        let p = db
-            .table("sales")
-            .expect("table")
-            .column("price")
-            .expect("col")
-            .as_f64()
-            .expect("f64");
+        let t = db.table("sales").expect("table");
+        let p = t.column("price").expect("col").as_f64().expect("f64");
         p.iter().sum::<f64>() / p.len() as f64
     };
     assert!((oa.snapshot().interval.estimate - global_truth).abs() < 1e-9);
@@ -106,7 +101,7 @@ fn raw_table_and_memory_table_agree_on_everything() {
         rows: 5_000,
         ..SalesConfig::default()
     });
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register("mem", t.clone());
     db.attach_raw(
         "raw",
@@ -137,7 +132,7 @@ fn raw_table_and_memory_table_agree_on_everything() {
 
 #[test]
 fn cracked_index_converges_under_engine_workload() {
-    let mut db = sales_db(100_000);
+    let db = sales_db(100_000);
     let mut pieces_history = Vec::new();
     for i in 0..30 {
         let lo = (i % 8) as i64 + 1;
@@ -163,7 +158,7 @@ fn taxonomy_table_renders() {
 
 #[test]
 fn error_paths_surface_cleanly() {
-    let mut db = sales_db(100);
+    let db = sales_db(100);
     assert!(db.query("missing", &Query::new()).is_err());
     assert!(db.cracked_range("sales", "region", 0, 1).is_err());
     assert!(db

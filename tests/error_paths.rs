@@ -163,7 +163,7 @@ fn selection_errors_match_across_policies() {
 #[test]
 fn engine_unknown_table_errs_under_both_policies() {
     for policy in POLICIES {
-        let mut db = ExploreDb::with_exec_policy(policy);
+        let db = ExploreDb::with_exec_policy(policy);
         db.register(
             "sales",
             sales_table(&SalesConfig {
@@ -238,7 +238,7 @@ mod loading_errors {
 
 mod cancellation_errors {
     use super::*;
-    use exploration::CancelToken;
+    use exploration::{CancelToken, SessionCtx};
 
     /// A pre-cancelled token fails queries with exactly
     /// `StorageError::Cancelled` under every policy — same typed error,
@@ -251,18 +251,18 @@ mod cancellation_errors {
         });
         let q = Query::new().group("region").agg(AggFunc::Sum, "price");
         for policy in POLICIES {
-            let mut db = ExploreDb::with_exec_policy(policy);
+            let db = ExploreDb::with_exec_policy(policy);
             db.register("sales", t.clone());
             let token = CancelToken::new();
             token.cancel();
-            db.set_cancel_token(Some(token));
+            let overlay = SessionCtx::default().with_cancel(Some(token));
             assert_eq!(
-                db.query("sales", &q).unwrap_err(),
+                db.with_session(&overlay, |db| db.query("sales", &q))
+                    .unwrap_err(),
                 StorageError::Cancelled,
                 "{policy:?}"
             );
-            // The same engine still answers uncancelled queries.
-            db.set_cancel_token(None);
+            // The same engine still answers outside the overlay.
             db.query("sales", &q).unwrap();
         }
     }

@@ -155,7 +155,7 @@ fn query_shapes() -> Vec<(&'static str, Query)> {
 }
 
 fn engine(t: &Table, obs: bool, cache: bool, exec: ExecPolicy) -> ExploreDb {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     if obs {
         db.set_obs_policy(ObsPolicy::on());
     }
@@ -200,8 +200,8 @@ fn obs_on_is_bit_identical_across_shapes_policies_and_cache_modes() {
     ] {
         for exec in EXEC_POLICIES {
             for cache in [false, true] {
-                let mut off = engine(&t, false, cache, exec);
-                let mut on = engine(&t, true, cache, exec);
+                let off = engine(&t, false, cache, exec);
+                let on = engine(&t, true, cache, exec);
                 for (shape, q) in query_shapes() {
                     let context = format!("{shape} ({table_name}, {exec:?}, cache={cache})");
                     // Cold pass (and, when caching, the admissions).
@@ -229,7 +229,7 @@ fn uncached_traces_record_one_fan_out_with_a_morsel_per_window() {
     let n_morsels = morsel_count(t.num_rows()) as u32;
     assert!(n_morsels >= 3, "table must span several morsels");
     for exec in EXEC_POLICIES {
-        let mut db = engine(&t, true, false, exec);
+        let db = engine(&t, true, false, exec);
         for (shape, q) in query_shapes() {
             db.query("sales", &q).unwrap();
             let trace = last_trace(&db);
@@ -280,7 +280,7 @@ fn cached_traces_tell_the_serve_story() {
             // A fresh engine per shape: an earlier shape's cached
             // superset would otherwise serve this one by subsumption
             // and the cold pass would not be a miss.
-            let mut db = engine(&t, true, true, exec);
+            let db = engine(&t, true, true, exec);
             let context = format!("{shape} ({exec:?})");
 
             // Cold: a miss computes (filter + replay fan-outs) and admits.
@@ -329,7 +329,7 @@ fn cached_traces_tell_the_serve_story() {
 #[test]
 fn subsumption_traces_mark_the_refilter_serve() {
     let t = multi_morsel_table();
-    let mut db = engine(&t, true, true, ExecPolicy::Serial);
+    let db = engine(&t, true, true, ExecPolicy::Serial);
     // Seed a superset selection, then ask a strictly contained range the
     // cache has never seen: served by re-filtering the cached subset.
     db.query(
@@ -370,7 +370,7 @@ fn subsumption_traces_mark_the_refilter_serve() {
 #[test]
 fn middleware_entry_points_record_wellformed_stage_spans() {
     let t = small_table();
-    let mut db = engine(&t, true, false, ExecPolicy::Serial);
+    let db = engine(&t, true, false, ExecPolicy::Serial);
     db.build_samples("sales", &[0.05, 0.2], &[("region", 50)], 7)
         .unwrap();
     db.build_synopses("sales", 32).unwrap();
@@ -543,7 +543,7 @@ fn middleware_obs_off_output_is_identical_to_on() {
 #[test]
 fn off_records_nothing_and_ring_is_bounded() {
     let t = small_table();
-    let mut db = engine(&t, false, false, ExecPolicy::Serial);
+    let db = engine(&t, false, false, ExecPolicy::Serial);
     for (_, q) in query_shapes() {
         db.query("sales", &q).unwrap();
     }

@@ -337,12 +337,12 @@ fn seeded_morsel_chaos_stays_bit_identical_across_worker_counts() {
         .agg(AggFunc::Sum, "price")
         .agg(AggFunc::Avg, "qty");
     let truth = {
-        let mut serial = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let serial = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         serial.register("sales", t.clone());
         serial.query("sales", &q).unwrap()
     };
     for workers in [1, 2, 3, 8] {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers });
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Parallel { workers });
         db.register("sales", t.clone());
         let faults = db.fail_points();
         for seed in 0..6u64 {

@@ -350,7 +350,7 @@ proptest! {
         use exploration::storage::gen::{sales_table, SalesConfig};
         use exploration::storage::{AggFunc, Predicate, Query};
         let t = sales_table(&SalesConfig { rows: 2_000, ..Default::default() });
-        let ex = SpeculativeExecutor::new(&t, budget);
+        let ex = SpeculativeExecutor::new(t.clone(), budget);
         for (lo, width) in requests {
             let req = RangeRequest {
                 column: "qty".into(),

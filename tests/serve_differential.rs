@@ -147,7 +147,7 @@ fn query_shapes() -> Vec<(&'static str, Query)> {
 
 /// An engine with the probe table and the given policies.
 fn engine(table: &Table, policy: ExecPolicy, cache_on: bool) -> ExploreDb {
-    let mut db = ExploreDb::with_exec_policy(policy);
+    let db = ExploreDb::with_exec_policy(policy);
     if cache_on {
         db.set_cache_policy(CachePolicy::on());
     }
@@ -164,7 +164,7 @@ fn session_facade_is_bitwise_identical_to_direct_engine() {
     let shapes = query_shapes();
     for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
         for cache_on in [false, true] {
-            let mut direct = engine(&table, policy, cache_on);
+            let direct = engine(&table, policy, cache_on);
             let serve = ServeEngine::with_config(
                 engine(&table, policy, cache_on),
                 ServeConfig::with_workers(2),
@@ -197,7 +197,7 @@ fn thousand_plus_sessions_complete_on_four_workers_bit_identical() {
     });
     let shapes = query_shapes();
     let truths: Vec<Table> = {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", table.clone());
         shapes
             .iter()
@@ -205,7 +205,7 @@ fn thousand_plus_sessions_complete_on_four_workers_bit_identical() {
             .collect()
     };
 
-    let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+    let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
     db.register("sales", table);
     let serve = ServeEngine::with_config(
         db,
@@ -233,8 +233,9 @@ fn thousand_plus_sessions_complete_on_four_workers_bit_identical() {
 }
 
 /// The seeded interactive workload produces the same deterministic
-/// report (checksum included) whether interactions lock the engine
-/// directly or ride the serve scheduler with sessions ≫ workers.
+/// report (checksum included) whether interactions run directly
+/// against the shared engine or ride the serve scheduler with
+/// sessions ≫ workers.
 #[test]
 fn workload_checksum_unchanged_through_serve_layer() {
     let base = WorkloadConfig {
@@ -257,4 +258,80 @@ fn workload_checksum_unchanged_through_serve_layer() {
     .unwrap();
     assert_eq!(direct.deterministic(), served.deterministic());
     assert_eq!(served.errors, 0);
+}
+
+/// The refactor's headline: two serve workers execute independent warm
+/// queries with genuinely overlapping service spans — the engine's
+/// `&self` query path means workers share it instead of serializing
+/// behind a `Mutex<ExploreDb>`.
+///
+/// Each submitted closure timestamps its service span against a common
+/// epoch and, between its query and its return, waits (bounded) until
+/// it has seen the *other* closure inside its span too. Under the old
+/// one-lock model the first closure would hold the engine for its
+/// whole span and the rendezvous could never happen; with the shared
+/// engine both workers sit inside their spans simultaneously, and the
+/// recorded timestamps prove the overlap. Gated on hosts with ≥ 4
+/// cores (like `tests/parallel_speedup.rs`), where the scheduler can
+/// genuinely park both workers at once.
+#[test]
+fn warm_queries_on_two_workers_overlap_their_service_spans() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping span-overlap assertion: only {cores} core(s) available");
+        return;
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let table = serve_table();
+    let serve = ServeEngine::with_config(
+        engine(&table, ExecPolicy::Serial, true),
+        ServeConfig::with_workers(4),
+    );
+    let query = Query::new()
+        .filter(Predicate::range("price", 50.0, 600.0))
+        .group("region")
+        .agg(AggFunc::Sum, "price");
+    // Warm the cache so both service spans are pure read traffic.
+    serve.session().query("sales", &query).unwrap();
+
+    let epoch = Instant::now();
+    let in_span = Arc::new(AtomicUsize::new(0));
+    let spawn = |serve: &ServeEngine| {
+        let session = serve.session();
+        let query = query.clone();
+        let in_span = Arc::clone(&in_span);
+        session
+            .submit(move |db| {
+                let start_ns = epoch.elapsed().as_nanos() as u64;
+                db.query("sales", &query)?;
+                in_span.fetch_add(1, Ordering::SeqCst);
+                // Bounded rendezvous: stay inside the span until the
+                // other worker's span is live too (or give up — the
+                // timestamps below then fail the test with evidence).
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while in_span.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                let end_ns = epoch.elapsed().as_nanos() as u64;
+                Ok((start_ns, end_ns))
+            })
+            .unwrap()
+    };
+    let first = spawn(&serve);
+    let second = spawn(&serve);
+    let (start_a, end_a) = first.wait().unwrap();
+    let (start_b, end_b) = second.wait().unwrap();
+
+    // The service spans must genuinely overlap: each opened before the
+    // other closed.
+    assert!(
+        start_a.max(start_b) < end_a.min(end_b),
+        "service spans never overlapped: [{start_a}, {end_a}] vs [{start_b}, {end_b}] ns"
+    );
 }

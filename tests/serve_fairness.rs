@@ -17,7 +17,7 @@ use exploration::storage::{AggFunc, Predicate, Query, StorageError};
 use exploration::ExploreDb;
 
 fn served(cfg: ServeConfig) -> ServeEngine {
-    let mut db = ExploreDb::new();
+    let db = ExploreDb::new();
     db.register(
         "sales",
         sales_table(&SalesConfig {
@@ -168,7 +168,7 @@ fn deadline_sessions_rank_ahead_and_violate_nothing() {
 #[test]
 fn overload_rejects_typed_and_reserves_truth_after_backoff() {
     let truth = {
-        let mut db = ExploreDb::new();
+        let db = ExploreDb::new();
         db.register(
             "sales",
             sales_table(&SalesConfig {

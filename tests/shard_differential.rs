@@ -12,9 +12,10 @@ use exploration::shard::{scoped_name, ShardConfig, ShardPolicy};
 use exploration::storage::gen::{sales_table, SalesConfig};
 use exploration::storage::rng::SplitMix64;
 use exploration::storage::{
-    AggFunc, CmpOp, Predicate, Query, SortOrder, StorageError, Table, Value, MORSEL_ROWS,
+    AggFunc, CmpOp, Column, DataType, Predicate, Query, Schema, SortOrder, StorageError, Table,
+    Value, MORSEL_ROWS,
 };
-use exploration::{CancelToken, ExploreDb, Schedule};
+use exploration::{CancelToken, ExploreDb, Schedule, SessionCtx};
 
 /// The two table scales of the parallel differential suite: several
 /// morsels with a ragged tail (shard boundaries fall mid-morsel), and a
@@ -173,7 +174,7 @@ fn every_shape_is_bitwise_for_every_shard_count() {
         let t = sales(rows);
         for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { workers: 4 }] {
             // Unsharded, uncached truth.
-            let mut plain = ExploreDb::with_exec_policy(policy);
+            let plain = ExploreDb::with_exec_policy(policy);
             plain.register("sales", t.clone());
             let shapes = query_shapes();
             let truths: Vec<Table> = shapes
@@ -187,7 +188,7 @@ fn every_shape_is_bitwise_for_every_shard_count() {
 
             for count in SHARD_COUNTS {
                 // Cache off.
-                let mut off = ExploreDb::with_shard_policy(shard_policy(count));
+                let off = ExploreDb::with_shard_policy(shard_policy(count));
                 off.set_exec_policy(policy);
                 off.register("sales", t.clone());
                 for ((name, q), truth) in shapes.iter().zip(&truths) {
@@ -202,7 +203,7 @@ fn every_shape_is_bitwise_for_every_shard_count() {
                 }
 
                 // Cache cold then warm.
-                let mut on = ExploreDb::with_shard_policy(shard_policy(count));
+                let on = ExploreDb::with_shard_policy(shard_policy(count));
                 on.set_exec_policy(policy);
                 on.set_cache_policy(roomy_policy());
                 on.register("sales", t.clone());
@@ -240,7 +241,7 @@ fn every_shape_is_bitwise_for_every_shard_count() {
 #[test]
 fn mutation_in_one_shard_keeps_other_shards_cached() {
     let t = sales(2 * MORSEL_ROWS + 4321);
-    let mut db = ExploreDb::with_shard_policy(shard_policy(4));
+    let db = ExploreDb::with_shard_policy(shard_policy(4));
     db.set_cache_policy(roomy_policy());
     db.register("sales", t.clone());
 
@@ -316,7 +317,7 @@ fn mutation_in_one_shard_keeps_other_shards_cached() {
 
     // And the answer reflects the mutation, bit-identically to an
     // unsharded engine over the mutated table.
-    let mut plain = ExploreDb::new();
+    let plain = ExploreDb::new();
     let mut mutated = t.clone();
     mutated.push_row(t.row(0).unwrap()).unwrap();
     plain.register("sales", mutated);
@@ -324,6 +325,115 @@ fn mutation_in_one_shard_keeps_other_shards_cached() {
         &plain.query("sales", &scans[0]).unwrap(),
         &got,
         "post-mutation scan",
+    );
+}
+
+/// Two sessions mutating *disjoint* shards of the same table from two
+/// threads (the ROADMAP per-shard-lock follow-on): both mutated shards'
+/// epochs bump, the untouched shards' epochs — and cache entries —
+/// survive, and the final table is bit-identical to an unsharded engine
+/// that applied the same updates serially. The row-indexed `id` column
+/// makes shard ownership of each update deterministic: 4 shards ×
+/// 1 000 rows, so ids [0, 1000) live in shard 0 and [3000, 4000) in
+/// shard 3.
+#[test]
+fn two_sessions_mutating_disjoint_shards_keep_other_shards_warm() {
+    use std::sync::{Arc as StdArc, Barrier};
+
+    let rows = 4_000usize;
+    let ids: Vec<i64> = (0..rows as i64).collect();
+    let vals: Vec<f64> = (0..rows).map(|i| (i % 97) as f64).collect();
+    let t = Table::new(
+        Schema::of(&[("id", DataType::Int64), ("val", DataType::Float64)]),
+        vec![Column::from(ids), Column::from(vals)],
+    )
+    .unwrap();
+
+    let db = StdArc::new(ExploreDb::with_shard_policy(shard_policy(4)));
+    db.set_cache_policy(roomy_policy());
+    db.register("t", t.clone());
+
+    // Warm one scan entry per shard.
+    let scan = Query::new().filter(Predicate::cmp("val", CmpOp::Ge, 0.0));
+    db.query("t", &scan).unwrap();
+    let cache = db.cache();
+    for shard in 0..4 {
+        assert!(
+            cache.contains(&Fingerprint::for_query(&scoped_name("t", shard), &scan)),
+            "shard {shard} entry missing before mutation"
+        );
+    }
+    let epochs_before: Vec<u64> = (0..4)
+        .map(|s| db.table_epoch(&scoped_name("t", s)))
+        .collect();
+
+    // Session A updates rows of shard 0, session B rows of shard 3,
+    // concurrently; the barrier lines both writers up.
+    let barrier = StdArc::new(Barrier::new(2));
+    let jobs = [(0i64, 500i64, 1.5f64), (3_000, 3_500, 2.5)];
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|(lo, hi, v)| {
+            let db = StdArc::clone(&db);
+            let barrier = StdArc::clone(&barrier);
+            std::thread::spawn(move || {
+                let session = SessionCtx::new();
+                barrier.wait();
+                db.with_session(&session, |db| {
+                    db.update_where("t", &Predicate::range("id", lo, hi), "val", Value::Float(v))
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap().unwrap(), 500, "each session hit its rows");
+    }
+
+    // Both mutated shards' epochs bumped; the untouched shards' didn't.
+    for (s, &before) in epochs_before.iter().enumerate() {
+        let after = db.table_epoch(&scoped_name("t", s));
+        if s == 0 || s == 3 {
+            assert_eq!(after, before + 1, "mutated shard {s} epoch must bump");
+        } else {
+            assert_eq!(after, before, "untouched shard {s} epoch must not move");
+        }
+    }
+
+    // Untouched shards' entries survive; mutated shards' entries died.
+    for shard in [1usize, 2] {
+        assert!(
+            cache.contains(&Fingerprint::for_query(&scoped_name("t", shard), &scan)),
+            "untouched shard {shard} entry must survive"
+        );
+    }
+    for shard in [0usize, 3] {
+        assert!(
+            !cache.contains(&Fingerprint::for_query(&scoped_name("t", shard), &scan)),
+            "mutated shard {shard} entry must die"
+        );
+    }
+
+    // Re-running serves the two untouched shards warm and recomputes
+    // exactly the two mutated ones...
+    let before = db.cache_stats();
+    let got = db.query("t", &scan).unwrap();
+    let after = db.cache_stats();
+    assert_eq!(after.hits - before.hits, 2, "two shards served warm");
+    assert_eq!(after.misses - before.misses, 2, "two shards recomputed");
+
+    // ...bit-identically to an unsharded engine applying the same
+    // updates one after the other.
+    let plain = ExploreDb::new();
+    plain.register("t", t);
+    for (lo, hi, v) in jobs {
+        plain
+            .update_where("t", &Predicate::range("id", lo, hi), "val", Value::Float(v))
+            .unwrap();
+    }
+    assert_bitwise_eq(
+        &plain.query("t", &scan).unwrap(),
+        &got,
+        "post-mutation scan vs unsharded truth",
     );
 }
 
@@ -367,7 +477,7 @@ fn seeded_shard_fault_schedules_never_corrupt_results() {
     let t = sales(2 * MORSEL_ROWS + 4321);
     let shapes = query_shapes();
     let truths: Vec<Table> = {
-        let mut db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
+        let db = ExploreDb::with_exec_policy(ExecPolicy::Serial);
         db.register("sales", t.clone());
         shapes
             .iter()
@@ -394,7 +504,7 @@ fn seeded_shard_fault_schedules_never_corrupt_results() {
         let context =
             format!("iter {iter}: {name} policy={policy:?} cache={cache_on} shards={count}");
 
-        let mut db = ExploreDb::with_shard_policy(shard_policy(count));
+        let db = ExploreDb::with_shard_policy(shard_policy(count));
         db.set_exec_policy(policy);
         if cache_on {
             db.set_cache_policy(roomy_policy());
@@ -420,9 +530,8 @@ fn seeded_shard_fault_schedules_never_corrupt_results() {
         let cancel = (rng.range_i64(0, 4) == 0)
             .then(|| CancelToken::after_checks(rng.range_i64(0, 12) as u64));
 
-        db.set_cancel_token(cancel.clone());
-        let result = db.query("sales", query);
-        db.set_cancel_token(None);
+        let overlay = SessionCtx::default().with_cancel(cancel.clone());
+        let result = db.with_session(&overlay, |db| db.query("sales", query));
         match result {
             Ok(got) => assert_bitwise_eq(&truths[shape_idx], &got, &context),
             Err(StorageError::Cancelled) => assert!(
@@ -455,9 +564,9 @@ fn forced_shard_degradation_is_bitwise_and_counted() {
     use exploration::obs::ObsPolicy;
 
     let t = sales(2 * MORSEL_ROWS + 4321);
-    let mut plain = ExploreDb::new();
+    let plain = ExploreDb::new();
     plain.register("sales", t.clone());
-    let mut db = ExploreDb::with_shard_policy(shard_policy(4));
+    let db = ExploreDb::with_shard_policy(shard_policy(4));
     db.set_exec_policy(ExecPolicy::Parallel { workers: 4 });
     db.set_obs_policy(ObsPolicy::on());
     db.register("sales", t);

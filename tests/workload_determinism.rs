@@ -222,6 +222,50 @@ fn seeded_chaos_preserves_the_report_and_truth_returns_after_disarm() {
     }
 }
 
+/// Cross-version determinism anchor: these checksums were captured on
+/// the engine *before* the shared-read refactor (global `&mut self`
+/// query path behind one big lock). The lock decomposition — per-table
+/// `RwLock`s, `Arc` snapshots, session-scoped overlays — must be purely
+/// a scheduling change, so the same seeds must reproduce the same
+/// checksums bit-for-bit forever. A mismatch here means the refactor
+/// (or a later change) altered what a query *computes*, not just when
+/// it runs.
+#[test]
+fn checksums_match_pre_refactor_pinned_values() {
+    let pinned: &[(u64, u64)] = &[
+        (0x5EED_0000, 8118399758598064744),
+        (0x5EED_0001, 10173993084681322017),
+        (0xCAFE, 11122414987131748463),
+        (0xC405, 13810340799194838314),
+        (0x1, 17244623889914159750),
+        (0x2, 6269316746198252329),
+    ];
+    for &(seed, checksum) in pinned {
+        let got = run(base_config(seed)).deterministic();
+        assert_eq!(got.errors, 0, "seed {seed:#x}");
+        assert_eq!(got.interactions, 48, "seed {seed:#x}");
+        assert_eq!(
+            got.checksum, checksum,
+            "seed {seed:#x}: checksum diverged from the pre-refactor engine"
+        );
+    }
+    // Sharding is invisible to results: the sharded run of a pinned
+    // seed reproduces the unsharded pinned checksum.
+    let sharded = run(WorkloadConfig {
+        shard: ShardPolicy::On(ShardConfig {
+            count: 3,
+            min_rows_per_shard: 1,
+        }),
+        ..base_config(0xCAFE)
+    })
+    .deterministic();
+    assert_eq!(sharded.checksum, 11122414987131748463);
+    // And the out-of-the-box config is anchored too.
+    let default = run(WorkloadConfig::default()).deterministic();
+    assert_eq!(default.interactions, 96);
+    assert_eq!(default.checksum, 15804763216757087682);
+}
+
 #[test]
 fn deadline_cuts_are_counted_violations_never_panics() {
     let report = run(WorkloadConfig {
